@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared helpers for the table-regeneration benches: fixed-width table
+ * printing and pipeline shortcuts.  Each bench binary regenerates one
+ * table of the DCatch paper's evaluation, printing measured values
+ * next to the paper's (absolute numbers differ — our substrate is a
+ * deterministic simulator, not the authors' testbed — but the shapes
+ * must match; EXPERIMENTS.md records both).
+ */
+
+#ifndef DCATCH_BENCH_BENCH_COMMON_HH
+#define DCATCH_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dcatch::bench {
+
+/** Minimal fixed-width table printer. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {
+    }
+
+    /** Append one row (must match the header count). */
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+
+    /** Print with per-column auto width. */
+    void
+    print() const
+    {
+        std::vector<std::size_t> widths(headers_.size(), 0);
+        auto widen = [&](const std::vector<std::string> &cells) {
+            for (std::size_t i = 0; i < cells.size() && i < widths.size();
+                 ++i)
+                if (cells[i].size() > widths[i])
+                    widths[i] = cells[i].size();
+        };
+        widen(headers_);
+        for (const auto &r : rows_)
+            widen(r);
+
+        auto print_row = [&](const std::vector<std::string> &cells) {
+            std::printf("|");
+            for (std::size_t i = 0; i < widths.size(); ++i) {
+                const std::string &cell =
+                    i < cells.size() ? cells[i] : std::string();
+                std::printf(" %-*s |", static_cast<int>(widths[i]),
+                            cell.c_str());
+            }
+            std::printf("\n");
+        };
+        auto print_sep = [&] {
+            std::printf("+");
+            for (std::size_t w : widths) {
+                for (std::size_t i = 0; i < w + 2; ++i)
+                    std::printf("-");
+                std::printf("+");
+            }
+            std::printf("\n");
+        };
+        print_sep();
+        print_row(headers_);
+        print_sep();
+        for (const auto &r : rows_)
+            print_row(r);
+        print_sep();
+    }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a bench banner. */
+inline void
+banner(const char *table, const char *what)
+{
+    std::printf("\n=== DCatch-C++ — %s: %s ===\n", table, what);
+}
+
+} // namespace dcatch::bench
+
+#endif // DCATCH_BENCH_BENCH_COMMON_HH

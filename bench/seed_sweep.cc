@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Prediction-robustness sweep: DCatch claims to find DCbugs by
+ * monitoring *correct* runs, i.e. without needing the lucky buggy
+ * interleaving.  This bench runs every benchmark under many random
+ * schedules and reports, per benchmark: how many seeds produced a
+ * correct run, and in how many of those correct runs trace analysis
+ * still reported the known root-cause pair.  (Seeds whose schedule
+ * happens to trigger the bug are counted separately — their existence
+ * is itself evidence the bugs are real.)
+ */
+
+#include "apps/benchmark.hh"
+#include "bench_common.hh"
+#include "common/util.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+#include "runtime/sim.hh"
+
+int
+main()
+{
+    using namespace dcatch;
+    bench::banner("Seed sweep", "prediction from correct runs only");
+
+    constexpr int kSeeds = 20;
+    bench::Table table({"BugID", "Seeds", "Correct runs",
+                        "Bug predicted", "Schedule hit bug"});
+    bool all_predicted = true;
+    for (const apps::Benchmark &b : apps::allBenchmarks()) {
+        int correct = 0, predicted = 0, manifested = 0;
+        for (int seed = 1; seed <= kSeeds; ++seed) {
+            sim::SimConfig cfg = b.config;
+            cfg.policy = sim::PolicyKind::Random;
+            cfg.seed = static_cast<std::uint64_t>(seed * 7919);
+            sim::Simulation sim(cfg);
+            b.build(sim);
+            sim::RunResult run = sim.run();
+            if (run.failed()) {
+                ++manifested;
+                continue;
+            }
+            ++correct;
+            hb::HbGraph graph(sim.tracer().store());
+            detect::RaceDetector detector;
+            bool found = false;
+            for (const auto &cand : detector.detect(graph))
+                for (const auto &pair : b.knownBugPairs)
+                    if (cand.sitePairKey() == pair)
+                        found = true;
+            if (found)
+                ++predicted;
+            else
+                all_predicted = false;
+        }
+        table.row({b.id, strprintf("%d", kSeeds),
+                   strprintf("%d", correct), strprintf("%d", predicted),
+                   strprintf("%d", manifested)});
+    }
+    table.print();
+    std::printf("Shape check: in every correct run, under every "
+                "schedule, the known bug is predicted — %s.  The rare "
+                "seeds whose schedule manifests the failure directly "
+                "confirm the bugs are real and timing-dependent.\n",
+                all_predicted ? "holds" : "VIOLATED");
+    return all_predicted ? 0 : 1;
+}

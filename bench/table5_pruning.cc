@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Regenerates Table 5: number of DCbug candidates reported by trace
+ * analysis alone (TA), plus static pruning (TA+SP), plus loop-based
+ * synchronization analysis (TA+SP+LP) — static-instruction-pair and
+ * callstack-pair counts.
+ */
+
+#include "apps/benchmark.hh"
+#include "bench_common.hh"
+#include "common/util.hh"
+#include "dcatch/pipeline.hh"
+
+int
+main()
+{
+    using namespace dcatch;
+    bench::banner("Table 5", "candidates after TA / TA+SP / TA+SP+LP");
+
+    bench::Table table({"BugID", "TA(S)", "TA+SP(S)", "TA+SP+LP(S)",
+                        "TA(C)", "TA+SP(C)", "TA+SP+LP(C)",
+                        "paper (S): TA/SP/LP"});
+    for (const apps::Benchmark &b : apps::allBenchmarks()) {
+        PipelineOptions options;
+        options.measureBase = false;
+        PipelineResult result = runPipeline(b, options);
+        auto ta = detect::countReports(result.afterTa);
+        auto sp = detect::countReports(result.afterSp);
+        auto lp = detect::countReports(result.afterLp);
+        table.row({b.id, strprintf("%d", ta.staticPairs),
+                   strprintf("%d", sp.staticPairs),
+                   strprintf("%d", lp.staticPairs),
+                   strprintf("%d", ta.callstackPairs),
+                   strprintf("%d", sp.callstackPairs),
+                   strprintf("%d", lp.callstackPairs),
+                   strprintf("%d/%d/%d", b.paper.taStatic,
+                             b.paper.taSpStatic, b.paper.taSpLpStatic)});
+    }
+    table.print();
+    std::printf("Shape check: TA >= TA+SP >= TA+SP+LP for every "
+                "benchmark; static pruning removes the majority of raw "
+                "candidates, and loop analysis prunes pull-synchronized "
+                "pairs on top (paper: <10%% of candidates survive SP for "
+                "CA/HB/MR).\n");
+    return 0;
+}

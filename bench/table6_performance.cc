@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Regenerates Table 6: DCatch performance — base execution time,
+ * tracing time, trace-analysis time, static-pruning time, and trace
+ * size, per benchmark.  The summary table averages five pipeline runs
+ * (as the paper does); a google-benchmark suite then measures the
+ * tracing and analysis phases with statistical rigor.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/benchmark.hh"
+#include "bench_common.hh"
+#include "common/util.hh"
+#include "dcatch/pipeline.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+
+namespace {
+
+using namespace dcatch;
+
+void
+printTable()
+{
+    bench::banner("Table 6", "DCatch performance (mean of 5 runs)");
+    bench::Table table({"BugID", "Base", "Tracing", "TraceAnalysis",
+                        "StaticPruning", "LoopAnalysis(rerun)",
+                        "TraceSize", "paper: base/trace/analysis (s)"});
+    for (const apps::Benchmark &b : apps::allBenchmarks()) {
+        PhaseMetrics mean;
+        const int runs = 5;
+        for (int i = 0; i < runs; ++i) {
+            PipelineOptions options; // measureBase defaults to true
+            PipelineResult result = runPipeline(b, options);
+            mean.baseSec += result.metrics.baseSec;
+            mean.tracingSec += result.metrics.tracingSec;
+            mean.analysisSec += result.metrics.analysisSec;
+            mean.pruningSec += result.metrics.pruningSec;
+            mean.loopSec += result.metrics.loopSec;
+            mean.traceBytes = result.metrics.traceBytes;
+        }
+        table.row(
+            {b.id, strprintf("%.2fms", mean.baseSec / runs * 1e3),
+             strprintf("%.2fms", mean.tracingSec / runs * 1e3),
+             strprintf("%.2fms", mean.analysisSec / runs * 1e3),
+             strprintf("%.2fms", mean.pruningSec / runs * 1e3),
+             strprintf("%.2fms", mean.loopSec / runs * 1e3),
+             strprintf("%.1fKB", mean.traceBytes / 1024.0),
+             strprintf("%.1f/%.1f/%.1f", b.paper.baseSec,
+                       b.paper.tracingSec, b.paper.analysisSec)});
+    }
+    table.print();
+    std::printf("Shape check: tracing adds modest overhead over base "
+                "execution (the paper reports 1.9x-5.5x; here the "
+                "serialized scheduler dominates both runs); trace "
+                "analysis scales with trace size; the loop analysis "
+                "column is dominated by its focused re-execution of "
+                "the workload, as in the paper.\n\n");
+}
+
+void
+BM_TracedRun(benchmark::State &state, const apps::Benchmark *bench)
+{
+    for (auto _ : state) {
+        sim::Simulation sim(bench->config);
+        bench->build(sim);
+        benchmark::DoNotOptimize(sim.run());
+    }
+}
+
+void
+BM_TraceAnalysis(benchmark::State &state, const apps::Benchmark *bench)
+{
+    sim::Simulation sim(bench->config);
+    bench->build(sim);
+    sim.run();
+    const trace::TraceStore &store = sim.tracer().store();
+    for (auto _ : state) {
+        hb::HbGraph graph(store);
+        detect::RaceDetector detector;
+        benchmark::DoNotOptimize(detector.detect(graph));
+    }
+    state.counters["records"] =
+        static_cast<double>(store.totalRecords());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    printTable();
+    for (const apps::Benchmark &b : apps::allBenchmarks()) {
+        benchmark::RegisterBenchmark(("BM_TracedRun/" + b.id).c_str(),
+                                     BM_TracedRun, &b);
+        benchmark::RegisterBenchmark(
+            ("BM_TraceAnalysis/" + b.id).c_str(), BM_TraceAnalysis, &b);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

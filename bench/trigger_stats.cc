@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates the triggering statistics of section 7.2: how many
+ * reports the trigger module confirms as true races, how many cause
+ * severe failures, how many are exposed as false positives (serial),
+ * and how often the request-placement analysis had to relocate
+ * request points to avoid hangs (the paper: 23 of 35 true races
+ * needed non-naive placement).
+ */
+
+#include <map>
+
+#include "apps/benchmark.hh"
+#include "bench_common.hh"
+#include "common/util.hh"
+#include "dcatch/pipeline.hh"
+
+int
+main()
+{
+    using namespace dcatch;
+    bench::banner("Trigger stats (section 7.2)",
+                  "triggering and placement analysis");
+
+    int total = 0, harmful = 0, benign = 0, serial = 0, relocated = 0;
+    std::map<std::string, int> relocation_reasons;
+    bench::Table table({"BugID", "Reports", "Harmful", "Benign", "Serial",
+                        "Relocated placements"});
+    for (const apps::Benchmark &b : apps::allBenchmarks()) {
+        PipelineOptions options;
+        options.measureBase = false;
+        options.runTrigger = true;
+        PipelineResult result = runPipeline(b, options);
+        int h = 0, be = 0, se = 0, rel = 0;
+        for (const auto &report : result.triggered) {
+            ++total;
+            switch (report.cls) {
+              case trigger::TriggerClass::Harmful: ++h; break;
+              case trigger::TriggerClass::Benign: ++be; break;
+              case trigger::TriggerClass::Serial: ++se; break;
+            }
+            if (report.placement.relocated) {
+                ++rel;
+                ++relocation_reasons[report.placement.rationale];
+            }
+        }
+        harmful += h;
+        benign += be;
+        serial += se;
+        relocated += rel;
+        table.row({b.id, strprintf("%zu", result.triggered.size()),
+                   strprintf("%d", h), strprintf("%d", be),
+                   strprintf("%d", se), strprintf("%d", rel)});
+    }
+    table.print();
+    std::printf("Totals: %d reports -> %d harmful, %d benign, %d serial; "
+                "%d placements relocated.\n",
+                total, harmful, benign, serial, relocated);
+    std::printf("Relocation reasons:\n");
+    for (const auto &[reason, count] : relocation_reasons)
+        std::printf("  %2dx %s\n", count, reason.c_str());
+    std::printf("Paper: 47 callstack reports -> 35 true races (23 with "
+                "severe failures), 12 serial false positives; naive "
+                "placement failed for 23 of the 35 true races.\n");
+    return 0;
+}

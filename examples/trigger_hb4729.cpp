@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Using the trigger module as a stand-alone testing framework
+ * (paper section 9): given a suspected pair of operations, enforce
+ * both orders and observe the outcome — no detection pipeline needed.
+ *
+ * The target is HB-4729: the server-shutdown handler's znode delete
+ * racing the enable-table handler's read-then-delete.  Forcing the
+ * shutdown delete between the enable handler's getData and delete
+ * crashes the HMaster; the opposite order is safe.
+ */
+
+#include <cstdio>
+
+#include "apps/hbase/mini_hbase.hh"
+#include "trigger/controller.hh"
+#include "runtime/sim.hh"
+
+using namespace dcatch;
+
+namespace {
+
+/** Run the workload with "first before second" enforced. */
+sim::RunResult
+runOrdered(const trigger::RequestPoint &first,
+           const trigger::RequestPoint &second, bool *enforced)
+{
+    sim::Simulation simulation;
+    trigger::OrderController controller(first, second);
+    simulation.setControlHook(&controller);
+    apps::hb::install(simulation, apps::hb::Workload::EnableExpire4729);
+    sim::RunResult result = simulation.run();
+    *enforced = controller.firstReached() &&
+                (controller.secondReached() || controller.secondArrived());
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    trigger::RequestPoint enable_delete{apps::hb::kEnableRemove, "", 0,
+                                        ""};
+    trigger::RequestPoint shutdown_delete{apps::hb::kShutRemove, "", 0,
+                                          ""};
+
+    std::printf("order 1: enable's delete BEFORE shutdown's delete\n");
+    bool enforced = false;
+    sim::RunResult safe =
+        runOrdered(enable_delete, shutdown_delete, &enforced);
+    std::printf("  enforced=%s -> %s\n", enforced ? "yes" : "no",
+                safe.summary().c_str());
+
+    std::printf("order 2: shutdown's delete BEFORE enable's delete\n");
+    sim::RunResult crash =
+        runOrdered(shutdown_delete, enable_delete, &enforced);
+    std::printf("  enforced=%s -> %s\n", enforced ? "yes" : "no",
+                crash.summary().c_str());
+
+    if (crash.failed() && !safe.failed())
+        std::printf("\nHB-4729 reproduced: the read-then-delete in the "
+                    "enable handler is not atomic against the shutdown "
+                    "handler's delete; the master aborts on NoNode.\n");
+    else
+        std::printf("\nunexpected outcome — check the workload.\n");
+    return crash.failed() && !safe.failed() ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Benchmark registry: the seven TaxDC-derived workloads of Table 3,
+ * each binding a mini system topology, a workload driver, a program
+ * model, the known root-cause bug sites, and the paper's reference
+ * numbers for side-by-side reporting in the benches.
+ */
+
+#ifndef DCATCH_APPS_BENCHMARK_HH
+#define DCATCH_APPS_BENCHMARK_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "model/program_model.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::apps {
+
+/** Paper-reported numbers for one benchmark (for comparison prints). */
+struct PaperNumbers
+{
+    int bugStatic = 0, benignStatic = 0, serialStatic = 0;
+    int bugCallstack = 0, benignCallstack = 0, serialCallstack = 0;
+    int taStatic = 0, taSpStatic = 0, taSpLpStatic = 0; ///< Table 5
+    double baseSec = 0, tracingSec = 0, analysisSec = 0,
+           pruningSec = 0;  ///< Table 6
+    double traceMB = 0;     ///< Table 6
+    double fullTraceMB = 0; ///< Table 8
+};
+
+/** Which mechanisms the mini system uses (Table 1). */
+struct Mechanisms
+{
+    bool rpc = false;
+    bool socket = false;
+    bool customProtocol = false;
+    bool threads = true;
+    bool events = true;
+};
+
+/** One registered benchmark. */
+struct Benchmark
+{
+    std::string id;       ///< e.g. "MR-3274"
+    std::string system;   ///< e.g. "mini-mapreduce"
+    std::string workload; ///< human-readable workload description
+    std::string symptom;  ///< failure symptom (Table 3)
+    std::string error;    ///< LE / LH / DE / DH (Table 3)
+    std::string rootCause; ///< OV / AV (Table 3)
+    Mechanisms mechanisms;
+    PaperNumbers paper;
+
+    /** Build the topology + workload drivers on a fresh Simulation. */
+    std::function<void(sim::Simulation &)> build;
+
+    /** The system's program model (WALA substitute). */
+    std::function<model::ProgramModel()> buildModel;
+
+    /**
+     * Site-pair keys (detect::sitePair) of the known root-cause
+     * DCbug(s) this workload was selected for.
+     */
+    std::vector<std::string> knownBugPairs;
+
+    /** Simulation config for the monitored (correct) run. */
+    sim::SimConfig config;
+};
+
+/** All seven benchmarks, in Table 3 order. */
+const std::vector<Benchmark> &allBenchmarks();
+
+/** Look up one benchmark by id (throws if unknown). */
+const Benchmark &benchmark(const std::string &id);
+
+} // namespace dcatch::apps
+
+#endif // DCATCH_APPS_BENCHMARK_HH

@@ -1,0 +1,197 @@
+#include "apps/benchmark.hh"
+
+#include <stdexcept>
+
+#include "apps/cassandra/mini_cassandra.hh"
+#include "apps/hbase/mini_hbase.hh"
+#include "apps/mapreduce/mini_mr.hh"
+#include "apps/zookeeper/mini_zk.hh"
+#include "detect/report.hh"
+
+namespace dcatch::apps {
+
+namespace {
+
+Benchmark
+makeCa1011()
+{
+    Benchmark b;
+    b.id = "CA-1011";
+    b.system = "mini-cassandra";
+    b.workload = "startup (bootstrap + gossip)";
+    b.symptom = "Data backup failure";
+    b.error = "DE";
+    b.rootCause = "AV";
+    b.mechanisms = {false, true, true, true, true};
+    b.paper = {3, 0, 0, 5, 2, 0, 46, 4, 3, 6.6, 13.0, 15.9, 324, 7.7, 77};
+    b.build = [](sim::Simulation &sim) { ca::install(sim); };
+    b.buildModel = [] { return ca::buildModel(); };
+    b.knownBugPairs = {
+        detect::sitePair(ca::kMutateReadToken, ca::kGossipApplyToken),
+        detect::sitePair(ca::kMutateSchemaRead, ca::kGossipSchema)};
+    return b;
+}
+
+Benchmark
+makeHb4539()
+{
+    Benchmark b;
+    b.id = "HB-4539";
+    b.system = "mini-hbase";
+    b.workload = "split table & alter table";
+    b.symptom = "System Master Crash";
+    b.error = "DE";
+    b.rootCause = "OV";
+    b.mechanisms = {true, false, true, true, true};
+    b.paper = {3, 0, 1, 3, 0, 1, 24, 4, 4, 1.1, 3.8, 11.9, 87, 4.9, 26};
+    b.build = [](sim::Simulation &sim) {
+        hb::install(sim, hb::Workload::SplitAlter4539);
+    };
+    b.buildModel = [] { return hb::buildModel(); };
+    b.knownBugPairs = {
+        detect::sitePair(hb::kAlterEmpty, hb::kSplitPut),
+        detect::sitePair(hb::kAlterEmpty, hb::kWatchErase)};
+    return b;
+}
+
+Benchmark
+makeHb4729()
+{
+    Benchmark b;
+    b.id = "HB-4729";
+    b.system = "mini-hbase";
+    b.workload = "enable table & expire server";
+    b.symptom = "System Master Crash";
+    b.error = "DE";
+    b.rootCause = "AV";
+    b.mechanisms = {true, false, true, true, true};
+    b.paper = {4, 1, 0, 5, 5, 0, 52, 6, 5, 3.5, 16.1, 36.8, 278, 19, 60};
+    b.build = [](sim::Simulation &sim) {
+        hb::install(sim, hb::Workload::EnableExpire4729);
+    };
+    b.buildModel = [] { return hb::buildModel(); };
+    b.knownBugPairs = {
+        detect::sitePair(hb::kEnableRemove, hb::kShutRemove),
+        detect::sitePair(hb::kEnableExists, hb::kShutRemove),
+        detect::sitePair(hb::kEnableRead, hb::kShutRemove)};
+    return b;
+}
+
+Benchmark
+makeMr3274()
+{
+    Benchmark b;
+    b.id = "MR-3274";
+    b.system = "mini-mapreduce";
+    b.workload = "startup + wordcount + cancel";
+    b.symptom = "Hang";
+    b.error = "DH";
+    b.rootCause = "OV";
+    b.mechanisms = {true, true, false, true, true};
+    b.paper = {2, 0, 4, 2, 0, 9, 53, 8, 6, 21.2, 94.4, 62.2, 341, 22, 839};
+    b.build = [](sim::Simulation &sim) {
+        mr::install(sim, mr::Workload::Hang3274);
+    };
+    b.buildModel = [] { return mr::buildModel(); };
+    b.knownBugPairs = {
+        detect::sitePair(mr::kGetTaskRead, mr::kUnregRemove)};
+    return b;
+}
+
+Benchmark
+makeMr4637()
+{
+    Benchmark b;
+    b.id = "MR-4637";
+    b.system = "mini-mapreduce";
+    b.workload = "startup + wordcount + kill";
+    b.symptom = "Job Master Crash";
+    b.error = "LE";
+    b.rootCause = "OV";
+    b.mechanisms = {true, true, false, true, true};
+    b.paper = {1, 2, 4, 1, 3, 9, 61, 8, 7, 11.7, 36.4, 51.5, 356, 18, 639};
+    b.build = [](sim::Simulation &sim) {
+        mr::install(sim, mr::Workload::Crash4637);
+    };
+    b.buildModel = [] { return mr::buildModel(); };
+    b.knownBugPairs = {
+        detect::sitePair(mr::kCommitRead, mr::kKillWrite)};
+    return b;
+}
+
+Benchmark
+makeZk1144()
+{
+    Benchmark b;
+    b.id = "ZK-1144";
+    b.system = "mini-zookeeper";
+    b.workload = "startup (leader election)";
+    b.symptom = "Service unavailable";
+    b.error = "LH";
+    b.rootCause = "OV";
+    b.mechanisms = {false, true, false, true, true};
+    b.paper = {5, 1, 1, 5, 1, 1, 29, 8, 7, 0.8, 3.6, 4.8, 25, 1.9, 6.9};
+    b.build = [](sim::Simulation &sim) {
+        zk::install(sim, zk::Workload::Election1144);
+    };
+    b.buildModel = [] { return zk::buildModel(); };
+    b.knownBugPairs = {
+        detect::sitePair(zk::kElectReadHighest, zk::kVoteWriteHighest)};
+    return b;
+}
+
+Benchmark
+makeZk1270()
+{
+    Benchmark b;
+    b.id = "ZK-1270";
+    b.system = "mini-zookeeper";
+    b.workload = "startup (epoch sync)";
+    b.symptom = "Service unavailable";
+    b.error = "LH";
+    b.rootCause = "OV";
+    b.mechanisms = {false, true, false, true, true};
+    b.paper = {6, 2, 0, 6, 2, 0, 25, 10, 8, 0.2, 1.1, 4.5, 15, 1.3, 25};
+    b.build = [](sim::Simulation &sim) {
+        zk::install(sim, zk::Workload::Epoch1270);
+    };
+    b.buildModel = [] { return zk::buildModel(); };
+    b.knownBugPairs = {
+        detect::sitePair(zk::kLeaderHasZk2, zk::kFollowerInfoPut),
+        detect::sitePair(zk::kLeaderHasZk3, zk::kFollowerInfoPut)};
+    return b;
+}
+
+std::vector<Benchmark>
+makeAll()
+{
+    std::vector<Benchmark> all;
+    all.push_back(makeCa1011());
+    all.push_back(makeHb4539());
+    all.push_back(makeHb4729());
+    all.push_back(makeMr3274());
+    all.push_back(makeMr4637());
+    all.push_back(makeZk1144());
+    all.push_back(makeZk1270());
+    return all;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &
+allBenchmarks()
+{
+    static const std::vector<Benchmark> all = makeAll();
+    return all;
+}
+
+const Benchmark &
+benchmark(const std::string &id)
+{
+    for (const Benchmark &b : allBenchmarks())
+        if (b.id == id)
+            return b;
+    throw std::out_of_range("no such benchmark: " + id);
+}
+
+} // namespace dcatch::apps

@@ -1,0 +1,193 @@
+#include "apps/cassandra/mini_cassandra.hh"
+
+#include <memory>
+
+#include "apps/common.hh"
+#include "runtime/shared.hh"
+
+namespace dcatch::apps::ca {
+
+using namespace dcatch::sim;
+
+namespace {
+
+/** Shared state of the mini Cassandra deployment (cass1 side). */
+struct State
+{
+    explicit State(Node &cass1)
+        : tokenMap(cass1, "tokenMap"),
+          schemaVersion(cass1, "schemaVersion", "v1"),
+          heartbeat(cass1, "heartbeat", 0),
+          hintCount(cass1, "hintCount", 0)
+    {
+    }
+
+    SharedMap<std::string, std::string> tokenMap;
+    SharedVar<std::string> schemaVersion;
+    SharedVar<int> heartbeat; ///< impact-free metrics race
+    SharedVar<int> hintCount;
+};
+
+void
+installCass1(Simulation &sim, Node &cass1, const std::shared_ptr<State> &st)
+{
+    // SEDA-style mutation stage: one single-consumer queue.
+    EventQueue &mutation_q = cass1.addEventQueue("mutationStage", 1);
+
+    mutation_q.on("mutate", [st](ThreadContext &ctx, const Event &) {
+        // Pick the backup replica for the bootstrapping endpoint.
+        auto token = st->tokenMap.get(ctx, kMutateReadToken, "cass2");
+        if (!token) {
+            ctx.fatalLog(kMutateBackupFail,
+                         "data backup failure: bootstrap replica "
+                         "unknown to coordinator");
+            return;
+        }
+        // Writes are stamped with the current schema; a coordinator
+        // still on the pre-bootstrap schema must reject the write
+        // (the second CA-1011 facet: both the token map and the
+        // schema must have converged before mutations are safe).
+        std::string schema =
+            st->schemaVersion.read(ctx, kMutateSchemaRead);
+        if (schema != "v2") {
+            ctx.fatalLog(kMutateSchemaFail,
+                         "mutation stamped with divergent schema");
+            return;
+        }
+        st->hintCount.write(ctx, kMutateHint, 1);
+        // Impact-free heartbeat bump racing the gossip handler's
+        // (fodder for static pruning).
+        st->heartbeat.write(ctx, "ca.mutate/heartbeat.write", 2);
+    });
+
+    cass1.registerVerb("gossip", [st](ThreadContext &ctx,
+                                      const Payload &msg) {
+        st->tokenMap.put(ctx, kGossipApplyToken, msg.get("endpoint"),
+                         msg.get("token"));
+        st->schemaVersion.write(ctx, kGossipSchema,
+                                msg.get("schema", "v1"));
+        st->heartbeat.write(ctx, kGossipHeartbeat, 1);
+    });
+
+    cass1.registerVerb("mutate", [](ThreadContext &ctx, const Payload &) {
+        ctx.node().queue("mutationStage").enqueue(ctx, kMutateEnq,
+                                                  "mutate");
+    });
+
+    // Schema checker: races with the gossip handler on schemaVersion,
+    // but a divergent version only causes a re-gossip request — the
+    // inconsistency is cured by the next round (benign by design; the
+    // model over-approximates the path to the fatal log, as static
+    // analysis does, so static pruning keeps it).
+    sim.spawn(nullptr, cass1, "cass1.schemaCheck",
+              [st](ThreadContext &ctx) {
+                  Frame f(ctx, "schemaCheck", ScopeKind::Message,
+                          "m:schemaCheck");
+                  ctx.pause(18);
+                  std::string v =
+                      st->schemaVersion.read(ctx, kSchemaCheckRead);
+                  if (v == "__impossible")
+                      ctx.fatalLog(kSchemaCheckFatal,
+                                   "schema permanently diverged");
+                  // A divergent version is benign: the next gossip
+                  // round re-converges it on its own.
+              });
+
+    // Ring watcher: while-loop custom synchronization on the token
+    // map (suppressed by the loop analysis, like the paper's
+    // intra-node while-loop synchronization).
+    sim.spawn(nullptr, cass1, "cass1.ringWatch",
+              [st](ThreadContext &ctx) {
+                  Frame f(ctx, "ringWatch", ScopeKind::Message,
+                          "m:ringWatch");
+                  bool seen = ctx.retryUntil(kRingWatchLoopExit, [&] {
+                      return st->tokenMap.contains(
+                          ctx, kRingWatchContains, "cass2");
+                  });
+                  if (!seen)
+                      ctx.fatalLog(kRingWatchFail,
+                                   "bootstrap token never appeared");
+              });
+}
+
+void
+installCass2(Simulation &sim, Node &cass2)
+{
+    // Bootstrap: announce the chosen token via gossip.
+    sim.spawn(nullptr, cass2, "cass2.bootstrap", [](ThreadContext &ctx) {
+        Frame f(ctx, "bootstrap", ScopeKind::Message, "m:bootstrap");
+        ctx.pause(6);
+        ctx.send(kBootstrapAnnounce, "cass1", "gossip",
+                 Payload{}
+                     .set("endpoint", "cass2")
+                     .set("token", "42")
+                     .set("schema", "v2"));
+    });
+}
+
+} // namespace
+
+void
+install(Simulation &sim)
+{
+    Node &cass1 = sim.addNode("cass1");
+    Node &cass2 = sim.addNode("cass2");
+    Node &client = sim.addNode("client");
+
+    auto st = std::make_shared<State>(cass1);
+    installCass1(sim, cass1, st);
+    installCass2(sim, cass2);
+    installBackgroundLoad(sim, cass1, 500);
+    installBackgroundLoad(sim, cass2, 400);
+    installBackgroundLoad(sim, client, 300);
+
+    // Client issues one mutation once the ring has normally settled.
+    sim.spawn(nullptr, client, "client.driver", [](ThreadContext &ctx) {
+        ctx.pause(45);
+        ctx.send(kClientMutate, "cass1", "mutate", Payload{});
+        ctx.pause(25);
+    });
+}
+
+model::ProgramModel
+buildModel()
+{
+    model::ModelBuilder b;
+
+    b.fn("cass1.gossipHandler")
+        .write(kGossipApplyToken, "map:cass1/tokenMap")
+        .write(kGossipSchema, "var:cass1/schemaVersion")
+        .write(kGossipHeartbeat, "var:cass1/heartbeat");
+
+    b.fn("cass1.mutationStage")
+        .read(kMutateReadToken, "map:cass1/tokenMap")
+        .failure(kMutateBackupFail, sim::FailureKind::FatalLog)
+        .dep(kMutateBackupFail, {kMutateReadToken})
+        .read(kMutateSchemaRead, "var:cass1/schemaVersion")
+        .failure(kMutateSchemaFail, sim::FailureKind::FatalLog)
+        .dep(kMutateSchemaFail, {kMutateSchemaRead})
+        .write(kMutateHint, "var:cass1/hintCount");
+
+    b.fn("cass1.mutateVerb").inst(kMutateEnq);
+
+    b.fn("cass1.schemaCheck")
+        .read(kSchemaCheckRead, "var:cass1/schemaVersion")
+        .failure(kSchemaCheckFatal, sim::FailureKind::FatalLog)
+        .dep(kSchemaCheckFatal, {kSchemaCheckRead})
+        ;
+
+    b.fn("cass1.ringWatch")
+        .read(kRingWatchContains, "map:cass1/tokenMap")
+        .loopExit(kRingWatchLoopExit)
+        .dep(kRingWatchLoopExit, {kRingWatchContains})
+        .failure(kRingWatchFail, sim::FailureKind::FatalLog)
+        .dep(kRingWatchFail, {kRingWatchLoopExit});
+
+    b.fn("cass2.bootstrap").inst(kBootstrapAnnounce);
+
+    b.fn("client.driver").inst(kClientMutate);
+
+    return b.build();
+}
+
+} // namespace dcatch::apps::ca

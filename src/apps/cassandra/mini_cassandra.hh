@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Mini Cassandra: a gossip-based ring (cass1 coordinator, cass2
+ * bootstrapping, client) over asynchronous socket messages plus a
+ * SEDA-style mutation stage, reproducing the concurrency structure of
+ * the paper's CA-1011 benchmark (startup -> data backup failure,
+ * atomicity violation).
+ *
+ * cass2 announces its token via gossip; cass1's gossip verb handler
+ * merges it into the token map.  A client mutation routed through
+ * cass1's mutation stage reads the token map to pick the backup
+ * replica — reading before the gossip merge loses the backup (a
+ * severe logged error).  A schema-version race is benign: the next
+ * gossip round re-converges it.  cass1's ring-watcher loop waits for
+ * the bootstrap token with while-loop custom synchronization that the
+ * loop analysis must recognise and suppress.
+ */
+
+#ifndef DCATCH_APPS_CASSANDRA_MINI_CASSANDRA_HH
+#define DCATCH_APPS_CASSANDRA_MINI_CASSANDRA_HH
+
+#include "model/program_model.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::apps::ca {
+
+/// @{ @name Static site ids
+inline constexpr const char *kGossipApplyToken =
+    "ca.gossip/tokenMap.put";
+inline constexpr const char *kGossipSchema =
+    "ca.gossip/schemaVersion.write";
+inline constexpr const char *kGossipHeartbeat =
+    "ca.gossip/heartbeat.write";
+inline constexpr const char *kMutateReadToken =
+    "ca.mutate/tokenMap.read";
+inline constexpr const char *kMutateBackupFail = "ca.mutate/backup.fail";
+inline constexpr const char *kMutateSchemaRead =
+    "ca.mutate/schema.read";
+inline constexpr const char *kMutateSchemaFail =
+    "ca.mutate/schema.fail";
+inline constexpr const char *kMutateHint = "ca.mutate/hint.write";
+inline constexpr const char *kMutateEnq = "ca.mutationVerb/enq";
+inline constexpr const char *kSchemaCheckRead =
+    "ca.schemaCheck/schema.read";
+inline constexpr const char *kSchemaCheckFatal =
+    "ca.schemaCheck/fatal";
+inline constexpr const char *kSchemaCheckRegossip =
+    "ca.schemaCheck/send.regossip";
+inline constexpr const char *kRingWatchContains =
+    "ca.ringWatch/tokenMap.contains";
+inline constexpr const char *kRingWatchLoopExit =
+    "ca.ringWatch/loop.exit";
+inline constexpr const char *kRingWatchFail = "ca.ringWatch/fatal";
+inline constexpr const char *kBootstrapAnnounce =
+    "ca.bootstrap/send.gossip";
+inline constexpr const char *kBootstrapHeartbeat =
+    "ca.bootstrap/heartbeat.write";
+inline constexpr const char *kClientMutate = "ca.client/send.mutate";
+/// @}
+
+/** Build the topology and workload drivers on @p sim. */
+void install(sim::Simulation &sim);
+
+/** The Cassandra program model. */
+model::ProgramModel buildModel();
+
+} // namespace dcatch::apps::ca
+
+#endif // DCATCH_APPS_CASSANDRA_MINI_CASSANDRA_HH

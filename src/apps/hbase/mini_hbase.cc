@@ -1,0 +1,352 @@
+#include "apps/hbase/mini_hbase.hh"
+
+#include <memory>
+
+#include "apps/common.hh"
+#include "runtime/shared.hh"
+
+namespace dcatch::apps::hb {
+
+using namespace dcatch::sim;
+
+namespace {
+
+constexpr const char *kUnassignedPath = "/hbase/unassigned/r1";
+constexpr const char *kRegionStatePrefix = "/hbase/region/";
+
+/** Shared state of the mini HBase deployment. */
+struct State
+{
+    explicit State(Node &master)
+        : regionsToOpen(master, "regionsToOpen"),
+          tableState(master, "tableState", "ENABLED"),
+          schemaVersion(master, "schemaVersion", "v1"),
+          hrsReady(master, "hrsReady", 0),
+          enableRequested(master, "enableRequested", 0),
+          regionMetrics(master, "regionMetrics", 0)
+    {
+    }
+
+    SharedMap<std::string, std::string> regionsToOpen;
+    SharedVar<std::string> tableState;
+    SharedVar<std::string> schemaVersion;
+    SharedVar<int> hrsReady;
+    SharedVar<int> enableRequested;
+    SharedVar<int> regionMetrics; ///< impact-free metrics race
+    bool hrsReadyPlain = false;
+};
+
+void
+installMaster(Simulation &sim, Node &master,
+              const std::shared_ptr<State> &st)
+{
+    // Two independent single-consumer executors, like the master's
+    // split/table handler pools: handlers across queues run
+    // concurrently, handlers within a queue are serialized.
+    EventQueue &split_q = master.addEventQueue("splitQ", 1);
+    EventQueue &table_q = master.addEventQueue("tableQ", 1);
+    EventQueue &shutdown_q = master.addEventQueue("shutdownQ", 1);
+
+    split_q.on("split", [st](ThreadContext &ctx, const Event &e) {
+        std::string region = e.payload.get("region", "r1a");
+        // Figure 3, step (1): add the daughter region...
+        st->regionsToOpen.put(ctx, kSplitPut, region, "OPENING");
+        // ... steps (2)-(3): ask the HRS to open it (synchronous RPC
+        // from the handler, standing in for the spawned thread t).
+        ctx.rpcCall(kSplitCallOpen, "HRS", "openRegion",
+                    Payload{}.set("region", region));
+        // Impact-free bookkeeping: concurrent with the watcher's
+        // counterpart (the RPC returned at enqueue time; the open
+        // continues asynchronously) — fodder for static pruning.
+        st->regionMetrics.write(ctx, "hb.master.split/metrics.write", 1);
+    });
+
+    table_q.on("alter", [st](ThreadContext &ctx, const Event &) {
+        bool busy = !st->regionsToOpen.empty(ctx, kAlterEmpty);
+        if (busy)
+            ctx.abortNode(kAlterAbort,
+                          "alter clashed with in-flight split");
+        st->schemaVersion.write(ctx, kAlterSchema, "v2");
+    });
+
+    table_q.on("enable", [st](ThreadContext &ctx, const Event &) {
+        Simulation &sim = ctx.sim();
+        // Ordered against the RPC handler's write through Rule-Eenq:
+        // a candidate only when event records are ablated (Table 9).
+        st->enableRequested.read(ctx, kEnableReqRead);
+        if (sim.coord().exists(ctx, kEnableExists, kUnassignedPath)) {
+            sim.coord().getData(ctx, kEnableRead, kUnassignedPath);
+            if (!sim.coord().remove(ctx, kEnableRemove, kUnassignedPath))
+                ctx.abortNode(kEnableAbort,
+                              "NoNode deleting unassigned znode");
+        }
+        st->tableState.write(ctx, kEnableState, "ENABLED");
+    });
+
+    shutdown_q.on("serverShutdown", [](ThreadContext &ctx, const Event &) {
+        // Best-effort cleanup of the dead server's unassigned znode;
+        // a failed delete is swallowed (the HB-4729 hazard).
+        ctx.sim().coord().remove(ctx, kShutRemove, kUnassignedPath);
+    });
+
+    // Assignment-manager watcher on the unassigned znodes: its read
+    // is ordered against the HRS's create through Rule-Mpush — a
+    // candidate only when push records are ablated (Table 9).
+    sim.coord().watch(master, "/hbase/unassigned/",
+                      [](ThreadContext &ctx,
+                         const CoordNotification &note) {
+                          if (note.change == CoordChange::Created)
+                              ctx.sim().coord().getData(
+                                  ctx, kWatchUnassignedRead, note.path);
+                      });
+
+    // Push notifications from the region-state znode (Figure 3 steps
+    // (6)-(8)): erase the opened region and enable the table when the
+    // open set drains.
+    sim.coord().watch(
+        master, kRegionStatePrefix,
+        [st](ThreadContext &ctx, const CoordNotification &note) {
+            if (note.data != "OPENED")
+                return;
+            std::string region =
+                note.path.substr(std::string(kRegionStatePrefix).size());
+            st->regionMetrics.write(ctx,
+                                    "hb.master.watch/metrics.write", 0);
+            st->regionsToOpen.erase(ctx, kWatchErase, region);
+            if (st->regionsToOpen.empty(ctx, kWatchEmpty))
+                st->tableState.write(ctx, kWatchEnable, "ENABLED");
+        });
+
+    master.registerRpc(
+        "splitTable", [](ThreadContext &ctx, const Payload &args) {
+            int regions = static_cast<int>(args.getInt("regions", 1));
+            for (int r = 0; r < regions; ++r)
+                ctx.node().queue("splitQ").enqueue(
+                    ctx, kSplitRpcEnq, "split",
+                    Payload{}.set("region",
+                                  "r1" +
+                                      std::string(1, static_cast<char>(
+                                                         'a' + r))));
+            return Payload{}.set("ok", "1");
+        });
+    master.registerRpc("alterTable",
+                       [](ThreadContext &ctx, const Payload &) {
+                           ctx.node().queue("tableQ").enqueue(
+                               ctx, kAlterRpcEnq, "alter");
+                           return Payload{}.set("ok", "1");
+                       });
+    master.registerRpc("enableTable",
+                       [st](ThreadContext &ctx, const Payload &) {
+                           st->enableRequested.write(ctx, kEnableReqWrite,
+                                                     1);
+                           ctx.node().queue("tableQ").enqueue(
+                               ctx, kEnableRpcEnq, "enable");
+                           return Payload{}.set("ok", "1");
+                       });
+    master.registerRpc("getSchema",
+                       [st](ThreadContext &ctx, const Payload &) {
+                           std::string v =
+                               st->schemaVersion.read(ctx, kGetSchemaRead);
+                           if (v == "__corrupt")
+                               ctx.throwUncaught(kGetSchemaThrow,
+                                                 "corrupt schema");
+                           return Payload{}.set("version", v);
+                       });
+
+    master.registerVerb("expireServer",
+                        [](ThreadContext &ctx, const Payload &) {
+                            ctx.node().queue("shutdownQ").enqueue(
+                                ctx, kExpireEnq, "serverShutdown");
+                        });
+
+    master.registerVerb("hrsRegister",
+                        [st](ThreadContext &ctx, const Payload &) {
+                            st->hrsReady.write(ctx, kHrsReadyWrite, 1);
+                            st->hrsReadyPlain = true;
+                        });
+
+    // Balancer thread: waits for HRS registration through an untraced
+    // flag, then reads the traced mirror — serial report by design.
+    sim.spawn(nullptr, master, "HMaster.balancer",
+              [st](ThreadContext &ctx) {
+                  ctx.blockUntil([st] { return st->hrsReadyPlain; });
+                  Frame f(ctx, "balancer", ScopeKind::Event, "e:balancer");
+                  if (st->hrsReady.read(ctx, kHrsReadyRead) != 1)
+                      ctx.throwUncaught(kHrsReadyThrow,
+                                        "balancer saw no region server");
+              });
+}
+
+void
+installHrs(Simulation &sim, Node &hrs, Workload workload)
+{
+    EventQueue &open_q = hrs.addEventQueue("openQ", 1);
+
+    open_q.on("open", [](ThreadContext &ctx, const Event &e) {
+        // Figure 3, steps (5)-(6): finish opening, publish the region
+        // state znode so the master's watcher fires.
+        ctx.sim().coord().create(
+            ctx, kOpenZkSet,
+            kRegionStatePrefix + e.payload.get("region", "r1a"),
+            "OPENED");
+    });
+
+    hrs.registerRpc("openRegion",
+                    [](ThreadContext &ctx, const Payload &args) {
+                        // Figure 3, step (4): queue a region-open event.
+                        ctx.node().queue("openQ").enqueue(
+                            ctx, kOpenEnq, "open",
+                            Payload{}.set("region",
+                                          args.get("region", "r1a")));
+                        return Payload{}.set("ok", "1");
+                    });
+
+    sim.spawn(nullptr, hrs, "HRS.startup",
+              [workload](ThreadContext &ctx) {
+                  Frame f(ctx, "hrsStartup", ScopeKind::Message,
+                          "m:hrs-startup");
+                  if (workload == Workload::EnableExpire4729)
+                      ctx.sim().coord().create(ctx, kHrsCreateUnassigned,
+                                               kUnassignedPath, "r1");
+                  ctx.send("hb.hrs.startup/send.register", "HMaster",
+                           "hrsRegister", Payload{});
+              });
+}
+
+} // namespace
+
+void
+install(Simulation &sim, Workload workload, int regions)
+{
+    Node &master = sim.addNode("HMaster");
+    Node &hrs = sim.addNode("HRS");
+    Node &client = sim.addNode("client");
+
+    auto st = std::make_shared<State>(master);
+    installMaster(sim, master, st);
+    installHrs(sim, hrs, workload);
+    // HB-4729's workload touches far more code in the real system
+    // than HB-4539's (paper Table 8: 60 MB vs. 26 MB full traces).
+    if (workload == Workload::EnableExpire4729) {
+        installBackgroundLoad(sim, master, 500);
+        installBackgroundLoad(sim, hrs, 400);
+        installBackgroundLoad(sim, client, 250);
+    } else {
+        installBackgroundLoad(sim, master, 200);
+        installBackgroundLoad(sim, hrs, 150);
+        installBackgroundLoad(sim, client, 100);
+    }
+
+    // A second client thread polls the schema concurrently with the
+    // admin operations (benign race against the alter handler).
+    if (workload == Workload::SplitAlter4539) {
+        sim.spawn(nullptr, client, "client.monitor",
+                  [](ThreadContext &ctx) {
+                      ctx.pause(30);
+                      ctx.rpcCall(kClientGetSchema, "HMaster", "getSchema",
+                                  Payload{});
+                      ctx.pause(55);
+                      ctx.rpcCall(kClientGetSchema, "HMaster", "getSchema",
+                                  Payload{});
+                  });
+    }
+
+    sim.spawn(nullptr, client, "client.driver",
+              [workload, regions](ThreadContext &ctx) {
+                  ctx.pause(15); // let HRS create znodes and register
+                  if (workload == Workload::SplitAlter4539) {
+                      ctx.rpcCall(kClientSplit, "HMaster", "splitTable",
+                                  Payload{}.setInt("regions", regions));
+                      ctx.pause(60 + 25 * regions); // splits complete
+                      ctx.rpcCall(kClientAlter, "HMaster", "alterTable",
+                                  Payload{});
+                      ctx.pause(30);
+                  } else {
+                      ctx.rpcCall(kClientEnable, "HMaster", "enableTable",
+                                  Payload{});
+                      ctx.pause(40); // enable normally completes
+                      ctx.send(kClientExpire, "HMaster", "expireServer",
+                               Payload{});
+                      ctx.pause(40);
+                  }
+              });
+}
+
+model::ProgramModel
+buildModel()
+{
+    model::ModelBuilder b;
+
+    b.fn("HMaster.split")
+        .write(kSplitPut, "map:HMaster/regionsToOpen")
+        .rpcCall(kSplitCallOpen, "HRS.openRegion");
+
+    b.fn("HMaster.alter")
+        .read(kAlterEmpty, "map:HMaster/regionsToOpen")
+        .failure(kAlterAbort, sim::FailureKind::Abort)
+        .dep(kAlterAbort, {kAlterEmpty})
+        .write(kAlterSchema, "var:HMaster/schemaVersion");
+
+    b.fn("HMaster.enable")
+        .read(kEnableReqRead, "var:HMaster/enableRequested")
+        .read(kEnableExists, "znode:/hbase/unassigned/r1")
+        .read(kEnableRead, "znode:/hbase/unassigned/r1")
+        .write(kEnableRemove, "znode:/hbase/unassigned/r1")
+        .failure(kEnableAbort, sim::FailureKind::Abort)
+        .dep(kEnableRead, {kEnableExists})
+        .dep(kEnableRemove, {kEnableExists})
+        .dep(kEnableAbort, {kEnableRemove, kEnableExists, kEnableRead})
+        .write(kEnableState, "var:HMaster/tableState");
+
+    b.fn("HMaster.serverShutdown")
+        .write(kShutRemove, "znode:/hbase/unassigned/r1");
+
+    b.fn("HMaster.watchUnassigned")
+        .read(kWatchUnassignedRead, "znode:/hbase/unassigned/r1");
+
+    b.fn("HMaster.watchRegionState")
+        .write(kWatchErase, "map:HMaster/regionsToOpen")
+        .read(kWatchEmpty, "map:HMaster/regionsToOpen")
+        .write(kWatchEnable, "var:HMaster/tableState")
+        .dep(kWatchEnable, {kWatchEmpty});
+
+    b.fn("HMaster.splitTable").rpc().inst(kSplitRpcEnq);
+    b.fn("HMaster.alterTable").rpc().inst(kAlterRpcEnq);
+    b.fn("HMaster.enableTable")
+        .rpc()
+        .write(kEnableReqWrite, "var:HMaster/enableRequested")
+        .inst(kEnableRpcEnq);
+
+    b.fn("HMaster.getSchema")
+        .rpc()
+        .read(kGetSchemaRead, "var:HMaster/schemaVersion")
+        .failure(kGetSchemaThrow, sim::FailureKind::UncaughtException)
+        .dep(kGetSchemaThrow, {kGetSchemaRead})
+        .returns({kGetSchemaRead});
+
+    b.fn("HMaster.expireServer").inst(kExpireEnq);
+    b.fn("HMaster.hrsRegister")
+        .write(kHrsReadyWrite, "var:HMaster/hrsReady");
+
+    b.fn("HMaster.balancer")
+        .read(kHrsReadyRead, "var:HMaster/hrsReady")
+        .failure(kHrsReadyThrow, sim::FailureKind::UncaughtException)
+        .dep(kHrsReadyThrow, {kHrsReadyRead});
+
+    b.fn("HRS.openRegion").rpc().inst(kOpenEnq);
+    b.fn("HRS.open").write(kOpenZkSet, "znode:/hbase/region/r1a");
+    b.fn("HRS.startup")
+        .write(kHrsCreateUnassigned, "znode:/hbase/unassigned/r1");
+
+
+    b.fn("client.driver")
+        .rpcCall(kClientSplit, "HMaster.splitTable")
+        .rpcCall(kClientAlter, "HMaster.alterTable")
+        .rpcCall(kClientEnable, "HMaster.enableTable")
+        .rpcCall(kClientGetSchema, "HMaster.getSchema")
+        .inst(kClientExpire);
+
+    return b.build();
+}
+
+} // namespace dcatch::apps::hb

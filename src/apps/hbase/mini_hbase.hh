@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Mini HBase: HMaster / HRegionServer (HRS) / client over the
+ * framework's ZooKeeper-like coordination service, reproducing the
+ * concurrency structure of the paper's two HBase benchmarks.
+ *
+ * HB-4539 (split table & alter table -> system master crash, OV):
+ * the split handler adds daughter regions to the master's
+ * regionsToOpen list and drives HRS region opening through an RPC,
+ * an HRS event, a znode update, and a push notification back to the
+ * master (exactly the Figure 3 chain — those accesses are ORDERED
+ * and must not be reported).  The alter-table handler concurrently
+ * reads regionsToOpen.isEmpty(); seeing a mid-split state kills the
+ * master.
+ *
+ * HB-4729 (enable table & expire server -> system master crash, AV):
+ * the server-shutdown handler best-effort deletes the region's
+ * unassigned znode concurrently with the enable-table handler's
+ * read-then-delete of the same znode; a delete sneaking between the
+ * read and the delete makes the enable handler's delete fail and the
+ * master aborts.
+ */
+
+#ifndef DCATCH_APPS_HBASE_MINI_HBASE_HH
+#define DCATCH_APPS_HBASE_MINI_HBASE_HH
+
+#include "model/program_model.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::apps::hb {
+
+/// @{ @name Static site ids
+// --- HB-4539 (split & alter) ---
+inline constexpr const char *kSplitPut = "hb.master.split/regions.put";
+inline constexpr const char *kSplitCallOpen = "hb.master.split/call.open";
+inline constexpr const char *kOpenEnq = "hb.hrs.openRegion/enq.open";
+inline constexpr const char *kOpenZkSet = "hb.hrs.open/zk.setOpened";
+inline constexpr const char *kWatchErase = "hb.master.watch/regions.erase";
+inline constexpr const char *kWatchEmpty = "hb.master.watch/regions.empty";
+inline constexpr const char *kWatchEnable = "hb.master.watch/state.write";
+inline constexpr const char *kAlterEmpty = "hb.master.alter/regions.empty";
+inline constexpr const char *kAlterAbort = "hb.master.alter/abort";
+inline constexpr const char *kAlterSchema = "hb.master.alter/schema.write";
+inline constexpr const char *kGetSchemaRead = "hb.master.getSchema/read";
+inline constexpr const char *kGetSchemaThrow = "hb.master.getSchema/throw";
+inline constexpr const char *kSplitRpcEnq = "hb.master.splitTable/enq";
+inline constexpr const char *kAlterRpcEnq = "hb.master.alterTable/enq";
+// --- HB-4729 (enable & expire) ---
+inline constexpr const char *kHrsCreateUnassigned =
+    "hb.hrs.startup/zk.createUnassigned";
+inline constexpr const char *kEnableExists = "hb.master.enable/zk.exists";
+inline constexpr const char *kEnableRead = "hb.master.enable/zk.getData";
+inline constexpr const char *kEnableRemove = "hb.master.enable/zk.delete";
+inline constexpr const char *kEnableAbort = "hb.master.enable/abort";
+inline constexpr const char *kEnableState = "hb.master.enable/state.write";
+inline constexpr const char *kShutRemove = "hb.master.shutdown/zk.delete";
+inline constexpr const char *kEnableRpcEnq = "hb.master.enableTable/enq";
+inline constexpr const char *kEnableReqWrite =
+    "hb.master.enableTable/req.write";
+inline constexpr const char *kEnableReqRead =
+    "hb.master.enable/req.read";
+inline constexpr const char *kWatchUnassignedRead =
+    "hb.master.watchUnassigned/zk.getData";
+inline constexpr const char *kExpireEnq = "hb.master.expire/enq.shutdown";
+// --- shared ---
+inline constexpr const char *kHrsReadyWrite =
+    "hb.master.hrsRegister/ready.write";
+inline constexpr const char *kHrsReadyRead =
+    "hb.master.balancer/ready.read";
+inline constexpr const char *kHrsReadyThrow =
+    "hb.master.balancer/throw";
+inline constexpr const char *kClientSplit = "hb.client/call.split";
+inline constexpr const char *kClientAlter = "hb.client/call.alter";
+inline constexpr const char *kClientEnable = "hb.client/call.enable";
+inline constexpr const char *kClientExpire = "hb.client/send.expire";
+inline constexpr const char *kClientGetSchema =
+    "hb.client/call.getSchema";
+/// @}
+
+/** Which HBase workload to drive. */
+enum class Workload {
+    SplitAlter4539,   ///< split table & alter table
+    EnableExpire4729, ///< enable table & expire server
+};
+
+/**
+ * Build the topology and workload drivers on @p sim.
+ * @param regions number of regions the split workload divides
+ *        (HB-4539 only); scaling it grows the Figure 3 chain count
+ *        without changing the bugs — used by the scalability bench
+ */
+void install(sim::Simulation &sim, Workload workload, int regions = 1);
+
+/** The HBase program model (shared by both workloads). */
+model::ProgramModel buildModel();
+
+} // namespace dcatch::apps::hb
+
+#endif // DCATCH_APPS_HBASE_MINI_HBASE_HH

@@ -1,0 +1,363 @@
+#include "apps/mapreduce/mini_mr.hh"
+
+#include <memory>
+
+#include "apps/common.hh"
+#include "runtime/shared.hh"
+
+namespace dcatch::apps::mr {
+
+using namespace dcatch::sim;
+
+namespace {
+
+/** Shared state of the mini MapReduce deployment.  Kept alive by the
+ *  handler closures that capture the shared_ptr. */
+struct State
+{
+    State(Node &am, Node &nm)
+        : jMap(am, "jMap"),
+          fetchCount(am, "fetchCount", 0),
+          outputPath(am, "outputPath", ""),
+          jobStatus(am, "jobStatus", "NEW"),
+          nmReady(am, "nmReady", 0),
+          statusPolls(am, "statusPolls", 0),
+          nmNode(&nm)
+    {
+    }
+
+    SharedMap<std::string, std::string> jMap;
+    SharedVar<int> fetchCount;          ///< impact-free metrics
+    SharedVar<std::string> outputPath;  ///< MR-4637 race target
+    SharedVar<std::string> jobStatus;   ///< benign race target
+    SharedVar<int> nmReady;             ///< serial (untraced-sync) pair
+    std::unique_ptr<SharedMap<std::string, std::string>> nmLiveness;
+    std::unique_ptr<SharedVar<int>> allocCount;
+    SharedVar<int> statusPolls;         ///< impact-free metrics (both
+                                        ///< workloads)
+    bool nmReadyPlain = false;          ///< untraced fast-path flag
+    Node *nmNode;
+};
+
+/** AM-side registrations. */
+void
+installAm(Simulation &sim, Node &am, const std::shared_ptr<State> &st)
+{
+    EventQueue &dispatch = am.addEventQueue("dispatch", 1);
+
+    dispatch.on("register", [st](ThreadContext &ctx, const Event &e) {
+        st->jMap.put(ctx, kRegPut, e.payload.get("jid"), "task-data");
+    });
+
+    dispatch.on("unregister", [st](ThreadContext &ctx, const Event &e) {
+        st->jMap.erase(ctx, kUnregRemove, e.payload.get("jid"));
+        st->fetchCount.write(ctx, kUnregReset, 0);
+    });
+
+    dispatch.on("commit", [st](ThreadContext &ctx, const Event &) {
+        std::string out = st->outputPath.read(ctx, kCommitRead);
+        if (out.empty())
+            ctx.throwUncaught(kCommitThrow,
+                              "commit after output path cleared");
+        st->jobStatus.write(ctx, kCommitStatus, "COMMITTED");
+    });
+
+    // The Figure 4 allocation flow: register the task data, then ask
+    // the RM for a container, then launch it on the NM.
+    dispatch.on("allocate", [st](ThreadContext &ctx, const Event &e) {
+        std::string jid = e.payload.get("jid");
+        Payload reply = ctx.rpcCall(kAmCallAllocate, "RM",
+                                    "allocateContainer",
+                                    Payload{}.set("jid", jid));
+        ctx.send(kSubmitLaunch, st->nmNode->name(), "launch",
+                 Payload{}
+                     .set("jid", jid)
+                     .set("container", reply.get("container")));
+    });
+
+    am.registerRpc("submitJob",
+                   [st](ThreadContext &ctx, const Payload &args) {
+                       std::string jid = args.get("jid");
+                       st->outputPath.write(ctx, kSubmitOutWrite,
+                                            "/out/" + jid);
+                       // Allocation races the registration (the
+                       // Figure 1 "(1) Assign Task" path): the NM's
+                       // retrieval may reach jMap before the register
+                       // handler has populated it — exactly what the
+                       // retry loop of Figure 2 tolerates.
+                       ctx.node().queue("dispatch").enqueue(
+                           ctx, kSubmitEnqAlloc, "allocate",
+                           Payload{}.set("jid", jid));
+                       ctx.node().queue("dispatch").enqueue(
+                           ctx, kSubmitEnq, "register",
+                           Payload{}.set("jid", jid));
+                       return Payload{}.set("ok", "1");
+                   });
+
+    am.registerRpc("getTask",
+                   [st](ThreadContext &ctx, const Payload &args) {
+                       st->fetchCount.write(ctx, kGetTaskCount, 1);
+                       auto task = st->jMap.get(ctx, kGetTaskRead,
+                                                args.get("jid"));
+                       return Payload{}.set("task", task.value_or(""));
+                   });
+
+    am.registerRpc("cancelJob",
+                   [st](ThreadContext &ctx, const Payload &args) {
+                       ctx.node().queue("dispatch").enqueue(
+                           ctx, kCancelEnq, "unregister",
+                           Payload{}.set("jid", args.get("jid")));
+                       return Payload{}.set("ok", "1");
+                   });
+
+    am.registerRpc("taskDone",
+                   [st](ThreadContext &ctx, const Payload &args) {
+                       st->jobStatus.write(ctx, kTaskDoneStatus,
+                                           "SUCCEEDED");
+                       st->statusPolls.write(ctx, kTaskDoneMetric, 0);
+                       ctx.node().queue("dispatch").enqueue(
+                           ctx, kTaskDoneEnqCommit, "commit",
+                           Payload{}.set("jid", args.get("jid")));
+                       return Payload{};
+                   });
+
+    am.registerRpc("getStatus",
+                   [st](ThreadContext &ctx, const Payload &) {
+                       st->statusPolls.write(ctx, kStatusPollMetric, 1);
+                       std::string s = st->jobStatus.read(ctx, kStatusRead);
+                       if (s == "__corrupt")
+                           ctx.throwUncaught(kStatusThrow,
+                                             "corrupt job status");
+                       return Payload{}.set("status", s);
+                   });
+
+    am.registerVerb("nmRegister",
+                    [st](ThreadContext &ctx, const Payload &) {
+                        st->nmReady.write(ctx, kNmReadyWrite, 1);
+                        st->nmReadyPlain = true;
+                    });
+
+    // Assigner thread: waits for NM registration through an untraced
+    // fast-path flag (synchronization DCatch's HB model cannot see),
+    // then reads the traced mirror — a "serial" report by design.
+    sim.spawn(nullptr, am, "AM.assigner", [st](ThreadContext &ctx) {
+        ctx.blockUntil([st] { return st->nmReadyPlain; });
+        Frame f(ctx, "assigner", ScopeKind::Event, "e:assigner");
+        if (st->nmReady.read(ctx, kNmReadyRead) != 1)
+            ctx.throwUncaught(kNmReadyThrow, "assigner saw unready NM");
+    });
+}
+
+/** RM-side registrations (Figure 4's Resource Manager). */
+void
+installRm(Simulation &sim, Node &rm, const std::shared_ptr<State> &st)
+{
+    st->nmLiveness =
+        std::make_unique<SharedMap<std::string, std::string>>(
+            rm, "nmLiveness");
+    st->allocCount = std::make_unique<SharedVar<int>>(rm, "allocCount",
+                                                      0);
+
+    rm.registerRpc(
+        "allocateContainer",
+        [st](ThreadContext &ctx, const Payload &args) {
+            // Benign race against the heartbeat handler: a missing
+            // liveness entry only degrades placement, the allocation
+            // proceeds either way (but static analysis conservatively
+            // sees a path to the fatal log below).
+            auto alive =
+                st->nmLiveness->get(ctx, kRmAllocRead, "NM");
+            if (alive && *alive == "__zombie")
+                ctx.fatalLog(kRmAllocFatal,
+                             "allocated container on a zombie NM");
+            st->allocCount->write(ctx, kRmAllocCount, 1);
+            return Payload{}.set("container",
+                                 "c-" + args.get("jid"));
+        });
+
+    rm.registerVerb("nmHeartbeat",
+                    [st](ThreadContext &ctx, const Payload &msg) {
+                        st->nmLiveness->put(ctx, kRmHbWrite,
+                                            msg.get("from", "NM"),
+                                            "alive");
+                    });
+    (void)sim;
+}
+
+/** NM-side registrations. */
+void
+installNm(Simulation &sim, Node &nm, const std::shared_ptr<State> &st)
+{
+    (void)st;
+    nm.registerVerb("launch", [](ThreadContext &ctx, const Payload &msg) {
+        std::string jid = msg.get("jid");
+        // One container thread per launched task (Rule-Tfork edge).
+        ctx.sim().spawn(
+            &ctx, ctx.node(), "NM.container-" + jid,
+            [jid](ThreadContext &tctx) {
+                std::string task;
+                bool got = tctx.retryUntil(kTaskLoopExit, [&] {
+                    Payload reply = tctx.rpcCall(kNmCallGetTask, "AM",
+                                                 "getTask",
+                                                 Payload{}.set("jid", jid));
+                    task = reply.get("task");
+                    return !task.empty();
+                });
+                if (!got)
+                    return; // hung (LoopHang already recorded)
+                tctx.pause(2); // "run" the task
+                tctx.rpcCall(kNmCallDone, "AM", "taskDone",
+                             Payload{}.set("jid", jid));
+            },
+            /*daemon=*/false, "mr.nm.launch/spawn.container");
+    });
+
+    // NM startup: register with the AM, heartbeat the RM.
+    sim.spawn(nullptr, nm, "NM.startup", [](ThreadContext &ctx) {
+        ctx.send("mr.nm.startup/send.register", "AM", "nmRegister",
+                 Payload{});
+        for (int round = 0; round < 3; ++round) {
+            ctx.send(kNmHbSend, "RM", "nmHeartbeat",
+                     Payload{}.set("from", "NM"));
+            ctx.pause(12);
+        }
+    });
+}
+
+} // namespace
+
+void
+install(Simulation &sim, Workload workload, int jobs)
+{
+    Node &am = sim.addNode("AM");
+    Node &nm = sim.addNode("NM");
+    Node &rm = sim.addNode("RM");
+    Node &client = sim.addNode("client");
+
+    auto st = std::make_shared<State>(am, nm);
+    installAm(sim, am, st);
+    installNm(sim, nm, st);
+    installRm(sim, rm, st);
+    installBackgroundLoad(sim, am, 700);
+    installBackgroundLoad(sim, nm, 500);
+    installBackgroundLoad(sim, rm, 200);
+    installBackgroundLoad(sim, client, 400);
+
+    sim.spawn(nullptr, client, "client.driver",
+              [workload, jobs](ThreadContext &ctx) {
+                  ctx.pause(5); // let services settle
+                  for (int j = 1; j <= jobs; ++j)
+                      ctx.rpcCall(kClientSubmit, "AM", "submitJob",
+                                  Payload{}.set("jid",
+                                                "j" + std::to_string(j)));
+                  if (workload == Workload::Hang3274) {
+                      ctx.pause(60); // tasks normally fetched by now
+                      ctx.rpcCall(kClientStatus, "AM", "getStatus",
+                                  Payload{});
+                      ctx.rpcCall(kClientCancel, "AM", "cancelJob",
+                                  Payload{}.set("jid", "j1"));
+                      ctx.pause(30 + 10 * jobs);
+                  } else {
+                      ctx.pause(90 + 10 * jobs); // commits normally done
+                      ctx.rpcCall(kClientStatus, "AM", "getStatus",
+                                  Payload{});
+                      ctx.rpcCall(kClientKill, "AM", "killJob",
+                                  Payload{}.set("jid", "j1"));
+                      ctx.pause(20);
+                  }
+              });
+
+    if (workload == Workload::Crash4637) {
+        am.registerRpc("killJob",
+                       [st](ThreadContext &ctx, const Payload &) {
+                           st->outputPath.write(ctx, kKillWrite, "");
+                           return Payload{}.set("ok", "1");
+                       });
+    }
+}
+
+model::ProgramModel
+buildModel()
+{
+    model::ModelBuilder b;
+
+    b.fn("AM.submitJob")
+        .rpc()
+        .write(kSubmitOutWrite, "var:AM/outputPath")
+        .inst(kSubmitEnq)
+        .inst(kSubmitEnqAlloc);
+
+    b.fn("AM.register").write(kRegPut, "map:AM/jMap");
+
+    b.fn("AM.unregister")
+        .write(kUnregRemove, "map:AM/jMap")
+        .write(kUnregReset, "var:AM/fetchCount");
+
+    // getTask: the jMap read feeds the RPC's return value; the NM
+    // container's loop exit depends on the call (distributed impact +
+    // pull-protocol shape).
+    b.fn("AM.getTask")
+        .rpc()
+        .write(kGetTaskCount, "var:AM/fetchCount")
+        .read(kGetTaskRead, "map:AM/jMap")
+        .returns({kGetTaskRead});
+
+    b.fn("AM.cancelJob").rpc().inst(kCancelEnq);
+
+    b.fn("AM.taskDone")
+        .rpc()
+        .write(kTaskDoneStatus, "var:AM/jobStatus")
+        .inst(kTaskDoneEnqCommit);
+
+    b.fn("AM.commit")
+        .read(kCommitRead, "var:AM/outputPath")
+        .failure(kCommitThrow, sim::FailureKind::UncaughtException)
+        .dep(kCommitThrow, {kCommitRead})
+        .write(kCommitStatus, "var:AM/jobStatus");
+
+    b.fn("AM.killJob").rpc().write(kKillWrite, "var:AM/outputPath");
+
+    b.fn("AM.getStatus")
+        .rpc()
+        .read(kStatusRead, "var:AM/jobStatus")
+        .failure(kStatusThrow, sim::FailureKind::UncaughtException)
+        .dep(kStatusThrow, {kStatusRead})
+        .returns({kStatusRead});
+
+    b.fn("AM.nmRegister").write(kNmReadyWrite, "var:AM/nmReady");
+
+    b.fn("AM.allocate")
+        .rpcCall(kAmCallAllocate, "RM.allocateContainer")
+        .inst(kSubmitLaunch)
+        .dep(kSubmitLaunch, {kAmCallAllocate});
+
+    b.fn("RM.allocateContainer")
+        .rpc()
+        .read(kRmAllocRead, "map:RM/nmLiveness")
+        .failure(kRmAllocFatal, sim::FailureKind::FatalLog)
+        .dep(kRmAllocFatal, {kRmAllocRead})
+        .write(kRmAllocCount, "var:RM/allocCount");
+
+    b.fn("RM.nmHeartbeat").write(kRmHbWrite, "map:RM/nmLiveness");
+
+    b.fn("AM.assigner")
+        .read(kNmReadyRead, "var:AM/nmReady")
+        .failure(kNmReadyThrow, sim::FailureKind::UncaughtException)
+        .dep(kNmReadyThrow, {kNmReadyRead});
+
+    b.fn("NM.container")
+        .rpcCall(kNmCallGetTask, "AM.getTask")
+        .loopExit(kTaskLoopExit)
+        .dep(kTaskLoopExit, {kNmCallGetTask})
+        .call(kNmCallDone, "AM.taskDone");
+
+    b.fn("client.driver")
+        .rpcCall(kClientSubmit, "AM.submitJob")
+        .rpcCall(kClientStatus, "AM.getStatus")
+        .rpcCall(kClientCancel, "AM.cancelJob")
+        .rpcCall(kClientKill, "AM.killJob");
+
+    return b.build();
+}
+
+} // namespace dcatch::apps::mr

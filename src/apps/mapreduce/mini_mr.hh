@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Mini Hadoop MapReduce: client / Application Master (AM) / Node
+ * Manager (NM), reproducing the concurrency structure of the paper's
+ * two MapReduce benchmarks.
+ *
+ * MR-3274 (Figures 1 and 2 of the paper): the AM registers task data
+ * in jMap via a "register" event; the NM container polls the
+ * getTask RPC in a retry loop; a client cancel enqueues "unregister",
+ * whose jMap.remove may land between the assignment and the NM's
+ * retrieval — getTask then returns null forever and the NM container
+ * hangs (distributed hang, order violation).
+ *
+ * MR-4637: a client killJob RPC clears the job's output path
+ * concurrently with the commit event handler reading it; committing
+ * after the kill crashes the job master with an uncaught exception
+ * (local explicit error, order violation).
+ *
+ * The app also embeds, deliberately:
+ *  - the benign pull-synchronized pair (jMap.put vs. getTask's read)
+ *    that loop-analysis must suppress,
+ *  - an impact-free metrics race that static pruning must remove,
+ *  - an untraced-synchronization pair (NM registration) that yields a
+ *    "serial" report, like ZooKeeper's waitForEpoch in the paper,
+ *  - a benign jobStatus race that survives static pruning (the model
+ *    over-approximates, as static analysis does) but fails in
+ *    neither order when triggered.
+ */
+
+#ifndef DCATCH_APPS_MAPREDUCE_MINI_MR_HH
+#define DCATCH_APPS_MAPREDUCE_MINI_MR_HH
+
+#include "model/program_model.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::apps::mr {
+
+/// @{ @name Static site ids (shared between code, model, and traces)
+inline constexpr const char *kSubmitOutWrite = "mr.am.submit/out.write";
+inline constexpr const char *kSubmitEnq = "mr.am.submit/enq.register";
+inline constexpr const char *kSubmitEnqAlloc = "mr.am.submit/enq.allocate";
+inline constexpr const char *kAmCallAllocate =
+    "mr.am.allocate/call.allocateContainer";
+inline constexpr const char *kSubmitLaunch = "mr.am.allocate/send.launch";
+inline constexpr const char *kRmAllocRead =
+    "mr.rm.allocateContainer/liveness.read";
+inline constexpr const char *kRmAllocCount =
+    "mr.rm.allocateContainer/count.write";
+inline constexpr const char *kRmAllocFatal =
+    "mr.rm.allocateContainer/fatal";
+inline constexpr const char *kRmHbWrite =
+    "mr.rm.nmHeartbeat/liveness.write";
+inline constexpr const char *kNmHbSend = "mr.nm.startup/send.heartbeat";
+inline constexpr const char *kRegPut = "mr.am.register/jmap.put";
+inline constexpr const char *kUnregRemove = "mr.am.unregister/jmap.remove";
+inline constexpr const char *kUnregReset = "mr.am.unregister/fetch.reset";
+inline constexpr const char *kGetTaskRead = "mr.am.getTask/jmap.read";
+inline constexpr const char *kGetTaskCount = "mr.am.getTask/fetch.incr";
+inline constexpr const char *kCancelEnq = "mr.am.cancel/enq.unregister";
+inline constexpr const char *kTaskDoneStatus = "mr.am.taskDone/status.write";
+inline constexpr const char *kTaskDoneEnqCommit = "mr.am.taskDone/enq.commit";
+inline constexpr const char *kCommitRead = "mr.am.commit/out.read";
+inline constexpr const char *kCommitThrow = "mr.am.commit/throw";
+inline constexpr const char *kCommitStatus = "mr.am.commit/status.write";
+inline constexpr const char *kKillWrite = "mr.am.kill/out.clear";
+inline constexpr const char *kStatusRead = "mr.am.getStatus/status.read";
+inline constexpr const char *kStatusPollMetric =
+    "mr.am.getStatus/polls.write";
+inline constexpr const char *kTaskDoneMetric =
+    "mr.am.taskDone/polls.write";
+inline constexpr const char *kStatusThrow = "mr.am.getStatus/throw";
+inline constexpr const char *kNmReadyWrite = "mr.am.nmRegister/ready.write";
+inline constexpr const char *kNmReadyRead = "mr.am.assigner/ready.read";
+inline constexpr const char *kNmReadyThrow = "mr.am.assigner/throw";
+inline constexpr const char *kNmCallGetTask = "mr.nm.container/call.getTask";
+inline constexpr const char *kTaskLoopExit = "mr.nm.container/taskloop.exit";
+inline constexpr const char *kNmCallDone = "mr.nm.container/call.taskDone";
+inline constexpr const char *kClientSubmit = "mr.client/call.submit";
+inline constexpr const char *kClientCancel = "mr.client/call.cancel";
+inline constexpr const char *kClientKill = "mr.client/call.kill";
+inline constexpr const char *kClientStatus = "mr.client/call.getStatus";
+/// @}
+
+/** Which of the two MapReduce workloads to drive. */
+enum class Workload {
+    Hang3274,  ///< startup + wordcount + cancel (Figure 1 bug)
+    Crash4637, ///< startup + wordcount + kill
+};
+
+/**
+ * Build the topology and workload drivers on @p sim.  The deployment
+ * follows the paper's Figure 4: an Application Master (AM), a Node
+ * Manager (NM), and a Resource Manager (RM); the AM allocates a
+ * container from the RM before launching the task on the NM, the NM
+ * heartbeats the RM, and each node mixes RPC worker threads, event
+ * queues with handler pools, and regular threads.
+ * @param jobs number of jobs the client submits (wordcount tasks);
+ *        the race-relevant cancel/kill always targets job "j1", so
+ *        scaling @p jobs grows the trace without changing the bugs —
+ *        used by the scalability bench
+ */
+void install(sim::Simulation &sim, Workload workload, int jobs = 1);
+
+/** The MapReduce program model (shared by both workloads). */
+model::ProgramModel buildModel();
+
+} // namespace dcatch::apps::mr
+
+#endif // DCATCH_APPS_MAPREDUCE_MINI_MR_HH

@@ -1,0 +1,222 @@
+#include "apps/zookeeper/mini_zk.hh"
+
+#include <memory>
+
+#include "apps/common.hh"
+#include "runtime/shared.hh"
+
+namespace dcatch::apps::zk {
+
+using namespace dcatch::sim;
+
+namespace {
+
+/** Shared state of the ensemble (all interesting races live on zk1). */
+struct State
+{
+    explicit State(Node &zk1)
+        : highestZxid(zk1, "highestZxid", 5),
+          tally(zk1, "tally"),
+          epochs(zk1, "epochs"),
+          acks(zk1, "acks", 0)
+    {
+    }
+
+    SharedVar<int> highestZxid;
+    SharedMap<std::string, std::string> tally; ///< zxid -> vote count
+    SharedMap<std::string, std::string> epochs; ///< follower -> epoch
+    SharedVar<int> acks;
+};
+
+void
+installElection(Simulation &sim, Node &zk1, Node &zk2, Node &zk3,
+                const std::shared_ptr<State> &st)
+{
+    // Vote receipt on zk1: adopt higher zxids and tally the vote.
+    zk1.registerVerb("vote", [st](ThreadContext &ctx, const Payload &msg) {
+        int zxid = static_cast<int>(msg.getInt("zxid"));
+        int cur = st->highestZxid.read(ctx, kVoteReadHighest);
+        if (zxid > cur)
+            st->highestZxid.write(ctx, kVoteWriteHighest, zxid);
+        std::string key = std::to_string(zxid);
+        int count = 0;
+        if (auto prev = st->tally.get(ctx, kVoteTallyGet, key))
+            count = std::stoi(*prev);
+        st->tally.put(ctx, kVoteTallyPut, key, std::to_string(count + 1));
+    });
+
+    // Peers: upon zk1's broadcast, answer with their own (newer) vote.
+    auto peer_vote = [](ThreadContext &ctx, const Payload &) {
+        ctx.send(kPeerVoteSend, "zk1", "vote",
+                 Payload{}.setInt("zxid", 7));
+    };
+    zk2.registerVerb("vote", peer_vote);
+    zk3.registerVerb("vote", peer_vote);
+
+    // zk1's election thread.  The whole FastLeaderElection logic
+    // conducts socket operations, so it is in the tracer's scope
+    // (section 3.1.1: socket functions and their callees).
+    sim.spawn(nullptr, zk1, "zk1.election", [st](ThreadContext &ctx) {
+        Frame f(ctx, "electLoop", ScopeKind::Message, "m:elect");
+        st->highestZxid.write(ctx, kElectWriteOwn, 5);
+        ctx.send(kElectSend, "zk2", "vote", Payload{}.setInt("zxid", 5));
+        ctx.send(kElectSend, "zk3", "vote", Payload{}.setInt("zxid", 5));
+        ctx.pause(25); // peer votes normally land here
+        int highest = st->highestZxid.read(ctx, kElectReadHighest);
+        std::string key = std::to_string(highest);
+        bool elected = ctx.retryUntil(kElectLoopExit, [&] {
+            auto count = st->tally.get(ctx, kElectTallyGet, key);
+            return count && std::stoi(*count) >= 2;
+        });
+        if (!elected)
+            ctx.fatalLog(kElectFail,
+                         "leader election never converged; "
+                         "service unavailable");
+    });
+}
+
+void
+installEpochSync(Simulation &sim, Node &zk1, Node &zk2, Node &zk3,
+                 const std::shared_ptr<State> &st)
+{
+    zk1.registerVerb("followerInfo",
+                     [st](ThreadContext &ctx, const Payload &msg) {
+                         st->epochs.put(ctx, kFollowerInfoPut,
+                                        msg.get("from"),
+                                        msg.get("epoch", "1"));
+                     });
+
+    zk1.registerVerb("ackEpoch",
+                     [st](ThreadContext &ctx, const Payload &) {
+                         int n = st->acks.read(ctx, kAckRead);
+                         st->acks.write(ctx, kAckWrite, n + 1);
+                     });
+
+    auto follower = [](Node &node, const char *name) {
+        node.registerVerb("newEpoch",
+                          [](ThreadContext &ctx, const Payload &) {
+                              ctx.send(kFollowerSendAck, "zk1", "ackEpoch",
+                                       Payload{});
+                          });
+        (void)name;
+    };
+    follower(zk2, "zk2");
+    follower(zk3, "zk3");
+
+    // Followers announce themselves at startup.
+    for (Node *node : {&zk2, &zk3}) {
+        sim.spawn(nullptr, *node, node->name() + ".startup",
+                  [name = node->name()](ThreadContext &ctx) {
+                      Frame f(ctx, "followerStart", ScopeKind::Message,
+                              "m:fstart-" + name);
+                      ctx.pause(4);
+                      ctx.send(kFollowerSendInfo, "zk1", "followerInfo",
+                               Payload{}.set("from", name).set("epoch",
+                                                               "1"));
+                  });
+    }
+
+    // zk1's leader thread: read the registered-follower set, send
+    // NEWEPOCH to whoever is known, and wait for a quorum of acks.
+    sim.spawn(nullptr, zk1, "zk1.leader", [st](ThreadContext &ctx) {
+        Frame f(ctx, "leaderStart", ScopeKind::Message, "m:leader");
+        ctx.pause(25); // follower infos normally land here
+        int targets = 0;
+        if (st->epochs.contains(ctx, kLeaderHasZk2, "zk2")) {
+            ctx.send(kLeaderSendEpoch, "zk2", "newEpoch", Payload{});
+            ++targets;
+        }
+        if (st->epochs.contains(ctx, kLeaderHasZk3, "zk3")) {
+            ctx.send(kLeaderSendEpoch, "zk3", "newEpoch", Payload{});
+            ++targets;
+        }
+        (void)targets;
+        bool quorum = ctx.retryUntil(kLeaderAckLoopExit, [&] {
+            return st->acks.read(ctx, kLeaderAckLoopRead) >= 2;
+        });
+        if (!quorum)
+            ctx.fatalLog(kLeaderFail, "NEWEPOCH quorum never acked; "
+                                      "service unavailable");
+    });
+}
+
+} // namespace
+
+void
+install(Simulation &sim, Workload workload)
+{
+    Node &zk1 = sim.addNode("zk1");
+    Node &zk2 = sim.addNode("zk2");
+    Node &zk3 = sim.addNode("zk3");
+
+    auto st = std::make_shared<State>(zk1);
+    if (workload == Workload::Election1144)
+        installElection(sim, zk1, zk2, zk3, st);
+    else
+        installEpochSync(sim, zk1, zk2, zk3, st);
+
+    if (workload == Workload::Election1144) {
+        installBackgroundLoad(sim, zk1, 60);
+        installBackgroundLoad(sim, zk2, 40);
+        installBackgroundLoad(sim, zk3, 40);
+    } else {
+        installBackgroundLoad(sim, zk1, 120);
+        installBackgroundLoad(sim, zk2, 90);
+        installBackgroundLoad(sim, zk3, 90);
+    }
+}
+
+model::ProgramModel
+buildModel()
+{
+    model::ModelBuilder b;
+
+    // --- ZK-1144 ---
+    b.fn("zk1.voteHandler")
+        .read(kVoteReadHighest, "var:zk1/highestZxid")
+        .write(kVoteWriteHighest, "var:zk1/highestZxid")
+        .read(kVoteTallyGet, "map:zk1/tally")
+        .write(kVoteTallyPut, "map:zk1/tally")
+        .dep(kVoteWriteHighest, {kVoteReadHighest})
+        .dep(kVoteTallyPut, {kVoteTallyGet});
+
+    b.fn("zk1.election")
+        .write(kElectWriteOwn, "var:zk1/highestZxid")
+        .inst(kElectSend)
+        .read(kElectReadHighest, "var:zk1/highestZxid")
+        .read(kElectTallyGet, "map:zk1/tally")
+        .loopExit(kElectLoopExit)
+        .dep(kElectLoopExit, {kElectTallyGet})
+        .failure(kElectFail, sim::FailureKind::FatalLog)
+        .dep(kElectFail, {kElectReadHighest, kElectLoopExit});
+
+    b.fn("zk.peerVote").inst(kPeerVoteSend);
+
+    // --- ZK-1270 ---
+    b.fn("zk1.followerInfo").write(kFollowerInfoPut, "map:zk1/epochs");
+
+    b.fn("zk1.ackEpoch")
+        .read(kAckRead, "var:zk1/acks")
+        .write(kAckWrite, "var:zk1/acks")
+        .dep(kAckWrite, {kAckRead});
+
+    b.fn("zk1.leader")
+        .read(kLeaderHasZk2, "map:zk1/epochs")
+        .read(kLeaderHasZk3, "map:zk1/epochs")
+        .inst(kLeaderSendEpoch)
+        .dep(kLeaderSendEpoch, {kLeaderHasZk2, kLeaderHasZk3})
+        .read(kLeaderAckLoopRead, "var:zk1/acks")
+        .loopExit(kLeaderAckLoopExit)
+        .dep(kLeaderAckLoopExit, {kLeaderAckLoopRead})
+        .failure(kLeaderFail, sim::FailureKind::FatalLog)
+        .dep(kLeaderFail, {kLeaderHasZk2, kLeaderHasZk3,
+                           kLeaderAckLoopExit});
+
+    b.fn("zk.follower")
+        .inst(kFollowerSendInfo)
+        .inst(kFollowerSendAck);
+
+    return b.build();
+}
+
+} // namespace dcatch::apps::zk

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Mini ZooKeeper: a three-server ensemble (zk1..zk3) communicating
+ * over asynchronous socket messages, reproducing the concurrency
+ * structure of the paper's two ZooKeeper benchmarks.
+ *
+ * ZK-1144 (startup -> service unavailable, OV): zk1's election thread
+ * proposes its own zxid and then reads the highest zxid seen to pick
+ * the tally bucket it waits on; peer vote handlers concurrently raise
+ * the highest zxid.  If the read happens before any vote arrives, zk1
+ * waits on a bucket that never fills — the election retry loop spins
+ * forever (local hang, order violation).
+ *
+ * ZK-1270 (startup -> service unavailable, OV): the leader reads the
+ * registered-follower set to decide whom to send NEWEPOCH to,
+ * concurrently with followerInfo handlers populating that set.
+ * Reading too early sends NEWEPOCH to fewer followers than quorum,
+ * so the ack wait loop spins forever (local hang, order violation).
+ *
+ * Both workloads also contain the ack/tally pull-synchronization
+ * reads that the loop analysis must suppress, and the ZK-1144 ack
+ * counting pair that ends up "serial" — standing in for the paper's
+ * waitForEpoch custom-synchronization false positives.
+ */
+
+#ifndef DCATCH_APPS_ZOOKEEPER_MINI_ZK_HH
+#define DCATCH_APPS_ZOOKEEPER_MINI_ZK_HH
+
+#include "model/program_model.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::apps::zk {
+
+/// @{ @name Static site ids
+// --- ZK-1144 (leader election) ---
+inline constexpr const char *kVoteReadHighest =
+    "zk.vote/highest.read";
+inline constexpr const char *kVoteWriteHighest =
+    "zk.vote/highest.write";
+inline constexpr const char *kVoteTallyGet = "zk.vote/tally.get";
+inline constexpr const char *kVoteTallyPut = "zk.vote/tally.put";
+inline constexpr const char *kElectWriteOwn =
+    "zk.elect/highest.writeOwn";
+inline constexpr const char *kElectSend = "zk.elect/send.vote";
+inline constexpr const char *kElectReadHighest =
+    "zk.elect/highest.read";
+inline constexpr const char *kElectTallyGet = "zk.elect/tally.get";
+inline constexpr const char *kElectLoopExit = "zk.elect/loop.exit";
+inline constexpr const char *kElectFail = "zk.elect/fatal";
+inline constexpr const char *kPeerVoteSend = "zk.peer/send.vote";
+// --- ZK-1270 (epoch sync) ---
+inline constexpr const char *kFollowerInfoPut =
+    "zk.followerInfo/epochs.put";
+inline constexpr const char *kLeaderHasZk2 =
+    "zk.leader/epochs.hasZk2";
+inline constexpr const char *kLeaderHasZk3 =
+    "zk.leader/epochs.hasZk3";
+inline constexpr const char *kLeaderSendEpoch =
+    "zk.leader/send.newEpoch";
+inline constexpr const char *kAckRead = "zk.ackEpoch/acks.read";
+inline constexpr const char *kAckWrite = "zk.ackEpoch/acks.write";
+inline constexpr const char *kLeaderAckLoopRead =
+    "zk.leader/acks.read";
+inline constexpr const char *kLeaderAckLoopExit =
+    "zk.leader/ackloop.exit";
+inline constexpr const char *kLeaderFail = "zk.leader/fatal";
+inline constexpr const char *kFollowerSendInfo =
+    "zk.follower/send.info";
+inline constexpr const char *kFollowerSendAck =
+    "zk.follower/send.ack";
+/// @}
+
+/** Which ZooKeeper workload to drive. */
+enum class Workload {
+    Election1144, ///< startup: leader election lost-bucket hang
+    Epoch1270,    ///< startup: epoch-sync quorum hang
+};
+
+/** Build the topology and workload drivers on @p sim. */
+void install(sim::Simulation &sim, Workload workload);
+
+/** Program model for the given workload. */
+model::ProgramModel buildModel();
+
+} // namespace dcatch::apps::zk
+
+#endif // DCATCH_APPS_ZOOKEEPER_MINI_ZK_HH

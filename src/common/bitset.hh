@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dynamically sized bitset used for HB-graph reachable sets.
+ *
+ * The race detector computes, for every vertex of the happens-before
+ * graph, the set of vertices that can reach it (Raychev et al.'s
+ * algorithm referenced in DCatch section 3.2.2).  Graphs have 10^4..10^6
+ * vertices, so reachable sets are stored as packed bit arrays and
+ * merged with word-wise ORs.
+ */
+
+#ifndef DCATCH_COMMON_BITSET_HH
+#define DCATCH_COMMON_BITSET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dcatch {
+
+/** Fixed-capacity packed bit array with word-wise union. */
+class BitSet
+{
+  public:
+    BitSet() = default;
+
+    /** Construct with capacity for @p nbits bits, all clear. */
+    explicit BitSet(std::size_t nbits)
+        : nbits_(nbits), words_((nbits + 63) / 64, 0)
+    {}
+
+    /** Number of addressable bits. */
+    std::size_t size() const { return nbits_; }
+
+    /** Set bit @p idx. */
+    void
+    set(std::size_t idx)
+    {
+        words_[idx >> 6] |= (std::uint64_t{1} << (idx & 63));
+    }
+
+    /** Clear bit @p idx. */
+    void
+    reset(std::size_t idx)
+    {
+        words_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    }
+
+    /** Test bit @p idx. */
+    bool
+    test(std::size_t idx) const
+    {
+        return (words_[idx >> 6] >> (idx & 63)) & 1;
+    }
+
+    /**
+     * Word-wise union with @p other (must have identical capacity).
+     * @return true if any bit of this set changed.
+     */
+    bool
+    unionWith(const BitSet &other)
+    {
+        bool changed = false;
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            std::uint64_t merged = words_[i] | other.words_[i];
+            if (merged != words_[i]) {
+                words_[i] = merged;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    /** Number of set bits. */
+    std::size_t
+    count() const
+    {
+        std::size_t n = 0;
+        for (std::uint64_t w : words_)
+            n += static_cast<std::size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+    /** Approximate heap footprint in bytes (for scalability stats). */
+    std::size_t byteSize() const { return words_.size() * sizeof(std::uint64_t); }
+
+  private:
+    std::size_t nbits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace dcatch
+
+#endif // DCATCH_COMMON_BITSET_HH

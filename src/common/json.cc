@@ -1,0 +1,173 @@
+#include "common/json.hh"
+
+#include <cmath>
+
+#include "common/util.hh"
+
+namespace dcatch {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (unsigned char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+Json
+Json::object()
+{
+    Json j;
+    j.kind_ = Kind::Object;
+    return j;
+}
+
+Json
+Json::array()
+{
+    Json j;
+    j.kind_ = Kind::Array;
+    return j;
+}
+
+Json
+Json::str(std::string value)
+{
+    Json j;
+    j.kind_ = Kind::String;
+    j.string_ = std::move(value);
+    return j;
+}
+
+Json
+Json::num(double value)
+{
+    Json j;
+    j.kind_ = Kind::Number;
+    j.number_ = value;
+    return j;
+}
+
+Json
+Json::num(std::int64_t value)
+{
+    Json j;
+    j.kind_ = Kind::Integer;
+    j.integer_ = value;
+    return j;
+}
+
+Json
+Json::boolean(bool value)
+{
+    Json j;
+    j.kind_ = Kind::Bool;
+    j.bool_ = value;
+    return j;
+}
+
+Json
+Json::null()
+{
+    return Json{};
+}
+
+Json &
+Json::set(const std::string &key, Json value)
+{
+    fields_.emplace_back(key, std::move(value));
+    return *this;
+}
+
+Json &
+Json::push(Json value)
+{
+    elements_.push_back(std::move(value));
+    return *this;
+}
+
+void
+Json::dumpTo(std::string &out, int indent, int depth) const
+{
+    auto pad = [&](int d) {
+        if (indent < 0)
+            return std::string();
+        return "\n" + std::string(static_cast<std::size_t>(indent * d),
+                                  ' ');
+    };
+    switch (kind_) {
+      case Kind::Null:
+        out += "null";
+        break;
+      case Kind::Bool:
+        out += bool_ ? "true" : "false";
+        break;
+      case Kind::Integer:
+        out += strprintf("%lld", static_cast<long long>(integer_));
+        break;
+      case Kind::Number:
+        if (std::isfinite(number_))
+            out += strprintf("%.6g", number_);
+        else
+            out += "null";
+        break;
+      case Kind::String:
+        out += "\"" + jsonEscape(string_) + "\"";
+        break;
+      case Kind::Array: {
+        if (elements_.empty()) {
+            out += "[]";
+            break;
+        }
+        out += "[";
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+            out += pad(depth + 1);
+            elements_[i].dumpTo(out, indent, depth + 1);
+            if (i + 1 < elements_.size())
+                out += ",";
+        }
+        out += pad(depth) + "]";
+        break;
+      }
+      case Kind::Object: {
+        if (fields_.empty()) {
+            out += "{}";
+            break;
+        }
+        out += "{";
+        for (std::size_t i = 0; i < fields_.size(); ++i) {
+            out += pad(depth + 1);
+            out += "\"" + jsonEscape(fields_[i].first) + "\": ";
+            fields_[i].second.dumpTo(out, indent, depth + 1);
+            if (i + 1 < fields_.size())
+                out += ",";
+        }
+        out += pad(depth) + "}";
+        break;
+      }
+    }
+}
+
+std::string
+Json::dump(int indent) const
+{
+    std::string out;
+    dumpTo(out, indent, 0);
+    return out;
+}
+
+} // namespace dcatch

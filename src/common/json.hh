@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Minimal JSON writer (no parsing): enough to export DCbug reports
+ * and pipeline metrics for downstream tooling.  Values are built
+ * bottom-up and serialized with stable key order.
+ */
+
+#ifndef DCATCH_COMMON_JSON_HH
+#define DCATCH_COMMON_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dcatch {
+
+/** A JSON value (object keys keep insertion order). */
+class Json
+{
+  public:
+    /// @{ @name Constructors for each JSON kind
+    static Json object();
+    static Json array();
+    static Json str(std::string value);
+    static Json num(double value);
+    static Json num(std::int64_t value);
+    static Json boolean(bool value);
+    static Json null();
+    /// @}
+
+    /** Object field setter (returns *this for chaining). */
+    Json &set(const std::string &key, Json value);
+
+    /** Array element appender. */
+    Json &push(Json value);
+
+    /** Serialize; @p indent < 0 gives compact output. */
+    std::string dump(int indent = 2) const;
+
+  private:
+    enum class Kind { Object, Array, String, Number, Integer, Bool, Null };
+
+    Json() = default;
+
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Kind kind_ = Kind::Null;
+    std::string string_;
+    double number_ = 0;
+    std::int64_t integer_ = 0;
+    bool bool_ = false;
+    std::vector<std::pair<std::string, Json>> fields_;
+    std::vector<Json> elements_;
+};
+
+/** Escape a string for embedding in JSON output. */
+std::string jsonEscape(const std::string &text);
+
+} // namespace dcatch
+
+#endif // DCATCH_COMMON_JSON_HH

@@ -1,0 +1,81 @@
+#include "common/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace dcatch {
+
+namespace {
+
+std::atomic<int> gLevel{-1};
+std::mutex gEmitMutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Trace: return "TRACE";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+/** Resolve the initial level lazily from the environment. */
+int
+resolveLevel()
+{
+    int lvl = gLevel.load(std::memory_order_relaxed);
+    if (lvl >= 0)
+        return lvl;
+    const char *env = std::getenv("DCATCH_LOG");
+    LogLevel initial = env ? parseLogLevel(env) : LogLevel::Warn;
+    gLevel.store(static_cast<int>(initial), std::memory_order_relaxed);
+    return static_cast<int>(initial);
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return static_cast<LogLevel>(resolveLevel());
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel
+parseLogLevel(const std::string &name)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower.push_back(static_cast<char>(std::tolower(c)));
+    if (lower == "trace") return LogLevel::Trace;
+    if (lower == "debug") return LogLevel::Debug;
+    if (lower == "info") return LogLevel::Info;
+    if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+    if (lower == "error") return LogLevel::Error;
+    if (lower == "off" || lower == "none") return LogLevel::Off;
+    return LogLevel::Info;
+}
+
+void
+logLine(LogLevel level, const std::string &msg)
+{
+    if (!logEnabled(level))
+        return;
+    std::lock_guard<std::mutex> guard(gEmitMutex);
+    std::fprintf(stderr, "[dcatch:%s] %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace dcatch

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lightweight leveled logging for the DCatch library.
+ *
+ * The substrate and analysis passes are chatty when debugging but must
+ * be silent by default so benchmark timing is not polluted.  Log level
+ * is process-global and settable programmatically or via the
+ * DCATCH_LOG environment variable (trace|debug|info|warn|error|off).
+ */
+
+#ifndef DCATCH_COMMON_LOGGING_HH
+#define DCATCH_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace dcatch {
+
+/** Severity levels, ordered from most to least verbose. */
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+/** Return the current global log level. */
+LogLevel logLevel();
+
+/** Set the global log level. */
+void setLogLevel(LogLevel level);
+
+/** Parse a level name ("debug", "INFO", ...); unknown names map to Info. */
+LogLevel parseLogLevel(const std::string &name);
+
+/** Emit one log line (already formatted) at the given level. */
+void logLine(LogLevel level, const std::string &msg);
+
+/** True if a message at @p level would currently be emitted. */
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) >= static_cast<int>(logLevel());
+}
+
+namespace detail {
+
+/** Stream-style log statement helper; emits on destruction. */
+class LogStatement
+{
+  public:
+    explicit LogStatement(LogLevel level) : level_(level) {}
+    ~LogStatement() { logLine(level_, stream_.str()); }
+
+    LogStatement(const LogStatement &) = delete;
+    LogStatement &operator=(const LogStatement &) = delete;
+
+    template <typename T>
+    LogStatement &
+    operator<<(const T &value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+} // namespace detail
+
+} // namespace dcatch
+
+#define DCATCH_LOG(level)                                                  \
+    if (!::dcatch::logEnabled(level)) {                                    \
+    } else                                                                 \
+        ::dcatch::detail::LogStatement(level)
+
+#define DCATCH_TRACE() DCATCH_LOG(::dcatch::LogLevel::Trace)
+#define DCATCH_DEBUG() DCATCH_LOG(::dcatch::LogLevel::Debug)
+#define DCATCH_INFO() DCATCH_LOG(::dcatch::LogLevel::Info)
+#define DCATCH_WARN() DCATCH_LOG(::dcatch::LogLevel::Warn)
+#define DCATCH_ERROR() DCATCH_LOG(::dcatch::LogLevel::Error)
+
+#endif // DCATCH_COMMON_LOGGING_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every source of nondeterminism in the simulation flows through a
+ * seeded Rng so that a (seed, workload) pair replays identically.
+ * We use SplitMix64, which is tiny, fast, and has well-understood
+ * statistical behaviour for simulation scheduling purposes.
+ */
+
+#ifndef DCATCH_COMMON_RNG_HH
+#define DCATCH_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace dcatch {
+
+/** Deterministic SplitMix64 generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state_(seed)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    nextRange(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        nextBelow(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability num/den. */
+    bool
+    nextChance(std::uint64_t num, std::uint64_t den)
+    {
+        return nextBelow(den) < num;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace dcatch
+
+#endif // DCATCH_COMMON_RNG_HH

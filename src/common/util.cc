@@ -1,0 +1,65 @@
+#include "common/util.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace dcatch {
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (true) {
+        std::size_t end = text.find(sep, begin);
+        if (end == std::string::npos) {
+            out.push_back(text.substr(begin));
+            return out;
+        }
+        out.push_back(text.substr(begin, end - begin));
+        begin = end + 1;
+    }
+}
+
+std::uint64_t
+fnv1a(const std::string &text)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (len > 0) {
+        out.resize(static_cast<std::size_t>(len));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    }
+    va_end(ap2);
+    return out;
+}
+
+} // namespace dcatch

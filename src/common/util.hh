@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small shared utilities: string joining/splitting, stable hashing,
+ * and a wall-clock stopwatch for the performance benchmarks.
+ */
+
+#ifndef DCATCH_COMMON_UTIL_HH
+#define DCATCH_COMMON_UTIL_HH
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcatch {
+
+/** Join @p parts with @p sep ("a", "b" -> "a<sep>b"). */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Split @p text on character @p sep; no empty-token suppression. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** FNV-1a 64-bit hash, stable across runs and platforms. */
+std::uint64_t fnv1a(const std::string &text);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Wall-clock stopwatch; used to time pipeline phases. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /** Restart the measurement. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Elapsed time in seconds since construction or reset(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    /** Elapsed time in milliseconds. */
+    double milliseconds() const { return seconds() * 1e3; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace dcatch
+
+#endif // DCATCH_COMMON_UTIL_HH

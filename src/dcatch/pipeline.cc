@@ -1,0 +1,151 @@
+#include "dcatch/pipeline.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+#include "common/util.hh"
+#include "detect/race_detect.hh"
+#include "hb/pull.hh"
+#include "prune/impact.hh"
+
+namespace dcatch {
+
+PipelineResult
+runPipeline(const apps::Benchmark &bench, PipelineOptions options)
+{
+    PipelineResult result;
+    Stopwatch watch;
+
+    // Phase 0: untraced base execution (Table 6 "Base").
+    if (options.measureBase) {
+        sim::Simulation base(bench.config);
+        trace::TracerConfig off;
+        off.traceMemory = false;
+        off.traceOps = false;
+        off.traceLocks = false;
+        base.setTracerConfig(off);
+        bench.build(base);
+        watch.reset();
+        base.run();
+        result.metrics.baseSec = watch.seconds();
+    }
+
+    // Phase 1: the monitored (traced) run.
+    sim::Simulation traced(bench.config);
+    trace::TracerConfig tc;
+    tc.selectiveMemory = !options.fullMemoryTrace;
+    traced.setTracerConfig(tc);
+    bench.build(traced);
+    watch.reset();
+    result.monitoredRun = traced.run();
+    result.metrics.tracingSec = watch.seconds();
+    result.monitoredTrace = traced.tracer().store();
+    result.metrics.traceBytes = result.monitoredTrace.serializedBytes();
+    result.metrics.traceRecords = result.monitoredTrace.totalRecords();
+    result.metrics.recordBreakdown =
+        result.monitoredTrace.countsByCategory();
+    if (result.monitoredRun.failed())
+        DCATCH_WARN() << "monitored run of " << bench.id
+                      << " was not failure-free: "
+                      << result.monitoredRun.summary();
+
+    // Phase 2: trace analysis (HB graph + race detection).
+    watch.reset();
+    hb::HbGraph::Options graph_options;
+    graph_options.rules = options.rules;
+    graph_options.memoryBudgetBytes = options.memoryBudgetBytes;
+    hb::HbGraph graph(result.monitoredTrace, graph_options);
+    if (graph.oom()) {
+        result.analysisOom = true;
+        result.metrics.analysisSec = watch.seconds();
+        return result;
+    }
+    detect::RaceDetector detector;
+    result.afterTa = detector.detect(graph);
+    result.metrics.analysisSec = watch.seconds();
+
+    // Phase 3: static pruning (Table 5 "TA+SP").
+    model::ProgramModel model = bench.buildModel();
+    watch.reset();
+    if (options.staticPruning) {
+        prune::StaticPruner pruner(model, options.failureSpec);
+        result.afterSp = pruner.prune(result.afterTa);
+    } else {
+        result.afterSp = result.afterTa;
+    }
+    result.metrics.pruningSec = watch.seconds();
+
+    // Phase 4: loop/pull-based synchronization analysis ("TA+SP+LP").
+    watch.reset();
+    if (options.loopAnalysis) {
+        hb::PullAnalyzer analyzer(model, bench.build, bench.config);
+        hb::PullResult pull = analyzer.analyze(graph, result.afterSp);
+        if (!pull.edges.empty())
+            graph.addEdges(pull.edges);
+        // Re-detect with the extra edges, re-prune, then drop pairs
+        // recognised as synchronization.
+        std::vector<detect::Candidate> redetected =
+            detector.detect(graph);
+        if (options.staticPruning) {
+            prune::StaticPruner pruner(model, options.failureSpec);
+            redetected = pruner.prune(redetected);
+        }
+        result.afterLp = hb::applyPullResult(graph, redetected, pull);
+    } else {
+        result.afterLp = result.afterSp;
+    }
+    result.metrics.loopSec = watch.seconds();
+
+    // Phase 5: triggering and validation.
+    if (options.runTrigger) {
+        watch.reset();
+        trigger::TriggerHarness harness(bench.build, bench.config);
+        result.triggered =
+            harness.testAll(result.afterLp, result.monitoredTrace);
+        result.metrics.triggerSec = watch.seconds();
+    }
+    return result;
+}
+
+Classification
+classify(const apps::Benchmark &bench, const PipelineResult &result)
+{
+    Classification cls;
+    std::set<std::string> bug_s, benign_s, serial_s;
+    std::set<std::string> bug_c, benign_c, serial_c;
+    std::set<std::string> known_s;
+
+    for (const trigger::TriggerReport &report : result.triggered) {
+        const detect::Candidate &cand = report.candidate;
+        switch (report.cls) {
+          case trigger::TriggerClass::Harmful:
+            bug_s.insert(cand.staticKey());
+            bug_c.insert(cand.callstackKey());
+            for (const std::string &pair : bench.knownBugPairs) {
+                if (cand.sitePairKey() == pair) {
+                    cls.knownBugDetected = true;
+                    known_s.insert(cand.staticKey());
+                }
+            }
+            break;
+          case trigger::TriggerClass::Benign:
+            benign_s.insert(cand.staticKey());
+            benign_c.insert(cand.callstackKey());
+            break;
+          case trigger::TriggerClass::Serial:
+            serial_s.insert(cand.staticKey());
+            serial_c.insert(cand.callstackKey());
+            break;
+        }
+    }
+    cls.bugStatic = static_cast<int>(bug_s.size());
+    cls.benignStatic = static_cast<int>(benign_s.size());
+    cls.serialStatic = static_cast<int>(serial_s.size());
+    cls.bugCallstack = static_cast<int>(bug_c.size());
+    cls.benignCallstack = static_cast<int>(benign_c.size());
+    cls.serialCallstack = static_cast<int>(serial_c.size());
+    cls.knownBugStatic = static_cast<int>(known_s.size());
+    return cls;
+}
+
+} // namespace dcatch

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The end-to-end DCatch pipeline over one benchmark:
+ *
+ *   1. run the workload untraced (the "Base" timing of Table 6);
+ *   2. run it again under the tracer (selective scope by default,
+ *      full-memory for the Table 8 configuration);
+ *   3. trace analysis: build the HB graph and detect concurrent
+ *      conflicting access pairs (TA);
+ *   4. static pruning over the program model (TA+SP);
+ *   5. loop/pull-based synchronization analysis with a focused second
+ *      run (TA+SP+LP) — the final DCatch bug reports;
+ *   6. optionally, trigger every report and classify it as harmful,
+ *      benign, or serial (section 5).
+ */
+
+#ifndef DCATCH_DCATCH_PIPELINE_HH
+#define DCATCH_DCATCH_PIPELINE_HH
+
+#include <map>
+#include <vector>
+
+#include "apps/benchmark.hh"
+#include "detect/report.hh"
+#include "hb/graph.hh"
+#include "prune/impact.hh"
+#include "trace/trace_store.hh"
+#include "trigger/harness.hh"
+
+namespace dcatch {
+
+/** Pipeline configuration. */
+struct PipelineOptions
+{
+    bool staticPruning = true;   ///< apply section 4 pruning
+    bool loopAnalysis = true;    ///< apply Rule-Mpull / loop analysis
+    bool fullMemoryTrace = false; ///< Table 8: unselective tracing
+    bool runTrigger = false;     ///< run the triggering module
+    bool measureBase = true;     ///< run the untraced base execution
+    hb::RuleSet rules = hb::RuleSet::all(); ///< Table 9 ablation knob
+    prune::FailureSpec failureSpec; ///< section 4.1 failure classes
+    std::size_t memoryBudgetBytes = 512ull << 20;
+};
+
+/** Wall-clock and volume metrics per pipeline phase (Tables 6-8). */
+struct PhaseMetrics
+{
+    double baseSec = 0;
+    double tracingSec = 0;
+    double analysisSec = 0;
+    double pruningSec = 0;
+    double loopSec = 0;
+    double triggerSec = 0;
+    std::size_t traceBytes = 0;
+    std::size_t traceRecords = 0;
+    std::map<trace::RecordCategory, std::size_t> recordBreakdown;
+};
+
+/** Everything the pipeline produced. */
+struct PipelineResult
+{
+    sim::RunResult monitoredRun; ///< must be non-failing (correct run)
+    trace::TraceStore monitoredTrace;
+    bool analysisOom = false;    ///< HB closure exceeded its budget
+
+    std::vector<detect::Candidate> afterTa; ///< trace analysis only
+    std::vector<detect::Candidate> afterSp; ///< + static pruning
+    std::vector<detect::Candidate> afterLp; ///< + loop analysis (final)
+
+    std::vector<trigger::TriggerReport> triggered;
+    PhaseMetrics metrics;
+
+    /** The final DCatch bug reports. */
+    const std::vector<detect::Candidate> &finalReports() const
+    {
+        return afterLp;
+    }
+};
+
+/** Per-benchmark classification counts (the Table 4 row). */
+struct Classification
+{
+    bool knownBugDetected = false; ///< a harmful report matches the
+                                   ///< benchmark's known root cause
+    int bugStatic = 0, benignStatic = 0, serialStatic = 0;
+    int bugCallstack = 0, benignCallstack = 0, serialCallstack = 0;
+    int knownBugStatic = 0; ///< harmful static pairs tied to the
+                            ///< known bug (Table 4 subscripts)
+};
+
+/** Run the full pipeline on one benchmark. */
+PipelineResult runPipeline(const apps::Benchmark &bench,
+                           PipelineOptions options = {});
+
+/** Classify a pipeline's triggered reports (requires runTrigger). */
+Classification classify(const apps::Benchmark &bench,
+                        const PipelineResult &result);
+
+} // namespace dcatch
+
+#endif // DCATCH_DCATCH_PIPELINE_HH

@@ -1,0 +1,191 @@
+#include "dcatch/report_printer.hh"
+
+#include <map>
+
+#include "common/util.hh"
+
+namespace dcatch {
+
+namespace {
+
+const trigger::TriggerReport *
+findTrigger(const PipelineResult &result,
+            const detect::Candidate &candidate)
+{
+    for (const auto &report : result.triggered)
+        if (report.candidate.callstackKey() == candidate.callstackKey())
+            return &report;
+    return nullptr;
+}
+
+std::string
+describeAccess(const detect::CandidateAccess &access)
+{
+    return strprintf("%-5s %s\n        at %s (node %d, thread %d)",
+                     access.isWrite ? "WRITE" : "READ",
+                     access.site.c_str(), access.callstack.c_str(),
+                     access.node, access.thread);
+}
+
+} // namespace
+
+std::string
+renderReport(const apps::Benchmark &bench, const PipelineResult &result,
+             PrintOptions options)
+{
+    std::string out;
+    out += strprintf("DCatch report — %s (%s)\n", bench.id.c_str(),
+                     bench.workload.c_str());
+    out += strprintf("monitored run: %s\n",
+                     result.monitoredRun.summary().c_str());
+    if (result.analysisOom) {
+        out += "trace analysis: OUT OF MEMORY (try chunked analysis)\n";
+        return out;
+    }
+    out += strprintf(
+        "candidates: %zu after trace analysis, %zu after static "
+        "pruning, %zu final\n\n",
+        result.afterTa.size(), result.afterSp.size(),
+        result.afterLp.size());
+
+    model::ProgramModel model = bench.buildModel();
+    prune::StaticPruner pruner(model);
+
+    int index = 0;
+    for (const detect::Candidate &cand : result.finalReports()) {
+        out += strprintf("[%d] conflicting concurrent accesses on %s\n",
+                         ++index, cand.var.c_str());
+        out += "      " + describeAccess(cand.a) + "\n";
+        out += "      " + describeAccess(cand.b) + "\n";
+        if (cand.dynamicPairs > 1)
+            out += strprintf("      (%d concurrent dynamic pairs)\n",
+                             cand.dynamicPairs);
+        if (options.showImpact) {
+            prune::PruneDecision decision = pruner.evaluate(cand);
+            const prune::ImpactFinding &finding =
+                decision.sideA.hasImpact ? decision.sideA
+                                         : decision.sideB;
+            if (finding.hasImpact)
+                out += strprintf("      impact: %s%s\n",
+                                 finding.reason.c_str(),
+                                 finding.distributed
+                                     ? " (crosses nodes)"
+                                     : "");
+        }
+        if (options.showTriggers) {
+            if (const trigger::TriggerReport *report =
+                    findTrigger(result, cand)) {
+                out += strprintf("      triggered: %s",
+                                 triggerClassName(report->cls));
+                if (report->cls == trigger::TriggerClass::Harmful) {
+                    out += strprintf(" — failing order %s",
+                                     report->failingOrder.c_str());
+                    for (const auto &failure : report->failures)
+                        out += strprintf("\n        %s at %s: %s",
+                                         sim::failureKindName(
+                                             failure.kind),
+                                         failure.site.c_str(),
+                                         failure.detail.c_str());
+                }
+                if (report->placement.relocated)
+                    out += strprintf("\n        placement: %s",
+                                     report->placement.rationale.c_str());
+                out += "\n";
+            }
+        }
+        out += "\n";
+    }
+
+    if (options.showMetrics) {
+        const PhaseMetrics &m = result.metrics;
+        out += strprintf(
+            "phases: base %.2fms, tracing %.2fms (%zu records, %zu "
+            "bytes), analysis %.2fms, pruning %.2fms, loop %.2fms, "
+            "trigger %.2fms\n",
+            m.baseSec * 1e3, m.tracingSec * 1e3, m.traceRecords,
+            m.traceBytes, m.analysisSec * 1e3, m.pruningSec * 1e3,
+            m.loopSec * 1e3, m.triggerSec * 1e3);
+    }
+    return out;
+}
+
+Json
+reportToJson(const apps::Benchmark &bench, const PipelineResult &result)
+{
+    Json root = Json::object();
+    root.set("benchmark", Json::str(bench.id))
+        .set("system", Json::str(bench.system))
+        .set("workload", Json::str(bench.workload))
+        .set("monitoredRun",
+             Json::str(result.monitoredRun.summary()))
+        .set("analysisOom", Json::boolean(result.analysisOom));
+
+    Json counts = Json::object();
+    counts
+        .set("afterTraceAnalysis",
+             Json::num(static_cast<std::int64_t>(result.afterTa.size())))
+        .set("afterStaticPruning",
+             Json::num(static_cast<std::int64_t>(result.afterSp.size())))
+        .set("final",
+             Json::num(static_cast<std::int64_t>(result.afterLp.size())));
+    root.set("candidates", std::move(counts));
+
+    Json reports = Json::array();
+    for (const detect::Candidate &cand : result.finalReports()) {
+        Json entry = Json::object();
+        auto access_json = [](const detect::CandidateAccess &access) {
+            Json a = Json::object();
+            a.set("site", Json::str(access.site))
+                .set("callstack", Json::str(access.callstack))
+                .set("write", Json::boolean(access.isWrite))
+                .set("node", Json::num(
+                                 static_cast<std::int64_t>(access.node)))
+                .set("thread",
+                     Json::num(static_cast<std::int64_t>(access.thread)));
+            return a;
+        };
+        entry.set("variable", Json::str(cand.var))
+            .set("a", access_json(cand.a))
+            .set("b", access_json(cand.b))
+            .set("dynamicPairs",
+                 Json::num(static_cast<std::int64_t>(cand.dynamicPairs)));
+        if (const trigger::TriggerReport *report =
+                findTrigger(result, cand)) {
+            entry.set("classification",
+                      Json::str(triggerClassName(report->cls)));
+            if (!report->failingOrder.empty())
+                entry.set("failingOrder",
+                          Json::str(report->failingOrder));
+            Json failures = Json::array();
+            for (const auto &failure : report->failures) {
+                Json f = Json::object();
+                f.set("kind",
+                      Json::str(sim::failureKindName(failure.kind)))
+                    .set("site", Json::str(failure.site))
+                    .set("detail", Json::str(failure.detail));
+                failures.push(std::move(f));
+            }
+            entry.set("failures", std::move(failures));
+        }
+        reports.push(std::move(entry));
+    }
+    root.set("reports", std::move(reports));
+
+    Json metrics = Json::object();
+    metrics.set("baseSec", Json::num(result.metrics.baseSec))
+        .set("tracingSec", Json::num(result.metrics.tracingSec))
+        .set("analysisSec", Json::num(result.metrics.analysisSec))
+        .set("pruningSec", Json::num(result.metrics.pruningSec))
+        .set("loopSec", Json::num(result.metrics.loopSec))
+        .set("triggerSec", Json::num(result.metrics.triggerSec))
+        .set("traceRecords",
+             Json::num(static_cast<std::int64_t>(
+                 result.metrics.traceRecords)))
+        .set("traceBytes",
+             Json::num(static_cast<std::int64_t>(
+                 result.metrics.traceBytes)));
+    root.set("metrics", std::move(metrics));
+    return root;
+}
+
+} // namespace dcatch

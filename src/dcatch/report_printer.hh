@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Human-readable and JSON rendering of pipeline results: the DCbug
+ * reports a user of the tool actually reads — each candidate pair
+ * with its accesses, callstacks, impact rationale, and (when the
+ * trigger module ran) the confirmed classification and failing order.
+ */
+
+#ifndef DCATCH_DCATCH_REPORT_PRINTER_HH
+#define DCATCH_DCATCH_REPORT_PRINTER_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "dcatch/pipeline.hh"
+#include "prune/impact.hh"
+
+namespace dcatch {
+
+/** Rendering options. */
+struct PrintOptions
+{
+    bool showImpact = true;    ///< include static-impact rationale
+    bool showTriggers = true;  ///< include trigger classifications
+    bool showMetrics = true;   ///< include phase metrics footer
+};
+
+/** Render a full pipeline result as a text report. */
+std::string renderReport(const apps::Benchmark &bench,
+                         const PipelineResult &result,
+                         PrintOptions options = {});
+
+/** Render a full pipeline result as JSON. */
+Json reportToJson(const apps::Benchmark &bench,
+                  const PipelineResult &result);
+
+} // namespace dcatch
+
+#endif // DCATCH_DCATCH_REPORT_PRINTER_HH

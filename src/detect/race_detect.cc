@@ -1,0 +1,98 @@
+#include "detect/race_detect.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace dcatch::detect {
+
+std::vector<Candidate>
+RaceDetector::detect(const hb::HbGraph &graph) const
+{
+    // Group memory accesses by variable, then within a variable by
+    // (site, callstack, isWrite) so the dynamic-instance bound applies
+    // per static identity.
+    struct Group
+    {
+        std::string site, callstack;
+        bool isWrite = false;
+        std::vector<int> instances; ///< vertex ids, seq order
+    };
+    std::map<std::string, std::vector<Group>> by_var;
+
+    for (int v : graph.memAccesses()) {
+        const trace::Record &rec = graph.record(v);
+        bool is_write = rec.type == trace::RecordType::MemWrite;
+        auto &groups = by_var[rec.id];
+        Group *group = nullptr;
+        for (Group &g : groups)
+            if (g.site == rec.site && g.callstack == rec.callstack &&
+                g.isWrite == is_write) {
+                group = &g;
+                break;
+            }
+        if (!group) {
+            groups.push_back(Group{rec.site, rec.callstack, is_write, {}});
+            group = &groups.back();
+        }
+        group->instances.push_back(v);
+    }
+
+    auto make_access = [&](int v) {
+        const trace::Record &rec = graph.record(v);
+        CandidateAccess acc;
+        acc.vertex = v;
+        acc.site = rec.site;
+        acc.callstack = rec.callstack;
+        acc.isWrite = rec.type == trace::RecordType::MemWrite;
+        acc.thread = rec.thread;
+        acc.node = rec.node;
+        acc.version = rec.aux;
+        return acc;
+    };
+
+    std::map<std::string, Candidate> dedup;
+    int bound = options_.maxInstancesPerGroup;
+
+    for (auto &[var, groups] : by_var) {
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            for (std::size_t gj = gi; gj < groups.size(); ++gj) {
+                const Group &g1 = groups[gi];
+                const Group &g2 = groups[gj];
+                if (!g1.isWrite && !g2.isWrite)
+                    continue; // conflicting requires >= 1 write
+                int n1 = std::min<int>(bound,
+                                       static_cast<int>(g1.instances.size()));
+                int n2 = std::min<int>(bound,
+                                       static_cast<int>(g2.instances.size()));
+                for (int i = 0; i < n1; ++i) {
+                    int lo = (gi == gj) ? i + 1 : 0;
+                    for (int j = lo; j < n2; ++j) {
+                        int u = g1.instances[static_cast<std::size_t>(i)];
+                        int v = g2.instances[static_cast<std::size_t>(j)];
+                        if (u == v || !graph.concurrent(u, v))
+                            continue;
+                        Candidate cand;
+                        cand.var = var;
+                        cand.a = make_access(u);
+                        cand.b = make_access(v);
+                        if (cand.b.site + cand.b.callstack <
+                            cand.a.site + cand.a.callstack)
+                            std::swap(cand.a, cand.b);
+                        auto [it, inserted] =
+                            dedup.emplace(cand.callstackKey(), cand);
+                        if (!inserted)
+                            ++it->second.dynamicPairs;
+                    }
+                }
+            }
+        }
+    }
+
+    std::vector<Candidate> out;
+    out.reserve(dedup.size());
+    for (auto &[key, cand] : dedup)
+        out.push_back(std::move(cand));
+    return out;
+}
+
+} // namespace dcatch::detect

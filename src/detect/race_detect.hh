@@ -1,0 +1,51 @@
+/**
+ * @file
+ * DCbug candidate detection (paper section 3.2.2).
+ *
+ * A DCbug candidate is a pair of memory accesses (s, t) touching the
+ * same variable, at least one a write, with no happens-before path in
+ * either direction.  Candidates are deduplicated two ways, matching
+ * the paper's reporting: by unique static-instruction pair (site
+ * pair) and by unique callstack pair.
+ */
+
+#ifndef DCATCH_DETECT_RACE_DETECT_HH
+#define DCATCH_DETECT_RACE_DETECT_HH
+
+#include <vector>
+
+#include "detect/report.hh"
+#include "hb/graph.hh"
+
+namespace dcatch::detect {
+
+/** Race detector over a closed HB graph. */
+class RaceDetector
+{
+  public:
+    struct Options
+    {
+        /**
+         * Bound on dynamic instances tested per (site, callstack)
+         * group of one variable; keeps loop-heavy traces polynomial
+         * without losing static/callstack pairs.
+         */
+        int maxInstancesPerGroup = 4;
+    };
+
+    RaceDetector() : RaceDetector(Options()) {}
+    explicit RaceDetector(Options options) : options_(options) {}
+
+    /**
+     * Report all candidates, deduplicated by callstack pair (the
+     * finer granularity; static-pair counts derive from the result).
+     */
+    std::vector<Candidate> detect(const hb::HbGraph &graph) const;
+
+  private:
+    Options options_;
+};
+
+} // namespace dcatch::detect
+
+#endif // DCATCH_DETECT_RACE_DETECT_HH

@@ -1,0 +1,48 @@
+#include "detect/report.hh"
+
+#include <set>
+
+namespace dcatch::detect {
+
+std::string
+sitePair(const std::string &x, const std::string &y)
+{
+    return x <= y ? x + "||" + y : y + "||" + x;
+}
+
+std::string
+Candidate::staticKey() const
+{
+    return var + "@" + sitePair(a.site, b.site);
+}
+
+std::string
+Candidate::callstackKey() const
+{
+    return var + "@" +
+           sitePair(a.site + "^" + a.callstack,
+                    b.site + "^" + b.callstack);
+}
+
+std::string
+Candidate::sitePairKey() const
+{
+    return sitePair(a.site, b.site);
+}
+
+ReportCounts
+countReports(const std::vector<Candidate> &candidates)
+{
+    std::set<std::string> statics, stacks;
+    ReportCounts counts;
+    for (const Candidate &cand : candidates) {
+        statics.insert(cand.staticKey());
+        stacks.insert(cand.callstackKey());
+        counts.dynamicPairs += cand.dynamicPairs;
+    }
+    counts.staticPairs = static_cast<int>(statics.size());
+    counts.callstackPairs = static_cast<int>(stacks.size());
+    return counts;
+}
+
+} // namespace dcatch::detect

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DCbug candidate report types (no dependency on the HB graph), shared
+ * between the detector, the pruner, the pull analysis, and the
+ * trigger module.
+ */
+
+#ifndef DCATCH_DETECT_REPORT_HH
+#define DCATCH_DETECT_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dcatch::detect {
+
+/** One side of a candidate pair (a representative dynamic instance). */
+struct CandidateAccess
+{
+    int vertex = -1;        ///< vertex in the pass-1 HB graph
+    std::string site;       ///< static site id
+    std::string callstack;  ///< callstack at the access
+    bool isWrite = false;
+    int thread = -1;
+    int node = -1;
+    std::int64_t version = 0; ///< value version involved
+};
+
+/** A DCbug candidate: two concurrent conflicting accesses. */
+struct Candidate
+{
+    std::string var;   ///< variable id both accesses touch
+    CandidateAccess a; ///< canonical order (see RaceDetector)
+    CandidateAccess b;
+    int dynamicPairs = 1; ///< concurrent dynamic pairs collapsed here
+
+    /** Unordered static-instruction pair key. */
+    std::string staticKey() const;
+
+    /** Unordered callstack pair key. */
+    std::string callstackKey() const;
+
+    /** Unordered site-pair key without the variable (used to match
+     *  known root-cause bugs declared by benchmarks). */
+    std::string sitePairKey() const;
+};
+
+/** Count summaries used throughout the evaluation benches. */
+struct ReportCounts
+{
+    int staticPairs = 0;
+    int callstackPairs = 0;
+    int dynamicPairs = 0;
+};
+
+/** Compute counts over a candidate list. */
+ReportCounts countReports(const std::vector<Candidate> &candidates);
+
+/** Canonical unordered pair key of two site ids. */
+std::string sitePair(const std::string &x, const std::string &y);
+
+} // namespace dcatch::detect
+
+#endif // DCATCH_DETECT_REPORT_HH

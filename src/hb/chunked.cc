@@ -1,0 +1,83 @@
+#include "hb/chunked.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "detect/race_detect.hh"
+
+namespace dcatch::hb {
+
+namespace {
+
+/** Copy a seq-ordered slice of records into a fresh store, keeping
+ *  the queue/thread metadata (needed for Eserial and segmentation). */
+trace::TraceStore
+sliceStore(const trace::TraceStore &store,
+           const std::vector<trace::Record> &all, std::size_t begin,
+           std::size_t end)
+{
+    trace::TraceStore out;
+    for (const auto &[queue_id, meta] : store.queues())
+        out.noteQueue(meta);
+    for (const auto &[tid, meta] : store.threads())
+        out.noteThread(meta);
+    for (std::size_t i = begin; i < end && i < all.size(); ++i)
+        out.append(all[i]);
+    return out;
+}
+
+} // namespace
+
+ChunkedResult
+chunkedDetect(const trace::TraceStore &store, ChunkOptions options)
+{
+    ChunkedResult result;
+    std::vector<trace::Record> all = store.allRecords();
+    if (options.windowRecords == 0)
+        options.windowRecords = 1;
+    std::size_t stride =
+        options.windowRecords > options.overlapRecords
+            ? options.windowRecords - options.overlapRecords
+            : options.windowRecords;
+
+    detect::RaceDetector detector;
+    std::map<std::string, detect::Candidate> dedup;
+
+    for (std::size_t begin = 0; begin < all.size(); begin += stride) {
+        std::size_t end =
+            std::min(all.size(), begin + options.windowRecords);
+        trace::TraceStore window = sliceStore(store, all, begin, end);
+        ++result.windows;
+
+        HbGraph graph(window, options.graph);
+        if (graph.oom()) {
+            // A single window still too big: report and skip it.
+            result.anyWindowOom = true;
+            DCATCH_WARN() << "chunked analysis: window of "
+                          << (end - begin)
+                          << " records exceeded the memory budget";
+            if (end >= all.size())
+                break;
+            continue;
+        }
+        result.maxWindowReachBytes =
+            std::max(result.maxWindowReachBytes, graph.reachBytes());
+
+        for (detect::Candidate &cand : detector.detect(graph)) {
+            auto [it, inserted] =
+                dedup.emplace(cand.callstackKey(), cand);
+            if (!inserted)
+                it->second.dynamicPairs += cand.dynamicPairs;
+        }
+        if (end >= all.size())
+            break;
+    }
+
+    result.candidates.reserve(dedup.size());
+    for (auto &[key, cand] : dedup)
+        result.candidates.push_back(std::move(cand));
+    return result;
+}
+
+} // namespace dcatch::hb

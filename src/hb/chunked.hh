@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Chunked trace analysis — the scalability fallback the paper
+ * proposes for traces whose reachable sets exceed memory (section
+ * 7.2, false-negative discussion): "DCatch will need to chunk the
+ * traces and conduct detection within each chunk, an approach used by
+ * previous LCbug detection tools."
+ *
+ * The trace is split into overlapping windows by global sequence
+ * number; a full HB graph is built per window (each window fits the
+ * memory budget) and candidates are unioned across windows.  Races
+ * whose two accesses fall farther apart than a window are missed —
+ * the documented false-negative trade-off.  Within-window verdicts
+ * are exact for all base rules (every HB path between two in-window
+ * records only visits records between them in sequence order, hence
+ * inside the window); only derived Rule-Eserial edges can be lost
+ * when an event's Create fell before the window, which errs toward
+ * reporting (a false positive the trigger module then filters).
+ */
+
+#ifndef DCATCH_HB_CHUNKED_HH
+#define DCATCH_HB_CHUNKED_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "detect/report.hh"
+#include "hb/graph.hh"
+#include "trace/trace_store.hh"
+
+namespace dcatch::hb {
+
+/** Chunking configuration. */
+struct ChunkOptions
+{
+    /** Records per window. */
+    std::size_t windowRecords = 1500;
+
+    /** Records shared between consecutive windows, so nearby races
+     *  spanning a boundary are still seen together. */
+    std::size_t overlapRecords = 500;
+
+    /** Per-window HB graph options (rules + memory budget). */
+    HbGraph::Options graph;
+};
+
+/** Result of a chunked detection run. */
+struct ChunkedResult
+{
+    std::vector<detect::Candidate> candidates; ///< unioned, deduped
+    int windows = 0;
+    std::size_t maxWindowReachBytes = 0; ///< peak per-window memory
+    bool anyWindowOom = false; ///< a window still exceeded the budget
+};
+
+/**
+ * Run detection window by window.
+ *
+ * Candidate dedup uses callstack keys, like the whole-trace detector;
+ * a pair seen in several windows is reported once.
+ */
+ChunkedResult chunkedDetect(const trace::TraceStore &store,
+                            ChunkOptions options = {});
+
+} // namespace dcatch::hb
+
+#endif // DCATCH_HB_CHUNKED_HH

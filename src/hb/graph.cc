@@ -1,0 +1,387 @@
+#include "hb/graph.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/logging.hh"
+
+namespace dcatch::hb {
+
+using trace::Record;
+using trace::RecordType;
+
+RuleSet
+RuleSet::withoutEvent()
+{
+    RuleSet r;
+    r.event = false;
+    return r;
+}
+
+RuleSet
+RuleSet::withoutRpc()
+{
+    RuleSet r;
+    r.rpc = false;
+    return r;
+}
+
+RuleSet
+RuleSet::withoutSocket()
+{
+    RuleSet r;
+    r.socket = false;
+    return r;
+}
+
+RuleSet
+RuleSet::withoutPush()
+{
+    RuleSet r;
+    r.push = false;
+    return r;
+}
+
+namespace {
+
+/** Should this record be a vertex, given the enabled rule families? */
+bool
+keepRecord(const Record &rec, const RuleSet &rules)
+{
+    switch (rec.type) {
+      case RecordType::MemRead:
+      case RecordType::MemWrite:
+      case RecordType::LoopIter:
+      case RecordType::LoopExit:
+        return true;
+      case RecordType::LockAcquire:
+      case RecordType::LockRelease:
+        // Locks are not part of the HB model (section 2.3).
+        return false;
+      case RecordType::ThreadCreate:
+      case RecordType::ThreadBegin:
+      case RecordType::ThreadEnd:
+      case RecordType::ThreadJoin:
+        return rules.thread;
+      case RecordType::EventCreate:
+      case RecordType::EventBegin:
+      case RecordType::EventEnd:
+        return rules.event;
+      case RecordType::RpcCreate:
+      case RecordType::RpcBegin:
+      case RecordType::RpcEnd:
+      case RecordType::RpcJoin:
+        return rules.rpc;
+      case RecordType::MsgSend:
+      case RecordType::MsgRecv:
+        return rules.socket;
+      case RecordType::CoordUpdate:
+      case RecordType::CoordPushed:
+        return rules.push;
+    }
+    return true;
+}
+
+/** Does this record open a new Pnreg handler segment? */
+bool
+opensSegment(RecordType type)
+{
+    return type == RecordType::EventBegin || type == RecordType::RpcBegin ||
+           type == RecordType::MsgRecv || type == RecordType::CoordPushed;
+}
+
+/** Does this record close the current handler segment (inclusive)? */
+bool
+closesSegment(RecordType type)
+{
+    return type == RecordType::EventEnd || type == RecordType::RpcEnd;
+}
+
+} // namespace
+
+HbGraph::HbGraph(const trace::TraceStore &store, Options options)
+    : options_(options)
+{
+    std::vector<Record> all = store.allRecords();
+    recs_.reserve(all.size());
+    for (Record &rec : all)
+        if (keepRecord(rec, options_.rules))
+            recs_.push_back(std::move(rec));
+    preds_.assign(recs_.size(), {});
+    progPred_.assign(recs_.size(), -1);
+    for (std::size_t v = 0; v < recs_.size(); ++v)
+        if (recs_[v].isMemoryAccess())
+            memVertices_.push_back(static_cast<int>(v));
+
+    // Reachable-set budget check (Table 8 OOM emulation).
+    std::size_t need = recs_.size() * ((recs_.size() + 63) / 64) * 8;
+    if (need > options_.memoryBudgetBytes) {
+        DCATCH_WARN() << "HB graph reachable sets need " << need
+                      << " bytes, budget is "
+                      << options_.memoryBudgetBytes << " — marking OOM";
+        oom_ = true;
+        return;
+    }
+
+    buildProgramEdges(store);
+    buildPairingEdges();
+    close();
+    if (options_.rules.event)
+        applyEventSerial(store);
+}
+
+bool
+HbGraph::addEdge(int u, int v, std::size_t EdgeStats::*counter)
+{
+    if (u == v)
+        return false;
+    if (u > v) {
+        // All well-formed HB edges point forward in the global
+        // sequence order; anything else indicates a tracing bug.
+        DCATCH_WARN() << "dropping backward HB edge " << u << "->" << v;
+        return false;
+    }
+    preds_[static_cast<std::size_t>(v)].push_back(u);
+    ++(stats_.*counter);
+    return true;
+}
+
+void
+HbGraph::buildProgramEdges(const trace::TraceStore &store)
+{
+    // Group vertices by thread, preserving seq order.
+    std::map<int, std::vector<int>> by_thread;
+    for (std::size_t v = 0; v < recs_.size(); ++v)
+        by_thread[recs_[v].thread].push_back(static_cast<int>(v));
+    (void)store;
+
+    for (auto &[tid, verts] : by_thread) {
+        // A thread is handler-style if its (filtered) log contains any
+        // segment-opening record.  Note this is evaluated after rule
+        // filtering: dropping event records makes an event-consumer
+        // thread look regular, so Rule-Preg over-orders it — the false
+        // negatives of the Table 9 ablation.
+        bool handler = false;
+        for (int v : verts)
+            if (opensSegment(recs_[static_cast<std::size_t>(v)].type)) {
+                handler = true;
+                break;
+            }
+
+        if (!handler) {
+            for (std::size_t i = 1; i < verts.size(); ++i)
+                if (addEdge(verts[i - 1], verts[i], &EdgeStats::program))
+                    progPred_[static_cast<std::size_t>(verts[i])] =
+                        verts[i - 1];
+            continue;
+        }
+
+        // Rule-Pnreg: chain only within one handler instance.
+        int prev = -1;
+        bool in_segment = false;
+        for (int v : verts) {
+            RecordType type = recs_[static_cast<std::size_t>(v)].type;
+            if (opensSegment(type)) {
+                prev = v;
+                in_segment = true;
+                continue;
+            }
+            if (!in_segment) {
+                prev = -1;
+                continue;
+            }
+            if (addEdge(prev, v, &EdgeStats::program))
+                progPred_[static_cast<std::size_t>(v)] = prev;
+            prev = v;
+            if (closesSegment(type)) {
+                in_segment = false;
+                prev = -1;
+            }
+        }
+    }
+}
+
+void
+HbGraph::buildPairingEdges()
+{
+    // Index vertices by (type, id).
+    std::map<std::pair<RecordType, std::string>, std::vector<int>> index;
+    for (std::size_t v = 0; v < recs_.size(); ++v)
+        index[{recs_[v].type, recs_[v].id}].push_back(static_cast<int>(v));
+
+    auto pair_first = [&](RecordType from, RecordType to,
+                          std::size_t EdgeStats::*counter) {
+        for (auto &[key, sources] : index) {
+            if (key.first != from)
+                continue;
+            auto it = index.find({to, key.second});
+            if (it == index.end())
+                continue;
+            // Pair positionally: the i-th source with the i-th sink
+            // (ids are unique per instance for all current op kinds,
+            // so these vectors almost always have size one).
+            std::size_t n = std::min(sources.size(), it->second.size());
+            for (std::size_t i = 0; i < n; ++i)
+                addEdge(sources[i], it->second[i], counter);
+        }
+    };
+
+    auto pair_broadcast = [&](RecordType from, RecordType to,
+                              std::size_t EdgeStats::*counter) {
+        for (auto &[key, sources] : index) {
+            if (key.first != from)
+                continue;
+            auto it = index.find({to, key.second});
+            if (it == index.end())
+                continue;
+            for (int src : sources)
+                for (int dst : it->second)
+                    addEdge(src, dst, counter);
+        }
+    };
+
+    if (options_.rules.thread) {
+        pair_first(RecordType::ThreadCreate, RecordType::ThreadBegin,
+                   &EdgeStats::fork);
+        pair_first(RecordType::ThreadEnd, RecordType::ThreadJoin,
+                   &EdgeStats::join);
+    }
+    if (options_.rules.event)
+        pair_first(RecordType::EventCreate, RecordType::EventBegin,
+                   &EdgeStats::eenq);
+    if (options_.rules.rpc) {
+        pair_first(RecordType::RpcCreate, RecordType::RpcBegin,
+                   &EdgeStats::rpc);
+        pair_first(RecordType::RpcEnd, RecordType::RpcJoin,
+                   &EdgeStats::rpc);
+    }
+    if (options_.rules.socket)
+        pair_first(RecordType::MsgSend, RecordType::MsgRecv,
+                   &EdgeStats::socket);
+    if (options_.rules.push)
+        pair_broadcast(RecordType::CoordUpdate, RecordType::CoordPushed,
+                       &EdgeStats::push);
+}
+
+void
+HbGraph::applyEventSerial(const trace::TraceStore &store)
+{
+    // Collect, per single-consumer queue, each event's Create / Begin /
+    // End vertices.
+    struct EventVerts
+    {
+        int create = -1, begin = -1, end = -1;
+    };
+    std::map<std::string, std::map<std::string, EventVerts>> queues;
+    for (std::size_t v = 0; v < recs_.size(); ++v) {
+        const Record &rec = recs_[v];
+        if (rec.type != RecordType::EventCreate &&
+            rec.type != RecordType::EventBegin &&
+            rec.type != RecordType::EventEnd)
+            continue;
+        std::string queue_id = rec.id.substr(0, rec.id.find('#'));
+        auto meta = store.queues().find(queue_id);
+        if (meta == store.queues().end() || !meta->second.singleConsumer)
+            continue;
+        EventVerts &ev = queues[queue_id][rec.id];
+        if (rec.type == RecordType::EventCreate)
+            ev.create = static_cast<int>(v);
+        else if (rec.type == RecordType::EventBegin)
+            ev.begin = static_cast<int>(v);
+        else
+            ev.end = static_cast<int>(v);
+    }
+
+    // Fixpoint: adding End(e1) => Begin(e2) edges may order more
+    // Create pairs, enabling further edges (section 3.2.1).
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto &[queue_id, events] : queues) {
+            std::vector<const EventVerts *> list;
+            for (auto &[id, ev] : events)
+                if (ev.create >= 0 && ev.begin >= 0 && ev.end >= 0)
+                    list.push_back(&ev);
+            std::sort(list.begin(), list.end(),
+                      [](const EventVerts *a, const EventVerts *b) {
+                          return a->begin < b->begin;
+                      });
+            for (std::size_t i = 0; i < list.size(); ++i) {
+                for (std::size_t j = i + 1; j < list.size(); ++j) {
+                    if (!happensBefore(list[i]->create, list[j]->create))
+                        continue;
+                    if (happensBefore(list[i]->end, list[j]->begin))
+                        continue; // already ordered
+                    if (addEdge(list[i]->end, list[j]->begin,
+                                &EdgeStats::eserial))
+                        changed = true;
+                }
+            }
+        }
+        if (changed)
+            close();
+    }
+}
+
+void
+HbGraph::close()
+{
+    std::size_t n = recs_.size();
+    ancestors_.assign(n, BitSet(n));
+    for (std::size_t v = 0; v < n; ++v) {
+        BitSet &anc = ancestors_[v];
+        for (int u : preds_[v]) {
+            anc.unionWith(ancestors_[static_cast<std::size_t>(u)]);
+            anc.set(static_cast<std::size_t>(u));
+        }
+    }
+}
+
+bool
+HbGraph::happensBefore(int u, int v) const
+{
+    if (oom_)
+        throw std::runtime_error(
+            "HB graph exceeded its memory budget (OOM)");
+    if (u == v || v < 0 || u < 0)
+        return false;
+    if (u > v)
+        return false; // edges only point forward in seq order
+    return ancestors_[static_cast<std::size_t>(v)].test(
+        static_cast<std::size_t>(u));
+}
+
+int
+HbGraph::findVertex(trace::RecordType type, const std::string &site,
+                    const std::string &id, std::int64_t aux) const
+{
+    for (std::size_t v = 0; v < recs_.size(); ++v) {
+        const Record &rec = recs_[v];
+        if (rec.type == type && rec.site == site && rec.id == id &&
+            (aux < 0 || rec.aux == aux))
+            return static_cast<int>(v);
+    }
+    return -1;
+}
+
+void
+HbGraph::addEdges(const std::vector<std::pair<int, int>> &edges)
+{
+    bool added = false;
+    for (auto [u, v] : edges)
+        if (addEdge(u, v, &EdgeStats::pull))
+            added = true;
+    if (added)
+        close();
+}
+
+std::size_t
+HbGraph::reachBytes() const
+{
+    std::size_t bytes = 0;
+    for (const BitSet &set : ancestors_)
+        bytes += set.byteSize();
+    return bytes;
+}
+
+} // namespace dcatch::hb

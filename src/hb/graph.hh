@@ -1,0 +1,194 @@
+/**
+ * @file
+ * The happens-before graph (paper sections 2 and 3.2).
+ *
+ * Vertices are trace records; edges encode the MTEP rules:
+ *
+ *   Rule-Mrpc   Create(r,n1) => Begin(r,n2); End(r,n2) => Join(r,n1)
+ *   Rule-Msoc   Send(m,n1)   => Recv(m,n2)
+ *   Rule-Mpush  Update(s,n1) => Pushed(s,n2)
+ *   Rule-Mpull  (added separately by the pull analysis)
+ *   Rule-Tfork  Create(t)    => Begin(t)
+ *   Rule-Tjoin  End(t)       => Join(t)
+ *   Rule-Eenq   Create(e)    => Begin(e)
+ *   Rule-Eserial End(e1)     => Begin(e2) for single-consumer queues,
+ *                               applied to fixpoint as the last rule
+ *   Rule-Preg   program order within a regular thread
+ *   Rule-Pnreg  program order only within one handler instance
+ *
+ * Concurrency queries use per-vertex reachable sets stored as bit
+ * arrays (the algorithm of Raychev et al. cited in section 3.2.2),
+ * making happens-before a constant-time lookup.
+ *
+ * Rule families can be disabled to reproduce the Table 9 ablation:
+ * disabling a family removes the corresponding records entirely (as
+ * if the tracer had not logged them), which both removes edges (false
+ * positives) and degrades handler-thread segmentation to Rule-Preg
+ * (false negatives) — the same two effects the paper describes.
+ */
+
+#ifndef DCATCH_HB_GRAPH_HH
+#define DCATCH_HB_GRAPH_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bitset.hh"
+#include "trace/trace_store.hh"
+
+namespace dcatch::hb {
+
+/** Which HB rule families are applied. */
+struct RuleSet
+{
+    bool thread = true; ///< Tfork/Tjoin
+    bool event = true;  ///< Eenq/Eserial + event segmentation
+    bool rpc = true;    ///< Mrpc + RPC segmentation
+    bool socket = true; ///< Msoc + message segmentation
+    bool push = true;   ///< Mpush + watcher segmentation
+
+    /** All rules enabled. */
+    static RuleSet all() { return RuleSet{}; }
+
+    /** Named single-family ablations (Table 9 columns). */
+    static RuleSet withoutEvent();
+    static RuleSet withoutRpc();
+    static RuleSet withoutSocket();
+    static RuleSet withoutPush();
+};
+
+/** Edge counts per rule, for diagnostics and the ablation bench. */
+struct EdgeStats
+{
+    std::size_t program = 0;
+    std::size_t fork = 0, join = 0;
+    std::size_t eenq = 0, eserial = 0;
+    std::size_t rpc = 0;
+    std::size_t socket = 0;
+    std::size_t push = 0;
+    std::size_t pull = 0;
+
+    std::size_t
+    total() const
+    {
+        return program + fork + join + eenq + eserial + rpc + socket +
+               push + pull;
+    }
+};
+
+/** The happens-before DAG over one run's trace. */
+class HbGraph
+{
+  public:
+    /** Construction options. */
+    struct Options
+    {
+        RuleSet rules = RuleSet::all();
+
+        /**
+         * Budget for the reachable-set arrays.  Exceeding it marks the
+         * graph "out of memory" (mirrors the paper's Table 8, where
+         * full-memory traces exhaust a 50 GB JVM heap) — queries then
+         * throw and the pipeline reports the analysis as OOM.
+         */
+        std::size_t memoryBudgetBytes = 512ull << 20;
+    };
+
+    HbGraph(const trace::TraceStore &store, Options options);
+
+    /** Construct with default options (all rules, default budget). */
+    explicit HbGraph(const trace::TraceStore &store)
+        : HbGraph(store, Options())
+    {
+    }
+
+    /** True when the reachable-set budget was exceeded. */
+    bool oom() const { return oom_; }
+
+    /** Number of vertices (records). */
+    std::size_t size() const { return recs_.size(); }
+
+    /** Record at vertex @p v. */
+    const trace::Record &record(int v) const
+    {
+        return recs_[static_cast<std::size_t>(v)];
+    }
+
+    /** Vertex indices of all memory-access records. */
+    const std::vector<int> &memAccesses() const { return memVertices_; }
+
+    /** Does vertex @p u happen before vertex @p v? */
+    bool happensBefore(int u, int v) const;
+
+    /** Are vertices @p u and @p v concurrent? */
+    bool
+    concurrent(int u, int v) const
+    {
+        return u != v && !happensBefore(u, v) && !happensBefore(v, u);
+    }
+
+    /**
+     * Find a vertex by record identity.
+     * @param aux matched when >= 0; pass -1 to ignore
+     * @return vertex index, or -1 when absent
+     */
+    int findVertex(trace::RecordType type, const std::string &site,
+                   const std::string &id, std::int64_t aux = -1) const;
+
+    /**
+     * Add extra HB edges (Rule-Mpull results) and re-run the closure.
+     * Edges must go from an earlier to a later vertex.
+     */
+    void addEdges(const std::vector<std::pair<int, int>> &edges);
+
+    /** Edge counts per rule. */
+    const EdgeStats &stats() const { return stats_; }
+
+    /** Bytes held by the reachable-set arrays. */
+    std::size_t reachBytes() const;
+
+    /** Predecessor lists (in-edges) per vertex — used by alternative
+     *  HB engines built on the same edge set (vector clocks). */
+    const std::vector<std::vector<int>> &predecessors() const
+    {
+        return preds_;
+    }
+
+    /** Program-order (chain) predecessor per vertex, -1 when the
+     *  vertex starts a Pnreg segment or a regular thread. */
+    const std::vector<int> &programPredecessors() const
+    {
+        return progPred_;
+    }
+
+  private:
+    /** Append an edge u -> v (u must precede v). */
+    bool addEdge(int u, int v, std::size_t EdgeStats::*counter);
+
+    /** Program-order edges with Preg/Pnreg segmentation. */
+    void buildProgramEdges(const trace::TraceStore &store);
+
+    /** Pairing edges (fork/join, enq, rpc, socket, push). */
+    void buildPairingEdges();
+
+    /** Rule-Eserial fixpoint (uses the closure; re-closes as needed). */
+    void applyEventSerial(const trace::TraceStore &store);
+
+    /** Recompute all reachable sets in topological (seq) order. */
+    void close();
+
+    Options options_;
+    std::vector<trace::Record> recs_;
+    std::vector<std::vector<int>> preds_;
+    std::vector<int> progPred_;
+    std::vector<int> memVertices_;
+    std::vector<BitSet> ancestors_;
+    EdgeStats stats_;
+    bool oom_ = false;
+};
+
+} // namespace dcatch::hb
+
+#endif // DCATCH_HB_GRAPH_HH

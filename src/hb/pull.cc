@@ -1,0 +1,134 @@
+#include "hb/pull.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+#include "common/util.hh"
+
+namespace dcatch::hb {
+
+using trace::Record;
+using trace::RecordType;
+
+PullResult
+PullAnalyzer::analyze(const HbGraph &pass1,
+                      const std::vector<detect::Candidate> &candidates)
+{
+    PullResult result;
+
+    // 1. Find candidates matching a pull/loop protocol shape: a read
+    //    whose value feeds a loop-exit condition (possibly through an
+    //    RPC return value) per the program model.
+    struct Protocol
+    {
+        std::string var, readSite, loopSite;
+    };
+    std::vector<Protocol> protocols;
+    std::vector<std::string> focus_vars;
+    auto consider = [&](const detect::CandidateAccess &side,
+                        const std::string &var) {
+        if (side.isWrite)
+            return;
+        auto loop_site = model_.loopExitFedBy(side.site);
+        if (!loop_site)
+            return;
+        for (const Protocol &p : protocols)
+            if (p.var == var && p.readSite == side.site &&
+                p.loopSite == *loop_site)
+                return;
+        protocols.push_back({var, side.site, *loop_site});
+        if (std::find(focus_vars.begin(), focus_vars.end(), var) ==
+            focus_vars.end())
+            focus_vars.push_back(var);
+    };
+    for (const detect::Candidate &cand : candidates) {
+        consider(cand.a, cand.var);
+        consider(cand.b, cand.var);
+    }
+    if (protocols.empty())
+        return result;
+    result.protocolsAnalyzed = static_cast<int>(protocols.size());
+
+    // 2. Focused second run: trace only the protocol variables (all
+    //    reads and writes, regardless of scope) plus HB operations.
+    Stopwatch watch;
+    sim::Simulation rerun(config_);
+    trace::TracerConfig tc;
+    tc.focusVars = focus_vars;
+    rerun.setTracerConfig(tc);
+    build_(rerun);
+    rerun.run();
+    result.rerunSeconds = watch.seconds();
+
+    std::vector<Record> recs = rerun.tracer().store().allRecords();
+
+    // 3. For each dynamic loop exit, find the last matching read
+    //    before it and the write that produced the value it saw.
+    for (const Protocol &proto : protocols) {
+        for (const Record &exit_rec : recs) {
+            if (exit_rec.type != RecordType::LoopExit ||
+                exit_rec.site != proto.loopSite)
+                continue;
+            const Record *last_read = nullptr;
+            for (const Record &r : recs) {
+                if (r.seq >= exit_rec.seq)
+                    break;
+                if (r.type == RecordType::MemRead &&
+                    r.site == proto.readSite && r.id == proto.var)
+                    last_read = &r;
+            }
+            if (!last_read || last_read->aux <= 0)
+                continue;
+            const Record *writer = nullptr;
+            for (const Record &w : recs) {
+                if (w.type == RecordType::MemWrite && w.id == proto.var &&
+                    w.aux == last_read->aux) {
+                    writer = &w;
+                    break;
+                }
+            }
+            if (!writer || writer->thread == last_read->thread)
+                continue;
+
+            // w* in one thread fed the loop exit in another:
+            // w* happens-before the loop exit (Rule-Mpull), and the
+            // (read, w*) pair is custom synchronization.
+            int wv = pass1.findVertex(RecordType::MemWrite, writer->site,
+                                      proto.var, writer->aux);
+            int lv = pass1.findVertex(RecordType::LoopExit,
+                                      proto.loopSite, exit_rec.id);
+            if (wv >= 0 && lv >= 0 && wv < lv)
+                result.edges.emplace_back(wv, lv);
+
+            for (const detect::Candidate &cand : candidates) {
+                if (cand.var != proto.var)
+                    continue;
+                bool matches =
+                    (cand.a.site == proto.readSite &&
+                     cand.b.site == writer->site) ||
+                    (cand.b.site == proto.readSite &&
+                     cand.a.site == writer->site);
+                if (matches)
+                    result.suppressedKeys.insert(cand.callstackKey());
+            }
+            DCATCH_DEBUG() << "pull sync: write " << writer->site
+                           << " feeds loop exit " << proto.loopSite;
+        }
+    }
+    return result;
+}
+
+std::vector<detect::Candidate>
+applyPullResult(const HbGraph &, // graph already re-closed by caller
+                const std::vector<detect::Candidate> &candidates,
+                const PullResult &result)
+{
+    std::vector<detect::Candidate> kept;
+    for (const detect::Candidate &cand : candidates)
+        if (!result.suppressedKeys.count(cand.callstackKey()))
+            kept.push_back(cand);
+    return kept;
+}
+
+} // namespace dcatch::hb

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Pull-based / loop-based custom-synchronization analysis
+ * (Rule-Mpull, paper section 3.2.1).
+ *
+ * For each candidate (r, w) where the read r sits inside an RPC
+ * function whose return value depends on r and feeds a loop-exit
+ * condition at a caller (or, intra-node, where a loop exit in r's own
+ * function depends on r), DCatch re-runs the workload tracing only
+ * the affected variables (a focused second run) and determines which
+ * write w* supplied the value consumed by the last read before the
+ * loop exited.  If w* came from a different thread, then
+ * w* happens-before the loop exit: an HB edge is added, and the
+ * (r, w*) pair itself is recognised as custom synchronization and
+ * suppressed — put() vs. getTask() in the paper's Figure 2 is exactly
+ * such a pair, while remove() vs. getTask() is not and survives.
+ */
+
+#ifndef DCATCH_HB_PULL_HH
+#define DCATCH_HB_PULL_HH
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detect/report.hh"
+#include "hb/graph.hh"
+#include "model/program_model.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::hb {
+
+/** Result of the pull analysis. */
+struct PullResult
+{
+    /** HB edges (w* vertex -> loop-exit vertex) in the pass-1 graph. */
+    std::vector<std::pair<int, int>> edges;
+
+    /** Callstack keys of candidates recognised as synchronization. */
+    std::set<std::string> suppressedKeys;
+
+    /** Number of (read site, loop exit) protocols analysed. */
+    int protocolsAnalyzed = 0;
+
+    /** Wall-clock seconds spent in the focused second run. */
+    double rerunSeconds = 0.0;
+};
+
+/** The analyzer; re-runs the workload via the supplied factory. */
+class PullAnalyzer
+{
+  public:
+    /**
+     * @param model the system's program model
+     * @param build topology builder (same one used for the traced run)
+     * @param config simulation config (same seed/policy => identical
+     *        deterministic execution, so versions line up)
+     */
+    PullAnalyzer(const model::ProgramModel &model,
+                 std::function<void(sim::Simulation &)> build,
+                 sim::SimConfig config)
+        : model_(model), build_(std::move(build)), config_(config)
+    {
+    }
+
+    /**
+     * Analyse candidates against the pass-1 graph.  Does nothing (and
+     * performs no second run) when no candidate matches a pull/loop
+     * protocol shape.
+     */
+    PullResult analyze(const HbGraph &pass1,
+                       const std::vector<detect::Candidate> &candidates);
+
+  private:
+    const model::ProgramModel &model_;
+    std::function<void(sim::Simulation &)> build_;
+    sim::SimConfig config_;
+};
+
+/** Remove suppressed candidates and those ordered by the new edges. */
+std::vector<detect::Candidate>
+applyPullResult(const HbGraph &graph,
+                const std::vector<detect::Candidate> &candidates,
+                const PullResult &result);
+
+} // namespace dcatch::hb
+
+#endif // DCATCH_HB_PULL_HH

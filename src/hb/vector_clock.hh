@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Vector-clock happens-before engine — the baseline DCatch rejects.
+ *
+ * Paper section 3.2.2: "Naively computing and comparing the
+ * vector-timestamps of every pair of vertices would be too slow.
+ * Note that each vector time-stamp will have a huge number of
+ * dimensions, with each event handler and RPC function contributing
+ * one dimension."  This module implements exactly that baseline so
+ * the design choice can be measured (bench/ablation_reach) and the
+ * reachable-set engine can be cross-validated against it
+ * (tests/hb/engines_equivalence_test).
+ *
+ * Every Pnreg segment (one handler instance, or one regular thread)
+ * is a clock dimension.  A vertex's timestamp is the component-wise
+ * maximum over its HB predecessors, incremented in its own dimension.
+ * u happens-before v iff ts(u) <= ts(v) component-wise and u != v —
+ * which, on the same segment-chain construction as HbGraph, matches
+ * the reachable-set answer exactly.
+ */
+
+#ifndef DCATCH_HB_VECTOR_CLOCK_HH
+#define DCATCH_HB_VECTOR_CLOCK_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hb/graph.hh"
+#include "trace/trace_store.hh"
+
+namespace dcatch::hb {
+
+/** Sparse vector timestamp: dimension id -> counter. */
+class VectorClock
+{
+  public:
+    /** Advance this clock's own dimension. */
+    void
+    tick(int dimension)
+    {
+        ++clock_[dimension];
+    }
+
+    /** Component-wise maximum with @p other. */
+    void
+    merge(const VectorClock &other)
+    {
+        for (const auto &[dim, value] : other.clock_) {
+            std::int64_t &mine = clock_[dim];
+            if (value > mine)
+                mine = value;
+        }
+    }
+
+    /** Value in dimension @p dim (0 when absent). */
+    std::int64_t
+    get(int dim) const
+    {
+        auto it = clock_.find(dim);
+        return it == clock_.end() ? 0 : it->second;
+    }
+
+    /** Component-wise <=. */
+    bool
+    lessEq(const VectorClock &other) const
+    {
+        for (const auto &[dim, value] : clock_) {
+            auto it = other.clock_.find(dim);
+            if (it == other.clock_.end() || it->second < value)
+                return false;
+        }
+        return true;
+    }
+
+    /** Number of non-zero dimensions. */
+    std::size_t dimensions() const { return clock_.size(); }
+
+    /** Approximate heap footprint in bytes. */
+    std::size_t
+    byteSize() const
+    {
+        return clock_.size() *
+               (sizeof(int) + sizeof(std::int64_t) + 32 /* node */);
+    }
+
+  private:
+    std::map<int, std::int64_t> clock_;
+};
+
+/**
+ * Vector-clock HB engine over a trace: same rule set and segment
+ * construction as HbGraph, different concurrency query machinery.
+ */
+class VectorClockGraph
+{
+  public:
+    /** Build over the edge set of @p graph (same vertex indexing). */
+    explicit VectorClockGraph(const HbGraph &graph);
+
+    /** Number of vertices (records). */
+    std::size_t size() const { return clocks_.size(); }
+
+    /** Number of clock dimensions (segments). */
+    int dimensionCount() const { return nextDimension_; }
+
+    /** Does vertex @p u happen before vertex @p v? */
+    bool happensBefore(int u, int v) const;
+
+    /** Are vertices @p u and @p v concurrent? */
+    bool
+    concurrent(int u, int v) const
+    {
+        return u != v && !happensBefore(u, v) && !happensBefore(v, u);
+    }
+
+    /** Total bytes held by all timestamps (for the ablation bench). */
+    std::size_t clockBytes() const;
+
+  private:
+    std::vector<VectorClock> clocks_;
+    std::vector<int> chainOf_;           ///< chain id per vertex
+    std::vector<std::int64_t> tickOf_;   ///< own-dimension counter
+    int nextDimension_ = 0;
+};
+
+} // namespace dcatch::hb
+
+#endif // DCATCH_HB_VECTOR_CLOCK_HH

@@ -1,0 +1,277 @@
+#include "model/program_model.hh"
+
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace dcatch::model {
+
+void
+ProgramModel::addFunction(Function fn)
+{
+    for (const Inst &inst : fn.insts) {
+        auto [it, inserted] = siteToFn_.emplace(inst.site, fn.name);
+        if (!inserted && it->second != fn.name)
+            DCATCH_WARN() << "site " << inst.site
+                          << " registered in two functions";
+    }
+    fns_[fn.name] = std::move(fn);
+}
+
+const Function *
+ProgramModel::functionOf(const std::string &site) const
+{
+    auto it = siteToFn_.find(site);
+    if (it == siteToFn_.end())
+        return nullptr;
+    return &fns_.at(it->second);
+}
+
+const Function *
+ProgramModel::function(const std::string &name) const
+{
+    auto it = fns_.find(name);
+    return it == fns_.end() ? nullptr : &it->second;
+}
+
+const Inst *
+ProgramModel::inst(const std::string &site) const
+{
+    const Function *fn = functionOf(site);
+    if (!fn)
+        return nullptr;
+    for (const Inst &inst : fn->insts)
+        if (inst.site == site)
+            return &inst;
+    return nullptr;
+}
+
+std::set<std::string>
+ProgramModel::forwardSlice(const Function &fn,
+                           const std::string &src_site) const
+{
+    // BFS over the (reversed) dependence edges: deps maps dst -> srcs,
+    // so we walk every dst whose src set intersects the slice.
+    std::set<std::string> slice{src_site};
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &[dst, srcs] : fn.deps) {
+            if (slice.count(dst))
+                continue;
+            for (const std::string &src : srcs) {
+                if (slice.count(src)) {
+                    slice.insert(dst);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    return slice;
+}
+
+bool
+ProgramModel::dependsOn(const std::string &dst_site,
+                        const std::string &src_site) const
+{
+    const Function *fn = functionOf(dst_site);
+    if (!fn)
+        return false;
+    return forwardSlice(*fn, src_site).count(dst_site) > 0;
+}
+
+std::vector<const Inst *>
+ProgramModel::callersOf(const std::string &fn_name) const
+{
+    std::vector<const Inst *> out;
+    for (const auto &[name, fn] : fns_)
+        for (const Inst &inst : fn.insts)
+            if (inst.kind == InstKind::Call && inst.callee == fn_name)
+                out.push_back(&inst);
+    return out;
+}
+
+std::vector<const Inst *>
+ProgramModel::failureInsts(const Function &fn) const
+{
+    std::vector<const Inst *> out;
+    for (const Inst &inst : fn.insts)
+        if (inst.kind == InstKind::Failure || inst.kind == InstKind::LoopExit)
+            out.push_back(&inst);
+    return out;
+}
+
+std::optional<std::string>
+ProgramModel::loopExitFedBy(const std::string &read_site) const
+{
+    const Function *fn = functionOf(read_site);
+    if (!fn)
+        return std::nullopt;
+
+    // Intra-node variant: a loop exit in the same function depends
+    // directly on the read.
+    std::set<std::string> slice = forwardSlice(*fn, read_site);
+    for (const Inst &inst : fn->insts)
+        if (inst.kind == InstKind::LoopExit && slice.count(inst.site))
+            return inst.site;
+
+    // Distributed variant: read feeds the RPC return; the RPC's return
+    // value feeds a loop exit in the calling function on another node.
+    if (!fn->isRpc)
+        return std::nullopt;
+    bool feeds_return = false;
+    for (const std::string &ret_src : fn->returnDeps)
+        if (slice.count(ret_src)) {
+            feeds_return = true;
+            break;
+        }
+    if (!feeds_return)
+        return std::nullopt;
+
+    for (const Inst *call : callersOf(fn->name)) {
+        const Function *caller = functionOf(call->site);
+        if (!caller)
+            continue;
+        std::set<std::string> call_slice =
+            forwardSlice(*caller, call->site);
+        for (const Inst &inst : caller->insts)
+            if (inst.kind == InstKind::LoopExit &&
+                call_slice.count(inst.site))
+                return inst.site;
+    }
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------
+
+FunctionBuilder &
+FunctionBuilder::rpc()
+{
+    fn_.isRpc = true;
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::inst(const std::string &site)
+{
+    Inst inst;
+    inst.site = site;
+    fn_.insts.push_back(std::move(inst));
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::read(const std::string &site, const std::string &heap_var)
+{
+    Inst inst;
+    inst.site = site;
+    inst.heapVar = heap_var;
+    inst.heapWrite = false;
+    fn_.insts.push_back(std::move(inst));
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::write(const std::string &site,
+                       const std::string &heap_var)
+{
+    Inst inst;
+    inst.site = site;
+    inst.heapVar = heap_var;
+    inst.heapWrite = true;
+    fn_.insts.push_back(std::move(inst));
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::call(const std::string &site, const std::string &callee)
+{
+    Inst inst;
+    inst.site = site;
+    inst.kind = InstKind::Call;
+    inst.callee = callee;
+    fn_.insts.push_back(std::move(inst));
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::rpcCall(const std::string &site,
+                         const std::string &callee)
+{
+    Inst inst;
+    inst.site = site;
+    inst.kind = InstKind::Call;
+    inst.callee = callee;
+    inst.rpcCall = true;
+    fn_.insts.push_back(std::move(inst));
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::failure(const std::string &site, sim::FailureKind kind)
+{
+    Inst inst;
+    inst.site = site;
+    inst.kind = InstKind::Failure;
+    inst.failureKind = kind;
+    fn_.insts.push_back(std::move(inst));
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::loopExit(const std::string &site)
+{
+    Inst inst;
+    inst.site = site;
+    inst.kind = InstKind::LoopExit;
+    inst.failureKind = sim::FailureKind::LoopHang;
+    fn_.insts.push_back(std::move(inst));
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::dep(const std::string &dst,
+                     const std::vector<std::string> &srcs)
+{
+    for (const std::string &src : srcs)
+        fn_.deps[dst].insert(src);
+    return *this;
+}
+
+FunctionBuilder &
+FunctionBuilder::returns(const std::vector<std::string> &srcs)
+{
+    for (const std::string &src : srcs)
+        fn_.returnDeps.insert(src);
+    return *this;
+}
+
+FunctionBuilder
+ModelBuilder::fn(const std::string &name, bool is_rpc)
+{
+    auto it = fns_.find(name);
+    if (it == fns_.end()) {
+        Function fn;
+        fn.name = name;
+        fn.isRpc = is_rpc;
+        it = fns_.emplace(name, std::move(fn)).first;
+        order_.push_back(name);
+    }
+    if (is_rpc)
+        it->second.isRpc = true;
+    return FunctionBuilder(it->second);
+}
+
+ProgramModel
+ModelBuilder::build() const
+{
+    ProgramModel model;
+    for (const std::string &name : order_)
+        model.addFunction(fns_.at(name));
+    return model;
+}
+
+} // namespace dcatch::model

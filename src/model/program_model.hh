@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Static program model — the WALA substitute.
+ *
+ * DCatch's static pruning (paper section 4) runs over a program
+ * dependence graph that WALA computes from Java bytecode.  Our C++
+ * mini systems instead *register* an explicit dependence IR whose
+ * instruction identities (site ids) are shared with the dynamic trace,
+ * playing the role of bytecode instruction identity.
+ *
+ * The IR answers exactly the queries the pruning algorithm needs:
+ *  - which function contains a site; which sites a site flows to
+ *    (data or control dependence, transitively, within a function);
+ *  - which sites the function's return value depends on;
+ *  - which call sites invoke a function (and whether the call is an
+ *    RPC from another node);
+ *  - which instructions are failure instructions (section 4.1), and
+ *    of what kind;
+ *  - which heap variables an instruction reads/writes (for one-level
+ *    caller/callee heap impact);
+ *  - which loop-exit instructions depend on a given site (used both
+ *    as potential failure instructions and by the pull-based
+ *    synchronization analysis).
+ */
+
+#ifndef DCATCH_MODEL_PROGRAM_MODEL_HH
+#define DCATCH_MODEL_PROGRAM_MODEL_HH
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hh"
+
+namespace dcatch::model {
+
+/** Instruction kinds in the model IR. */
+enum class InstKind {
+    Plain,    ///< ordinary instruction (incl. memory accesses)
+    Call,     ///< call site (local call or RPC invocation)
+    Failure,  ///< failure instruction (abort/fatal-log/throw)
+    LoopExit, ///< loop-exit instruction (potential failure; Mpull sink)
+};
+
+/** One modelled instruction. */
+struct Inst
+{
+    std::string site;          ///< unique site id, shared with traces
+    InstKind kind = InstKind::Plain;
+    sim::FailureKind failureKind = sim::FailureKind::FatalLog;
+    std::string callee;        ///< for Call: target function name
+    bool rpcCall = false;      ///< for Call: cross-node RPC invocation
+    std::string heapVar;       ///< heap/global variable id touched
+    bool heapWrite = false;    ///< write (vs. read) of heapVar
+};
+
+/** One modelled function. */
+struct Function
+{
+    std::string name;
+    bool isRpc = false;     ///< RPC function (distributed impact source)
+    std::vector<Inst> insts;
+
+    /** Dependence edges within the function: dst <- {srcs}.  The
+     *  pseudo-source "$param" marks dependence on call parameters. */
+    std::map<std::string, std::set<std::string>> deps;
+
+    /** Sites the function's return value depends on. */
+    std::set<std::string> returnDeps;
+};
+
+/** The registered model of one mini system. */
+class ProgramModel
+{
+  public:
+    /** Add a function (name must be unique). */
+    void addFunction(Function fn);
+
+    /** Function containing @p site, or nullptr. */
+    const Function *functionOf(const std::string &site) const;
+
+    /** Function by name, or nullptr. */
+    const Function *function(const std::string &name) const;
+
+    /** Instruction by site, or nullptr. */
+    const Inst *inst(const std::string &site) const;
+
+    /**
+     * Transitive intra-procedural dependence: does @p dst_site depend
+     * (data or control) on @p src_site within their common function?
+     */
+    bool dependsOn(const std::string &dst_site,
+                   const std::string &src_site) const;
+
+    /** All sites within fn that transitively depend on @p src_site
+     *  (including src itself). */
+    std::set<std::string> forwardSlice(const Function &fn,
+                                       const std::string &src_site) const;
+
+    /** Call instructions (across all functions) targeting @p fn_name. */
+    std::vector<const Inst *> callersOf(const std::string &fn_name) const;
+
+    /** Function containing instruction @p site (by site), or nullptr —
+     *  same as functionOf but for call sites etc. */
+    const Function *enclosing(const std::string &site) const
+    {
+        return functionOf(site);
+    }
+
+    /** All failure instructions of @p fn (incl. loop exits). */
+    std::vector<const Inst *> failureInsts(const Function &fn) const;
+
+    /** All functions (for iteration/statistics). */
+    const std::map<std::string, Function> &functions() const
+    {
+        return fns_;
+    }
+
+    /**
+     * Pull-analysis query: find a loop-exit site fed by @p read_site.
+     * True when read_site's enclosing function F has return depending
+     * on read_site, some call site c invokes F, and a LoopExit
+     * instruction in c's function depends on c.  Also true for the
+     * intra-node variant where a LoopExit in F's own function depends
+     * directly on read_site.
+     * @return the loop-exit site, or nullopt
+     */
+    std::optional<std::string>
+    loopExitFedBy(const std::string &read_site) const;
+
+  private:
+    std::map<std::string, Function> fns_;
+    std::map<std::string, std::string> siteToFn_;
+};
+
+/**
+ * Fluent builder for ProgramModel functions, so mini systems can
+ * declare their model next to their code:
+ *
+ *   ModelBuilder b;
+ *   b.fn("AM.getTask").rpc()
+ *       .read("mr.am.getTask.read", "map:AM/jMap")
+ *       .returns({"mr.am.getTask.read"});
+ */
+class FunctionBuilder
+{
+  public:
+    explicit FunctionBuilder(Function &fn) : fn_(fn) {}
+
+    /** Mark as RPC function. */
+    FunctionBuilder &rpc();
+
+    /** Plain instruction. */
+    FunctionBuilder &inst(const std::string &site);
+
+    /** Heap read instruction. */
+    FunctionBuilder &read(const std::string &site,
+                          const std::string &heap_var);
+
+    /** Heap write instruction. */
+    FunctionBuilder &write(const std::string &site,
+                           const std::string &heap_var);
+
+    /** Call site (local). */
+    FunctionBuilder &call(const std::string &site,
+                          const std::string &callee);
+
+    /** RPC call site (remote). */
+    FunctionBuilder &rpcCall(const std::string &site,
+                             const std::string &callee);
+
+    /** Failure instruction. */
+    FunctionBuilder &failure(const std::string &site,
+                             sim::FailureKind kind);
+
+    /** Loop-exit instruction (potential failure, Mpull sink). */
+    FunctionBuilder &loopExit(const std::string &site);
+
+    /** Add dependence edges: @p dst depends on each of @p srcs
+     *  ("$param" marks parameter dependence). */
+    FunctionBuilder &dep(const std::string &dst,
+                         const std::vector<std::string> &srcs);
+
+    /** Declare the return value's dependences. */
+    FunctionBuilder &returns(const std::vector<std::string> &srcs);
+
+  private:
+    Function &fn_;
+};
+
+/** Builder root. */
+class ModelBuilder
+{
+  public:
+    /** Start (or continue) building function @p name. */
+    FunctionBuilder fn(const std::string &name, bool is_rpc = false);
+
+    /** Finalize into a ProgramModel. */
+    ProgramModel build() const;
+
+  private:
+    std::map<std::string, Function> fns_;
+    std::vector<std::string> order_;
+};
+
+} // namespace dcatch::model
+
+#endif // DCATCH_MODEL_PROGRAM_MODEL_HH

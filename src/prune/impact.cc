@@ -1,0 +1,163 @@
+#include "prune/impact.hh"
+
+#include "common/logging.hh"
+
+namespace dcatch::prune {
+
+using model::Function;
+using model::Inst;
+using model::InstKind;
+
+bool
+FailureSpec::admits(const Inst &inst) const
+{
+    if (inst.kind == InstKind::LoopExit)
+        return loopExits;
+    if (inst.kind != InstKind::Failure)
+        return false;
+    switch (inst.failureKind) {
+      case sim::FailureKind::Abort: return aborts;
+      case sim::FailureKind::FatalLog: return fatalLogs;
+      case sim::FailureKind::UncaughtException: return uncaughtThrows;
+      case sim::FailureKind::LoopHang: return loopExits;
+    }
+    return false;
+}
+
+std::vector<const Inst *>
+StaticPruner::admittedFailures(const Function &fn) const
+{
+    std::vector<const Inst *> out;
+    for (const Inst *inst : model_.failureInsts(fn))
+        if (spec_.admits(*inst))
+            out.push_back(inst);
+    return out;
+}
+
+ImpactFinding
+StaticPruner::analyzeSite(const std::string &site) const
+{
+    ImpactFinding finding;
+    const Function *fn = model_.functionOf(site);
+    if (!fn) {
+        // Unmodelled sites have no discoverable impact — pruned, like
+        // bytecode outside the analysed scope.
+        return finding;
+    }
+
+    std::set<std::string> slice = model_.forwardSlice(*fn, site);
+
+    // (1) Intra-procedural: failure instruction in the same function.
+    for (const Inst *fi : admittedFailures(*fn)) {
+        if (slice.count(fi->site)) {
+            finding.hasImpact = true;
+            finding.reason = "local-intra:" + fi->site;
+            return finding;
+        }
+    }
+
+    // (2) One level up via the return value; distributed when the
+    //     call edge is an RPC invocation from another node.
+    bool feeds_return = false;
+    for (const std::string &src : fn->returnDeps)
+        if (slice.count(src)) {
+            feeds_return = true;
+            break;
+        }
+    if (feeds_return) {
+        for (const Inst *call : model_.callersOf(fn->name)) {
+            const Function *caller = model_.functionOf(call->site);
+            if (!caller)
+                continue;
+            std::set<std::string> call_slice =
+                model_.forwardSlice(*caller, call->site);
+            for (const Inst *fi : admittedFailures(*caller)) {
+                if (call_slice.count(fi->site)) {
+                    finding.hasImpact = true;
+                    finding.distributed = call->rpcCall;
+                    finding.reason =
+                        (call->rpcCall ? "distributed:" : "local-caller:") +
+                        fi->site;
+                    return finding;
+                }
+            }
+        }
+    }
+
+    // (3) One level up/down via heap variables: s writes H; a caller
+    //     or callee reads H on a path to a failure instruction.
+    const Inst *self = model_.inst(site);
+    if (self && !self->heapVar.empty() && self->heapWrite) {
+        std::vector<const Function *> neighbours;
+        for (const Inst *call : model_.callersOf(fn->name))
+            if (const Function *caller = model_.functionOf(call->site))
+                neighbours.push_back(caller);
+        for (const Inst &inst : fn->insts)
+            if (inst.kind == InstKind::Call)
+                if (const Function *callee = model_.function(inst.callee))
+                    neighbours.push_back(callee);
+        for (const Function *g : neighbours) {
+            for (const Inst &read : g->insts) {
+                if (read.heapVar != self->heapVar || read.heapWrite)
+                    continue;
+                std::set<std::string> read_slice =
+                    model_.forwardSlice(*g, read.site);
+                for (const Inst *fi : admittedFailures(*g)) {
+                    if (read_slice.count(fi->site)) {
+                        finding.hasImpact = true;
+                        finding.reason = "heap:" + fi->site;
+                        return finding;
+                    }
+                }
+            }
+        }
+    }
+
+    // (4) One level down via call parameters.
+    for (const Inst &inst : fn->insts) {
+        if (inst.kind != InstKind::Call || !slice.count(inst.site))
+            continue;
+        const Function *callee = model_.function(inst.callee);
+        if (!callee)
+            continue;
+        std::set<std::string> param_slice =
+            model_.forwardSlice(*callee, "$param");
+        for (const Inst *fi : admittedFailures(*callee)) {
+            if (param_slice.count(fi->site)) {
+                finding.hasImpact = true;
+                finding.reason = "local-callee:" + fi->site;
+                return finding;
+            }
+        }
+    }
+
+    return finding;
+}
+
+PruneDecision
+StaticPruner::evaluate(const detect::Candidate &candidate) const
+{
+    PruneDecision decision;
+    decision.sideA = analyzeSite(candidate.a.site);
+    decision.sideB = analyzeSite(candidate.b.site);
+    decision.keep = decision.sideA.hasImpact || decision.sideB.hasImpact;
+    return decision;
+}
+
+std::vector<detect::Candidate>
+StaticPruner::prune(const std::vector<detect::Candidate> &candidates) const
+{
+    std::vector<detect::Candidate> kept;
+    for (const detect::Candidate &cand : candidates) {
+        PruneDecision decision = evaluate(cand);
+        if (decision.keep) {
+            kept.push_back(cand);
+        } else {
+            DCATCH_DEBUG() << "pruned (no failure impact): "
+                           << cand.staticKey();
+        }
+    }
+    return kept;
+}
+
+} // namespace dcatch::prune

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Static false-positive pruning (paper section 4).
+ *
+ * For a candidate (s, t), DCatch statically estimates whether s or t
+ * can affect the execution of a failure instruction:
+ *
+ *  - local, intra-procedural: a failure instruction in s's function
+ *    has control- or data-dependence on s;
+ *  - local, inter-procedural (one level up): s flows into the return
+ *    value of its function M, and a failure instruction in a caller
+ *    of M depends on the call's result; or s writes a heap variable
+ *    read by a one-level caller/callee on a path to a failure;
+ *  - local, inter-procedural (one level down): s flows into a call's
+ *    arguments and a failure instruction in the callee depends on its
+ *    parameters;
+ *  - distributed: an RPC function R encloses s, R's return value
+ *    depends on s, and a failure instruction in the remote caller
+ *    depends on the RPC result.
+ *
+ * A candidate with no impact found on either side is pruned.
+ */
+
+#ifndef DCATCH_PRUNE_IMPACT_HH
+#define DCATCH_PRUNE_IMPACT_HH
+
+#include <string>
+#include <vector>
+
+#include "detect/report.hh"
+#include "model/program_model.hh"
+
+namespace dcatch::prune {
+
+/** Why an access was considered impactful (diagnostics). */
+struct ImpactFinding
+{
+    bool hasImpact = false;
+    std::string reason; ///< e.g. "local-intra:<failure site>"
+    bool distributed = false;
+};
+
+/** Decision for one candidate. */
+struct PruneDecision
+{
+    bool keep = false;
+    ImpactFinding sideA, sideB;
+};
+
+/**
+ * Which failure-instruction classes the pruner considers (paper
+ * section 4.1: "This list is configurable, allowing future DCatch
+ * extension to detect DCbugs with different failures").
+ */
+struct FailureSpec
+{
+    bool aborts = true;        ///< System.exit / abort invocations
+    bool fatalLogs = true;     ///< Log::fatal / Log::error
+    bool uncaughtThrows = true; ///< uncatchable exceptions
+    bool loopExits = true;     ///< loop-exit instructions (hangs)
+
+    /** Does the spec admit a failure instruction of this kind? */
+    bool admits(const model::Inst &inst) const;
+};
+
+/** The static pruner, bound to one system's program model. */
+class StaticPruner
+{
+  public:
+    StaticPruner(const model::ProgramModel &model, FailureSpec spec)
+        : model_(model), spec_(spec)
+    {
+    }
+
+    explicit StaticPruner(const model::ProgramModel &model)
+        : StaticPruner(model, FailureSpec())
+    {
+    }
+
+    /** Impact analysis for one access site. */
+    ImpactFinding analyzeSite(const std::string &site) const;
+
+    /** Keep/prune decision for a candidate. */
+    PruneDecision evaluate(const detect::Candidate &candidate) const;
+
+    /** Filter a candidate list, keeping only impactful candidates. */
+    std::vector<detect::Candidate>
+    prune(const std::vector<detect::Candidate> &candidates) const;
+
+  private:
+    /** Failure instructions of @p fn admitted by the spec. */
+    std::vector<const model::Inst *>
+    admittedFailures(const model::Function &fn) const;
+
+    const model::ProgramModel &model_;
+    FailureSpec spec_;
+};
+
+} // namespace dcatch::prune
+
+#endif // DCATCH_PRUNE_IMPACT_HH

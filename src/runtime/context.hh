@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Per-thread execution context.
+ *
+ * A ThreadContext carries the identity of a simulated thread (node,
+ * global id, name), its callstack of RAII frames, and the "traced
+ * scope" depth used by the selective tracer: memory accesses are
+ * recorded only while the thread executes inside an RPC function, an
+ * event handler, a socket/verb handler, or one of their callees
+ * (paper section 3.1.1).
+ *
+ * App-facing conveniences (RPC calls, message sends, failure
+ * reporting, retry loops) live here so application code reads like
+ * code written against a real distributed-system framework.
+ */
+
+#ifndef DCATCH_RUNTIME_CONTEXT_HH
+#define DCATCH_RUNTIME_CONTEXT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hh"
+
+namespace dcatch::sim {
+
+/** Kinds of handler scopes a frame can open. */
+enum class ScopeKind {
+    Regular,    ///< plain function frame, no tracing-scope change
+    Rpc,        ///< RPC function body
+    Event,      ///< event-handler body
+    Message,    ///< socket/verb-handler body
+};
+
+/** Execution context of one simulated thread. */
+class ThreadContext
+{
+  public:
+    ThreadContext(Simulation &sim, Node &node, int tid, std::string name);
+
+    Simulation &sim() { return sim_; }
+    Node &node() { return node_; }
+    int tid() const { return tid_; }
+    const std::string &name() const { return name_; }
+
+    /** Joined callstack string ("a>b>c") for trace records. */
+    std::string callstack() const;
+
+    /** True while inside an RPC/event/message handler or a callee. */
+    bool inTracedScope() const { return tracedDepth_ > 0; }
+
+    /**
+     * Key identifying the current handler segment, used to apply
+     * Rule-Pnreg: program order only links operations of the same
+     * handler instance.  Empty for regular (non-handler) threads.
+     */
+    const std::string &segmentKey() const { return segment_; }
+
+    /** Give up the token; another thread may run. */
+    void yield();
+
+    /** Yield @p times times (used by apps to bias the default order). */
+    void pause(int times);
+
+    /** Block until @p pred holds (evaluated with no thread running). */
+    void blockUntil(std::function<bool()> pred);
+
+    // ------------------------------------------------------------------
+    // Distributed-system verbs (implemented in sim.cc).
+    // ------------------------------------------------------------------
+
+    /**
+     * Synchronous RPC to @p target_node.  Blocks until the reply
+     * arrives.  If the target node crashed, the reply payload carries
+     * field "__error".
+     */
+    Payload rpcCall(const char *site, const std::string &target_node,
+                    const std::string &function, Payload args);
+
+    /** Asynchronous socket message to @p target_node (never blocks). */
+    void send(const char *site, const std::string &target_node,
+              const std::string &verb, Payload message);
+
+    // ------------------------------------------------------------------
+    // Failure instructions (paper section 4.1).
+    // ------------------------------------------------------------------
+
+    /** System.exit / abort: records the failure and crashes the node. */
+    [[noreturn]] void abortNode(const char *site, const std::string &msg);
+
+    /** Log::fatal / Log::error: records the failure, continues. */
+    void fatalLog(const char *site, const std::string &msg);
+
+    /** Uncaught RuntimeException: records the failure, kills the
+     *  current thread only. */
+    [[noreturn]] void throwUncaught(const char *site,
+                                    const std::string &msg);
+
+    /**
+     * Instrumented retry loop ("while (!attempt()) {}").  Calls
+     * @p attempt until it returns true.  Each iteration is traced
+     * (LoopIter); a successful exit is traced as LoopExit at @p site.
+     * If the loop spins beyond the configured hang bound, a LoopHang
+     * failure is recorded at @p site and the call returns false.
+     * @return true if the loop exited normally.
+     */
+    bool retryUntil(const char *site, std::function<bool()> attempt);
+
+  private:
+    friend class Frame;
+    friend class Simulation;
+
+    Simulation &sim_;
+    Node &node_;
+    int tid_;
+    std::string name_;
+    std::vector<std::string> frames_;
+    int tracedDepth_ = 0;
+    std::string segment_;
+    int loopSerial_ = 0; ///< per-thread counter for loop instance ids
+};
+
+/**
+ * RAII callstack frame.  Opening a frame with a handler ScopeKind
+ * enters the traced scope and starts a new Pnreg segment.
+ */
+class Frame
+{
+  public:
+    /**
+     * @param ctx owning thread context
+     * @param name frame name for callstacks
+     * @param kind handler kind (Regular for plain calls)
+     * @param segment handler-instance key for Pnreg (ignored when
+     *        kind == Regular)
+     */
+    Frame(ThreadContext &ctx, std::string name,
+          ScopeKind kind = ScopeKind::Regular, std::string segment = "");
+    ~Frame();
+
+    Frame(const Frame &) = delete;
+    Frame &operator=(const Frame &) = delete;
+
+  private:
+    ThreadContext &ctx_;
+    ScopeKind kind_;
+    std::string savedSegment_;
+};
+
+} // namespace dcatch::sim
+
+#endif // DCATCH_RUNTIME_CONTEXT_HH

@@ -1,0 +1,198 @@
+#include "runtime/coord.hh"
+
+#include "common/util.hh"
+#include "runtime/node.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::sim {
+
+const char *
+coordChangeName(CoordChange change)
+{
+    switch (change) {
+      case CoordChange::Created: return "Created";
+      case CoordChange::Deleted: return "Deleted";
+      case CoordChange::DataChanged: return "DataChanged";
+    }
+    return "?";
+}
+
+namespace {
+
+std::string
+znodeVarId(const std::string &path)
+{
+    return "znode:" + path;
+}
+
+} // namespace
+
+bool
+CoordService::create(ThreadContext &ctx, const char *site,
+                     const std::string &path, const std::string &data)
+{
+    if (znodes_.count(path)) {
+        // Failed create still touches the znode (write attempt).
+        sim_.memAccess(ctx, true, znodeVarId(path), site, -1);
+        return false;
+    }
+    std::int64_t version = ++nextVersion_;
+    sim_.traceAccess(ctx, true, znodeVarId(path), site, version);
+    // Re-validate after the control point: the hook may have held
+    // this thread while another client created the path.
+    if (znodes_.count(path)) {
+        sim_.accessYield(ctx);
+        return false;
+    }
+    znodes_[path] = Znode{data, version};
+    sim_.accessYield(ctx);
+    publish(ctx, path, CoordChange::Created, version, data);
+    return true;
+}
+
+bool
+CoordService::remove(ThreadContext &ctx, const char *site,
+                     const std::string &path)
+{
+    if (!znodes_.count(path)) {
+        sim_.memAccess(ctx, true, znodeVarId(path), site, -1);
+        return false;
+    }
+    std::int64_t version = ++nextVersion_;
+    sim_.traceAccess(ctx, true, znodeVarId(path), site, version);
+    // Re-validate after the control point (see create()).
+    bool existed = znodes_.erase(path) > 0;
+    sim_.accessYield(ctx);
+    if (!existed)
+        return false;
+    publish(ctx, path, CoordChange::Deleted, version, "");
+    return true;
+}
+
+bool
+CoordService::setData(ThreadContext &ctx, const char *site,
+                      const std::string &path, const std::string &data)
+{
+    auto it = znodes_.find(path);
+    if (it == znodes_.end()) {
+        sim_.memAccess(ctx, true, znodeVarId(path), site, -1);
+        return false;
+    }
+    std::int64_t version = ++nextVersion_;
+    sim_.traceAccess(ctx, true, znodeVarId(path), site, version);
+    // Re-validate after the control point (see create()).
+    it = znodes_.find(path);
+    if (it == znodes_.end()) {
+        sim_.accessYield(ctx);
+        return false;
+    }
+    it->second.data = data;
+    it->second.version = version;
+    sim_.accessYield(ctx);
+    publish(ctx, path, CoordChange::DataChanged, version, data);
+    return true;
+}
+
+std::optional<std::string>
+CoordService::getData(ThreadContext &ctx, const char *site,
+                      const std::string &path)
+{
+    auto it = znodes_.find(path);
+    std::int64_t version = it == znodes_.end() ? 0 : it->second.version;
+    sim_.traceAccess(ctx, false, znodeVarId(path), site, version);
+    std::optional<std::string> out;
+    if (it != znodes_.end())
+        out = it->second.data;
+    sim_.accessYield(ctx);
+    return out;
+}
+
+bool
+CoordService::exists(ThreadContext &ctx, const char *site,
+                     const std::string &path)
+{
+    bool present = znodes_.count(path) > 0;
+    std::int64_t version = present ? znodes_.at(path).version : 0;
+    sim_.traceAccess(ctx, false, znodeVarId(path), site, version);
+    present = znodes_.count(path) > 0;
+    sim_.accessYield(ctx);
+    return present;
+}
+
+void
+CoordService::watch(Node &node, const std::string &path_prefix,
+                    WatchHandler handler)
+{
+    auto watcher = std::make_unique<Watcher>();
+    watcher->node = &node;
+    watcher->prefix = path_prefix;
+    watcher->handler = std::move(handler);
+    watchers_.push_back(std::move(watcher));
+}
+
+void
+CoordService::publish(ThreadContext &ctx, const std::string &path,
+                      CoordChange change, std::int64_t version,
+                      const std::string &data)
+{
+    std::string update_id =
+        strprintf("%s#%lld", path.c_str(), static_cast<long long>(version));
+    sim_.opRecord(ctx, trace::RecordType::CoordUpdate, update_id,
+                  coordChangeName(change));
+    for (auto &watcher : watchers_) {
+        if (path.rfind(watcher->prefix, 0) != 0)
+            continue;
+        if (watcher->node->crashed())
+            continue;
+        CoordNotification note;
+        note.path = path;
+        note.change = change;
+        note.version = version;
+        note.data = data;
+        watcher->inbox.push_back(note);
+    }
+    sim_.accessYield(ctx);
+}
+
+void
+CoordService::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    for (std::size_t i = 0; i < watchers_.size(); ++i) {
+        Watcher *watcher = watchers_[i].get();
+        sim_.spawn(
+            nullptr, *watcher->node,
+            strprintf("%s.zkWatcher%zu", watcher->node->name().c_str(), i),
+            [this, watcher](ThreadContext &ctx) {
+                watcherLoop(ctx, *watcher);
+            },
+            /*daemon=*/true);
+    }
+}
+
+void
+CoordService::watcherLoop(ThreadContext &ctx, Watcher &watcher)
+{
+    while (true) {
+        ctx.blockUntil([&watcher] { return !watcher.inbox.empty(); });
+        CoordNotification note = watcher.inbox.front();
+        watcher.inbox.pop_front();
+
+        std::string push_id = strprintf(
+            "%s#%lld", note.path.c_str(),
+            static_cast<long long>(note.version));
+        sim_.opTrace(ctx, trace::RecordType::CoordPushed, push_id,
+                     coordChangeName(note.change));
+        Frame frame(ctx, "watch:" + note.path, ScopeKind::Event,
+                    "w:" + push_id);
+        try {
+            watcher.handler(ctx, note);
+        } catch (const Simulation::UncaughtSignal &) {
+            // watcher thread survives; failure already recorded
+        }
+    }
+}
+
+} // namespace dcatch::sim

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * ZooKeeper-like coordination service (paper Rule-Mpush).
+ *
+ * Nodes create/delete/setData znodes; subscriber nodes register
+ * watchers on path prefixes and receive push notifications in a
+ * dedicated watcher thread.  Znode accesses are also traced as
+ * ordinary shared-memory accesses (var id "znode:<path>") so that
+ * races on znodes — e.g. HB-4729's concurrent delete vs.
+ * read-then-delete — are visible to the race detector, exactly as
+ * DCatch reports them.
+ */
+
+#ifndef DCATCH_RUNTIME_COORD_HH
+#define DCATCH_RUNTIME_COORD_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hh"
+
+namespace dcatch::sim {
+
+/** Change type carried by a watcher notification. */
+enum class CoordChange { Created, Deleted, DataChanged };
+
+/** Name of a change type. */
+const char *coordChangeName(CoordChange change);
+
+/** One watcher notification. */
+struct CoordNotification
+{
+    std::string path;
+    CoordChange change = CoordChange::Created;
+    std::int64_t version = 0; ///< update version (pairs Update/Pushed)
+    std::string data;         ///< znode data after the change
+};
+
+/** ZooKeeper-like znode store with push-based watcher notifications. */
+class CoordService
+{
+  public:
+    using WatchHandler =
+        std::function<void(ThreadContext &, const CoordNotification &)>;
+
+    explicit CoordService(Simulation &sim) : sim_(sim) {}
+
+    /**
+     * Create a znode.  Traces a MemWrite on "znode:<path>" plus, on
+     * success, a CoordUpdate (Rule-Mpush source).
+     * @return false if the path already exists
+     */
+    bool create(ThreadContext &ctx, const char *site,
+                const std::string &path, const std::string &data = "");
+
+    /** Delete a znode. @return false if the path does not exist. */
+    bool remove(ThreadContext &ctx, const char *site,
+                const std::string &path);
+
+    /** Overwrite znode data. @return false if the path is missing. */
+    bool setData(ThreadContext &ctx, const char *site,
+                 const std::string &path, const std::string &data);
+
+    /** Read znode data (MemRead trace). */
+    std::optional<std::string> getData(ThreadContext &ctx,
+                                       const char *site,
+                                       const std::string &path);
+
+    /** Existence test (MemRead trace). */
+    bool exists(ThreadContext &ctx, const char *site,
+                const std::string &path);
+
+    /**
+     * Subscribe @p node to changes under @p path_prefix.  Must be
+     * called during setup (before the run).  Notifications are
+     * delivered in a dedicated watcher thread on the subscriber node,
+     * inside an event-handler traced scope.
+     */
+    void watch(Node &node, const std::string &path_prefix,
+               WatchHandler handler);
+
+    /** Spawn watcher threads; called by Simulation at run start. */
+    void start();
+
+  private:
+    struct Znode
+    {
+        std::string data;
+        std::int64_t version = 0;
+    };
+
+    struct Watcher
+    {
+        Node *node = nullptr;
+        std::string prefix;
+        WatchHandler handler;
+        std::deque<CoordNotification> inbox;
+        int serial = 0; ///< per-watcher notification counter
+    };
+
+    /** Record the write, notify watchers, trace CoordUpdate. */
+    void publish(ThreadContext &ctx, const std::string &path,
+                 CoordChange change, std::int64_t version,
+                 const std::string &data);
+
+    void watcherLoop(ThreadContext &ctx, Watcher &watcher);
+
+    Simulation &sim_;
+    std::map<std::string, Znode> znodes_;
+    std::int64_t nextVersion_ = 0;
+    std::vector<std::unique_ptr<Watcher>> watchers_;
+    bool started_ = false;
+};
+
+} // namespace dcatch::sim
+
+#endif // DCATCH_RUNTIME_COORD_HH

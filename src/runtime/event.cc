@@ -1,0 +1,87 @@
+#include "runtime/event.hh"
+
+#include "common/util.hh"
+#include "runtime/node.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::sim {
+
+EventQueue::EventQueue(Node &node, std::string name, int consumers)
+    : node_(node), name_(std::move(name)), consumers_(consumers)
+{
+    queueId_ = node_.name() + "/" + name_;
+}
+
+void
+EventQueue::on(const std::string &type, Handler handler)
+{
+    handlers_[type] = std::move(handler);
+}
+
+void
+EventQueue::enqueue(ThreadContext &ctx, const char *site,
+                    const std::string &type, Payload payload)
+{
+    Event event;
+    event.id = strprintf("%s#%d", queueId_.c_str(), nextEventSerial_++);
+    event.type = type;
+    event.payload = std::move(payload);
+    event.enqSite = site;
+    node_.sim().opRecord(ctx, trace::RecordType::EventCreate, event.id,
+                         site);
+    pending_.push_back(std::move(event));
+    node_.sim().accessYield(ctx);
+}
+
+void
+EventQueue::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+
+    trace::QueueMeta meta;
+    meta.queueId = queueId_;
+    meta.node = node_.index();
+    meta.singleConsumer = (consumers_ == 1);
+    node_.sim().tracer().store().noteQueue(meta);
+
+    for (int i = 0; i < consumers_; ++i) {
+        node_.sim().spawn(
+            nullptr, node_,
+            strprintf("%s.consumer%d", queueId_.c_str(), i),
+            [this](ThreadContext &ctx) { consumerLoop(ctx); },
+            /*daemon=*/true);
+    }
+}
+
+void
+EventQueue::consumerLoop(ThreadContext &ctx)
+{
+    Simulation &sim = node_.sim();
+    while (true) {
+        ctx.blockUntil([this] { return !pending_.empty(); });
+        Event event = pending_.front();
+        pending_.pop_front();
+
+        sim.opTrace(ctx, trace::RecordType::EventBegin, event.id,
+                    event.type.c_str());
+        {
+            Frame frame(ctx, "evt:" + event.type, ScopeKind::Event,
+                        "e:" + event.id);
+            auto it = handlers_.find(event.type);
+            if (it != handlers_.end()) {
+                try {
+                    it->second(ctx, event);
+                } catch (const Simulation::UncaughtSignal &) {
+                    // event dispatcher survives handler exceptions;
+                    // the failure was already recorded
+                }
+            }
+        }
+        sim.opTrace(ctx, trace::RecordType::EventEnd, event.id,
+                    event.type.c_str());
+    }
+}
+
+} // namespace dcatch::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Asynchronous event queues (paper section 2.2).
+ *
+ * Events are enqueued by any thread and processed by pre-defined
+ * handlers in dedicated handler thread(s).  All queues are FIFO with
+ * one dispatching point; a queue with exactly one handling thread is
+ * a "single-consumer queue", whose handlers are serialized
+ * (Rule-Eserial); multi-consumer queues run handlers concurrently.
+ */
+
+#ifndef DCATCH_RUNTIME_EVENT_HH
+#define DCATCH_RUNTIME_EVENT_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "runtime/types.hh"
+
+namespace dcatch::sim {
+
+/** One queued event instance. */
+struct Event
+{
+    std::string id;      ///< unique instance id "<queueId>#<n>"
+    std::string type;    ///< handler dispatch key
+    Payload payload;
+    std::string enqSite; ///< site of the enqueue call
+};
+
+/** A FIFO event queue with its pool of handler threads. */
+class EventQueue
+{
+  public:
+    using Handler = std::function<void(ThreadContext &, const Event &)>;
+
+    /**
+     * @param node owning node
+     * @param name queue name, unique within the node
+     * @param consumers number of handler threads (1 = single-consumer)
+     */
+    EventQueue(Node &node, std::string name, int consumers);
+
+    /** Register the handler for events of @p type. */
+    void on(const std::string &type, Handler handler);
+
+    /**
+     * Enqueue an event (traces Create(e), Rule-Eenq source).
+     * @param site static site id of the enqueue call
+     */
+    void enqueue(ThreadContext &ctx, const char *site,
+                 const std::string &type, Payload payload = {});
+
+    /** Globally unique queue id ("<node>/<name>"). */
+    const std::string &queueId() const { return queueId_; }
+
+    /** True when exactly one handler thread serves the queue. */
+    bool singleConsumer() const { return consumers_ == 1; }
+
+    /** Number of events waiting (not yet picked up). */
+    std::size_t pendingCount() const { return pending_.size(); }
+
+    /** Spawn the handler threads; called by Node::start(). */
+    void start();
+
+  private:
+    void consumerLoop(ThreadContext &ctx);
+
+    Node &node_;
+    std::string name_;
+    std::string queueId_;
+    int consumers_;
+    int nextEventSerial_ = 0;
+    std::deque<Event> pending_;
+    std::map<std::string, Handler> handlers_;
+    bool started_ = false;
+};
+
+} // namespace dcatch::sim
+
+#endif // DCATCH_RUNTIME_EVENT_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fault injection helpers.
+ *
+ * Distributed systems must tolerate component failures (the paper's
+ * "more subtle fault tolerance" challenge); several benchmark
+ * workloads — expire-server in HB-4729 foremost — revolve around
+ * node death.  These helpers schedule crashes declaratively so tests
+ * and workloads can exercise fault-tolerance paths.
+ */
+
+#ifndef DCATCH_RUNTIME_FAULTS_HH
+#define DCATCH_RUNTIME_FAULTS_HH
+
+#include <string>
+
+#include "runtime/sim.hh"
+
+namespace dcatch::sim {
+
+/**
+ * Crash @p node_name after the injector thread has yielded
+ * @p after_pauses times (a deterministic point under the FIFO
+ * policy).  The crash is recorded as an Abort failure at
+ * @p site ("fault.inject/crash" by default), every thread of the
+ * node unwinds at its next operation, in-flight RPCs to the node
+ * fail with "__error" = "node_crashed", and queued messages to it
+ * are dropped.
+ */
+inline void
+injectCrash(Simulation &sim, const std::string &node_name,
+            int after_pauses, const char *site = "fault.inject/crash")
+{
+    Node &node = sim.node(node_name);
+    sim.spawn(nullptr, node, node_name + ".faultInjector",
+              [after_pauses, site](ThreadContext &ctx) {
+                  ctx.pause(after_pauses);
+                  ctx.abortNode(site, "injected crash");
+              },
+              /*daemon=*/true);
+}
+
+} // namespace dcatch::sim
+
+#endif // DCATCH_RUNTIME_FAULTS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Control-hook interface between the substrate and the trigger module.
+ *
+ * The trigger module (paper section 5) needs to intercept execution at
+ * traced operations and to act when the system quiesces.  The runtime
+ * knows nothing about triggering; it only calls into this interface.
+ */
+
+#ifndef DCATCH_RUNTIME_HOOKS_HH
+#define DCATCH_RUNTIME_HOOKS_HH
+
+namespace dcatch::trace { struct Record; }
+
+namespace dcatch::sim {
+
+class Simulation;
+class ThreadContext;
+
+/** Observer/controller invoked at every traced operation. */
+class ControlHook
+{
+  public:
+    virtual ~ControlHook() = default;
+
+    /**
+     * Called before a traced operation executes.  @p rec is fully
+     * populated except for the sequence number.  The hook may block
+     * the calling thread via ctx.blockUntil() — this is how the
+     * trigger controller holds execution at a request point.
+     */
+    virtual void beforeOperation(ThreadContext &ctx,
+                                 const trace::Record &rec)
+    {
+        (void)ctx;
+        (void)rec;
+    }
+
+    /**
+     * Called when no simulated thread is runnable, before the
+     * scheduler declares deadlock.
+     * @return true if the hook changed state such that some blocked
+     *         predicate may now hold (e.g. it released a held request)
+     */
+    virtual bool onQuiesce() { return false; }
+};
+
+} // namespace dcatch::sim
+
+#endif // DCATCH_RUNTIME_HOOKS_HH

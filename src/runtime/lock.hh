@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Traced locks.
+ *
+ * Locks are not part of the DCatch HB model (mutual exclusion is not
+ * ordering — paper section 2.3), but lock/unlock operations are traced
+ * so that the trigger module can identify critical sections and place
+ * its request points outside them (paper sections 3.1.1 and 5.2).
+ */
+
+#ifndef DCATCH_RUNTIME_LOCK_HH
+#define DCATCH_RUNTIME_LOCK_HH
+
+#include <string>
+
+#include "runtime/node.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::sim {
+
+/** A mutual-exclusion lock scoped to one node. */
+class SimLock
+{
+  public:
+    SimLock(Node &node, const std::string &name)
+        : lockId_("lock:" + node.name() + "/" + name)
+    {
+    }
+
+    /** Trace-level lock id. */
+    const std::string &lockId() const { return lockId_; }
+
+    /**
+     * Acquire the lock, blocking while another thread holds it.  The
+     * control hook fires *before* acquisition so the trigger module
+     * can hold a thread outside the critical section.
+     */
+    void
+    acquire(ThreadContext &ctx, const char *site)
+    {
+        // Control point before blocking (see file comment).
+        trace::Record pre;
+        pre.type = trace::RecordType::LockAcquire;
+        pre.node = ctx.node().index();
+        pre.thread = ctx.tid();
+        pre.site = site;
+        pre.callstack = ctx.callstack();
+        pre.id = lockId_;
+        ctx.sim().controlPoint(ctx, pre);
+
+        ctx.blockUntil([this] { return !held_; });
+        held_ = true;
+        owner_ = ctx.tid();
+        ctx.sim().lockTrace(ctx, trace::RecordType::LockAcquire, lockId_,
+                            site);
+    }
+
+    /** Release the lock (caller must be the owner). */
+    void
+    release(ThreadContext &ctx, const char *site)
+    {
+        held_ = false;
+        owner_ = -1;
+        ctx.sim().lockTrace(ctx, trace::RecordType::LockRelease, lockId_,
+                            site);
+    }
+
+    /** True while some thread holds the lock. */
+    bool held() const { return held_; }
+
+  private:
+    std::string lockId_;
+    bool held_ = false;
+    int owner_ = -1;
+};
+
+/** RAII critical section. */
+class Locked
+{
+  public:
+    Locked(SimLock &lock, ThreadContext &ctx, const char *site)
+        : lock_(lock), ctx_(ctx), site_(site)
+    {
+        lock_.acquire(ctx_, site_);
+    }
+
+    ~Locked() { lock_.release(ctx_, site_); }
+
+    Locked(const Locked &) = delete;
+    Locked &operator=(const Locked &) = delete;
+
+  private:
+    SimLock &lock_;
+    ThreadContext &ctx_;
+    const char *site_;
+};
+
+} // namespace dcatch::sim
+
+#endif // DCATCH_RUNTIME_LOCK_HH

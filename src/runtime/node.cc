@@ -1,0 +1,128 @@
+#include "runtime/node.hh"
+
+#include <cassert>
+
+#include "common/util.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::sim {
+
+Node::Node(Simulation &sim, int index, std::string name)
+    : sim_(sim), index_(index), name_(std::move(name))
+{
+}
+
+void
+Node::registerRpc(const std::string &name, RpcFn fn)
+{
+    rpcFns_[name] = std::move(fn);
+}
+
+bool
+Node::hasRpc(const std::string &name) const
+{
+    return rpcFns_.count(name) > 0;
+}
+
+void
+Node::registerVerb(const std::string &verb, VerbHandler handler)
+{
+    verbs_[verb] = std::move(handler);
+}
+
+EventQueue &
+Node::addEventQueue(const std::string &name, int consumers)
+{
+    queues_.push_back(std::make_unique<EventQueue>(*this, name, consumers));
+    return *queues_.back();
+}
+
+EventQueue &
+Node::queue(const std::string &name)
+{
+    for (auto &q : queues_)
+        if (q->queueId() == name_ + "/" + name)
+            return *q;
+    throw std::out_of_range("no such queue: " + name);
+}
+
+void
+Node::start()
+{
+    assert(!started_);
+    started_ = true;
+    if (!rpcFns_.empty()) {
+        for (int i = 0; i < sim_.config().rpcWorkersPerNode; ++i) {
+            sim_.spawn(nullptr, *this,
+                       strprintf("%s.rpcWorker%d", name_.c_str(), i),
+                       [this](ThreadContext &ctx) { rpcWorkerLoop(ctx); },
+                       /*daemon=*/true);
+        }
+    }
+    if (!verbs_.empty()) {
+        sim_.spawn(nullptr, *this, name_ + ".msgDispatch",
+                   [this](ThreadContext &ctx) { msgDispatchLoop(ctx); },
+                   /*daemon=*/true);
+    }
+    for (auto &q : queues_)
+        q->start();
+}
+
+void
+Node::rpcWorkerLoop(ThreadContext &ctx)
+{
+    while (true) {
+        ctx.blockUntil([this] { return !rpcQueue.empty(); });
+        RpcRequest req = rpcQueue.front();
+        rpcQueue.pop_front();
+
+        sim_.opTrace(ctx, trace::RecordType::RpcBegin, req.tag,
+                     req.fn.c_str());
+        Payload reply;
+        {
+            Frame frame(ctx, "rpc:" + req.fn, ScopeKind::Rpc,
+                        "r:" + req.tag);
+            auto it = rpcFns_.find(req.fn);
+            if (it == rpcFns_.end()) {
+                reply.set("__error", "no_such_rpc");
+            } else {
+                try {
+                    reply = it->second(ctx, req.args);
+                } catch (const Simulation::UncaughtSignal &) {
+                    // The RPC runtime converts handler exceptions into
+                    // error replies (as Hadoop's RPC server does); the
+                    // failure event was already recorded.
+                    reply = Payload{}.set("__error", "remote_exception");
+                }
+            }
+        }
+        sim_.opTrace(ctx, trace::RecordType::RpcEnd, req.tag,
+                     req.fn.c_str());
+        rpcReplies[req.tag] = reply;
+    }
+}
+
+void
+Node::msgDispatchLoop(ThreadContext &ctx)
+{
+    while (true) {
+        ctx.blockUntil([this] { return !msgQueue.empty(); });
+        InMessage msg = msgQueue.front();
+        msgQueue.pop_front();
+
+        sim_.opTrace(ctx, trace::RecordType::MsgRecv, msg.tag,
+                     msg.verb.c_str());
+        Frame frame(ctx, "verb:" + msg.verb, ScopeKind::Message,
+                    "m:" + msg.tag);
+        auto it = verbs_.find(msg.verb);
+        if (it != verbs_.end()) {
+            try {
+                it->second(ctx, msg.payload);
+            } catch (const Simulation::UncaughtSignal &) {
+                // handler thread survives; failure already recorded
+            }
+        }
+    }
+}
+
+} // namespace dcatch::sim

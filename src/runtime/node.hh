@@ -1,0 +1,120 @@
+/**
+ * @file
+ * A simulated node: RPC server, socket-message endpoint, event queues,
+ * and regular threads (paper Figure 4b).
+ */
+
+#ifndef DCATCH_RUNTIME_NODE_HH
+#define DCATCH_RUNTIME_NODE_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/event.hh"
+#include "runtime/types.hh"
+
+namespace dcatch::sim {
+
+/** An in-flight RPC request queued at the callee node. */
+struct RpcRequest
+{
+    std::string tag;  ///< unique tag pairing Create/Begin/End/Join
+    std::string fn;   ///< RPC function name
+    Payload args;
+    int callerNode = -1;
+};
+
+/** An in-flight socket message queued at the receiver node. */
+struct InMessage
+{
+    std::string tag;  ///< unique tag pairing Send/Recv
+    std::string verb; ///< dispatch key
+    Payload payload;
+    int fromNode = -1;
+};
+
+/** One simulated node of the distributed system. */
+class Node
+{
+  public:
+    using RpcFn = std::function<Payload(ThreadContext &, const Payload &)>;
+    using VerbHandler =
+        std::function<void(ThreadContext &, const Payload &)>;
+
+    Node(Simulation &sim, int index, std::string name);
+
+    Simulation &sim() { return sim_; }
+    int index() const { return index_; }
+    const std::string &name() const { return name_; }
+
+    /** True once the node has aborted (all its threads stop). */
+    bool crashed() const { return crashed_; }
+
+    /** Mark the node as crashed. */
+    void markCrashed() { crashed_ = true; }
+
+    // ------------------------------------------------------------------
+    // RPC server side.
+    // ------------------------------------------------------------------
+
+    /** Register RPC function @p name. */
+    void registerRpc(const std::string &name, RpcFn fn);
+
+    /** True when @p name is a registered RPC function. */
+    bool hasRpc(const std::string &name) const;
+
+    // ------------------------------------------------------------------
+    // Socket-message (verb) handling.
+    // ------------------------------------------------------------------
+
+    /** Register the handler for messages with @p verb. */
+    void registerVerb(const std::string &verb, VerbHandler handler);
+
+    // ------------------------------------------------------------------
+    // Event queues.
+    // ------------------------------------------------------------------
+
+    /** Create an event queue owned by this node. */
+    EventQueue &addEventQueue(const std::string &name, int consumers = 1);
+
+    /** Look up a previously created queue (must exist). */
+    EventQueue &queue(const std::string &name);
+
+    // ------------------------------------------------------------------
+    // Service threads.
+    // ------------------------------------------------------------------
+
+    /**
+     * Spawn RPC workers, the message dispatcher, and event-queue
+     * consumers.  Invoked by Simulation::start() before the run.
+     */
+    void start();
+
+    /// @{ @name Internal state shared with Simulation (RPC/socket
+    ///     plumbing; mutated only while holding the execution token).
+    std::deque<RpcRequest> rpcQueue;
+    std::map<std::string, Payload> rpcReplies;
+    std::deque<InMessage> msgQueue;
+    /// @}
+
+  private:
+    void rpcWorkerLoop(ThreadContext &ctx);
+    void msgDispatchLoop(ThreadContext &ctx);
+
+    Simulation &sim_;
+    int index_;
+    std::string name_;
+    bool crashed_ = false;
+    bool started_ = false;
+    std::map<std::string, RpcFn> rpcFns_;
+    std::map<std::string, VerbHandler> verbs_;
+    std::vector<std::unique_ptr<EventQueue>> queues_;
+};
+
+} // namespace dcatch::sim
+
+#endif // DCATCH_RUNTIME_NODE_HH

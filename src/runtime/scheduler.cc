@@ -1,0 +1,222 @@
+#include "runtime/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace dcatch::sim {
+
+namespace {
+
+/** Internal unwind signal for killing simulated threads at shutdown. */
+struct ThreadKilled {};
+
+} // namespace
+
+int
+FifoPolicy::pick(const std::vector<int> &runnable, std::uint64_t)
+{
+    int choice = runnable[cursor_ % runnable.size()];
+    ++cursor_;
+    return choice;
+}
+
+int
+RandomPolicy::pick(const std::vector<int> &runnable, std::uint64_t)
+{
+    return runnable[rng_.nextBelow(runnable.size())];
+}
+
+std::unique_ptr<SchedulerPolicy>
+makePolicy(const SimConfig &config)
+{
+    switch (config.policy) {
+      case PolicyKind::Fifo:
+        return std::make_unique<FifoPolicy>();
+      case PolicyKind::Random:
+        return std::make_unique<RandomPolicy>(config.seed);
+    }
+    return std::make_unique<FifoPolicy>();
+}
+
+Scheduler::Scheduler(std::unique_ptr<SchedulerPolicy> policy)
+    : policy_(std::move(policy))
+{
+}
+
+Scheduler::~Scheduler()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        shuttingDown_ = true;
+        cv_.notify_all();
+        // Wait until every simulated thread has observed the shutdown
+        // flag and unwound.
+        cv_.wait(lock, [this] {
+            for (const auto &slot : threads_)
+                if (slot->state != ThreadState::Finished)
+                    return false;
+            return true;
+        });
+    }
+    for (auto &slot : threads_)
+        if (slot->worker.joinable())
+            slot->worker.join();
+}
+
+int
+Scheduler::addThread(std::function<void()> body, bool daemon)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    int tid = static_cast<int>(threads_.size());
+    auto slot = std::make_unique<ThreadSlot>();
+    slot->daemon = daemon;
+    slot->state = ThreadState::Runnable;
+    slot->body = std::move(body);
+    threads_.push_back(std::move(slot));
+    threads_.back()->worker = std::thread([this, tid] { threadMain(tid); });
+    return tid;
+}
+
+void
+Scheduler::threadMain(int tid)
+{
+    ThreadSlot *slot = nullptr;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        slot = threads_[tid].get();
+        cv_.wait(lock, [this, tid] {
+            return current_ == tid || shuttingDown_;
+        });
+        if (shuttingDown_) {
+            slot->state = ThreadState::Finished;
+            if (current_ == tid)
+                current_ = -1;
+            cv_.notify_all();
+            return;
+        }
+    }
+    try {
+        slot->body();
+    } catch (const ThreadKilled &) {
+        // normal shutdown unwind
+    } catch (const std::exception &e) {
+        DCATCH_ERROR() << "simulated thread " << tid
+                       << " escaped exception: " << e.what();
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    threads_[tid]->state = ThreadState::Finished;
+    if (current_ == tid)
+        current_ = -1;
+    cv_.notify_all();
+}
+
+void
+Scheduler::yield(int tid)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    threads_[tid]->state = ThreadState::Runnable;
+    current_ = -1;
+    cv_.notify_all();
+    cv_.wait(lock, [this, tid] {
+        return current_ == tid || shuttingDown_;
+    });
+    if (shuttingDown_ && current_ != tid)
+        throw ThreadKilled{};
+}
+
+void
+Scheduler::blockUntil(int tid, std::function<bool()> pred)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    threads_[tid]->state = ThreadState::Blocked;
+    threads_[tid]->blockedOn = std::move(pred);
+    current_ = -1;
+    cv_.notify_all();
+    cv_.wait(lock, [this, tid] {
+        return current_ == tid || shuttingDown_;
+    });
+    if (shuttingDown_ && current_ != tid)
+        throw ThreadKilled{};
+}
+
+void
+Scheduler::wakeUnblockedLocked()
+{
+    for (auto &slot : threads_) {
+        if (slot->state == ThreadState::Blocked && slot->blockedOn &&
+            slot->blockedOn()) {
+            slot->state = ThreadState::Runnable;
+            slot->blockedOn = nullptr;
+        }
+    }
+}
+
+std::vector<int>
+Scheduler::runnableLocked() const
+{
+    std::vector<int> out;
+    for (std::size_t i = 0; i < threads_.size(); ++i)
+        if (threads_[i]->state == ThreadState::Runnable)
+            out.push_back(static_cast<int>(i));
+    return out;
+}
+
+bool
+Scheduler::completedLocked() const
+{
+    for (const auto &slot : threads_)
+        if (!slot->daemon && slot->state != ThreadState::Finished)
+            return false;
+    return true;
+}
+
+RunStatus
+Scheduler::run(std::uint64_t max_steps, std::function<bool()> on_quiesce)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        wakeUnblockedLocked();
+        if (completedLocked())
+            return RunStatus::Completed;
+
+        std::vector<int> runnable = runnableLocked();
+        if (runnable.empty()) {
+            // Give the quiescence hook (trigger controller) a chance
+            // to release a held thread before declaring deadlock.
+            if (on_quiesce && on_quiesce()) {
+                wakeUnblockedLocked();
+                runnable = runnableLocked();
+            }
+            if (runnable.empty())
+                return RunStatus::Deadlock;
+        }
+
+        if (steps_ >= max_steps)
+            return RunStatus::StepLimit;
+        ++steps_;
+
+        int tid = policy_->pick(runnable, steps_);
+        current_ = tid;
+        threads_[tid]->state = ThreadState::Running;
+        cv_.notify_all();
+        cv_.wait(lock, [this] { return current_ == -1; });
+    }
+}
+
+ThreadState
+Scheduler::threadState(int tid) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return threads_[tid]->state;
+}
+
+bool
+Scheduler::allFinished() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &slot : threads_)
+        if (slot->state != ThreadState::Finished)
+            return false;
+    return true;
+}
+
+} // namespace dcatch::sim

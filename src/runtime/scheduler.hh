@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Serialized token-passing scheduler.
+ *
+ * Every simulated thread is a real std::thread, but exactly one holds
+ * the execution token at any moment (CHESS-style serialization).  All
+ * simulation state is therefore free of data races and every run is a
+ * deterministic function of (policy, seed, workload).  Yield points
+ * sit at every traced operation, which is also where the trigger
+ * module intercepts execution.
+ */
+
+#ifndef DCATCH_RUNTIME_SCHEDULER_HH
+#define DCATCH_RUNTIME_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "runtime/types.hh"
+
+namespace dcatch::sim {
+
+/** Lifecycle state of a simulated thread. */
+enum class ThreadState {
+    Starting, ///< std::thread exists, has not been admitted yet
+    Runnable, ///< waiting for the token
+    Running,  ///< holds the token
+    Blocked,  ///< waiting for a predicate to become true
+    Finished, ///< body returned (or thread was killed)
+};
+
+/** Pluggable choice of which runnable thread to admit next. */
+class SchedulerPolicy
+{
+  public:
+    virtual ~SchedulerPolicy() = default;
+
+    /**
+     * Pick the next thread to run.
+     * @param runnable non-empty list of runnable thread ids
+     * @param step current scheduler step
+     * @return an element of @p runnable
+     */
+    virtual int pick(const std::vector<int> &runnable,
+                     std::uint64_t step) = 0;
+};
+
+/** Deterministic round-robin policy. */
+class FifoPolicy : public SchedulerPolicy
+{
+  public:
+    int pick(const std::vector<int> &runnable, std::uint64_t step) override;
+
+  private:
+    std::size_t cursor_ = 0;
+};
+
+/** Seeded uniform-random policy. */
+class RandomPolicy : public SchedulerPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+    int pick(const std::vector<int> &runnable, std::uint64_t step) override;
+
+  private:
+    Rng rng_;
+};
+
+/** Create a policy instance from a SimConfig. */
+std::unique_ptr<SchedulerPolicy> makePolicy(const SimConfig &config);
+
+/**
+ * The token-passing scheduler.  The host thread runs the scheduling
+ * loop; simulated threads call yield()/blockUntil()/finish() from
+ * within their bodies.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(std::unique_ptr<SchedulerPolicy> policy);
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /**
+     * Register a simulated thread and start its backing std::thread.
+     * The body does not begin executing until the scheduler admits it.
+     * @param daemon daemon threads (service workers) do not count
+     *        toward run completion
+     * @return the new thread's id
+     */
+    int addThread(std::function<void()> body, bool daemon);
+
+    /** Give up the token and wait to be re-admitted. */
+    void yield(int tid);
+
+    /**
+     * Block until @p pred evaluates true.  The predicate is evaluated
+     * by the scheduler loop while no simulated thread is running, so
+     * it may read any simulation state without synchronization.
+     */
+    void blockUntil(int tid, std::function<bool()> pred);
+
+    /**
+     * Run until completion (all non-daemon threads finished), deadlock,
+     * or the step budget is exhausted.  Also invokes @p on_quiesce when
+     * no thread is runnable before declaring deadlock; if it returns
+     * true, blocked predicates are re-evaluated and the run continues.
+     */
+    RunStatus run(std::uint64_t max_steps,
+                  std::function<bool()> on_quiesce = {});
+
+    /** Number of scheduling steps taken so far. */
+    std::uint64_t steps() const { return steps_; }
+
+    /** State of a thread (host-side inspection). */
+    ThreadState threadState(int tid) const;
+
+    /** True when every blocked/runnable/running count is zero except
+     *  finished threads — used in tests. */
+    bool allFinished() const;
+
+  private:
+    struct ThreadSlot
+    {
+        std::thread worker;
+        ThreadState state = ThreadState::Starting;
+        bool daemon = false;
+        std::function<bool()> blockedOn; ///< predicate while Blocked
+        std::function<void()> body;
+    };
+
+    /** Thread-body trampoline: waits for first admission, runs body. */
+    void threadMain(int tid);
+
+    /** Called with the lock held: move unblocked threads to Runnable. */
+    void wakeUnblockedLocked();
+
+    /** Collect runnable thread ids with the lock held. */
+    std::vector<int> runnableLocked() const;
+
+    /** True when all non-daemon threads have finished. */
+    bool completedLocked() const;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::unique_ptr<ThreadSlot>> threads_;
+    std::unique_ptr<SchedulerPolicy> policy_;
+    int current_ = -1;       ///< tid holding the token, -1 = host
+    bool shuttingDown_ = false;
+    std::uint64_t steps_ = 0;
+};
+
+} // namespace dcatch::sim
+
+#endif // DCATCH_RUNTIME_SCHEDULER_HH

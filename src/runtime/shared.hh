@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Traced shared memory.
+ *
+ * SharedVar<T> and SharedMap<K,V> stand in for the heap objects and
+ * static variables that DCatch instruments in the Java targets.  Every
+ * access produces (subject to the tracer's scoping policy) a MemRead /
+ * MemWrite record carrying the variable id, the static site id, the
+ * callstack, and a value version — the version stream is what the
+ * pull-based synchronization analysis consumes to find which write
+ * fed the final read of a synchronization loop.
+ *
+ * Map accesses have two granularities, mirroring how DCatch treats
+ * Java collections: element operations touch "map:<name>#<key>", and
+ * structural operations (put/erase) additionally write the map-level
+ * id "map:<name>", which size()/empty() read — so HBase-style races
+ * between add(region) and isEmpty() are visible.
+ */
+
+#ifndef DCATCH_RUNTIME_SHARED_HH
+#define DCATCH_RUNTIME_SHARED_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "runtime/node.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::sim {
+
+namespace detail {
+
+/** Convert a map key to its trace-id fragment. */
+template <typename K>
+std::string
+keyString(const K &key)
+{
+    std::ostringstream out;
+    out << key;
+    return out.str();
+}
+
+} // namespace detail
+
+/** A single traced shared variable. */
+template <typename T>
+class SharedVar
+{
+  public:
+    /** @param node owning node (scopes the variable id) */
+    SharedVar(Node &node, const std::string &name, T init = {})
+        : varId_("var:" + node.name() + "/" + name),
+          value_(std::move(init))
+    {
+    }
+
+    /** Trace-level variable id. */
+    const std::string &varId() const { return varId_; }
+
+    /** Traced read at @p site. */
+    T
+    read(ThreadContext &ctx, const char *site)
+    {
+        ctx.sim().traceAccess(ctx, false, varId_, site, version_);
+        T value = value_;
+        ctx.sim().accessYield(ctx);
+        return value;
+    }
+
+    /** Traced write at @p site. */
+    void
+    write(ThreadContext &ctx, const char *site, T value)
+    {
+        ++version_;
+        ctx.sim().traceAccess(ctx, true, varId_, site, version_);
+        value_ = std::move(value);
+        ctx.sim().accessYield(ctx);
+    }
+
+    /** Untraced peek (setup/assertion code only — not a program op). */
+    const T &peek() const { return value_; }
+
+  private:
+    std::string varId_;
+    T value_;
+    std::int64_t version_ = 0;
+};
+
+/** A traced associative container. */
+template <typename K, typename V>
+class SharedMap
+{
+  public:
+    SharedMap(Node &node, const std::string &name)
+        : baseId_("map:" + node.name() + "/" + name)
+    {
+    }
+
+    /** Map-level trace id (read by size()/empty()). */
+    const std::string &mapId() const { return baseId_; }
+
+    /** Element-level trace id for @p key. */
+    std::string
+    keyId(const K &key) const
+    {
+        return baseId_ + "#" + detail::keyString(key);
+    }
+
+    /** Traced element read; nullopt when the key is absent. */
+    std::optional<V>
+    get(ThreadContext &ctx, const char *site, const K &key)
+    {
+        ctx.sim().traceAccess(ctx, false, keyId(key), site,
+                              keyVersions_[key]);
+        auto it = entries_.find(key);
+        std::optional<V> out;
+        if (it != entries_.end())
+            out = it->second;
+        ctx.sim().accessYield(ctx);
+        return out;
+    }
+
+    /** Traced element presence test. */
+    bool
+    contains(ThreadContext &ctx, const char *site, const K &key)
+    {
+        ctx.sim().traceAccess(ctx, false, keyId(key), site,
+                              keyVersions_[key]);
+        bool present = entries_.count(key) > 0;
+        ctx.sim().accessYield(ctx);
+        return present;
+    }
+
+    /** Traced insert/overwrite (element write + structural write). */
+    void
+    put(ThreadContext &ctx, const char *site, const K &key, V value)
+    {
+        // The element write carries the semantic mutation; the
+        // structural (map-level) write follows as its own step.
+        ctx.sim().traceAccess(ctx, true, keyId(key), site,
+                              ++keyVersions_[key]);
+        entries_[key] = std::move(value);
+        ctx.sim().accessYield(ctx);
+        ctx.sim().memAccess(ctx, true, baseId_, site, ++mapVersion_);
+    }
+
+    /** Traced erase. @return true if the key existed. */
+    bool
+    erase(ThreadContext &ctx, const char *site, const K &key)
+    {
+        ctx.sim().traceAccess(ctx, true, keyId(key), site,
+                              ++keyVersions_[key]);
+        bool existed = entries_.erase(key) > 0;
+        ctx.sim().accessYield(ctx);
+        ctx.sim().memAccess(ctx, true, baseId_, site, ++mapVersion_);
+        return existed;
+    }
+
+    /** Traced size (structural read). */
+    std::size_t
+    size(ThreadContext &ctx, const char *site)
+    {
+        ctx.sim().traceAccess(ctx, false, baseId_, site, mapVersion_);
+        std::size_t n = entries_.size();
+        ctx.sim().accessYield(ctx);
+        return n;
+    }
+
+    /** Traced emptiness test (structural read). */
+    bool
+    empty(ThreadContext &ctx, const char *site)
+    {
+        ctx.sim().traceAccess(ctx, false, baseId_, site, mapVersion_);
+        bool is_empty = entries_.empty();
+        ctx.sim().accessYield(ctx);
+        return is_empty;
+    }
+
+    /** Untraced peek (setup/assertion code only). */
+    const std::map<K, V> &peek() const { return entries_; }
+
+  private:
+    std::string baseId_;
+    std::map<K, V> entries_;
+    std::map<K, std::int64_t> keyVersions_; ///< survives erase
+    std::int64_t mapVersion_ = 0;
+};
+
+} // namespace dcatch::sim
+
+#endif // DCATCH_RUNTIME_SHARED_HH

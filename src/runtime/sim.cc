@@ -1,0 +1,441 @@
+#include "runtime/sim.hh"
+
+#include <cassert>
+
+#include "common/logging.hh"
+#include "common/util.hh"
+
+namespace dcatch::sim {
+
+const char *
+failureKindName(FailureKind kind)
+{
+    switch (kind) {
+      case FailureKind::Abort: return "Abort";
+      case FailureKind::FatalLog: return "FatalLog";
+      case FailureKind::UncaughtException: return "UncaughtException";
+      case FailureKind::LoopHang: return "LoopHang";
+    }
+    return "?";
+}
+
+const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::Completed: return "Completed";
+      case RunStatus::Deadlock: return "Deadlock";
+      case RunStatus::StepLimit: return "StepLimit";
+    }
+    return "?";
+}
+
+bool
+RunResult::hasFailure(FailureKind kind) const
+{
+    for (const FailureEvent &f : failures)
+        if (f.kind == kind)
+            return true;
+    return false;
+}
+
+std::string
+RunResult::summary() const
+{
+    std::string out = strprintf("%s steps=%llu failures=%zu",
+                                runStatusName(status),
+                                static_cast<unsigned long long>(steps),
+                                failures.size());
+    for (const FailureEvent &f : failures)
+        out += strprintf(" [%s@%s n%d: %s]", failureKindName(f.kind),
+                         f.site.c_str(), f.node, f.detail.c_str());
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// ThreadContext
+// ---------------------------------------------------------------------
+
+ThreadContext::ThreadContext(Simulation &sim, Node &node, int tid,
+                             std::string name)
+    : sim_(sim), node_(node), tid_(tid), name_(std::move(name))
+{
+}
+
+std::string
+ThreadContext::callstack() const
+{
+    if (frames_.empty())
+        return name_;
+    return name_ + ":" + join(frames_, ">");
+}
+
+void
+ThreadContext::yield()
+{
+    sim_.scheduler().yield(tid_);
+    sim_.checkCrashed(*this);
+}
+
+void
+ThreadContext::pause(int times)
+{
+    for (int i = 0; i < times; ++i)
+        yield();
+}
+
+void
+ThreadContext::blockUntil(std::function<bool()> pred)
+{
+    Node *node = &node_;
+    // A predicate may become true (waking several waiters) and be
+    // invalidated again by whichever waiter runs first — e.g. two RPC
+    // workers woken by one request.  Re-check once we actually hold
+    // the execution token and re-block if the condition was consumed.
+    while (true) {
+        sim_.scheduler().blockUntil(tid_, [node, pred] {
+            return node->crashed() || pred();
+        });
+        sim_.checkCrashed(*this);
+        if (pred())
+            return;
+    }
+}
+
+Payload
+ThreadContext::rpcCall(const char *site, const std::string &target_node,
+                       const std::string &function, Payload args)
+{
+    Node &target = sim_.node(target_node);
+    std::string tag = sim_.freshTag("rpc");
+    sim_.opRecord(*this, trace::RecordType::RpcCreate, tag, site);
+    if (!target.crashed())
+        target.rpcQueue.push_back({tag, function, std::move(args),
+                                   node_.index()});
+    sim_.accessYield(*this);
+    if (target.crashed() && !target.rpcReplies.count(tag))
+        return Payload{}.set("__error", "node_crashed");
+    Node *tp = &target;
+    blockUntil([tp, tag] {
+        return tp->crashed() || tp->rpcReplies.count(tag) > 0;
+    });
+    auto it = tp->rpcReplies.find(tag);
+    if (it == tp->rpcReplies.end())
+        return Payload{}.set("__error", "node_crashed");
+    Payload reply = it->second;
+    tp->rpcReplies.erase(it);
+    sim_.opTrace(*this, trace::RecordType::RpcJoin, tag, site);
+    return reply;
+}
+
+void
+ThreadContext::send(const char *site, const std::string &target_node,
+                    const std::string &verb, Payload message)
+{
+    Node &target = sim_.node(target_node);
+    std::string tag = sim_.freshTag("msg");
+    sim_.opRecord(*this, trace::RecordType::MsgSend, tag, site);
+    if (!target.crashed())
+        target.msgQueue.push_back({tag, verb, std::move(message),
+                                   node_.index()});
+    sim_.accessYield(*this);
+}
+
+void
+ThreadContext::abortNode(const char *site, const std::string &msg)
+{
+    sim_.reportFailure(*this, FailureKind::Abort, site, msg);
+    node_.markCrashed();
+    throw Simulation::NodeCrashedSignal{};
+}
+
+void
+ThreadContext::fatalLog(const char *site, const std::string &msg)
+{
+    sim_.reportFailure(*this, FailureKind::FatalLog, site, msg);
+}
+
+void
+ThreadContext::throwUncaught(const char *site, const std::string &msg)
+{
+    sim_.reportFailure(*this, FailureKind::UncaughtException, site, msg);
+    throw Simulation::UncaughtSignal{};
+}
+
+bool
+ThreadContext::retryUntil(const char *site, std::function<bool()> attempt)
+{
+    std::string loop_id =
+        strprintf("loop:%s/%d", name_.c_str(), loopSerial_++);
+    int bound = sim_.config().loopHangBound;
+    for (int i = 0;; ++i) {
+        sim_.opTrace(*this, trace::RecordType::LoopIter, loop_id, site, i);
+        if (attempt()) {
+            sim_.opTrace(*this, trace::RecordType::LoopExit, loop_id, site,
+                         i);
+            return true;
+        }
+        if (i >= bound) {
+            sim_.reportFailure(*this, FailureKind::LoopHang, site,
+                               "retry loop exceeded hang bound");
+            return false;
+        }
+        yield();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame
+// ---------------------------------------------------------------------
+
+Frame::Frame(ThreadContext &ctx, std::string name, ScopeKind kind,
+             std::string segment)
+    : ctx_(ctx), kind_(kind), savedSegment_(ctx.segment_)
+{
+    ctx_.frames_.push_back(std::move(name));
+    if (kind_ != ScopeKind::Regular) {
+        ++ctx_.tracedDepth_;
+        ctx_.segment_ = std::move(segment);
+    }
+}
+
+Frame::~Frame()
+{
+    ctx_.frames_.pop_back();
+    if (kind_ != ScopeKind::Regular) {
+        --ctx_.tracedDepth_;
+        ctx_.segment_ = savedSegment_;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simulation
+// ---------------------------------------------------------------------
+
+Simulation::Simulation(SimConfig config)
+    : config_(config),
+      tracer_(std::make_unique<trace::Tracer>()),
+      scheduler_(std::make_unique<Scheduler>(makePolicy(config))),
+      coord_(std::make_unique<CoordService>(*this))
+{
+}
+
+Simulation::~Simulation()
+{
+    // Tear down the scheduler first: it joins (and unwinds) every
+    // simulated thread, and those threads' stacks reference contexts_
+    // and nodes_ during unwinding (Frame destructors etc.).
+    scheduler_.reset();
+}
+
+void
+Simulation::setTracerConfig(trace::TracerConfig config)
+{
+    assert(!started_ && "tracer config must be set before run()");
+    tracer_ = std::make_unique<trace::Tracer>(std::move(config));
+}
+
+Node &
+Simulation::addNode(const std::string &name)
+{
+    assert(!started_ && "topology must be built before run()");
+    nodes_.push_back(std::make_unique<Node>(
+        *this, static_cast<int>(nodes_.size()), name));
+    return *nodes_.back();
+}
+
+Node &
+Simulation::node(const std::string &name)
+{
+    for (auto &n : nodes_)
+        if (n->name() == name)
+            return *n;
+    throw std::out_of_range("no such node: " + name);
+}
+
+ThreadHandle
+Simulation::spawn(ThreadContext *parent, Node &node,
+                  const std::string &name,
+                  std::function<void(ThreadContext &)> body, bool daemon,
+                  const char *site)
+{
+    int tid = static_cast<int>(contexts_.size());
+    auto ctx = std::make_unique<ThreadContext>(*this, node, tid, name);
+    ThreadContext *cp = ctx.get();
+    contexts_.push_back(std::move(ctx));
+    finished_.push_back(false);
+
+    std::string obj_id = strprintf("thr:%d", tid);
+    if (parent)
+        opTrace(*parent, trace::RecordType::ThreadCreate, obj_id, site);
+
+    trace::ThreadMeta meta;
+    meta.thread = tid;
+    meta.node = node.index();
+    meta.name = name;
+    meta.handlerThread = daemon;
+    tracer_->store().noteThread(meta);
+
+    int got = scheduler_->addThread(
+        [this, cp, obj_id, tid, body = std::move(body)] {
+            try {
+                opTrace(*cp, trace::RecordType::ThreadBegin, obj_id, "");
+                body(*cp);
+                opTrace(*cp, trace::RecordType::ThreadEnd, obj_id, "");
+            } catch (const NodeCrashedSignal &) {
+                // node died; thread unwinds silently
+            } catch (const UncaughtSignal &) {
+                // uncaught exception killed this thread only
+            }
+            finished_[tid] = true;
+        },
+        daemon);
+    assert(got == tid && "scheduler and simulation tids out of sync");
+    (void)got;
+    return {tid, obj_id};
+}
+
+void
+Simulation::joinThread(ThreadContext &self, const ThreadHandle &handle,
+                       const char *site)
+{
+    int tid = handle.tid;
+    self.blockUntil([this, tid] { return finished_[tid]; });
+    opTrace(self, trace::RecordType::ThreadJoin, handle.threadObjId, site);
+}
+
+RunResult
+Simulation::run()
+{
+    assert(!started_ && "run() may be called only once");
+    started_ = true;
+    for (auto &node : nodes_)
+        node->start();
+    coord_->start();
+
+    auto on_quiesce = [this] { return hook_ ? hook_->onQuiesce() : false; };
+    RunStatus status = scheduler_->run(config_.maxSteps, on_quiesce);
+
+    RunResult result;
+    result.status = status;
+    result.failures = failures_;
+    result.steps = scheduler_->steps();
+    DCATCH_DEBUG() << "run finished: " << result.summary();
+    return result;
+}
+
+std::string
+Simulation::freshTag(const char *prefix)
+{
+    return strprintf("%s-%llu", prefix,
+                     static_cast<unsigned long long>(nextTag_++));
+}
+
+void
+Simulation::traceAccess(ThreadContext &ctx, bool is_write,
+                        const std::string &var_id, const char *site,
+                        std::int64_t version)
+{
+    checkCrashed(ctx);
+    trace::Record rec;
+    rec.type = is_write ? trace::RecordType::MemWrite
+                        : trace::RecordType::MemRead;
+    rec.node = ctx.node().index();
+    rec.thread = ctx.tid();
+    rec.site = site;
+    rec.callstack = ctx.callstack();
+    rec.id = var_id;
+    rec.aux = version;
+    if (hook_)
+        hook_->beforeOperation(ctx, rec);
+    tracer_->recordMemAccess(rec, ctx.inTracedScope());
+}
+
+void
+Simulation::accessYield(ThreadContext &ctx)
+{
+    scheduler_->yield(ctx.tid());
+    checkCrashed(ctx);
+}
+
+void
+Simulation::memAccess(ThreadContext &ctx, bool is_write,
+                      const std::string &var_id, const char *site,
+                      std::int64_t version)
+{
+    traceAccess(ctx, is_write, var_id, site, version);
+    accessYield(ctx);
+}
+
+void
+Simulation::opRecord(ThreadContext &ctx, trace::RecordType type,
+                     const std::string &id, const char *site,
+                     std::int64_t aux)
+{
+    checkCrashed(ctx);
+    trace::Record rec;
+    rec.type = type;
+    rec.node = ctx.node().index();
+    rec.thread = ctx.tid();
+    rec.site = site;
+    rec.callstack = ctx.callstack();
+    rec.id = id;
+    rec.aux = aux;
+    if (hook_)
+        hook_->beforeOperation(ctx, rec);
+    tracer_->recordOp(rec);
+}
+
+void
+Simulation::opTrace(ThreadContext &ctx, trace::RecordType type,
+                    const std::string &id, const char *site,
+                    std::int64_t aux)
+{
+    opRecord(ctx, type, id, site, aux);
+    accessYield(ctx);
+}
+
+void
+Simulation::lockTrace(ThreadContext &ctx, trace::RecordType type,
+                      const std::string &id, const char *site)
+{
+    trace::Record rec;
+    rec.type = type;
+    rec.node = ctx.node().index();
+    rec.thread = ctx.tid();
+    rec.site = site;
+    rec.callstack = ctx.callstack();
+    rec.id = id;
+    tracer_->recordLockOp(rec);
+}
+
+void
+Simulation::controlPoint(ThreadContext &ctx, const trace::Record &rec)
+{
+    if (hook_)
+        hook_->beforeOperation(ctx, rec);
+}
+
+void
+Simulation::reportFailure(ThreadContext &ctx, FailureKind kind,
+                          const char *site, const std::string &detail)
+{
+    FailureEvent event;
+    event.kind = kind;
+    event.site = site;
+    event.node = ctx.node().index();
+    event.detail = detail;
+    event.step = scheduler_->steps();
+    failures_.push_back(event);
+    DCATCH_DEBUG() << "failure: " << failureKindName(kind) << " at " << site
+                   << " on node " << ctx.node().name() << ": " << detail;
+}
+
+void
+Simulation::checkCrashed(ThreadContext &ctx)
+{
+    if (ctx.node().crashed())
+        throw NodeCrashedSignal{};
+}
+
+} // namespace dcatch::sim

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The Simulation: owns the scheduler, the tracer, all nodes, the
+ * coordination service, and the failure log.  This is the root object
+ * an application builds its topology on and the only object the
+ * DCatch pipeline needs to run a workload.
+ */
+
+#ifndef DCATCH_RUNTIME_SIM_HH
+#define DCATCH_RUNTIME_SIM_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/context.hh"
+#include "runtime/coord.hh"
+#include "runtime/hooks.hh"
+#include "runtime/node.hh"
+#include "runtime/scheduler.hh"
+#include "runtime/types.hh"
+#include "trace/trace_store.hh"
+
+namespace dcatch::sim {
+
+/** Handle to a spawned thread, usable for joining (Rule-Tjoin). */
+struct ThreadHandle
+{
+    int tid = -1;
+    std::string threadObjId; ///< "thr:<tid>", the fork/join pairing id
+};
+
+/** The root simulation object. */
+class Simulation
+{
+  public:
+    explicit Simulation(SimConfig config = {});
+    ~Simulation();
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    const SimConfig &config() const { return config_; }
+
+    /** Replace the tracer configuration (before run()). */
+    void setTracerConfig(trace::TracerConfig config);
+
+    trace::Tracer &tracer() { return *tracer_; }
+    const trace::Tracer &tracer() const { return *tracer_; }
+
+    /** Install the trigger-module control hook (may be nullptr). */
+    void setControlHook(ControlHook *hook) { hook_ = hook; }
+
+    /** Create a node (setup phase only). */
+    Node &addNode(const std::string &name);
+
+    /** Look up a node by name (must exist). */
+    Node &node(const std::string &name);
+
+    /** Look up a node by index. */
+    Node &nodeAt(int index) { return *nodes_.at(index); }
+
+    /** Number of nodes. */
+    int nodeCount() const { return static_cast<int>(nodes_.size()); }
+
+    /** The shared coordination (ZooKeeper-like) service. */
+    CoordService &coord() { return *coord_; }
+
+    /**
+     * Spawn a simulated thread.
+     * @param parent spawning context, or nullptr during setup; when
+     *        non-null, Create(t) is traced in the parent (Rule-Tfork)
+     * @param daemon daemon threads do not count toward completion
+     * @param site static site id of the spawn call
+     */
+    ThreadHandle spawn(ThreadContext *parent, Node &node,
+                       const std::string &name,
+                       std::function<void(ThreadContext &)> body,
+                       bool daemon = false, const char *site = "");
+
+    /** Join a previously spawned thread (Rule-Tjoin). */
+    void joinThread(ThreadContext &self, const ThreadHandle &handle,
+                    const char *site = "");
+
+    /**
+     * Run the simulation: starts node service threads and the
+     * coordination service, then schedules until completion, deadlock,
+     * or step budget exhaustion.  May be called exactly once.
+     */
+    RunResult run();
+
+    /** Failures recorded so far (also available via RunResult). */
+    const std::vector<FailureEvent> &failures() const { return failures_; }
+
+    // ------------------------------------------------------------------
+    // Internal services used by the substrate primitives.
+    // ------------------------------------------------------------------
+
+    /** Globally unique tag "<prefix>-<n>" (RPC/message pairing ids). */
+    std::string freshTag(const char *prefix);
+
+    /**
+     * Control hook + trace record for a shared-memory access.  The
+     * caller applies the actual mutation (or reads the value) right
+     * after this returns and then calls accessYield(): record and
+     * effect are thereby atomic with respect to scheduling, which the
+     * trigger module relies on when it orders two accesses.
+     * @param version value version involved (new version for writes,
+     *        observed version for reads) — consumed by the pull-based
+     *        synchronization analysis
+     */
+    void traceAccess(ThreadContext &ctx, bool is_write,
+                     const std::string &var_id, const char *site,
+                     std::int64_t version);
+
+    /** Yield point following a shared-memory access. */
+    void accessYield(ThreadContext &ctx);
+
+    /** traceAccess + accessYield in one call (no effect in between);
+     *  used for accesses whose effect is managed by the caller in the
+     *  same step, e.g. coordination-service state. */
+    void memAccess(ThreadContext &ctx, bool is_write,
+                   const std::string &var_id, const char *site,
+                   std::int64_t version);
+
+    /** Trace + hook + yield for an HB-related operation. */
+    void opTrace(ThreadContext &ctx, trace::RecordType type,
+                 const std::string &id, const char *site,
+                 std::int64_t aux = 0);
+
+    /**
+     * Control hook + trace record for an HB-related operation, with
+     * no yield: the caller applies the operation's effect (enqueue,
+     * message push, ...) and then calls accessYield(), so that — as
+     * for memory accesses — the effect is atomic with the record
+     * under the serialized scheduler.
+     */
+    void opRecord(ThreadContext &ctx, trace::RecordType type,
+                  const std::string &id, const char *site,
+                  std::int64_t aux = 0);
+
+    /** Trace a lock operation (no hook, no yield). */
+    void lockTrace(ThreadContext &ctx, trace::RecordType type,
+                   const std::string &id, const char *site);
+
+    /** Invoke the control hook only (no tracing) — used where the
+     *  hook must fire before a blocking acquisition. */
+    void controlPoint(ThreadContext &ctx, const trace::Record &rec);
+
+    /** Record a failure event. */
+    void reportFailure(ThreadContext &ctx, FailureKind kind,
+                       const char *site, const std::string &detail);
+
+    /** Scheduler access for context primitives. */
+    Scheduler &scheduler() { return *scheduler_; }
+
+    /** Check crash state and unwind the thread if its node died. */
+    void checkCrashed(ThreadContext &ctx);
+
+    /** Unwind signal: the thread's node has crashed. */
+    struct NodeCrashedSignal {};
+
+    /** Unwind signal: uncaught exception kills the current thread. */
+    struct UncaughtSignal {};
+
+    /** True once run() has been called. */
+    bool started() const { return started_; }
+
+    /** Thread-finished flag, used by join predicates. */
+    bool threadFinished(int tid) const { return finished_.at(tid); }
+
+  private:
+    friend class ThreadContext;
+
+    SimConfig config_;
+    std::unique_ptr<trace::Tracer> tracer_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::unique_ptr<CoordService> coord_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    std::vector<std::unique_ptr<ThreadContext>> contexts_;
+    std::vector<bool> finished_;
+    std::vector<FailureEvent> failures_;
+    ControlHook *hook_ = nullptr;
+    std::uint64_t nextTag_ = 0;
+    bool started_ = false;
+};
+
+} // namespace dcatch::sim
+
+#endif // DCATCH_RUNTIME_SIM_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Core value types shared across the simulation substrate: payloads,
+ * failure descriptions, run results, and simulation configuration.
+ */
+
+#ifndef DCATCH_RUNTIME_TYPES_HH
+#define DCATCH_RUNTIME_TYPES_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dcatch::sim {
+
+class Simulation;
+class Node;
+class ThreadContext;
+class EventQueue;
+
+/**
+ * Key/value payload carried by RPC calls, socket messages, and events.
+ * Values are strings; integer helpers cover the common cases.
+ */
+class Payload
+{
+  public:
+    Payload() = default;
+
+    /** Set a string field (returns *this for chaining). */
+    Payload &
+    set(const std::string &key, std::string value)
+    {
+        kv_[key] = std::move(value);
+        return *this;
+    }
+
+    /** Set an integer field. */
+    Payload &
+    setInt(const std::string &key, std::int64_t value)
+    {
+        kv_[key] = std::to_string(value);
+        return *this;
+    }
+
+    /** Get a string field, or @p def when absent. */
+    std::string
+    get(const std::string &key, const std::string &def = "") const
+    {
+        auto it = kv_.find(key);
+        return it == kv_.end() ? def : it->second;
+    }
+
+    /** Get an integer field, or @p def when absent or unparsable. */
+    std::int64_t
+    getInt(const std::string &key, std::int64_t def = 0) const
+    {
+        auto it = kv_.find(key);
+        if (it == kv_.end())
+            return def;
+        try {
+            return std::stoll(it->second);
+        } catch (...) {
+            return def;
+        }
+    }
+
+    /** Field presence test. */
+    bool has(const std::string &key) const { return kv_.count(key) > 0; }
+
+    /** Underlying map (for diagnostics). */
+    const std::map<std::string, std::string> &fields() const { return kv_; }
+
+  private:
+    std::map<std::string, std::string> kv_;
+};
+
+/** Failure classes recognised by DCatch (paper section 4.1). */
+enum class FailureKind {
+    Abort,             ///< System.exit / abort: whole node dies
+    FatalLog,          ///< Log::fatal / Log::error severe message
+    UncaughtException, ///< RuntimeException killing one thread
+    LoopHang,          ///< retry loop that never makes progress
+};
+
+/** Name of a failure kind. */
+const char *failureKindName(FailureKind kind);
+
+/** One observed failure during a run. */
+struct FailureEvent
+{
+    FailureKind kind = FailureKind::FatalLog;
+    std::string site;   ///< failure-instruction site id
+    int node = -1;      ///< node on which the failure fired
+    std::string detail; ///< free-form diagnostic
+    std::uint64_t step = 0; ///< scheduler step at which it fired
+};
+
+/** Terminal status of a simulation run. */
+enum class RunStatus {
+    Completed, ///< all non-daemon threads finished
+    Deadlock,  ///< no runnable thread before completion
+    StepLimit, ///< exceeded the step budget (livelock guard)
+};
+
+/** Name of a run status. */
+const char *runStatusName(RunStatus status);
+
+/** Outcome of one simulation run. */
+struct RunResult
+{
+    RunStatus status = RunStatus::Completed;
+    std::vector<FailureEvent> failures;
+    std::uint64_t steps = 0;
+
+    /** True when the run deviated from fully correct behaviour. */
+    bool
+    failed() const
+    {
+        return status != RunStatus::Completed || !failures.empty();
+    }
+
+    /** True if some failure of @p kind occurred. */
+    bool hasFailure(FailureKind kind) const;
+
+    /** One-line human-readable summary. */
+    std::string summary() const;
+};
+
+/** Scheduling policy selector. */
+enum class PolicyKind {
+    Fifo,   ///< deterministic round-robin (default correct runs)
+    Random, ///< seeded random exploration
+};
+
+/** Simulation configuration. */
+struct SimConfig
+{
+    PolicyKind policy = PolicyKind::Fifo;
+    std::uint64_t seed = 1;
+    std::uint64_t maxSteps = 2'000'000;
+    int rpcWorkersPerNode = 2;
+    /** Iteration bound after which an instrumented retry loop is
+     *  declared hung (LoopHang failure). */
+    int loopHangBound = 60;
+};
+
+} // namespace dcatch::sim
+
+#endif // DCATCH_RUNTIME_TYPES_HH

@@ -1,0 +1,162 @@
+#include "trace/record.hh"
+
+#include "common/util.hh"
+
+#include <vector>
+
+namespace dcatch::trace {
+
+const char *
+recordTypeName(RecordType type)
+{
+    switch (type) {
+      case RecordType::MemRead: return "MemRead";
+      case RecordType::MemWrite: return "MemWrite";
+      case RecordType::ThreadCreate: return "ThreadCreate";
+      case RecordType::ThreadBegin: return "ThreadBegin";
+      case RecordType::ThreadEnd: return "ThreadEnd";
+      case RecordType::ThreadJoin: return "ThreadJoin";
+      case RecordType::EventCreate: return "EventCreate";
+      case RecordType::EventBegin: return "EventBegin";
+      case RecordType::EventEnd: return "EventEnd";
+      case RecordType::RpcCreate: return "RpcCreate";
+      case RecordType::RpcBegin: return "RpcBegin";
+      case RecordType::RpcEnd: return "RpcEnd";
+      case RecordType::RpcJoin: return "RpcJoin";
+      case RecordType::MsgSend: return "MsgSend";
+      case RecordType::MsgRecv: return "MsgRecv";
+      case RecordType::CoordUpdate: return "CoordUpdate";
+      case RecordType::CoordPushed: return "CoordPushed";
+      case RecordType::LockAcquire: return "LockAcquire";
+      case RecordType::LockRelease: return "LockRelease";
+      case RecordType::LoopIter: return "LoopIter";
+      case RecordType::LoopExit: return "LoopExit";
+    }
+    return "?";
+}
+
+RecordCategory
+recordCategory(RecordType type)
+{
+    switch (type) {
+      case RecordType::MemRead:
+      case RecordType::MemWrite:
+        return RecordCategory::Mem;
+      case RecordType::RpcCreate:
+      case RecordType::RpcBegin:
+      case RecordType::RpcEnd:
+      case RecordType::RpcJoin:
+      case RecordType::MsgSend:
+      case RecordType::MsgRecv:
+        return RecordCategory::RpcSocket;
+      case RecordType::EventCreate:
+      case RecordType::EventBegin:
+      case RecordType::EventEnd:
+        return RecordCategory::Event;
+      case RecordType::ThreadCreate:
+      case RecordType::ThreadBegin:
+      case RecordType::ThreadEnd:
+      case RecordType::ThreadJoin:
+        return RecordCategory::Thread;
+      case RecordType::CoordUpdate:
+      case RecordType::CoordPushed:
+        return RecordCategory::Coord;
+      case RecordType::LockAcquire:
+      case RecordType::LockRelease:
+        return RecordCategory::Lock;
+      case RecordType::LoopIter:
+      case RecordType::LoopExit:
+        return RecordCategory::Loop;
+    }
+    return RecordCategory::Mem;
+}
+
+const char *
+recordCategoryName(RecordCategory cat)
+{
+    switch (cat) {
+      case RecordCategory::Mem: return "Mem";
+      case RecordCategory::RpcSocket: return "RPC/Socket";
+      case RecordCategory::Event: return "Event";
+      case RecordCategory::Thread: return "Thread";
+      case RecordCategory::Coord: return "Coord";
+      case RecordCategory::Lock: return "Lock";
+      case RecordCategory::Loop: return "Loop";
+    }
+    return "?";
+}
+
+bool
+parseRecordType(const std::string &name, RecordType &type)
+{
+    static const RecordType all[] = {
+        RecordType::MemRead,      RecordType::MemWrite,
+        RecordType::ThreadCreate, RecordType::ThreadBegin,
+        RecordType::ThreadEnd,    RecordType::ThreadJoin,
+        RecordType::EventCreate,  RecordType::EventBegin,
+        RecordType::EventEnd,     RecordType::RpcCreate,
+        RecordType::RpcBegin,     RecordType::RpcEnd,
+        RecordType::RpcJoin,      RecordType::MsgSend,
+        RecordType::MsgRecv,      RecordType::CoordUpdate,
+        RecordType::CoordPushed,  RecordType::LockAcquire,
+        RecordType::LockRelease,  RecordType::LoopIter,
+        RecordType::LoopExit,
+    };
+    for (RecordType candidate : all) {
+        if (name == recordTypeName(candidate)) {
+            type = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Record::fromLine(const std::string &line, Record &rec)
+{
+    std::vector<std::string> tokens = split(line, ' ');
+    if (tokens.size() != 8)
+        return false;
+    Record out;
+    try {
+        out.seq = std::stoull(tokens[0]);
+        if (!parseRecordType(tokens[1], out.type))
+            return false;
+        if (tokens[2].size() < 2 || tokens[2][0] != 'n' ||
+            tokens[3].size() < 2 || tokens[3][0] != 't')
+            return false;
+        out.node = std::stoi(tokens[2].substr(1));
+        out.thread = std::stoi(tokens[3].substr(1));
+        auto field = [](const std::string &token, const char *prefix,
+                        std::string &value) {
+            std::string pre(prefix);
+            if (token.rfind(pre, 0) != 0)
+                return false;
+            value = token.substr(pre.size());
+            return true;
+        };
+        std::string aux;
+        if (!field(tokens[4], "site=", out.site) ||
+            !field(tokens[5], "id=", out.id) ||
+            !field(tokens[6], "aux=", aux) ||
+            !field(tokens[7], "cs=", out.callstack))
+            return false;
+        out.aux = std::stoll(aux);
+    } catch (...) {
+        return false;
+    }
+    rec = out;
+    return true;
+}
+
+std::string
+Record::toLine() const
+{
+    return strprintf("%llu %s n%d t%d site=%s id=%s aux=%lld cs=%s",
+                     static_cast<unsigned long long>(seq),
+                     recordTypeName(type), node, thread, site.c_str(),
+                     id.c_str(), static_cast<long long>(aux),
+                     callstack.c_str());
+}
+
+} // namespace dcatch::trace

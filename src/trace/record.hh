@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Trace record vocabulary.
+ *
+ * Each record corresponds to one operation from Table 2 of the DCatch
+ * paper (plus lock and loop records used by the triggering module and
+ * the pull-based synchronization analysis).  A record carries:
+ *
+ *  - the operation type,
+ *  - the static site id (bytecode-instruction identity in the paper;
+ *    a symbolic string constant here),
+ *  - the callstack at the operation,
+ *  - a grouping id that lets the trace analyser pair related records
+ *    (memory-location id, thread id, event instance id, RPC tag,
+ *    message tag, coordination-znode path, lock id, loop instance id),
+ *  - node / thread / global-sequence coordinates.
+ */
+
+#ifndef DCATCH_TRACE_RECORD_HH
+#define DCATCH_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dcatch::trace {
+
+/** Operation type of a trace record. */
+enum class RecordType {
+    MemRead,        ///< read of a traced shared variable
+    MemWrite,       ///< write of a traced shared variable
+    ThreadCreate,   ///< Create(t) in the parent thread
+    ThreadBegin,    ///< Begin(t) in the child thread
+    ThreadEnd,      ///< End(t) in the child thread
+    ThreadJoin,     ///< Join(t) in the joining thread
+    EventCreate,    ///< Create(e): enqueue of an event
+    EventBegin,     ///< Begin(e): handler starts
+    EventEnd,       ///< End(e): handler finishes
+    RpcCreate,      ///< Create(r, n1): RPC call issued
+    RpcBegin,       ///< Begin(r, n2): RPC body starts
+    RpcEnd,         ///< End(r, n2): RPC body finishes
+    RpcJoin,        ///< Join(r, n1): RPC call returns
+    MsgSend,        ///< Send(m, n1): socket message sent
+    MsgRecv,        ///< Recv(m, n2): socket message delivered
+    CoordUpdate,    ///< Update(s, n1): znode create/delete/setData
+    CoordPushed,    ///< Pushed(s, n2): watcher notification delivered
+    LockAcquire,    ///< lock acquired (for trigger placement only)
+    LockRelease,    ///< lock released (for trigger placement only)
+    LoopIter,       ///< one iteration of an instrumented retry loop
+    LoopExit,       ///< exit of an instrumented retry loop
+};
+
+/** Human-readable name of a record type. */
+const char *recordTypeName(RecordType type);
+
+/**
+ * Coarse category used by the Table 7 record-breakdown benchmark.
+ */
+enum class RecordCategory { Mem, RpcSocket, Event, Thread, Coord, Lock, Loop };
+
+/** Map a record type to its Table 7 category. */
+RecordCategory recordCategory(RecordType type);
+
+/** Name of a record category. */
+const char *recordCategoryName(RecordCategory cat);
+
+/** One traced operation. */
+struct Record
+{
+    RecordType type = RecordType::MemRead;
+    int node = -1;          ///< node index the operation executed on
+    int thread = -1;        ///< global thread index
+    std::uint64_t seq = 0;  ///< global sequence number (total order)
+    std::string site;       ///< static site id (may be empty for HB ops)
+    std::string callstack;  ///< joined frame stack at the operation
+    std::string id;         ///< grouping id (see file comment)
+    std::int64_t aux = 0;   ///< value version (mem ops), iteration count
+                            ///< (loop ops), or unused
+
+    /** True for MemRead / MemWrite. */
+    bool
+    isMemoryAccess() const
+    {
+        return type == RecordType::MemRead || type == RecordType::MemWrite;
+    }
+
+    /** Serialize to one trace-file line. */
+    std::string toLine() const;
+
+    /**
+     * Parse a line produced by toLine().
+     * @return false when the line is malformed (rec left unchanged)
+     */
+    static bool fromLine(const std::string &line, Record &rec);
+};
+
+/** Parse a type name back to the enum. @return false when unknown. */
+bool parseRecordType(const std::string &name, RecordType &type);
+
+} // namespace dcatch::trace
+
+#endif // DCATCH_TRACE_RECORD_HH

@@ -1,0 +1,174 @@
+#include "trace/trace_store.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "common/util.hh"
+
+namespace dcatch::trace {
+
+void
+TraceStore::append(const Record &rec)
+{
+    if (rec.thread < 0) {
+        DCATCH_WARN() << "dropping record with no thread: " << rec.toLine();
+        return;
+    }
+    if (static_cast<std::size_t>(rec.thread) >= logs_.size())
+        logs_.resize(static_cast<std::size_t>(rec.thread) + 1);
+    logs_[static_cast<std::size_t>(rec.thread)].push_back(rec);
+}
+
+void
+TraceStore::noteQueue(const QueueMeta &meta)
+{
+    queues_.emplace(meta.queueId, meta);
+}
+
+void
+TraceStore::noteThread(const ThreadMeta &meta)
+{
+    threads_[meta.thread] = meta;
+}
+
+const std::vector<Record> &
+TraceStore::threadLog(int thread) const
+{
+    static const std::vector<Record> empty;
+    if (thread < 0 || static_cast<std::size_t>(thread) >= logs_.size())
+        return empty;
+    return logs_[static_cast<std::size_t>(thread)];
+}
+
+std::vector<Record>
+TraceStore::allRecords() const
+{
+    std::vector<Record> all;
+    all.reserve(totalRecords());
+    for (const auto &log : logs_)
+        all.insert(all.end(), log.begin(), log.end());
+    std::sort(all.begin(), all.end(),
+              [](const Record &a, const Record &b) { return a.seq < b.seq; });
+    return all;
+}
+
+std::size_t
+TraceStore::totalRecords() const
+{
+    std::size_t n = 0;
+    for (const auto &log : logs_)
+        n += log.size();
+    return n;
+}
+
+std::map<RecordCategory, std::size_t>
+TraceStore::countsByCategory() const
+{
+    std::map<RecordCategory, std::size_t> counts;
+    for (const auto &log : logs_)
+        for (const Record &rec : log)
+            ++counts[recordCategory(rec.type)];
+    return counts;
+}
+
+std::size_t
+TraceStore::serializedBytes() const
+{
+    std::size_t bytes = 0;
+    for (const auto &log : logs_)
+        for (const Record &rec : log)
+            bytes += rec.toLine().size() + 1;
+    return bytes;
+}
+
+void
+TraceStore::writeToDirectory(const std::string &directory) const
+{
+    std::filesystem::create_directories(directory);
+    for (std::size_t t = 0; t < logs_.size(); ++t) {
+        if (logs_[t].empty())
+            continue;
+        std::string name = strprintf("thread-%03zu.trace", t);
+        std::ofstream out(std::filesystem::path(directory) / name);
+        for (const Record &rec : logs_[t])
+            out << rec.toLine() << '\n';
+    }
+}
+
+std::size_t
+TraceStore::loadFromDirectory(const std::string &directory)
+{
+    std::size_t loaded = 0;
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(directory))
+        if (entry.path().extension() == ".trace")
+            files.push_back(entry.path());
+    std::sort(files.begin(), files.end());
+    for (const auto &path : files) {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            Record rec;
+            if (!Record::fromLine(line, rec)) {
+                DCATCH_WARN() << "skipping malformed trace line in "
+                              << path.string();
+                continue;
+            }
+            if (rec.seq >= seq_)
+                seq_ = rec.seq + 1;
+            append(rec);
+            ++loaded;
+        }
+    }
+    return loaded;
+}
+
+bool
+Tracer::focusAdmits(const std::string &var_id) const
+{
+    if (config_.focusVars.empty())
+        return true;
+    return std::find(config_.focusVars.begin(), config_.focusVars.end(),
+                     var_id) != config_.focusVars.end();
+}
+
+bool
+Tracer::recordMemAccess(Record rec, bool in_traced_scope)
+{
+    if (!config_.traceMemory)
+        return false;
+    if (!config_.focusVars.empty()) {
+        // Focused re-run (pull analysis): record every access to the
+        // focus variables regardless of scope, and nothing else.
+        if (!focusAdmits(rec.id))
+            return false;
+    } else if (config_.selectiveMemory && !in_traced_scope) {
+        return false;
+    }
+    rec.seq = store_.nextSeq();
+    store_.append(rec);
+    return true;
+}
+
+void
+Tracer::recordOp(Record rec)
+{
+    if (!config_.traceOps)
+        return;
+    rec.seq = store_.nextSeq();
+    store_.append(rec);
+}
+
+void
+Tracer::recordLockOp(Record rec)
+{
+    if (!config_.traceLocks)
+        return;
+    rec.seq = store_.nextSeq();
+    store_.append(rec);
+}
+
+} // namespace dcatch::trace

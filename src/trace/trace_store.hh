@@ -1,0 +1,171 @@
+/**
+ * @file
+ * In-memory trace storage.
+ *
+ * DCatch produces one trace file per thread of the target system
+ * (paper section 3.1).  The store keeps one record vector per global
+ * thread index, hands out globally unique sequence numbers, and knows
+ * how to serialize itself to per-thread files, compute the record
+ * breakdown of Table 7, and report its serialized size for Table 6/8.
+ */
+
+#ifndef DCATCH_TRACE_TRACE_STORE_HH
+#define DCATCH_TRACE_TRACE_STORE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace dcatch::trace {
+
+/** Static metadata about one event queue (for Rule-Eserial). */
+struct QueueMeta
+{
+    std::string queueId;        ///< unique queue identity
+    int node = -1;              ///< owning node
+    bool singleConsumer = true; ///< exactly one handling thread?
+};
+
+/** Static metadata about one traced thread. */
+struct ThreadMeta
+{
+    int thread = -1;        ///< global thread index
+    int node = -1;          ///< owning node
+    std::string name;       ///< diagnostic name
+    bool handlerThread = false; ///< event/RPC/message worker thread?
+};
+
+/** Per-run trace: per-thread record logs plus static metadata. */
+class TraceStore
+{
+  public:
+    /** Reserve the next global sequence number. */
+    std::uint64_t nextSeq() { return seq_++; }
+
+    /** Append a record to its thread's log. */
+    void append(const Record &rec);
+
+    /** Register queue metadata (idempotent per queueId). */
+    void noteQueue(const QueueMeta &meta);
+
+    /** Register thread metadata. */
+    void noteThread(const ThreadMeta &meta);
+
+    /** All records of one thread, in program order. */
+    const std::vector<Record> &threadLog(int thread) const;
+
+    /** Number of thread logs. */
+    int threadCount() const { return static_cast<int>(logs_.size()); }
+
+    /** Flatten all logs into one vector sorted by sequence number. */
+    std::vector<Record> allRecords() const;
+
+    /** Total number of records. */
+    std::size_t totalRecords() const;
+
+    /** Record counts keyed by category (Table 7). */
+    std::map<RecordCategory, std::size_t> countsByCategory() const;
+
+    /** Serialized size in bytes (what the trace files would occupy). */
+    std::size_t serializedBytes() const;
+
+    /** Write one trace file per thread into @p directory. */
+    void writeToDirectory(const std::string &directory) const;
+
+    /**
+     * Load the per-thread trace files written by writeToDirectory()
+     * back into this store (records only; queue/thread metadata is
+     * not serialized and must be re-registered by the caller).
+     * @return number of records loaded
+     */
+    std::size_t loadFromDirectory(const std::string &directory);
+
+    /** Queue metadata, keyed by queueId. */
+    const std::map<std::string, QueueMeta> &queues() const
+    {
+        return queues_;
+    }
+
+    /** Thread metadata, keyed by global thread index. */
+    const std::map<int, ThreadMeta> &threads() const { return threads_; }
+
+  private:
+    std::uint64_t seq_ = 0;
+    std::vector<std::vector<Record>> logs_;
+    std::map<std::string, QueueMeta> queues_;
+    std::map<int, ThreadMeta> threads_;
+};
+
+/** Tracing configuration (selective vs. full, focused re-runs). */
+struct TracerConfig
+{
+    /** Record memory accesses at all? */
+    bool traceMemory = true;
+
+    /**
+     * Selective-scope policy of paper section 3.1.1: record a memory
+     * access only when executing inside an RPC function, a socket/verb
+     * handler, an event handler, or one of their callees.  When false,
+     * every shared access is recorded (the Table 8 configuration).
+     */
+    bool selectiveMemory = true;
+
+    /** Record lock/unlock operations (needed by the trigger module). */
+    bool traceLocks = true;
+
+    /**
+     * Record HB-related operations (thread/event/RPC/socket/coord).
+     * Disabled only to measure untraced "Base" execution (Table 6).
+     */
+    bool traceOps = true;
+
+    /**
+     * When non-empty, memory tracing is restricted to these variable
+     * ids: the focused second run of the pull-based synchronization
+     * analysis (paper section 3.2.1).  HB-related operations are
+     * always recorded.
+     */
+    std::vector<std::string> focusVars;
+};
+
+/**
+ * Run-time tracer: applies the TracerConfig policy and forwards
+ * accepted records to a TraceStore.
+ */
+class Tracer
+{
+  public:
+    explicit Tracer(TracerConfig config = {}) : config_(std::move(config)) {}
+
+    const TracerConfig &config() const { return config_; }
+    TraceStore &store() { return store_; }
+    const TraceStore &store() const { return store_; }
+
+    /**
+     * Record a memory access if the policy admits it.
+     * @param rec fully populated record except for seq
+     * @param in_traced_scope true when the executing thread is inside
+     *        an RPC/event/message handler or one of its callees
+     * @return true if the record was kept
+     */
+    bool recordMemAccess(Record rec, bool in_traced_scope);
+
+    /** Record an HB-related (non-memory) operation unconditionally. */
+    void recordOp(Record rec);
+
+    /** Record a lock operation if lock tracing is enabled. */
+    void recordLockOp(Record rec);
+
+  private:
+    bool focusAdmits(const std::string &var_id) const;
+
+    TracerConfig config_;
+    TraceStore store_;
+};
+
+} // namespace dcatch::trace
+
+#endif // DCATCH_TRACE_TRACE_STORE_HH

@@ -1,0 +1,75 @@
+#include "trigger/controller.hh"
+
+#include "common/logging.hh"
+
+namespace dcatch::trigger {
+
+namespace {
+
+/**
+ * Drop the leading thread name from a callstack ("AM.rpcWorker0:rpc:f"
+ * -> "rpc:f").  Which worker of a pool serves a handler is schedule
+ * dependent, and holding a request perturbs the schedule, so request
+ * points match on frames only.
+ */
+std::string
+framesOnly(const std::string &callstack)
+{
+    std::size_t pos = callstack.find(':');
+    return pos == std::string::npos ? callstack : callstack.substr(pos + 1);
+}
+
+} // namespace
+
+bool
+OrderController::matches(const RequestPoint &point,
+                         const trace::Record &rec, int &counter) const
+{
+    if (rec.site != point.site)
+        return false;
+    if (!point.callstack.empty() &&
+        framesOnly(rec.callstack) != framesOnly(point.callstack))
+        return false;
+    return counter++ == point.instance;
+}
+
+void
+OrderController::beforeOperation(sim::ThreadContext &ctx,
+                                 const trace::Record &rec)
+{
+    if (!firstSeen_ && matches(first_, rec, firstCounter_)) {
+        // Under the serialized scheduler the operation's effect is
+        // applied before the thread yields, i.e. before any other
+        // thread (in particular the held second party) can run — so
+        // passing this point is also the "confirm".
+        firstSeen_ = true;
+        DCATCH_DEBUG() << "trigger: first point passed at " << rec.site;
+        return;
+    }
+
+    if (!secondSeen_ && matches(second_, rec, secondCounter_)) {
+        secondArrived_ = true;
+        if (!firstSeen_ && !released_) {
+            DCATCH_DEBUG() << "trigger: holding second point at "
+                           << rec.site;
+            holdingSecond_ = true;
+            ctx.blockUntil([this] { return firstSeen_ || released_; });
+            holdingSecond_ = false;
+        }
+        secondSeen_ = true;
+        DCATCH_DEBUG() << "trigger: second point passed at " << rec.site;
+    }
+}
+
+bool
+OrderController::onQuiesce()
+{
+    if (!holdingSecond_)
+        return false;
+    DCATCH_DEBUG() << "trigger: quiesce while holding — releasing";
+    released_ = true;
+    rescued_ = true;
+    return true;
+}
+
+} // namespace dcatch::trigger

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The timing-manipulation controller (paper section 5.1).
+ *
+ * The paper's infrastructure has client-side request/confirm APIs and
+ * a message-controller server that grants permissions so that, for a
+ * pair of operations A and B, both "A right before B" and "B right
+ * before A" are explored.  In our substrate the controller is a
+ * ControlHook: request points fire inside beforeOperation (which runs
+ * before the operation executes), the "confirm" is implicit in the
+ * party's next intercepted operation, and quiescence (no runnable
+ * thread) is the controller's signal that a held request will never
+ * be matched by its peer — the evidence used to classify reports as
+ * serial (ordered by custom synchronization DCatch does not model).
+ */
+
+#ifndef DCATCH_TRIGGER_CONTROLLER_HH
+#define DCATCH_TRIGGER_CONTROLLER_HH
+
+#include <string>
+
+#include "runtime/hooks.hh"
+#include "runtime/sim.hh"
+#include "trigger/placement.hh"
+
+namespace dcatch::trigger {
+
+/**
+ * Enforces "first executes before second" between two request points
+ * within one run:
+ *
+ *  - when the second party reaches its point before the first party
+ *    has executed, its thread is held until the first party passes
+ *    (under the serialized scheduler the first operation's effect is
+ *    applied before any other thread runs, so no separate confirm
+ *    message is needed);
+ *  - on quiescence the hold is dropped and the timeout is recorded —
+ *    the signal that unmodelled synchronization orders the pair.
+ */
+class OrderController : public sim::ControlHook
+{
+  public:
+    OrderController(RequestPoint first, RequestPoint second)
+        : first_(std::move(first)), second_(std::move(second))
+    {
+    }
+
+    void beforeOperation(sim::ThreadContext &ctx,
+                         const trace::Record &rec) override;
+
+    bool onQuiesce() override;
+
+    /// @{ @name Outcome queries (valid after the run)
+    bool firstReached() const { return firstSeen_; }
+    bool secondReached() const { return secondSeen_; }
+    /** Both points fired and the enforced order held without a
+     *  quiescence rescue. */
+    bool
+    orderEnforced() const
+    {
+        return firstSeen_ && secondSeen_ && !rescued_;
+    }
+    /** A hold had to be dropped because the system quiesced. */
+    bool rescued() const { return rescued_; }
+
+    /** The second party at least arrived at its request point (it may
+     *  have been killed by a failure before completing). */
+    bool secondArrived() const { return secondArrived_; }
+    /// @}
+
+  private:
+    /** Does @p rec match @p point (advancing its instance counter)? */
+    bool matches(const RequestPoint &point, const trace::Record &rec,
+                 int &counter) const;
+
+    RequestPoint first_, second_;
+    int firstCounter_ = 0, secondCounter_ = 0;
+    bool firstSeen_ = false;     ///< first party passed its point
+    bool secondSeen_ = false;    ///< second party passed its point
+    bool secondArrived_ = false; ///< second party reached its point
+    bool holdingSecond_ = false; ///< second party currently blocked
+    bool released_ = false;      ///< quiesce dropped the hold
+    bool rescued_ = false;
+};
+
+} // namespace dcatch::trigger
+
+#endif // DCATCH_TRIGGER_CONTROLLER_HH

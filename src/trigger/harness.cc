@@ -1,0 +1,94 @@
+#include "trigger/harness.hh"
+
+#include "common/logging.hh"
+#include "trigger/controller.hh"
+
+namespace dcatch::trigger {
+
+const char *
+triggerClassName(TriggerClass cls)
+{
+    switch (cls) {
+      case TriggerClass::Serial: return "serial";
+      case TriggerClass::Benign: return "benign";
+      case TriggerClass::Harmful: return "harmful";
+    }
+    return "?";
+}
+
+OrderRun
+TriggerHarness::runOrder(const RequestPoint &first,
+                         const RequestPoint &second,
+                         const std::string &label) const
+{
+    OrderRun run;
+    run.order = label;
+
+    sim::Simulation sim(config_);
+    OrderController controller(first, second);
+    sim.setControlHook(&controller);
+    build_(sim);
+    run.result = sim.run();
+    run.enforced = controller.orderEnforced();
+    run.rescued = controller.rescued();
+    run.exercised = controller.firstReached() &&
+                    (controller.secondReached() ||
+                     controller.secondArrived());
+    DCATCH_DEBUG() << "trigger order " << label
+                   << (run.enforced ? " enforced" : " NOT enforced")
+                   << ", " << run.result.summary();
+    return run;
+}
+
+TriggerReport
+TriggerHarness::test(const detect::Candidate &candidate,
+                     const trace::TraceStore &pass1) const
+{
+    TriggerReport report;
+    report.candidate = candidate;
+
+    PlacementAnalyzer analyzer(pass1);
+    report.placement = analyzer.plan(candidate);
+
+    report.runs.push_back(runOrder(report.placement.a,
+                                   report.placement.b, "a-then-b"));
+    report.runs.push_back(runOrder(report.placement.b,
+                                   report.placement.a, "b-then-a"));
+
+    bool any_enforced = false;
+    bool any_failed = false;
+    for (const OrderRun &run : report.runs) {
+        if (run.enforced)
+            any_enforced = true;
+        if (run.exercised && run.result.failed()) {
+            any_failed = true;
+            report.failingOrder = run.order;
+            report.failures = run.result.failures;
+        }
+    }
+
+    if (any_failed)
+        report.cls = TriggerClass::Harmful;
+    else if (!any_enforced)
+        report.cls = TriggerClass::Serial;
+    else if (report.runs[0].enforced != report.runs[1].enforced)
+        // Exactly one order achievable: the accesses are ordered by
+        // synchronization DCatch did not model.
+        report.cls = TriggerClass::Serial;
+    else
+        report.cls = TriggerClass::Benign;
+    return report;
+}
+
+std::vector<TriggerReport>
+TriggerHarness::testAll(const std::vector<detect::Candidate> &candidates,
+                        const trace::TraceStore &pass1) const
+{
+    std::vector<TriggerReport> reports;
+    reports.reserve(candidates.size());
+    for (const detect::Candidate &cand : candidates)
+        reports.push_back(test(cand, pass1));
+    return reports;
+}
+
+} // namespace dcatch::trigger

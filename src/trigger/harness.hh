@@ -1,0 +1,103 @@
+/**
+ * @file
+ * End-to-end DCbug triggering and validation (paper section 5).
+ *
+ * For each DCatch report (s, t) the harness re-runs the system twice,
+ * enforcing "s right before t" and "t right before s", and classifies
+ * the report:
+ *
+ *  - harmful: some enforced order produced a failure (abort, fatal
+ *    log, uncaught exception, hang);
+ *  - benign: both orders were enforced and neither failed;
+ *  - serial: an order could not be enforced — while one request was
+ *    held the rest of the system quiesced without the peer arriving,
+ *    i.e. unmodelled custom synchronization orders the accesses.
+ */
+
+#ifndef DCATCH_TRIGGER_HARNESS_HH
+#define DCATCH_TRIGGER_HARNESS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "detect/report.hh"
+#include "runtime/sim.hh"
+#include "trace/trace_store.hh"
+#include "trigger/placement.hh"
+
+namespace dcatch::trigger {
+
+/** Classification of a DCatch report after triggering. */
+enum class TriggerClass { Serial, Benign, Harmful };
+
+/** Name of a classification. */
+const char *triggerClassName(TriggerClass cls);
+
+/** Result of one enforced-order run. */
+struct OrderRun
+{
+    std::string order;       ///< "a-then-b" or "b-then-a"
+    bool enforced = false;   ///< both points hit, no quiesce rescue
+    bool rescued = false;    ///< a hold was dropped at quiescence
+    /** Both parties reached their points (the second may have been
+     *  killed by the failure before completing — e.g. its node
+     *  aborted as a result of the enforced order). */
+    bool exercised = false;
+    sim::RunResult result;
+};
+
+/** Full triggering report for one candidate. */
+struct TriggerReport
+{
+    detect::Candidate candidate;
+    TriggerClass cls = TriggerClass::Benign;
+    Placement placement;
+    std::vector<OrderRun> runs;
+    std::string failingOrder; ///< which order failed (when harmful)
+
+    /** Failures observed in the failing run (when harmful). */
+    std::vector<sim::FailureEvent> failures;
+};
+
+/** The triggering harness, bound to one benchmark's topology. */
+class TriggerHarness
+{
+  public:
+    /**
+     * @param build topology builder (fresh Simulation per run)
+     * @param config simulation config used for the trigger runs
+     */
+    TriggerHarness(std::function<void(sim::Simulation &)> build,
+                   sim::SimConfig config)
+        : build_(std::move(build)), config_(config)
+    {
+    }
+
+    /**
+     * Trigger one candidate.
+     * @param pass1 the trace of the original (correct) monitored run,
+     *        used by the placement analysis
+     */
+    TriggerReport test(const detect::Candidate &candidate,
+                       const trace::TraceStore &pass1) const;
+
+    /**
+     * Trigger a whole report list.  @return reports in input order.
+     */
+    std::vector<TriggerReport>
+    testAll(const std::vector<detect::Candidate> &candidates,
+            const trace::TraceStore &pass1) const;
+
+  private:
+    OrderRun runOrder(const RequestPoint &first,
+                      const RequestPoint &second,
+                      const std::string &label) const;
+
+    std::function<void(sim::Simulation &)> build_;
+    sim::SimConfig config_;
+};
+
+} // namespace dcatch::trigger
+
+#endif // DCATCH_TRIGGER_HARNESS_HH

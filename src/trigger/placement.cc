@@ -1,0 +1,346 @@
+#include "trigger/placement.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace dcatch::trigger {
+
+using trace::Record;
+using trace::RecordType;
+
+PlacementAnalyzer::PlacementAnalyzer(const trace::TraceStore &store,
+                                     Options options)
+    : store_(store), options_(options)
+{
+}
+
+PlacementAnalyzer::AccessContext
+PlacementAnalyzer::locate(const detect::CandidateAccess &access) const
+{
+    AccessContext ctx;
+    // Locate the exact dynamic occurrence (site, callstack, thread,
+    // access kind, value version) in the per-thread logs.
+    for (int t = 0; t < store_.threadCount(); ++t) {
+        const std::vector<Record> &log = store_.threadLog(t);
+        int instance = 0;
+        for (std::size_t i = 0; i < log.size(); ++i) {
+            const Record &rec = log[i];
+            bool same_static = rec.isMemoryAccess() &&
+                               rec.site == access.site &&
+                               rec.callstack == access.callstack;
+            if (!same_static)
+                continue;
+            bool is_target = rec.thread == access.thread &&
+                             rec.aux == access.version &&
+                             (rec.type == RecordType::MemWrite) ==
+                                 access.isWrite;
+            if (!is_target) {
+                ++instance;
+                continue;
+            }
+            ctx.found = true;
+            ctx.thread = t;
+            ctx.pos = i;
+            ctx.instance = instance;
+            break;
+        }
+        if (ctx.found)
+            break;
+    }
+    if (!ctx.found)
+        return ctx;
+
+    // Walk the thread log up to the access: handler segment + locks.
+    const std::vector<Record> &log = store_.threadLog(ctx.thread);
+    std::string handler_kind, handler_id;
+    for (std::size_t i = 0; i <= ctx.pos; ++i) {
+        const Record &rec = log[i];
+        switch (rec.type) {
+          case RecordType::EventBegin:
+            handler_kind = "event";
+            handler_id = rec.id;
+            break;
+          case RecordType::RpcBegin:
+            handler_kind = "rpc";
+            handler_id = rec.id;
+            break;
+          case RecordType::MsgRecv:
+            handler_kind = "msg";
+            handler_id = rec.id;
+            break;
+          case RecordType::CoordPushed:
+            handler_kind = "watch";
+            handler_id = rec.id;
+            break;
+          case RecordType::EventEnd:
+          case RecordType::RpcEnd:
+            handler_kind.clear();
+            handler_id.clear();
+            break;
+          case RecordType::LockAcquire: {
+            int lock_instance = 0;
+            for (std::size_t j = 0; j < i; ++j)
+                if (log[j].type == RecordType::LockAcquire &&
+                    log[j].site == rec.site &&
+                    log[j].callstack == rec.callstack)
+                    ++lock_instance;
+            ctx.locksHeld.push_back(rec.id);
+            ctx.lockSites.push_back(rec.site);
+            ctx.lockStacks.push_back(rec.callstack);
+            ctx.lockInstances.push_back(lock_instance);
+            break;
+          }
+          case RecordType::LockRelease: {
+            auto it = std::find(ctx.locksHeld.rbegin(),
+                                ctx.locksHeld.rend(), rec.id);
+            if (it != ctx.locksHeld.rend()) {
+                std::size_t idx = ctx.locksHeld.size() - 1 -
+                    static_cast<std::size_t>(
+                        std::distance(ctx.locksHeld.rbegin(), it));
+                ctx.locksHeld.erase(ctx.locksHeld.begin() +
+                                    static_cast<long>(idx));
+                ctx.lockSites.erase(ctx.lockSites.begin() +
+                                    static_cast<long>(idx));
+                ctx.lockStacks.erase(ctx.lockStacks.begin() +
+                                     static_cast<long>(idx));
+                ctx.lockInstances.erase(ctx.lockInstances.begin() +
+                                        static_cast<long>(idx));
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+    ctx.handlerKind = handler_kind;
+    ctx.handlerId = handler_id;
+    if (handler_kind == "event") {
+        ctx.queueId = handler_id.substr(0, handler_id.find('#'));
+        auto meta = store_.queues().find(ctx.queueId);
+        ctx.queueSingleConsumer =
+            meta != store_.queues().end() && meta->second.singleConsumer;
+    }
+    return ctx;
+}
+
+bool
+PlacementAnalyzer::relocateToCause(const AccessContext &ctx,
+                                   RequestPoint &point,
+                                   const char *why) const
+{
+    // Find the causally preceding record: the EventCreate with this
+    // event's id, or the RpcCreate with this RPC's tag.
+    RecordType want;
+    if (ctx.handlerKind == "event")
+        want = RecordType::EventCreate;
+    else if (ctx.handlerKind == "rpc")
+        want = RecordType::RpcCreate;
+    else if (ctx.handlerKind == "msg")
+        want = RecordType::MsgSend;
+    else
+        return false;
+
+    for (int t = 0; t < store_.threadCount(); ++t) {
+        const std::vector<Record> &log = store_.threadLog(t);
+        for (std::size_t i = 0; i < log.size(); ++i) {
+            const Record &rec = log[i];
+            if (rec.type != want || rec.id != ctx.handlerId)
+                continue;
+            int instance = 0;
+            for (std::size_t j = 0; j < i; ++j)
+                if (log[j].type == want && log[j].site == rec.site &&
+                    log[j].callstack == rec.callstack)
+                    ++instance;
+            point.site = rec.site;
+            point.callstack = rec.callstack;
+            point.instance = instance;
+            point.note = why;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+PlacementAnalyzer::causeFlowsThroughThread(const AccessContext &access,
+                                           int thread) const
+{
+    // Walk the causal chain of the handler instance enclosing
+    // @p access: handler instance -> its Create/Send record -> the
+    // handler enclosing THAT record, a few levels deep.  True when
+    // any link executed on @p thread.
+    std::string kind = access.handlerKind;
+    std::string id = access.handlerId;
+    for (int depth = 0; depth < 4 && !kind.empty(); ++depth) {
+        RecordType want;
+        if (kind == "event")
+            want = RecordType::EventCreate;
+        else if (kind == "rpc")
+            want = RecordType::RpcCreate;
+        else if (kind == "msg")
+            want = RecordType::MsgSend;
+        else
+            return false; // watcher chains end at the coord service
+        bool found = false;
+        for (int t = 0; t < store_.threadCount() && !found; ++t) {
+            const std::vector<Record> &log = store_.threadLog(t);
+            for (std::size_t i = 0; i < log.size(); ++i) {
+                const Record &rec = log[i];
+                if (rec.type != want || rec.id != id)
+                    continue;
+                if (rec.thread == thread)
+                    return true;
+                // Continue the walk from the enclosing handler of the
+                // cause record.
+                kind.clear();
+                id.clear();
+                for (std::size_t j = 0; j < i; ++j) {
+                    switch (log[j].type) {
+                      case RecordType::EventBegin:
+                        kind = "event";
+                        id = log[j].id;
+                        break;
+                      case RecordType::RpcBegin:
+                        kind = "rpc";
+                        id = log[j].id;
+                        break;
+                      case RecordType::MsgRecv:
+                        kind = "msg";
+                        id = log[j].id;
+                        break;
+                      case RecordType::EventEnd:
+                      case RecordType::RpcEnd:
+                        kind.clear();
+                        id.clear();
+                        break;
+                      default:
+                        break;
+                    }
+                }
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    return false;
+}
+
+Placement
+PlacementAnalyzer::plan(const detect::Candidate &candidate) const
+{
+    Placement placement;
+    placement.a = {candidate.a.site, candidate.a.callstack, 0, ""};
+    placement.b = {candidate.b.site, candidate.b.callstack, 0, ""};
+
+    AccessContext ca = locate(candidate.a);
+    AccessContext cb = locate(candidate.b);
+    if (ca.found)
+        placement.a.instance = ca.instance;
+    if (cb.found)
+        placement.b.instance = cb.instance;
+    if (!ca.found || !cb.found) {
+        placement.rationale = "access not located in trace; naive plan";
+        return placement;
+    }
+
+    // Case 1: same single-consumer event queue -> hold the enqueues.
+    if (ca.handlerKind == "event" && cb.handlerKind == "event" &&
+        ca.queueId == cb.queueId && ca.queueSingleConsumer) {
+        bool ra = relocateToCause(ca, placement.a,
+                                  "single-consumer queue: hold enqueue");
+        bool rb = relocateToCause(cb, placement.b,
+                                  "single-consumer queue: hold enqueue");
+        if (ra && rb) {
+            placement.relocated = true;
+            placement.rationale =
+                "both handlers share single-consumer queue " + ca.queueId;
+            return placement;
+        }
+    }
+
+    // Case 2: RPC handlers on the same handler thread -> hold callers.
+    if (ca.handlerKind == "rpc" && cb.handlerKind == "rpc" &&
+        ca.thread == cb.thread) {
+        bool ra = relocateToCause(ca, placement.a,
+                                  "same RPC handler thread: hold caller");
+        bool rb = relocateToCause(cb, placement.b,
+                                  "same RPC handler thread: hold caller");
+        if (ra && rb) {
+            placement.relocated = true;
+            placement.rationale = "both RPCs served by one handler thread";
+            return placement;
+        }
+    }
+
+    // Case 3: common lock -> hold before the critical sections.
+    for (std::size_t i = 0; i < ca.locksHeld.size(); ++i) {
+        auto it = std::find(cb.locksHeld.begin(), cb.locksHeld.end(),
+                            ca.locksHeld[i]);
+        if (it == cb.locksHeld.end())
+            continue;
+        std::size_t j =
+            static_cast<std::size_t>(it - cb.locksHeld.begin());
+        placement.a = {ca.lockSites[i], ca.lockStacks[i],
+                       ca.lockInstances[i],
+                       "common lock: hold before critical section"};
+        placement.b = {cb.lockSites[j], cb.lockStacks[j],
+                       cb.lockInstances[j],
+                       "common lock: hold before critical section"};
+        placement.relocated = true;
+        placement.rationale =
+            "accesses guarded by common lock " + ca.locksHeld[i];
+        return placement;
+    }
+
+    // A request point inside a socket-message handler holds the
+    // node's (single) message dispatcher.  If the OTHER access's
+    // causal chain flows through that same dispatcher, the hold
+    // starves the peer and the run hangs — the problem of section
+    // 5.2.  Relocate such points to the sender's Send operation on
+    // the other node; keep them in place otherwise (holding the
+    // dispatcher is then exactly what blocks all equivalent racing
+    // messages).
+    bool msg_moved = false;
+    if (ca.handlerKind == "msg" && causeFlowsThroughThread(cb, ca.thread))
+        msg_moved |= relocateToCause(
+            ca, placement.a, "message handler: hold the sender instead");
+    if (cb.handlerKind == "msg" && causeFlowsThroughThread(ca, cb.thread))
+        msg_moved |= relocateToCause(
+            cb, placement.b, "message handler: hold the sender instead");
+    if (msg_moved) {
+        placement.relocated = true;
+        placement.rationale =
+            "moved out of message handler(s) to avoid starving the "
+            "dispatcher the peer depends on";
+    }
+
+    // Many dynamic instances: prefer the causally preceding request
+    // point in a different thread/node when one exists.
+    auto count_instances = [&](const detect::CandidateAccess &acc) {
+        int n = 0;
+        for (int t = 0; t < store_.threadCount(); ++t)
+            for (const Record &rec : store_.threadLog(t))
+                if (rec.isMemoryAccess() && rec.site == acc.site &&
+                    rec.callstack == acc.callstack)
+                    ++n;
+        return n;
+    };
+    bool moved = false;
+    if (count_instances(candidate.a) > options_.manyInstanceThreshold)
+        moved |= relocateToCause(ca, placement.a,
+                                 "many dynamic instances: hold cause");
+    if (count_instances(candidate.b) > options_.manyInstanceThreshold)
+        moved |= relocateToCause(cb, placement.b,
+                                 "many dynamic instances: hold cause");
+    if (moved) {
+        placement.relocated = true;
+        placement.rationale = "relocated along the HB chain to bound "
+                              "dynamic request instances";
+    }
+    return placement;
+}
+
+} // namespace dcatch::trigger

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Request-point placement analysis (paper section 5.2).
+ *
+ * The naive placement — intercept execution right before each racing
+ * access — hangs or floods the controller in three situations the
+ * paper identifies; the analyzer relocates request points instead:
+ *
+ *  1. both accesses run in event handlers of the same single-consumer
+ *     queue -> move requests to the corresponding enqueue sites;
+ *  2. both accesses run in RPC handlers served by the same handler
+ *     thread on the same node -> move requests to the RPC callers;
+ *  3. both accesses sit inside critical sections of the same lock ->
+ *     move requests before the lock acquisitions (the runtime fires
+ *     the control hook before a lock is acquired for this reason);
+ *
+ * and, for sites with many dynamic instances, pins the request to the
+ * specific dynamic occurrence that raced (or the causally preceding
+ * enqueue/RPC call when one exists).
+ */
+
+#ifndef DCATCH_TRIGGER_PLACEMENT_HH
+#define DCATCH_TRIGGER_PLACEMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "detect/report.hh"
+#include "trace/trace_store.hh"
+
+namespace dcatch::trigger {
+
+/** One (possibly relocated) request point. */
+struct RequestPoint
+{
+    std::string site;      ///< site to intercept
+    std::string callstack; ///< exact callstack; empty = match any
+    int instance = 0;      ///< 0-based dynamic occurrence to intercept
+    std::string note;      ///< relocation rationale ("" = original)
+};
+
+/** The plan for one candidate. */
+struct Placement
+{
+    RequestPoint a, b;
+    bool relocated = false;    ///< any request moved?
+    std::string rationale;     ///< summary of why
+};
+
+/** Computes placements from the pass-1 trace. */
+class PlacementAnalyzer
+{
+  public:
+    struct Options
+    {
+        /** Above this many dynamic instances of a site+callstack, the
+         *  analyzer prefers a causally preceding request point. */
+        int manyInstanceThreshold = 3;
+    };
+
+    PlacementAnalyzer(const trace::TraceStore &store, Options options);
+    explicit PlacementAnalyzer(const trace::TraceStore &store)
+        : PlacementAnalyzer(store, Options())
+    {
+    }
+
+    /** Compute the placement for a candidate pair. */
+    Placement plan(const detect::Candidate &candidate) const;
+
+  private:
+    /** Context of one access occurrence within its thread log. */
+    struct AccessContext
+    {
+        bool found = false;
+        int thread = -1;
+        std::size_t pos = 0;          ///< index in the thread log
+        int instance = 0;             ///< occurrence among same site+cs
+        std::string handlerKind;      ///< "event"/"rpc"/"msg"/"watch"/""
+        std::string handlerId;        ///< event id / rpc tag / msg tag
+        std::string queueId;          ///< for events
+        bool queueSingleConsumer = false;
+        std::vector<std::string> locksHeld; ///< lock ids, outermost first
+        /// sites of held locks' acquire records, aligned with locksHeld
+        std::vector<std::string> lockSites;
+        std::vector<std::string> lockStacks;
+        std::vector<int> lockInstances;
+    };
+
+    AccessContext locate(const detect::CandidateAccess &access) const;
+
+    /** Request point at an event's enqueue (or RPC's call, or
+     *  message's send) record. */
+    bool relocateToCause(const AccessContext &ctx, RequestPoint &point,
+                         const char *why) const;
+
+    /** Does the causal chain feeding @p access's handler instance
+     *  pass through @p thread (which a hold would block)? */
+    bool causeFlowsThroughThread(const AccessContext &access,
+                                 int thread) const;
+
+    const trace::TraceStore &store_;
+    Options options_;
+};
+
+} // namespace dcatch::trigger
+
+#endif // DCATCH_TRIGGER_PLACEMENT_HH

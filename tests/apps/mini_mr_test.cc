@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Behavioural tests for mini MapReduce itself (not the detector):
+ * job lifecycle, the cancel and kill paths, the retry-loop fetch, and
+ * the scaling knob.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/mapreduce/mini_mr.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::apps::mr {
+namespace {
+
+using namespace dcatch::sim;
+
+trace::TraceStore
+runWorkload(Workload workload, int jobs = 1,
+            RunResult *result_out = nullptr)
+{
+    SimConfig cfg;
+    cfg.maxSteps = 10'000'000;
+    Simulation sim(cfg);
+    install(sim, workload, jobs);
+    RunResult result = sim.run();
+    if (result_out)
+        *result_out = result;
+    return sim.tracer().store();
+}
+
+int
+countRecords(const trace::TraceStore &store, trace::RecordType type,
+             const std::string &site)
+{
+    int n = 0;
+    for (const auto &rec : store.allRecords())
+        if (rec.type == type && rec.site == site)
+            ++n;
+    return n;
+}
+
+TEST(MiniMrTest, HangWorkloadCompletesCleanly)
+{
+    RunResult result;
+    runWorkload(Workload::Hang3274, 1, &result);
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_TRUE(result.failures.empty()) << result.summary();
+}
+
+TEST(MiniMrTest, TaskIsRegisteredFetchedAndCompleted)
+{
+    trace::TraceStore store = runWorkload(Workload::Hang3274);
+    EXPECT_EQ(countRecords(store, trace::RecordType::MemWrite, kRegPut),
+              2); // element + structural write of the put
+    EXPECT_GE(
+        countRecords(store, trace::RecordType::MemRead, kGetTaskRead), 1);
+    // The container's retry loop exited (LoopExit at the loop site).
+    EXPECT_EQ(
+        countRecords(store, trace::RecordType::LoopExit, kTaskLoopExit),
+        1);
+    // The cancel arrived after completion: unregister removed the
+    // entry without harm.
+    EXPECT_EQ(
+        countRecords(store, trace::RecordType::MemWrite, kUnregRemove),
+        2);
+}
+
+TEST(MiniMrTest, KillWorkloadCommitsBeforeKill)
+{
+    trace::TraceStore store = runWorkload(Workload::Crash4637);
+    // The commit handler read a non-empty output path (it did not
+    // throw) and then the kill cleared it.
+    int commit_reads =
+        countRecords(store, trace::RecordType::MemRead, kCommitRead);
+    int kill_writes =
+        countRecords(store, trace::RecordType::MemWrite, kKillWrite);
+    EXPECT_EQ(commit_reads, 1);
+    EXPECT_EQ(kill_writes, 1);
+
+    std::uint64_t commit_seq = 0, kill_seq = 0;
+    for (const auto &rec : store.allRecords()) {
+        if (rec.site == kCommitRead)
+            commit_seq = rec.seq;
+        if (rec.site == kKillWrite)
+            kill_seq = rec.seq;
+    }
+    EXPECT_LT(commit_seq, kill_seq)
+        << "in the correct run the commit precedes the kill";
+}
+
+TEST(MiniMrTest, ScalingRunsAllJobs)
+{
+    for (int jobs : {2, 5}) {
+        RunResult result;
+        trace::TraceStore store =
+            runWorkload(Workload::Hang3274, jobs, &result);
+        EXPECT_FALSE(result.failed()) << result.summary();
+        // One registration and one loop exit per job.
+        EXPECT_EQ(
+            countRecords(store, trace::RecordType::LoopExit,
+                         kTaskLoopExit),
+            jobs);
+    }
+}
+
+TEST(MiniMrTest, NmRegistrationReachesAm)
+{
+    trace::TraceStore store = runWorkload(Workload::Hang3274);
+    EXPECT_EQ(
+        countRecords(store, trace::RecordType::MemWrite, kNmReadyWrite),
+        1);
+    EXPECT_EQ(
+        countRecords(store, trace::RecordType::MemRead, kNmReadyRead),
+        1);
+}
+
+TEST(MiniMrTest, SelectiveTraceOmitsBackgroundLoad)
+{
+    trace::TraceStore store = runWorkload(Workload::Hang3274);
+    for (const auto &rec : store.allRecords())
+        EXPECT_EQ(rec.site.rfind("bg.", 0), std::string::npos)
+            << "background accesses are outside the traced scope";
+}
+
+} // namespace
+} // namespace dcatch::apps::mr

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Behavioural tests for mini HBase, mini Cassandra, and mini
+ * ZooKeeper (the detector-independent semantics of each system).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/cassandra/mini_cassandra.hh"
+#include "apps/hbase/mini_hbase.hh"
+#include "apps/zookeeper/mini_zk.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::apps {
+namespace {
+
+using namespace dcatch::sim;
+
+template <typename Install>
+trace::TraceStore
+runApp(Install install, RunResult *result_out = nullptr)
+{
+    Simulation sim;
+    install(sim);
+    RunResult result = sim.run();
+    if (result_out)
+        *result_out = result;
+    return sim.tracer().store();
+}
+
+int
+countSite(const trace::TraceStore &store, const std::string &site)
+{
+    int n = 0;
+    for (const auto &rec : store.allRecords())
+        if (rec.site == site)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+lastSeqOf(const trace::TraceStore &store, const std::string &site)
+{
+    std::uint64_t seq = 0;
+    for (const auto &rec : store.allRecords())
+        if (rec.site == site)
+            seq = rec.seq;
+    return seq;
+}
+
+// ---------------------------------------------------------------- HBase
+
+TEST(MiniHBaseTest, SplitAlterRunsFigure3Chain)
+{
+    RunResult result;
+    trace::TraceStore store = runApp(
+        [](Simulation &sim) {
+            hb::install(sim, hb::Workload::SplitAlter4539);
+        },
+        &result);
+    EXPECT_FALSE(result.failed()) << result.summary();
+    // The Figure 3 chain executed end to end: put -> RPC -> event ->
+    // znode update -> push -> erase, in that order.
+    EXPECT_EQ(countSite(store, hb::kSplitPut), 2);
+    EXPECT_EQ(countSite(store, hb::kOpenZkSet), 1);
+    EXPECT_EQ(countSite(store, hb::kWatchErase), 2);
+    EXPECT_LT(lastSeqOf(store, hb::kSplitPut),
+              lastSeqOf(store, hb::kOpenZkSet));
+    EXPECT_LT(lastSeqOf(store, hb::kOpenZkSet),
+              lastSeqOf(store, hb::kWatchErase));
+    // The alter handler saw the drained open set (no abort).
+    EXPECT_EQ(countSite(store, hb::kAlterSchema), 1);
+}
+
+TEST(MiniHBaseTest, EnableExpireCleansUpOnce)
+{
+    RunResult result;
+    trace::TraceStore store = runApp(
+        [](Simulation &sim) {
+            hb::install(sim, hb::Workload::EnableExpire4729);
+        },
+        &result);
+    EXPECT_FALSE(result.failed()) << result.summary();
+    // The enable handler's delete succeeded; the shutdown handler's
+    // best-effort delete then failed silently (aux = -1 attempt).
+    EXPECT_EQ(countSite(store, hb::kEnableRemove), 1);
+    EXPECT_EQ(countSite(store, hb::kShutRemove), 1);
+    for (const auto &rec : store.allRecords())
+        if (rec.site == hb::kShutRemove)
+            EXPECT_EQ(rec.aux, -1) << "second delete finds no znode";
+}
+
+// ------------------------------------------------------------ Cassandra
+
+TEST(MiniCassandraTest, GossipPropagatesBeforeMutation)
+{
+    RunResult result;
+    trace::TraceStore store =
+        runApp([](Simulation &sim) { ca::install(sim); }, &result);
+    EXPECT_FALSE(result.failed()) << result.summary();
+    EXPECT_EQ(countSite(store, ca::kGossipApplyToken), 2);
+    EXPECT_EQ(countSite(store, ca::kMutateReadToken), 1);
+    EXPECT_LT(lastSeqOf(store, ca::kGossipApplyToken),
+              lastSeqOf(store, ca::kMutateReadToken))
+        << "in the correct run the token arrives before the mutation";
+    // The hint was recorded (backup succeeded).
+    EXPECT_EQ(countSite(store, ca::kMutateHint), 1);
+}
+
+TEST(MiniCassandraTest, RingWatcherExitsAfterToken)
+{
+    trace::TraceStore store =
+        runApp([](Simulation &sim) { ca::install(sim); });
+    int loop_exits = 0;
+    for (const auto &rec : store.allRecords())
+        if (rec.type == trace::RecordType::LoopExit &&
+            rec.site == ca::kRingWatchLoopExit)
+            ++loop_exits;
+    EXPECT_EQ(loop_exits, 1);
+}
+
+// ------------------------------------------------------------ ZooKeeper
+
+TEST(MiniZooKeeperTest, ElectionConvergesOnHighestZxid)
+{
+    RunResult result;
+    trace::TraceStore store = runApp(
+        [](Simulation &sim) {
+            zk::install(sim, zk::Workload::Election1144);
+        },
+        &result);
+    EXPECT_FALSE(result.failed()) << result.summary();
+    // Both peers voted; the handler adopted zxid 7 exactly once (the
+    // second vote is not greater) and the election loop exited.
+    EXPECT_EQ(countSite(store, zk::kVoteWriteHighest), 1);
+    int loop_exits = 0;
+    for (const auto &rec : store.allRecords())
+        if (rec.type == trace::RecordType::LoopExit &&
+            rec.site == zk::kElectLoopExit)
+            ++loop_exits;
+    EXPECT_EQ(loop_exits, 1);
+    // The elect read observed the adopted (peer) zxid.
+    for (const auto &rec : store.allRecords())
+        if (rec.site == zk::kElectReadHighest)
+            EXPECT_EQ(rec.aux, 2) << "version 2 = the handler's write";
+}
+
+TEST(MiniZooKeeperTest, EpochSyncReachesQuorum)
+{
+    RunResult result;
+    trace::TraceStore store = runApp(
+        [](Simulation &sim) {
+            zk::install(sim, zk::Workload::Epoch1270);
+        },
+        &result);
+    EXPECT_FALSE(result.failed()) << result.summary();
+    // Both followers registered, both were sent NEWEPOCH, both acked.
+    EXPECT_EQ(countSite(store, zk::kFollowerInfoPut), 4); // 2x(key+map)
+    EXPECT_EQ(countSite(store, zk::kLeaderSendEpoch), 2);
+    EXPECT_EQ(countSite(store, zk::kAckWrite), 2);
+}
+
+} // namespace
+} // namespace dcatch::apps

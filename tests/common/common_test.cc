@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bitset, string helpers,
+ * deterministic RNG, and logging levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/bitset.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/util.hh"
+
+namespace dcatch {
+namespace {
+
+TEST(BitSetTest, SetResetTest)
+{
+    BitSet bits(130);
+    EXPECT_EQ(bits.size(), 130u);
+    EXPECT_FALSE(bits.test(0));
+    bits.set(0);
+    bits.set(64);
+    bits.set(129);
+    EXPECT_TRUE(bits.test(0));
+    EXPECT_TRUE(bits.test(64));
+    EXPECT_TRUE(bits.test(129));
+    EXPECT_FALSE(bits.test(63));
+    bits.reset(64);
+    EXPECT_FALSE(bits.test(64));
+    EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(BitSetTest, UnionWithReportsChange)
+{
+    BitSet a(100), b(100);
+    b.set(7);
+    b.set(77);
+    EXPECT_TRUE(a.unionWith(b));
+    EXPECT_TRUE(a.test(7));
+    EXPECT_TRUE(a.test(77));
+    EXPECT_FALSE(a.unionWith(b)) << "second union changes nothing";
+}
+
+TEST(BitSetTest, ByteSizeMatchesWordCount)
+{
+    BitSet bits(65); // needs two 64-bit words
+    EXPECT_EQ(bits.byteSize(), 16u);
+}
+
+TEST(UtilTest, JoinAndSplitAreInverse)
+{
+    std::vector<std::string> parts = {"a", "bb", "", "ccc"};
+    std::string joined = join(parts, ",");
+    EXPECT_EQ(joined, "a,bb,,ccc");
+    EXPECT_EQ(split(joined, ','), parts);
+    EXPECT_EQ(split("", ','), std::vector<std::string>{""});
+}
+
+TEST(UtilTest, Fnv1aIsStable)
+{
+    EXPECT_EQ(fnv1a("dcatch"), fnv1a("dcatch"));
+    EXPECT_NE(fnv1a("dcatch"), fnv1a("dcatcg"));
+    EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ull);
+}
+
+TEST(UtilTest, Strprintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(RngTest, SeededStreamsAreDeterministic)
+{
+    Rng a(42), b(42), c(43);
+    bool all_equal = true, any_diff = false;
+    for (int i = 0; i < 100; ++i) {
+        auto x = a.next();
+        if (x != b.next())
+            all_equal = false;
+        if (x != c.next())
+            any_diff = true;
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, BoundsRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(rng.nextBelow(13), 13u);
+        auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(RngTest, ChanceIsRoughlyCalibrated)
+{
+    Rng rng(11);
+    int hits = 0;
+    const int trials = 10000;
+    for (int i = 0; i < trials; ++i)
+        if (rng.nextChance(1, 4))
+            ++hits;
+    EXPECT_NEAR(hits / static_cast<double>(trials), 0.25, 0.03);
+}
+
+TEST(LoggingTest, LevelParsingAndGating)
+{
+    EXPECT_EQ(parseLogLevel("debug"), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("WARN"), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("off"), LogLevel::Off);
+    EXPECT_EQ(parseLogLevel("gibberish"), LogLevel::Info);
+
+    LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Error);
+    EXPECT_FALSE(logEnabled(LogLevel::Debug));
+    EXPECT_TRUE(logEnabled(LogLevel::Error));
+    setLogLevel(saved);
+}
+
+} // namespace
+} // namespace dcatch

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Unit tests for the JSON writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/json.hh"
+
+namespace dcatch {
+namespace {
+
+TEST(JsonTest, Scalars)
+{
+    EXPECT_EQ(Json::null().dump(-1), "null");
+    EXPECT_EQ(Json::boolean(true).dump(-1), "true");
+    EXPECT_EQ(Json::boolean(false).dump(-1), "false");
+    EXPECT_EQ(Json::num(std::int64_t{42}).dump(-1), "42");
+    EXPECT_EQ(Json::num(2.5).dump(-1), "2.5");
+    EXPECT_EQ(Json::str("hi").dump(-1), "\"hi\"");
+}
+
+TEST(JsonTest, Escaping)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+    EXPECT_EQ(Json::str("x\ty").dump(-1), "\"x\\ty\"");
+}
+
+TEST(JsonTest, ObjectsKeepInsertionOrder)
+{
+    Json obj = Json::object();
+    obj.set("zeta", Json::num(std::int64_t{1}))
+        .set("alpha", Json::num(std::int64_t{2}));
+    EXPECT_EQ(obj.dump(-1), "{\"zeta\": 1,\"alpha\": 2}");
+}
+
+TEST(JsonTest, NestedStructures)
+{
+    Json arr = Json::array();
+    arr.push(Json::num(std::int64_t{1}))
+        .push(Json::str("two"))
+        .push(Json::object().set("k", Json::boolean(false)));
+    Json root = Json::object();
+    root.set("items", std::move(arr)).set("empty", Json::array());
+    EXPECT_EQ(root.dump(-1),
+              "{\"items\": [1,\"two\",{\"k\": false}],\"empty\": []}");
+}
+
+TEST(JsonTest, IndentedOutputIsStable)
+{
+    Json root = Json::object();
+    root.set("a", Json::num(std::int64_t{1}));
+    EXPECT_EQ(root.dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonTest, NonFiniteNumbersBecomeNull)
+{
+    EXPECT_EQ(Json::num(std::nan("")).dump(-1), "null");
+}
+
+} // namespace
+} // namespace dcatch

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the report renderer: the text report names the racing
+ * sites, impact rationale, and trigger verdicts; the JSON export
+ * carries the same content in machine-readable form.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dcatch/report_printer.hh"
+
+namespace dcatch {
+namespace {
+
+class ReportPrinterTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        bench_ = &apps::benchmark("MR-3274");
+        PipelineOptions options;
+        options.measureBase = false;
+        options.runTrigger = true;
+        result_ = new PipelineResult(runPipeline(*bench_, options));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete result_;
+        result_ = nullptr;
+    }
+
+    static const apps::Benchmark *bench_;
+    static PipelineResult *result_;
+};
+
+const apps::Benchmark *ReportPrinterTest::bench_ = nullptr;
+PipelineResult *ReportPrinterTest::result_ = nullptr;
+
+TEST_F(ReportPrinterTest, TextNamesTheRootCauseSites)
+{
+    std::string text = renderReport(*bench_, *result_);
+    EXPECT_NE(text.find("mr.am.getTask/jmap.read"), std::string::npos);
+    EXPECT_NE(text.find("mr.am.unregister/jmap.remove"),
+              std::string::npos);
+    EXPECT_NE(text.find("monitored run"), std::string::npos);
+}
+
+TEST_F(ReportPrinterTest, TextShowsImpactAndTriggerVerdicts)
+{
+    std::string text = renderReport(*bench_, *result_);
+    EXPECT_NE(text.find("impact:"), std::string::npos);
+    EXPECT_NE(text.find("triggered: harmful"), std::string::npos);
+    EXPECT_NE(text.find("triggered: serial"), std::string::npos);
+    EXPECT_NE(text.find("failing order"), std::string::npos);
+}
+
+TEST_F(ReportPrinterTest, QuietModeDropsMetrics)
+{
+    PrintOptions options;
+    options.showMetrics = false;
+    std::string text = renderReport(*bench_, *result_, options);
+    EXPECT_EQ(text.find("phases:"), std::string::npos);
+    std::string full = renderReport(*bench_, *result_);
+    EXPECT_NE(full.find("phases:"), std::string::npos);
+}
+
+TEST_F(ReportPrinterTest, JsonCarriesReportsAndMetrics)
+{
+    Json json = reportToJson(*bench_, *result_);
+    std::string dump = json.dump(-1);
+    EXPECT_NE(dump.find("\"benchmark\": \"MR-3274\""),
+              std::string::npos);
+    EXPECT_NE(dump.find("\"classification\": \"harmful\""),
+              std::string::npos);
+    EXPECT_NE(dump.find("\"traceRecords\""), std::string::npos);
+    EXPECT_NE(dump.find("mr.am.getTask/jmap.read"), std::string::npos);
+    // Balanced braces (cheap well-formedness check).
+    long depth = 0;
+    bool in_string = false;
+    char prev = 0;
+    for (char c : dump) {
+        if (c == '"' && prev != '\\')
+            in_string = !in_string;
+        if (!in_string) {
+            if (c == '{' || c == '[')
+                ++depth;
+            if (c == '}' || c == ']')
+                --depth;
+        }
+        ASSERT_GE(depth, 0);
+        prev = c;
+    }
+    EXPECT_EQ(depth, 0);
+}
+
+} // namespace
+} // namespace dcatch

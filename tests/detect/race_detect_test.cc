@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the race detector and report counting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "detect/race_detect.hh"
+#include "support/trace_builder.hh"
+
+namespace dcatch::detect {
+namespace {
+
+using testsupport::TraceBuilder;
+using trace::RecordType;
+
+TEST(RaceDetectTest, ReportsConcurrentConflictingPair)
+{
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "w", "var:x", 1);
+    tb.mem(false, 0, 1, "r", "var:x", 1);
+    hb::HbGraph g(tb.store());
+    auto cands = RaceDetector().detect(g);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0].var, "var:x");
+    EXPECT_EQ(sitePair(cands[0].a.site, cands[0].b.site),
+              sitePair("w", "r"));
+}
+
+TEST(RaceDetectTest, IgnoresReadReadPairs)
+{
+    TraceBuilder tb;
+    tb.mem(false, 0, 0, "r1", "var:x");
+    tb.mem(false, 0, 1, "r2", "var:x");
+    hb::HbGraph g(tb.store());
+    EXPECT_TRUE(RaceDetector().detect(g).empty());
+}
+
+TEST(RaceDetectTest, IgnoresDifferentVariables)
+{
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "w", "var:x");
+    tb.mem(true, 0, 1, "w2", "var:y");
+    hb::HbGraph g(tb.store());
+    EXPECT_TRUE(RaceDetector().detect(g).empty());
+}
+
+TEST(RaceDetectTest, IgnoresOrderedPairs)
+{
+    TraceBuilder tb;
+    // Fork edge orders the write before the child's read.
+    tb.mem(true, 0, 0, "w", "var:x");
+    tb.add(RecordType::ThreadCreate, 0, 0, "spawn", "thr:1");
+    tb.add(RecordType::ThreadBegin, 0, 1, "begin", "thr:1");
+    tb.mem(false, 0, 1, "r", "var:x");
+    hb::HbGraph g(tb.store());
+    EXPECT_TRUE(RaceDetector().detect(g).empty());
+}
+
+TEST(RaceDetectTest, ReportsWriteWritePair)
+{
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "w1", "var:x");
+    tb.mem(true, 1, 1, "w2", "var:x");
+    hb::HbGraph g(tb.store());
+    auto cands = RaceDetector().detect(g);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_TRUE(cands[0].a.isWrite);
+    EXPECT_TRUE(cands[0].b.isWrite);
+}
+
+TEST(RaceDetectTest, DeduplicatesDynamicInstancesIntoOneReport)
+{
+    TraceBuilder tb;
+    // Same static race executed three times.
+    for (int i = 0; i < 3; ++i) {
+        tb.mem(true, 0, 0, "w", "var:x", i + 1);
+        tb.mem(false, 0, 1, "r", "var:x", i + 1);
+    }
+    hb::HbGraph g(tb.store());
+    auto cands = RaceDetector().detect(g);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_GT(cands[0].dynamicPairs, 1);
+    ReportCounts counts = countReports(cands);
+    EXPECT_EQ(counts.staticPairs, 1);
+    EXPECT_EQ(counts.callstackPairs, 1);
+}
+
+TEST(RaceDetectTest, DistinguishesCallstackPairsSharingSites)
+{
+    TraceBuilder tb;
+    // Same site pair under two different callstacks (the CA-1011
+    // situation in Table 4, where benign and harmful reports share
+    // static identities).
+    tb.add(RecordType::MemWrite, 0, 0, "w", "var:x", 1, "csA");
+    tb.add(RecordType::MemRead, 0, 1, "r", "var:x", 1, "csB");
+    tb.add(RecordType::MemWrite, 0, 2, "w", "var:x", 2, "csC");
+    hb::HbGraph g(tb.store());
+    auto cands = RaceDetector().detect(g);
+    ReportCounts counts = countReports(cands);
+    EXPECT_EQ(counts.staticPairs, 2);   // (w,r) and (w,w)
+    EXPECT_GE(counts.callstackPairs, 3); // csA/csB, csC/csB, csA/csC
+}
+
+TEST(RaceDetectTest, SameThreadHandlerInstancesCanRace)
+{
+    TraceBuilder tb;
+    tb.queue("n0/q", 0, false);
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#0");
+    tb.add(RecordType::MemWrite, 0, 1, "h.w", "var:x", 1, "cs1");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#0");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#1");
+    tb.add(RecordType::MemWrite, 0, 1, "h.w", "var:x", 2, "cs1");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#1");
+    hb::HbGraph g(tb.store());
+    auto cands = RaceDetector().detect(g);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0].a.site, "h.w");
+    EXPECT_EQ(cands[0].b.site, "h.w");
+}
+
+TEST(RaceDetectTest, InstanceBoundKeepsStaticCoverage)
+{
+    TraceBuilder tb;
+    // 50 dynamic instances on each side; with the default bound the
+    // detector must still find the (single) static pair.
+    for (int i = 0; i < 50; ++i)
+        tb.mem(true, 0, 0, "w", "var:x", i + 1);
+    for (int i = 0; i < 50; ++i)
+        tb.mem(false, 0, 1, "r", "var:x", 50);
+    hb::HbGraph g(tb.store());
+    auto cands = RaceDetector().detect(g);
+    ReportCounts counts = countReports(cands);
+    EXPECT_EQ(counts.staticPairs, 1);
+}
+
+TEST(RaceDetectTest, CandidateKeysAreOrderIndependent)
+{
+    Candidate c1;
+    c1.var = "var:x";
+    c1.a.site = "s1";
+    c1.a.callstack = "csA";
+    c1.b.site = "s2";
+    c1.b.callstack = "csB";
+    Candidate c2 = c1;
+    std::swap(c2.a, c2.b);
+    EXPECT_EQ(c1.staticKey(), c2.staticKey());
+    EXPECT_EQ(c1.callstackKey(), c2.callstackKey());
+    EXPECT_EQ(c1.sitePairKey(), c2.sitePairKey());
+}
+
+} // namespace
+} // namespace dcatch::detect

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Cross-validation of the two happens-before engines: the
+ * reachable-set (bit-array) engine DCatch uses and the vector-clock
+ * baseline it rejects must agree on every pair of vertices — on
+ * synthetic traces and on every benchmark's real trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmark.hh"
+#include "hb/vector_clock.hh"
+#include "runtime/sim.hh"
+#include "support/trace_builder.hh"
+
+namespace dcatch::hb {
+namespace {
+
+using testsupport::TraceBuilder;
+using trace::RecordType;
+
+/** Exhaustively compare both engines on a graph. */
+void
+expectEngineAgreement(const HbGraph &graph)
+{
+    VectorClockGraph clocks(graph);
+    ASSERT_EQ(clocks.size(), graph.size());
+    int n = static_cast<int>(graph.size());
+    for (int u = 0; u < n; ++u) {
+        for (int v = 0; v < n; ++v) {
+            ASSERT_EQ(graph.happensBefore(u, v),
+                      clocks.happensBefore(u, v))
+                << "engines disagree on " << u << " => " << v << " ("
+                << graph.record(u).toLine() << " vs "
+                << graph.record(v).toLine() << ")";
+        }
+    }
+}
+
+TEST(EnginesEquivalenceTest, ForkJoinChain)
+{
+    TraceBuilder tb;
+    tb.add(RecordType::ThreadCreate, 0, 0, "spawn", "thr:1");
+    tb.add(RecordType::ThreadBegin, 0, 1, "begin", "thr:1");
+    tb.mem(true, 0, 1, "w", "var:x");
+    tb.add(RecordType::ThreadEnd, 0, 1, "end", "thr:1");
+    tb.add(RecordType::ThreadJoin, 0, 0, "join", "thr:1");
+    tb.mem(false, 0, 0, "r", "var:x");
+    expectEngineAgreement(HbGraph(tb.store()));
+}
+
+TEST(EnginesEquivalenceTest, HandlerSegmentsAndEserial)
+{
+    TraceBuilder tb;
+    tb.queue("n0/q", 0, true);
+    tb.add(RecordType::EventCreate, 0, 0, "enq1", "n0/q#0");
+    tb.add(RecordType::EventCreate, 0, 0, "enq2", "n0/q#1");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#0");
+    tb.mem(true, 0, 1, "h1.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#0");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#1");
+    tb.mem(true, 0, 1, "h2.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#1");
+    expectEngineAgreement(HbGraph(tb.store()));
+}
+
+TEST(EnginesEquivalenceTest, CrossNodeMessageDiamond)
+{
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "w0", "var:x");
+    tb.add(RecordType::MsgSend, 0, 0, "send1", "m-1");
+    tb.add(RecordType::MsgSend, 0, 0, "send2", "m-2");
+    tb.add(RecordType::MsgRecv, 1, 1, "recv1", "m-1");
+    tb.mem(true, 1, 1, "w1", "var:x");
+    tb.add(RecordType::MsgRecv, 2, 2, "recv2", "m-2");
+    tb.mem(true, 2, 2, "w2", "var:x");
+    expectEngineAgreement(HbGraph(tb.store()));
+}
+
+class EnginesOnBenchmarks
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(EnginesOnBenchmarks, AgreeOnRealTrace)
+{
+    const apps::Benchmark &bench = apps::benchmark(GetParam());
+    sim::Simulation sim(bench.config);
+    bench.build(sim);
+    sim.run();
+    HbGraph graph(sim.tracer().store());
+    VectorClockGraph clocks(graph);
+
+    // Exhaustive over all pairs of memory accesses (the pairs that
+    // matter for detection) plus a sweep over consecutive vertices.
+    for (int u : graph.memAccesses())
+        for (int v : graph.memAccesses())
+            ASSERT_EQ(graph.happensBefore(u, v),
+                      clocks.happensBefore(u, v))
+                << graph.record(u).toLine() << " vs "
+                << graph.record(v).toLine();
+    EXPECT_GT(clocks.dimensionCount(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, EnginesOnBenchmarks,
+    ::testing::Values("CA-1011", "HB-4539", "HB-4729", "MR-3274",
+                      "MR-4637", "ZK-1144", "ZK-1270"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace dcatch::hb

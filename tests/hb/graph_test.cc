@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Unit tests for the happens-before graph: each MTEP rule, the
+ * Eserial fixpoint, segmentation (Preg vs. Pnreg), rule ablation, and
+ * the reachability closure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hb/graph.hh"
+#include "support/trace_builder.hh"
+
+namespace dcatch::hb {
+namespace {
+
+using testsupport::TraceBuilder;
+using trace::RecordType;
+
+/** Find a vertex by type+site (unique in these tests). */
+int
+vtx(const HbGraph &g, RecordType type, const std::string &site)
+{
+    for (std::size_t v = 0; v < g.size(); ++v)
+        if (g.record(static_cast<int>(v)).type == type &&
+            g.record(static_cast<int>(v)).site == site)
+            return static_cast<int>(v);
+    return -1;
+}
+
+TEST(HbGraphTest, ProgramOrderWithinRegularThread)
+{
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "s1", "var:x");
+    tb.mem(false, 0, 0, "s2", "var:x");
+    tb.mem(true, 0, 0, "s3", "var:x");
+    HbGraph g(tb.store());
+    int a = vtx(g, RecordType::MemWrite, "s1");
+    int b = vtx(g, RecordType::MemRead, "s2");
+    int c = vtx(g, RecordType::MemWrite, "s3");
+    EXPECT_TRUE(g.happensBefore(a, b));
+    EXPECT_TRUE(g.happensBefore(b, c));
+    EXPECT_TRUE(g.happensBefore(a, c)); // transitive
+    EXPECT_FALSE(g.happensBefore(c, a));
+}
+
+TEST(HbGraphTest, NoOrderAcrossUnrelatedThreads)
+{
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "s1", "var:x");
+    tb.mem(true, 0, 1, "s2", "var:x");
+    HbGraph g(tb.store());
+    int a = vtx(g, RecordType::MemWrite, "s1");
+    int b = vtx(g, RecordType::MemWrite, "s2");
+    EXPECT_TRUE(g.concurrent(a, b));
+}
+
+TEST(HbGraphTest, ForkJoinRule)
+{
+    TraceBuilder tb;
+    tb.add(RecordType::ThreadCreate, 0, 0, "spawn", "thr:1");
+    tb.add(RecordType::ThreadBegin, 0, 1, "begin", "thr:1");
+    tb.mem(true, 0, 1, "child.w", "var:x");
+    tb.add(RecordType::ThreadEnd, 0, 1, "end", "thr:1");
+    tb.add(RecordType::ThreadJoin, 0, 0, "join", "thr:1");
+    tb.mem(false, 0, 0, "parent.r", "var:x");
+    HbGraph g(tb.store());
+    int w = vtx(g, RecordType::MemWrite, "child.w");
+    int r = vtx(g, RecordType::MemRead, "parent.r");
+    EXPECT_TRUE(g.happensBefore(w, r));
+}
+
+TEST(HbGraphTest, ForkJoinDisabledLeavesConcurrency)
+{
+    TraceBuilder tb;
+    tb.add(RecordType::ThreadCreate, 0, 0, "spawn", "thr:1");
+    tb.add(RecordType::ThreadBegin, 0, 1, "begin", "thr:1");
+    tb.mem(true, 0, 1, "child.w", "var:x");
+    tb.add(RecordType::ThreadEnd, 0, 1, "end", "thr:1");
+    tb.add(RecordType::ThreadJoin, 0, 0, "join", "thr:1");
+    tb.mem(false, 0, 0, "parent.r", "var:x");
+    HbGraph::Options opts;
+    opts.rules.thread = false;
+    HbGraph g(tb.store(), opts);
+    int w = vtx(g, RecordType::MemWrite, "child.w");
+    int r = vtx(g, RecordType::MemRead, "parent.r");
+    EXPECT_TRUE(g.concurrent(w, r));
+}
+
+TEST(HbGraphTest, RpcRule)
+{
+    TraceBuilder tb;
+    // Caller thread 0 on node 0; RPC worker thread 1 on node 1.
+    tb.add(RecordType::RpcCreate, 0, 0, "call", "rpc-1");
+    tb.add(RecordType::RpcBegin, 1, 1, "fn", "rpc-1");
+    tb.mem(true, 1, 1, "rpc.w", "var:x");
+    tb.add(RecordType::RpcEnd, 1, 1, "fn", "rpc-1");
+    tb.add(RecordType::RpcJoin, 0, 0, "call", "rpc-1");
+    tb.mem(false, 0, 0, "after.r", "var:x");
+    HbGraph g(tb.store());
+    int create = vtx(g, RecordType::RpcCreate, "call");
+    int begin = vtx(g, RecordType::RpcBegin, "fn");
+    int w = vtx(g, RecordType::MemWrite, "rpc.w");
+    int r = vtx(g, RecordType::MemRead, "after.r");
+    EXPECT_TRUE(g.happensBefore(create, begin));
+    EXPECT_TRUE(g.happensBefore(w, r)); // via End => Join
+}
+
+TEST(HbGraphTest, SocketRule)
+{
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "pre.w", "var:x");
+    tb.add(RecordType::MsgSend, 0, 0, "send", "msg-1");
+    tb.add(RecordType::MsgRecv, 1, 1, "recv", "msg-1");
+    tb.mem(false, 1, 1, "handler.r", "var:x");
+    HbGraph g(tb.store());
+    int w = vtx(g, RecordType::MemWrite, "pre.w");
+    int r = vtx(g, RecordType::MemRead, "handler.r");
+    EXPECT_TRUE(g.happensBefore(w, r));
+}
+
+TEST(HbGraphTest, PushRuleBroadcastsToAllSubscribers)
+{
+    TraceBuilder tb;
+    tb.add(RecordType::CoordUpdate, 0, 0, "zk.set", "/p#5");
+    tb.add(RecordType::CoordPushed, 1, 1, "watch", "/p#5");
+    tb.add(RecordType::CoordPushed, 2, 2, "watch", "/p#5");
+    HbGraph g(tb.store());
+    int u = vtx(g, RecordType::CoordUpdate, "zk.set");
+    EXPECT_TRUE(g.happensBefore(u, 1));
+    EXPECT_TRUE(g.happensBefore(u, 2));
+    EXPECT_EQ(g.stats().push, 2u);
+}
+
+TEST(HbGraphTest, EventEnqueueRule)
+{
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "pre.w", "var:x");
+    tb.add(RecordType::EventCreate, 0, 0, "enq", "n0/q#0");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#0");
+    tb.mem(false, 0, 1, "handler.r", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#0");
+    tb.queue("n0/q", 0, true);
+    HbGraph g(tb.store());
+    int w = vtx(g, RecordType::MemWrite, "pre.w");
+    int r = vtx(g, RecordType::MemRead, "handler.r");
+    EXPECT_TRUE(g.happensBefore(w, r));
+}
+
+TEST(HbGraphTest, PnregIsolatesHandlerInstancesOnSameThread)
+{
+    TraceBuilder tb;
+    tb.queue("n0/q", 0, false); // multi-consumer queue
+    // Two handler instances run (as it happens) on the same thread;
+    // Rule-Pnreg must NOT order their bodies.
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#0");
+    tb.mem(true, 0, 1, "h1.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#0");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#1");
+    tb.mem(true, 0, 1, "h2.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#1");
+    HbGraph g(tb.store());
+    int w1 = vtx(g, RecordType::MemWrite, "h1.w");
+    int w2 = vtx(g, RecordType::MemWrite, "h2.w");
+    EXPECT_TRUE(g.concurrent(w1, w2));
+}
+
+TEST(HbGraphTest, EserialOrdersSingleConsumerHandlers)
+{
+    TraceBuilder tb;
+    tb.queue("n0/q", 0, true); // single-consumer
+    // Both events created by thread 0, in order.
+    tb.add(RecordType::EventCreate, 0, 0, "enq1", "n0/q#0");
+    tb.add(RecordType::EventCreate, 0, 0, "enq2", "n0/q#1");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#0");
+    tb.mem(true, 0, 1, "h1.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#0");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#1");
+    tb.mem(true, 0, 1, "h2.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#1");
+    HbGraph g(tb.store());
+    int w1 = vtx(g, RecordType::MemWrite, "h1.w");
+    int w2 = vtx(g, RecordType::MemWrite, "h2.w");
+    EXPECT_TRUE(g.happensBefore(w1, w2));
+    EXPECT_GE(g.stats().eserial, 1u);
+}
+
+TEST(HbGraphTest, EserialRequiresOrderedCreates)
+{
+    TraceBuilder tb;
+    tb.queue("n0/q", 0, true);
+    // Creates from two unrelated threads: no Create=>Create order, so
+    // Eserial must not fire even though handling was serialized.
+    tb.add(RecordType::EventCreate, 0, 0, "enq1", "n0/q#0");
+    tb.add(RecordType::EventCreate, 0, 2, "enq2", "n0/q#1");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#0");
+    tb.mem(true, 0, 1, "h1.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#0");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#1");
+    tb.mem(true, 0, 1, "h2.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#1");
+    HbGraph g(tb.store());
+    int w1 = vtx(g, RecordType::MemWrite, "h1.w");
+    int w2 = vtx(g, RecordType::MemWrite, "h2.w");
+    EXPECT_TRUE(g.concurrent(w1, w2));
+    EXPECT_EQ(g.stats().eserial, 0u);
+}
+
+TEST(HbGraphTest, EserialFixpointChains)
+{
+    TraceBuilder tb;
+    tb.queue("n0/q", 0, true);
+    // e0 and e1 created in order by thread 0; e2 created *inside* the
+    // handler of e1.  Fixpoint must derive End(e1) => Begin(e2) ...
+    // actually End(e0) => Begin(e1) first, then create(e2) inside h1
+    // gives Create(e1-handler ops) => Create(e2), enabling
+    // End(e1) => Begin(e2) on the second pass.
+    tb.add(RecordType::EventCreate, 0, 0, "enq0", "n0/q#0");
+    tb.add(RecordType::EventCreate, 0, 0, "enq1", "n0/q#1");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#0");
+    tb.mem(true, 0, 1, "h0.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#0");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#1");
+    tb.add(RecordType::EventCreate, 0, 1, "enq2", "n0/q#2");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#1");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#2");
+    tb.mem(true, 0, 1, "h2.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#2");
+    HbGraph g(tb.store());
+    int w0 = vtx(g, RecordType::MemWrite, "h0.w");
+    int w2 = vtx(g, RecordType::MemWrite, "h2.w");
+    // h0 => h2 requires chaining Eserial through e1's handler.
+    EXPECT_TRUE(g.happensBefore(w0, w2));
+}
+
+TEST(HbGraphTest, MultiConsumerQueueGetsNoEserial)
+{
+    TraceBuilder tb;
+    tb.queue("n0/q", 0, false);
+    tb.add(RecordType::EventCreate, 0, 0, "enq1", "n0/q#0");
+    tb.add(RecordType::EventCreate, 0, 0, "enq2", "n0/q#1");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#0");
+    tb.mem(true, 0, 1, "h1.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#0");
+    tb.add(RecordType::EventBegin, 0, 2, "evt", "n0/q#1");
+    tb.mem(true, 0, 2, "h2.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 2, "evt", "n0/q#1");
+    HbGraph g(tb.store());
+    EXPECT_EQ(g.stats().eserial, 0u);
+    int w1 = vtx(g, RecordType::MemWrite, "h1.w");
+    int w2 = vtx(g, RecordType::MemWrite, "h2.w");
+    EXPECT_TRUE(g.concurrent(w1, w2));
+}
+
+TEST(HbGraphTest, AblationDropsRecordsAndDegradesSegmentation)
+{
+    TraceBuilder tb;
+    tb.queue("n0/q", 0, false);
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#0");
+    tb.mem(true, 0, 1, "h1.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#0");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#1");
+    tb.mem(true, 0, 1, "h2.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#1");
+
+    // With event records: concurrent (Pnreg isolation).
+    HbGraph full(tb.store());
+    EXPECT_TRUE(full.concurrent(vtx(full, RecordType::MemWrite, "h1.w"),
+                                vtx(full, RecordType::MemWrite, "h2.w")));
+
+    // Without event records the thread looks regular: Preg falsely
+    // orders the two handler bodies (the Table 9 false negatives).
+    HbGraph::Options opts;
+    opts.rules = RuleSet::withoutEvent();
+    HbGraph ablated(tb.store(), opts);
+    int w1 = vtx(ablated, RecordType::MemWrite, "h1.w");
+    int w2 = vtx(ablated, RecordType::MemWrite, "h2.w");
+    EXPECT_TRUE(ablated.happensBefore(w1, w2));
+}
+
+TEST(HbGraphTest, PullEdgeAdditionRecloses)
+{
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "w", "var:x", 1);
+    tb.add(RecordType::LoopIter, 1, 1, "loop", "loop:nm/0", 0);
+    tb.add(RecordType::LoopExit, 1, 1, "loop", "loop:nm/0", 1);
+    tb.mem(false, 1, 1, "after.r", "var:x", 1);
+    HbGraph g(tb.store());
+    int w = vtx(g, RecordType::MemWrite, "w");
+    int exit = vtx(g, RecordType::LoopExit, "loop");
+    int r = vtx(g, RecordType::MemRead, "after.r");
+    EXPECT_TRUE(g.concurrent(w, r));
+    g.addEdges({{w, exit}});
+    EXPECT_TRUE(g.happensBefore(w, r)); // through exit -> after.r
+    EXPECT_EQ(g.stats().pull, 1u);
+}
+
+TEST(HbGraphTest, MemoryBudgetTriggersOom)
+{
+    TraceBuilder tb;
+    for (int i = 0; i < 200; ++i)
+        tb.mem(true, 0, 0, "s" + std::to_string(i), "var:x");
+    HbGraph::Options opts;
+    opts.memoryBudgetBytes = 64; // absurdly small
+    HbGraph g(tb.store(), opts);
+    EXPECT_TRUE(g.oom());
+    EXPECT_THROW(g.happensBefore(0, 1), std::runtime_error);
+}
+
+TEST(HbGraphTest, LocksAreExcludedFromTheGraph)
+{
+    TraceBuilder tb;
+    tb.add(RecordType::LockAcquire, 0, 0, "cs", "lock:n0/L");
+    tb.mem(true, 0, 0, "w", "var:x");
+    tb.add(RecordType::LockRelease, 0, 0, "cs", "lock:n0/L");
+    HbGraph g(tb.store());
+    EXPECT_EQ(g.size(), 1u); // only the memory access survives
+}
+
+TEST(HbGraphTest, FindVertexMatchesAux)
+{
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "w", "var:x", 1);
+    tb.mem(true, 0, 0, "w", "var:x", 2);
+    HbGraph g(tb.store());
+    EXPECT_EQ(g.findVertex(RecordType::MemWrite, "w", "var:x", 2), 1);
+    EXPECT_EQ(g.findVertex(RecordType::MemWrite, "w", "var:x", 3), -1);
+    EXPECT_EQ(g.findVertex(RecordType::MemWrite, "w", "var:x"), 0);
+}
+
+} // namespace
+} // namespace dcatch::hb

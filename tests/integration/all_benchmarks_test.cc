@@ -1,0 +1,113 @@
+/**
+ * @file
+ * End-to-end pipeline checks across all seven benchmarks: each
+ * monitored run is correct, DCatch detects the known root-cause bug,
+ * pruning reduces the report count, and triggering confirms the bug
+ * as harmful (the paper's headline Table 4 result).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dcatch/pipeline.hh"
+
+namespace dcatch {
+namespace {
+
+class AllBenchmarksTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AllBenchmarksTest, MonitoredRunIsCorrect)
+{
+    const apps::Benchmark &bench = apps::benchmark(GetParam());
+    sim::Simulation sim(bench.config);
+    bench.build(sim);
+    sim::RunResult result = sim.run();
+    EXPECT_FALSE(result.failed()) << result.summary();
+}
+
+TEST_P(AllBenchmarksTest, KnownBugAmongFinalReports)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    const apps::Benchmark &bench = apps::benchmark(GetParam());
+    PipelineResult result = runPipeline(bench, options);
+    ASSERT_FALSE(result.analysisOom);
+    bool found = false;
+    for (const auto &cand : result.finalReports())
+        for (const std::string &pair : bench.knownBugPairs)
+            if (cand.sitePairKey() == pair)
+                found = true;
+    EXPECT_TRUE(found) << "known root-cause pair missing from reports";
+}
+
+TEST_P(AllBenchmarksTest, PruningNeverIncreasesReports)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    const apps::Benchmark &bench = apps::benchmark(GetParam());
+    PipelineResult result = runPipeline(bench, options);
+    ASSERT_FALSE(result.analysisOom);
+    auto ta = detect::countReports(result.afterTa);
+    auto sp = detect::countReports(result.afterSp);
+    auto lp = detect::countReports(result.afterLp);
+    EXPECT_LE(sp.staticPairs, ta.staticPairs);
+    EXPECT_LE(lp.staticPairs, sp.staticPairs);
+    EXPECT_GE(lp.staticPairs, 1);
+}
+
+TEST_P(AllBenchmarksTest, StaticPruningRemovesSomething)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    const apps::Benchmark &bench = apps::benchmark(GetParam());
+    PipelineResult result = runPipeline(bench, options);
+    ASSERT_FALSE(result.analysisOom);
+    EXPECT_LT(detect::countReports(result.afterSp).callstackPairs,
+              detect::countReports(result.afterTa).callstackPairs)
+        << "every mini system embeds impact-free races SP must remove";
+}
+
+TEST_P(AllBenchmarksTest, TriggerConfirmsKnownBugHarmful)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    options.runTrigger = true;
+    const apps::Benchmark &bench = apps::benchmark(GetParam());
+    PipelineResult result = runPipeline(bench, options);
+    ASSERT_FALSE(result.analysisOom);
+    Classification cls = classify(bench, result);
+    EXPECT_TRUE(cls.knownBugDetected)
+        << bench.id << ": known bug not confirmed harmful";
+    EXPECT_GE(cls.bugStatic, 1);
+}
+
+TEST_P(AllBenchmarksTest, SelectiveTraceSmallerThanFull)
+{
+    PipelineOptions selective;
+    selective.measureBase = false;
+    selective.staticPruning = false;
+    selective.loopAnalysis = false;
+    PipelineOptions full = selective;
+    full.fullMemoryTrace = true;
+    const apps::Benchmark &bench = apps::benchmark(GetParam());
+    PipelineResult s = runPipeline(bench, selective);
+    PipelineResult f = runPipeline(bench, full);
+    EXPECT_GT(f.metrics.traceBytes, s.metrics.traceBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table3, AllBenchmarksTest,
+    ::testing::Values("CA-1011", "HB-4539", "HB-4729", "MR-3274",
+                      "MR-4637", "ZK-1144", "ZK-1270"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace dcatch

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * End-to-end pipeline tests on the MapReduce benchmarks: DCatch must
+ * detect the known root-cause bug of each workload from a correct
+ * (non-failing) monitored run, prune the noise, and confirm the bug
+ * via triggering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/mapreduce/mini_mr.hh"
+#include "dcatch/pipeline.hh"
+
+namespace dcatch {
+namespace {
+
+using apps::benchmark;
+
+TEST(MrPipelineTest, MonitoredRunIsCorrect3274)
+{
+    const apps::Benchmark &bench = benchmark("MR-3274");
+    sim::Simulation sim(bench.config);
+    bench.build(sim);
+    sim::RunResult result = sim.run();
+    EXPECT_FALSE(result.failed()) << result.summary();
+}
+
+TEST(MrPipelineTest, MonitoredRunIsCorrect4637)
+{
+    const apps::Benchmark &bench = benchmark("MR-4637");
+    sim::Simulation sim(bench.config);
+    bench.build(sim);
+    sim::RunResult result = sim.run();
+    EXPECT_FALSE(result.failed()) << result.summary();
+}
+
+TEST(MrPipelineTest, TraceAnalysisFindsKnownPair3274)
+{
+    PipelineOptions options;
+    options.runTrigger = false;
+    options.measureBase = false;
+    const apps::Benchmark &bench = benchmark("MR-3274");
+    PipelineResult result = runPipeline(bench, options);
+    ASSERT_FALSE(result.analysisOom);
+    bool found = false;
+    for (const auto &cand : result.afterTa)
+        if (cand.sitePairKey() == bench.knownBugPairs[0])
+            found = true;
+    EXPECT_TRUE(found)
+        << "getTask read vs. unregister remove must be concurrent";
+}
+
+TEST(MrPipelineTest, StaticPruningReducesCandidates)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    const apps::Benchmark &bench = benchmark("MR-3274");
+    PipelineResult result = runPipeline(bench, options);
+    ASSERT_FALSE(result.analysisOom);
+    EXPECT_LT(result.afterSp.size(), result.afterTa.size());
+    // The impact-free metrics race must be gone.
+    for (const auto &cand : result.afterSp) {
+        EXPECT_NE(cand.var, "var:AM/fetchCount")
+            << "metrics race should be pruned: " << cand.staticKey();
+    }
+}
+
+TEST(MrPipelineTest, LoopAnalysisSuppressesPullSyncPair)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    const apps::Benchmark &bench = benchmark("MR-3274");
+    PipelineResult result = runPipeline(bench, options);
+    ASSERT_FALSE(result.analysisOom);
+
+    std::string put_read_pair =
+        detect::sitePair(apps::mr::kGetTaskRead, apps::mr::kRegPut);
+    bool in_sp = false, in_lp = false;
+    for (const auto &cand : result.afterSp)
+        if (cand.sitePairKey() == put_read_pair)
+            in_sp = true;
+    for (const auto &cand : result.afterLp)
+        if (cand.sitePairKey() == put_read_pair)
+            in_lp = true;
+    EXPECT_TRUE(in_sp)
+        << "put vs. getTask-read should be reported by TA+SP";
+    EXPECT_FALSE(in_lp)
+        << "put vs. getTask-read is pull synchronization (Figure 2)";
+
+    // The harmful remove vs. read pair must survive loop analysis.
+    bool bug_survives = false;
+    for (const auto &cand : result.afterLp)
+        if (cand.sitePairKey() == bench.knownBugPairs[0])
+            bug_survives = true;
+    EXPECT_TRUE(bug_survives);
+}
+
+TEST(MrPipelineTest, TriggerConfirmsHang3274)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    options.runTrigger = true;
+    const apps::Benchmark &bench = benchmark("MR-3274");
+    PipelineResult result = runPipeline(bench, options);
+    ASSERT_FALSE(result.analysisOom);
+
+    Classification cls = classify(bench, result);
+    EXPECT_TRUE(cls.knownBugDetected)
+        << "the Figure 1 hang must be confirmed harmful";
+    EXPECT_GE(cls.bugStatic, 1);
+
+    // The confirmed failing run must hang, not crash.
+    for (const auto &report : result.triggered) {
+        if (report.candidate.sitePairKey() != bench.knownBugPairs[0])
+            continue;
+        EXPECT_EQ(report.cls, trigger::TriggerClass::Harmful);
+        bool has_hang = false;
+        for (const auto &failure : report.failures)
+            if (failure.kind == sim::FailureKind::LoopHang)
+                has_hang = true;
+        EXPECT_TRUE(has_hang) << "MR-3274 manifests as a hang";
+    }
+}
+
+TEST(MrPipelineTest, TriggerConfirmsCrash4637)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    options.runTrigger = true;
+    const apps::Benchmark &bench = benchmark("MR-4637");
+    PipelineResult result = runPipeline(bench, options);
+    ASSERT_FALSE(result.analysisOom);
+
+    Classification cls = classify(bench, result);
+    EXPECT_TRUE(cls.knownBugDetected);
+
+    for (const auto &report : result.triggered) {
+        if (report.candidate.sitePairKey() != bench.knownBugPairs[0])
+            continue;
+        EXPECT_EQ(report.cls, trigger::TriggerClass::Harmful);
+        bool has_throw = false;
+        for (const auto &failure : report.failures)
+            if (failure.kind == sim::FailureKind::UncaughtException)
+                has_throw = true;
+        EXPECT_TRUE(has_throw) << "MR-4637 manifests as an AM crash";
+    }
+}
+
+TEST(MrPipelineTest, UntracedSyncPairClassifiedSerial)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    options.runTrigger = true;
+    const apps::Benchmark &bench = benchmark("MR-3274");
+    PipelineResult result = runPipeline(bench, options);
+
+    std::string serial_pair = detect::sitePair(apps::mr::kNmReadyRead,
+                                               apps::mr::kNmReadyWrite);
+    bool found = false;
+    for (const auto &report : result.triggered) {
+        if (report.candidate.sitePairKey() != serial_pair)
+            continue;
+        found = true;
+        EXPECT_EQ(report.cls, trigger::TriggerClass::Serial)
+            << "untraced-synchronization pair must be serial";
+    }
+    EXPECT_TRUE(found) << "nmReady pair should be reported";
+}
+
+TEST(MrPipelineTest, BenignStatusRaceClassifiedBenign)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    options.runTrigger = true;
+    const apps::Benchmark &bench = benchmark("MR-3274");
+    PipelineResult result = runPipeline(bench, options);
+
+    std::string benign_pair = detect::sitePair(
+        apps::mr::kStatusRead, apps::mr::kTaskDoneStatus);
+    for (const auto &report : result.triggered) {
+        if (report.candidate.sitePairKey() != benign_pair)
+            continue;
+        EXPECT_EQ(report.cls, trigger::TriggerClass::Benign)
+            << "jobStatus race never fails";
+    }
+}
+
+TEST(MrPipelineTest, FullTraceIsLargerThanSelective)
+{
+    PipelineOptions selective;
+    selective.measureBase = false;
+    PipelineOptions full = selective;
+    full.fullMemoryTrace = true;
+    full.staticPruning = false;
+    full.loopAnalysis = false;
+    const apps::Benchmark &bench = benchmark("MR-3274");
+    PipelineResult s = runPipeline(bench, selective);
+    PipelineResult f = runPipeline(bench, full);
+    EXPECT_GT(f.metrics.traceBytes, s.metrics.traceBytes);
+}
+
+} // namespace
+} // namespace dcatch

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Pipeline option matrix: invariants across rule ablations and
+ * failure-spec configurations.
+ *
+ *  - ablating a mechanism a system does not use leaves trace analysis
+ *    unchanged (the "-" cells of Table 9);
+ *  - two pipeline executions with identical options agree exactly
+ *    (full determinism end to end);
+ *  - restricting the failure spec prunes the corresponding bugs
+ *    (excluding loop-exit failure instructions loses the MR-3274
+ *    hang, exactly the configurability trade-off of section 4.1);
+ *  - disabling static pruning is the paper's "trigger everything"
+ *    escape hatch: the final list then includes everything TA found
+ *    (minus loop-synchronization pairs).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dcatch/pipeline.hh"
+
+namespace dcatch {
+namespace {
+
+std::multiset<std::string>
+staticKeys(const std::vector<detect::Candidate> &cands)
+{
+    std::multiset<std::string> keys;
+    for (const auto &cand : cands)
+        keys.insert(cand.staticKey());
+    return keys;
+}
+
+TEST(PipelineOptionsTest, UnusedMechanismAblationIsNeutral)
+{
+    struct Case
+    {
+        const char *bench;
+        hb::RuleSet rules;
+    };
+    const Case cases[] = {
+        {"CA-1011", hb::RuleSet::withoutRpc()},  // Cassandra: no RPC
+        {"CA-1011", hb::RuleSet::withoutPush()}, // no coordination
+        {"ZK-1144", hb::RuleSet::withoutRpc()},  // ZooKeeper: no RPC
+        {"ZK-1270", hb::RuleSet::withoutPush()},
+        {"MR-3274", hb::RuleSet::withoutPush()}, // MapReduce: no coord
+        {"HB-4539", hb::RuleSet::withoutSocket()}, // HBase msgs only
+    };
+    for (const Case &c : cases) {
+        PipelineOptions base;
+        base.measureBase = false;
+        base.loopAnalysis = false;
+        PipelineOptions ablated = base;
+        ablated.rules = c.rules;
+        const apps::Benchmark &bench = apps::benchmark(c.bench);
+        auto a = runPipeline(bench, base);
+        auto b = runPipeline(bench, ablated);
+        EXPECT_EQ(staticKeys(a.afterTa), staticKeys(b.afterTa))
+            << c.bench << ": ablating an unused mechanism changed TA";
+    }
+}
+
+TEST(PipelineOptionsTest, PipelineIsFullyDeterministic)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    options.runTrigger = true;
+    const apps::Benchmark &bench = apps::benchmark("HB-4729");
+    auto a = runPipeline(bench, options);
+    auto b = runPipeline(bench, options);
+    EXPECT_EQ(staticKeys(a.afterTa), staticKeys(b.afterTa));
+    EXPECT_EQ(staticKeys(a.afterSp), staticKeys(b.afterSp));
+    EXPECT_EQ(staticKeys(a.afterLp), staticKeys(b.afterLp));
+    ASSERT_EQ(a.triggered.size(), b.triggered.size());
+    for (std::size_t i = 0; i < a.triggered.size(); ++i)
+        EXPECT_EQ(a.triggered[i].cls, b.triggered[i].cls);
+}
+
+TEST(PipelineOptionsTest, ExcludingLoopExitsLosesHangBugs)
+{
+    // MR-3274's only failure impact is the NM retry loop's exit:
+    // a pruner configured without loop-exit failure instructions
+    // (section 4.1 configurability) prunes the true hang bug — the
+    // documented risk of narrowing the failure list.
+    PipelineOptions options;
+    options.measureBase = false;
+    options.failureSpec.loopExits = false;
+    const apps::Benchmark &bench = apps::benchmark("MR-3274");
+    PipelineResult result = runPipeline(bench, options);
+    for (const auto &cand : result.finalReports())
+        EXPECT_NE(cand.sitePairKey(), bench.knownBugPairs[0])
+            << "hang bug should be pruned without loop-exit failures";
+
+    // Crash bugs are unaffected by the same restriction.
+    const apps::Benchmark &crash = apps::benchmark("MR-4637");
+    PipelineResult crash_result = runPipeline(crash, options);
+    bool found = false;
+    for (const auto &cand : crash_result.finalReports())
+        if (cand.sitePairKey() == crash.knownBugPairs[0])
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(PipelineOptionsTest, NoPruningIsTheTriggerEverythingEscapeHatch)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    options.staticPruning = false;
+    options.loopAnalysis = false;
+    const apps::Benchmark &bench = apps::benchmark("ZK-1270");
+    PipelineResult result = runPipeline(bench, options);
+    EXPECT_EQ(staticKeys(result.afterTa),
+              staticKeys(result.finalReports()))
+        << "with pruning off, everything TA found reaches triggering";
+}
+
+TEST(PipelineOptionsTest, FailureSpecAdmitsExactKinds)
+{
+    prune::FailureSpec spec;
+    spec.aborts = false;
+    model::Inst abort_inst;
+    abort_inst.kind = model::InstKind::Failure;
+    abort_inst.failureKind = sim::FailureKind::Abort;
+    model::Inst log_inst = abort_inst;
+    log_inst.failureKind = sim::FailureKind::FatalLog;
+    model::Inst loop_inst;
+    loop_inst.kind = model::InstKind::LoopExit;
+    model::Inst plain;
+    plain.kind = model::InstKind::Plain;
+    EXPECT_FALSE(spec.admits(abort_inst));
+    EXPECT_TRUE(spec.admits(log_inst));
+    EXPECT_TRUE(spec.admits(loop_inst));
+    EXPECT_FALSE(spec.admits(plain));
+}
+
+} // namespace
+} // namespace dcatch

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Unit tests for the ProgramModel IR and its dependence queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/program_model.hh"
+
+namespace dcatch::model {
+namespace {
+
+ProgramModel
+sampleModel()
+{
+    ModelBuilder b;
+    // RPC function: read feeds the return value.
+    b.fn("AM.getTask")
+        .rpc()
+        .read("am.getTask.read", "map:AM/jMap")
+        .returns({"am.getTask.read"});
+    // Caller with a retry loop whose exit depends on the RPC result.
+    b.fn("NM.taskLoop")
+        .rpcCall("nm.call.getTask", "AM.getTask")
+        .loopExit("nm.loop.exit")
+        .dep("nm.loop.exit", {"nm.call.getTask"});
+    // Event handler with a failure depending on a read.
+    b.fn("AM.commit")
+        .read("am.commit.read", "var:AM/state")
+        .failure("am.commit.throw", sim::FailureKind::UncaughtException)
+        .dep("am.commit.throw", {"am.commit.read"})
+        .write("am.commit.log", "var:AM/metrics");
+    // Callee whose failure depends on parameters.
+    b.fn("AM.validate")
+        .failure("am.validate.abort", sim::FailureKind::Abort)
+        .dep("am.validate.abort", {"$param"});
+    b.fn("AM.submit")
+        .write("am.submit.w", "var:AM/job")
+        .call("am.submit.call", "AM.validate")
+        .dep("am.submit.call", {"am.submit.w"});
+    return b.build();
+}
+
+TEST(ProgramModelTest, FunctionOfFindsEnclosingFunction)
+{
+    ProgramModel m = sampleModel();
+    ASSERT_NE(m.functionOf("am.getTask.read"), nullptr);
+    EXPECT_EQ(m.functionOf("am.getTask.read")->name, "AM.getTask");
+    EXPECT_EQ(m.functionOf("no.such.site"), nullptr);
+}
+
+TEST(ProgramModelTest, ForwardSliceFollowsTransitiveDeps)
+{
+    ModelBuilder b;
+    b.fn("f")
+        .inst("a")
+        .inst("b")
+        .inst("c")
+        .inst("d")
+        .dep("b", {"a"})
+        .dep("c", {"b"})
+        .dep("d", {"x"}); // unrelated
+    ProgramModel m = b.build();
+    auto slice = m.forwardSlice(*m.function("f"), "a");
+    EXPECT_TRUE(slice.count("a"));
+    EXPECT_TRUE(slice.count("b"));
+    EXPECT_TRUE(slice.count("c"));
+    EXPECT_FALSE(slice.count("d"));
+}
+
+TEST(ProgramModelTest, DependsOnIsIntraprocedural)
+{
+    ProgramModel m = sampleModel();
+    EXPECT_TRUE(m.dependsOn("am.commit.throw", "am.commit.read"));
+    EXPECT_FALSE(m.dependsOn("am.commit.read", "am.commit.throw"));
+}
+
+TEST(ProgramModelTest, CallersOfFindsRpcInvocations)
+{
+    ProgramModel m = sampleModel();
+    auto callers = m.callersOf("AM.getTask");
+    ASSERT_EQ(callers.size(), 1u);
+    EXPECT_EQ(callers[0]->site, "nm.call.getTask");
+    EXPECT_TRUE(callers[0]->rpcCall);
+}
+
+TEST(ProgramModelTest, FailureInstsIncludeLoopExits)
+{
+    ProgramModel m = sampleModel();
+    auto fails = m.failureInsts(*m.function("NM.taskLoop"));
+    ASSERT_EQ(fails.size(), 1u);
+    EXPECT_EQ(fails[0]->kind, InstKind::LoopExit);
+}
+
+TEST(ProgramModelTest, LoopExitFedByDistributedProtocol)
+{
+    ProgramModel m = sampleModel();
+    auto loop = m.loopExitFedBy("am.getTask.read");
+    ASSERT_TRUE(loop.has_value());
+    EXPECT_EQ(*loop, "nm.loop.exit");
+}
+
+TEST(ProgramModelTest, LoopExitFedByIntraNodeLoop)
+{
+    ModelBuilder b;
+    b.fn("worker")
+        .read("w.read", "var:n/flag")
+        .loopExit("w.loop.exit")
+        .dep("w.loop.exit", {"w.read"});
+    ProgramModel m = b.build();
+    auto loop = m.loopExitFedBy("w.read");
+    ASSERT_TRUE(loop.has_value());
+    EXPECT_EQ(*loop, "w.loop.exit");
+}
+
+TEST(ProgramModelTest, LoopExitFedByRejectsNonFeedingReads)
+{
+    ProgramModel m = sampleModel();
+    // am.commit.read does not feed any loop exit.
+    EXPECT_FALSE(m.loopExitFedBy("am.commit.read").has_value());
+}
+
+TEST(ProgramModelTest, BuilderMergesRepeatedFn)
+{
+    ModelBuilder b;
+    b.fn("f").inst("a");
+    b.fn("f").inst("b");
+    ProgramModel m = b.build();
+    EXPECT_EQ(m.function("f")->insts.size(), 2u);
+}
+
+} // namespace
+} // namespace dcatch::model

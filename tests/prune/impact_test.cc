@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Unit tests for static pruning (paper section 4): each impact path
+ * (intra-procedural, caller via return value, heap one-level, callee
+ * via parameters, distributed via RPC return) plus the prune decision.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prune/impact.hh"
+
+namespace dcatch::prune {
+namespace {
+
+detect::Candidate
+candidate(const std::string &var, const std::string &site_a,
+          const std::string &site_b)
+{
+    detect::Candidate cand;
+    cand.var = var;
+    cand.a.site = site_a;
+    cand.a.callstack = "csA";
+    cand.b.site = site_b;
+    cand.b.callstack = "csB";
+    return cand;
+}
+
+TEST(ImpactTest, IntraProceduralFailureDependence)
+{
+    model::ModelBuilder b;
+    b.fn("f")
+        .read("f.read", "var:x")
+        .failure("f.abort", sim::FailureKind::Abort)
+        .dep("f.abort", {"f.read"});
+    model::ProgramModel m = b.build();
+    StaticPruner pruner(m);
+    ImpactFinding finding = pruner.analyzeSite("f.read");
+    EXPECT_TRUE(finding.hasImpact);
+    EXPECT_EQ(finding.reason, "local-intra:f.abort");
+}
+
+TEST(ImpactTest, NoImpactWhenFailureIndependent)
+{
+    model::ModelBuilder b;
+    b.fn("f")
+        .read("f.read", "var:x")
+        .failure("f.abort", sim::FailureKind::Abort)
+        .dep("f.abort", {"f.other"});
+    model::ProgramModel m = b.build();
+    StaticPruner pruner(m);
+    EXPECT_FALSE(pruner.analyzeSite("f.read").hasImpact);
+}
+
+TEST(ImpactTest, CallerImpactViaReturnValue)
+{
+    model::ModelBuilder b;
+    b.fn("callee").read("c.read", "var:x").returns({"c.read"});
+    b.fn("caller")
+        .call("caller.call", "callee")
+        .failure("caller.fatal", sim::FailureKind::FatalLog)
+        .dep("caller.fatal", {"caller.call"});
+    model::ProgramModel m = b.build();
+    StaticPruner pruner(m);
+    ImpactFinding finding = pruner.analyzeSite("c.read");
+    EXPECT_TRUE(finding.hasImpact);
+    EXPECT_FALSE(finding.distributed);
+    EXPECT_EQ(finding.reason, "local-caller:caller.fatal");
+}
+
+TEST(ImpactTest, DistributedImpactViaRpcReturn)
+{
+    model::ModelBuilder b;
+    b.fn("rpcFn").rpc().read("rpc.read", "var:x").returns({"rpc.read"});
+    b.fn("remoteCaller")
+        .rpcCall("rc.call", "rpcFn")
+        .loopExit("rc.loop.exit")
+        .dep("rc.loop.exit", {"rc.call"});
+    model::ProgramModel m = b.build();
+    StaticPruner pruner(m);
+    ImpactFinding finding = pruner.analyzeSite("rpc.read");
+    EXPECT_TRUE(finding.hasImpact);
+    EXPECT_TRUE(finding.distributed);
+}
+
+TEST(ImpactTest, HeapImpactThroughOneLevelCaller)
+{
+    model::ModelBuilder b;
+    b.fn("writer").write("w.write", "var:H");
+    b.fn("driver")
+        .call("d.call", "writer")
+        .read("d.read", "var:H")
+        .failure("d.abort", sim::FailureKind::Abort)
+        .dep("d.abort", {"d.read"});
+    model::ProgramModel m = b.build();
+    StaticPruner pruner(m);
+    ImpactFinding finding = pruner.analyzeSite("w.write");
+    EXPECT_TRUE(finding.hasImpact);
+    EXPECT_EQ(finding.reason, "heap:d.abort");
+}
+
+TEST(ImpactTest, CalleeImpactViaParameters)
+{
+    model::ModelBuilder b;
+    b.fn("validate")
+        .failure("v.abort", sim::FailureKind::Abort)
+        .dep("v.abort", {"$param"});
+    b.fn("submit")
+        .write("s.write", "var:x")
+        .call("s.call", "validate")
+        .dep("s.call", {"s.write"});
+    model::ProgramModel m = b.build();
+    StaticPruner pruner(m);
+    ImpactFinding finding = pruner.analyzeSite("s.write");
+    EXPECT_TRUE(finding.hasImpact);
+    EXPECT_EQ(finding.reason, "local-callee:v.abort");
+}
+
+TEST(ImpactTest, UnmodelledSiteHasNoImpact)
+{
+    model::ProgramModel m;
+    StaticPruner pruner(m);
+    EXPECT_FALSE(pruner.analyzeSite("unknown.site").hasImpact);
+}
+
+TEST(ImpactTest, CandidateKeptWhenEitherSideHasImpact)
+{
+    model::ModelBuilder b;
+    b.fn("f")
+        .read("f.benign", "var:x")
+        .write("f.harmful", "var:x")
+        .failure("f.abort", sim::FailureKind::Abort)
+        .dep("f.abort", {"f.harmful"});
+    model::ProgramModel m = b.build();
+    StaticPruner pruner(m);
+
+    PruneDecision keep =
+        pruner.evaluate(candidate("var:x", "f.benign", "f.harmful"));
+    EXPECT_TRUE(keep.keep);
+    EXPECT_FALSE(keep.sideA.hasImpact);
+    EXPECT_TRUE(keep.sideB.hasImpact);
+
+    PruneDecision drop =
+        pruner.evaluate(candidate("var:x", "f.benign", "f.benign"));
+    EXPECT_FALSE(drop.keep);
+}
+
+TEST(ImpactTest, PruneFiltersList)
+{
+    model::ModelBuilder b;
+    b.fn("f")
+        .read("f.benign", "var:x")
+        .write("f.harmful", "var:x")
+        .failure("f.abort", sim::FailureKind::Abort)
+        .dep("f.abort", {"f.harmful"});
+    model::ProgramModel m = b.build();
+    StaticPruner pruner(m);
+    std::vector<detect::Candidate> cands = {
+        candidate("var:x", "f.benign", "f.harmful"),
+        candidate("var:x", "f.benign", "f.benign"),
+    };
+    auto kept = pruner.prune(cands);
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_EQ(kept[0].b.site, "f.harmful");
+}
+
+} // namespace
+} // namespace dcatch::prune

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unit tests for the coordination (ZooKeeper-like) service: znode
+ * semantics, revalidation after the control point, watcher delivery
+ * order, prefix filtering, and version monotonicity in traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/sim.hh"
+
+namespace dcatch::sim {
+namespace {
+
+TEST(CoordTest, CreateGetSetRemoveSemantics)
+{
+    Simulation sim;
+    Node &n1 = sim.addNode("n1");
+    sim.spawn(nullptr, n1, "main", [&](ThreadContext &ctx) {
+        Frame f(ctx, "main", ScopeKind::Message, "m:x");
+        CoordService &zk = ctx.sim().coord();
+        EXPECT_FALSE(zk.exists(ctx, "t.e", "/a"));
+        EXPECT_FALSE(zk.getData(ctx, "t.g", "/a").has_value());
+        EXPECT_FALSE(zk.setData(ctx, "t.s", "/a", "v"));
+        EXPECT_FALSE(zk.remove(ctx, "t.d", "/a"));
+
+        EXPECT_TRUE(zk.create(ctx, "t.c", "/a", "v1"));
+        EXPECT_FALSE(zk.create(ctx, "t.c", "/a", "v2")) << "exists";
+        EXPECT_EQ(zk.getData(ctx, "t.g", "/a").value_or(""), "v1");
+        EXPECT_TRUE(zk.setData(ctx, "t.s", "/a", "v2"));
+        EXPECT_EQ(zk.getData(ctx, "t.g", "/a").value_or(""), "v2");
+        EXPECT_TRUE(zk.remove(ctx, "t.d", "/a"));
+        EXPECT_FALSE(zk.exists(ctx, "t.e", "/a"));
+    });
+    EXPECT_FALSE(sim.run().failed());
+}
+
+TEST(CoordTest, WatcherPrefixFiltering)
+{
+    Simulation sim;
+    Node &writer = sim.addNode("writer");
+    Node &sub = sim.addNode("sub");
+    std::vector<std::string> seen;
+    sim.coord().watch(sub, "/a/",
+                      [&](ThreadContext &, const CoordNotification &n) {
+                          seen.push_back(n.path);
+                      });
+    sim.spawn(nullptr, writer, "main", [&](ThreadContext &ctx) {
+        Frame f(ctx, "main", ScopeKind::Message, "m:w");
+        sim.coord().create(ctx, "t.c", "/a/x", "1");
+        sim.coord().create(ctx, "t.c", "/b/y", "2"); // filtered out
+        sim.coord().create(ctx, "t.c", "/a/z", "3");
+        ctx.pause(20);
+    });
+    EXPECT_FALSE(sim.run().failed());
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0], "/a/x");
+    EXPECT_EQ(seen[1], "/a/z");
+}
+
+TEST(CoordTest, NotificationsDeliveredInUpdateOrder)
+{
+    Simulation sim;
+    Node &writer = sim.addNode("writer");
+    Node &sub = sim.addNode("sub");
+    std::vector<std::int64_t> versions;
+    sim.coord().watch(sub, "/s",
+                      [&](ThreadContext &, const CoordNotification &n) {
+                          versions.push_back(n.version);
+                      });
+    sim.spawn(nullptr, writer, "main", [&](ThreadContext &ctx) {
+        Frame f(ctx, "main", ScopeKind::Message, "m:w");
+        sim.coord().create(ctx, "t.c", "/s/k", "0");
+        for (int i = 0; i < 5; ++i)
+            sim.coord().setData(ctx, "t.s", "/s/k",
+                                std::to_string(i));
+        ctx.pause(30);
+    });
+    EXPECT_FALSE(sim.run().failed());
+    ASSERT_EQ(versions.size(), 6u);
+    for (std::size_t i = 1; i < versions.size(); ++i)
+        EXPECT_LT(versions[i - 1], versions[i]);
+}
+
+TEST(CoordTest, TwoWatchersBothNotified)
+{
+    Simulation sim;
+    Node &writer = sim.addNode("writer");
+    Node &sub1 = sim.addNode("sub1");
+    Node &sub2 = sim.addNode("sub2");
+    int count1 = 0, count2 = 0;
+    sim.coord().watch(sub1, "/s",
+                      [&](ThreadContext &, const CoordNotification &) {
+                          ++count1;
+                      });
+    sim.coord().watch(sub2, "/s",
+                      [&](ThreadContext &, const CoordNotification &) {
+                          ++count2;
+                      });
+    sim.spawn(nullptr, writer, "main", [&](ThreadContext &ctx) {
+        Frame f(ctx, "main", ScopeKind::Message, "m:w");
+        sim.coord().create(ctx, "t.c", "/s/k", "v");
+        ctx.pause(20);
+    });
+    EXPECT_FALSE(sim.run().failed());
+    EXPECT_EQ(count1, 1);
+    EXPECT_EQ(count2, 1);
+}
+
+TEST(CoordTest, ZnodeAccessesAreTracedAsMemoryOps)
+{
+    Simulation sim;
+    Node &n1 = sim.addNode("n1");
+    sim.spawn(nullptr, n1, "main", [&](ThreadContext &ctx) {
+        Frame f(ctx, "main", ScopeKind::Message, "m:x");
+        sim.coord().create(ctx, "t.c", "/p", "v");
+        sim.coord().getData(ctx, "t.g", "/p");
+        sim.coord().remove(ctx, "t.d", "/p");
+    });
+    sim.run();
+    int reads = 0, writes = 0, updates = 0;
+    for (const auto &rec : sim.tracer().store().allRecords()) {
+        if (rec.id == "znode:/p") {
+            if (rec.type == trace::RecordType::MemRead)
+                ++reads;
+            if (rec.type == trace::RecordType::MemWrite)
+                ++writes;
+        }
+        if (rec.type == trace::RecordType::CoordUpdate)
+            ++updates;
+    }
+    EXPECT_EQ(reads, 1);
+    EXPECT_EQ(writes, 2);  // create + remove
+    EXPECT_EQ(updates, 2); // only successful mutations publish
+}
+
+} // namespace
+} // namespace dcatch::sim

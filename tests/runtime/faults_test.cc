@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Fault-injection tests: node crashes at deterministic points and the
+ * substrate's failure semantics under them — in-flight RPC failure,
+ * message dropping, watcher silencing, and survivor-node progress.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/faults.hh"
+#include "runtime/lock.hh"
+#include "runtime/shared.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::sim {
+namespace {
+
+TEST(FaultsTest, InjectedCrashRecordsAbort)
+{
+    Simulation sim;
+    sim.addNode("victim");
+    injectCrash(sim, "victim", 3);
+    sim.spawn(nullptr, sim.node("victim"), "payload",
+              [](ThreadContext &ctx) { ctx.pause(50); });
+    RunResult result = sim.run();
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_TRUE(result.hasFailure(FailureKind::Abort));
+    EXPECT_TRUE(sim.node("victim").crashed());
+}
+
+TEST(FaultsTest, InFlightRpcFailsWhenServerDies)
+{
+    Simulation sim;
+    Node &server = sim.addNode("server");
+    sim.addNode("client");
+    // The RPC body stalls long enough for the crash to land mid-call.
+    server.registerRpc("slow", [](ThreadContext &ctx, const Payload &) {
+        ctx.pause(40);
+        return Payload{}.set("done", "1");
+    });
+    injectCrash(sim, "server", 10);
+    std::string error;
+    sim.spawn(nullptr, sim.node("client"), "caller",
+              [&](ThreadContext &ctx) {
+                  Payload reply =
+                      ctx.rpcCall("t.call", "server", "slow", Payload{});
+                  error = reply.get("__error");
+              });
+    RunResult result = sim.run();
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_EQ(error, "node_crashed")
+        << "caller must not hang on a dead server";
+}
+
+TEST(FaultsTest, MessagesToCrashedNodeAreDropped)
+{
+    Simulation sim;
+    Node &receiver = sim.addNode("receiver");
+    sim.addNode("sender");
+    int delivered = 0;
+    receiver.registerVerb("ping", [&](ThreadContext &, const Payload &) {
+        ++delivered;
+    });
+    injectCrash(sim, "receiver", 2);
+    sim.spawn(nullptr, sim.node("sender"), "sender-main",
+              [](ThreadContext &ctx) {
+                  ctx.pause(20); // after the crash
+                  ctx.send("t.send", "receiver", "ping", Payload{});
+                  ctx.pause(10);
+              });
+    RunResult result = sim.run();
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_EQ(delivered, 0);
+}
+
+TEST(FaultsTest, CrashedSubscriberStopsReceivingPushes)
+{
+    Simulation sim;
+    Node &writer = sim.addNode("writer");
+    Node &watcher = sim.addNode("watcher");
+    int notified = 0;
+    sim.coord().watch(watcher, "/s",
+                      [&](ThreadContext &, const CoordNotification &) {
+                          ++notified;
+                      });
+    injectCrash(sim, "watcher", 2);
+    sim.spawn(nullptr, writer, "writer-main", [&](ThreadContext &ctx) {
+        ctx.pause(20);
+        sim.coord().create(ctx, "t.create", "/s/x", "v");
+        ctx.pause(10);
+    });
+    RunResult result = sim.run();
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_EQ(notified, 0);
+}
+
+TEST(FaultsTest, SurvivorsKeepRunningAfterPeerCrash)
+{
+    Simulation sim;
+    sim.addNode("victim");
+    Node &survivor = sim.addNode("survivor");
+    auto counter = std::make_shared<SharedVar<int>>(survivor, "c", 0);
+    injectCrash(sim, "victim", 2);
+    int final_value = 0;
+    sim.spawn(nullptr, survivor, "worker", [&](ThreadContext &ctx) {
+        Frame f(ctx, "work", ScopeKind::Event, "e:w");
+        for (int i = 1; i <= 20; ++i)
+            counter->write(ctx, "t.w", i);
+        final_value = counter->peek();
+    });
+    RunResult result = sim.run();
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_EQ(final_value, 20);
+    EXPECT_FALSE(sim.node("survivor").crashed());
+}
+
+TEST(FaultsTest, LockHeldByCrashedThreadIsNotReleased)
+{
+    // A crash while holding a lock leaves it held — like a real node
+    // that dies holding external resources; peers on the same node
+    // die too, so no survivor deadlocks on it.
+    Simulation sim;
+    Node &node = sim.addNode("n");
+    auto lock = std::make_shared<SimLock>(node, "L");
+    injectCrash(sim, "n", 5);
+    sim.spawn(nullptr, node, "holder", [&](ThreadContext &ctx) {
+        lock->acquire(ctx, "t.acq");
+        ctx.pause(100); // crash lands while held
+        lock->release(ctx, "t.rel");
+    });
+    RunResult result = sim.run();
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_TRUE(sim.node("n").crashed());
+}
+
+TEST(FaultsTest, Hb4729StyleWorkloadSurvivesExpiry)
+{
+    // A miniature of the HB-4729 pattern: expire (crash) a region
+    // server after the master finished using its znodes; the master
+    // must complete cleanly.
+    Simulation sim;
+    Node &master = sim.addNode("master");
+    Node &rs = sim.addNode("rs");
+    bool cleaned = false;
+    sim.spawn(nullptr, rs, "rs.startup", [](ThreadContext &ctx) {
+        Frame f(ctx, "startup", ScopeKind::Message, "m:rs");
+        ctx.sim().coord().create(ctx, "t.create", "/unassigned/r", "x");
+    });
+    injectCrash(sim, "rs", 30);
+    sim.spawn(nullptr, master, "master.cleanup", [&](ThreadContext &ctx) {
+        Frame f(ctx, "cleanup", ScopeKind::Message, "m:clean");
+        ctx.pause(50); // after the expiry
+        ctx.sim().coord().remove(ctx, "t.remove", "/unassigned/r");
+        cleaned = true;
+    });
+    RunResult result = sim.run();
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_TRUE(cleaned);
+}
+
+} // namespace
+} // namespace dcatch::sim

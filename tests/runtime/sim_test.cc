@@ -1,0 +1,397 @@
+/**
+ * @file
+ * Integration tests for the simulation substrate: threads, RPC,
+ * messages, events, coordination service, shared memory, locks, and
+ * failure semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/lock.hh"
+#include "runtime/shared.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::sim {
+namespace {
+
+TEST(SimTest, SpawnedThreadRunsOnNode)
+{
+    Simulation sim;
+    Node &n1 = sim.addNode("n1");
+    bool ran = false;
+    sim.spawn(nullptr, n1, "worker", [&](ThreadContext &ctx) {
+        EXPECT_EQ(ctx.node().name(), "n1");
+        ran = true;
+    });
+    RunResult result = sim.run();
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_TRUE(ran);
+    EXPECT_FALSE(result.failed());
+}
+
+TEST(SimTest, ForkJoinTracesAndCompletes)
+{
+    Simulation sim;
+    Node &n1 = sim.addNode("n1");
+    std::vector<int> order;
+    sim.spawn(nullptr, n1, "parent", [&](ThreadContext &ctx) {
+        ThreadHandle child = ctx.sim().spawn(
+            &ctx, ctx.node(), "child",
+            [&](ThreadContext &) { order.push_back(1); }, false,
+            "test.spawn");
+        ctx.sim().joinThread(ctx, child, "test.join");
+        order.push_back(2);
+    });
+    EXPECT_FALSE(sim.run().failed());
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+
+    // Trace must contain the full fork/join vocabulary.
+    auto records = sim.tracer().store().allRecords();
+    int creates = 0, begins = 0, ends = 0, joins = 0;
+    for (const auto &rec : records) {
+        switch (rec.type) {
+          case trace::RecordType::ThreadCreate: ++creates; break;
+          case trace::RecordType::ThreadBegin: ++begins; break;
+          case trace::RecordType::ThreadEnd: ++ends; break;
+          case trace::RecordType::ThreadJoin: ++joins; break;
+          default: break;
+        }
+    }
+    EXPECT_EQ(creates, 1);
+    EXPECT_EQ(begins, 2);  // parent + child
+    EXPECT_EQ(ends, 2);
+    EXPECT_EQ(joins, 1);
+}
+
+TEST(SimTest, SynchronousRpcRoundTrip)
+{
+    Simulation sim;
+    Node &server = sim.addNode("server");
+    sim.addNode("client");
+    server.registerRpc("add", [](ThreadContext &, const Payload &args) {
+        return Payload{}.setInt("sum", args.getInt("a") + args.getInt("b"));
+    });
+    std::int64_t sum = 0;
+    sim.spawn(nullptr, sim.node("client"), "caller",
+              [&](ThreadContext &ctx) {
+                  Payload reply = ctx.rpcCall(
+                      "test.call", "server", "add",
+                      Payload{}.setInt("a", 2).setInt("b", 40));
+                  sum = reply.getInt("sum");
+              });
+    EXPECT_FALSE(sim.run().failed());
+    EXPECT_EQ(sum, 42);
+}
+
+TEST(SimTest, RpcToUnknownFunctionReturnsError)
+{
+    Simulation sim;
+    Node &server = sim.addNode("server");
+    server.registerRpc("ping", [](ThreadContext &, const Payload &) {
+        return Payload{};
+    });
+    sim.addNode("client");
+    std::string error;
+    sim.spawn(nullptr, sim.node("client"), "caller",
+              [&](ThreadContext &ctx) {
+                  Payload reply =
+                      ctx.rpcCall("t", "server", "nope", Payload{});
+                  error = reply.get("__error");
+              });
+    EXPECT_FALSE(sim.run().failed());
+    EXPECT_EQ(error, "no_such_rpc");
+}
+
+TEST(SimTest, AsyncMessageDelivery)
+{
+    Simulation sim;
+    Node &receiver = sim.addNode("receiver");
+    sim.addNode("sender");
+    std::string got;
+    receiver.registerVerb("greet",
+                          [&](ThreadContext &, const Payload &msg) {
+                              got = msg.get("text");
+                          });
+    sim.spawn(nullptr, sim.node("sender"), "sender-main",
+              [&](ThreadContext &ctx) {
+                  ctx.send("t", "receiver", "greet",
+                           Payload{}.set("text", "hello"));
+                  // Give the dispatcher a chance before finishing.
+                  ctx.pause(10);
+              });
+    EXPECT_FALSE(sim.run().failed());
+    EXPECT_EQ(got, "hello");
+}
+
+TEST(SimTest, EventQueueDispatchesFifo)
+{
+    Simulation sim;
+    Node &n1 = sim.addNode("n1");
+    EventQueue &q = n1.addEventQueue("events", 1);
+    std::vector<std::int64_t> seen;
+    q.on("tick", [&](ThreadContext &, const Event &e) {
+        seen.push_back(e.payload.getInt("i"));
+    });
+    sim.spawn(nullptr, n1, "producer", [&](ThreadContext &ctx) {
+        for (int i = 0; i < 5; ++i)
+            ctx.node().queue("events").enqueue(
+                ctx, "t.enq", "tick", Payload{}.setInt("i", i));
+        ctx.pause(20);
+    });
+    EXPECT_FALSE(sim.run().failed());
+    ASSERT_EQ(seen.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimTest, CoordServiceWatchersReceivePush)
+{
+    Simulation sim;
+    Node &writer = sim.addNode("writer");
+    Node &watcher = sim.addNode("watcher");
+    std::vector<std::string> notes;
+    sim.coord().watch(watcher, "/state",
+                      [&](ThreadContext &, const CoordNotification &n) {
+                          notes.push_back(coordChangeName(n.change) + (":" + n.path));
+                      });
+    sim.spawn(nullptr, writer, "writer-main", [&](ThreadContext &ctx) {
+        EXPECT_TRUE(sim.coord().create(ctx, "t.create", "/state/x", "v1"));
+        EXPECT_TRUE(sim.coord().setData(ctx, "t.set", "/state/x", "v2"));
+        EXPECT_TRUE(sim.coord().remove(ctx, "t.del", "/state/x"));
+        EXPECT_FALSE(sim.coord().remove(ctx, "t.del", "/state/x"));
+        ctx.pause(20);
+    });
+    EXPECT_FALSE(sim.run().failed());
+    ASSERT_EQ(notes.size(), 3u);
+    EXPECT_EQ(notes[0], "Created:/state/x");
+    EXPECT_EQ(notes[1], "DataChanged:/state/x");
+    EXPECT_EQ(notes[2], "Deleted:/state/x");
+}
+
+TEST(SimTest, SharedVarVersionsAdvance)
+{
+    Simulation sim;
+    Node &n1 = sim.addNode("n1");
+    auto var = std::make_shared<SharedVar<int>>(n1, "x", 0);
+    sim.spawn(nullptr, n1, "w", [&](ThreadContext &ctx) {
+        Frame f(ctx, "handler", ScopeKind::Event, "e:test");
+        var->write(ctx, "site.w1", 10);
+        EXPECT_EQ(var->read(ctx, "site.r1"), 10);
+        var->write(ctx, "site.w2", 20);
+        EXPECT_EQ(var->read(ctx, "site.r2"), 20);
+    });
+    EXPECT_FALSE(sim.run().failed());
+    auto records = sim.tracer().store().allRecords();
+    std::vector<std::int64_t> versions;
+    for (const auto &rec : records)
+        if (rec.isMemoryAccess())
+            versions.push_back(rec.aux);
+    ASSERT_EQ(versions.size(), 4u);
+    EXPECT_EQ(versions[0], 1);
+    EXPECT_EQ(versions[1], 1);
+    EXPECT_EQ(versions[2], 2);
+    EXPECT_EQ(versions[3], 2);
+}
+
+TEST(SimTest, SelectiveTracingSkipsUnscopedAccesses)
+{
+    Simulation sim;
+    Node &n1 = sim.addNode("n1");
+    auto var = std::make_shared<SharedVar<int>>(n1, "x", 0);
+    sim.spawn(nullptr, n1, "w", [&](ThreadContext &ctx) {
+        var->write(ctx, "site.unscoped", 1); // outside any handler
+        Frame f(ctx, "handler", ScopeKind::Rpc, "r:test");
+        var->write(ctx, "site.scoped", 2);
+    });
+    EXPECT_FALSE(sim.run().failed());
+    int mem_records = 0;
+    for (const auto &rec : sim.tracer().store().allRecords())
+        if (rec.isMemoryAccess())
+            ++mem_records;
+    EXPECT_EQ(mem_records, 1);
+}
+
+TEST(SimTest, FullTracingKeepsAllAccesses)
+{
+    trace::TracerConfig tc;
+    tc.selectiveMemory = false;
+    Simulation sim;
+    sim.setTracerConfig(tc);
+    Node &n1 = sim.addNode("n1");
+    auto var = std::make_shared<SharedVar<int>>(n1, "x", 0);
+    sim.spawn(nullptr, n1, "w", [&](ThreadContext &ctx) {
+        var->write(ctx, "site.unscoped", 1);
+        Frame f(ctx, "handler", ScopeKind::Rpc, "r:test");
+        var->write(ctx, "site.scoped", 2);
+    });
+    EXPECT_FALSE(sim.run().failed());
+    int mem_records = 0;
+    for (const auto &rec : sim.tracer().store().allRecords())
+        if (rec.isMemoryAccess())
+            ++mem_records;
+    EXPECT_EQ(mem_records, 2);
+}
+
+TEST(SimTest, AbortCrashesWholeNode)
+{
+    Simulation sim;
+    Node &n1 = sim.addNode("n1");
+    bool other_survived_too_long = false;
+    sim.spawn(nullptr, n1, "sibling", [&](ThreadContext &ctx) {
+        // Yield forever; must be unwound when the node crashes.
+        for (int i = 0; i < 10000; ++i)
+            ctx.yield();
+        other_survived_too_long = true;
+    });
+    sim.spawn(nullptr, n1, "aborter", [&](ThreadContext &ctx) {
+        ctx.pause(3);
+        ctx.abortNode("site.abort", "fatal state");
+    });
+    RunResult result = sim.run();
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_TRUE(result.hasFailure(FailureKind::Abort));
+    EXPECT_FALSE(other_survived_too_long);
+    EXPECT_TRUE(sim.node("n1").crashed());
+}
+
+TEST(SimTest, UncaughtExceptionKillsOnlyThatThread)
+{
+    Simulation sim;
+    Node &n1 = sim.addNode("n1");
+    bool sibling_finished = false;
+    sim.spawn(nullptr, n1, "thrower", [&](ThreadContext &ctx) {
+        ctx.throwUncaught("site.throw", "NPE");
+    });
+    sim.spawn(nullptr, n1, "sibling", [&](ThreadContext &ctx) {
+        ctx.pause(5);
+        sibling_finished = true;
+    });
+    RunResult result = sim.run();
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_TRUE(result.hasFailure(FailureKind::UncaughtException));
+    EXPECT_TRUE(sibling_finished);
+    EXPECT_FALSE(sim.node("n1").crashed());
+}
+
+TEST(SimTest, FatalLogRecordsFailureAndContinues)
+{
+    Simulation sim;
+    Node &n1 = sim.addNode("n1");
+    bool reached_after = false;
+    sim.spawn(nullptr, n1, "logger", [&](ThreadContext &ctx) {
+        ctx.fatalLog("site.fatal", "bad things");
+        reached_after = true;
+    });
+    RunResult result = sim.run();
+    EXPECT_TRUE(result.hasFailure(FailureKind::FatalLog));
+    EXPECT_TRUE(reached_after);
+}
+
+TEST(SimTest, RetryUntilExitsWhenConditionHolds)
+{
+    Simulation sim;
+    Node &n1 = sim.addNode("n1");
+    int value = 0;
+    sim.spawn(nullptr, n1, "setter", [&](ThreadContext &ctx) {
+        ctx.pause(5);
+        value = 7;
+    });
+    bool ok = false;
+    sim.spawn(nullptr, n1, "poller", [&](ThreadContext &ctx) {
+        ok = ctx.retryUntil("site.loop", [&] { return value == 7; });
+    });
+    RunResult result = sim.run();
+    EXPECT_FALSE(result.failed());
+    EXPECT_TRUE(ok);
+}
+
+TEST(SimTest, RetryUntilReportsLoopHang)
+{
+    SimConfig cfg;
+    cfg.loopHangBound = 20;
+    Simulation sim(cfg);
+    Node &n1 = sim.addNode("n1");
+    bool ok = true;
+    sim.spawn(nullptr, n1, "poller", [&](ThreadContext &ctx) {
+        ok = ctx.retryUntil("site.loop", [] { return false; });
+    });
+    RunResult result = sim.run();
+    EXPECT_FALSE(ok);
+    EXPECT_TRUE(result.hasFailure(FailureKind::LoopHang));
+}
+
+TEST(SimTest, RpcAgainstCrashedNodeReturnsError)
+{
+    Simulation sim;
+    Node &server = sim.addNode("server");
+    server.registerRpc("ping", [](ThreadContext &, const Payload &) {
+        return Payload{};
+    });
+    sim.addNode("client");
+    std::string error;
+    sim.spawn(nullptr, server, "suicider", [&](ThreadContext &ctx) {
+        ctx.abortNode("site.die", "going down");
+    });
+    sim.spawn(nullptr, sim.node("client"), "caller",
+              [&](ThreadContext &ctx) {
+                  ctx.pause(10); // let the server die first
+                  Payload reply =
+                      ctx.rpcCall("t", "server", "ping", Payload{});
+                  error = reply.get("__error");
+              });
+    RunResult result = sim.run();
+    EXPECT_EQ(result.status, RunStatus::Completed);
+    EXPECT_EQ(error, "node_crashed");
+}
+
+TEST(SimTest, LockProvidesMutualExclusion)
+{
+    Simulation sim;
+    Node &n1 = sim.addNode("n1");
+    auto lock = std::make_shared<SimLock>(n1, "L");
+    int inside = 0;
+    bool overlap = false;
+    for (int i = 0; i < 3; ++i) {
+        sim.spawn(nullptr, n1, "t" + std::to_string(i),
+                  [&](ThreadContext &ctx) {
+                      for (int k = 0; k < 10; ++k) {
+                          Locked guard(*lock, ctx, "site.cs");
+                          if (++inside != 1)
+                              overlap = true;
+                          ctx.yield();
+                          --inside;
+                      }
+                  });
+    }
+    EXPECT_FALSE(sim.run().failed());
+    EXPECT_FALSE(overlap);
+}
+
+TEST(SimTest, DeterministicTraceAcrossRuns)
+{
+    auto run_once = [] {
+        Simulation sim;
+        Node &n1 = sim.addNode("n1");
+        EventQueue &q = n1.addEventQueue("ev", 1);
+        auto var = std::make_shared<SharedVar<int>>(n1, "x", 0);
+        q.on("bump", [var](ThreadContext &ctx, const Event &) {
+            var->write(ctx, "s.w", var->read(ctx, "s.r") + 1);
+        });
+        sim.spawn(nullptr, n1, "driver", [&](ThreadContext &ctx) {
+            for (int i = 0; i < 3; ++i)
+                ctx.node().queue("ev").enqueue(ctx, "s.enq", "bump");
+            ctx.pause(30);
+        });
+        sim.run();
+        std::vector<std::string> lines;
+        for (const auto &rec : sim.tracer().store().allRecords())
+            lines.push_back(rec.toLine());
+        return lines;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace dcatch::sim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Test support: terse construction of synthetic traces for exercising
+ * the HB graph rules and the race detector without running a workload.
+ */
+
+#ifndef DCATCH_TESTS_SUPPORT_TRACE_BUILDER_HH
+#define DCATCH_TESTS_SUPPORT_TRACE_BUILDER_HH
+
+#include <string>
+
+#include "trace/trace_store.hh"
+
+namespace dcatch::testsupport {
+
+/** Builds a TraceStore record by record, auto-assigning sequence
+ *  numbers in call order (so call order == global order). */
+class TraceBuilder
+{
+  public:
+    /** Append a record; returns its sequence number. */
+    std::uint64_t
+    add(trace::RecordType type, int node, int thread,
+        const std::string &site, const std::string &id,
+        std::int64_t aux = 0, const std::string &callstack = "")
+    {
+        trace::Record rec;
+        rec.type = type;
+        rec.node = node;
+        rec.thread = thread;
+        rec.site = site;
+        rec.id = id;
+        rec.aux = aux;
+        rec.callstack = callstack.empty() ? ("t" + std::to_string(thread))
+                                          : callstack;
+        rec.seq = store_.nextSeq();
+        store_.append(rec);
+        return rec.seq;
+    }
+
+    /** Shorthand for memory accesses. */
+    std::uint64_t
+    mem(bool is_write, int node, int thread, const std::string &site,
+        const std::string &var, std::int64_t version = 0)
+    {
+        return add(is_write ? trace::RecordType::MemWrite
+                            : trace::RecordType::MemRead,
+                   node, thread, site, var, version);
+    }
+
+    /** Register a queue's metadata. */
+    void
+    queue(const std::string &queue_id, int node, bool single_consumer)
+    {
+        trace::QueueMeta meta;
+        meta.queueId = queue_id;
+        meta.node = node;
+        meta.singleConsumer = single_consumer;
+        store_.noteQueue(meta);
+    }
+
+    trace::TraceStore &store() { return store_; }
+
+  private:
+    trace::TraceStore store_;
+};
+
+} // namespace dcatch::testsupport
+
+#endif // DCATCH_TESTS_SUPPORT_TRACE_BUILDER_HH

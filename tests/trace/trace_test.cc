@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the trace layer: record naming and categories,
+ * tracer policies (selective / full / focused / disabled), store
+ * statistics, and file round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trace/trace_store.hh"
+
+namespace dcatch::trace {
+namespace {
+
+Record
+mkRecord(RecordType type, int thread, const std::string &site,
+         const std::string &id, std::int64_t aux = 0)
+{
+    Record rec;
+    rec.type = type;
+    rec.node = 0;
+    rec.thread = thread;
+    rec.site = site;
+    rec.id = id;
+    rec.aux = aux;
+    rec.callstack = "t" + std::to_string(thread) + ":frame";
+    return rec;
+}
+
+TEST(RecordTest, TypeNamesRoundTrip)
+{
+    for (int i = 0; i <= static_cast<int>(RecordType::LoopExit); ++i) {
+        auto type = static_cast<RecordType>(i);
+        RecordType parsed;
+        ASSERT_TRUE(parseRecordType(recordTypeName(type), parsed));
+        EXPECT_EQ(parsed, type);
+    }
+    RecordType dummy;
+    EXPECT_FALSE(parseRecordType("NotARecord", dummy));
+}
+
+TEST(RecordTest, LineRoundTrip)
+{
+    Record rec = mkRecord(RecordType::MemWrite, 3, "a.site/x",
+                          "map:n/j#k", 42);
+    rec.seq = 17;
+    rec.node = 2;
+    Record parsed;
+    ASSERT_TRUE(Record::fromLine(rec.toLine(), parsed));
+    EXPECT_EQ(parsed.seq, rec.seq);
+    EXPECT_EQ(parsed.type, rec.type);
+    EXPECT_EQ(parsed.node, rec.node);
+    EXPECT_EQ(parsed.thread, rec.thread);
+    EXPECT_EQ(parsed.site, rec.site);
+    EXPECT_EQ(parsed.id, rec.id);
+    EXPECT_EQ(parsed.aux, rec.aux);
+    EXPECT_EQ(parsed.callstack, rec.callstack);
+}
+
+TEST(RecordTest, MalformedLinesRejected)
+{
+    Record rec;
+    EXPECT_FALSE(Record::fromLine("", rec));
+    EXPECT_FALSE(Record::fromLine("17 Bogus n0 t0 site=a id=b aux=0 cs=c",
+                                  rec));
+    EXPECT_FALSE(Record::fromLine("notanumber MemRead n0 t0 site=a id=b "
+                                  "aux=0 cs=c",
+                                  rec));
+    EXPECT_FALSE(Record::fromLine("1 MemRead n0 t0 site=a id=b", rec));
+}
+
+TEST(RecordTest, CategoriesCoverAllTypes)
+{
+    EXPECT_EQ(recordCategory(RecordType::MemRead), RecordCategory::Mem);
+    EXPECT_EQ(recordCategory(RecordType::RpcBegin),
+              RecordCategory::RpcSocket);
+    EXPECT_EQ(recordCategory(RecordType::MsgSend),
+              RecordCategory::RpcSocket);
+    EXPECT_EQ(recordCategory(RecordType::EventCreate),
+              RecordCategory::Event);
+    EXPECT_EQ(recordCategory(RecordType::ThreadJoin),
+              RecordCategory::Thread);
+    EXPECT_EQ(recordCategory(RecordType::CoordPushed),
+              RecordCategory::Coord);
+    EXPECT_EQ(recordCategory(RecordType::LockRelease),
+              RecordCategory::Lock);
+    EXPECT_EQ(recordCategory(RecordType::LoopIter),
+              RecordCategory::Loop);
+}
+
+TEST(TracerTest, SelectivePolicyFiltersUnscopedAccesses)
+{
+    Tracer tracer;
+    EXPECT_TRUE(tracer.recordMemAccess(
+        mkRecord(RecordType::MemRead, 0, "s", "var:x"), true));
+    EXPECT_FALSE(tracer.recordMemAccess(
+        mkRecord(RecordType::MemRead, 0, "s", "var:x"), false));
+    EXPECT_EQ(tracer.store().totalRecords(), 1u);
+}
+
+TEST(TracerTest, FullPolicyKeepsEverything)
+{
+    TracerConfig config;
+    config.selectiveMemory = false;
+    Tracer tracer(config);
+    EXPECT_TRUE(tracer.recordMemAccess(
+        mkRecord(RecordType::MemRead, 0, "s", "var:x"), false));
+}
+
+TEST(TracerTest, FocusOverridesScopeAndRestrictsVars)
+{
+    TracerConfig config;
+    config.focusVars = {"var:x"};
+    Tracer tracer(config);
+    // Focused variable: recorded even outside the traced scope.
+    EXPECT_TRUE(tracer.recordMemAccess(
+        mkRecord(RecordType::MemWrite, 0, "s", "var:x"), false));
+    // Other variables: dropped even inside the scope.
+    EXPECT_FALSE(tracer.recordMemAccess(
+        mkRecord(RecordType::MemWrite, 0, "s", "var:y"), true));
+}
+
+TEST(TracerTest, DisabledMemoryAndOps)
+{
+    TracerConfig config;
+    config.traceMemory = false;
+    config.traceOps = false;
+    config.traceLocks = false;
+    Tracer tracer(config);
+    EXPECT_FALSE(tracer.recordMemAccess(
+        mkRecord(RecordType::MemRead, 0, "s", "var:x"), true));
+    tracer.recordOp(mkRecord(RecordType::MsgSend, 0, "s", "m-1"));
+    tracer.recordLockOp(mkRecord(RecordType::LockAcquire, 0, "s", "L"));
+    EXPECT_EQ(tracer.store().totalRecords(), 0u);
+}
+
+TEST(TraceStoreTest, PerThreadLogsAndGlobalOrder)
+{
+    TraceStore store;
+    for (int i = 0; i < 6; ++i) {
+        Record rec = mkRecord(RecordType::MemWrite, i % 2, "s",
+                              "var:" + std::to_string(i));
+        rec.seq = store.nextSeq();
+        store.append(rec);
+    }
+    EXPECT_EQ(store.threadCount(), 2);
+    EXPECT_EQ(store.threadLog(0).size(), 3u);
+    EXPECT_EQ(store.threadLog(1).size(), 3u);
+    auto all = store.allRecords();
+    for (std::size_t i = 1; i < all.size(); ++i)
+        EXPECT_LT(all[i - 1].seq, all[i].seq);
+}
+
+TEST(TraceStoreTest, DirectoryRoundTrip)
+{
+    TraceStore store;
+    for (int i = 0; i < 10; ++i) {
+        Record rec = mkRecord(
+            i % 2 ? RecordType::MemRead : RecordType::MemWrite, i % 3,
+            "site" + std::to_string(i), "var:x", i);
+        rec.seq = store.nextSeq();
+        store.append(rec);
+    }
+    std::string dir =
+        (std::filesystem::temp_directory_path() / "dcatch-trace-test")
+            .string();
+    std::filesystem::remove_all(dir);
+    store.writeToDirectory(dir);
+
+    TraceStore loaded;
+    EXPECT_EQ(loaded.loadFromDirectory(dir), 10u);
+    auto a = store.allRecords();
+    auto b = loaded.allRecords();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].toLine(), b[i].toLine());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceStoreTest, SerializedBytesMatchesLineLengths)
+{
+    TraceStore store;
+    Record rec = mkRecord(RecordType::MemWrite, 0, "s", "var:x");
+    rec.seq = store.nextSeq();
+    store.append(rec);
+    EXPECT_EQ(store.serializedBytes(), rec.toLine().size() + 1);
+}
+
+} // namespace
+} // namespace dcatch::trace

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit tests for the request-placement analysis (paper section 5.2):
+ * relocation out of single-consumer event handlers, away from shared
+ * RPC handler threads, before common critical sections, out of
+ * message handlers whose dispatcher the peer depends on, and the
+ * many-dynamic-instances rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/trace_builder.hh"
+#include "trigger/placement.hh"
+
+namespace dcatch::trigger {
+namespace {
+
+using testsupport::TraceBuilder;
+using trace::RecordType;
+
+detect::Candidate
+makeCandidate(const std::string &var, const trace::Record &a,
+              const trace::Record &b)
+{
+    detect::Candidate cand;
+    cand.var = var;
+    auto fill = [](const trace::Record &rec) {
+        detect::CandidateAccess acc;
+        acc.site = rec.site;
+        acc.callstack = rec.callstack;
+        acc.isWrite = rec.type == RecordType::MemWrite;
+        acc.thread = rec.thread;
+        acc.node = rec.node;
+        acc.version = rec.aux;
+        return acc;
+    };
+    cand.a = fill(a);
+    cand.b = fill(b);
+    return cand;
+}
+
+trace::Record
+last(const trace::TraceStore &store, int thread)
+{
+    const auto &log = store.threadLog(thread);
+    return log.back();
+}
+
+TEST(PlacementTest, NaivePlanWhenNothingApplies)
+{
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "w", "var:x", 1);
+    tb.mem(false, 1, 1, "r", "var:x", 1);
+    PlacementAnalyzer analyzer(tb.store());
+    auto cand = makeCandidate("var:x", last(tb.store(), 0),
+                              last(tb.store(), 1));
+    Placement plan = analyzer.plan(cand);
+    EXPECT_FALSE(plan.relocated);
+    EXPECT_EQ(plan.a.site, "w");
+    EXPECT_EQ(plan.b.site, "r");
+}
+
+TEST(PlacementTest, SameSingleConsumerQueueMovesToEnqueues)
+{
+    TraceBuilder tb;
+    tb.queue("n0/q", 0, true);
+    tb.add(RecordType::EventCreate, 0, 1, "enq1", "n0/q#0", 0, "csE1");
+    tb.add(RecordType::EventCreate, 0, 2, "enq2", "n0/q#1", 0, "csE2");
+    tb.add(RecordType::EventBegin, 0, 3, "evt", "n0/q#0");
+    tb.add(RecordType::MemWrite, 0, 3, "h1.w", "var:x", 1, "csH1");
+    tb.add(RecordType::EventEnd, 0, 3, "evt", "n0/q#0");
+    tb.add(RecordType::EventBegin, 0, 3, "evt", "n0/q#1");
+    tb.add(RecordType::MemWrite, 0, 3, "h2.w", "var:x", 2, "csH2");
+    tb.add(RecordType::EventEnd, 0, 3, "evt", "n0/q#1");
+
+    PlacementAnalyzer analyzer(tb.store());
+    const auto &log = tb.store().threadLog(3);
+    auto cand = makeCandidate("var:x", log[1], log[4]);
+    Placement plan = analyzer.plan(cand);
+    EXPECT_TRUE(plan.relocated);
+    EXPECT_EQ(plan.a.site, "enq1");
+    EXPECT_EQ(plan.b.site, "enq2");
+}
+
+TEST(PlacementTest, MultiConsumerQueueKeepsNaivePoints)
+{
+    TraceBuilder tb;
+    tb.queue("n0/q", 0, false); // multi-consumer: no hang hazard
+    tb.add(RecordType::EventCreate, 0, 1, "enq1", "n0/q#0");
+    tb.add(RecordType::EventCreate, 0, 1, "enq2", "n0/q#1");
+    tb.add(RecordType::EventBegin, 0, 3, "evt", "n0/q#0");
+    tb.add(RecordType::MemWrite, 0, 3, "h1.w", "var:x", 1, "csH1");
+    tb.add(RecordType::EventEnd, 0, 3, "evt", "n0/q#0");
+    tb.add(RecordType::EventBegin, 0, 4, "evt", "n0/q#1");
+    tb.add(RecordType::MemWrite, 0, 4, "h2.w", "var:x", 2, "csH2");
+    tb.add(RecordType::EventEnd, 0, 4, "evt", "n0/q#1");
+
+    PlacementAnalyzer analyzer(tb.store());
+    auto cand = makeCandidate("var:x", tb.store().threadLog(3)[1],
+                              tb.store().threadLog(4)[1]);
+    Placement plan = analyzer.plan(cand);
+    EXPECT_FALSE(plan.relocated);
+}
+
+TEST(PlacementTest, SameRpcThreadMovesToCallers)
+{
+    TraceBuilder tb;
+    tb.add(RecordType::RpcCreate, 1, 1, "call1", "rpc-1", 0, "csC1");
+    tb.add(RecordType::RpcBegin, 0, 3, "f", "rpc-1");
+    tb.add(RecordType::MemWrite, 0, 3, "f.w", "var:x", 1, "csF1");
+    tb.add(RecordType::RpcEnd, 0, 3, "f", "rpc-1");
+    tb.add(RecordType::RpcCreate, 2, 2, "call2", "rpc-2", 0, "csC2");
+    tb.add(RecordType::RpcBegin, 0, 3, "g", "rpc-2");
+    tb.add(RecordType::MemWrite, 0, 3, "g.w", "var:x", 2, "csG1");
+    tb.add(RecordType::RpcEnd, 0, 3, "g", "rpc-2");
+
+    PlacementAnalyzer analyzer(tb.store());
+    auto cand = makeCandidate("var:x", tb.store().threadLog(3)[1],
+                              tb.store().threadLog(3)[4]);
+    Placement plan = analyzer.plan(cand);
+    EXPECT_TRUE(plan.relocated);
+    EXPECT_EQ(plan.a.site, "call1");
+    EXPECT_EQ(plan.b.site, "call2");
+}
+
+TEST(PlacementTest, CommonLockMovesBeforeCriticalSections)
+{
+    TraceBuilder tb;
+    // Two regular threads taking the same lock around their accesses.
+    tb.add(RecordType::LockAcquire, 0, 1, "cs1.acq", "lock:n0/L", 0,
+           "cs1");
+    tb.add(RecordType::MemWrite, 0, 1, "w1", "var:x", 1, "cs1");
+    tb.add(RecordType::LockRelease, 0, 1, "cs1.acq", "lock:n0/L", 0,
+           "cs1");
+    tb.add(RecordType::LockAcquire, 0, 2, "cs2.acq", "lock:n0/L", 0,
+           "cs2");
+    tb.add(RecordType::MemWrite, 0, 2, "w2", "var:x", 2, "cs2");
+    tb.add(RecordType::LockRelease, 0, 2, "cs2.acq", "lock:n0/L", 0,
+           "cs2");
+
+    PlacementAnalyzer analyzer(tb.store());
+    auto cand = makeCandidate("var:x", tb.store().threadLog(1)[1],
+                              tb.store().threadLog(2)[1]);
+    Placement plan = analyzer.plan(cand);
+    EXPECT_TRUE(plan.relocated);
+    EXPECT_EQ(plan.a.site, "cs1.acq");
+    EXPECT_EQ(plan.b.site, "cs2.acq");
+    EXPECT_NE(plan.rationale.find("lock"), std::string::npos);
+}
+
+TEST(PlacementTest, MessageHandlerMovedWhenPeerDependsOnDispatcher)
+{
+    TraceBuilder tb;
+    // Thread 5 = node 0's dispatcher.  Message m-1's handler writes x.
+    tb.add(RecordType::MsgSend, 1, 1, "send1", "m-1", 0, "csS1");
+    tb.add(RecordType::MsgRecv, 0, 5, "verbA", "m-1");
+    tb.add(RecordType::MemWrite, 0, 5, "hA.w", "var:x", 1, "csA");
+    // The dispatcher also enqueues the event whose handler reads x.
+    tb.add(RecordType::MsgRecv, 0, 5, "verbB", "m-2");
+    tb.add(RecordType::EventCreate, 0, 5, "enqB", "n0/q#0");
+    tb.queue("n0/q", 0, true);
+    tb.add(RecordType::EventBegin, 0, 6, "evtB", "n0/q#0");
+    tb.add(RecordType::MemRead, 0, 6, "hB.r", "var:x", 1, "csB");
+    tb.add(RecordType::EventEnd, 0, 6, "evtB", "n0/q#0");
+
+    PlacementAnalyzer analyzer(tb.store());
+    auto cand = makeCandidate("var:x", tb.store().threadLog(5)[1],
+                              tb.store().threadLog(6)[1]);
+    Placement plan = analyzer.plan(cand);
+    EXPECT_TRUE(plan.relocated);
+    EXPECT_EQ(plan.a.site, "send1")
+        << "the write's hold must move to the sender";
+}
+
+TEST(PlacementTest, MessageHandlerKeptWhenPeerIsIndependent)
+{
+    TraceBuilder tb;
+    tb.add(RecordType::MsgSend, 1, 1, "send1", "m-1");
+    tb.add(RecordType::MsgRecv, 0, 5, "verbA", "m-1");
+    tb.add(RecordType::MemWrite, 0, 5, "hA.w", "var:x", 1, "csA");
+    tb.add(RecordType::MemRead, 0, 7, "free.r", "var:x", 1, "csR");
+
+    PlacementAnalyzer analyzer(tb.store());
+    auto cand = makeCandidate("var:x", tb.store().threadLog(5)[1],
+                              tb.store().threadLog(7)[0]);
+    Placement plan = analyzer.plan(cand);
+    EXPECT_FALSE(plan.relocated)
+        << "holding the dispatcher is safe when the peer runs freely";
+}
+
+TEST(PlacementTest, ManyInstancesRelocateAlongHbChain)
+{
+    TraceBuilder tb;
+    // One enqueue; the handler's site executes five dynamic times
+    // under the same callstack (loop in the handler).
+    tb.add(RecordType::EventCreate, 0, 1, "enq", "n0/q#0", 0, "csE");
+    tb.queue("n0/q", 0, true);
+    tb.add(RecordType::EventBegin, 0, 3, "evt", "n0/q#0");
+    for (int i = 0; i < 5; ++i)
+        tb.add(RecordType::MemWrite, 0, 3, "h.w", "var:x", i + 1, "csH");
+    tb.add(RecordType::EventEnd, 0, 3, "evt", "n0/q#0");
+    tb.add(RecordType::MemRead, 1, 4, "peer.r", "var:x", 3, "csP");
+
+    PlacementAnalyzer analyzer(tb.store());
+    auto cand = makeCandidate("var:x", tb.store().threadLog(3)[2],
+                              tb.store().threadLog(4)[0]);
+    Placement plan = analyzer.plan(cand);
+    EXPECT_TRUE(plan.relocated);
+    EXPECT_EQ(plan.a.site, "enq")
+        << "many dynamic instances: prefer the causally preceding "
+           "request point";
+}
+
+} // namespace
+} // namespace dcatch::trigger

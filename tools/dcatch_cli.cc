@@ -1,0 +1,132 @@
+/**
+ * @file
+ * The `dcatch` command-line tool: run the detection pipeline on a
+ * registered benchmark and print (or export) the bug report — the
+ * interface a user of the released system drives.
+ *
+ *   dcatch list
+ *   dcatch run <benchmark-id> [--no-prune] [--no-loop] [--trigger]
+ *              [--full-trace] [--seed N] [--random] [--json]
+ *              [--trace-dir DIR] [--quiet]
+ *
+ * Exit status: 0 on success, 1 on usage errors, 2 when the analysis
+ * ran out of memory.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/util.hh"
+#include "dcatch/pipeline.hh"
+#include "dcatch/report_printer.hh"
+
+namespace {
+
+using namespace dcatch;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage:\n"
+        "  dcatch list\n"
+        "  dcatch run <benchmark-id> [options]\n"
+        "\noptions:\n"
+        "  --no-prune    skip static pruning (section 4)\n"
+        "  --no-loop     skip loop/pull synchronization analysis\n"
+        "  --trigger     trigger and classify every report (section 5)\n"
+        "  --full-trace  unselective memory tracing (Table 8 mode)\n"
+        "  --random      use the seeded-random scheduling policy\n"
+        "  --seed N      scheduling seed (with --random)\n"
+        "  --json        emit the report as JSON\n"
+        "  --trace-dir D also write per-thread trace files into D\n"
+        "  --quiet       suppress the metrics footer\n");
+    return 1;
+}
+
+int
+cmdList()
+{
+    std::printf("%-10s %-18s %s\n", "id", "system", "workload");
+    for (const apps::Benchmark &b : apps::allBenchmarks())
+        std::printf("%-10s %-18s %s\n", b.id.c_str(), b.system.c_str(),
+                    b.workload.c_str());
+    return 0;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    std::string id = argv[0];
+
+    PipelineOptions options;
+    bool json = false, quiet = false;
+    std::string trace_dir;
+    sim::SimConfig config;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--no-prune") {
+            options.staticPruning = false;
+        } else if (arg == "--no-loop") {
+            options.loopAnalysis = false;
+        } else if (arg == "--trigger") {
+            options.runTrigger = true;
+        } else if (arg == "--full-trace") {
+            options.fullMemoryTrace = true;
+        } else if (arg == "--random") {
+            config.policy = sim::PolicyKind::Random;
+        } else if (arg == "--seed" && i + 1 < argc) {
+            config.seed = std::stoull(argv[++i]);
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--trace-dir" && i + 1 < argc) {
+            trace_dir = argv[++i];
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage();
+        }
+    }
+
+    apps::Benchmark bench;
+    try {
+        bench = apps::benchmark(id);
+    } catch (const std::exception &) {
+        std::fprintf(stderr, "unknown benchmark '%s' (try: dcatch list)\n",
+                     id.c_str());
+        return 1;
+    }
+    bench.config = config;
+
+    PipelineResult result = runPipeline(bench, options);
+    if (!trace_dir.empty())
+        result.monitoredTrace.writeToDirectory(trace_dir);
+
+    if (json) {
+        std::printf("%s\n", reportToJson(bench, result).dump().c_str());
+    } else {
+        PrintOptions print;
+        print.showMetrics = !quiet;
+        std::fputs(renderReport(bench, result, print).c_str(), stdout);
+    }
+    return result.analysisOom ? 2 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    if (std::strcmp(argv[1], "list") == 0)
+        return cmdList();
+    if (std::strcmp(argv[1], "run") == 0)
+        return cmdRun(argc - 2, argv + 2);
+    return usage();
+}
