@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_reach.dir/ablation_reach.cc.o"
+  "CMakeFiles/ablation_reach.dir/ablation_reach.cc.o.d"
+  "ablation_reach"
+  "ablation_reach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

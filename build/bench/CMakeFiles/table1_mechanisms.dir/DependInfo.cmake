@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_mechanisms.cc" "bench/CMakeFiles/table1_mechanisms.dir/table1_mechanisms.cc.o" "gcc" "bench/CMakeFiles/table1_mechanisms.dir/table1_mechanisms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dcatch/CMakeFiles/dcatch_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/dcatch_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/trigger/CMakeFiles/dcatch_trigger.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/dcatch_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/hb/CMakeFiles/dcatch_hb.dir/DependInfo.cmake"
+  "/root/repo/build/src/prune/CMakeFiles/dcatch_prune.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dcatch_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dcatch_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcatch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcatch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/dcatch_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

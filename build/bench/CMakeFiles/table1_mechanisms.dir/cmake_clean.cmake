@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_mechanisms.dir/table1_mechanisms.cc.o"
+  "CMakeFiles/table1_mechanisms.dir/table1_mechanisms.cc.o.d"
+  "table1_mechanisms"
+  "table1_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

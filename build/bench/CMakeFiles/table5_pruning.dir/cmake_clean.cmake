@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_pruning.dir/table5_pruning.cc.o"
+  "CMakeFiles/table5_pruning.dir/table5_pruning.cc.o.d"
+  "table5_pruning"
+  "table5_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

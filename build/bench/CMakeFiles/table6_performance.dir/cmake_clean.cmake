@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_performance.dir/table6_performance.cc.o"
+  "CMakeFiles/table6_performance.dir/table6_performance.cc.o.d"
+  "table6_performance"
+  "table6_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

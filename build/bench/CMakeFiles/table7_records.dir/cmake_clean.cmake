@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_records.dir/table7_records.cc.o"
+  "CMakeFiles/table7_records.dir/table7_records.cc.o.d"
+  "table7_records"
+  "table7_records.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_records.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_fulltrace.dir/table8_fulltrace.cc.o"
+  "CMakeFiles/table8_fulltrace.dir/table8_fulltrace.cc.o.d"
+  "table8_fulltrace"
+  "table8_fulltrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_fulltrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trigger_stats.dir/trigger_stats.cc.o"
+  "CMakeFiles/trigger_stats.dir/trigger_stats.cc.o.d"
+  "trigger_stats"
+  "trigger_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trigger_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

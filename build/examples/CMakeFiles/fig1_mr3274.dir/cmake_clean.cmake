@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mr3274.dir/fig1_mr3274.cpp.o"
+  "CMakeFiles/fig1_mr3274.dir/fig1_mr3274.cpp.o.d"
+  "fig1_mr3274"
+  "fig1_mr3274.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mr3274.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

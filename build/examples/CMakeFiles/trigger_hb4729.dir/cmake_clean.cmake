@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trigger_hb4729.dir/trigger_hb4729.cpp.o"
+  "CMakeFiles/trigger_hb4729.dir/trigger_hb4729.cpp.o.d"
+  "trigger_hb4729"
+  "trigger_hb4729.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trigger_hb4729.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

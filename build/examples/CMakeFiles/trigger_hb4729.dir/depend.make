@@ -1,0 +1,2 @@
+# Empty dependencies file for trigger_hb4729.
+# This may be replaced when dependencies are built.

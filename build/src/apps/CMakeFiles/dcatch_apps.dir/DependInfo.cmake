@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/benchmarks.cc" "src/apps/CMakeFiles/dcatch_apps.dir/benchmarks.cc.o" "gcc" "src/apps/CMakeFiles/dcatch_apps.dir/benchmarks.cc.o.d"
+  "/root/repo/src/apps/cassandra/mini_cassandra.cc" "src/apps/CMakeFiles/dcatch_apps.dir/cassandra/mini_cassandra.cc.o" "gcc" "src/apps/CMakeFiles/dcatch_apps.dir/cassandra/mini_cassandra.cc.o.d"
+  "/root/repo/src/apps/hbase/mini_hbase.cc" "src/apps/CMakeFiles/dcatch_apps.dir/hbase/mini_hbase.cc.o" "gcc" "src/apps/CMakeFiles/dcatch_apps.dir/hbase/mini_hbase.cc.o.d"
+  "/root/repo/src/apps/mapreduce/mini_mr.cc" "src/apps/CMakeFiles/dcatch_apps.dir/mapreduce/mini_mr.cc.o" "gcc" "src/apps/CMakeFiles/dcatch_apps.dir/mapreduce/mini_mr.cc.o.d"
+  "/root/repo/src/apps/zookeeper/mini_zk.cc" "src/apps/CMakeFiles/dcatch_apps.dir/zookeeper/mini_zk.cc.o" "gcc" "src/apps/CMakeFiles/dcatch_apps.dir/zookeeper/mini_zk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dcatch_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/dcatch_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dcatch_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcatch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcatch_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatch_apps.dir/benchmarks.cc.o"
+  "CMakeFiles/dcatch_apps.dir/benchmarks.cc.o.d"
+  "CMakeFiles/dcatch_apps.dir/cassandra/mini_cassandra.cc.o"
+  "CMakeFiles/dcatch_apps.dir/cassandra/mini_cassandra.cc.o.d"
+  "CMakeFiles/dcatch_apps.dir/hbase/mini_hbase.cc.o"
+  "CMakeFiles/dcatch_apps.dir/hbase/mini_hbase.cc.o.d"
+  "CMakeFiles/dcatch_apps.dir/mapreduce/mini_mr.cc.o"
+  "CMakeFiles/dcatch_apps.dir/mapreduce/mini_mr.cc.o.d"
+  "CMakeFiles/dcatch_apps.dir/zookeeper/mini_zk.cc.o"
+  "CMakeFiles/dcatch_apps.dir/zookeeper/mini_zk.cc.o.d"
+  "libdcatch_apps.a"
+  "libdcatch_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatch_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

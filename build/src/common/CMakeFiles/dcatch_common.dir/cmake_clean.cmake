@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatch_common.dir/json.cc.o"
+  "CMakeFiles/dcatch_common.dir/json.cc.o.d"
+  "CMakeFiles/dcatch_common.dir/logging.cc.o"
+  "CMakeFiles/dcatch_common.dir/logging.cc.o.d"
+  "CMakeFiles/dcatch_common.dir/util.cc.o"
+  "CMakeFiles/dcatch_common.dir/util.cc.o.d"
+  "libdcatch_common.a"
+  "libdcatch_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatch_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatch_pipeline.dir/pipeline.cc.o"
+  "CMakeFiles/dcatch_pipeline.dir/pipeline.cc.o.d"
+  "CMakeFiles/dcatch_pipeline.dir/report_printer.cc.o"
+  "CMakeFiles/dcatch_pipeline.dir/report_printer.cc.o.d"
+  "libdcatch_pipeline.a"
+  "libdcatch_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatch_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

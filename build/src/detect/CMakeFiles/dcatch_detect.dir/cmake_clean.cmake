@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatch_detect.dir/race_detect.cc.o"
+  "CMakeFiles/dcatch_detect.dir/race_detect.cc.o.d"
+  "libdcatch_detect.a"
+  "libdcatch_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatch_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatch_report.dir/report.cc.o"
+  "CMakeFiles/dcatch_report.dir/report.cc.o.d"
+  "libdcatch_report.a"
+  "libdcatch_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatch_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hb/chunked.cc" "src/hb/CMakeFiles/dcatch_hb.dir/chunked.cc.o" "gcc" "src/hb/CMakeFiles/dcatch_hb.dir/chunked.cc.o.d"
+  "/root/repo/src/hb/graph.cc" "src/hb/CMakeFiles/dcatch_hb.dir/graph.cc.o" "gcc" "src/hb/CMakeFiles/dcatch_hb.dir/graph.cc.o.d"
+  "/root/repo/src/hb/pull.cc" "src/hb/CMakeFiles/dcatch_hb.dir/pull.cc.o" "gcc" "src/hb/CMakeFiles/dcatch_hb.dir/pull.cc.o.d"
+  "/root/repo/src/hb/vector_clock.cc" "src/hb/CMakeFiles/dcatch_hb.dir/vector_clock.cc.o" "gcc" "src/hb/CMakeFiles/dcatch_hb.dir/vector_clock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/detect/CMakeFiles/dcatch_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dcatch_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dcatch_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcatch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcatch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatch_hb.dir/chunked.cc.o"
+  "CMakeFiles/dcatch_hb.dir/chunked.cc.o.d"
+  "CMakeFiles/dcatch_hb.dir/graph.cc.o"
+  "CMakeFiles/dcatch_hb.dir/graph.cc.o.d"
+  "CMakeFiles/dcatch_hb.dir/pull.cc.o"
+  "CMakeFiles/dcatch_hb.dir/pull.cc.o.d"
+  "CMakeFiles/dcatch_hb.dir/vector_clock.cc.o"
+  "CMakeFiles/dcatch_hb.dir/vector_clock.cc.o.d"
+  "libdcatch_hb.a"
+  "libdcatch_hb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatch_hb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/program_model.cc" "src/model/CMakeFiles/dcatch_model.dir/program_model.cc.o" "gcc" "src/model/CMakeFiles/dcatch_model.dir/program_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/dcatch_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcatch_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dcatch_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

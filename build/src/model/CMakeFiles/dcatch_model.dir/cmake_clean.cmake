@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatch_model.dir/program_model.cc.o"
+  "CMakeFiles/dcatch_model.dir/program_model.cc.o.d"
+  "libdcatch_model.a"
+  "libdcatch_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatch_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatch_prune.dir/impact.cc.o"
+  "CMakeFiles/dcatch_prune.dir/impact.cc.o.d"
+  "libdcatch_prune.a"
+  "libdcatch_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatch_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

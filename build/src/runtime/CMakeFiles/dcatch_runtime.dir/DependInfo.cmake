@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/coord.cc" "src/runtime/CMakeFiles/dcatch_runtime.dir/coord.cc.o" "gcc" "src/runtime/CMakeFiles/dcatch_runtime.dir/coord.cc.o.d"
+  "/root/repo/src/runtime/event.cc" "src/runtime/CMakeFiles/dcatch_runtime.dir/event.cc.o" "gcc" "src/runtime/CMakeFiles/dcatch_runtime.dir/event.cc.o.d"
+  "/root/repo/src/runtime/node.cc" "src/runtime/CMakeFiles/dcatch_runtime.dir/node.cc.o" "gcc" "src/runtime/CMakeFiles/dcatch_runtime.dir/node.cc.o.d"
+  "/root/repo/src/runtime/scheduler.cc" "src/runtime/CMakeFiles/dcatch_runtime.dir/scheduler.cc.o" "gcc" "src/runtime/CMakeFiles/dcatch_runtime.dir/scheduler.cc.o.d"
+  "/root/repo/src/runtime/sim.cc" "src/runtime/CMakeFiles/dcatch_runtime.dir/sim.cc.o" "gcc" "src/runtime/CMakeFiles/dcatch_runtime.dir/sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/dcatch_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dcatch_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatch_runtime.dir/coord.cc.o"
+  "CMakeFiles/dcatch_runtime.dir/coord.cc.o.d"
+  "CMakeFiles/dcatch_runtime.dir/event.cc.o"
+  "CMakeFiles/dcatch_runtime.dir/event.cc.o.d"
+  "CMakeFiles/dcatch_runtime.dir/node.cc.o"
+  "CMakeFiles/dcatch_runtime.dir/node.cc.o.d"
+  "CMakeFiles/dcatch_runtime.dir/scheduler.cc.o"
+  "CMakeFiles/dcatch_runtime.dir/scheduler.cc.o.d"
+  "CMakeFiles/dcatch_runtime.dir/sim.cc.o"
+  "CMakeFiles/dcatch_runtime.dir/sim.cc.o.d"
+  "libdcatch_runtime.a"
+  "libdcatch_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatch_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

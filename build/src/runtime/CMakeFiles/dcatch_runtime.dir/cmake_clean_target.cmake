@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcatch_runtime.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatch_trace.dir/record.cc.o"
+  "CMakeFiles/dcatch_trace.dir/record.cc.o.d"
+  "CMakeFiles/dcatch_trace.dir/trace_store.cc.o"
+  "CMakeFiles/dcatch_trace.dir/trace_store.cc.o.d"
+  "libdcatch_trace.a"
+  "libdcatch_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatch_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

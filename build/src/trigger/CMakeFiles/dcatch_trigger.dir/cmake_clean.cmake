@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatch_trigger.dir/controller.cc.o"
+  "CMakeFiles/dcatch_trigger.dir/controller.cc.o.d"
+  "CMakeFiles/dcatch_trigger.dir/harness.cc.o"
+  "CMakeFiles/dcatch_trigger.dir/harness.cc.o.d"
+  "CMakeFiles/dcatch_trigger.dir/placement.cc.o"
+  "CMakeFiles/dcatch_trigger.dir/placement.cc.o.d"
+  "libdcatch_trigger.a"
+  "libdcatch_trigger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatch_trigger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

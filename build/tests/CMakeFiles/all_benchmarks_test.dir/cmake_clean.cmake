@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/all_benchmarks_test.dir/integration/all_benchmarks_test.cc.o"
+  "CMakeFiles/all_benchmarks_test.dir/integration/all_benchmarks_test.cc.o.d"
+  "all_benchmarks_test"
+  "all_benchmarks_test.pdb"
+  "all_benchmarks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/all_benchmarks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

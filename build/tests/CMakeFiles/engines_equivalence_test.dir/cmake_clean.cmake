@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engines_equivalence_test.dir/hb/engines_equivalence_test.cc.o"
+  "CMakeFiles/engines_equivalence_test.dir/hb/engines_equivalence_test.cc.o.d"
+  "engines_equivalence_test"
+  "engines_equivalence_test.pdb"
+  "engines_equivalence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engines_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hb_graph_test.dir/hb/graph_test.cc.o"
+  "CMakeFiles/hb_graph_test.dir/hb/graph_test.cc.o.d"
+  "hb_graph_test"
+  "hb_graph_test.pdb"
+  "hb_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hb_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

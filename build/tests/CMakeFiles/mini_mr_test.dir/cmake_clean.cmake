@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_mr_test.dir/apps/mini_mr_test.cc.o"
+  "CMakeFiles/mini_mr_test.dir/apps/mini_mr_test.cc.o.d"
+  "mini_mr_test"
+  "mini_mr_test.pdb"
+  "mini_mr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_mr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_systems_test.dir/apps/mini_systems_test.cc.o"
+  "CMakeFiles/mini_systems_test.dir/apps/mini_systems_test.cc.o.d"
+  "mini_systems_test"
+  "mini_systems_test.pdb"
+  "mini_systems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_systems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

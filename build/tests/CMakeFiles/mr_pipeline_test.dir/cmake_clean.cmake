@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mr_pipeline_test.dir/integration/mr_pipeline_test.cc.o"
+  "CMakeFiles/mr_pipeline_test.dir/integration/mr_pipeline_test.cc.o.d"
+  "mr_pipeline_test"
+  "mr_pipeline_test.pdb"
+  "mr_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mr_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

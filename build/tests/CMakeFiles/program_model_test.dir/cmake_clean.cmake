@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_model_test.dir/model/program_model_test.cc.o"
+  "CMakeFiles/program_model_test.dir/model/program_model_test.cc.o.d"
+  "program_model_test"
+  "program_model_test.pdb"
+  "program_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/race_detect_test.dir/detect/race_detect_test.cc.o"
+  "CMakeFiles/race_detect_test.dir/detect/race_detect_test.cc.o.d"
+  "race_detect_test"
+  "race_detect_test.pdb"
+  "race_detect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/race_detect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

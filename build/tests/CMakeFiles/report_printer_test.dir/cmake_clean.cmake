@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_printer_test.dir/dcatch/report_printer_test.cc.o"
+  "CMakeFiles/report_printer_test.dir/dcatch/report_printer_test.cc.o.d"
+  "report_printer_test"
+  "report_printer_test.pdb"
+  "report_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/hb_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/race_detect_test[1]_include.cmake")
+include("/root/repo/build/tests/program_model_test[1]_include.cmake")
+include("/root/repo/build/tests/impact_test[1]_include.cmake")
+include("/root/repo/build/tests/mr_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/all_benchmarks_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/engines_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/chunked_test[1]_include.cmake")
+include("/root/repo/build/tests/pull_test[1]_include.cmake")
+include("/root/repo/build/tests/placement_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")
+include("/root/repo/build/tests/json_test[1]_include.cmake")
+include("/root/repo/build/tests/report_printer_test[1]_include.cmake")
+include("/root/repo/build/tests/coord_test[1]_include.cmake")
+include("/root/repo/build/tests/controller_test[1]_include.cmake")
+include("/root/repo/build/tests/mini_mr_test[1]_include.cmake")
+include("/root/repo/build/tests/mini_systems_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_options_test[1]_include.cmake")

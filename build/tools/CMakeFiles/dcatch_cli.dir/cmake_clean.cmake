@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcatch_cli.dir/dcatch_cli.cc.o"
+  "CMakeFiles/dcatch_cli.dir/dcatch_cli.cc.o.d"
+  "dcatch"
+  "dcatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcatch_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
