@@ -2,22 +2,30 @@
  * @file
  * Trace-analysis scalability (the Table 6 claim: "it scales well,
  * roughly linearly, with the trace size").  The MapReduce workload is
- * scaled by the number of submitted jobs; for each size the bench
- * reports trace records, HB-graph build+closure time, detection time,
- * and the per-record analysis cost — which should stay in the same
- * ballpark as the trace grows (closure is the quadratic-in-theory
- * term; at these densities the word-parallel bit sets keep it flat).
- * Detection of the known MR-3274 bug must hold at every scale.
+ * scaled by the number of submitted jobs, the HBase workload by the
+ * number of regions; for each size the bench analyses the same trace
+ * with both reachability engines — the chain-frontier decomposition
+ * DCatch adopts (section 3.2.2, Raychev et al.) and the dense
+ * bit-array baseline — and reports build+closure time, detection
+ * time, throughput, and the reachability memory footprint.  Detection
+ * of the known root-cause bug must hold at every scale on both
+ * engines, or the bench exits nonzero.
+ *
+ * Results are also written to BENCH_scaling.json for regression
+ * tracking (scripts/bench_regress.sh).
  */
 
 #include "apps/hbase/mini_hbase.hh"
 #include "apps/mapreduce/mini_mr.hh"
 #include "bench_common.hh"
+#include "common/json.hh"
 #include "common/util.hh"
 #include "detect/race_detect.hh"
 #include "hb/graph.hh"
 #include "runtime/sim.hh"
 
+#include <cstdio>
+#include <fstream>
 #include <functional>
 #include <vector>
 
@@ -25,11 +33,12 @@ int
 main()
 {
     using namespace dcatch;
-    bench::banner("Scaling", "trace analysis vs. workload size");
+    bench::banner("Scaling",
+                  "trace analysis vs. workload size, per engine");
 
-    bench::Table table({"Workload", "Scale", "Records", "Graph build",
-                        "Detect", "us/record", "Candidates",
-                        "bug found"});
+    bench::Table table({"Workload", "Scale", "Records", "Engine",
+                        "Graph build", "Detect", "us/record",
+                        "ReachBytes", "Candidates", "bug found"});
     std::string bug = detect::sitePair(apps::mr::kGetTaskRead,
                                        apps::mr::kUnregRemove);
     bool all_found = true;
@@ -41,7 +50,7 @@ main()
         std::string bugPair;
     };
     std::vector<Case> cases;
-    for (int jobs : {1, 2, 4, 8, 16})
+    for (int jobs : {1, 2, 4, 8, 16, 32, 64, 128, 256})
         cases.push_back({"MR jobs", jobs,
                          [jobs](sim::Simulation &sim) {
                              apps::mr::install(
@@ -50,7 +59,7 @@ main()
                          bug});
     std::string hb_bug = detect::sitePair(apps::hb::kAlterEmpty,
                                           apps::hb::kSplitPut);
-    for (int regions : {1, 2, 4, 8})
+    for (int regions : {1, 2, 4, 8, 16, 32})
         cases.push_back(
             {"HB regions", regions,
              [regions](sim::Simulation &sim) {
@@ -59,46 +68,136 @@ main()
              },
              hb_bug});
 
+    Json json_cases = Json::array();
+    // Memory ratio and build speedup at the largest trace (acceptance
+    // check: the chain engine must be >= 5x smaller than dense there).
+    std::size_t largest_records = 0;
+    double largest_ratio = 0;
+    double largest_chain_build = 0, largest_dense_build = 0;
+
     for (const Case &c : cases) {
         sim::SimConfig cfg;
-        cfg.maxSteps = 10'000'000;
+        cfg.maxSteps = 100'000'000;
         sim::Simulation sim(cfg);
         c.build(sim);
         sim::RunResult run = sim.run();
         if (run.failed())
             std::printf("!! %s scale %d failed: %s\n", c.name, c.scale,
                         run.summary().c_str());
-
-        Stopwatch watch;
-        hb::HbGraph graph(sim.tracer().store());
-        double build_ms = watch.milliseconds();
-
-        watch.reset();
-        detect::RaceDetector detector;
-        auto candidates = detector.detect(graph);
-        double detect_ms = watch.milliseconds();
-
-        bool found = false;
-        for (const auto &cand : candidates)
-            if (cand.sitePairKey() == c.bugPair)
-                found = true;
-        all_found &= found;
-
         std::size_t records = sim.tracer().store().totalRecords();
-        table.row({c.name, strprintf("%d", c.scale),
-                   strprintf("%zu", records),
-                   strprintf("%.2fms", build_ms),
-                   strprintf("%.2fms", detect_ms),
-                   strprintf("%.2f",
-                             (build_ms + detect_ms) * 1e3 /
-                                 static_cast<double>(records)),
-                   strprintf("%zu", candidates.size()),
-                   found ? "yes" : "NO"});
+
+        Json entry = Json::object();
+        entry.set("workload", Json::str(c.name))
+            .set("scale", Json::num(static_cast<std::int64_t>(c.scale)))
+            .set("records",
+                 Json::num(static_cast<std::int64_t>(records)));
+        Json engines = Json::object();
+
+        double build_by_engine[2] = {0, 0};
+        std::size_t bytes_by_engine[2] = {0, 0};
+        for (hb::HbGraph::Engine engine :
+             {hb::HbGraph::Engine::ChainFrontier,
+              hb::HbGraph::Engine::Dense}) {
+            hb::HbGraph::Options graph_options;
+            graph_options.engine = engine;
+            Stopwatch watch;
+            hb::HbGraph graph(sim.tracer().store(), graph_options);
+            double build_ms = watch.milliseconds();
+
+            watch.reset();
+            detect::RaceDetector detector;
+            auto candidates = detector.detect(graph);
+            double detect_ms = watch.milliseconds();
+
+            bool found = false;
+            for (const auto &cand : candidates)
+                if (cand.sitePairKey() == c.bugPair)
+                    found = true;
+            all_found &= found;
+
+            double total_sec = (build_ms + detect_ms) / 1e3;
+            double records_per_sec =
+                total_sec > 0
+                    ? static_cast<double>(records) / total_sec
+                    : 0;
+            bool dense = engine == hb::HbGraph::Engine::Dense;
+            build_by_engine[dense ? 1 : 0] = build_ms;
+            bytes_by_engine[dense ? 1 : 0] = graph.reachBytes();
+
+            table.row({c.name, strprintf("%d", c.scale),
+                       strprintf("%zu", records), graph.engineName(),
+                       strprintf("%.2fms", build_ms),
+                       strprintf("%.2fms", detect_ms),
+                       strprintf("%.2f",
+                                 (build_ms + detect_ms) * 1e3 /
+                                     static_cast<double>(records)),
+                       strprintf("%zu", graph.reachBytes()),
+                       strprintf("%zu", candidates.size()),
+                       found ? "yes" : "NO"});
+
+            Json stats = Json::object();
+            stats.set("buildMs", Json::num(build_ms))
+                .set("detectMs", Json::num(detect_ms))
+                .set("recordsPerSec", Json::num(records_per_sec))
+                .set("reachBytes",
+                     Json::num(static_cast<std::int64_t>(
+                         graph.reachBytes())))
+                .set("chains",
+                     Json::num(static_cast<std::int64_t>(
+                         graph.chainCount())))
+                .set("frontierRows",
+                     Json::num(static_cast<std::int64_t>(
+                         graph.frontierRows())))
+                .set("incrementalUpdates",
+                     Json::num(static_cast<std::int64_t>(
+                         graph.incrementalUpdates())))
+                .set("candidates",
+                     Json::num(static_cast<std::int64_t>(
+                         candidates.size())))
+                .set("bugFound", Json::boolean(found));
+            engines.set(graph.engineName(), std::move(stats));
+        }
+        entry.set("engines", std::move(engines));
+        json_cases.push(std::move(entry));
+
+        if (records > largest_records && bytes_by_engine[0] > 0) {
+            largest_records = records;
+            largest_ratio = static_cast<double>(bytes_by_engine[1]) /
+                            static_cast<double>(bytes_by_engine[0]);
+            largest_chain_build = build_by_engine[0];
+            largest_dense_build = build_by_engine[1];
+        }
     }
     table.print();
-    std::printf("Shape check: analysis cost grows smoothly with trace "
-                "size and the root-cause bug is found at every scale — "
-                "%s.\n",
-                all_found ? "holds" : "VIOLATED");
+
+    bool chain_smaller = largest_ratio >= 5.0;
+    bool chain_faster = largest_chain_build < largest_dense_build;
+    std::printf(
+        "Shape check: analysis cost grows smoothly with trace size, "
+        "the root-cause bug is found at every scale on both engines — "
+        "%s; at the largest trace (%zu records) the chain engine uses "
+        "%.1fx less reachability memory than dense (build %.2fms vs "
+        "%.2fms).\n",
+        all_found ? "holds" : "VIOLATED", largest_records,
+        largest_ratio, largest_chain_build, largest_dense_build);
+
+    Json root = Json::object();
+    root.set("bench", Json::str("scaling"))
+        .set("cases", std::move(json_cases));
+    Json largest = Json::object();
+    largest
+        .set("records",
+             Json::num(static_cast<std::int64_t>(largest_records)))
+        .set("denseOverChainMemoryRatio", Json::num(largest_ratio))
+        .set("chainBuildMs", Json::num(largest_chain_build))
+        .set("denseBuildMs", Json::num(largest_dense_build))
+        .set("chainSmaller5x", Json::boolean(chain_smaller))
+        .set("chainBuildFaster", Json::boolean(chain_faster));
+    root.set("largestTrace", std::move(largest))
+        .set("allBugsFound", Json::boolean(all_found));
+    std::ofstream out("BENCH_scaling.json");
+    out << root.dump() << "\n";
+    std::printf("wrote BENCH_scaling.json\n");
+
     return all_found ? 0 : 1;
 }

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Performance-regression gate for the HB reachability engines.
+#
+# Builds the Release tree, runs the scaling bench (which analyses the
+# MR and HBase workloads at growing sizes under both the chain-frontier
+# and dense engines), and then verifies BENCH_scaling.json:
+#
+#   1. the known root-cause bug (MR-3274 / HB-4539 site pairs) is
+#      detected at every scale on BOTH engines;
+#   2. at the largest trace the chain engine uses >= 5x less
+#      reachability memory than the dense baseline;
+#   3. the chain engine's graph build+closure is not slower than the
+#      dense baseline there.
+#
+# Exits nonzero on any violation, so CI can run it as a gate.
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build-release}"
+jobs="${JOBS:-$(nproc)}"
+
+echo "== configure + build (Release) in $build"
+cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build" -j "$jobs" --target scaling >/dev/null
+
+echo "== run scaling bench"
+cd "$build"
+./bench/scaling
+
+json="$build/BENCH_scaling.json"
+[ -f "$json" ] || { echo "FAIL: $json was not written" >&2; exit 1; }
+
+echo "== verify $json"
+python3 - "$json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+failures = []
+
+if not data.get("allBugsFound"):
+    for case in data.get("cases", []):
+        for name, stats in case.get("engines", {}).items():
+            if not stats.get("bugFound"):
+                failures.append(
+                    "root-cause bug lost: %s scale %s engine %s"
+                    % (case["workload"], case["scale"], name))
+    if not failures:
+        failures.append("allBugsFound is false")
+
+largest = data.get("largestTrace", {})
+ratio = largest.get("denseOverChainMemoryRatio", 0.0)
+if not largest.get("chainSmaller5x") or ratio < 5.0:
+    failures.append(
+        "memory regression: dense/chain ratio %.2fx < 5x at largest "
+        "trace (%s records)" % (ratio, largest.get("records")))
+if not largest.get("chainBuildFaster"):
+    failures.append(
+        "build-time regression: chain %.2fms vs dense %.2fms at "
+        "largest trace" % (largest.get("chainBuildMs", -1),
+                           largest.get("denseBuildMs", -1)))
+
+if failures:
+    print("BENCH REGRESSION:")
+    for f in failures:
+        print("  - " + f)
+    sys.exit(1)
+
+print("ok: bug found at every scale on both engines; "
+      "chain engine %.1fx smaller and faster to build "
+      "(%.2fms vs %.2fms) at the largest trace (%s records)"
+      % (ratio, largest["chainBuildMs"], largest["denseBuildMs"],
+         largest["records"]))
+EOF

@@ -1,0 +1,544 @@
+/**
+ * @file
+ * Chain-decomposed reachability index for happens-before DAGs.
+ *
+ * This is the EventRacer-style representation DCatch cites in section
+ * 3.2.2 (Raychev et al.): instead of one dense ancestor bit array per
+ * vertex (O(V^2) bytes), the vertex set is decomposed into *chains* —
+ * subsets totally ordered by happens-before, positions increasing
+ * with topological index — and each vertex stores a compact frontier:
+ * for every chain that contains at least one ancestor, the highest
+ * reachable position in that chain.  A reachability query is then a
+ * chain compare (same chain) or one binary search in a small sorted
+ * frontier row.
+ *
+ * Three engineering devices keep the footprint near-linear in V:
+ *
+ *  1. **Sparse rows.**  A frontier row holds (chain, limit) entries
+ *     only for chains actually reached; in event-driven traces one
+ *     handler's ancestor cone spans few chains, so rows stay short
+ *     even when the chain count grows with the trace.
+ *
+ *  2. **Row sharing.**  A vertex whose only predecessor is its chain
+ *     predecessor has exactly its predecessor's ancestors outside its
+ *     own chain, so it aliases the predecessor's row instead of
+ *     materialising one.  Rows exist only at "join" vertices (>= 2
+ *     predecessors) and chain heads.  The own-chain entry of a shared
+ *     row is deliberately never consulted (same-chain queries compare
+ *     positions), which is what makes the aliasing sound.
+ *
+ *  3. **Incremental closure.**  Adding an edge u -> v merges u's
+ *     frontier into v and propagates forward along the *affected
+ *     cone* only (monotone worklist in topological order), instead of
+ *     recomputing all V rows — this turns the Rule-Eserial fixpoint
+ *     and pull-edge batches from O(iterations * V^2) into near-linear
+ *     work.
+ *
+ * After derived edges (Eserial) have been added, repack() re-runs the
+ * chain decomposition greedily against the now-complete order: handler
+ * instances serialized by Eserial collapse into shared chains, which
+ * shrinks both the chain count and every frontier row.
+ *
+ * The index is generic over any DAG given as predecessor lists whose
+ * edges all point forward in index order (index order == one valid
+ * topological order), which is exactly the HB-graph invariant.
+ */
+
+#ifndef DCATCH_COMMON_CHAIN_FRONTIER_HH
+#define DCATCH_COMMON_CHAIN_FRONTIER_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dcatch {
+
+/** Chain-decomposed sparse-frontier reachability index. */
+class ChainFrontierIndex
+{
+  public:
+    /** One frontier entry: highest reached position (+1) in a chain. */
+    struct Entry
+    {
+        std::uint32_t chain; ///< chain id
+        std::uint32_t limit; ///< max ancestor position in chain, + 1
+    };
+
+    using Row = std::vector<Entry>;
+
+    ChainFrontierIndex() = default;
+
+    /**
+     * Build over a DAG in topological (index) order.
+     * @param preds in-edge lists; every edge points forward in index
+     *              order; the referenced object must outlive the index
+     *              (addEdge/repack re-read it)
+     * @param chainHint per-vertex chain predecessor (e.g. the HB
+     *              graph's program-order predecessor), -1 to open a
+     *              new chain
+     */
+    void
+    build(const std::vector<std::vector<int>> &preds,
+          const std::vector<int> &chainHint)
+    {
+        n_ = preds.size();
+        succs_.assign(n_, {});
+        for (std::size_t v = 0; v < n_; ++v)
+            for (int u : preds[v])
+                succs_[static_cast<std::size_t>(u)].push_back(
+                    static_cast<int>(v));
+
+        chainOf_.assign(n_, 0);
+        posOf_.assign(n_, 0);
+        chainPred_.assign(chainHint.begin(), chainHint.end());
+        std::uint32_t chains = 0;
+        for (std::size_t v = 0; v < n_; ++v) {
+            int p = chainPred_[v];
+            if (p >= 0) {
+                chainOf_[v] = chainOf_[static_cast<std::size_t>(p)];
+                posOf_[v] = posOf_[static_cast<std::size_t>(p)] + 1;
+            } else {
+                chainOf_[v] = chains++;
+                posOf_[v] = 0;
+            }
+        }
+        chainCount_ = chains;
+        rebuildRows(preds);
+    }
+
+    /** Does vertex @p u strictly happen before vertex @p v? */
+    bool
+    reaches(int u, int v) const
+    {
+        if (u < 0 || v < 0 || u >= static_cast<int>(n_) ||
+            v >= static_cast<int>(n_))
+            return false;
+        if (u >= v)
+            return false; // edges only point forward in index order
+        auto su = static_cast<std::size_t>(u);
+        auto sv = static_cast<std::size_t>(v);
+        if (chainOf_[su] == chainOf_[sv])
+            return posOf_[su] < posOf_[sv];
+        const Row &row = rows_[static_cast<std::size_t>(rowOf_[sv])];
+        std::uint32_t limit = limitIn(row, chainOf_[su]);
+        return limit > posOf_[su];
+    }
+
+    /**
+     * Incrementally incorporate a new edge u -> v (u < v).  The
+     * caller must have appended u to preds[v] already.  Propagates
+     * frontiers forward along the affected cone only.
+     */
+    void
+    addEdge(int u, int v, const std::vector<std::vector<int>> &preds)
+    {
+        auto su = static_cast<std::size_t>(u);
+        auto sv = static_cast<std::size_t>(v);
+        succs_[su].push_back(v);
+        ++incrementalEdges_;
+
+        // v gains an ancestor set that its chain predecessor does not
+        // have, so it can no longer alias a shared row.
+        if (rowOwner_[static_cast<std::size_t>(rowOf_[sv])] != v)
+            forkRow(v);
+
+        Row &dst = rows_[static_cast<std::size_t>(rowOf_[sv])];
+        bool changed =
+            unionMax(dst, rows_[static_cast<std::size_t>(rowOf_[su])]);
+        changed |= raise(dst, chainOf_[su], posOf_[su] + 1);
+        (void)preds;
+        if (changed)
+            propagateFrom(v);
+    }
+
+    /**
+     * Fold edge u -> v into v's row only, without propagating to the
+     * downstream cone.  Queries against v (and the chain run aliasing
+     * v's row) are exact immediately; other rows become stale until
+     * refresh().  This is the batch mode for derived-edge fixpoints:
+     * each pass folds its edges in O(row) apiece and one refresh per
+     * pass re-closes everything — instead of paying an O(cone)
+     * propagation per edge.  A stale row can only under-approximate,
+     * which at worst makes the fixpoint add a redundant (implied)
+     * edge, never miss one.
+     *
+     * The merge is pushed through v's own (short) chain run so that
+     * queries against the run's tail — exactly what the Eserial
+     * fixpoint asks about the enclosing handler segment — stay exact
+     * even when a mid-segment join vertex owns a private row.
+     */
+    void
+    addEdgeDeferred(int u, int v)
+    {
+        auto su = static_cast<std::size_t>(u);
+        auto sv = static_cast<std::size_t>(v);
+        succs_[su].push_back(v);
+        ++incrementalEdges_;
+        if (rowOwner_[static_cast<std::size_t>(rowOf_[sv])] != v)
+            forkRow(v);
+        Row &dst = rows_[static_cast<std::size_t>(rowOf_[sv])];
+        unionMax(dst, rows_[static_cast<std::size_t>(rowOf_[su])]);
+        raise(dst, chainOf_[su], posOf_[su] + 1);
+
+        // Chain-run propagation: follow v's chain successors, merging
+        // into each privately-owned row met along the run (aliased
+        // vertices see the update for free).
+        int cur = v;
+        for (;;) {
+            int next = -1;
+            auto sc = static_cast<std::size_t>(cur);
+            for (int s : succs_[sc]) {
+                auto ss = static_cast<std::size_t>(s);
+                if (chainOf_[ss] == chainOf_[sc] &&
+                    posOf_[ss] == posOf_[sc] + 1) {
+                    next = s;
+                    break;
+                }
+            }
+            if (next < 0)
+                break;
+            auto sn = static_cast<std::size_t>(next);
+            if (rowOf_[sn] != rowOf_[static_cast<std::size_t>(cur)])
+                unionMax(rows_[static_cast<std::size_t>(rowOf_[sn])],
+                         rows_[static_cast<std::size_t>(
+                             rowOf_[static_cast<std::size_t>(cur)])]);
+            cur = next;
+        }
+    }
+
+    /**
+     * Recompute all rows from the (updated) predecessor lists in one
+     * topological sweep, restoring full closure after a batch of
+     * addEdgeDeferred() calls.
+     */
+    void
+    refresh(const std::vector<std::vector<int>> &preds)
+    {
+        rebuildRows(preds);
+    }
+
+    /**
+     * Re-run the greedy chain decomposition against the current
+     * (complete) reachability and rebuild all rows.  Call after the
+     * derived-edge fixpoint has converged: vertices serialized by
+     * derived edges collapse into shared chains, shrinking both the
+     * chain count and every frontier row.
+     */
+    void
+    repack(const std::vector<std::vector<int>> &preds)
+    {
+        std::vector<std::uint32_t> chain(n_, 0), pos(n_, 0);
+        std::vector<int> pred(n_, -1);
+        std::vector<int> tails; // current tail vertex per new chain
+        for (std::size_t v = 0; v < n_; ++v) {
+            int chosen = -1;
+            // Prefer continuing the chain of a predecessor that is a
+            // current tail (covers program order and derived serial
+            // edges alike).
+            for (int u : preds[v]) {
+                int c = static_cast<int>(chain[static_cast<std::size_t>(u)]);
+                if (tails[static_cast<std::size_t>(c)] == u) {
+                    chosen = c;
+                    break;
+                }
+            }
+            // Otherwise any chain whose tail is an ancestor extends.
+            if (chosen < 0)
+                for (std::size_t c = 0; c < tails.size(); ++c)
+                    if (reaches(tails[c], static_cast<int>(v))) {
+                        chosen = static_cast<int>(c);
+                        break;
+                    }
+            if (chosen < 0) {
+                chosen = static_cast<int>(tails.size());
+                tails.push_back(static_cast<int>(v));
+                pred[v] = -1;
+                pos[v] = 0;
+            } else {
+                int tail = tails[static_cast<std::size_t>(chosen)];
+                pred[v] = tail;
+                pos[v] = pos[static_cast<std::size_t>(tail)] + 1;
+                tails[static_cast<std::size_t>(chosen)] =
+                    static_cast<int>(v);
+            }
+            chain[v] = static_cast<std::uint32_t>(chosen);
+        }
+        chainOf_ = std::move(chain);
+        posOf_ = std::move(pos);
+        chainPred_ = std::move(pred);
+        chainCount_ = static_cast<std::uint32_t>(tails.size());
+        rebuildRows(preds);
+        ++repacks_;
+    }
+
+    /// @{ @name Introspection for stats, benches and budget checks
+    std::size_t size() const { return n_; }
+    std::size_t chainCount() const { return chainCount_; }
+
+    /** Chain id of @p v (stable until repack()). */
+    std::uint32_t
+    chainIdOf(int v) const
+    {
+        return chainOf_[static_cast<std::size_t>(v)];
+    }
+
+    /** Position of @p v within its chain (stable until repack()). */
+    std::uint32_t
+    posInChain(int v) const
+    {
+        return posOf_[static_cast<std::size_t>(v)];
+    }
+
+    /**
+     * The frontier row @p v resolves to (possibly shared).  Entries
+     * are sorted by chain; the entry for v's own chain, if present,
+     * is stale by design and must be ignored by callers.
+     */
+    const Row &
+    frontierRow(int v) const
+    {
+        return rows_[static_cast<std::size_t>(
+            rowOf_[static_cast<std::size_t>(v)])];
+    }
+    std::size_t rowCount() const { return rows_.size(); }
+    std::size_t repacks() const { return repacks_; }
+
+    /** Edges integrated incrementally (Eserial fixpoint + pull). */
+    std::size_t incrementalEdges() const { return incrementalEdges_; }
+
+    /** Total frontier entries across all materialised rows. */
+    std::size_t
+    entryCount() const
+    {
+        std::size_t entries = 0;
+        for (const Row &row : rows_)
+            entries += row.size();
+        return entries;
+    }
+
+    /**
+     * Heap footprint of the reachability representation: frontier
+     * entries, row headers, the per-vertex chain/pos/row arrays, and
+     * the successor adjacency the incremental propagation needs.
+     */
+    std::size_t
+    bytes() const
+    {
+        std::size_t total = entryCount() * sizeof(Entry);
+        total += rows_.size() * (sizeof(Row) + sizeof(int));
+        total += n_ * (sizeof(std::uint32_t) * 2 + sizeof(std::int32_t));
+        for (const std::vector<int> &s : succs_)
+            total += s.size() * sizeof(int);
+        return total;
+    }
+    /// @}
+
+  private:
+    /** Frontier limit of @p chain in @p row (0 when absent). */
+    static std::uint32_t
+    limitIn(const Row &row, std::uint32_t chain)
+    {
+        auto it = std::lower_bound(
+            row.begin(), row.end(), chain,
+            [](const Entry &e, std::uint32_t c) { return e.chain < c; });
+        return (it != row.end() && it->chain == chain) ? it->limit : 0;
+    }
+
+    /**
+     * Element-wise max of @p src into @p dst (both sorted by chain).
+     * @return true when any entry of dst changed
+     */
+    static bool
+    unionMax(Row &dst, const Row &src)
+    {
+        if (src.empty())
+            return false;
+        if (dst.empty()) {
+            dst = src;
+            return true;
+        }
+        // Change-detection prescan: during worklist propagation most
+        // merges are no-ops (the destination already dominates), so
+        // avoid materialising the merged row unless something changes.
+        {
+            std::size_t i = 0, j = 0;
+            bool changed = false;
+            while (j < src.size()) {
+                if (i == dst.size() || src[j].chain < dst[i].chain) {
+                    changed = true;
+                    break;
+                }
+                if (dst[i].chain < src[j].chain) {
+                    ++i;
+                } else {
+                    if (src[j].limit > dst[i].limit) {
+                        changed = true;
+                        break;
+                    }
+                    ++i;
+                    ++j;
+                }
+            }
+            if (!changed)
+                return false;
+        }
+        Row out;
+        out.reserve(dst.size() + src.size());
+        std::size_t i = 0, j = 0;
+        while (i < dst.size() || j < src.size()) {
+            if (j == src.size() ||
+                (i < dst.size() && dst[i].chain < src[j].chain)) {
+                out.push_back(dst[i++]);
+            } else if (i == dst.size() || src[j].chain < dst[i].chain) {
+                out.push_back(src[j++]);
+            } else {
+                Entry e = dst[i++];
+                if (src[j].limit > e.limit)
+                    e.limit = src[j].limit;
+                out.push_back(e);
+                ++j;
+            }
+        }
+        dst = std::move(out);
+        return true;
+    }
+
+    /** Raise @p chain's limit in @p row to at least @p limit. */
+    static bool
+    raise(Row &row, std::uint32_t chain, std::uint32_t limit)
+    {
+        auto it = std::lower_bound(
+            row.begin(), row.end(), chain,
+            [](const Entry &e, std::uint32_t c) { return e.chain < c; });
+        if (it != row.end() && it->chain == chain) {
+            if (it->limit >= limit)
+                return false;
+            it->limit = limit;
+            return true;
+        }
+        row.insert(it, Entry{chain, limit});
+        return true;
+    }
+
+    /**
+     * Materialise all rows from scratch in topological order,
+     * aliasing a vertex to its chain predecessor's row when that
+     * predecessor is its only in-edge.
+     */
+    void
+    rebuildRows(const std::vector<std::vector<int>> &preds)
+    {
+        rows_.clear();
+        rowOwner_.clear();
+        rowOf_.assign(n_, -1);
+        for (std::size_t v = 0; v < n_; ++v) {
+            const std::vector<int> &pv = preds[v];
+            if (pv.size() == 1 && pv[0] == chainPred_[v]) {
+                rowOf_[v] = rowOf_[static_cast<std::size_t>(pv[0])];
+                continue;
+            }
+            Row row;
+            for (int u : pv) {
+                auto su = static_cast<std::size_t>(u);
+                unionMax(row,
+                         rows_[static_cast<std::size_t>(rowOf_[su])]);
+                raise(row, chainOf_[su], posOf_[su] + 1);
+            }
+            rowOf_[v] = static_cast<std::int32_t>(rows_.size());
+            rowOwner_.push_back(static_cast<int>(v));
+            rows_.push_back(std::move(row));
+        }
+    }
+
+    /**
+     * Give @p v a private copy of its (currently shared) row and move
+     * the sharing chain descendants of v over to the copy, so updates
+     * to v reach exactly v and its chain suffix.
+     */
+    void
+    forkRow(int v)
+    {
+        auto sv = static_cast<std::size_t>(v);
+        std::int32_t old = rowOf_[sv];
+        auto fresh = static_cast<std::int32_t>(rows_.size());
+        rows_.push_back(rows_[static_cast<std::size_t>(old)]);
+        rowOwner_.push_back(v);
+        rowOf_[sv] = fresh;
+        int cur = v;
+        for (;;) {
+            int next = -1;
+            auto sc = static_cast<std::size_t>(cur);
+            for (int s : succs_[sc]) {
+                auto ss = static_cast<std::size_t>(s);
+                if (rowOf_[ss] == old && chainOf_[ss] == chainOf_[sc] &&
+                    posOf_[ss] == posOf_[sc] + 1) {
+                    next = s;
+                    break;
+                }
+            }
+            if (next < 0)
+                break;
+            rowOf_[static_cast<std::size_t>(next)] = fresh;
+            cur = next;
+        }
+    }
+
+    /** Push @p from's frontier through the affected cone. */
+    void
+    propagateFrom(int from)
+    {
+        std::priority_queue<int, std::vector<int>, std::greater<int>> pq;
+        // queued_ is self-clearing (set on push, cleared on pop), so
+        // the scratch buffer is reusable across addEdge calls.
+        std::vector<bool> &queued = queued_;
+        queued.resize(n_, false);
+        pq.push(from);
+        queued[static_cast<std::size_t>(from)] = true;
+        while (!pq.empty()) {
+            int v = pq.top();
+            pq.pop();
+            auto sv = static_cast<std::size_t>(v);
+            queued[sv] = false;
+            for (int s : succs_[sv]) {
+                auto ss = static_cast<std::size_t>(s);
+                bool changed;
+                if (rowOf_[ss] == rowOf_[sv]) {
+                    // s aliases v's row: content already updated, but
+                    // s's own successors still need the news.
+                    changed = true;
+                } else {
+                    Row &dst =
+                        rows_[static_cast<std::size_t>(rowOf_[ss])];
+                    changed = unionMax(
+                        dst,
+                        rows_[static_cast<std::size_t>(rowOf_[sv])]);
+                    changed |= raise(dst, chainOf_[sv], posOf_[sv] + 1);
+                }
+                if (changed && !queued[ss]) {
+                    queued[ss] = true;
+                    pq.push(s);
+                }
+            }
+        }
+    }
+
+    std::size_t n_ = 0;
+    std::uint32_t chainCount_ = 0;
+    std::vector<std::uint32_t> chainOf_; ///< chain id per vertex
+    std::vector<std::uint32_t> posOf_;   ///< position within chain
+    std::vector<int> chainPred_;         ///< chain predecessor, -1 at head
+    std::vector<std::int32_t> rowOf_;    ///< row index per vertex
+    std::vector<Row> rows_;              ///< materialised frontier rows
+    std::vector<int> rowOwner_;          ///< owning vertex per row
+    std::vector<std::vector<int>> succs_; ///< out-edges (propagation)
+    std::vector<bool> queued_; ///< propagation scratch (self-clearing)
+    std::size_t incrementalEdges_ = 0;
+    std::size_t repacks_ = 0;
+};
+
+} // namespace dcatch
+
+#endif // DCATCH_COMMON_CHAIN_FRONTIER_HH

@@ -54,12 +54,25 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
     hb::HbGraph::Options graph_options;
     graph_options.rules = options.rules;
     graph_options.memoryBudgetBytes = options.memoryBudgetBytes;
+    graph_options.engine = options.hbEngine;
     hb::HbGraph graph(result.monitoredTrace, graph_options);
+    auto snapshot_hb = [&result, &graph]() {
+        result.metrics.hbEngine = graph.engineName();
+        result.metrics.hbVertices = graph.size();
+        result.metrics.hbChains = graph.chainCount();
+        result.metrics.hbFrontierRows = graph.frontierRows();
+        result.metrics.hbReachBytes = graph.reachBytes();
+        result.metrics.hbIncrementalUpdates = graph.incrementalUpdates();
+        result.metrics.hbClosureRuns = graph.closureRuns();
+    };
     if (graph.oom()) {
         result.analysisOom = true;
         result.metrics.analysisSec = watch.seconds();
+        result.metrics.hbEngine = graph.engineName();
+        result.metrics.hbVertices = graph.size();
         return result;
     }
+    snapshot_hb();
     detect::RaceDetector detector;
     result.afterTa = detector.detect(graph);
     result.metrics.analysisSec = watch.seconds();
@@ -80,8 +93,10 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
     if (options.loopAnalysis) {
         hb::PullAnalyzer analyzer(model, bench.build, bench.config);
         hb::PullResult pull = analyzer.analyze(graph, result.afterSp);
-        if (!pull.edges.empty())
+        if (!pull.edges.empty()) {
             graph.addEdges(pull.edges);
+            snapshot_hb(); // pull edges fold in incrementally
+        }
         // Re-detect with the extra edges, re-prune, then drop pairs
         // recognised as synchronization.
         std::vector<detect::Candidate> redetected =

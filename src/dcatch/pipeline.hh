@@ -40,6 +40,8 @@ struct PipelineOptions
     hb::RuleSet rules = hb::RuleSet::all(); ///< Table 9 ablation knob
     prune::FailureSpec failureSpec; ///< section 4.1 failure classes
     std::size_t memoryBudgetBytes = 512ull << 20;
+    /// HB reachability engine (chain-frontier default; dense baseline)
+    hb::HbGraph::Engine hbEngine = hb::HbGraph::Engine::ChainFrontier;
 };
 
 /** Wall-clock and volume metrics per pipeline phase (Tables 6-8). */
@@ -54,6 +56,16 @@ struct PhaseMetrics
     std::size_t traceBytes = 0;
     std::size_t traceRecords = 0;
     std::map<trace::RecordCategory, std::size_t> recordBreakdown;
+
+    /// @{ @name HB reachability engine statistics (section 3.2.2)
+    std::string hbEngine;              ///< "chain" or "dense"
+    std::size_t hbVertices = 0;        ///< HB graph vertices
+    std::size_t hbChains = 0;          ///< chains in the decomposition
+    std::size_t hbFrontierRows = 0;    ///< materialised frontier rows
+    std::size_t hbReachBytes = 0;      ///< reachability representation
+    std::size_t hbIncrementalUpdates = 0; ///< incrementally folded edges
+    std::size_t hbClosureRuns = 0;     ///< full re-closures (dense)
+    /// @}
 };
 
 /** Everything the pipeline produced. */

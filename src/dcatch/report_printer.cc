@@ -105,6 +105,14 @@ renderReport(const apps::Benchmark &bench, const PipelineResult &result,
             m.baseSec * 1e3, m.tracingSec * 1e3, m.traceRecords,
             m.traceBytes, m.analysisSec * 1e3, m.pruningSec * 1e3,
             m.loopSec * 1e3, m.triggerSec * 1e3);
+        if (!m.hbEngine.empty())
+            out += strprintf(
+                "hb engine: %s (%zu vertices, %zu chains, %zu rows, "
+                "%zu reach bytes, %zu incremental edges, %zu "
+                "closures)\n",
+                m.hbEngine.c_str(), m.hbVertices, m.hbChains,
+                m.hbFrontierRows, m.hbReachBytes,
+                m.hbIncrementalUpdates, m.hbClosureRuns);
     }
     return out;
 }
@@ -184,6 +192,29 @@ reportToJson(const apps::Benchmark &bench, const PipelineResult &result)
         .set("traceBytes",
              Json::num(static_cast<std::int64_t>(
                  result.metrics.traceBytes)));
+    if (!result.metrics.hbEngine.empty()) {
+        Json hb = Json::object();
+        hb.set("engine", Json::str(result.metrics.hbEngine))
+            .set("vertices",
+                 Json::num(static_cast<std::int64_t>(
+                     result.metrics.hbVertices)))
+            .set("chains",
+                 Json::num(static_cast<std::int64_t>(
+                     result.metrics.hbChains)))
+            .set("frontierRows",
+                 Json::num(static_cast<std::int64_t>(
+                     result.metrics.hbFrontierRows)))
+            .set("reachBytes",
+                 Json::num(static_cast<std::int64_t>(
+                     result.metrics.hbReachBytes)))
+            .set("incrementalUpdates",
+                 Json::num(static_cast<std::int64_t>(
+                     result.metrics.hbIncrementalUpdates)))
+            .set("closureRuns",
+                 Json::num(static_cast<std::int64_t>(
+                     result.metrics.hbClosureRuns)));
+        metrics.set("hb", std::move(hb));
+    }
     root.set("metrics", std::move(metrics));
     return root;
 }

@@ -1,40 +1,186 @@
 #include "detect/race_detect.hh"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
 
 namespace dcatch::detect {
+
+namespace {
+
+/**
+ * Intern pool mapping strings to dense ids.  Views reference the
+ * graph's record storage, which outlives the detector pass, so no
+ * copies are made.
+ */
+class Interner
+{
+  public:
+    std::uint32_t
+    id(std::string_view s)
+    {
+        auto [it, inserted] =
+            ids_.emplace(s, static_cast<std::uint32_t>(strings_.size()));
+        if (inserted)
+            strings_.push_back(s);
+        return it->second;
+    }
+
+    std::string_view str(std::uint32_t id) const { return strings_[id]; }
+
+  private:
+    std::unordered_map<std::string_view, std::uint32_t> ids_;
+    std::vector<std::string_view> strings_;
+};
+
+std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return h;
+}
+
+/** Group identity: (var, site, callstack, isWrite), all interned. */
+struct GroupKey
+{
+    std::uint32_t var, site, stack;
+    bool isWrite;
+
+    bool
+    operator==(const GroupKey &o) const
+    {
+        return var == o.var && site == o.site && stack == o.stack &&
+               isWrite == o.isWrite;
+    }
+};
+
+struct GroupKeyHash
+{
+    std::size_t
+    operator()(const GroupKey &k) const
+    {
+        std::uint64_t h = 0;
+        h = mix(h, k.var);
+        h = mix(h, k.site);
+        h = mix(h, k.stack);
+        h = mix(h, k.isWrite ? 1 : 0);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/** Dedup identity: var + canonically ordered (site, stack) pair —
+ *  the interned equivalent of Candidate::callstackKey(). */
+struct PairKey
+{
+    std::uint32_t var, site1, stack1, site2, stack2;
+
+    bool
+    operator==(const PairKey &o) const
+    {
+        return var == o.var && site1 == o.site1 && stack1 == o.stack1 &&
+               site2 == o.site2 && stack2 == o.stack2;
+    }
+};
+
+struct PairKeyHash
+{
+    std::size_t
+    operator()(const PairKey &k) const
+    {
+        std::uint64_t h = 0;
+        h = mix(h, k.var);
+        h = mix(h, k.site1);
+        h = mix(h, k.stack1);
+        h = mix(h, k.site2);
+        h = mix(h, k.stack2);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/** Lexicographic compare of x1+x2 vs y1+y2 without concatenating. */
+bool
+concatLess(std::string_view x1, std::string_view x2, std::string_view y1,
+           std::string_view y2)
+{
+    std::size_t xi = 0, yi = 0;
+    std::size_t xn = x1.size() + x2.size(), yn = y1.size() + y2.size();
+    for (; xi < xn && yi < yn; ++xi, ++yi) {
+        char xc = xi < x1.size() ? x1[xi] : x2[xi - x1.size()];
+        char yc = yi < y1.size() ? y1[yi] : y2[yi - y1.size()];
+        if (xc != yc)
+            return xc < yc;
+    }
+    return xn < yn;
+}
+
+/** Compare two (site, callstack) composites the way callstackKey()
+ *  orders them: lexicographically over site + "^" + callstack. */
+bool
+compositeLess(std::string_view sx, std::string_view cx,
+              std::string_view sy, std::string_view cy)
+{
+    auto at = [](std::string_view site, std::string_view stack,
+                 std::size_t k) {
+        if (k < site.size())
+            return site[k];
+        if (k == site.size())
+            return '^';
+        return stack[k - site.size() - 1];
+    };
+    std::size_t xn = sx.size() + 1 + cx.size();
+    std::size_t yn = sy.size() + 1 + cy.size();
+    for (std::size_t i = 0; i < xn && i < yn; ++i) {
+        char xc = at(sx, cx, i);
+        char yc = at(sy, cy, i);
+        if (xc != yc)
+            return xc < yc;
+    }
+    return xn < yn;
+}
+
+} // namespace
 
 std::vector<Candidate>
 RaceDetector::detect(const hb::HbGraph &graph) const
 {
-    // Group memory accesses by variable, then within a variable by
-    // (site, callstack, isWrite) so the dynamic-instance bound applies
-    // per static identity.
+    // Group memory accesses by (var, site, callstack, isWrite) so the
+    // dynamic-instance bound applies per static identity.  Interning
+    // the identifying strings makes group lookup one hash probe
+    // instead of a linear scan over string compares.
     struct Group
     {
-        std::string site, callstack;
+        std::uint32_t site, stack;
         bool isWrite = false;
         std::vector<int> instances; ///< vertex ids, seq order
     };
-    std::map<std::string, std::vector<Group>> by_var;
+
+    Interner strings;
+    std::vector<Group> groups;
+    std::unordered_map<GroupKey, std::size_t, GroupKeyHash> groupIndex;
+    // Group indices per var, groups and vars both in first-seen order
+    // (the final sort fixes the output order, and dedup keys never
+    // collide across vars, so any var order yields the same result).
+    std::vector<std::uint32_t> varOrder;
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> byVar;
 
     for (int v : graph.memAccesses()) {
         const trace::Record &rec = graph.record(v);
-        bool is_write = rec.type == trace::RecordType::MemWrite;
-        auto &groups = by_var[rec.id];
-        Group *group = nullptr;
-        for (Group &g : groups)
-            if (g.site == rec.site && g.callstack == rec.callstack &&
-                g.isWrite == is_write) {
-                group = &g;
-                break;
-            }
-        if (!group) {
-            groups.push_back(Group{rec.site, rec.callstack, is_write, {}});
-            group = &groups.back();
+        GroupKey key{strings.id(rec.id), strings.id(rec.site),
+                     strings.id(rec.callstack),
+                     rec.type == trace::RecordType::MemWrite};
+        auto [it, inserted] = groupIndex.emplace(key, groups.size());
+        if (inserted) {
+            groups.push_back(Group{key.site, key.stack, key.isWrite, {}});
+            auto [vit, newVar] =
+                byVar.emplace(key.var, std::vector<std::size_t>());
+            if (newVar)
+                varOrder.push_back(key.var);
+            vit->second.push_back(it->second);
         }
-        group->instances.push_back(v);
+        groups[it->second].instances.push_back(v);
     }
 
     auto make_access = [&](int v) {
@@ -50,20 +196,40 @@ RaceDetector::detect(const hb::HbGraph &graph) const
         return acc;
     };
 
-    std::map<std::string, Candidate> dedup;
+    std::vector<Candidate> out;
+    std::unordered_map<PairKey, std::size_t, PairKeyHash> dedup;
     int bound = options_.maxInstancesPerGroup;
 
-    for (auto &[var, groups] : by_var) {
-        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
-            for (std::size_t gj = gi; gj < groups.size(); ++gj) {
-                const Group &g1 = groups[gi];
-                const Group &g2 = groups[gj];
+    for (std::uint32_t var : varOrder) {
+        const std::vector<std::size_t> &varGroups = byVar[var];
+        for (std::size_t gi = 0; gi < varGroups.size(); ++gi) {
+            for (std::size_t gj = gi; gj < varGroups.size(); ++gj) {
+                const Group &g1 = groups[varGroups[gi]];
+                const Group &g2 = groups[varGroups[gj]];
                 if (!g1.isWrite && !g2.isWrite)
                     continue; // conflicting requires >= 1 write
-                int n1 = std::min<int>(bound,
-                                       static_cast<int>(g1.instances.size()));
-                int n2 = std::min<int>(bound,
-                                       static_cast<int>(g2.instances.size()));
+
+                // Both orderings are group-level properties: decide
+                // them once instead of per instance pair.  `swapped`
+                // replicates the reported a/b order (lexicographic
+                // over site + callstack concatenation); the dedup key
+                // canonicalises like callstackKey() (over the
+                // site + "^" + callstack composite).
+                bool swapped = concatLess(
+                    strings.str(g2.site), strings.str(g2.stack),
+                    strings.str(g1.site), strings.str(g1.stack));
+                PairKey key{var, g1.site, g1.stack, g2.site, g2.stack};
+                if (compositeLess(strings.str(g2.site),
+                                  strings.str(g2.stack),
+                                  strings.str(g1.site),
+                                  strings.str(g1.stack)))
+                    key = PairKey{var, g2.site, g2.stack, g1.site,
+                                  g1.stack};
+
+                int n1 = std::min<int>(
+                    bound, static_cast<int>(g1.instances.size()));
+                int n2 = std::min<int>(
+                    bound, static_cast<int>(g2.instances.size()));
                 for (int i = 0; i < n1; ++i) {
                     int lo = (gi == gj) ? i + 1 : 0;
                     for (int j = lo; j < n2; ++j) {
@@ -71,28 +237,42 @@ RaceDetector::detect(const hb::HbGraph &graph) const
                         int v = g2.instances[static_cast<std::size_t>(j)];
                         if (u == v || !graph.concurrent(u, v))
                             continue;
+                        auto [it, inserted] =
+                            dedup.emplace(key, out.size());
+                        if (!inserted) {
+                            ++out[it->second].dynamicPairs;
+                            continue;
+                        }
                         Candidate cand;
-                        cand.var = var;
+                        cand.var = std::string(strings.str(var));
                         cand.a = make_access(u);
                         cand.b = make_access(v);
-                        if (cand.b.site + cand.b.callstack <
-                            cand.a.site + cand.a.callstack)
+                        if (swapped)
                             std::swap(cand.a, cand.b);
-                        auto [it, inserted] =
-                            dedup.emplace(cand.callstackKey(), cand);
-                        if (!inserted)
-                            ++it->second.dynamicPairs;
+                        out.push_back(std::move(cand));
                     }
                 }
             }
         }
     }
 
-    std::vector<Candidate> out;
-    out.reserve(dedup.size());
-    for (auto &[key, cand] : dedup)
-        out.push_back(std::move(cand));
-    return out;
+    // The dedup map used to be a std::map over callstackKey(); keep
+    // the reported order identical.
+    std::vector<std::string> keys;
+    keys.reserve(out.size());
+    for (const Candidate &cand : out)
+        keys.push_back(cand.callstackKey());
+    std::vector<std::size_t> order(out.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+        return keys[x] < keys[y];
+    });
+    std::vector<Candidate> sorted;
+    sorted.reserve(out.size());
+    for (std::size_t idx : order)
+        sorted.push_back(std::move(out[idx]));
+    return sorted;
 }
 
 } // namespace dcatch::detect

@@ -1,6 +1,7 @@
 #include "hb/graph.hh"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
 
 #include "common/logging.hh"
@@ -97,6 +98,19 @@ closesSegment(RecordType type)
     return type == RecordType::EventEnd || type == RecordType::RpcEnd;
 }
 
+/** findVertex hash key over the identifying record fields. */
+std::string
+vertexKey(RecordType type, const std::string &site, const std::string &id)
+{
+    std::string key;
+    key.reserve(site.size() + id.size() + 4);
+    key += static_cast<char>('A' + static_cast<int>(type));
+    key += site;
+    key += '\x1f';
+    key += id;
+    return key;
+}
+
 } // namespace
 
 HbGraph::HbGraph(const trace::TraceStore &store, Options options)
@@ -113,21 +127,55 @@ HbGraph::HbGraph(const trace::TraceStore &store, Options options)
         if (recs_[v].isMemoryAccess())
             memVertices_.push_back(static_cast<int>(v));
 
-    // Reachable-set budget check (Table 8 OOM emulation).
-    std::size_t need = recs_.size() * ((recs_.size() + 63) / 64) * 8;
-    if (need > options_.memoryBudgetBytes) {
-        DCATCH_WARN() << "HB graph reachable sets need " << need
-                      << " bytes, budget is "
+    buildIndexes();
+    buildProgramEdges(store);
+    buildPairingEdges();
+
+    if (options_.engine == Engine::Dense) {
+        // Budget check before allocating the O(V^2) bit arrays
+        // (Table 8 OOM emulation).
+        std::size_t need = recs_.size() * ((recs_.size() + 63) / 64) * 8;
+        if (need > options_.memoryBudgetBytes) {
+            DCATCH_WARN()
+                << "HB graph dense reachable sets need " << need
+                << " bytes, budget is " << options_.memoryBudgetBytes
+                << " — marking OOM";
+            oom_ = true;
+            return;
+        }
+        close();
+        if (options_.rules.event)
+            applyEventSerial(store);
+        return;
+    }
+
+    frontier_.build(preds_, progPred_);
+    if (frontier_.bytes() > options_.memoryBudgetBytes) {
+        DCATCH_WARN() << "HB graph chain frontiers need "
+                      << frontier_.bytes() << " bytes, budget is "
                       << options_.memoryBudgetBytes << " — marking OOM";
         oom_ = true;
         return;
     }
-
-    buildProgramEdges(store);
-    buildPairingEdges();
-    close();
     if (options_.rules.event)
         applyEventSerial(store);
+    // Derived Eserial edges serialize handler instances; re-packing
+    // the chain decomposition against the completed order collapses
+    // them into shared chains and shrinks every frontier row.
+    frontier_.repack(preds_);
+    if (frontier_.bytes() > options_.memoryBudgetBytes) {
+        DCATCH_WARN() << "HB graph chain frontiers need "
+                      << frontier_.bytes()
+                      << " bytes after repack, budget is "
+                      << options_.memoryBudgetBytes << " — marking OOM";
+        oom_ = true;
+    }
+}
+
+const char *
+HbGraph::engineName() const
+{
+    return options_.engine == Engine::Dense ? "dense" : "chain";
 }
 
 bool
@@ -144,6 +192,18 @@ HbGraph::addEdge(int u, int v, std::size_t EdgeStats::*counter)
     preds_[static_cast<std::size_t>(v)].push_back(u);
     ++(stats_.*counter);
     return true;
+}
+
+void
+HbGraph::buildIndexes()
+{
+    for (std::size_t v = 0; v < recs_.size(); ++v) {
+        const Record &rec = recs_[v];
+        byTypeId_[static_cast<std::size_t>(rec.type)][rec.id].push_back(
+            static_cast<int>(v));
+        vertexIndex_[vertexKey(rec.type, rec.site, rec.id)].push_back(
+            static_cast<int>(v));
+    }
 }
 
 void
@@ -204,18 +264,13 @@ HbGraph::buildProgramEdges(const trace::TraceStore &store)
 void
 HbGraph::buildPairingEdges()
 {
-    // Index vertices by (type, id).
-    std::map<std::pair<RecordType, std::string>, std::vector<int>> index;
-    for (std::size_t v = 0; v < recs_.size(); ++v)
-        index[{recs_[v].type, recs_[v].id}].push_back(static_cast<int>(v));
-
     auto pair_first = [&](RecordType from, RecordType to,
                           std::size_t EdgeStats::*counter) {
-        for (auto &[key, sources] : index) {
-            if (key.first != from)
-                continue;
-            auto it = index.find({to, key.second});
-            if (it == index.end())
+        const auto &sinks = byTypeId_[static_cast<std::size_t>(to)];
+        for (const auto &[id, sources] :
+             byTypeId_[static_cast<std::size_t>(from)]) {
+            auto it = sinks.find(id);
+            if (it == sinks.end())
                 continue;
             // Pair positionally: the i-th source with the i-th sink
             // (ids are unique per instance for all current op kinds,
@@ -228,11 +283,11 @@ HbGraph::buildPairingEdges()
 
     auto pair_broadcast = [&](RecordType from, RecordType to,
                               std::size_t EdgeStats::*counter) {
-        for (auto &[key, sources] : index) {
-            if (key.first != from)
-                continue;
-            auto it = index.find({to, key.second});
-            if (it == index.end())
+        const auto &sinks = byTypeId_[static_cast<std::size_t>(to)];
+        for (const auto &[id, sources] :
+             byTypeId_[static_cast<std::size_t>(from)]) {
+            auto it = sinks.find(id);
+            if (it == sinks.end())
                 continue;
             for (int src : sources)
                 for (int dst : it->second)
@@ -264,6 +319,14 @@ HbGraph::buildPairingEdges()
 }
 
 void
+HbGraph::integrateEdge(int u, int v)
+{
+    if (options_.engine == Engine::ChainFrontier)
+        frontier_.addEdge(u, v, preds_);
+    // Dense: the caller re-closes once per batch.
+}
+
+void
 HbGraph::applyEventSerial(const trace::TraceStore &store)
 {
     // Collect, per single-consumer queue, each event's Create / Begin /
@@ -292,22 +355,200 @@ HbGraph::applyEventSerial(const trace::TraceStore &store)
             ev.end = static_cast<int>(v);
     }
 
+    // Sort each queue's completed events by handler begin once; the
+    // fixpoint passes only re-examine ordering, the event sets are
+    // fixed.  For the chain engine, additionally group each queue's
+    // Create vertices by their chain, sorted by position: a Create's
+    // ancestors among the queue's other Creates are then exactly the
+    // per-chain prefixes below its frontier-row limits, so each
+    // handler inspects O(frontier row) candidate chains instead of
+    // scanning every earlier handler.
+    struct QueueEvents
+    {
+        std::vector<const EventVerts *> list;
+        std::vector<std::pair<std::uint32_t,
+                              std::vector<std::pair<std::uint32_t, int>>>>
+            creatorChains; // sorted by chain id
+    };
+    std::vector<QueueEvents> queue_events;
+    for (auto &[queue_id, events] : queues) {
+        QueueEvents q;
+        for (auto &[id, ev] : events)
+            if (ev.create >= 0 && ev.begin >= 0 && ev.end >= 0)
+                q.list.push_back(&ev);
+        std::sort(q.list.begin(), q.list.end(),
+                  [](const EventVerts *a, const EventVerts *b) {
+                      return a->begin < b->begin;
+                  });
+        if (options_.engine == Engine::ChainFrontier) {
+            std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, int>>>
+                by_chain;
+            for (std::size_t idx = 0; idx < q.list.size(); ++idx) {
+                int c = q.list[idx]->create;
+                by_chain[frontier_.chainIdOf(c)].emplace_back(
+                    frontier_.posInChain(c), static_cast<int>(idx));
+            }
+            for (auto &[chain, vec] : by_chain) {
+                std::sort(vec.begin(), vec.end());
+                q.creatorChains.emplace_back(chain, std::move(vec));
+            }
+        }
+        queue_events.push_back(std::move(q));
+    }
+
     // Fixpoint: adding End(e1) => Begin(e2) edges may order more
     // Create pairs, enabling further edges (section 3.2.1).
+    if (options_.engine == Engine::ChainFrontier) {
+        // Versioned per-chain scratch: filling one decodes a frontier
+        // row into O(1)-lookup form, so the quadratic pair scan pays
+        // one array probe per check instead of a binary search over
+        // the row.  Stamps avoid clearing between handlers.
+        const std::size_t chain_count = frontier_.chainCount();
+        std::vector<std::uint32_t> climit(chain_count, 0);
+        std::vector<std::uint32_t> cver(chain_count, 0);
+        std::vector<std::uint32_t> blimit(chain_count, 0);
+        std::vector<std::uint32_t> bver(chain_count, 0);
+        std::uint32_t cstamp = 0, bstamp = 0;
+        auto fill = [&](int v, std::vector<std::uint32_t> &limit,
+                        std::vector<std::uint32_t> &ver,
+                        std::uint32_t &stamp) {
+            ++stamp;
+            for (const auto &e : frontier_.frontierRow(v)) {
+                limit[e.chain] = e.limit;
+                ver[e.chain] = stamp;
+            }
+        };
+        // u => v given v's row is decoded into (limit, ver, stamp).
+        // Mirrors ChainFrontierIndex::reaches; the own-chain row
+        // entry is stale by design, so same-chain compares positions.
+        auto ordered = [&](int u, int v,
+                          const std::vector<std::uint32_t> &limit,
+                          const std::vector<std::uint32_t> &ver,
+                          std::uint32_t stamp) {
+            if (u < 0 || u >= v)
+                return false;
+            std::uint32_t cu = frontier_.chainIdOf(u);
+            if (cu == frontier_.chainIdOf(v))
+                return frontier_.posInChain(u) < frontier_.posInChain(v);
+            return ver[cu] == stamp &&
+                   limit[cu] > frontier_.posInChain(u);
+        };
+        // Add pass: scan earlier handlers nearest-first with
+        // immediate (deferred-mode) integration — once end(j-1) =>
+        // begin(j) lands, its row already implies end(i) => begin(j)
+        // for the handlers serialized before it, so the recorded edge
+        // set stays near the transitive reduction.
+        auto scan_queue = [&](QueueEvents &q) {
+            bool added = false;
+            std::vector<const EventVerts *> &list = q.list;
+            for (std::size_t j = 1; j < list.size(); ++j) {
+                int cj = list[j]->create, bj = list[j]->begin;
+                fill(cj, climit, cver, cstamp);
+                fill(bj, blimit, bver, bstamp);
+                for (std::size_t i = j; i-- > 0;) {
+                    if (!ordered(list[i]->create, cj, climit, cver,
+                                 cstamp))
+                        continue;
+                    if (ordered(list[i]->end, bj, blimit, bver, bstamp))
+                        continue; // already ordered
+                    if (addEdge(list[i]->end, bj,
+                                &EdgeStats::eserial)) {
+                        frontier_.addEdgeDeferred(list[i]->end, bj);
+                        fill(bj, blimit, bver, bstamp);
+                        added = true;
+                    }
+                }
+            }
+            return added;
+        };
+        // Verification pass (run on the re-closed index): for each
+        // handler j it suffices to check the *maximal* create-
+        // ancestor per chain.  Any earlier Create in the same chain
+        // precedes that tip's Create, so by strong induction over
+        // begin order its End already reaches the tip's Begin, and
+        // the tip's End => Begin(j) ordering carries it to j.  This
+        // confirms the fixpoint in O(handlers x frontier row) instead
+        // of re-running the quadratic pair scan.
+        auto queue_satisfied = [&](QueueEvents &q) {
+            std::vector<const EventVerts *> &list = q.list;
+            for (std::size_t j = 0; j < list.size(); ++j) {
+                int cj = list[j]->create, bj = list[j]->begin;
+                fill(bj, blimit, bver, bstamp);
+                auto tip_ordered =
+                    [&](const std::vector<std::pair<std::uint32_t, int>>
+                            &vec,
+                        std::uint32_t limit) {
+                        auto k = static_cast<std::size_t>(
+                            std::lower_bound(
+                                vec.begin(), vec.end(),
+                                std::make_pair(limit, -1)) -
+                            vec.begin());
+                        while (k-- > 0) {
+                            auto i = static_cast<std::size_t>(
+                                vec[k].second);
+                            if (i >= j)
+                                continue; // handler begins after j
+                            return ordered(list[i]->end, bj, blimit,
+                                           bver, bstamp);
+                        }
+                        return true;
+                    };
+                std::uint32_t cj_chain = frontier_.chainIdOf(cj);
+                const auto &creators = q.creatorChains;
+                auto self = std::lower_bound(
+                    creators.begin(), creators.end(), cj_chain,
+                    [](const auto &a, std::uint32_t c) {
+                        return a.first < c;
+                    });
+                if (self != creators.end() && self->first == cj_chain &&
+                    !tip_ordered(self->second,
+                                 frontier_.posInChain(cj)))
+                    return false;
+                // Creator chains among cj's ancestors: sorted-merge
+                // its frontier row against the queue's creator list.
+                const auto &row = frontier_.frontierRow(cj);
+                std::size_t a = 0, b = 0;
+                while (a < row.size() && b < creators.size()) {
+                    if (row[a].chain < creators[b].first) {
+                        ++a;
+                    } else if (creators[b].first < row[a].chain) {
+                        ++b;
+                    } else {
+                        if (row[a].chain != cj_chain &&
+                            !tip_ordered(creators[b].second,
+                                         row[a].limit))
+                            return false;
+                        ++a;
+                        ++b;
+                    }
+                }
+            }
+            return true;
+        };
+        for (;;) {
+            bool added = false;
+            for (QueueEvents &q : queue_events)
+                added |= scan_queue(q);
+            if (added)
+                frontier_.refresh(preds_);
+            bool satisfied = true;
+            for (QueueEvents &q : queue_events)
+                satisfied &= queue_satisfied(q);
+            if (satisfied)
+                break;
+        }
+        return;
+    }
+
+    // Dense engine: same pair scan against the closure-so-far,
+    // re-closing once per changed pass.
     bool changed = true;
     while (changed) {
         changed = false;
-        for (auto &[queue_id, events] : queues) {
-            std::vector<const EventVerts *> list;
-            for (auto &[id, ev] : events)
-                if (ev.create >= 0 && ev.begin >= 0 && ev.end >= 0)
-                    list.push_back(&ev);
-            std::sort(list.begin(), list.end(),
-                      [](const EventVerts *a, const EventVerts *b) {
-                          return a->begin < b->begin;
-                      });
-            for (std::size_t i = 0; i < list.size(); ++i) {
-                for (std::size_t j = i + 1; j < list.size(); ++j) {
+        for (QueueEvents &q : queue_events) {
+            std::vector<const EventVerts *> &list = q.list;
+            for (std::size_t j = 1; j < list.size(); ++j) {
+                for (std::size_t i = j; i-- > 0;) {
                     if (!happensBefore(list[i]->create, list[j]->create))
                         continue;
                     if (happensBefore(list[i]->end, list[j]->begin))
@@ -335,6 +576,7 @@ HbGraph::close()
             anc.set(static_cast<std::size_t>(u));
         }
     }
+    ++closureRuns_;
 }
 
 bool
@@ -347,6 +589,8 @@ HbGraph::happensBefore(int u, int v) const
         return false;
     if (u > v)
         return false; // edges only point forward in seq order
+    if (options_.engine == Engine::ChainFrontier)
+        return frontier_.reaches(u, v);
     return ancestors_[static_cast<std::size_t>(v)].test(
         static_cast<std::size_t>(u));
 }
@@ -355,12 +599,12 @@ int
 HbGraph::findVertex(trace::RecordType type, const std::string &site,
                     const std::string &id, std::int64_t aux) const
 {
-    for (std::size_t v = 0; v < recs_.size(); ++v) {
-        const Record &rec = recs_[v];
-        if (rec.type == type && rec.site == site && rec.id == id &&
-            (aux < 0 || rec.aux == aux))
-            return static_cast<int>(v);
-    }
+    auto it = vertexIndex_.find(vertexKey(type, site, id));
+    if (it == vertexIndex_.end())
+        return -1;
+    for (int v : it->second)
+        if (aux < 0 || recs_[static_cast<std::size_t>(v)].aux == aux)
+            return v;
     return -1;
 }
 
@@ -369,19 +613,46 @@ HbGraph::addEdges(const std::vector<std::pair<int, int>> &edges)
 {
     bool added = false;
     for (auto [u, v] : edges)
-        if (addEdge(u, v, &EdgeStats::pull))
+        if (addEdge(u, v, &EdgeStats::pull)) {
+            integrateEdge(u, v);
             added = true;
-    if (added)
+        }
+    if (added && options_.engine == Engine::Dense)
         close();
 }
 
 std::size_t
 HbGraph::reachBytes() const
 {
+    if (options_.engine == Engine::ChainFrontier)
+        return frontier_.bytes();
     std::size_t bytes = 0;
     for (const BitSet &set : ancestors_)
         bytes += set.byteSize();
     return bytes;
+}
+
+std::size_t
+HbGraph::chainCount() const
+{
+    return options_.engine == Engine::ChainFrontier
+               ? frontier_.chainCount()
+               : 0;
+}
+
+std::size_t
+HbGraph::frontierRows() const
+{
+    return options_.engine == Engine::ChainFrontier ? frontier_.rowCount()
+                                                    : 0;
+}
+
+std::size_t
+HbGraph::incrementalUpdates() const
+{
+    return options_.engine == Engine::ChainFrontier
+               ? frontier_.incrementalEdges()
+               : 0;
 }
 
 } // namespace dcatch::hb

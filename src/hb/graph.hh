@@ -16,9 +16,19 @@
  *   Rule-Preg   program order within a regular thread
  *   Rule-Pnreg  program order only within one handler instance
  *
- * Concurrency queries use per-vertex reachable sets stored as bit
- * arrays (the algorithm of Raychev et al. cited in section 3.2.2),
- * making happens-before a constant-time lookup.
+ * Concurrency queries run against one of two reachability engines
+ * (section 3.2.2, Raychev et al.):
+ *
+ *  - `Engine::ChainFrontier` (default): chain decomposition + sparse
+ *    shared frontier rows (common/chain_frontier.hh).  O(V * C)
+ *    worst-case memory with C chains, near-linear in practice, and
+ *    *incremental*: Rule-Eserial and pull edges propagate along the
+ *    affected cone instead of re-closing the whole graph.
+ *  - `Engine::Dense`: one ancestor bit array per vertex, O(V^2 / 8)
+ *    bytes, full re-closure after every derived-edge batch.  Kept as
+ *    the cross-validation baseline and for the Table 8 out-of-memory
+ *    emulation (the paper's JVM-heap exhaustion corresponds to this
+ *    dense representation).
  *
  * Rule families can be disabled to reproduce the Table 9 ablation:
  * disabling a family removes the corresponding records entirely (as
@@ -30,12 +40,14 @@
 #ifndef DCATCH_HB_GRAPH_HH
 #define DCATCH_HB_GRAPH_HH
 
+#include <array>
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bitset.hh"
+#include "common/chain_frontier.hh"
 #include "trace/trace_store.hh"
 
 namespace dcatch::hb {
@@ -82,16 +94,26 @@ struct EdgeStats
 class HbGraph
 {
   public:
+    /** Reachability engine choice (see file comment). */
+    enum class Engine
+    {
+        ChainFrontier, ///< chain decomposition, incremental closure
+        Dense,         ///< per-vertex ancestor bit arrays (baseline)
+    };
+
     /** Construction options. */
     struct Options
     {
         RuleSet rules = RuleSet::all();
 
+        Engine engine = Engine::ChainFrontier;
+
         /**
-         * Budget for the reachable-set arrays.  Exceeding it marks the
-         * graph "out of memory" (mirrors the paper's Table 8, where
-         * full-memory traces exhaust a 50 GB JVM heap) — queries then
-         * throw and the pipeline reports the analysis as OOM.
+         * Budget for the reachability representation of the chosen
+         * engine.  Exceeding it marks the graph "out of memory"
+         * (mirrors the paper's Table 8, where full-memory traces
+         * exhaust a 50 GB JVM heap) — queries then throw and the
+         * pipeline reports the analysis as OOM.
          */
         std::size_t memoryBudgetBytes = 512ull << 20;
     };
@@ -104,8 +126,14 @@ class HbGraph
     {
     }
 
-    /** True when the reachable-set budget was exceeded. */
+    /** True when the reachability budget was exceeded. */
     bool oom() const { return oom_; }
+
+    /** The engine answering reachability queries. */
+    Engine engine() const { return options_.engine; }
+
+    /** Short engine name for reports and benches. */
+    const char *engineName() const;
 
     /** Number of vertices (records). */
     std::size_t size() const { return recs_.size(); }
@@ -130,7 +158,7 @@ class HbGraph
     }
 
     /**
-     * Find a vertex by record identity.
+     * Find a vertex by record identity (hash lookup).
      * @param aux matched when >= 0; pass -1 to ignore
      * @return vertex index, or -1 when absent
      */
@@ -138,16 +166,30 @@ class HbGraph
                    const std::string &id, std::int64_t aux = -1) const;
 
     /**
-     * Add extra HB edges (Rule-Mpull results) and re-run the closure.
-     * Edges must go from an earlier to a later vertex.
+     * Add extra HB edges (Rule-Mpull results) and update the closure
+     * — incrementally along the affected cone for the chain-frontier
+     * engine, by full re-closure for the dense engine.  Edges must go
+     * from an earlier to a later vertex.
      */
     void addEdges(const std::vector<std::pair<int, int>> &edges);
 
     /** Edge counts per rule. */
     const EdgeStats &stats() const { return stats_; }
 
-    /** Bytes held by the reachable-set arrays. */
+    /** Bytes held by the reachability representation. */
     std::size_t reachBytes() const;
+
+    /** Chains in the decomposition (0 for the dense engine). */
+    std::size_t chainCount() const;
+
+    /** Materialised frontier rows (0 for the dense engine). */
+    std::size_t frontierRows() const;
+
+    /** Edges integrated incrementally instead of by re-closure. */
+    std::size_t incrementalUpdates() const;
+
+    /** Full closure recomputations run (dense engine only). */
+    std::size_t closureRuns() const { return closureRuns_; }
 
     /** Predecessor lists (in-edges) per vertex — used by alternative
      *  HB engines built on the same edge set (vector clocks). */
@@ -167,26 +209,45 @@ class HbGraph
     /** Append an edge u -> v (u must precede v). */
     bool addEdge(int u, int v, std::size_t EdgeStats::*counter);
 
+    /** Hash indexes for findVertex and pairing-edge construction. */
+    void buildIndexes();
+
     /** Program-order edges with Preg/Pnreg segmentation. */
     void buildProgramEdges(const trace::TraceStore &store);
 
     /** Pairing edges (fork/join, enq, rpc, socket, push). */
     void buildPairingEdges();
 
-    /** Rule-Eserial fixpoint (uses the closure; re-closes as needed). */
+    /** Rule-Eserial fixpoint (incremental or re-closing, per engine). */
     void applyEventSerial(const trace::TraceStore &store);
 
-    /** Recompute all reachable sets in topological (seq) order. */
+    /** Incorporate a just-added edge into the closure. */
+    void integrateEdge(int u, int v);
+
+    /** Recompute all dense reachable sets in topological order. */
     void close();
+
+    static constexpr std::size_t kRecordTypes =
+        static_cast<std::size_t>(trace::RecordType::LoopExit) + 1;
 
     Options options_;
     std::vector<trace::Record> recs_;
     std::vector<std::vector<int>> preds_;
     std::vector<int> progPred_;
     std::vector<int> memVertices_;
-    std::vector<BitSet> ancestors_;
     EdgeStats stats_;
     bool oom_ = false;
+    std::size_t closureRuns_ = 0;
+
+    /** Vertices per (type, id), ascending — drives pairing edges. */
+    std::array<std::unordered_map<std::string, std::vector<int>>,
+               kRecordTypes>
+        byTypeId_;
+    /** Vertices per (type, site, id), ascending — drives findVertex. */
+    std::unordered_map<std::string, std::vector<int>> vertexIndex_;
+
+    std::vector<BitSet> ancestors_;  ///< dense engine state
+    ChainFrontierIndex frontier_;    ///< chain-frontier engine state
 };
 
 } // namespace dcatch::hb

@@ -75,6 +75,9 @@ TEST(ChunkedTest, AnalysesTraceThatOomsWholeGraph)
 {
     // MR-3274's full-memory trace exceeds the tight budget used by
     // the Table 8 bench when analysed whole, but chunked windows fit.
+    // The OOM emulation models the dense O(V^2) representation — the
+    // chain-frontier engine fits the same trace in the budget, so the
+    // dense engine is requested explicitly here.
     const apps::Benchmark &bench = apps::benchmark("MR-3274");
     sim::Simulation sim(bench.config);
     trace::TracerConfig tc;
@@ -86,6 +89,7 @@ TEST(ChunkedTest, AnalysesTraceThatOomsWholeGraph)
 
     constexpr std::size_t kTightBudget = 512ull << 10;
     HbGraph::Options graph_options;
+    graph_options.engine = HbGraph::Engine::Dense;
     graph_options.memoryBudgetBytes = kTightBudget;
     HbGraph whole(store, graph_options);
     ASSERT_TRUE(whole.oom()) << "precondition: whole graph must OOM";
@@ -93,6 +97,7 @@ TEST(ChunkedTest, AnalysesTraceThatOomsWholeGraph)
     ChunkOptions options;
     options.windowRecords = 1200;
     options.overlapRecords = 300;
+    options.graph.engine = HbGraph::Engine::Dense;
     options.graph.memoryBudgetBytes = kTightBudget;
     ChunkedResult result = chunkedDetect(store, options);
     EXPECT_FALSE(result.anyWindowOom);

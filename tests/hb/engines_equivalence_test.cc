@@ -1,9 +1,10 @@
 /**
  * @file
- * Cross-validation of the two happens-before engines: the
- * reachable-set (bit-array) engine DCatch uses and the vector-clock
- * baseline it rejects must agree on every pair of vertices — on
- * synthetic traces and on every benchmark's real trace.
+ * Cross-validation of the three happens-before engines: the
+ * chain-frontier decomposition DCatch adopts (section 3.2.2), the
+ * dense reachable-set (bit-array) baseline, and the vector-clock
+ * baseline the paper rejects must all agree on every pair of vertices
+ * — on synthetic traces and on every benchmark's real trace.
  */
 
 #include <gtest/gtest.h>
@@ -19,20 +20,32 @@ namespace {
 using testsupport::TraceBuilder;
 using trace::RecordType;
 
-/** Exhaustively compare both engines on a graph. */
+/** Exhaustively compare all three engines over one trace. */
 void
-expectEngineAgreement(const HbGraph &graph)
+expectEngineAgreement(const trace::TraceStore &store)
 {
-    VectorClockGraph clocks(graph);
-    ASSERT_EQ(clocks.size(), graph.size());
-    int n = static_cast<int>(graph.size());
+    HbGraph::Options chain_options;
+    chain_options.engine = HbGraph::Engine::ChainFrontier;
+    HbGraph chain(store, chain_options);
+    HbGraph::Options dense_options;
+    dense_options.engine = HbGraph::Engine::Dense;
+    HbGraph dense(store, dense_options);
+    VectorClockGraph clocks(dense);
+
+    ASSERT_EQ(chain.size(), dense.size());
+    ASSERT_EQ(clocks.size(), dense.size());
+    int n = static_cast<int>(dense.size());
     for (int u = 0; u < n; ++u) {
         for (int v = 0; v < n; ++v) {
-            ASSERT_EQ(graph.happensBefore(u, v),
-                      clocks.happensBefore(u, v))
-                << "engines disagree on " << u << " => " << v << " ("
-                << graph.record(u).toLine() << " vs "
-                << graph.record(v).toLine() << ")";
+            bool want = dense.happensBefore(u, v);
+            ASSERT_EQ(chain.happensBefore(u, v), want)
+                << "chain vs dense disagree on " << u << " => " << v
+                << " (" << dense.record(u).toLine() << " vs "
+                << dense.record(v).toLine() << ")";
+            ASSERT_EQ(clocks.happensBefore(u, v), want)
+                << "clocks vs dense disagree on " << u << " => " << v
+                << " (" << dense.record(u).toLine() << " vs "
+                << dense.record(v).toLine() << ")";
         }
     }
 }
@@ -46,7 +59,7 @@ TEST(EnginesEquivalenceTest, ForkJoinChain)
     tb.add(RecordType::ThreadEnd, 0, 1, "end", "thr:1");
     tb.add(RecordType::ThreadJoin, 0, 0, "join", "thr:1");
     tb.mem(false, 0, 0, "r", "var:x");
-    expectEngineAgreement(HbGraph(tb.store()));
+    expectEngineAgreement(tb.store());
 }
 
 TEST(EnginesEquivalenceTest, HandlerSegmentsAndEserial)
@@ -61,7 +74,7 @@ TEST(EnginesEquivalenceTest, HandlerSegmentsAndEserial)
     tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#1");
     tb.mem(true, 0, 1, "h2.w", "var:x");
     tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#1");
-    expectEngineAgreement(HbGraph(tb.store()));
+    expectEngineAgreement(tb.store());
 }
 
 TEST(EnginesEquivalenceTest, CrossNodeMessageDiamond)
@@ -74,7 +87,7 @@ TEST(EnginesEquivalenceTest, CrossNodeMessageDiamond)
     tb.mem(true, 1, 1, "w1", "var:x");
     tb.add(RecordType::MsgRecv, 2, 2, "recv2", "m-2");
     tb.mem(true, 2, 2, "w2", "var:x");
-    expectEngineAgreement(HbGraph(tb.store()));
+    expectEngineAgreement(tb.store());
 }
 
 class EnginesOnBenchmarks
@@ -88,18 +101,33 @@ TEST_P(EnginesOnBenchmarks, AgreeOnRealTrace)
     sim::Simulation sim(bench.config);
     bench.build(sim);
     sim.run();
-    HbGraph graph(sim.tracer().store());
-    VectorClockGraph clocks(graph);
+
+    HbGraph::Options chain_options;
+    chain_options.engine = HbGraph::Engine::ChainFrontier;
+    HbGraph chain(sim.tracer().store(), chain_options);
+    HbGraph::Options dense_options;
+    dense_options.engine = HbGraph::Engine::Dense;
+    HbGraph dense(sim.tracer().store(), dense_options);
+    VectorClockGraph clocks(dense);
 
     // Exhaustive over all pairs of memory accesses (the pairs that
-    // matter for detection) plus a sweep over consecutive vertices.
-    for (int u : graph.memAccesses())
-        for (int v : graph.memAccesses())
-            ASSERT_EQ(graph.happensBefore(u, v),
-                      clocks.happensBefore(u, v))
-                << graph.record(u).toLine() << " vs "
-                << graph.record(v).toLine();
+    // matter for detection).
+    for (int u : chain.memAccesses()) {
+        for (int v : chain.memAccesses()) {
+            bool want = dense.happensBefore(u, v);
+            ASSERT_EQ(chain.happensBefore(u, v), want)
+                << "chain vs dense: " << chain.record(u).toLine()
+                << " vs " << chain.record(v).toLine();
+            ASSERT_EQ(clocks.happensBefore(u, v), want)
+                << "clocks vs dense: " << chain.record(u).toLine()
+                << " vs " << chain.record(v).toLine();
+        }
+    }
     EXPECT_GT(clocks.dimensionCount(), 1);
+    EXPECT_GT(chain.chainCount(), 0u);
+    // The decomposition must be far below the one-chain-per-vertex
+    // degenerate case for these event-driven traces.
+    EXPECT_LT(chain.chainCount(), chain.size() / 2);
 }
 
 INSTANTIATE_TEST_SUITE_P(

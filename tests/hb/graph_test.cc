@@ -279,19 +279,26 @@ TEST(HbGraphTest, AblationDropsRecordsAndDegradesSegmentation)
 
 TEST(HbGraphTest, PullEdgeAdditionRecloses)
 {
-    TraceBuilder tb;
-    tb.mem(true, 0, 0, "w", "var:x", 1);
-    tb.add(RecordType::LoopIter, 1, 1, "loop", "loop:nm/0", 0);
-    tb.add(RecordType::LoopExit, 1, 1, "loop", "loop:nm/0", 1);
-    tb.mem(false, 1, 1, "after.r", "var:x", 1);
-    HbGraph g(tb.store());
-    int w = vtx(g, RecordType::MemWrite, "w");
-    int exit = vtx(g, RecordType::LoopExit, "loop");
-    int r = vtx(g, RecordType::MemRead, "after.r");
-    EXPECT_TRUE(g.concurrent(w, r));
-    g.addEdges({{w, exit}});
-    EXPECT_TRUE(g.happensBefore(w, r)); // through exit -> after.r
-    EXPECT_EQ(g.stats().pull, 1u);
+    for (HbGraph::Engine engine :
+         {HbGraph::Engine::ChainFrontier, HbGraph::Engine::Dense}) {
+        TraceBuilder tb;
+        tb.mem(true, 0, 0, "w", "var:x", 1);
+        tb.add(RecordType::LoopIter, 1, 1, "loop", "loop:nm/0", 0);
+        tb.add(RecordType::LoopExit, 1, 1, "loop", "loop:nm/0", 1);
+        tb.mem(false, 1, 1, "after.r", "var:x", 1);
+        HbGraph::Options opts;
+        opts.engine = engine;
+        HbGraph g(tb.store(), opts);
+        int w = vtx(g, RecordType::MemWrite, "w");
+        int exit = vtx(g, RecordType::LoopExit, "loop");
+        int r = vtx(g, RecordType::MemRead, "after.r");
+        EXPECT_TRUE(g.concurrent(w, r));
+        g.addEdges({{w, exit}});
+        EXPECT_TRUE(g.happensBefore(w, r)); // through exit -> after.r
+        EXPECT_EQ(g.stats().pull, 1u);
+        if (engine == HbGraph::Engine::ChainFrontier)
+            EXPECT_GE(g.incrementalUpdates(), 1u);
+    }
 }
 
 TEST(HbGraphTest, MemoryBudgetTriggersOom)
@@ -304,6 +311,69 @@ TEST(HbGraphTest, MemoryBudgetTriggersOom)
     HbGraph g(tb.store(), opts);
     EXPECT_TRUE(g.oom());
     EXPECT_THROW(g.happensBefore(0, 1), std::runtime_error);
+}
+
+TEST(HbGraphTest, DenseEngineOomsWhereChainFrontierFits)
+{
+    // 1200 vertices: dense ancestor bit-sets need 1200 * 150 bytes
+    // (~176 KB), while one long program-order chain costs a few KB of
+    // shared frontier.
+    TraceBuilder tb;
+    for (int i = 0; i < 1200; ++i)
+        tb.mem(true, 0, 0, "s" + std::to_string(i), "var:x");
+    HbGraph::Options opts;
+    opts.memoryBudgetBytes = 64ull << 10;
+
+    opts.engine = HbGraph::Engine::Dense;
+    HbGraph dense(tb.store(), opts);
+    EXPECT_TRUE(dense.oom());
+
+    opts.engine = HbGraph::Engine::ChainFrontier;
+    HbGraph chain(tb.store(), opts);
+    EXPECT_FALSE(chain.oom());
+    EXPECT_TRUE(chain.happensBefore(0, 1199));
+    EXPECT_LT(chain.reachBytes(), 64ull << 10);
+}
+
+TEST(HbGraphTest, ChainEngineReportsDecompositionStats)
+{
+    TraceBuilder tb;
+    tb.add(RecordType::ThreadCreate, 0, 0, "spawn", "thr:1");
+    tb.add(RecordType::ThreadBegin, 0, 1, "begin", "thr:1");
+    tb.mem(true, 0, 1, "child.w", "var:x");
+    tb.add(RecordType::ThreadEnd, 0, 1, "end", "thr:1");
+    tb.add(RecordType::ThreadJoin, 0, 0, "join", "thr:1");
+    HbGraph g(tb.store());
+    EXPECT_STREQ(g.engineName(), "chain");
+    EXPECT_GT(g.chainCount(), 0u);
+    EXPECT_GT(g.frontierRows(), 0u);
+    EXPECT_GT(g.reachBytes(), 0u);
+    EXPECT_EQ(g.closureRuns(), 0u); // never runs the dense closure
+
+    HbGraph::Options opts;
+    opts.engine = HbGraph::Engine::Dense;
+    HbGraph d(tb.store(), opts);
+    EXPECT_STREQ(d.engineName(), "dense");
+    EXPECT_EQ(d.chainCount(), 0u);
+    EXPECT_GE(d.closureRuns(), 1u);
+}
+
+TEST(HbGraphTest, ChainEngineFoldsEserialEdgesIncrementally)
+{
+    TraceBuilder tb;
+    tb.queue("n0/q", 0, true);
+    tb.add(RecordType::EventCreate, 0, 0, "enq1", "n0/q#0");
+    tb.add(RecordType::EventCreate, 0, 0, "enq2", "n0/q#1");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#0");
+    tb.mem(true, 0, 1, "h1.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#0");
+    tb.add(RecordType::EventBegin, 0, 1, "evt", "n0/q#1");
+    tb.mem(true, 0, 1, "h2.w", "var:x");
+    tb.add(RecordType::EventEnd, 0, 1, "evt", "n0/q#1");
+    HbGraph g(tb.store());
+    EXPECT_GE(g.stats().eserial, 1u);
+    EXPECT_GE(g.incrementalUpdates(), g.stats().eserial);
+    EXPECT_EQ(g.closureRuns(), 0u);
 }
 
 TEST(HbGraphTest, LocksAreExcludedFromTheGraph)

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Property tests cross-validating the three happens-before engines
+ * (chain-frontier, dense reachable sets, vector clocks) on randomly
+ * generated traces and on every benchmark's real trace:
+ *
+ *  - all engines answer every happensBefore query identically, both
+ *    after construction and after incremental (pull-style) edge
+ *    additions;
+ *  - the race detector produces the *identical* candidate list under
+ *    the chain-frontier and dense engines — same order, same keys,
+ *    same dynamic-pair counts — so every Table 4/5 number is
+ *    engine-independent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmark.hh"
+#include "common/rng.hh"
+#include "detect/race_detect.hh"
+#include "hb/vector_clock.hh"
+#include "runtime/sim.hh"
+#include "support/trace_builder.hh"
+
+namespace dcatch::hb {
+namespace {
+
+using testsupport::TraceBuilder;
+using trace::RecordType;
+
+/**
+ * Generate a random but well-formed trace: a few regular threads
+ * doing memory accesses and message passing, plus one single-consumer
+ * event queue whose handler thread serializes randomly created events
+ * (which exercises Pnreg segmentation and the Eserial fixpoint).
+ */
+void
+buildRandomTrace(TraceBuilder &tb, Rng &rng)
+{
+    const int threads = static_cast<int>(rng.nextRange(2, 4));
+    const int handlerThread = threads; // dedicated event consumer
+    const int vars = static_cast<int>(rng.nextRange(1, 3));
+    tb.queue("n0/q", 0, true);
+
+    struct PendingMsg
+    {
+        int to;
+        std::string id;
+    };
+    std::vector<PendingMsg> inFlight;
+    std::vector<std::string> createdEvents;
+    int nextMsg = 0, nextEvent = 0;
+    const int steps = static_cast<int>(rng.nextRange(30, 60));
+
+    for (int s = 0; s < steps; ++s) {
+        int t = static_cast<int>(rng.nextRange(0, threads - 1));
+        std::string ts = std::to_string(t);
+        switch (rng.nextRange(0, 3)) {
+          case 0:
+          case 1: {
+            std::string var =
+                "var:x" + std::to_string(rng.nextRange(0, vars - 1));
+            tb.mem(rng.nextChance(1, 2), 0, t,
+                   "t" + ts + ".s" + std::to_string(s), var);
+            break;
+          }
+          case 2: {
+            if (rng.nextChance(1, 2) && !inFlight.empty()) {
+                PendingMsg msg = inFlight.back();
+                inFlight.pop_back();
+                tb.add(RecordType::MsgRecv, 0, msg.to, "recv", msg.id);
+            } else {
+                int to = static_cast<int>(rng.nextRange(0, threads - 1));
+                std::string id = "m-" + std::to_string(nextMsg++);
+                tb.add(RecordType::MsgSend, 0, t, "send", id);
+                inFlight.push_back({to, id});
+            }
+            break;
+          }
+          default: {
+            std::string id = "n0/q#" + std::to_string(nextEvent++);
+            tb.add(RecordType::EventCreate, 0, t, "enq", id);
+            createdEvents.push_back(id);
+            break;
+          }
+        }
+        // The consumer drains the queue in creation order, sometimes
+        // lagging behind to interleave handlers with producers.
+        while (!createdEvents.empty() && rng.nextChance(1, 2)) {
+            std::string id = createdEvents.front();
+            createdEvents.erase(createdEvents.begin());
+            tb.add(RecordType::EventBegin, 0, handlerThread, "evt", id);
+            tb.mem(rng.nextChance(1, 2), 0, handlerThread,
+                   "h." + id,
+                   "var:x" + std::to_string(rng.nextRange(0, vars - 1)));
+            tb.add(RecordType::EventEnd, 0, handlerThread, "evt", id);
+        }
+    }
+    for (const std::string &id : createdEvents) {
+        tb.add(RecordType::EventBegin, 0, handlerThread, "evt", id);
+        tb.add(RecordType::EventEnd, 0, handlerThread, "evt", id);
+    }
+}
+
+/** All-pairs agreement between the two HbGraph engines and clocks. */
+void
+expectAllPairsAgree(const HbGraph &chain, const HbGraph &dense)
+{
+    VectorClockGraph clocks(dense);
+    ASSERT_EQ(chain.size(), dense.size());
+    int n = static_cast<int>(dense.size());
+    for (int u = 0; u < n; ++u) {
+        for (int v = 0; v < n; ++v) {
+            bool want = dense.happensBefore(u, v);
+            ASSERT_EQ(chain.happensBefore(u, v), want)
+                << "chain vs dense on " << u << " => " << v << ": "
+                << dense.record(u).toLine() << " vs "
+                << dense.record(v).toLine();
+            ASSERT_EQ(clocks.happensBefore(u, v), want)
+                << "clocks vs dense on " << u << " => " << v;
+        }
+    }
+}
+
+/** The detector must yield the identical report list on both. */
+void
+expectSameCandidates(const HbGraph &chain, const HbGraph &dense)
+{
+    detect::RaceDetector detector;
+    auto got = detector.detect(chain);
+    auto want = detector.detect(dense);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].callstackKey(), want[i].callstackKey());
+        EXPECT_EQ(got[i].staticKey(), want[i].staticKey());
+        EXPECT_EQ(got[i].dynamicPairs, want[i].dynamicPairs);
+        EXPECT_EQ(got[i].a.site, want[i].a.site);
+        EXPECT_EQ(got[i].b.site, want[i].b.site);
+        EXPECT_EQ(got[i].a.vertex, want[i].a.vertex);
+        EXPECT_EQ(got[i].b.vertex, want[i].b.vertex);
+    }
+}
+
+class RandomTraces : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomTraces, EnginesAgreeIncludingIncrementalEdges)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+    TraceBuilder tb;
+    buildRandomTrace(tb, rng);
+
+    HbGraph::Options chain_options;
+    chain_options.engine = HbGraph::Engine::ChainFrontier;
+    HbGraph chain(tb.store(), chain_options);
+    HbGraph::Options dense_options;
+    dense_options.engine = HbGraph::Engine::Dense;
+    HbGraph dense(tb.store(), dense_options);
+
+    expectAllPairsAgree(chain, dense);
+    expectSameCandidates(chain, dense);
+
+    // Random forward (pull-style) edges must fold into both closures
+    // identically — the chain engine incrementally, dense by
+    // re-closure.
+    int n = static_cast<int>(dense.size());
+    if (n >= 2) {
+        std::vector<std::pair<int, int>> extra;
+        for (int k = 0; k < 5; ++k) {
+            int u = static_cast<int>(rng.nextRange(0, n - 2));
+            int v = static_cast<int>(
+                rng.nextRange(u + 1, n - 1));
+            extra.emplace_back(u, v);
+        }
+        chain.addEdges(extra);
+        dense.addEdges(extra);
+        EXPECT_GE(chain.incrementalUpdates(), 1u);
+        expectAllPairsAgree(chain, dense);
+        expectSameCandidates(chain, dense);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraces,
+                         ::testing::Range(0, 12));
+
+class BenchmarkTraces : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BenchmarkTraces, CandidateSetsAreEngineIndependent)
+{
+    const apps::Benchmark &bench = apps::benchmark(GetParam());
+    sim::Simulation sim(bench.config);
+    bench.build(sim);
+    sim.run();
+
+    HbGraph::Options chain_options;
+    chain_options.engine = HbGraph::Engine::ChainFrontier;
+    HbGraph chain(sim.tracer().store(), chain_options);
+    HbGraph::Options dense_options;
+    dense_options.engine = HbGraph::Engine::Dense;
+    HbGraph dense(sim.tracer().store(), dense_options);
+
+    expectAllPairsAgree(chain, dense);
+    expectSameCandidates(chain, dense);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkTraces,
+    ::testing::Values("CA-1011", "HB-4539", "HB-4729", "MR-3274",
+                      "MR-4637", "ZK-1144", "ZK-1270"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace dcatch::hb
