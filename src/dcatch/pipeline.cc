@@ -1,14 +1,75 @@
 #include "dcatch/pipeline.hh"
 
+#include <memory>
 #include <set>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/util.hh"
 #include "detect/race_detect.hh"
 #include "hb/pull.hh"
 #include "prune/impact.hh"
+#include "replay/bundle.hh"
+#include "replay/policies.hh"
 
 namespace dcatch {
+
+namespace {
+
+Json
+accessJson(const detect::CandidateAccess &access)
+{
+    return Json::object()
+        .set("site", Json::str(access.site))
+        .set("callstack", Json::str(access.callstack))
+        .set("write", Json::boolean(access.isWrite))
+        .set("thread", Json::num(std::int64_t(access.thread)))
+        .set("node", Json::num(std::int64_t(access.node)));
+}
+
+/** report.json of the monitored-run bundle. */
+std::string
+monitoredBundleJson(const apps::Benchmark &bench,
+                    const replay::ScheduleLog &log)
+{
+    return Json::object()
+        .set("kind", Json::str("monitored"))
+        .set("benchmark", Json::str(bench.id))
+        .set("seed", Json::num(std::int64_t(log.header.seed)))
+        .set("decisions", Json::num(std::int64_t(log.size())))
+        .set("traceRecords",
+             Json::num(std::int64_t(log.header.traceRecords)))
+        .set("traceChecksum",
+             Json::str(strprintf("%016llx",
+                 (unsigned long long)log.header.traceChecksum)))
+        .dump();
+}
+
+/** report.json of a harmful-classification bundle. */
+std::string
+harmfulBundleJson(const apps::Benchmark &bench,
+                  const trigger::TriggerReport &report)
+{
+    Json failures = Json::array();
+    for (const sim::FailureEvent &failure : report.failures)
+        failures.push(Json::object()
+            .set("kind", Json::str(sim::failureKindName(failure.kind)))
+            .set("detail", Json::str(failure.detail)));
+    return Json::object()
+        .set("kind", Json::str("harmful"))
+        .set("benchmark", Json::str(bench.id))
+        .set("var", Json::str(report.candidate.var))
+        .set("a", accessJson(report.candidate.a))
+        .set("b", accessJson(report.candidate.b))
+        .set("failingOrder", Json::str(report.failingOrder))
+        .set("failures", std::move(failures))
+        .set("decisions", Json::num(
+            std::int64_t(report.failingSchedule
+                             ? report.failingSchedule->size() : 0)))
+        .dump();
+}
+
+} // namespace
 
 PipelineResult
 runPipeline(const apps::Benchmark &bench, PipelineOptions options)
@@ -35,6 +96,11 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
     trace::TracerConfig tc;
     tc.selectiveMemory = !options.fullMemoryTrace;
     traced.setTracerConfig(tc);
+    if (!options.reproDir.empty()) {
+        result.scheduleRecorded = true;
+        result.monitoredSchedule = std::make_shared<replay::ScheduleLog>();
+        replay::attachRecorder(traced, *result.monitoredSchedule);
+    }
     bench.build(traced);
     watch.reset();
     result.monitoredRun = traced.run();
@@ -48,6 +114,24 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
         DCATCH_WARN() << "monitored run of " << bench.id
                       << " was not failure-free: "
                       << result.monitoredRun.summary();
+    if (result.monitoredSchedule) {
+        replay::ScheduleHeader &header = result.monitoredSchedule->header;
+        header = replay::headerFromConfig(bench.config);
+        header.benchmarkId = bench.id;
+        header.label = "monitored";
+        header.fullMemoryTrace = options.fullMemoryTrace;
+        for (const sim::FailureEvent &failure :
+             result.monitoredRun.failures)
+            header.expectedFailureKinds.push_back(
+                sim::failureKindName(failure.kind));
+        header.traceChecksum = result.monitoredTrace.contentDigest();
+        header.traceRecords = result.monitoredTrace.totalRecords();
+        result.metrics.scheduleDecisions =
+            result.monitoredSchedule->size();
+        result.monitoredBundleDir = replay::writeBundle(
+            options.reproDir + "/monitored", *result.monitoredSchedule,
+            monitoredBundleJson(bench, *result.monitoredSchedule));
+    }
 
     // Phase 2: trace analysis (HB graph + race detection).
     watch.reset();
@@ -115,8 +199,23 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
     if (options.runTrigger) {
         watch.reset();
         trigger::TriggerHarness harness(bench.build, bench.config);
+        if (!options.reproDir.empty())
+            harness.enableScheduleRecording(bench.id);
         result.triggered =
             harness.testAll(result.afterLp, result.monitoredTrace);
+        // One repro bundle per harmful classification: the failing
+        // enforced-order schedule, replayable via `dcatch replay`.
+        int harmful = 0;
+        for (trigger::TriggerReport &report : result.triggered) {
+            if (report.cls != trigger::TriggerClass::Harmful ||
+                !report.failingSchedule)
+                continue;
+            report.bundleDir = replay::writeBundle(
+                strprintf("%s/harmful-%02d", options.reproDir.c_str(),
+                          harmful++),
+                *report.failingSchedule,
+                harmfulBundleJson(bench, report));
+        }
         result.metrics.triggerSec = watch.seconds();
     }
     return result;

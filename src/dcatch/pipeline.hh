@@ -18,12 +18,15 @@
 #define DCATCH_DCATCH_PIPELINE_HH
 
 #include <map>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "apps/benchmark.hh"
 #include "detect/report.hh"
 #include "hb/graph.hh"
 #include "prune/impact.hh"
+#include "replay/schedule_log.hh"
 #include "trace/trace_store.hh"
 #include "trigger/harness.hh"
 
@@ -42,6 +45,10 @@ struct PipelineOptions
     std::size_t memoryBudgetBytes = 512ull << 20;
     /// HB reachability engine (chain-frontier default; dense baseline)
     hb::HbGraph::Engine hbEngine = hb::HbGraph::Engine::ChainFrontier;
+    /** When non-empty, record every scheduler decision and write repro
+     *  bundles under this directory: `monitored/` for the traced run
+     *  and `harmful-NN/` per harmful trigger classification. */
+    std::string reproDir;
 };
 
 /** Wall-clock and volume metrics per pipeline phase (Tables 6-8). */
@@ -66,6 +73,10 @@ struct PhaseMetrics
     std::size_t hbIncrementalUpdates = 0; ///< incrementally folded edges
     std::size_t hbClosureRuns = 0;     ///< full re-closures (dense)
     /// @}
+
+    /** Scheduler decisions recorded for the monitored run (0 unless
+     *  PipelineOptions::reproDir was set). */
+    std::size_t scheduleDecisions = 0;
 };
 
 /** Everything the pipeline produced. */
@@ -81,6 +92,12 @@ struct PipelineResult
 
     std::vector<trigger::TriggerReport> triggered;
     PhaseMetrics metrics;
+
+    /// @{ @name Schedule record/replay artifacts (reproDir set)
+    bool scheduleRecorded = false;
+    std::shared_ptr<replay::ScheduleLog> monitoredSchedule;
+    std::string monitoredBundleDir; ///< bundle of the monitored run
+    /// @}
 
     /** The final DCatch bug reports. */
     const std::vector<detect::Candidate> &finalReports() const

@@ -90,6 +90,9 @@ renderReport(const apps::Benchmark &bench, const PipelineResult &result,
                 if (report->placement.relocated)
                     out += strprintf("\n        placement: %s",
                                      report->placement.rationale.c_str());
+                if (!report->bundleDir.empty())
+                    out += strprintf("\n        repro bundle: %s",
+                                     report->bundleDir.c_str());
                 out += "\n";
             }
         }
@@ -113,6 +116,15 @@ renderReport(const apps::Benchmark &bench, const PipelineResult &result,
                 m.hbEngine.c_str(), m.hbVertices, m.hbChains,
                 m.hbFrontierRows, m.hbReachBytes,
                 m.hbIncrementalUpdates, m.hbClosureRuns);
+        if (result.scheduleRecorded)
+            out += strprintf(
+                "schedule: %zu decisions recorded, trace checksum "
+                "%016llx, bundle %s (dcatch replay <bundle>)\n",
+                m.scheduleDecisions,
+                (unsigned long long)(result.monitoredSchedule
+                    ? result.monitoredSchedule->header.traceChecksum
+                    : 0),
+                result.monitoredBundleDir.c_str());
     }
     return out;
 }
@@ -174,6 +186,8 @@ reportToJson(const apps::Benchmark &bench, const PipelineResult &result)
                 failures.push(std::move(f));
             }
             entry.set("failures", std::move(failures));
+            if (!report->bundleDir.empty())
+                entry.set("bundle", Json::str(report->bundleDir));
         }
         reports.push(std::move(entry));
     }
@@ -216,6 +230,24 @@ reportToJson(const apps::Benchmark &bench, const PipelineResult &result)
         metrics.set("hb", std::move(hb));
     }
     root.set("metrics", std::move(metrics));
+
+    if (result.scheduleRecorded) {
+        Json replay = Json::object();
+        replay
+            .set("monitoredBundle", Json::str(result.monitoredBundleDir))
+            .set("decisions",
+                 Json::num(static_cast<std::int64_t>(
+                     result.metrics.scheduleDecisions)))
+            .set("traceChecksum",
+                 Json::str(strprintf(
+                     "%016llx",
+                     static_cast<unsigned long long>(
+                         result.monitoredSchedule
+                             ? result.monitoredSchedule->header
+                                   .traceChecksum
+                             : 0))));
+        root.set("replay", std::move(replay));
+    }
     return root;
 }
 

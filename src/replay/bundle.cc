@@ -1,0 +1,61 @@
+#include "replay/bundle.hh"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/util.hh"
+
+namespace dcatch::replay {
+
+namespace {
+
+void
+writeText(const std::filesystem::path &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        throw ScheduleLogError("bundle: cannot open " + path.string() +
+                               " for writing");
+    out << text;
+    if (!out)
+        throw ScheduleLogError("bundle: short write to " + path.string());
+}
+
+} // namespace
+
+std::string
+writeBundle(const std::string &directory, const ScheduleLog &log,
+            const std::string &report_json)
+{
+    std::filesystem::path dir(directory);
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        throw ScheduleLogError("bundle: cannot create " + directory +
+                               ": " + ec.message());
+
+    log.writeToFile((dir / kScheduleFile).string());
+    writeText(dir / kReportFile, report_json + "\n");
+    writeText(dir / kDigestFile,
+              strprintf("checksum %016llx\nrecords %llu\ndecisions %zu\n",
+                        static_cast<unsigned long long>(
+                            log.header.traceChecksum),
+                        static_cast<unsigned long long>(
+                            log.header.traceRecords),
+                        log.size()));
+    return dir.string();
+}
+
+ScheduleLog
+loadBundleLog(const std::string &path)
+{
+    std::filesystem::path p(path);
+    if (std::filesystem::is_directory(p))
+        p /= kScheduleFile;
+    if (!std::filesystem::exists(p))
+        throw ScheduleLogError("bundle: no schedule log at " +
+                               p.string());
+    return ScheduleLog::loadFromFile(p.string());
+}
+
+} // namespace dcatch::replay

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Repro bundles: self-contained directories that make a detected
+ * interleaving durable.  A bundle holds
+ *
+ *   schedule.bin — the binary ScheduleLog (header + every decision);
+ *                  alone sufficient to re-drive the run
+ *   report.json  — the bug report / run summary, for humans and
+ *                  downstream tooling
+ *   trace.digest — the recorded trace's checksum and record count in
+ *                  a grep-friendly text form
+ *
+ * The trigger module writes one per *harmful* classification, the
+ * seed sweep writes one per failing seed, and `dcatch run
+ * --record-schedule` writes one for the monitored run; `dcatch
+ * replay <bundle>` re-executes any of them.
+ */
+
+#ifndef DCATCH_REPLAY_BUNDLE_HH
+#define DCATCH_REPLAY_BUNDLE_HH
+
+#include <string>
+
+#include "replay/schedule_log.hh"
+
+namespace dcatch::replay {
+
+/** File names inside a bundle directory. */
+inline constexpr const char kScheduleFile[] = "schedule.bin";
+inline constexpr const char kReportFile[] = "report.json";
+inline constexpr const char kDigestFile[] = "trace.digest";
+
+/**
+ * Write a bundle into @p directory (created, including parents).
+ * @param log schedule log with a fully populated header
+ * @param report_json serialized JSON report stored alongside
+ * @return the bundle directory path
+ * @throws ScheduleLogError on encoding or I/O failure
+ */
+std::string writeBundle(const std::string &directory,
+                        const ScheduleLog &log,
+                        const std::string &report_json);
+
+/**
+ * Load the schedule log of a bundle.  @p path may be the bundle
+ * directory or a direct path to a schedule.bin file.
+ * @throws ScheduleLogError when nothing loadable is found
+ */
+ScheduleLog loadBundleLog(const std::string &path);
+
+} // namespace dcatch::replay
+
+#endif // DCATCH_REPLAY_BUNDLE_HH

@@ -1,0 +1,98 @@
+#include "replay/driver.hh"
+
+#include <algorithm>
+
+#include "apps/benchmark.hh"
+#include "common/util.hh"
+#include "replay/bundle.hh"
+#include "trigger/controller.hh"
+
+namespace dcatch::replay {
+
+namespace {
+
+trigger::RequestPoint
+toRequestPoint(const RequestPointSpec &spec)
+{
+    trigger::RequestPoint point;
+    point.site = spec.site;
+    point.callstack = spec.callstack;
+    point.instance = static_cast<int>(spec.instance);
+    point.note = spec.note;
+    return point;
+}
+
+std::vector<std::string>
+sortedKinds(std::vector<std::string> kinds)
+{
+    std::sort(kinds.begin(), kinds.end());
+    return kinds;
+}
+
+} // namespace
+
+ReplayOutcome
+replayLog(const ScheduleLog &log)
+{
+    const apps::Benchmark &bench = apps::benchmark(log.header.benchmarkId);
+
+    ReplayOutcome outcome;
+    outcome.header = log.header;
+    outcome.decisionsRecorded = log.size();
+
+    sim::Simulation sim(configFromHeader(log.header));
+    if (log.header.fullMemoryTrace) {
+        trace::TracerConfig tc;
+        tc.selectiveMemory = false;
+        sim.setTracerConfig(tc);
+    }
+    // A trigger-run schedule is only feasible with the enforced order
+    // re-applied: the controller's holds shape the runnable sets the
+    // log recorded, so replay reinstalls the same OrderController.
+    trigger::OrderController controller(
+        toRequestPoint(log.header.trigger.first),
+        toRequestPoint(log.header.trigger.second));
+    if (log.header.hasTrigger)
+        sim.setControlHook(&controller);
+
+    ReplayPolicy &policy = attachReplayer(sim, log);
+    bench.build(sim);
+    try {
+        outcome.run = sim.run();
+        if (!policy.drained()) {
+            outcome.diverged = true;
+            outcome.divergence.index = policy.consumed();
+            outcome.divergence.reason = strprintf(
+                "undrained schedule log: the run ended after %llu of "
+                "%llu recorded decisions",
+                static_cast<unsigned long long>(policy.consumed()),
+                static_cast<unsigned long long>(log.size()));
+        }
+    } catch (const ReplayDivergenceError &error) {
+        outcome.diverged = true;
+        outcome.divergence = error.divergence();
+    }
+    outcome.decisionsUsed = policy.consumed();
+
+    outcome.trace = sim.tracer().store();
+    outcome.traceChecksum = outcome.trace.contentDigest();
+    outcome.checksumMatch =
+        !outcome.diverged &&
+        outcome.traceChecksum == log.header.traceChecksum;
+
+    std::vector<std::string> kinds;
+    for (const sim::FailureEvent &failure : outcome.run.failures)
+        kinds.push_back(sim::failureKindName(failure.kind));
+    outcome.failureKindsMatch =
+        !outcome.diverged &&
+        sortedKinds(kinds) == sortedKinds(log.header.expectedFailureKinds);
+    return outcome;
+}
+
+ReplayOutcome
+replayBundle(const std::string &bundle_path)
+{
+    return replayLog(loadBundleLog(bundle_path));
+}
+
+} // namespace dcatch::replay

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Benchmark-aware replay driver: re-executes a recorded ScheduleLog
+ * (or a repro bundle on disk) against the registered benchmark it
+ * was recorded from, reinstalling the trigger module's
+ * OrderController for trigger-run logs, and reports whether the
+ * replay was identical — no divergence, a byte-identical trace
+ * (checksum match), and the same failure kinds.
+ */
+
+#ifndef DCATCH_REPLAY_DRIVER_HH
+#define DCATCH_REPLAY_DRIVER_HH
+
+#include <string>
+
+#include "replay/policies.hh"
+#include "replay/schedule_log.hh"
+#include "trace/trace_store.hh"
+
+namespace dcatch::replay {
+
+/** Everything one replayed run produced. */
+struct ReplayOutcome
+{
+    ScheduleHeader header;   ///< header of the replayed log
+    sim::RunResult run;      ///< status/failures of the replayed run
+    trace::TraceStore trace; ///< trace of the replayed run
+
+    bool diverged = false;   ///< execution left the recorded schedule
+    Divergence divergence;   ///< populated when diverged
+
+    std::uint64_t decisionsUsed = 0;     ///< decisions consumed
+    std::uint64_t decisionsRecorded = 0; ///< decisions in the log
+
+    std::uint64_t traceChecksum = 0; ///< digest of the replayed trace
+    bool checksumMatch = false;      ///< equals the recorded digest?
+    bool failureKindsMatch = false;  ///< same failure kinds as recorded?
+
+    /** Identical replay: no divergence, byte-identical trace, same
+     *  failure kinds. */
+    bool
+    identical() const
+    {
+        return !diverged && checksumMatch && failureKindsMatch;
+    }
+};
+
+/**
+ * Replay @p log against its benchmark.
+ * @throws std::runtime_error when the header names an unknown
+ *         benchmark or an unknown policy kind
+ */
+ReplayOutcome replayLog(const ScheduleLog &log);
+
+/** loadBundleLog() + replayLog(). @throws ScheduleLogError,
+ *  std::runtime_error */
+ReplayOutcome replayBundle(const std::string &bundle_path);
+
+} // namespace dcatch::replay
+
+#endif // DCATCH_REPLAY_DRIVER_HH

@@ -1,0 +1,178 @@
+#include "replay/policies.hh"
+
+#include <algorithm>
+
+#include "common/util.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::replay {
+
+namespace {
+
+std::string
+describeSet(const std::vector<int> &tids,
+            const std::vector<std::string> &labels)
+{
+    if (tids.empty())
+        return "(none)";
+    std::vector<std::string> parts;
+    parts.reserve(tids.size());
+    for (std::size_t i = 0; i < tids.size(); ++i)
+        parts.push_back(i < labels.size() && !labels[i].empty()
+                            ? labels[i]
+                            : strprintf("t%d", tids[i]));
+    return join(parts, " ");
+}
+
+/** Elements of @p from absent in @p other (both ascending). */
+std::vector<std::size_t>
+onlyIn(const std::vector<int> &from, const std::vector<int> &other)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < from.size(); ++i)
+        if (!std::binary_search(other.begin(), other.end(), from[i]))
+            out.push_back(i);
+    return out;
+}
+
+std::string
+pickLabel(const std::vector<int> &tids,
+          const std::vector<std::string> &labels, std::size_t i)
+{
+    if (i < labels.size() && !labels[i].empty())
+        return labels[i];
+    return strprintf("t%d", tids[i]);
+}
+
+} // namespace
+
+std::string
+Divergence::describe() const
+{
+    std::string out = strprintf(
+        "schedule divergence at decision %llu: %s\n",
+        static_cast<unsigned long long>(index), reason.c_str());
+    out += strprintf("  expected runnable: %s\n",
+                     describeSet(expectedRunnable, expectedLabels).c_str());
+    if (expectedChoice >= 0) {
+        std::string label = strprintf("t%d", expectedChoice);
+        for (std::size_t i = 0; i < expectedRunnable.size(); ++i)
+            if (expectedRunnable[i] == expectedChoice)
+                label = pickLabel(expectedRunnable, expectedLabels, i);
+        out += strprintf("  expected choice:   %s\n", label.c_str());
+    }
+    out += strprintf("  actual runnable:   %s\n",
+                     describeSet(actualRunnable, actualLabels).c_str());
+    for (std::size_t i : onlyIn(expectedRunnable, actualRunnable))
+        out += strprintf(
+            "  - %s was recorded runnable but is not\n",
+            pickLabel(expectedRunnable, expectedLabels, i).c_str());
+    for (std::size_t i : onlyIn(actualRunnable, expectedRunnable))
+        out += strprintf(
+            "  + %s is runnable but was not recorded\n",
+            pickLabel(actualRunnable, actualLabels, i).c_str());
+    return out;
+}
+
+ReplayDivergenceError::ReplayDivergenceError(Divergence divergence)
+    : std::runtime_error(divergence.describe()),
+      divergence_(std::move(divergence))
+{
+}
+
+RecordingPolicy::RecordingPolicy(
+    std::unique_ptr<sim::SchedulerPolicy> inner, ScheduleLog &log,
+    std::function<std::string(int)> thread_name)
+    : inner_(std::move(inner)), log_(log),
+      threadName_(std::move(thread_name))
+{
+}
+
+int
+RecordingPolicy::pick(const std::vector<int> &runnable,
+                      std::uint64_t step)
+{
+    Decision decision;
+    decision.runnable = runnable;
+    decision.chosen = inner_->pick(runnable, step);
+    if (threadName_) {
+        for (int tid : runnable) {
+            if (tid < internedUpTo_)
+                continue;
+            log_.noteThreadName(tid, threadName_(tid));
+            internedUpTo_ = std::max(internedUpTo_, tid + 1);
+        }
+    }
+    log_.append(std::move(decision));
+    return log_.decisions().back().chosen;
+}
+
+ReplayPolicy::ReplayPolicy(const ScheduleLog &log,
+                           std::function<std::string(int)> thread_label)
+    : log_(log), threadLabel_(std::move(thread_label))
+{
+}
+
+Divergence
+ReplayPolicy::diverge(const std::vector<int> &runnable,
+                      const Decision *expected,
+                      const std::string &reason) const
+{
+    Divergence divergence;
+    divergence.index = next_;
+    divergence.reason = reason;
+    divergence.actualRunnable = runnable;
+    for (int tid : runnable)
+        divergence.actualLabels.push_back(
+            threadLabel_ ? threadLabel_(tid) : strprintf("t%d", tid));
+    if (expected) {
+        divergence.expectedRunnable = expected->runnable;
+        divergence.expectedChoice = expected->chosen;
+        for (int tid : expected->runnable)
+            divergence.expectedLabels.push_back(log_.threadLabel(tid));
+    }
+    return divergence;
+}
+
+int
+ReplayPolicy::pick(const std::vector<int> &runnable, std::uint64_t)
+{
+    if (next_ >= log_.size())
+        throw ReplayDivergenceError(diverge(
+            runnable, nullptr,
+            strprintf("schedule log exhausted after %llu decisions but "
+                      "the run wants another",
+                      static_cast<unsigned long long>(log_.size()))));
+    const Decision &expected = log_.at(next_);
+    if (expected.runnable != runnable)
+        throw ReplayDivergenceError(
+            diverge(runnable, &expected, "runnable-set mismatch"));
+    if (!std::binary_search(runnable.begin(), runnable.end(),
+                            expected.chosen))
+        throw ReplayDivergenceError(
+            diverge(runnable, &expected,
+                    strprintf("recorded choice t%d is not runnable",
+                              expected.chosen)));
+    ++next_;
+    return expected.chosen;
+}
+
+void
+attachRecorder(sim::Simulation &sim, ScheduleLog &log)
+{
+    sim.setSchedulerPolicy(std::make_unique<RecordingPolicy>(
+        sim::makePolicy(sim.config()), log,
+        [&sim](int tid) { return sim.threadName(tid); }));
+}
+
+ReplayPolicy &
+attachReplayer(sim::Simulation &sim, const ScheduleLog &log)
+{
+    auto policy = std::make_unique<ReplayPolicy>(
+        log, [&sim](int tid) { return sim.threadLabel(tid); });
+    ReplayPolicy &ref = *policy;
+    sim.setSchedulerPolicy(std::move(policy));
+    return ref;
+}
+
+} // namespace dcatch::replay

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Scheduler-policy decorators of the record/replay subsystem.
+ *
+ * RecordingPolicy wraps any SchedulerPolicy (Fifo / Random /
+ * controlled) and streams every decision — the runnable set and the
+ * chosen thread — into a ScheduleLog.  ReplayPolicy re-drives the
+ * scheduler from a log, checking at every step that the live runnable
+ * set matches the recorded one; the moment execution no longer
+ * matches it raises a structured ReplayDivergenceError (decision
+ * index, expected vs. actual runnable sets with thread callstacks)
+ * instead of silently steering a different run — which doubles as a
+ * tripwire for accidental nondeterminism creeping into the substrate.
+ */
+
+#ifndef DCATCH_REPLAY_POLICIES_HH
+#define DCATCH_REPLAY_POLICIES_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "replay/schedule_log.hh"
+#include "runtime/scheduler.hh"
+
+namespace dcatch::sim {
+class Simulation;
+}
+
+namespace dcatch::replay {
+
+/** Structured description of a replay mismatch. */
+struct Divergence
+{
+    std::uint64_t index = 0; ///< 0-based decision index that mismatched
+    std::string reason;      ///< "runnable-set mismatch", "schedule log
+                             ///< exhausted", "recorded choice not
+                             ///< runnable", "undrained schedule log"
+    std::vector<int> expectedRunnable; ///< from the log (empty when
+                                       ///< the log was exhausted)
+    std::vector<int> actualRunnable;   ///< live scheduler state
+    int expectedChoice = -1;           ///< recorded pick, -1 if none
+    /** Live thread labels (name + current callstack) of the actual
+     *  runnable set, aligned with actualRunnable. */
+    std::vector<std::string> actualLabels;
+    /** Interned names of the expected runnable set, aligned with
+     *  expectedRunnable. */
+    std::vector<std::string> expectedLabels;
+
+    /** Multi-line human-readable report with a runnable-set diff. */
+    std::string describe() const;
+};
+
+/** Raised by ReplayPolicy::pick the moment execution diverges. */
+class ReplayDivergenceError : public std::runtime_error
+{
+  public:
+    explicit ReplayDivergenceError(Divergence divergence);
+
+    const Divergence &divergence() const { return divergence_; }
+
+  private:
+    Divergence divergence_;
+};
+
+/** Streams the wrapped policy's decisions into a ScheduleLog. */
+class RecordingPolicy : public sim::SchedulerPolicy
+{
+  public:
+    /**
+     * @param inner the real policy whose decisions are recorded
+     * @param log decision sink; must outlive this policy
+     * @param thread_name resolves a tid to its stable thread name for
+     *        the log's interned thread table (may be empty)
+     */
+    RecordingPolicy(std::unique_ptr<sim::SchedulerPolicy> inner,
+                    ScheduleLog &log,
+                    std::function<std::string(int)> thread_name);
+
+    int pick(const std::vector<int> &runnable,
+             std::uint64_t step) override;
+
+  private:
+    std::unique_ptr<sim::SchedulerPolicy> inner_;
+    ScheduleLog &log_;
+    std::function<std::string(int)> threadName_;
+    int internedUpTo_ = 0; ///< tids below this are already interned
+};
+
+/** Re-drives the scheduler from a recorded ScheduleLog. */
+class ReplayPolicy : public sim::SchedulerPolicy
+{
+  public:
+    /**
+     * @param log the recorded decisions; must outlive this policy
+     * @param thread_label resolves a tid to a live diagnostic label
+     *        (name + callstack) for divergence reports (may be empty)
+     */
+    explicit ReplayPolicy(const ScheduleLog &log,
+                          std::function<std::string(int)> thread_label = {});
+
+    /** @throws ReplayDivergenceError on the first mismatch */
+    int pick(const std::vector<int> &runnable,
+             std::uint64_t step) override;
+
+    /** Decisions consumed so far. */
+    std::uint64_t consumed() const { return next_; }
+
+    /** True when every recorded decision was replayed. */
+    bool drained() const { return next_ == log_.size(); }
+
+  private:
+    Divergence diverge(const std::vector<int> &runnable,
+                       const Decision *expected,
+                       const std::string &reason) const;
+
+    const ScheduleLog &log_;
+    std::function<std::string(int)> threadLabel_;
+    std::uint64_t next_ = 0;
+};
+
+/**
+ * Wrap @p sim's configured policy in a RecordingPolicy targeting
+ * @p log.  Must be called before sim.run(); the log must outlive the
+ * simulation's run.  The caller still owns the log and is responsible
+ * for filling its header (benchmark id, trace checksum, ...) after
+ * the run.
+ */
+void attachRecorder(sim::Simulation &sim, ScheduleLog &log);
+
+/**
+ * Replace @p sim's policy with a ReplayPolicy driven by @p log.
+ * Returns the policy (owned by the scheduler) so callers can query
+ * consumed()/drained() after the run.
+ */
+ReplayPolicy &attachReplayer(sim::Simulation &sim, const ScheduleLog &log);
+
+} // namespace dcatch::replay
+
+#endif // DCATCH_REPLAY_POLICIES_HH

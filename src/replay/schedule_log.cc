@@ -1,0 +1,358 @@
+#include "replay/schedule_log.hh"
+
+#include <fstream>
+
+#include "common/util.hh"
+
+namespace dcatch::replay {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'C', 'S', 'L'};
+constexpr std::uint64_t kVersion = 1;
+
+void
+putVarint(std::string &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+        value >>= 7;
+    }
+    out.push_back(static_cast<char>(value));
+}
+
+void
+putString(std::string &out, const std::string &value)
+{
+    putVarint(out, value.size());
+    out.append(value);
+}
+
+/** Cursor over the encoded bytes; every read throws on truncation. */
+struct Reader
+{
+    const std::string &bytes;
+    std::size_t pos = 0;
+
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw ScheduleLogError(strprintf(
+            "schedule log: %s (at byte %zu of %zu)", what.c_str(), pos,
+            bytes.size()));
+    }
+
+    std::uint64_t
+    varint(const char *what)
+    {
+        std::uint64_t value = 0;
+        int shift = 0;
+        while (true) {
+            if (pos >= bytes.size())
+                fail(strprintf("truncated varint in %s", what));
+            if (shift >= 64)
+                fail(strprintf("overlong varint in %s", what));
+            unsigned char byte =
+                static_cast<unsigned char>(bytes[pos++]);
+            value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+            if (!(byte & 0x80))
+                return value;
+            shift += 7;
+        }
+    }
+
+    std::string
+    str(const char *what)
+    {
+        std::uint64_t len = varint(what);
+        if (len > bytes.size() - pos)
+            fail(strprintf("truncated string in %s", what));
+        std::string out = bytes.substr(pos, len);
+        pos += len;
+        return out;
+    }
+};
+
+std::uint64_t
+fnv64(const std::string &bytes, std::size_t count)
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    for (std::size_t i = 0; i < count; ++i) {
+        hash ^= static_cast<unsigned char>(bytes[i]);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+void
+putRequestPoint(std::string &out, const RequestPointSpec &point)
+{
+    putString(out, point.site);
+    putString(out, point.callstack);
+    putVarint(out, static_cast<std::uint64_t>(point.instance));
+    putString(out, point.note);
+}
+
+RequestPointSpec
+readRequestPoint(Reader &in)
+{
+    RequestPointSpec point;
+    point.site = in.str("request point site");
+    point.callstack = in.str("request point callstack");
+    point.instance =
+        static_cast<std::int64_t>(in.varint("request point instance"));
+    point.note = in.str("request point note");
+    return point;
+}
+
+} // namespace
+
+ScheduleHeader
+headerFromConfig(const sim::SimConfig &config)
+{
+    ScheduleHeader header;
+    header.seed = config.seed;
+    header.policy = static_cast<std::uint32_t>(config.policy);
+    header.maxSteps = config.maxSteps;
+    header.rpcWorkersPerNode =
+        static_cast<std::uint32_t>(config.rpcWorkersPerNode);
+    header.loopHangBound = static_cast<std::uint32_t>(config.loopHangBound);
+    return header;
+}
+
+sim::SimConfig
+configFromHeader(const ScheduleHeader &header)
+{
+    if (header.policy > static_cast<std::uint32_t>(sim::PolicyKind::Random))
+        throw ScheduleLogError(strprintf(
+            "schedule log: unknown policy kind %u", header.policy));
+    sim::SimConfig config;
+    config.policy = static_cast<sim::PolicyKind>(header.policy);
+    config.seed = header.seed;
+    config.maxSteps = header.maxSteps;
+    config.rpcWorkersPerNode = static_cast<int>(header.rpcWorkersPerNode);
+    config.loopHangBound = static_cast<int>(header.loopHangBound);
+    return config;
+}
+
+void
+ScheduleLog::noteThreadName(int tid, const std::string &name)
+{
+    if (tid < 0)
+        return;
+    if (static_cast<std::size_t>(tid) >= threadNames_.size())
+        threadNames_.resize(static_cast<std::size_t>(tid) + 1);
+    if (threadNames_[static_cast<std::size_t>(tid)].empty())
+        threadNames_[static_cast<std::size_t>(tid)] = name;
+}
+
+const std::string &
+ScheduleLog::threadName(int tid) const
+{
+    static const std::string empty;
+    if (tid < 0 || static_cast<std::size_t>(tid) >= threadNames_.size())
+        return empty;
+    return threadNames_[static_cast<std::size_t>(tid)];
+}
+
+std::string
+ScheduleLog::threadLabel(int tid) const
+{
+    const std::string &name = threadName(tid);
+    if (name.empty())
+        return strprintf("t%d", tid);
+    return strprintf("t%d(%s)", tid, name.c_str());
+}
+
+void
+ScheduleLog::append(Decision decision)
+{
+    decisions_.push_back(std::move(decision));
+}
+
+std::string
+ScheduleLog::encode() const
+{
+    std::string out(kMagic, sizeof kMagic);
+    putVarint(out, kVersion);
+
+    putString(out, header.benchmarkId);
+    putString(out, header.label);
+    putVarint(out, header.seed);
+    putVarint(out, header.policy);
+    putVarint(out, header.maxSteps);
+    putVarint(out, header.rpcWorkersPerNode);
+    putVarint(out, header.loopHangBound);
+    std::uint64_t flags = (header.fullMemoryTrace ? 1u : 0u) |
+                          (header.hasTrigger ? 2u : 0u);
+    putVarint(out, flags);
+    putVarint(out, header.traceChecksum);
+    putVarint(out, header.traceRecords);
+    putVarint(out, header.expectedFailureKinds.size());
+    for (const std::string &kind : header.expectedFailureKinds)
+        putString(out, kind);
+    if (header.hasTrigger) {
+        putRequestPoint(out, header.trigger.first);
+        putRequestPoint(out, header.trigger.second);
+        putString(out, header.trigger.order);
+    }
+
+    putVarint(out, threadNames_.size());
+    for (const std::string &name : threadNames_)
+        putString(out, name);
+
+    putVarint(out, decisions_.size());
+    for (std::size_t d = 0; d < decisions_.size(); ++d) {
+        const Decision &decision = decisions_[d];
+        if (decision.runnable.empty())
+            throw ScheduleLogError(strprintf(
+                "schedule log: decision %zu has an empty runnable set",
+                d));
+        putVarint(out, decision.runnable.size());
+        std::size_t chosen_index = decision.runnable.size();
+        int previous = -1;
+        for (std::size_t i = 0; i < decision.runnable.size(); ++i) {
+            int tid = decision.runnable[i];
+            if (tid <= previous)
+                throw ScheduleLogError(strprintf(
+                    "schedule log: decision %zu runnable set is not "
+                    "strictly ascending", d));
+            // First tid absolute; the rest as (delta - 1), so a packed
+            // consecutive runnable set costs one byte per thread.
+            putVarint(out, i == 0 ? static_cast<std::uint64_t>(tid)
+                                  : static_cast<std::uint64_t>(
+                                        tid - previous - 1));
+            if (tid == decision.chosen)
+                chosen_index = i;
+            previous = tid;
+        }
+        if (chosen_index == decision.runnable.size())
+            throw ScheduleLogError(strprintf(
+                "schedule log: decision %zu chose t%d, which is not in "
+                "its runnable set", d, decision.chosen));
+        putVarint(out, chosen_index);
+    }
+
+    std::uint64_t checksum = fnv64(out, out.size());
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((checksum >> (8 * i)) & 0xff));
+    return out;
+}
+
+ScheduleLog
+ScheduleLog::decode(const std::string &bytes)
+{
+    if (bytes.size() < sizeof kMagic + 8 ||
+        bytes.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0)
+        throw ScheduleLogError(
+            "schedule log: missing DCSL magic (not a schedule log?)");
+
+    std::size_t body = bytes.size() - 8;
+    std::uint64_t stored = 0;
+    for (int i = 7; i >= 0; --i)
+        stored = (stored << 8) |
+                 static_cast<unsigned char>(bytes[body + i]);
+    if (fnv64(bytes, body) != stored)
+        throw ScheduleLogError(
+            "schedule log: checksum mismatch (corrupt or truncated)");
+
+    Reader in{bytes, sizeof kMagic};
+    std::uint64_t version = in.varint("version");
+    if (version != kVersion)
+        throw ScheduleLogError(strprintf(
+            "schedule log: unsupported version %llu",
+            static_cast<unsigned long long>(version)));
+
+    ScheduleLog log;
+    ScheduleHeader &h = log.header;
+    h.benchmarkId = in.str("benchmark id");
+    h.label = in.str("label");
+    h.seed = in.varint("seed");
+    h.policy = static_cast<std::uint32_t>(in.varint("policy"));
+    h.maxSteps = in.varint("max steps");
+    h.rpcWorkersPerNode =
+        static_cast<std::uint32_t>(in.varint("rpc workers"));
+    h.loopHangBound =
+        static_cast<std::uint32_t>(in.varint("loop hang bound"));
+    std::uint64_t flags = in.varint("flags");
+    h.fullMemoryTrace = (flags & 1) != 0;
+    h.hasTrigger = (flags & 2) != 0;
+    h.traceChecksum = in.varint("trace checksum");
+    h.traceRecords = in.varint("trace records");
+    std::uint64_t kinds = in.varint("failure kind count");
+    for (std::uint64_t i = 0; i < kinds; ++i)
+        h.expectedFailureKinds.push_back(in.str("failure kind"));
+    if (h.hasTrigger) {
+        h.trigger.first = readRequestPoint(in);
+        h.trigger.second = readRequestPoint(in);
+        h.trigger.order = in.str("trigger order");
+    }
+
+    std::uint64_t names = in.varint("thread table size");
+    for (std::uint64_t tid = 0; tid < names; ++tid)
+        log.noteThreadName(static_cast<int>(tid),
+                           in.str("thread name"));
+    // noteThreadName skips empty names; keep the table's true size.
+    log.threadNames_.resize(names);
+
+    std::uint64_t count = in.varint("decision count");
+    log.decisions_.reserve(count);
+    for (std::uint64_t d = 0; d < count; ++d) {
+        Decision decision;
+        std::uint64_t runnable = in.varint("runnable count");
+        if (runnable == 0)
+            in.fail(strprintf("decision %llu has no runnable threads",
+                              static_cast<unsigned long long>(d)));
+        decision.runnable.reserve(runnable);
+        int previous = -1;
+        for (std::uint64_t i = 0; i < runnable; ++i) {
+            std::uint64_t delta = in.varint("runnable tid");
+            std::uint64_t tid =
+                i == 0 ? delta
+                       : static_cast<std::uint64_t>(previous) + delta + 1;
+            if (tid > 0x7fffffff)
+                in.fail("runnable tid out of range");
+            decision.runnable.push_back(static_cast<int>(tid));
+            previous = static_cast<int>(tid);
+        }
+        std::uint64_t chosen = in.varint("chosen index");
+        if (chosen >= runnable)
+            in.fail(strprintf(
+                "decision %llu chose index %llu of %llu runnable",
+                static_cast<unsigned long long>(d),
+                static_cast<unsigned long long>(chosen),
+                static_cast<unsigned long long>(runnable)));
+        decision.chosen = decision.runnable[chosen];
+        log.decisions_.push_back(std::move(decision));
+    }
+
+    if (in.pos != body)
+        in.fail("trailing bytes after the decision list");
+    return log;
+}
+
+void
+ScheduleLog::writeToFile(const std::string &path) const
+{
+    std::string bytes = encode();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw ScheduleLogError("schedule log: cannot open " + path +
+                               " for writing");
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out)
+        throw ScheduleLogError("schedule log: short write to " + path);
+}
+
+ScheduleLog
+ScheduleLog::loadFromFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw ScheduleLogError("schedule log: cannot open " + path);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    return decode(bytes);
+}
+
+} // namespace dcatch::replay

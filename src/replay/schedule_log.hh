@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The ScheduleLog: a compact, self-describing binary record of every
+ * scheduler decision of one simulation run.
+ *
+ * Under the serialized token-passing scheduler the *only* source of
+ * nondeterminism is the sequence of policy decisions — which runnable
+ * thread receives the execution token at each step.  Event-queue
+ * dequeues, RPC worker dispatch, and the seeded-random policy's RNG
+ * draws are all deterministic functions of that sequence, so logging
+ * each decision (the runnable set plus the chosen thread) is
+ * sufficient for bit-identical replay (iReplayer / rr style record
+ * and replay, specialised to a CHESS-style scheduler).
+ *
+ * Binary format (all integers LEB128 varints, strings length-prefixed):
+ *
+ *   magic "DCSL" | version | header | thread table | decisions | fnv64
+ *
+ * The header carries everything needed to reconstruct the run:
+ * benchmark id, scheduling config (seed, policy, budgets), tracer
+ * mode, the trace digest of the recorded run, the expected failure
+ * kinds, and — for trigger-module runs — the enforced order's two
+ * request points so replay can reinstall the OrderController.  The
+ * thread table interns thread names once per tid; the trailing FNV-1a
+ * checksum detects corrupt or truncated files at load time.
+ */
+
+#ifndef DCATCH_REPLAY_SCHEDULE_LOG_HH
+#define DCATCH_REPLAY_SCHEDULE_LOG_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/types.hh"
+
+namespace dcatch::replay {
+
+/** Malformed, corrupt, or truncated schedule log. */
+class ScheduleLogError : public std::runtime_error
+{
+  public:
+    explicit ScheduleLogError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Serialized trigger request point (mirror of trigger::RequestPoint,
+ *  kept dependency-free so the core replay library needs no trigger
+ *  headers). */
+struct RequestPointSpec
+{
+    std::string site;      ///< site to intercept
+    std::string callstack; ///< exact callstack; empty = match any
+    std::int64_t instance = 0; ///< 0-based dynamic occurrence
+    std::string note;      ///< relocation rationale
+};
+
+/** Enforced-order section of a trigger-run schedule log. */
+struct TriggerSpec
+{
+    RequestPointSpec first;  ///< party that must execute first
+    RequestPointSpec second; ///< party held until the first passes
+    std::string order;       ///< label, e.g. "a-then-b"
+};
+
+/** Schedule-log header: everything needed to re-drive the run. */
+struct ScheduleHeader
+{
+    std::string benchmarkId; ///< apps::benchmark() id
+    std::string label;       ///< "monitored", "trigger a-then-b", ...
+    std::uint64_t seed = 1;
+    std::uint32_t policy = 0; ///< sim::PolicyKind as integer
+    std::uint64_t maxSteps = 0;
+    std::uint32_t rpcWorkersPerNode = 0;
+    std::uint32_t loopHangBound = 0;
+    bool fullMemoryTrace = false; ///< tracer ran unselectively
+    std::uint64_t traceChecksum = 0; ///< TraceStore::contentDigest()
+    std::uint64_t traceRecords = 0;  ///< record count of that trace
+    /** Failure kinds (failureKindName) the recorded run produced, in
+     *  occurrence order; empty for a correct (monitored) run. */
+    std::vector<std::string> expectedFailureKinds;
+    bool hasTrigger = false; ///< trigger section present?
+    TriggerSpec trigger;
+};
+
+/** Build a header from a SimConfig (scheduling fields only). */
+ScheduleHeader headerFromConfig(const sim::SimConfig &config);
+
+/** Reconstruct the SimConfig a log was recorded under.
+ *  @throws ScheduleLogError on an unknown policy value */
+sim::SimConfig configFromHeader(const ScheduleHeader &header);
+
+/** One scheduler decision: who was runnable, who got the token. */
+struct Decision
+{
+    std::vector<int> runnable; ///< strictly ascending thread ids
+    int chosen = -1;           ///< element of runnable
+};
+
+/** The recorded decision sequence plus interned thread names. */
+class ScheduleLog
+{
+  public:
+    ScheduleHeader header;
+
+    /** Intern a thread's name (idempotent; names are stable). */
+    void noteThreadName(int tid, const std::string &name);
+
+    /** Interned name of @p tid, or "" when never interned. */
+    const std::string &threadName(int tid) const;
+
+    /** "t<tid>(<name>)", or "t<tid>" when the name is unknown. */
+    std::string threadLabel(int tid) const;
+
+    /** Interned name table, indexed by tid. */
+    const std::vector<std::string> &threadNames() const
+    {
+        return threadNames_;
+    }
+
+    /** Append one decision. */
+    void append(Decision decision);
+
+    std::size_t size() const { return decisions_.size(); }
+    const Decision &at(std::size_t i) const { return decisions_.at(i); }
+
+    /** Mutable decision list (divergence-injection tests). */
+    std::vector<Decision> &decisions() { return decisions_; }
+    const std::vector<Decision> &decisions() const { return decisions_; }
+
+    /**
+     * Serialize to the binary format.
+     * @throws ScheduleLogError when a decision is malformed (runnable
+     *         not strictly ascending, or chosen not in runnable)
+     */
+    std::string encode() const;
+
+    /** Parse bytes produced by encode().
+     *  @throws ScheduleLogError on any malformation */
+    static ScheduleLog decode(const std::string &bytes);
+
+    /** encode() into @p path. @throws ScheduleLogError on I/O error */
+    void writeToFile(const std::string &path) const;
+
+    /** Load and decode @p path. @throws ScheduleLogError */
+    static ScheduleLog loadFromFile(const std::string &path);
+
+  private:
+    std::vector<std::string> threadNames_;
+    std::vector<Decision> decisions_;
+};
+
+} // namespace dcatch::replay
+
+#endif // DCATCH_REPLAY_SCHEDULE_LOG_HH

@@ -1,5 +1,7 @@
 #include "runtime/scheduler.hh"
 
+#include <cassert>
+
 #include "common/logging.hh"
 
 namespace dcatch::sim {
@@ -40,6 +42,14 @@ makePolicy(const SimConfig &config)
 Scheduler::Scheduler(std::unique_ptr<SchedulerPolicy> policy)
     : policy_(std::move(policy))
 {
+}
+
+void
+Scheduler::setPolicy(std::unique_ptr<SchedulerPolicy> policy)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(steps_ == 0 && "policy must be set before the first step");
+    policy_ = std::move(policy);
 }
 
 Scheduler::~Scheduler()

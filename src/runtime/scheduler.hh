@@ -91,6 +91,14 @@ class Scheduler
     Scheduler &operator=(const Scheduler &) = delete;
 
     /**
+     * Replace the scheduling policy.  Only legal before the first
+     * scheduling step — the record/replay subsystem uses this to wrap
+     * the configured policy in a recording decorator or to substitute
+     * a log-driven replay policy.
+     */
+    void setPolicy(std::unique_ptr<SchedulerPolicy> policy);
+
+    /**
      * Register a simulated thread and start its backing std::thread.
      * The body does not begin executing until the scheduler admits it.
      * @param daemon daemon threads (service workers) do not count

@@ -229,6 +229,31 @@ Simulation::~Simulation()
 }
 
 void
+Simulation::setSchedulerPolicy(std::unique_ptr<SchedulerPolicy> policy)
+{
+    assert(!started_ && "scheduler policy must be set before run()");
+    scheduler_->setPolicy(std::move(policy));
+}
+
+std::string
+Simulation::threadName(int tid) const
+{
+    if (tid < 0 || static_cast<std::size_t>(tid) >= contexts_.size())
+        return "";
+    return contexts_[static_cast<std::size_t>(tid)]->name();
+}
+
+std::string
+Simulation::threadLabel(int tid) const
+{
+    if (tid < 0 || static_cast<std::size_t>(tid) >= contexts_.size())
+        return strprintf("t%d", tid);
+    return strprintf(
+        "t%d(%s)", tid,
+        contexts_[static_cast<std::size_t>(tid)]->callstack().c_str());
+}
+
+void
 Simulation::setTracerConfig(trace::TracerConfig config)
 {
     assert(!started_ && "tracer config must be set before run()");

@@ -52,6 +52,24 @@ class Simulation
     /** Install the trigger-module control hook (may be nullptr). */
     void setControlHook(ControlHook *hook) { hook_ = hook; }
 
+    /**
+     * Replace the scheduler policy (before run()).  The record/replay
+     * subsystem injects its recording decorator / replay policy here;
+     * the policy constructed from the SimConfig is discarded.
+     */
+    void setSchedulerPolicy(std::unique_ptr<SchedulerPolicy> policy);
+
+    /** Name a simulated thread was spawned with ("" if out of range). */
+    std::string threadName(int tid) const;
+
+    /**
+     * "t<tid>(<name>:<frames>)" — thread identity plus its current
+     * callstack.  Only meaningful while no simulated thread is running
+     * (scheduler quiescent), which is when replay divergence is
+     * diagnosed.
+     */
+    std::string threadLabel(int tid) const;
+
     /** Create a node (setup phase only). */
     Node &addNode(const std::string &name);
 

@@ -83,6 +83,24 @@ TraceStore::serializedBytes() const
     return bytes;
 }
 
+std::uint64_t
+TraceStore::contentDigest() const
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    auto mix = [&hash](const char *data, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) {
+            hash ^= static_cast<unsigned char>(data[i]);
+            hash *= 1099511628211ull;
+        }
+    };
+    for (const Record &rec : allRecords()) {
+        std::string line = rec.toLine();
+        mix(line.data(), line.size());
+        mix("\n", 1);
+    }
+    return hash;
+}
+
 void
 TraceStore::writeToDirectory(const std::string &directory) const
 {

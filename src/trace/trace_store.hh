@@ -72,6 +72,15 @@ class TraceStore
     /** Serialized size in bytes (what the trace files would occupy). */
     std::size_t serializedBytes() const;
 
+    /**
+     * FNV-1a digest over every record's serialized form in global
+     * sequence order: two stores have equal digests iff their
+     * serialized traces are byte-identical.  The record/replay
+     * subsystem stores this in schedule-log headers and repro bundles
+     * to certify that a replayed run reproduced the recorded trace.
+     */
+    std::uint64_t contentDigest() const;
+
     /** Write one trace file per thread into @p directory. */
     void writeToDirectory(const std::string &directory) const;
 

@@ -1,9 +1,25 @@
 #include "trigger/harness.hh"
 
 #include "common/logging.hh"
+#include "replay/policies.hh"
 #include "trigger/controller.hh"
 
 namespace dcatch::trigger {
+
+namespace {
+
+replay::RequestPointSpec
+toSpec(const RequestPoint &point)
+{
+    replay::RequestPointSpec spec;
+    spec.site = point.site;
+    spec.callstack = point.callstack;
+    spec.instance = point.instance;
+    spec.note = point.note;
+    return spec;
+}
+
+} // namespace
 
 const char *
 triggerClassName(TriggerClass cls)
@@ -27,8 +43,27 @@ TriggerHarness::runOrder(const RequestPoint &first,
     sim::Simulation sim(config_);
     OrderController controller(first, second);
     sim.setControlHook(&controller);
+    if (recordSchedules_) {
+        run.schedule = std::make_shared<replay::ScheduleLog>();
+        replay::attachRecorder(sim, *run.schedule);
+    }
     build_(sim);
     run.result = sim.run();
+    if (run.schedule) {
+        replay::ScheduleHeader &header = run.schedule->header;
+        header = replay::headerFromConfig(config_);
+        header.benchmarkId = benchmarkId_;
+        header.label = "trigger " + label;
+        header.hasTrigger = true;
+        header.trigger.first = toSpec(first);
+        header.trigger.second = toSpec(second);
+        header.trigger.order = label;
+        for (const sim::FailureEvent &failure : run.result.failures)
+            header.expectedFailureKinds.push_back(
+                sim::failureKindName(failure.kind));
+        header.traceChecksum = sim.tracer().store().contentDigest();
+        header.traceRecords = sim.tracer().store().totalRecords();
+    }
     run.enforced = controller.orderEnforced();
     run.rescued = controller.rescued();
     run.exercised = controller.firstReached() &&
@@ -64,6 +99,7 @@ TriggerHarness::test(const detect::Candidate &candidate,
             any_failed = true;
             report.failingOrder = run.order;
             report.failures = run.result.failures;
+            report.failingSchedule = run.schedule;
         }
     }
 

@@ -18,10 +18,12 @@
 #define DCATCH_TRIGGER_HARNESS_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "detect/report.hh"
+#include "replay/schedule_log.hh"
 #include "runtime/sim.hh"
 #include "trace/trace_store.hh"
 #include "trigger/placement.hh"
@@ -45,6 +47,10 @@ struct OrderRun
      *  aborted as a result of the enforced order). */
     bool exercised = false;
     sim::RunResult result;
+
+    /** Schedule log of this run, when the harness records schedules
+     *  (shared so OrderRun stays cheaply copyable). */
+    std::shared_ptr<replay::ScheduleLog> schedule;
 };
 
 /** Full triggering report for one candidate. */
@@ -58,6 +64,14 @@ struct TriggerReport
 
     /** Failures observed in the failing run (when harmful). */
     std::vector<sim::FailureEvent> failures;
+
+    /** Repro bundle directory (set by the pipeline when it writes a
+     *  bundle for a harmful report). */
+    std::string bundleDir;
+
+    /** Schedule log of the failing run (when harmful and the harness
+     *  records schedules). */
+    std::shared_ptr<replay::ScheduleLog> failingSchedule;
 };
 
 /** The triggering harness, bound to one benchmark's topology. */
@@ -72,6 +86,19 @@ class TriggerHarness
                    sim::SimConfig config)
         : build_(std::move(build)), config_(config)
     {
+    }
+
+    /**
+     * Record every trigger run's schedule so harmful classifications
+     * can be exported as repro bundles.  @p benchmark_id is stamped
+     * into each log's header (replay needs it to rebuild the
+     * topology).
+     */
+    void
+    enableScheduleRecording(std::string benchmark_id)
+    {
+        benchmarkId_ = std::move(benchmark_id);
+        recordSchedules_ = true;
     }
 
     /**
@@ -96,6 +123,8 @@ class TriggerHarness
 
     std::function<void(sim::Simulation &)> build_;
     sim::SimConfig config_;
+    std::string benchmarkId_;
+    bool recordSchedules_ = false;
 };
 
 } // namespace dcatch::trigger

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * End-to-end record/replay property: for every registered benchmark,
+ * under both the FIFO and seeded-random policies, recording a run and
+ * replaying its ScheduleLog reproduces the run exactly — every
+ * recorded decision is consumed, the trace is byte-identical, and
+ * detection over the replayed trace reports the same candidates.
+ * Also exercises the repro-bundle path end to end: the pipeline's
+ * monitored and harmful bundles replay identically from disk, and a
+ * harmful bundle reproduces the recorded failure kinds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "dcatch/pipeline.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+#include "replay/driver.hh"
+#include "replay/policies.hh"
+
+namespace dcatch {
+namespace {
+
+std::string
+traceText(const trace::TraceStore &store)
+{
+    std::string all;
+    for (const auto &rec : store.allRecords())
+        all += rec.toLine() + "\n";
+    return all;
+}
+
+std::vector<std::string>
+candidateKeys(const trace::TraceStore &store)
+{
+    hb::HbGraph graph(store);
+    detect::RaceDetector detector;
+    std::vector<std::string> keys;
+    for (const auto &cand : detector.detect(graph))
+        keys.push_back(cand.callstackKey());
+    return keys;
+}
+
+using Case = std::tuple<const char *, sim::PolicyKind>;
+
+class ReplayRoundTripTest : public ::testing::TestWithParam<Case>
+{
+};
+
+TEST_P(ReplayRoundTripTest, RecordedRunReplaysIdentically)
+{
+    const apps::Benchmark &bench =
+        apps::benchmark(std::get<0>(GetParam()));
+    sim::SimConfig config = bench.config;
+    config.policy = std::get<1>(GetParam());
+    if (config.policy == sim::PolicyKind::Random)
+        config.seed = 7919;
+
+    sim::Simulation sim(config);
+    replay::ScheduleLog log;
+    replay::attachRecorder(sim, log);
+    bench.build(sim);
+    sim::RunResult run = sim.run();
+
+    log.header = replay::headerFromConfig(config);
+    log.header.benchmarkId = bench.id;
+    log.header.label = "test";
+    for (const sim::FailureEvent &failure : run.failures)
+        log.header.expectedFailureKinds.push_back(
+            sim::failureKindName(failure.kind));
+    log.header.traceChecksum = sim.tracer().store().contentDigest();
+    log.header.traceRecords = sim.tracer().store().totalRecords();
+    ASSERT_GT(log.size(), 0u);
+
+    // Survive serialization too: replay the decoded bytes.
+    replay::ScheduleLog decoded = replay::ScheduleLog::decode(log.encode());
+    replay::ReplayOutcome outcome = replay::replayLog(decoded);
+
+    EXPECT_FALSE(outcome.diverged) << outcome.divergence.describe();
+    EXPECT_EQ(outcome.decisionsUsed, log.size());
+    EXPECT_TRUE(outcome.checksumMatch);
+    EXPECT_TRUE(outcome.failureKindsMatch);
+    EXPECT_TRUE(outcome.identical());
+    EXPECT_EQ(outcome.run.status, run.status);
+
+    // Byte-identical trace, not merely an equal digest.
+    EXPECT_EQ(traceText(outcome.trace),
+              traceText(sim.tracer().store()));
+    // Same detection output over the replayed trace.
+    EXPECT_EQ(candidateKeys(outcome.trace),
+              candidateKeys(sim.tracer().store()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ReplayRoundTripTest,
+    ::testing::Combine(::testing::Values("CA-1011", "HB-4539", "HB-4729",
+                                         "MR-3274", "MR-4637", "ZK-1144",
+                                         "ZK-1270"),
+                       ::testing::Values(sim::PolicyKind::Fifo,
+                                         sim::PolicyKind::Random)),
+    [](const ::testing::TestParamInfo<Case> &info) {
+        std::string name = std::get<0>(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + (std::get<1>(info.param) == sim::PolicyKind::Fifo
+                           ? "_fifo"
+                           : "_random");
+    });
+
+TEST(ReplayBundleTest, PipelineBundlesReplayFromDisk)
+{
+    const apps::Benchmark &bench = apps::benchmark("MR-3274");
+    PipelineOptions options;
+    options.runTrigger = true;
+    options.reproDir = ::testing::TempDir() + "replay_bundle_test";
+    PipelineResult result = runPipeline(bench, options);
+
+    ASSERT_TRUE(result.scheduleRecorded);
+    ASSERT_FALSE(result.monitoredBundleDir.empty());
+    EXPECT_EQ(result.metrics.scheduleDecisions,
+              result.monitoredSchedule->size());
+
+    replay::ReplayOutcome monitored =
+        replay::replayBundle(result.monitoredBundleDir);
+    EXPECT_TRUE(monitored.identical())
+        << monitored.divergence.describe();
+    EXPECT_EQ(monitored.header.label, "monitored");
+
+    // At least one harmful report (the known MR-3274 bug) with a
+    // bundle that reproduces the recorded failure kinds from disk.
+    int harmful = 0;
+    for (const trigger::TriggerReport &report : result.triggered) {
+        if (report.cls != trigger::TriggerClass::Harmful)
+            continue;
+        ++harmful;
+        ASSERT_FALSE(report.bundleDir.empty());
+        replay::ReplayOutcome outcome =
+            replay::replayBundle(report.bundleDir);
+        EXPECT_TRUE(outcome.identical())
+            << outcome.divergence.describe();
+        EXPECT_TRUE(outcome.run.failed())
+            << "harmful bundle must reproduce the failure";
+        EXPECT_TRUE(outcome.header.hasTrigger);
+    }
+    EXPECT_GT(harmful, 0);
+}
+
+} // namespace
+} // namespace dcatch

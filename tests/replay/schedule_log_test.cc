@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests of the ScheduleLog binary format: encode/decode
+ * round-trips (header, trigger section, thread table, decisions),
+ * malformed-decision rejection at encode time, and corruption
+ * detection (magic, checksum, truncation, trailing bytes) at decode
+ * time.
+ */
+
+#include <gtest/gtest.h>
+
+#include "replay/schedule_log.hh"
+
+namespace dcatch::replay {
+namespace {
+
+ScheduleLog
+sampleLog()
+{
+    ScheduleLog log;
+    log.header.benchmarkId = "MR-3274";
+    log.header.label = "trigger a-then-b";
+    log.header.seed = 7919;
+    log.header.policy = 1;
+    log.header.maxSteps = 100000;
+    log.header.rpcWorkersPerNode = 2;
+    log.header.loopHangBound = 64;
+    log.header.fullMemoryTrace = true;
+    log.header.traceChecksum = 0xdeadbeefcafef00dull;
+    log.header.traceRecords = 4242;
+    log.header.expectedFailureKinds = {"fatal-log", "hang"};
+    log.header.hasTrigger = true;
+    log.header.trigger.first = {"site-a", "main>f>g", 3, "moved up"};
+    log.header.trigger.second = {"site-b", "", 0, ""};
+    log.header.trigger.order = "a-then-b";
+
+    log.noteThreadName(0, "main");
+    log.noteThreadName(2, "rpc-worker");
+
+    log.append({{0}, 0});
+    log.append({{0, 1, 2}, 1});
+    log.append({{1, 2, 7}, 7}); // gap in the tid sequence
+    return log;
+}
+
+TEST(ScheduleLogTest, RoundTripPreservesEverything)
+{
+    ScheduleLog log = sampleLog();
+    ScheduleLog back = ScheduleLog::decode(log.encode());
+
+    EXPECT_EQ(back.header.benchmarkId, log.header.benchmarkId);
+    EXPECT_EQ(back.header.label, log.header.label);
+    EXPECT_EQ(back.header.seed, log.header.seed);
+    EXPECT_EQ(back.header.policy, log.header.policy);
+    EXPECT_EQ(back.header.maxSteps, log.header.maxSteps);
+    EXPECT_EQ(back.header.rpcWorkersPerNode,
+              log.header.rpcWorkersPerNode);
+    EXPECT_EQ(back.header.loopHangBound, log.header.loopHangBound);
+    EXPECT_EQ(back.header.fullMemoryTrace, log.header.fullMemoryTrace);
+    EXPECT_EQ(back.header.traceChecksum, log.header.traceChecksum);
+    EXPECT_EQ(back.header.traceRecords, log.header.traceRecords);
+    EXPECT_EQ(back.header.expectedFailureKinds,
+              log.header.expectedFailureKinds);
+    ASSERT_TRUE(back.header.hasTrigger);
+    EXPECT_EQ(back.header.trigger.first.site, "site-a");
+    EXPECT_EQ(back.header.trigger.first.callstack, "main>f>g");
+    EXPECT_EQ(back.header.trigger.first.instance, 3);
+    EXPECT_EQ(back.header.trigger.first.note, "moved up");
+    EXPECT_EQ(back.header.trigger.second.site, "site-b");
+    EXPECT_EQ(back.header.trigger.order, "a-then-b");
+
+    EXPECT_EQ(back.threadNames(), log.threadNames());
+    EXPECT_EQ(back.threadName(0), "main");
+    EXPECT_EQ(back.threadName(1), "");
+    EXPECT_EQ(back.threadLabel(2), "t2(rpc-worker)");
+    EXPECT_EQ(back.threadLabel(1), "t1");
+
+    ASSERT_EQ(back.size(), log.size());
+    for (std::size_t i = 0; i < log.size(); ++i) {
+        EXPECT_EQ(back.at(i).runnable, log.at(i).runnable) << i;
+        EXPECT_EQ(back.at(i).chosen, log.at(i).chosen) << i;
+    }
+    // Re-encoding is byte-stable.
+    EXPECT_EQ(back.encode(), log.encode());
+}
+
+TEST(ScheduleLogTest, EmptyLogRoundTrips)
+{
+    ScheduleLog log;
+    ScheduleLog back = ScheduleLog::decode(log.encode());
+    EXPECT_EQ(back.size(), 0u);
+    EXPECT_FALSE(back.header.hasTrigger);
+}
+
+TEST(ScheduleLogTest, FileRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "schedule_log_test.bin";
+    ScheduleLog log = sampleLog();
+    log.writeToFile(path);
+    ScheduleLog back = ScheduleLog::loadFromFile(path);
+    EXPECT_EQ(back.encode(), log.encode());
+}
+
+TEST(ScheduleLogTest, ConfigRoundTrip)
+{
+    sim::SimConfig config;
+    config.policy = sim::PolicyKind::Random;
+    config.seed = 31337;
+    config.maxSteps = 5000;
+    ScheduleHeader header = headerFromConfig(config);
+    sim::SimConfig back = configFromHeader(header);
+    EXPECT_EQ(back.policy, config.policy);
+    EXPECT_EQ(back.seed, config.seed);
+    EXPECT_EQ(back.maxSteps, config.maxSteps);
+    EXPECT_EQ(back.rpcWorkersPerNode, config.rpcWorkersPerNode);
+    EXPECT_EQ(back.loopHangBound, config.loopHangBound);
+
+    header.policy = 99;
+    EXPECT_THROW(configFromHeader(header), ScheduleLogError);
+}
+
+TEST(ScheduleLogTest, EncodeRejectsMalformedDecisions)
+{
+    ScheduleLog log;
+    log.append({{3, 1}, 1}); // not strictly ascending
+    EXPECT_THROW(log.encode(), ScheduleLogError);
+
+    ScheduleLog log2;
+    log2.append({{0, 1}, 5}); // chosen not in the runnable set
+    EXPECT_THROW(log2.encode(), ScheduleLogError);
+
+    ScheduleLog log3;
+    log3.append({{}, -1}); // empty runnable set
+    EXPECT_THROW(log3.encode(), ScheduleLogError);
+}
+
+TEST(ScheduleLogTest, DecodeRejectsBadMagic)
+{
+    std::string bytes = sampleLog().encode();
+    bytes[0] = 'X';
+    EXPECT_THROW(ScheduleLog::decode(bytes), ScheduleLogError);
+    EXPECT_THROW(ScheduleLog::decode(""), ScheduleLogError);
+}
+
+TEST(ScheduleLogTest, DecodeRejectsFlippedByte)
+{
+    std::string bytes = sampleLog().encode();
+    bytes[bytes.size() / 2] ^= 0x40;
+    EXPECT_THROW(ScheduleLog::decode(bytes), ScheduleLogError);
+}
+
+TEST(ScheduleLogTest, DecodeRejectsTruncation)
+{
+    std::string bytes = sampleLog().encode();
+    for (std::size_t keep : {bytes.size() - 1, bytes.size() / 2,
+                             std::size_t(5)})
+        EXPECT_THROW(ScheduleLog::decode(bytes.substr(0, keep)),
+                     ScheduleLogError)
+            << "kept " << keep << " bytes";
+}
+
+TEST(ScheduleLogTest, DecodeRejectsTrailingGarbage)
+{
+    std::string bytes = sampleLog().encode() + "junk";
+    EXPECT_THROW(ScheduleLog::decode(bytes), ScheduleLogError);
+}
+
+} // namespace
+} // namespace dcatch::replay

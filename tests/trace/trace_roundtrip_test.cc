@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Trace persistence round-trip: for every registered benchmark,
+ * writing the monitored trace with TraceStore::writeToDirectory and
+ * loading it back reproduces the same records (count, serialized
+ * bytes, content digest, per-record lines) and — after re-registering
+ * the queue/thread metadata, which the per-thread files do not carry —
+ * the same detection output.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmark.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+#include "runtime/sim.hh"
+#include "trace/trace_store.hh"
+
+namespace dcatch {
+namespace {
+
+class TraceRoundTripTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(TraceRoundTripTest, WriteLoadPreservesRecordsAndDetection)
+{
+    const apps::Benchmark &bench = apps::benchmark(GetParam());
+    sim::Simulation sim(bench.config);
+    bench.build(sim);
+    sim.run();
+    const trace::TraceStore &original = sim.tracer().store();
+
+    std::string dir = ::testing::TempDir() + "trace_roundtrip_" +
+                      std::string(GetParam());
+    original.writeToDirectory(dir);
+
+    trace::TraceStore loaded;
+    std::size_t count = loaded.loadFromDirectory(dir);
+    EXPECT_EQ(count, original.totalRecords());
+    EXPECT_EQ(loaded.totalRecords(), original.totalRecords());
+    EXPECT_EQ(loaded.serializedBytes(), original.serializedBytes());
+    EXPECT_EQ(loaded.contentDigest(), original.contentDigest());
+    EXPECT_EQ(loaded.countsByCategory(), original.countsByCategory());
+
+    std::vector<trace::Record> a = original.allRecords();
+    std::vector<trace::Record> b = loaded.allRecords();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i].toLine(), b[i].toLine()) << "record " << i;
+
+    // The trace files carry records only; queue/thread metadata must
+    // be re-registered before analysis (documented contract).
+    for (const auto &[id, queue] : original.queues())
+        loaded.noteQueue(queue);
+    for (const auto &[tid, thread] : original.threads())
+        loaded.noteThread(thread);
+
+    auto keys = [](const trace::TraceStore &store) {
+        hb::HbGraph graph(store);
+        detect::RaceDetector detector;
+        std::vector<std::string> out;
+        for (const auto &cand : detector.detect(graph))
+            out.push_back(cand.callstackKey());
+        return out;
+    };
+    EXPECT_EQ(keys(loaded), keys(original));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, TraceRoundTripTest,
+    ::testing::Values("CA-1011", "HB-4539", "HB-4729", "MR-3274",
+                      "MR-4637", "ZK-1144", "ZK-1270"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace dcatch

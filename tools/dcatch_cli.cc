@@ -7,19 +7,30 @@
  *   dcatch list
  *   dcatch run <benchmark-id> [--no-prune] [--no-loop] [--trigger]
  *              [--full-trace] [--seed N] [--random] [--json]
- *              [--trace-dir DIR] [--quiet]
+ *              [--trace-dir DIR] [--record-schedule DIR] [--quiet]
+ *   dcatch replay <bundle> [--json] [--quiet]
+ *   dcatch --version
  *
- * Exit status: 0 on success, 1 on usage errors, 2 when the analysis
- * ran out of memory.
+ * Unknown subcommands and flags are usage errors (nonzero exit), not
+ * silently ignored.  Exit status: 0 on success (for `replay`: the
+ * replay was identical), 1 on usage or load errors, 2 when the
+ * analysis ran out of memory or a replay diverged / mismatched.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "common/util.hh"
 #include "dcatch/pipeline.hh"
 #include "dcatch/report_printer.hh"
+#include "replay/bundle.hh"
+#include "replay/driver.hh"
+
+#ifndef DCATCH_VERSION
+#define DCATCH_VERSION "unknown"
+#endif
 
 namespace {
 
@@ -33,7 +44,9 @@ usage()
         "usage:\n"
         "  dcatch list\n"
         "  dcatch run <benchmark-id> [options]\n"
-        "\noptions:\n"
+        "  dcatch replay <bundle> [--json] [--quiet]\n"
+        "  dcatch --version\n"
+        "\nrun options:\n"
         "  --no-prune    skip static pruning (section 4)\n"
         "  --no-loop     skip loop/pull synchronization analysis\n"
         "  --trigger     trigger and classify every report (section 5)\n"
@@ -42,13 +55,21 @@ usage()
         "  --seed N      scheduling seed (with --random)\n"
         "  --json        emit the report as JSON\n"
         "  --trace-dir D also write per-thread trace files into D\n"
+        "  --record-schedule D\n"
+        "                record scheduler decisions; write repro\n"
+        "                bundles under D (replay with dcatch replay)\n"
         "  --quiet       suppress the metrics footer\n");
     return 1;
 }
 
 int
-cmdList()
+cmdList(int argc, char **argv)
 {
+    if (argc > 0) {
+        std::fprintf(stderr, "dcatch list takes no arguments "
+                             "(got '%s')\n", argv[0]);
+        return usage();
+    }
     std::printf("%-10s %-18s %s\n", "id", "system", "workload");
     for (const apps::Benchmark &b : apps::allBenchmarks())
         std::printf("%-10s %-18s %s\n", b.id.c_str(), b.system.c_str(),
@@ -79,14 +100,39 @@ cmdRun(int argc, char **argv)
             options.fullMemoryTrace = true;
         } else if (arg == "--random") {
             config.policy = sim::PolicyKind::Random;
-        } else if (arg == "--seed" && i + 1 < argc) {
-            config.seed = std::stoull(argv[++i]);
+        } else if (arg == "--seed") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--seed requires a value\n");
+                return usage();
+            }
+            try {
+                std::size_t used = 0;
+                std::string value = argv[++i];
+                config.seed = std::stoull(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                std::fprintf(stderr, "--seed: '%s' is not a number\n",
+                             argv[i]);
+                return usage();
+            }
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--quiet") {
             quiet = true;
-        } else if (arg == "--trace-dir" && i + 1 < argc) {
+        } else if (arg == "--trace-dir") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--trace-dir requires a value\n");
+                return usage();
+            }
             trace_dir = argv[++i];
+        } else if (arg == "--record-schedule") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "--record-schedule requires a value\n");
+                return usage();
+            }
+            options.reproDir = argv[++i];
         } else {
             std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
             return usage();
@@ -117,6 +163,87 @@ cmdRun(int argc, char **argv)
     return result.analysisOom ? 2 : 0;
 }
 
+Json
+replayOutcomeJson(const replay::ReplayOutcome &outcome)
+{
+    Json root = Json::object();
+    root.set("benchmark", Json::str(outcome.header.benchmarkId))
+        .set("label", Json::str(outcome.header.label))
+        .set("identical", Json::boolean(outcome.identical()))
+        .set("diverged", Json::boolean(outcome.diverged))
+        .set("checksumMatch", Json::boolean(outcome.checksumMatch))
+        .set("failureKindsMatch",
+             Json::boolean(outcome.failureKindsMatch))
+        .set("decisionsUsed",
+             Json::num(static_cast<std::int64_t>(outcome.decisionsUsed)))
+        .set("decisionsRecorded",
+             Json::num(static_cast<std::int64_t>(
+                 outcome.decisionsRecorded)))
+        .set("traceChecksum",
+             Json::str(strprintf(
+                 "%016llx",
+                 static_cast<unsigned long long>(outcome.traceChecksum))))
+        .set("run", Json::str(outcome.run.summary()));
+    if (outcome.diverged)
+        root.set("divergence",
+                 Json::str(outcome.divergence.describe()));
+    return root;
+}
+
+int
+cmdReplay(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    std::string bundle = argv[0];
+    bool json = false, quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage();
+        }
+    }
+
+    replay::ReplayOutcome outcome;
+    try {
+        outcome = replay::replayBundle(bundle);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "dcatch replay: %s\n", error.what());
+        return 1;
+    }
+
+    if (json) {
+        std::printf("%s\n", replayOutcomeJson(outcome).dump().c_str());
+    } else if (!quiet) {
+        std::printf("replaying %s (%s), %llu recorded decisions\n",
+                    outcome.header.benchmarkId.c_str(),
+                    outcome.header.label.c_str(),
+                    static_cast<unsigned long long>(
+                        outcome.decisionsRecorded));
+        std::printf("run: %s\n", outcome.run.summary().c_str());
+        if (outcome.diverged)
+            std::printf("DIVERGED:\n%s\n",
+                        outcome.divergence.describe().c_str());
+        else
+            std::printf("trace checksum %016llx (%s), failure kinds "
+                        "%s\n",
+                        static_cast<unsigned long long>(
+                            outcome.traceChecksum),
+                        outcome.checksumMatch ? "match" : "MISMATCH",
+                        outcome.failureKindsMatch ? "match"
+                                                  : "MISMATCH");
+        std::printf("replay %s\n", outcome.identical()
+                                       ? "identical"
+                                       : "NOT identical");
+    }
+    return outcome.identical() ? 0 : 2;
+}
+
 } // namespace
 
 int
@@ -124,9 +251,17 @@ main(int argc, char **argv)
 {
     if (argc < 2)
         return usage();
+    if (std::strcmp(argv[1], "--version") == 0 ||
+        std::strcmp(argv[1], "version") == 0) {
+        std::printf("dcatch %s\n", DCATCH_VERSION);
+        return 0;
+    }
     if (std::strcmp(argv[1], "list") == 0)
-        return cmdList();
+        return cmdList(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "run") == 0)
         return cmdRun(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "replay") == 0)
+        return cmdReplay(argc - 2, argv + 2);
+    std::fprintf(stderr, "unknown command: %s\n", argv[1]);
     return usage();
 }
