@@ -12,10 +12,32 @@
 #define DCATCH_BENCH_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "common/task_pool.hh"
+
 namespace dcatch::bench {
+
+/**
+ * Worker count for parallel bench drivers: DCATCH_BENCH_JOBS if set
+ * (>= 1; anything unparsable or < 1 falls back), else hardware
+ * concurrency.  Timing-sensitive benches (Table 6) call this too but
+ * default to 1 via the fallback argument, so their measured wall
+ * clocks stay comparable run-to-run unless the user opts in.
+ */
+inline int
+jobsFromEnv(int fallback = 0)
+{
+    if (const char *env = std::getenv("DCATCH_BENCH_JOBS")) {
+        char *end = nullptr;
+        long parsed = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && parsed >= 1)
+            return static_cast<int>(parsed);
+    }
+    return TaskPool::resolveJobs(fallback);
+}
 
 /** Minimal fixed-width table printer. */
 class Table

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Parallel analysis backend speedup: serial (jobs = 1, the exact old
+ * code path) vs. multi-worker wall clock for the two stages the
+ * backend shards — race detection over (variable, access-group)
+ * partitions and trigger-module order exploration — plus a
+ * detection-only measurement on a large scaling trace (MR at 16
+ * submitted jobs) where the candidate-pair work dominates.
+ *
+ * Every parallel run is also checked byte-for-byte against its serial
+ * twin (final report keys and trigger classifications), so this bench
+ * doubles as an end-to-end determinism smoke test.  Results go to
+ * BENCH_parallel.json; scripts/bench_regress.sh gates the speedup
+ * against scripts/parallel_floor.json, scaled to the runner's core
+ * count (a 1-core CI box cannot show a 2x speedup — there the gate
+ * only requires the parallel path not to fall off a cliff).
+ */
+
+#include <cmath>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/benchmark.hh"
+#include "apps/mapreduce/mini_mr.hh"
+#include "bench_common.hh"
+#include "common/json.hh"
+#include "common/task_pool.hh"
+#include "common/util.hh"
+#include "dcatch/pipeline.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+#include "runtime/sim.hh"
+#include "trigger/harness.hh"
+
+namespace {
+
+using namespace dcatch;
+
+/** Candidate identity digest for the determinism cross-check. */
+std::string
+resultSignature(const PipelineResult &result)
+{
+    std::string sig;
+    for (const detect::Candidate &cand : result.finalReports())
+        sig += cand.callstackKey() + "\n";
+    for (const trigger::TriggerReport &report : result.triggered)
+        sig += report.candidate.callstackKey() + " => " +
+               trigger::triggerClassName(report.cls) + "\n";
+    return sig;
+}
+
+/**
+ * One pipeline run; returns the parallel-amenable wall clock
+ * (detection + trigger exploration) and the output signature.
+ */
+double
+timedPipeline(const apps::Benchmark &bench, int jobs,
+              std::string *signature)
+{
+    PipelineOptions options;
+    options.measureBase = false;
+    options.runTrigger = true;
+    options.jobs = jobs;
+    PipelineResult result = runPipeline(bench, options);
+    *signature = resultSignature(result);
+    return result.metrics.detectSec + result.metrics.triggerSec;
+}
+
+/** Best-of-N to shave scheduler noise off small intervals. */
+template <class Fn>
+double
+bestOf(int reps, Fn &&fn)
+{
+    double best = fn();
+    for (int i = 1; i < reps; ++i) {
+        double t = fn();
+        if (t < best)
+            best = t;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Parallel speedup",
+                  "serial vs. sharded analysis backend");
+    const int hardware = TaskPool::hardwareJobs();
+    const int jobs = bench::jobsFromEnv(/*fallback=*/4);
+    std::printf("(hardware concurrency %d, parallel runs use %d "
+                "workers)\n", hardware, jobs);
+
+    bench::Table table({"Workload", "Serial", "Parallel", "Speedup",
+                        "Deterministic"});
+    Json benchmarks = Json::array();
+    bool all_deterministic = true;
+    std::vector<double> speedups;
+
+    for (const apps::Benchmark &b : apps::allBenchmarks()) {
+        std::string serial_sig, parallel_sig;
+        double serial_sec = bestOf(3, [&] {
+            return timedPipeline(b, 1, &serial_sig);
+        });
+        double parallel_sec = bestOf(3, [&] {
+            return timedPipeline(b, jobs, &parallel_sig);
+        });
+        bool deterministic = serial_sig == parallel_sig;
+        all_deterministic &= deterministic;
+        double speedup =
+            parallel_sec > 0 ? serial_sec / parallel_sec : 1.0;
+        speedups.push_back(speedup);
+        table.row({b.id, strprintf("%.2fms", serial_sec * 1e3),
+                   strprintf("%.2fms", parallel_sec * 1e3),
+                   strprintf("%.2fx", speedup),
+                   deterministic ? "yes" : "NO"});
+        benchmarks.push(Json::object()
+            .set("benchmark", Json::str(b.id))
+            .set("serialSec", Json::num(serial_sec))
+            .set("parallelSec", Json::num(parallel_sec))
+            .set("speedup", Json::num(speedup))
+            .set("deterministic", Json::boolean(deterministic)));
+    }
+
+    // Detection-only on a large trace: MR Hang3274 at 16 submitted
+    // jobs, where the (var, group) shard count is high enough for the
+    // pool to matter.
+    sim::SimConfig cfg;
+    cfg.maxSteps = 100'000'000;
+    sim::Simulation sim(cfg);
+    apps::mr::install(sim, apps::mr::Workload::Hang3274, 16);
+    sim.run();
+    hb::HbGraph graph(sim.tracer().store());
+    detect::RaceDetector detector;
+
+    auto serial_cands = detector.detect(graph);
+    double detect_serial = bestOf(3, [&] {
+        Stopwatch watch;
+        detector.detect(graph);
+        return watch.milliseconds() / 1e3;
+    });
+    TaskPool pool(jobs);
+    auto parallel_cands = detector.detect(graph, &pool);
+    double detect_parallel = bestOf(3, [&] {
+        Stopwatch watch;
+        detector.detect(graph, &pool);
+        return watch.milliseconds() / 1e3;
+    });
+    bool detect_deterministic =
+        serial_cands.size() == parallel_cands.size();
+    for (std::size_t i = 0;
+         detect_deterministic && i < serial_cands.size(); ++i)
+        detect_deterministic =
+            serial_cands[i].callstackKey() ==
+                parallel_cands[i].callstackKey() &&
+            serial_cands[i].dynamicPairs == parallel_cands[i].dynamicPairs;
+    all_deterministic &= detect_deterministic;
+    double detect_speedup = detect_parallel > 0
+                                ? detect_serial / detect_parallel
+                                : 1.0;
+    speedups.push_back(detect_speedup);
+    table.row({"MR scale 16 (detect only)",
+               strprintf("%.2fms", detect_serial * 1e3),
+               strprintf("%.2fms", detect_parallel * 1e3),
+               strprintf("%.2fx", detect_speedup),
+               detect_deterministic ? "yes" : "NO"});
+    table.print();
+
+    double geomean = 1.0;
+    for (double s : speedups)
+        geomean *= s;
+    geomean = std::pow(geomean, 1.0 / double(speedups.size()));
+    std::printf("Shape check: parallel output is byte-identical to "
+                "serial everywhere — %s; geomean speedup %.2fx at %d "
+                "workers on %d-core hardware.\n",
+                all_deterministic ? "holds" : "VIOLATED", geomean,
+                jobs, hardware);
+
+    Json root = Json::object();
+    root.set("bench", Json::str("parallel_speedup"))
+        .set("hardwareConcurrency",
+             Json::num(std::int64_t(hardware)))
+        .set("jobs", Json::num(std::int64_t(jobs)))
+        .set("allDeterministic", Json::boolean(all_deterministic))
+        .set("geomeanSpeedup", Json::num(geomean))
+        .set("benchmarks", std::move(benchmarks));
+    Json workload = Json::object();
+    workload.set("name", Json::str("MR-3274 scale 16 detect"))
+        .set("records", Json::num(std::int64_t(
+            sim.tracer().store().totalRecords())))
+        .set("serialSec", Json::num(detect_serial))
+        .set("parallelSec", Json::num(detect_parallel))
+        .set("speedup", Json::num(detect_speedup))
+        .set("deterministic", Json::boolean(detect_deterministic));
+    root.set("detectWorkload", std::move(workload));
+    std::ofstream out("BENCH_parallel.json");
+    out << root.dump() << "\n";
+    std::printf("wrote BENCH_parallel.json\n");
+    return all_deterministic ? 0 : 1;
+}

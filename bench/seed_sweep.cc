@@ -9,10 +9,14 @@
  * happens to trigger the bug are counted separately — their existence
  * is itself evidence the bugs are real.)
  *
- * Every run is recorded as a ScheduleLog; each failing seed is
- * exported as a repro bundle under SEED_SWEEP_bundles/ and immediately
- * replay-verified (identical trace + failure kinds).  Results are
- * mirrored to BENCH_seed_sweep.json.
+ * The per-seed runs are independent, so they execute on a
+ * work-stealing TaskPool (DCATCH_BENCH_JOBS, default hardware
+ * concurrency; 1 = serial).  Each seed's full lifecycle — run,
+ * detect, and for failing seeds the repro-bundle export *and* its
+ * replay verification — happens on the worker that owns the seed, so
+ * the sweep never pays a second serial pass over failures; results
+ * are merged in seed order, making the table and
+ * BENCH_seed_sweep.json byte-identical for any job count.
  */
 
 #include <fstream>
@@ -20,6 +24,7 @@
 #include "apps/benchmark.hh"
 #include "bench_common.hh"
 #include "common/json.hh"
+#include "common/task_pool.hh"
 #include "common/util.hh"
 #include "detect/race_detect.hh"
 #include "hb/graph.hh"
@@ -28,6 +33,22 @@
 #include "replay/policies.hh"
 #include "runtime/sim.hh"
 
+namespace {
+
+/** Outcome of one (benchmark, seed) cell, filled in by its worker. */
+struct SeedOutcome
+{
+    bool correct = false;
+    bool predicted = false;
+    bool manifested = false;
+    bool bundled = false;
+    bool replayVerified = false;
+    std::uint64_t seed = 0;
+    std::string bundleDir;
+};
+
+} // namespace
+
 int
 main()
 {
@@ -35,6 +56,11 @@ main()
     bench::banner("Seed sweep", "prediction from correct runs only");
 
     constexpr int kSeeds = 20;
+    int jobs = bench::jobsFromEnv();
+    TaskPool pool(jobs);
+    std::printf("(sweeping %d seeds per benchmark on %d worker%s)\n",
+                kSeeds, jobs, jobs == 1 ? "" : "s");
+
     bench::Table table({"BugID", "Seeds", "Correct runs",
                         "Bug predicted", "Schedule hit bug", "Bundles"});
     bool all_predicted = true;
@@ -42,20 +68,26 @@ main()
     Json benchmarks = Json::array();
     Json bundles = Json::array();
     for (const apps::Benchmark &b : apps::allBenchmarks()) {
-        int correct = 0, predicted = 0, manifested = 0, bundled = 0;
-        for (int seed = 1; seed <= kSeeds; ++seed) {
+        std::vector<SeedOutcome> outcomes(kSeeds);
+        pool.parallelFor(kSeeds, [&](std::size_t idx) {
+            int seed = static_cast<int>(idx) + 1;
+            SeedOutcome &out = outcomes[idx];
             sim::SimConfig cfg = b.config;
             cfg.policy = sim::PolicyKind::Random;
             cfg.seed = static_cast<std::uint64_t>(seed * 7919);
+            out.seed = cfg.seed;
             sim::Simulation sim(cfg);
             replay::ScheduleLog log;
             replay::attachRecorder(sim, log);
             b.build(sim);
             sim::RunResult run = sim.run();
             if (run.failed()) {
-                ++manifested;
-                // A manifesting seed is the most valuable artifact the
-                // sweep produces: export it as a replayable bundle.
+                out.manifested = true;
+                // A manifesting seed is the most valuable artifact
+                // the sweep produces: export it as a replayable
+                // bundle right here, on the worker that found it, and
+                // verify the *exported* bundle replays identically —
+                // no serial second pass over the failures.
                 replay::ScheduleHeader &header = log.header;
                 header = replay::headerFromConfig(cfg);
                 header.benchmarkId = b.id;
@@ -73,7 +105,7 @@ main()
                 for (const sim::FailureEvent &failure : run.failures)
                     failures.push(Json::str(
                         sim::failureKindName(failure.kind)));
-                std::string dir = replay::writeBundle(
+                out.bundleDir = replay::writeBundle(
                     strprintf("SEED_SWEEP_bundles/%s-seed%d",
                               b.id.c_str(), seed),
                     log,
@@ -84,29 +116,45 @@ main()
                             std::int64_t(cfg.seed)))
                         .set("failures", std::move(failures))
                         .dump());
-                bool verified = replay::replayLog(log).identical();
-                if (!verified)
-                    all_bundles_verified = false;
-                ++bundled;
-                bundles.push(Json::object()
-                    .set("benchmark", Json::str(b.id))
-                    .set("seed", Json::num(std::int64_t(cfg.seed)))
-                    .set("path", Json::str(dir))
-                    .set("replayVerified", Json::boolean(verified)));
-                continue;
+                out.bundled = true;
+                // Round-trip through the on-disk bundle, not the
+                // in-memory log: this also certifies what replayers
+                // will actually load.
+                out.replayVerified =
+                    replay::replayLog(
+                        replay::loadBundleLog(out.bundleDir))
+                        .identical();
+                return;
             }
-            ++correct;
+            out.correct = true;
             hb::HbGraph graph(sim.tracer().store());
             detect::RaceDetector detector;
-            bool found = false;
             for (const auto &cand : detector.detect(graph))
                 for (const auto &pair : b.knownBugPairs)
                     if (cand.sitePairKey() == pair)
-                        found = true;
-            if (found)
-                ++predicted;
-            else
+                        out.predicted = true;
+        });
+
+        // Seed-ordered merge: identical counts, rows, and JSON for
+        // any worker count.
+        int correct = 0, predicted = 0, manifested = 0, bundled = 0;
+        for (const SeedOutcome &out : outcomes) {
+            correct += out.correct;
+            predicted += out.predicted;
+            manifested += out.manifested;
+            bundled += out.bundled;
+            if (out.correct && !out.predicted)
                 all_predicted = false;
+            if (out.bundled) {
+                if (!out.replayVerified)
+                    all_bundles_verified = false;
+                bundles.push(Json::object()
+                    .set("benchmark", Json::str(b.id))
+                    .set("seed", Json::num(std::int64_t(out.seed)))
+                    .set("path", Json::str(out.bundleDir))
+                    .set("replayVerified",
+                         Json::boolean(out.replayVerified)));
+            }
         }
         table.row({b.id, strprintf("%d", kSeeds),
                    strprintf("%d", correct), strprintf("%d", predicted),
@@ -124,8 +172,8 @@ main()
                 "schedule, the known bug is predicted — %s.  The rare "
                 "seeds whose schedule manifests the failure directly "
                 "confirm the bugs are real and timing-dependent; each "
-                "is exported under SEED_SWEEP_bundles/ and "
-                "replay-verified — %s.\n",
+                "is exported under SEED_SWEEP_bundles/ on the worker "
+                "that found it and replay-verified from disk — %s.\n",
                 all_predicted ? "holds" : "VIOLATED",
                 all_bundles_verified ? "all identical"
                                      : "REPLAY MISMATCH");
@@ -134,6 +182,7 @@ main()
     root.set("allPredicted", Json::boolean(all_predicted))
         .set("allBundlesReplayVerified",
              Json::boolean(all_bundles_verified))
+        .set("jobs", Json::num(std::int64_t(jobs)))
         .set("benchmarks", std::move(benchmarks))
         .set("bundles", std::move(bundles));
     std::ofstream out("BENCH_seed_sweep.json");

@@ -4,10 +4,17 @@
  * analysis alone (TA), plus static pruning (TA+SP), plus loop-based
  * synchronization analysis (TA+SP+LP) — static-instruction-pair and
  * callstack-pair counts.
+ *
+ * Benchmarks run concurrently on a TaskPool (DCATCH_BENCH_JOBS,
+ * default hardware concurrency); rows merge in benchmark order so
+ * the table is identical for any worker count.
  */
+
+#include <vector>
 
 #include "apps/benchmark.hh"
 #include "bench_common.hh"
+#include "common/task_pool.hh"
 #include "common/util.hh"
 #include "dcatch/pipeline.hh"
 
@@ -17,16 +24,29 @@ main()
     using namespace dcatch;
     bench::banner("Table 5", "candidates after TA / TA+SP / TA+SP+LP");
 
+    const std::vector<apps::Benchmark> &benches = apps::allBenchmarks();
+    TaskPool pool(bench::jobsFromEnv());
+    struct Row
+    {
+        detect::ReportCounts ta, sp, lp;
+    };
+    std::vector<Row> rows(benches.size());
+    pool.parallelFor(benches.size(), [&](std::size_t i) {
+        PipelineOptions options;
+        options.measureBase = false;
+        options.jobs = 1;
+        PipelineResult result = runPipeline(benches[i], options);
+        rows[i] = {detect::countReports(result.afterTa),
+                   detect::countReports(result.afterSp),
+                   detect::countReports(result.afterLp)};
+    });
+
     bench::Table table({"BugID", "TA(S)", "TA+SP(S)", "TA+SP+LP(S)",
                         "TA(C)", "TA+SP(C)", "TA+SP+LP(C)",
                         "paper (S): TA/SP/LP"});
-    for (const apps::Benchmark &b : apps::allBenchmarks()) {
-        PipelineOptions options;
-        options.measureBase = false;
-        PipelineResult result = runPipeline(b, options);
-        auto ta = detect::countReports(result.afterTa);
-        auto sp = detect::countReports(result.afterSp);
-        auto lp = detect::countReports(result.afterLp);
+    for (std::size_t i = 0; i < benches.size(); ++i) {
+        const apps::Benchmark &b = benches[i];
+        const auto &[ta, sp, lp] = rows[i];
         table.row({b.id, strprintf("%d", ta.staticPairs),
                    strprintf("%d", sp.staticPairs),
                    strprintf("%d", lp.staticPairs),

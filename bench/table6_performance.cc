@@ -5,6 +5,12 @@
  * size, per benchmark.  The summary table averages five pipeline runs
  * (as the paper does); a google-benchmark suite then measures the
  * tracing and analysis phases with statistical rigor.
+ *
+ * Because this bench *times* the pipeline phases, it defaults to the
+ * exact serial path (jobs = 1) so numbers stay comparable across
+ * runs and machines.  Set DCATCH_BENCH_JOBS to measure the sharded
+ * parallel analysis backend instead (docs/parallelism.md); the
+ * dedicated speedup comparison lives in bench/parallel_speedup.cc.
  */
 
 #include <benchmark/benchmark.h>
@@ -23,7 +29,11 @@ using namespace dcatch;
 void
 printTable()
 {
+    int jobs = bench::jobsFromEnv(/*fallback=*/1);
     bench::banner("Table 6", "DCatch performance (mean of 5 runs)");
+    if (jobs != 1)
+        std::printf("(analysis phases on %d workers — timings are NOT "
+                    "comparable to the serial default)\n", jobs);
     bench::Table table({"BugID", "Base", "Tracing", "TraceAnalysis",
                         "StaticPruning", "LoopAnalysis(rerun)",
                         "TraceSize", "paper: base/trace/analysis (s)"});
@@ -32,6 +42,7 @@ printTable()
         const int runs = 5;
         for (int i = 0; i < runs; ++i) {
             PipelineOptions options; // measureBase defaults to true
+            options.jobs = jobs;
             PipelineResult result = runPipeline(b, options);
             mean.baseSec += result.metrics.baseSec;
             mean.tracingSec += result.metrics.tracingSec;

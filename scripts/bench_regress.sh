@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Performance-regression gate for the HB reachability engines.
+# Performance-regression gate for the HB reachability engines and the
+# parallel analysis backend.
 #
 # Builds the Release tree, runs the scaling bench (which analyses the
 # MR and HBase workloads at growing sizes under both the chain-frontier
@@ -12,6 +13,15 @@
 #   3. the chain engine's graph build+closure is not slower than the
 #      dense baseline there.
 #
+# Then runs the parallel_speedup bench and verifies
+# BENCH_parallel.json against scripts/parallel_floor.json:
+#
+#   4. parallel output is byte-identical to serial (allDeterministic);
+#   5. the geomean speedup at 4 workers clears the floor for this
+#      runner's core count (2x on >= 4 cores; on fewer cores only a
+#      bounded-overhead sanity floor applies, since real speedup is
+#      physically impossible there).
+#
 # Exits nonzero on any violation, so CI can run it as a gate.
 
 set -euo pipefail
@@ -22,7 +32,8 @@ jobs="${JOBS:-$(nproc)}"
 
 echo "== configure + build (Release) in $build"
 cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$build" -j "$jobs" --target scaling >/dev/null
+cmake --build "$build" -j "$jobs" --target scaling parallel_speedup \
+    >/dev/null
 
 echo "== run scaling bench"
 cd "$build"
@@ -73,4 +84,54 @@ print("ok: bug found at every scale on both engines; "
       "(%.2fms vs %.2fms) at the largest trace (%s records)"
       % (ratio, largest["chainBuildMs"], largest["denseBuildMs"],
          largest["records"]))
+EOF
+
+echo "== run parallel speedup bench"
+./bench/parallel_speedup
+
+pjson="$build/BENCH_parallel.json"
+[ -f "$pjson" ] || { echo "FAIL: $pjson was not written" >&2; exit 1; }
+
+echo "== verify $pjson against scripts/parallel_floor.json"
+python3 - "$pjson" "$repo/scripts/parallel_floor.json" <<'EOF'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+with open(sys.argv[2]) as f:
+    floor = json.load(f)
+
+failures = []
+
+if not data.get("allDeterministic"):
+    bad = [b["benchmark"] for b in data.get("benchmarks", [])
+           if not b.get("deterministic")]
+    if not data.get("detectWorkload", {}).get("deterministic", True):
+        bad.append(data["detectWorkload"].get("name", "detect workload"))
+    failures.append("parallel output diverged from serial: %s"
+                    % (", ".join(bad) or "allDeterministic is false"))
+
+cores = data.get("hardwareConcurrency", 1)
+multi = cores >= floor.get("multiCoreMeansAtLeast", 4)
+required = (floor["minGeomeanSpeedupMultiCore"] if multi
+            else floor["minGeomeanSpeedupSingleCore"])
+override = os.environ.get("DCATCH_PARALLEL_FLOOR_OVERRIDE")
+if override:
+    required = float(override)
+geomean = data.get("geomeanSpeedup", 0.0)
+if geomean < required:
+    failures.append(
+        "parallel speedup regression: geomean %.2fx < floor %.2fx "
+        "(%d cores, %s-core floor%s)"
+        % (geomean, required, cores, "multi" if multi else "single",
+           ", overridden" if override else ""))
+
+if failures:
+    print("BENCH REGRESSION:")
+    for f in failures:
+        print("  - " + f)
+    sys.exit(1)
+
+print("ok: parallel backend deterministic; geomean speedup %.2fx "
+      ">= %.2fx floor on %d core(s)" % (geomean, required, cores))
 EOF

@@ -1,0 +1,200 @@
+#include "common/task_pool.hh"
+
+#include <algorithm>
+
+namespace dcatch {
+
+int
+TaskPool::hardwareJobs()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int
+TaskPool::resolveJobs(int requested)
+{
+    if (requested == 0)
+        return hardwareJobs();
+    return std::max(1, requested);
+}
+
+TaskPool::TaskPool(int jobs) : jobs_(std::max(1, jobs))
+{
+    shards_ = std::vector<Shard>(static_cast<std::size_t>(jobs_));
+    threads_.reserve(static_cast<std::size_t>(jobs_ - 1));
+    for (int w = 1; w < jobs_; ++w)
+        threads_.emplace_back(
+            [this, w] { workerLoop(static_cast<std::size_t>(w)); });
+}
+
+TaskPool::~TaskPool()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &thread : threads_)
+        thread.join();
+}
+
+void
+TaskPool::recordError(std::size_t index)
+{
+    std::lock_guard<std::mutex> guard(errorMutex_);
+    if (!error_ || index < errorIndex_) {
+        error_ = std::current_exception();
+        errorIndex_ = index;
+    }
+}
+
+bool
+TaskPool::takeOwn(std::size_t self, std::size_t &index)
+{
+    Shard &shard = shards_[self];
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    if (shard.begin >= shard.end)
+        return false;
+    index = shard.begin++;
+    return true;
+}
+
+bool
+TaskPool::stealInto(std::size_t self)
+{
+    // Pick the victim with the most remaining work and take the back
+    // half of its range.  The scan is racy (sizes move under us) but
+    // only as a heuristic: the actual transfer is under the victim's
+    // lock, and a stale choice merely steals from a smaller victim.
+    std::size_t victim = shards_.size();
+    std::size_t best = 0;
+    for (std::size_t w = 0; w < shards_.size(); ++w) {
+        if (w == self)
+            continue;
+        std::lock_guard<std::mutex> guard(shards_[w].mutex);
+        std::size_t remaining = shards_[w].end - shards_[w].begin;
+        if (remaining > best) {
+            best = remaining;
+            victim = w;
+        }
+    }
+    if (victim == shards_.size())
+        return false;
+
+    std::size_t begin, end;
+    {
+        Shard &from = shards_[victim];
+        std::lock_guard<std::mutex> guard(from.mutex);
+        std::size_t remaining = from.end - from.begin;
+        if (remaining == 0)
+            return false;
+        std::size_t take = (remaining + 1) / 2;
+        begin = from.end - take;
+        end = from.end;
+        from.end = begin;
+    }
+    Shard &own = shards_[self];
+    std::lock_guard<std::mutex> guard(own.mutex);
+    own.begin = begin;
+    own.end = end;
+    return true;
+}
+
+void
+TaskPool::drain(std::size_t self)
+{
+    const std::function<void(std::size_t)> &body = *body_;
+    for (;;) {
+        std::size_t index;
+        while (takeOwn(self, index)) {
+            try {
+                body(index);
+            } catch (...) {
+                recordError(index);
+            }
+        }
+        if (!stealInto(self))
+            return;
+    }
+}
+
+void
+TaskPool::workerLoop(std::size_t self)
+{
+    std::size_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this, seen] {
+                return stop_ || generation_ != seen;
+            });
+            if (stop_)
+                return;
+            seen = generation_;
+        }
+        drain(self);
+        {
+            std::lock_guard<std::mutex> guard(mutex_);
+            if (--active_ == 0)
+                done_.notify_all();
+        }
+    }
+}
+
+void
+TaskPool::parallelFor(std::size_t n,
+                      const std::function<void(std::size_t)> &body)
+{
+    if (n == 0)
+        return;
+    if (jobs_ == 1 || n == 1) {
+        // Exact serial path: no threads, exceptions propagate as-is.
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    // Pre-split [0, n) into one contiguous slice per worker.  Empty
+    // slices are fine; those workers go straight to stealing.
+    std::size_t workers = static_cast<std::size_t>(jobs_);
+    std::size_t chunk = n / workers;
+    std::size_t extra = n % workers;
+    std::size_t at = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+        std::size_t len = chunk + (w < extra ? 1 : 0);
+        std::lock_guard<std::mutex> guard(shards_[w].mutex);
+        shards_[w].begin = at;
+        shards_[w].end = at + len;
+        at += len;
+    }
+
+    {
+        std::lock_guard<std::mutex> guard(errorMutex_);
+        error_ = nullptr;
+        errorIndex_ = 0;
+    }
+    {
+        std::lock_guard<std::mutex> guard(mutex_);
+        body_ = &body;
+        active_ = workers - 1; // caller drains shard 0 itself
+        ++generation_;
+    }
+    wake_.notify_all();
+    drain(0);
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this] { return active_ == 0; });
+        body_ = nullptr;
+    }
+
+    std::exception_ptr error;
+    {
+        std::lock_guard<std::mutex> guard(errorMutex_);
+        error = error_;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace dcatch

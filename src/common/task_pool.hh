@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Deterministic work-stealing task pool for the analysis side of the
+ * pipeline (sharded race detection, concurrent trigger exploration,
+ * multi-run bench drivers).
+ *
+ * Determinism contract (see docs/parallelism.md): the pool never
+ * makes scheduling order observable in results.  parallelFor(n, body)
+ * runs body(i) for every i in [0, n) exactly once, on an unspecified
+ * worker at an unspecified time; the *task index* is the only
+ * identity a body may key its output on.  Callers write results into
+ * index-addressed slots and merge them in index order afterwards, so
+ * the merged output is byte-identical to a serial loop regardless of
+ * worker count, stealing pattern, or wall-clock interleaving.
+ *
+ * Work distribution: indices are pre-split into one contiguous range
+ * per worker; each worker drains its own range front-to-back and,
+ * when empty, steals the back half of the largest remaining victim
+ * range.  Stealing halves (rather than single indices) keeps lock
+ * traffic proportional to the imbalance, not to n.
+ *
+ * A pool constructed with jobs == 1 spawns no threads and runs every
+ * body inline on the caller — the exact serial code path.
+ */
+
+#ifndef DCATCH_COMMON_TASK_POOL_HH
+#define DCATCH_COMMON_TASK_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dcatch {
+
+/** Fixed-width work-stealing pool; see file comment for the
+ *  determinism contract. */
+class TaskPool
+{
+  public:
+    /**
+     * @param jobs worker count, >= 1; 1 means "no threads, run
+     *        inline" (use resolveJobs() to map a user-facing 0 to
+     *        the hardware concurrency)
+     */
+    explicit TaskPool(int jobs);
+    ~TaskPool();
+
+    TaskPool(const TaskPool &) = delete;
+    TaskPool &operator=(const TaskPool &) = delete;
+
+    /** Worker count this pool was built with (>= 1). */
+    int jobs() const { return jobs_; }
+
+    /** max(1, std::thread::hardware_concurrency()). */
+    static int hardwareJobs();
+
+    /**
+     * Map a user-facing jobs request to an effective worker count:
+     * 0 selects the hardware concurrency, anything >= 1 is taken
+     * as-is.  (Negative values are a caller bug; treated as 1.)
+     */
+    static int resolveJobs(int requested);
+
+    /**
+     * Run body(i) for every i in [0, n); returns once all ran.  The
+     * caller participates as a worker.  If any body throws, the
+     * first exception (in task-index order) is rethrown after all
+     * tasks finished — never concurrently with running bodies.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    /** One worker's index range; stolen-from under its mutex. */
+    struct Shard
+    {
+        std::mutex mutex;
+        std::size_t begin = 0;
+        std::size_t end = 0;
+    };
+
+    void workerLoop(std::size_t self);
+    void drain(std::size_t self);
+    bool takeOwn(std::size_t self, std::size_t &index);
+    bool stealInto(std::size_t self);
+    void recordError(std::size_t index);
+
+    int jobs_;
+    std::vector<std::thread> threads_;
+    std::vector<Shard> shards_;
+
+    // Current parallelFor (guarded by mutex_ for the scalar fields;
+    // body_ is written before workers are released and read-only
+    // while they run).
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    const std::function<void(std::size_t)> *body_ = nullptr;
+    std::size_t generation_ = 0; ///< bumped per parallelFor
+    std::size_t active_ = 0;     ///< workers still draining
+    bool stop_ = false;
+
+    // First failing task (lowest index wins, for determinism).
+    std::mutex errorMutex_;
+    std::exception_ptr error_;
+    std::size_t errorIndex_ = 0;
+};
+
+} // namespace dcatch
+
+#endif // DCATCH_COMMON_TASK_POOL_HH

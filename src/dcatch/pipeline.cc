@@ -5,6 +5,7 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/task_pool.hh"
 #include "common/util.hh"
 #include "detect/race_detect.hh"
 #include "hb/pull.hh"
@@ -76,6 +77,13 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
 {
     PipelineResult result;
     Stopwatch watch;
+
+    // One work-stealing pool for the whole analysis side (sharded
+    // detection + concurrent trigger exploration).  jobs == 1 builds
+    // a thread-less pool and every consumer falls back to its exact
+    // serial code path.
+    TaskPool pool(TaskPool::resolveJobs(options.jobs));
+    result.metrics.jobs = pool.jobs();
 
     // Phase 0: untraced base execution (Table 6 "Base").
     if (options.measureBase) {
@@ -158,7 +166,9 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
     }
     snapshot_hb();
     detect::RaceDetector detector;
-    result.afterTa = detector.detect(graph);
+    Stopwatch detect_watch;
+    result.afterTa = detector.detect(graph, &pool);
+    result.metrics.detectSec = detect_watch.seconds();
     result.metrics.analysisSec = watch.seconds();
 
     // Phase 3: static pruning (Table 5 "TA+SP").
@@ -184,7 +194,7 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
         // Re-detect with the extra edges, re-prune, then drop pairs
         // recognised as synchronization.
         std::vector<detect::Candidate> redetected =
-            detector.detect(graph);
+            detector.detect(graph, &pool);
         if (options.staticPruning) {
             prune::StaticPruner pruner(model, options.failureSpec);
             redetected = pruner.prune(redetected);
@@ -202,9 +212,14 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
         if (!options.reproDir.empty())
             harness.enableScheduleRecording(bench.id);
         result.triggered =
-            harness.testAll(result.afterLp, result.monitoredTrace);
+            harness.testAll(result.afterLp, result.monitoredTrace,
+                            &pool);
+        result.metrics.triggerTasks = 2 * result.triggered.size();
         // One repro bundle per harmful classification: the failing
         // enforced-order schedule, replayable via `dcatch replay`.
+        // Bundle writing stays on this thread, after the parallel
+        // exploration has merged, so the harmful-NN numbering and the
+        // files themselves are race-free and order-deterministic.
         int harmful = 0;
         for (trigger::TriggerReport &report : result.triggered) {
             if (report.cls != trigger::TriggerClass::Harmful ||

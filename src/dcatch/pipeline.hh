@@ -49,6 +49,13 @@ struct PipelineOptions
      *  bundles under this directory: `monitored/` for the traced run
      *  and `harmful-NN/` per harmful trigger classification. */
     std::string reproDir;
+    /**
+     * Worker count for the parallel analysis backend (sharded race
+     * detection + concurrent trigger exploration): 0 selects the
+     * hardware concurrency, 1 is the exact serial path.  Output is
+     * byte-identical for every value (docs/parallelism.md).
+     */
+    int jobs = 0;
 };
 
 /** Wall-clock and volume metrics per pipeline phase (Tables 6-8). */
@@ -77,6 +84,12 @@ struct PhaseMetrics
     /** Scheduler decisions recorded for the monitored run (0 unless
      *  PipelineOptions::reproDir was set). */
     std::size_t scheduleDecisions = 0;
+
+    /// @{ @name Parallel analysis backend (docs/parallelism.md)
+    int jobs = 1;                 ///< effective worker count
+    std::size_t triggerTasks = 0; ///< enforced-order runs explored
+    double detectSec = 0;         ///< race-detection share of analysis
+    /// @}
 };
 
 /** Everything the pipeline produced. */

@@ -108,6 +108,11 @@ renderReport(const apps::Benchmark &bench, const PipelineResult &result,
             m.baseSec * 1e3, m.tracingSec * 1e3, m.traceRecords,
             m.traceBytes, m.analysisSec * 1e3, m.pruningSec * 1e3,
             m.loopSec * 1e3, m.triggerSec * 1e3);
+        out += strprintf(
+            "parallel: %d job%s (detect %.2fms sharded, %zu trigger "
+            "order-runs explored)\n",
+            m.jobs, m.jobs == 1 ? "" : "s", m.detectSec * 1e3,
+            m.triggerTasks);
         if (!m.hbEngine.empty())
             out += strprintf(
                 "hb engine: %s (%zu vertices, %zu chains, %zu rows, "
@@ -205,7 +210,13 @@ reportToJson(const apps::Benchmark &bench, const PipelineResult &result)
                  result.metrics.traceRecords)))
         .set("traceBytes",
              Json::num(static_cast<std::int64_t>(
-                 result.metrics.traceBytes)));
+                 result.metrics.traceBytes)))
+        .set("jobs",
+             Json::num(static_cast<std::int64_t>(result.metrics.jobs)))
+        .set("detectSec", Json::num(result.metrics.detectSec))
+        .set("triggerTasks",
+             Json::num(static_cast<std::int64_t>(
+                 result.metrics.triggerTasks)));
     if (!result.metrics.hbEngine.empty()) {
         Json hb = Json::object();
         hb.set("engine", Json::str(result.metrics.hbEngine))

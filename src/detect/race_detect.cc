@@ -7,6 +7,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/task_pool.hh"
+
 namespace dcatch::detect {
 
 namespace {
@@ -144,7 +146,7 @@ compositeLess(std::string_view sx, std::string_view cx,
 } // namespace
 
 std::vector<Candidate>
-RaceDetector::detect(const hb::HbGraph &graph) const
+RaceDetector::detect(const hb::HbGraph &graph, TaskPool *pool) const
 {
     // Group memory accesses by (var, site, callstack, isWrite) so the
     // dynamic-instance bound applies per static identity.  Interning
@@ -196,63 +198,112 @@ RaceDetector::detect(const hb::HbGraph &graph) const
         return acc;
     };
 
-    std::vector<Candidate> out;
-    std::unordered_map<PairKey, std::size_t, PairKeyHash> dedup;
+    // Sharded pair testing.  One work unit is (var, gi): group gi of
+    // the var paired against every group gj >= gi.  Units are
+    // independent — all shared state (groups, interner, graph) is
+    // read-only here — so they run on the TaskPool when one is
+    // supplied.  Determinism: each unit writes only its own
+    // index-addressed shard, and the merge below walks shards in unit
+    // order, which replays the serial double loop's iteration order
+    // exactly; worker count and stealing pattern are unobservable.
+    struct WorkUnit
+    {
+        std::uint32_t var;
+        std::size_t gi;
+    };
+    struct ShardItem
+    {
+        PairKey key;
+        Candidate cand; ///< dynamicPairs = concurrent pairs in shard
+    };
+
+    std::vector<WorkUnit> units;
+    for (std::uint32_t var : varOrder)
+        for (std::size_t gi = 0; gi < byVar[var].size(); ++gi)
+            units.push_back(WorkUnit{var, gi});
+
     int bound = options_.maxInstancesPerGroup;
+    std::vector<std::vector<ShardItem>> shards(units.size());
+    auto run_unit = [&](std::size_t u) {
+        const WorkUnit &unit = units[u];
+        const std::vector<std::size_t> &varGroups = byVar[unit.var];
+        std::vector<ShardItem> &shard = shards[u];
+        // Dedup is local to the shard: the same PairKey can recur
+        // across shards (groups differing only in isWrite), which the
+        // index-ordered merge resolves globally.
+        std::unordered_map<PairKey, std::size_t, PairKeyHash> dedup;
+        std::size_t gi = unit.gi;
+        for (std::size_t gj = gi; gj < varGroups.size(); ++gj) {
+            const Group &g1 = groups[varGroups[gi]];
+            const Group &g2 = groups[varGroups[gj]];
+            if (!g1.isWrite && !g2.isWrite)
+                continue; // conflicting requires >= 1 write
 
-    for (std::uint32_t var : varOrder) {
-        const std::vector<std::size_t> &varGroups = byVar[var];
-        for (std::size_t gi = 0; gi < varGroups.size(); ++gi) {
-            for (std::size_t gj = gi; gj < varGroups.size(); ++gj) {
-                const Group &g1 = groups[varGroups[gi]];
-                const Group &g2 = groups[varGroups[gj]];
-                if (!g1.isWrite && !g2.isWrite)
-                    continue; // conflicting requires >= 1 write
+            // Both orderings are group-level properties: decide
+            // them once instead of per instance pair.  `swapped`
+            // replicates the reported a/b order (lexicographic
+            // over site + callstack concatenation); the dedup key
+            // canonicalises like callstackKey() (over the
+            // site + "^" + callstack composite).
+            bool swapped = concatLess(
+                strings.str(g2.site), strings.str(g2.stack),
+                strings.str(g1.site), strings.str(g1.stack));
+            PairKey key{unit.var, g1.site, g1.stack, g2.site, g2.stack};
+            if (compositeLess(strings.str(g2.site),
+                              strings.str(g2.stack),
+                              strings.str(g1.site),
+                              strings.str(g1.stack)))
+                key = PairKey{unit.var, g2.site, g2.stack, g1.site,
+                              g1.stack};
 
-                // Both orderings are group-level properties: decide
-                // them once instead of per instance pair.  `swapped`
-                // replicates the reported a/b order (lexicographic
-                // over site + callstack concatenation); the dedup key
-                // canonicalises like callstackKey() (over the
-                // site + "^" + callstack composite).
-                bool swapped = concatLess(
-                    strings.str(g2.site), strings.str(g2.stack),
-                    strings.str(g1.site), strings.str(g1.stack));
-                PairKey key{var, g1.site, g1.stack, g2.site, g2.stack};
-                if (compositeLess(strings.str(g2.site),
-                                  strings.str(g2.stack),
-                                  strings.str(g1.site),
-                                  strings.str(g1.stack)))
-                    key = PairKey{var, g2.site, g2.stack, g1.site,
-                                  g1.stack};
-
-                int n1 = std::min<int>(
-                    bound, static_cast<int>(g1.instances.size()));
-                int n2 = std::min<int>(
-                    bound, static_cast<int>(g2.instances.size()));
-                for (int i = 0; i < n1; ++i) {
-                    int lo = (gi == gj) ? i + 1 : 0;
-                    for (int j = lo; j < n2; ++j) {
-                        int u = g1.instances[static_cast<std::size_t>(i)];
-                        int v = g2.instances[static_cast<std::size_t>(j)];
-                        if (u == v || !graph.concurrent(u, v))
-                            continue;
-                        auto [it, inserted] =
-                            dedup.emplace(key, out.size());
-                        if (!inserted) {
-                            ++out[it->second].dynamicPairs;
-                            continue;
-                        }
-                        Candidate cand;
-                        cand.var = std::string(strings.str(var));
-                        cand.a = make_access(u);
-                        cand.b = make_access(v);
-                        if (swapped)
-                            std::swap(cand.a, cand.b);
-                        out.push_back(std::move(cand));
+            int n1 = std::min<int>(
+                bound, static_cast<int>(g1.instances.size()));
+            int n2 = std::min<int>(
+                bound, static_cast<int>(g2.instances.size()));
+            for (int i = 0; i < n1; ++i) {
+                int lo = (gi == gj) ? i + 1 : 0;
+                for (int j = lo; j < n2; ++j) {
+                    int u1 = g1.instances[static_cast<std::size_t>(i)];
+                    int v1 = g2.instances[static_cast<std::size_t>(j)];
+                    if (u1 == v1 || !graph.concurrent(u1, v1))
+                        continue;
+                    auto [it, inserted] =
+                        dedup.emplace(key, shard.size());
+                    if (!inserted) {
+                        ++shard[it->second].cand.dynamicPairs;
+                        continue;
                     }
+                    ShardItem item;
+                    item.key = key;
+                    item.cand.var = std::string(strings.str(unit.var));
+                    item.cand.a = make_access(u1);
+                    item.cand.b = make_access(v1);
+                    if (swapped)
+                        std::swap(item.cand.a, item.cand.b);
+                    shard.push_back(std::move(item));
                 }
             }
+        }
+    };
+    if (pool != nullptr && pool->jobs() > 1 && units.size() > 1) {
+        pool->parallelFor(units.size(), run_unit);
+    } else {
+        for (std::size_t u = 0; u < units.size(); ++u)
+            run_unit(u);
+    }
+
+    // Index-ordered merge: first shard (in unit order) to carry a key
+    // owns the reported candidate, later shards only add their
+    // dynamic-pair counts — exactly what the serial loop produced.
+    std::vector<Candidate> out;
+    std::unordered_map<PairKey, std::size_t, PairKeyHash> dedup;
+    for (std::vector<ShardItem> &shard : shards) {
+        for (ShardItem &item : shard) {
+            auto [it, inserted] = dedup.emplace(item.key, out.size());
+            if (inserted)
+                out.push_back(std::move(item.cand));
+            else
+                out[it->second].dynamicPairs += item.cand.dynamicPairs;
         }
     }
 

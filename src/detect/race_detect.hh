@@ -17,6 +17,10 @@
 #include "detect/report.hh"
 #include "hb/graph.hh"
 
+namespace dcatch {
+class TaskPool;
+}
+
 namespace dcatch::detect {
 
 /** Race detector over a closed HB graph. */
@@ -39,8 +43,14 @@ class RaceDetector
     /**
      * Report all candidates, deduplicated by callstack pair (the
      * finer granularity; static-pair counts derive from the result).
+     *
+     * When @p pool is non-null with more than one worker, pair
+     * testing is sharded over (var, group) partitions and merged in
+     * partition-index order — the result is byte-identical to the
+     * serial path for any worker count (docs/parallelism.md).
      */
-    std::vector<Candidate> detect(const hb::HbGraph &graph) const;
+    std::vector<Candidate> detect(const hb::HbGraph &graph,
+                                  TaskPool *pool = nullptr) const;
 
   private:
     Options options_;

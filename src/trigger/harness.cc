@@ -1,6 +1,7 @@
 #include "trigger/harness.hh"
 
 #include "common/logging.hh"
+#include "common/task_pool.hh"
 #include "replay/policies.hh"
 #include "trigger/controller.hh"
 
@@ -75,21 +76,9 @@ TriggerHarness::runOrder(const RequestPoint &first,
     return run;
 }
 
-TriggerReport
-TriggerHarness::test(const detect::Candidate &candidate,
-                     const trace::TraceStore &pass1) const
+void
+TriggerHarness::classifyRuns(TriggerReport &report)
 {
-    TriggerReport report;
-    report.candidate = candidate;
-
-    PlacementAnalyzer analyzer(pass1);
-    report.placement = analyzer.plan(candidate);
-
-    report.runs.push_back(runOrder(report.placement.a,
-                                   report.placement.b, "a-then-b"));
-    report.runs.push_back(runOrder(report.placement.b,
-                                   report.placement.a, "b-then-a"));
-
     bool any_enforced = false;
     bool any_failed = false;
     for (const OrderRun &run : report.runs) {
@@ -113,17 +102,71 @@ TriggerHarness::test(const detect::Candidate &candidate,
         report.cls = TriggerClass::Serial;
     else
         report.cls = TriggerClass::Benign;
+}
+
+TriggerReport
+TriggerHarness::test(const detect::Candidate &candidate,
+                     const trace::TraceStore &pass1) const
+{
+    TriggerReport report;
+    report.candidate = candidate;
+
+    PlacementAnalyzer analyzer(pass1);
+    report.placement = analyzer.plan(candidate);
+
+    report.runs.push_back(runOrder(report.placement.a,
+                                   report.placement.b, "a-then-b"));
+    report.runs.push_back(runOrder(report.placement.b,
+                                   report.placement.a, "b-then-a"));
+
+    classifyRuns(report);
     return report;
 }
 
 std::vector<TriggerReport>
 TriggerHarness::testAll(const std::vector<detect::Candidate> &candidates,
-                        const trace::TraceStore &pass1) const
+                        const trace::TraceStore &pass1,
+                        TaskPool *pool) const
 {
-    std::vector<TriggerReport> reports;
-    reports.reserve(candidates.size());
-    for (const detect::Candidate &cand : candidates)
-        reports.push_back(test(cand, pass1));
+    std::size_t n = candidates.size();
+    if (pool == nullptr || pool->jobs() <= 1 || n == 0) {
+        std::vector<TriggerReport> reports;
+        reports.reserve(n);
+        for (const detect::Candidate &cand : candidates)
+            reports.push_back(test(cand, pass1));
+        return reports;
+    }
+
+    // Stage 1: placement analysis per candidate (read-only over the
+    // pass-1 trace), each task writing only its own report slot.
+    std::vector<TriggerReport> reports(n);
+    pool->parallelFor(n, [&](std::size_t i) {
+        reports[i].candidate = candidates[i];
+        PlacementAnalyzer analyzer(pass1);
+        reports[i].placement = analyzer.plan(candidates[i]);
+    });
+
+    // Stage 2: one task per enforced ordering (2 per candidate), each
+    // with its own Simulation.  Task 2i is candidate i's "a-then-b",
+    // task 2i+1 its "b-then-a": the task index alone fixes where the
+    // result lands, so the merged runs vector is identical to the
+    // serial loop's for any worker count or stealing pattern.
+    for (TriggerReport &report : reports)
+        report.runs.resize(2);
+    pool->parallelFor(2 * n, [&](std::size_t t) {
+        TriggerReport &report = reports[t / 2];
+        bool forward = (t % 2) == 0;
+        const RequestPoint &first =
+            forward ? report.placement.a : report.placement.b;
+        const RequestPoint &second =
+            forward ? report.placement.b : report.placement.a;
+        report.runs[t % 2] =
+            runOrder(first, second, forward ? "a-then-b" : "b-then-a");
+    });
+
+    // Stage 3: serial classification in candidate order.
+    for (TriggerReport &report : reports)
+        classifyRuns(report);
     return reports;
 }
 

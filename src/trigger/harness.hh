@@ -28,6 +28,10 @@
 #include "trace/trace_store.hh"
 #include "trigger/placement.hh"
 
+namespace dcatch {
+class TaskPool;
+}
+
 namespace dcatch::trigger {
 
 /** Classification of a DCatch report after triggering. */
@@ -111,15 +115,27 @@ class TriggerHarness
 
     /**
      * Trigger a whole report list.  @return reports in input order.
+     *
+     * When @p pool is non-null with more than one worker, the
+     * placement analyses and every enforced-order exploration run
+     * concurrently — each candidate ordering gets its own
+     * Simulation instance on a worker — and results are merged back
+     * in candidate/order placement order, so reports (including
+     * classifications and recorded failing schedules) are
+     * byte-identical to the serial path (docs/parallelism.md).
      */
     std::vector<TriggerReport>
     testAll(const std::vector<detect::Candidate> &candidates,
-            const trace::TraceStore &pass1) const;
+            const trace::TraceStore &pass1,
+            TaskPool *pool = nullptr) const;
 
   private:
     OrderRun runOrder(const RequestPoint &first,
                       const RequestPoint &second,
                       const std::string &label) const;
+
+    /** Classify from report.runs (shared by test and testAll). */
+    static void classifyRuns(TriggerReport &report);
 
     std::function<void(sim::Simulation &)> build_;
     sim::SimConfig config_;

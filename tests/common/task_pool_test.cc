@@ -1,0 +1,156 @@
+/**
+ * @file
+ * TaskPool contract tests: every index runs exactly once, results are
+ * index-addressed (so merges are order-deterministic), stealing keeps
+ * all workers busy under skewed task costs, exceptions surface as the
+ * lowest-index failure, and jobs == 1 is the inline serial path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/task_pool.hh"
+
+namespace dcatch {
+namespace {
+
+TEST(TaskPoolTest, ResolveJobsMapsZeroToHardware)
+{
+    EXPECT_EQ(TaskPool::resolveJobs(0), TaskPool::hardwareJobs());
+    EXPECT_EQ(TaskPool::resolveJobs(1), 1);
+    EXPECT_EQ(TaskPool::resolveJobs(7), 7);
+    EXPECT_GE(TaskPool::hardwareJobs(), 1);
+}
+
+TEST(TaskPoolTest, EveryIndexRunsExactlyOnce)
+{
+    for (int jobs : {1, 2, 4, 8}) {
+        TaskPool pool(jobs);
+        constexpr std::size_t n = 1000;
+        std::vector<std::atomic<int>> hits(n);
+        pool.parallelFor(n, [&](std::size_t i) { ++hits[i]; });
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(hits[i].load(), 1)
+                << "index " << i << " with " << jobs << " jobs";
+    }
+}
+
+TEST(TaskPoolTest, IndexKeyedResultsAreDeterministic)
+{
+    // The determinism contract: writing result[i] from body(i) and
+    // reading in index order yields the same sequence for any worker
+    // count, even when per-task cost is wildly skewed.
+    auto run = [](int jobs) {
+        TaskPool pool(jobs);
+        constexpr std::size_t n = 257;
+        std::vector<std::uint64_t> result(n);
+        pool.parallelFor(n, [&](std::size_t i) {
+            std::uint64_t acc = i;
+            // Skew: early indices cost ~1000x the late ones.
+            std::size_t spins = (i < 16) ? 100000 : 100;
+            for (std::size_t k = 0; k < spins; ++k)
+                acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+            result[i] = acc;
+        });
+        return result;
+    };
+    auto serial = run(1);
+    EXPECT_EQ(serial, run(2));
+    EXPECT_EQ(serial, run(3));
+    EXPECT_EQ(serial, run(8));
+}
+
+TEST(TaskPoolTest, StealingSpreadsSkewedWork)
+{
+    if (TaskPool::hardwareJobs() < 1)
+        GTEST_SKIP();
+    // All the work sits in the first quarter of the index space; with
+    // stealing, more than one thread must end up executing tasks.
+    TaskPool pool(4);
+    std::mutex mutex;
+    std::set<std::thread::id> executors;
+    constexpr std::size_t n = 64;
+    pool.parallelFor(n, [&](std::size_t i) {
+        volatile std::uint64_t acc = i;
+        std::size_t spins = i < n / 4 ? 2000000 : 1;
+        for (std::size_t k = 0; k < spins; ++k)
+            acc = acc * 31 + 7;
+        std::lock_guard<std::mutex> guard(mutex);
+        executors.insert(std::this_thread::get_id());
+    });
+    EXPECT_GE(executors.size(), 2u)
+        << "skewed front-loaded work should be stolen by idle workers";
+}
+
+TEST(TaskPoolTest, PoolIsReusableAcrossCalls)
+{
+    TaskPool pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<std::size_t> sum{0};
+        std::size_t n = 1 + static_cast<std::size_t>(round) * 7 % 97;
+        pool.parallelFor(n, [&](std::size_t i) { sum += i; });
+        EXPECT_EQ(sum.load(), n * (n - 1) / 2) << "round " << round;
+    }
+}
+
+TEST(TaskPoolTest, LowestIndexExceptionWins)
+{
+    for (int jobs : {1, 4}) {
+        TaskPool pool(jobs);
+        try {
+            pool.parallelFor(100, [&](std::size_t i) {
+                if (i == 17 || i == 83)
+                    throw std::runtime_error(
+                        "task " + std::to_string(i));
+            });
+            FAIL() << "expected an exception";
+        } catch (const std::runtime_error &error) {
+            EXPECT_STREQ(error.what(), "task 17");
+        }
+    }
+}
+
+TEST(TaskPoolTest, AllTasksStillRunWhenOneThrows)
+{
+    TaskPool pool(4);
+    std::vector<std::atomic<int>> hits(200);
+    EXPECT_THROW(pool.parallelFor(hits.size(),
+                                  [&](std::size_t i) {
+                                      ++hits[i];
+                                      if (i == 0)
+                                          throw std::runtime_error("x");
+                                  }),
+                 std::runtime_error);
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(TaskPoolTest, EmptyAndSingletonRanges)
+{
+    TaskPool pool(8);
+    pool.parallelFor(0, [&](std::size_t) { FAIL(); });
+    int hits = 0;
+    pool.parallelFor(1, [&](std::size_t i) {
+        EXPECT_EQ(i, 0u);
+        ++hits;
+    });
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(TaskPoolTest, MoreWorkersThanTasks)
+{
+    TaskPool pool(16);
+    std::vector<std::atomic<int>> hits(3);
+    pool.parallelFor(3, [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(hits[i].load(), 1);
+}
+
+} // namespace
+} // namespace dcatch

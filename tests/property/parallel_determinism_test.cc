@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Determinism contract of the parallel analysis backend
+ * (docs/parallelism.md): for every benchmark and scheduling policy,
+ * the pipeline's output with jobs ∈ {1, 2, 8} is byte-identical —
+ * same text report, same JSON report (timings normalised), same
+ * monitored-trace digest, same trigger classifications, and
+ * byte-identical repro bundles (schedule.bin / report.json /
+ * trace.digest for the monitored run and every harmful
+ * classification).  jobs == 1 is the exact serial path, so this
+ * pins the parallel backend to the serial semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dcatch/pipeline.hh"
+#include "dcatch/report_printer.hh"
+
+namespace dcatch {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Everything that must not depend on the worker count. */
+struct Snapshot
+{
+    std::string textReport;
+    std::string jsonReport; ///< metrics subtree nulled (timings)
+    std::uint64_t traceDigest = 0;
+    std::vector<std::string> finalKeys;
+    std::vector<std::string> classifications;
+    std::map<std::string, std::string> bundleFiles; ///< relpath -> bytes
+};
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+Snapshot
+runWith(const char *bench_id, sim::PolicyKind policy, int jobs,
+        const std::string &repro_dir)
+{
+    apps::Benchmark bench = apps::benchmark(bench_id);
+    bench.config.policy = policy;
+    bench.config.seed = 12345;
+
+    PipelineOptions options;
+    options.measureBase = false;
+    options.runTrigger = true;
+    options.jobs = jobs;
+    options.reproDir = repro_dir;
+    fs::remove_all(repro_dir);
+    PipelineResult result = runPipeline(bench, options);
+
+    Snapshot snap;
+    PrintOptions print;
+    print.showMetrics = false; // timings and job count may differ
+    snap.textReport = renderReport(bench, result, print);
+    // Normalise the only worker-count-dependent JSON fields (wall
+    // clocks and the echoed job count); everything else must match.
+    PhaseMetrics &m = result.metrics;
+    m.baseSec = m.tracingSec = m.analysisSec = m.pruningSec =
+        m.loopSec = m.triggerSec = m.detectSec = 0;
+    m.jobs = 0;
+    snap.jsonReport = reportToJson(bench, result).dump();
+    snap.traceDigest = result.monitoredTrace.contentDigest();
+    for (const detect::Candidate &cand : result.finalReports())
+        snap.finalKeys.push_back(cand.callstackKey());
+    for (const trigger::TriggerReport &report : result.triggered)
+        snap.classifications.push_back(
+            report.candidate.callstackKey() + " => " +
+            trigger::triggerClassName(report.cls) +
+            (report.failingOrder.empty() ? ""
+                                         : "/" + report.failingOrder));
+    for (const auto &entry : fs::recursive_directory_iterator(repro_dir))
+        if (entry.is_regular_file())
+            snap.bundleFiles[fs::relative(entry.path(), repro_dir)
+                                 .string()] = readFile(entry.path());
+    return snap;
+}
+
+using Param = std::tuple<const char *, sim::PolicyKind>;
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(ParallelDeterminismTest, JobsCountIsUnobservableInOutput)
+{
+    const char *bench_id = std::get<0>(GetParam());
+    sim::PolicyKind policy = std::get<1>(GetParam());
+    const char *policy_name =
+        policy == sim::PolicyKind::Fifo ? "fifo" : "random";
+
+    // One repro directory reused across the jobs values (bundle
+    // paths are embedded in reports, so they must not encode the
+    // worker count); each run snapshots its files before the next
+    // wipes the directory.
+    std::string repro = fs::temp_directory_path().string() +
+                        "/dcatch-par-prop-" + bench_id + "-" +
+                        policy_name;
+    Snapshot serial = runWith(bench_id, policy, 1, repro);
+    for (int jobs : {2, 8}) {
+        Snapshot parallel = runWith(bench_id, policy, jobs, repro);
+        SCOPED_TRACE(std::string(bench_id) + " " + policy_name +
+                     " jobs=" + std::to_string(jobs));
+        EXPECT_EQ(serial.textReport, parallel.textReport);
+        EXPECT_EQ(serial.jsonReport, parallel.jsonReport);
+        EXPECT_EQ(serial.traceDigest, parallel.traceDigest);
+        EXPECT_EQ(serial.finalKeys, parallel.finalKeys);
+        EXPECT_EQ(serial.classifications, parallel.classifications);
+        ASSERT_EQ(serial.bundleFiles.size(),
+                  parallel.bundleFiles.size());
+        for (const auto &[path, bytes] : serial.bundleFiles) {
+            auto it = parallel.bundleFiles.find(path);
+            ASSERT_NE(it, parallel.bundleFiles.end())
+                << "bundle file missing in parallel run: " << path;
+            EXPECT_EQ(bytes, it->second)
+                << "bundle file differs: " << path;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ParallelDeterminismTest,
+    ::testing::Combine(::testing::Values("CA-1011", "HB-4539", "HB-4729",
+                                         "MR-3274", "MR-4637", "ZK-1144",
+                                         "ZK-1270"),
+                       ::testing::Values(sim::PolicyKind::Fifo,
+                                         sim::PolicyKind::Random)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        std::string name = std::get<0>(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + (std::get<1>(info.param) ==
+                               sim::PolicyKind::Fifo
+                           ? "_fifo"
+                           : "_random");
+    });
+
+} // namespace
+} // namespace dcatch

@@ -17,6 +17,7 @@
  * analysis ran out of memory or a replay diverged / mismatched.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -53,6 +54,9 @@ usage()
         "  --full-trace  unselective memory tracing (Table 8 mode)\n"
         "  --random      use the seeded-random scheduling policy\n"
         "  --seed N      scheduling seed (with --random)\n"
+        "  --jobs N      analysis/trigger worker threads (N >= 1;\n"
+        "                default: hardware concurrency; output is\n"
+        "                byte-identical for every N)\n"
         "  --json        emit the report as JSON\n"
         "  --trace-dir D also write per-thread trace files into D\n"
         "  --record-schedule D\n"
@@ -113,6 +117,34 @@ cmdRun(int argc, char **argv)
                     throw std::invalid_argument(value);
             } catch (const std::exception &) {
                 std::fprintf(stderr, "--seed: '%s' is not a number\n",
+                             argv[i]);
+                return usage();
+            }
+        } else if (arg == "--jobs") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--jobs requires a value\n");
+                return usage();
+            }
+            // Strict: a decimal integer >= 1, nothing else.  0 would
+            // silently mean "hardware concurrency" at the library
+            // level; the CLI rejects it so a typo can't change the
+            // worker count unnoticed.
+            try {
+                std::size_t used = 0;
+                std::string value = argv[++i];
+                long long parsed = std::stoll(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+                if (parsed < 1) {
+                    std::fprintf(stderr,
+                                 "--jobs: %lld is not a positive "
+                                 "worker count\n", parsed);
+                    return usage();
+                }
+                options.jobs = static_cast<int>(
+                    std::min<long long>(parsed, 1 << 16));
+            } catch (const std::exception &) {
+                std::fprintf(stderr, "--jobs: '%s' is not a number\n",
                              argv[i]);
                 return usage();
             }
