@@ -30,7 +30,7 @@ using namespace dcatch;
 std::vector<std::pair<int, int>>
 conflictingPairs(const hb::HbGraph &graph)
 {
-    std::map<std::string, std::vector<int>> by_var;
+    std::map<trace::SymId, std::vector<int>> by_var;
     for (int v : graph.memAccesses())
         by_var[graph.record(v).id].push_back(v);
     std::vector<std::pair<int, int>> pairs;

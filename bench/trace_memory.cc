@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Trace-substrate memory and throughput bench: quantifies what the
+ * interned columnar (SoA + SymbolPool) representation buys over the
+ * pre-interning array-of-structs layout, where every record carried
+ * three heap-allocated std::strings and every analysis started by
+ * copy-and-sorting the whole trace (allRecords()) and re-interning
+ * its strings in the detector.
+ *
+ * For every benchmark, and for a large scaling workload (MR Hang3274
+ * at 256 submitted jobs) where trace handling dominates, it measures:
+ *
+ *  - resident trace bytes: TraceStore::memoryBytes() (columns + pool)
+ *    vs. the legacy layout, *materialized for real* as a vector of
+ *    string-carrying records and accounted as vector storage plus
+ *    the heap block behind every string that exceeds the SSO buffer;
+ *  - ingest throughput: records/second appending interned rows into a
+ *    fresh store (the runtime hook hot path: intern + columnar push);
+ *  - end-to-end analysis wall clock: HB graph construction plus race
+ *    detection over the columnar store, vs. the same analysis plus
+ *    the legacy per-analysis overhead this PR deleted (full
+ *    copy-and-sort materialization and string re-interning over all
+ *    memory accesses).
+ *
+ * Results go to BENCH_trace_mem.json; scripts/bench_regress.sh gates
+ * the memory ratio and analysis speedup against
+ * scripts/trace_mem_floor.json (>= 1.3x smaller, >= 1.10x faster).
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/benchmark.hh"
+#include "apps/mapreduce/mini_mr.hh"
+#include "bench_common.hh"
+#include "common/json.hh"
+#include "common/util.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+#include "runtime/sim.hh"
+#include "trace/trace_store.hh"
+
+namespace {
+
+using namespace dcatch;
+
+/** The pre-interning record layout, one heap string per text field. */
+struct LegacyRecord
+{
+    trace::RecordType type;
+    int node;
+    int thread;
+    std::uint64_t seq;
+    std::int64_t aux;
+    std::string site;
+    std::string callstack;
+    std::string id;
+};
+
+/** Materialize the legacy AoS copy of @p store (what the old
+ *  allRecords() built on every call), sorted by global seq. */
+std::vector<LegacyRecord>
+materializeLegacy(const trace::TraceStore &store)
+{
+    std::vector<LegacyRecord> records;
+    records.reserve(store.totalRecords());
+    for (int t = 0; t < store.threadCount(); ++t) {
+        for (trace::TraceStore::RecordView rec : store.threadLog(t)) {
+            LegacyRecord legacy;
+            legacy.type = rec.type();
+            legacy.node = rec.node();
+            legacy.thread = rec.thread();
+            legacy.seq = rec.seq();
+            legacy.aux = rec.aux();
+            legacy.site = std::string(rec.site());
+            legacy.callstack = std::string(rec.callstack());
+            legacy.id = std::string(rec.id());
+            records.push_back(std::move(legacy));
+        }
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const LegacyRecord &a, const LegacyRecord &b) {
+                         return a.seq < b.seq;
+                     });
+    return records;
+}
+
+/** Bytes held by the materialized legacy vector: slab + every
+ *  string's heap block (strings within the SSO buffer cost nothing
+ *  beyond the struct). */
+std::size_t
+legacyBytes(const std::vector<LegacyRecord> &records)
+{
+    const std::size_t sso = std::string().capacity();
+    std::size_t bytes = records.capacity() * sizeof(LegacyRecord);
+    auto heap = [&](const std::string &s) {
+        return s.capacity() > sso ? s.capacity() + 1 : 0;
+    };
+    for (const LegacyRecord &rec : records)
+        bytes += heap(rec.site) + heap(rec.callstack) + heap(rec.id);
+    return bytes;
+}
+
+/** The per-analysis work the columnar substrate deleted: the full
+ *  copy-and-sort materialization plus the detector's string
+ *  re-interning pass over every memory access. */
+double
+legacyOverheadSec(const trace::TraceStore &store)
+{
+    Stopwatch watch;
+    std::vector<LegacyRecord> records = materializeLegacy(store);
+    std::unordered_map<std::string, std::uint32_t> interner;
+    auto intern = [&](const std::string &text) {
+        return interner
+            .emplace(text, static_cast<std::uint32_t>(interner.size()))
+            .first->second;
+    };
+    std::uint64_t checksum = 0;
+    for (const LegacyRecord &rec : records) {
+        if (rec.type != trace::RecordType::MemRead &&
+            rec.type != trace::RecordType::MemWrite)
+            continue;
+        checksum += intern(rec.site) + intern(rec.callstack) +
+                    intern(rec.id);
+    }
+    double sec = watch.milliseconds() / 1e3;
+    // Keep the loop observable so the optimizer cannot drop it.
+    if (checksum == 0xdeadbeefull)
+        std::printf("(unreachable checksum)\n");
+    return sec;
+}
+
+/** HB graph build + race detection (the analysis consumers of the
+ *  trace substrate). */
+double
+analysisSec(const trace::TraceStore &store)
+{
+    Stopwatch watch;
+    hb::HbGraph graph(store);
+    detect::RaceDetector detector;
+    std::size_t found = detector.detect(graph).size();
+    double sec = watch.milliseconds() / 1e3;
+    if (found == std::size_t(-1))
+        std::printf("(unreachable)\n");
+    return sec;
+}
+
+/** Re-ingest the trace through the runtime hot path (intern against
+ *  a fresh pool + columnar append); returns records/second. */
+double
+ingestRecordsPerSec(const trace::TraceStore &store)
+{
+    std::vector<trace::Record> rows = store.mergedRecords();
+    const trace::SymbolPool &src = store.symbols();
+    Stopwatch watch;
+    trace::TraceStore fresh;
+    trace::SymbolPool &pool = fresh.symbols();
+    for (trace::Record rec : rows) {
+        rec.site = pool.intern(src.view(rec.site));
+        rec.callstack = pool.intern(src.view(rec.callstack));
+        rec.id = pool.intern(src.view(rec.id));
+        fresh.append(rec);
+    }
+    double sec = watch.milliseconds() / 1e3;
+    if (fresh.totalRecords() != rows.size())
+        std::printf("(ingest dropped records!)\n");
+    return sec > 0 ? double(rows.size()) / sec : 0.0;
+}
+
+template <class Fn>
+double
+bestOf(int reps, Fn &&fn)
+{
+    double best = fn();
+    for (int i = 1; i < reps; ++i)
+        best = std::min(best, fn());
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Trace memory",
+                  "interned columnar store vs. legacy string records");
+
+    bench::Table table({"Workload", "Records", "Columnar", "Legacy",
+                        "Ratio", "Reduction"});
+    Json benchmarks = Json::array();
+
+    auto measureMemory = [&](const char *name,
+                             const trace::TraceStore &store) {
+        std::size_t columnar = store.memoryBytes();
+        std::size_t legacy = legacyBytes(materializeLegacy(store));
+        double ratio = columnar > 0 ? double(legacy) / double(columnar)
+                                    : 0.0;
+        double reduction =
+            legacy > 0 ? 100.0 * (1.0 - double(columnar) / double(legacy))
+                       : 0.0;
+        table.row({name, strprintf("%zu", store.totalRecords()),
+                   strprintf("%zu B", columnar),
+                   strprintf("%zu B", legacy),
+                   strprintf("%.2fx", ratio),
+                   strprintf("%.1f%%", reduction)});
+        benchmarks.push(Json::object()
+            .set("benchmark", Json::str(name))
+            .set("records",
+                 Json::num(std::int64_t(store.totalRecords())))
+            .set("columnarBytes", Json::num(std::int64_t(columnar)))
+            .set("legacyBytes", Json::num(std::int64_t(legacy)))
+            .set("memoryRatio", Json::num(ratio))
+            .set("reductionPct", Json::num(reduction)));
+        return ratio;
+    };
+
+    for (const apps::Benchmark &b : apps::allBenchmarks()) {
+        sim::Simulation sim(b.config);
+        b.build(sim);
+        sim.run();
+        measureMemory(b.id.c_str(), sim.tracer().store());
+    }
+
+    // Large workload: MR Hang3274 at 256 submitted jobs — the trace
+    // is big enough for trace handling to dominate the analysis and
+    // for the per-record columnar saving to dwarf the pool's fixed
+    // 64 KiB arena granularity (which dominates on the tiny
+    // single-benchmark traces above).
+    sim::SimConfig cfg;
+    cfg.maxSteps = 100'000'000;
+    sim::Simulation sim(cfg);
+    apps::mr::install(sim, apps::mr::Workload::Hang3274, 256);
+    sim.run();
+    const trace::TraceStore &store = sim.tracer().store();
+    double ratio = measureMemory("MR-3274 scale 256", store);
+    table.print();
+
+    double ingest = ingestRecordsPerSec(store);
+    double columnar_sec = bestOf(3, [&] { return analysisSec(store); });
+    double overhead_sec =
+        bestOf(3, [&] { return legacyOverheadSec(store); });
+    double legacy_sec = columnar_sec + overhead_sec;
+    double speedup = columnar_sec > 0 ? legacy_sec / columnar_sec : 1.0;
+
+    std::printf("\nLargest trace (%zu records):\n"
+                "  ingest               %.0f records/sec\n"
+                "  analysis (columnar)  %.2f ms\n"
+                "  analysis (legacy)    %.2f ms  (+%.2f ms "
+                "copy-sort+re-intern)\n"
+                "  end-to-end speedup   %.2fx\n"
+                "  memory ratio         %.2fx\n",
+                store.totalRecords(), ingest, columnar_sec * 1e3,
+                legacy_sec * 1e3, overhead_sec * 1e3, speedup, ratio);
+
+    Json root = Json::object();
+    root.set("bench", Json::str("trace_memory"))
+        .set("benchmarks", std::move(benchmarks));
+    Json largest = Json::object();
+    largest.set("workload", Json::str("MR-3274 scale 256"))
+        .set("records", Json::num(std::int64_t(store.totalRecords())))
+        .set("columnarBytes",
+             Json::num(std::int64_t(store.memoryBytes())))
+        .set("ingestRecordsPerSec", Json::num(ingest))
+        .set("columnarAnalysisSec", Json::num(columnar_sec))
+        .set("legacyAnalysisSec", Json::num(legacy_sec))
+        .set("legacyOverheadSec", Json::num(overhead_sec))
+        .set("memoryRatio", Json::num(ratio))
+        .set("analysisSpeedup", Json::num(speedup));
+    root.set("largest", std::move(largest));
+    std::ofstream out("BENCH_trace_mem.json");
+    out << root.dump() << "\n";
+    std::printf("wrote BENCH_trace_mem.json\n");
+    return 0;
+}

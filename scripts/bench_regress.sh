@@ -22,6 +22,16 @@
 #      bounded-overhead sanity floor applies, since real speedup is
 #      physically impossible there).
 #
+# Then runs the trace_memory bench and verifies BENCH_trace_mem.json
+# against scripts/trace_mem_floor.json:
+#
+#   6. the interned columnar trace store holds the largest trace in
+#      >= 1.3x fewer resident bytes than the legacy string-per-record
+#      layout (>= 30% reduction);
+#   7. end-to-end analysis is >= 1.10x faster than analysis plus the
+#      legacy copy-sort + re-intern overhead the columnar substrate
+#      removed, and ingest clears the records/sec floor.
+#
 # Exits nonzero on any violation, so CI can run it as a gate.
 
 set -euo pipefail
@@ -33,7 +43,7 @@ jobs="${JOBS:-$(nproc)}"
 echo "== configure + build (Release) in $build"
 cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" -j "$jobs" --target scaling parallel_speedup \
-    >/dev/null
+    trace_memory >/dev/null
 
 echo "== run scaling bench"
 cd "$build"
@@ -134,4 +144,63 @@ if failures:
 
 print("ok: parallel backend deterministic; geomean speedup %.2fx "
       ">= %.2fx floor on %d core(s)" % (geomean, required, cores))
+EOF
+
+echo "== run trace memory bench"
+./bench/trace_memory
+
+tjson="$build/BENCH_trace_mem.json"
+[ -f "$tjson" ] || { echo "FAIL: $tjson was not written" >&2; exit 1; }
+
+echo "== verify $tjson against scripts/trace_mem_floor.json"
+python3 - "$tjson" "$repo/scripts/trace_mem_floor.json" <<'EOF'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+with open(sys.argv[2]) as f:
+    floor = json.load(f)
+
+failures = []
+largest = data.get("largest", {})
+
+min_ratio = floor["minMemoryRatio"]
+override = os.environ.get("DCATCH_TRACE_MEM_RATIO_OVERRIDE")
+if override:
+    min_ratio = float(override)
+ratio = largest.get("memoryRatio", 0.0)
+if ratio < min_ratio:
+    failures.append(
+        "trace memory regression: columnar store only %.2fx smaller "
+        "than legacy layout (< %.2fx floor) at %s records"
+        % (ratio, min_ratio, largest.get("records")))
+
+min_speedup = floor["minAnalysisSpeedup"]
+override = os.environ.get("DCATCH_TRACE_MEM_SPEEDUP_OVERRIDE")
+if override:
+    min_speedup = float(override)
+speedup = largest.get("analysisSpeedup", 0.0)
+if speedup < min_speedup:
+    failures.append(
+        "trace analysis regression: end-to-end speedup %.2fx < %.2fx "
+        "floor (columnar %.2fms vs legacy %.2fms)"
+        % (speedup, min_speedup,
+           largest.get("columnarAnalysisSec", 0) * 1e3,
+           largest.get("legacyAnalysisSec", 0) * 1e3))
+
+ingest = largest.get("ingestRecordsPerSec", 0.0)
+if ingest < floor.get("minIngestRecordsPerSec", 0):
+    failures.append(
+        "ingest regression: %.0f records/sec < %d floor"
+        % (ingest, floor["minIngestRecordsPerSec"]))
+
+if failures:
+    print("BENCH REGRESSION:")
+    for f in failures:
+        print("  - " + f)
+    sys.exit(1)
+
+print("ok: columnar trace %.2fx smaller, analysis %.2fx faster, "
+      "ingest %.0f records/sec at the largest trace (%s records)"
+      % (ratio, speedup, ingest, largest.get("records")))
 EOF

@@ -34,7 +34,7 @@ split(const std::string &text, char sep)
 }
 
 std::uint64_t
-fnv1a(const std::string &text)
+fnv1a(std::string_view text)
 {
     std::uint64_t hash = 0xcbf29ce484222325ull;
     for (unsigned char c : text) {

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace dcatch {
@@ -22,7 +23,7 @@ std::string join(const std::vector<std::string> &parts,
 std::vector<std::string> split(const std::string &text, char sep);
 
 /** FNV-1a 64-bit hash, stable across runs and platforms. */
-std::uint64_t fnv1a(const std::string &text);
+std::uint64_t fnv1a(std::string_view text);
 
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...)

@@ -13,30 +13,10 @@ namespace dcatch::detect {
 
 namespace {
 
-/**
- * Intern pool mapping strings to dense ids.  Views reference the
- * graph's record storage, which outlives the detector pass, so no
- * copies are made.
- */
-class Interner
-{
-  public:
-    std::uint32_t
-    id(std::string_view s)
-    {
-        auto [it, inserted] =
-            ids_.emplace(s, static_cast<std::uint32_t>(strings_.size()));
-        if (inserted)
-            strings_.push_back(s);
-        return it->second;
-    }
-
-    std::string_view str(std::uint32_t id) const { return strings_[id]; }
-
-  private:
-    std::unordered_map<std::string_view, std::uint32_t> ids_;
-    std::vector<std::string_view> strings_;
-};
+// Records carry trace::SymId fields interned in the trace's shared
+// symbol pool, so group and pair keys use them directly: equal ids
+// iff equal strings (within one pool).  The private re-interning pass
+// this detector used to run is gone.
 
 std::uint64_t
 mix(std::uint64_t h, std::uint64_t v)
@@ -45,10 +25,10 @@ mix(std::uint64_t h, std::uint64_t v)
     return h;
 }
 
-/** Group identity: (var, site, callstack, isWrite), all interned. */
+/** Group identity: (var, site, callstack, isWrite), all SymIds. */
 struct GroupKey
 {
-    std::uint32_t var, site, stack;
+    trace::SymId var, site, stack;
     bool isWrite;
 
     bool
@@ -77,7 +57,7 @@ struct GroupKeyHash
  *  the interned equivalent of Candidate::callstackKey(). */
 struct PairKey
 {
-    std::uint32_t var, site1, stack1, site2, stack2;
+    trace::SymId var, site1, stack1, site2, stack2;
 
     bool
     operator==(const PairKey &o) const
@@ -149,29 +129,28 @@ std::vector<Candidate>
 RaceDetector::detect(const hb::HbGraph &graph, TaskPool *pool) const
 {
     // Group memory accesses by (var, site, callstack, isWrite) so the
-    // dynamic-instance bound applies per static identity.  Interning
-    // the identifying strings makes group lookup one hash probe
-    // instead of a linear scan over string compares.
+    // dynamic-instance bound applies per static identity.  The trace's
+    // interned SymIds make group lookup one hash probe instead of a
+    // linear scan over string compares.
     struct Group
     {
-        std::uint32_t site, stack;
+        trace::SymId site, stack;
         bool isWrite = false;
         std::vector<int> instances; ///< vertex ids, seq order
     };
 
-    Interner strings;
+    const trace::SymbolPool &strings = graph.symbols();
     std::vector<Group> groups;
     std::unordered_map<GroupKey, std::size_t, GroupKeyHash> groupIndex;
     // Group indices per var, groups and vars both in first-seen order
     // (the final sort fixes the output order, and dedup keys never
     // collide across vars, so any var order yields the same result).
-    std::vector<std::uint32_t> varOrder;
-    std::unordered_map<std::uint32_t, std::vector<std::size_t>> byVar;
+    std::vector<trace::SymId> varOrder;
+    std::unordered_map<trace::SymId, std::vector<std::size_t>> byVar;
 
     for (int v : graph.memAccesses()) {
         const trace::Record &rec = graph.record(v);
-        GroupKey key{strings.id(rec.id), strings.id(rec.site),
-                     strings.id(rec.callstack),
+        GroupKey key{rec.id, rec.site, rec.callstack,
                      rec.type == trace::RecordType::MemWrite};
         auto [it, inserted] = groupIndex.emplace(key, groups.size());
         if (inserted) {
@@ -189,8 +168,8 @@ RaceDetector::detect(const hb::HbGraph &graph, TaskPool *pool) const
         const trace::Record &rec = graph.record(v);
         CandidateAccess acc;
         acc.vertex = v;
-        acc.site = rec.site;
-        acc.callstack = rec.callstack;
+        acc.site = std::string(strings.view(rec.site));
+        acc.callstack = std::string(strings.view(rec.callstack));
         acc.isWrite = rec.type == trace::RecordType::MemWrite;
         acc.thread = rec.thread;
         acc.node = rec.node;
@@ -208,7 +187,7 @@ RaceDetector::detect(const hb::HbGraph &graph, TaskPool *pool) const
     // exactly; worker count and stealing pattern are unobservable.
     struct WorkUnit
     {
-        std::uint32_t var;
+        trace::SymId var;
         std::size_t gi;
     };
     struct ShardItem
@@ -218,7 +197,7 @@ RaceDetector::detect(const hb::HbGraph &graph, TaskPool *pool) const
     };
 
     std::vector<WorkUnit> units;
-    for (std::uint32_t var : varOrder)
+    for (trace::SymId var : varOrder)
         for (std::size_t gi = 0; gi < byVar[var].size(); ++gi)
             units.push_back(WorkUnit{var, gi});
 
@@ -246,13 +225,13 @@ RaceDetector::detect(const hb::HbGraph &graph, TaskPool *pool) const
             // canonicalises like callstackKey() (over the
             // site + "^" + callstack composite).
             bool swapped = concatLess(
-                strings.str(g2.site), strings.str(g2.stack),
-                strings.str(g1.site), strings.str(g1.stack));
+                strings.view(g2.site), strings.view(g2.stack),
+                strings.view(g1.site), strings.view(g1.stack));
             PairKey key{unit.var, g1.site, g1.stack, g2.site, g2.stack};
-            if (compositeLess(strings.str(g2.site),
-                              strings.str(g2.stack),
-                              strings.str(g1.site),
-                              strings.str(g1.stack)))
+            if (compositeLess(strings.view(g2.site),
+                              strings.view(g2.stack),
+                              strings.view(g1.site),
+                              strings.view(g1.stack)))
                 key = PairKey{unit.var, g2.site, g2.stack, g1.site,
                               g1.stack};
 
@@ -275,7 +254,7 @@ RaceDetector::detect(const hb::HbGraph &graph, TaskPool *pool) const
                     }
                     ShardItem item;
                     item.key = key;
-                    item.cand.var = std::string(strings.str(unit.var));
+                    item.cand.var = std::string(strings.view(unit.var));
                     item.cand.a = make_access(u1);
                     item.cand.b = make_access(v1);
                     if (swapped)

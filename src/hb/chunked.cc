@@ -10,14 +10,16 @@ namespace dcatch::hb {
 
 namespace {
 
-/** Copy a seq-ordered slice of records into a fresh store, keeping
- *  the queue/thread metadata (needed for Eserial and segmentation). */
+/** Copy a seq-ordered slice of records into a fresh store sharing the
+ *  parent's symbol pool (slices must keep resolving the same SymIds),
+ *  keeping the queue/thread metadata (needed for Eserial and
+ *  segmentation). */
 trace::TraceStore
 sliceStore(const trace::TraceStore &store,
            const std::vector<trace::Record> &all, std::size_t begin,
            std::size_t end)
 {
-    trace::TraceStore out;
+    trace::TraceStore out(store.sharedSymbols());
     for (const auto &[queue_id, meta] : store.queues())
         out.noteQueue(meta);
     for (const auto &[tid, meta] : store.threads())
@@ -33,7 +35,9 @@ ChunkedResult
 chunkedDetect(const trace::TraceStore &store, ChunkOptions options)
 {
     ChunkedResult result;
-    std::vector<trace::Record> all = store.allRecords();
+    // Materialized (not streamed): windows are random-access slices of
+    // the global order.  The rows are PODs, so this copies no strings.
+    std::vector<trace::Record> all = store.mergedRecords();
     if (options.windowRecords == 0)
         options.windowRecords = 1;
     std::size_t stride =

@@ -98,29 +98,25 @@ closesSegment(RecordType type)
     return type == RecordType::EventEnd || type == RecordType::RpcEnd;
 }
 
-/** findVertex hash key over the identifying record fields. */
-std::string
-vertexKey(RecordType type, const std::string &site, const std::string &id)
+/** findVertex hash key over the identifying (site, id) symbol pair. */
+std::uint64_t
+symPair(trace::SymId site, trace::SymId id)
 {
-    std::string key;
-    key.reserve(site.size() + id.size() + 4);
-    key += static_cast<char>('A' + static_cast<int>(type));
-    key += site;
-    key += '\x1f';
-    key += id;
-    return key;
+    return (static_cast<std::uint64_t>(site) << 32) | id;
 }
 
 } // namespace
 
 HbGraph::HbGraph(const trace::TraceStore &store, Options options)
-    : options_(options)
+    : options_(options), pool_(store.sharedSymbols())
 {
-    std::vector<Record> all = store.allRecords();
-    recs_.reserve(all.size());
-    for (Record &rec : all)
+    recs_.reserve(store.totalRecords());
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it) {
+        Record rec = (*it).record();
         if (keepRecord(rec, options_.rules))
-            recs_.push_back(std::move(rec));
+            recs_.push_back(rec);
+    }
     preds_.assign(recs_.size(), {});
     progPred_.assign(recs_.size(), -1);
     for (std::size_t v = 0; v < recs_.size(); ++v)
@@ -201,8 +197,9 @@ HbGraph::buildIndexes()
         const Record &rec = recs_[v];
         byTypeId_[static_cast<std::size_t>(rec.type)][rec.id].push_back(
             static_cast<int>(v));
-        vertexIndex_[vertexKey(rec.type, rec.site, rec.id)].push_back(
-            static_cast<int>(v));
+        vertexIndex_[static_cast<std::size_t>(rec.type)]
+                    [symPair(rec.site, rec.id)]
+                        .push_back(static_cast<int>(v));
     }
 }
 
@@ -335,14 +332,19 @@ HbGraph::applyEventSerial(const trace::TraceStore &store)
     {
         int create = -1, begin = -1, end = -1;
     };
-    std::map<std::string, std::map<std::string, EventVerts>> queues;
+    // Keys are string_views into the symbol pool — stable for the
+    // pool's lifetime, and the outer map keeps queues in the same
+    // lexicographic order as the old string-keyed map.
+    std::map<std::string_view, std::map<trace::SymId, EventVerts>> queues;
     for (std::size_t v = 0; v < recs_.size(); ++v) {
         const Record &rec = recs_[v];
         if (rec.type != RecordType::EventCreate &&
             rec.type != RecordType::EventBegin &&
             rec.type != RecordType::EventEnd)
             continue;
-        std::string queue_id = rec.id.substr(0, rec.id.find('#'));
+        std::string_view event_id = pool_->view(rec.id);
+        std::string_view queue_id =
+            event_id.substr(0, event_id.find('#'));
         auto meta = store.queues().find(queue_id);
         if (meta == store.queues().end() || !meta->second.singleConsumer)
             continue;
@@ -596,16 +598,28 @@ HbGraph::happensBefore(int u, int v) const
 }
 
 int
-HbGraph::findVertex(trace::RecordType type, const std::string &site,
-                    const std::string &id, std::int64_t aux) const
+HbGraph::findVertex(trace::RecordType type, trace::SymId site,
+                    trace::SymId id, std::int64_t aux) const
 {
-    auto it = vertexIndex_.find(vertexKey(type, site, id));
-    if (it == vertexIndex_.end())
+    const auto &index = vertexIndex_[static_cast<std::size_t>(type)];
+    auto it = index.find(symPair(site, id));
+    if (it == index.end())
         return -1;
     for (int v : it->second)
         if (aux < 0 || recs_[static_cast<std::size_t>(v)].aux == aux)
             return v;
     return -1;
+}
+
+int
+HbGraph::findVertex(trace::RecordType type, std::string_view site,
+                    std::string_view id, std::int64_t aux) const
+{
+    trace::SymId site_sym = pool_->find(site);
+    trace::SymId id_sym = pool_->find(id);
+    if (site_sym == trace::kNoSym || id_sym == trace::kNoSym)
+        return -1;
+    return findVertex(type, site_sym, id_sym, aux);
 }
 
 void

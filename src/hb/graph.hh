@@ -42,7 +42,9 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -138,10 +140,30 @@ class HbGraph
     /** Number of vertices (records). */
     std::size_t size() const { return recs_.size(); }
 
-    /** Record at vertex @p v. */
+    /** Record at vertex @p v (POD row; symbol fields are SymIds). */
     const trace::Record &record(int v) const
     {
         return recs_[static_cast<std::size_t>(v)];
+    }
+
+    /** The symbol pool the vertices' SymId fields resolve against. */
+    const trace::SymbolPool &symbols() const { return *pool_; }
+
+    /** Resolved symbol text of vertex @p v's fields. */
+    std::string_view site(int v) const
+    {
+        return pool_->view(record(v).site);
+    }
+    std::string_view id(int v) const { return pool_->view(record(v).id); }
+    std::string_view callstack(int v) const
+    {
+        return pool_->view(record(v).callstack);
+    }
+
+    /** Serialized trace line of vertex @p v, for diagnostics. */
+    std::string recordLine(int v) const
+    {
+        return record(v).toLine(*pool_);
     }
 
     /** Vertex indices of all memory-access records. */
@@ -162,8 +184,13 @@ class HbGraph
      * @param aux matched when >= 0; pass -1 to ignore
      * @return vertex index, or -1 when absent
      */
-    int findVertex(trace::RecordType type, const std::string &site,
-                   const std::string &id, std::int64_t aux = -1) const;
+    int findVertex(trace::RecordType type, trace::SymId site,
+                   trace::SymId id, std::int64_t aux = -1) const;
+
+    /** String overload: resolves @p site / @p id against the pool
+     *  first (symbols never interned cannot name a vertex). */
+    int findVertex(trace::RecordType type, std::string_view site,
+                   std::string_view id, std::int64_t aux = -1) const;
 
     /**
      * Add extra HB edges (Rule-Mpull results) and update the closure
@@ -231,6 +258,7 @@ class HbGraph
         static_cast<std::size_t>(trace::RecordType::LoopExit) + 1;
 
     Options options_;
+    std::shared_ptr<const trace::SymbolPool> pool_;
     std::vector<trace::Record> recs_;
     std::vector<std::vector<int>> preds_;
     std::vector<int> progPred_;
@@ -240,11 +268,14 @@ class HbGraph
     std::size_t closureRuns_ = 0;
 
     /** Vertices per (type, id), ascending — drives pairing edges. */
-    std::array<std::unordered_map<std::string, std::vector<int>>,
+    std::array<std::unordered_map<trace::SymId, std::vector<int>>,
                kRecordTypes>
         byTypeId_;
-    /** Vertices per (type, site, id), ascending — drives findVertex. */
-    std::unordered_map<std::string, std::vector<int>> vertexIndex_;
+    /** Vertices per (type, site, id), ascending — drives findVertex.
+     *  Keyed by the packed (site, id) SymId pair. */
+    std::array<std::unordered_map<std::uint64_t, std::vector<int>>,
+               kRecordTypes>
+        vertexIndex_;
 
     std::vector<BitSet> ancestors_;  ///< dense engine state
     ChainFrontierIndex frontier_;    ///< chain-frontier engine state

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <string_view>
 
 #include "common/logging.hh"
 #include "common/util.hh"
@@ -61,28 +62,38 @@ PullAnalyzer::analyze(const HbGraph &pass1,
     rerun.run();
     result.rerunSeconds = watch.seconds();
 
-    std::vector<Record> recs = rerun.tracer().store().allRecords();
+    // The rerun owns a different symbol pool than pass1's trace, so
+    // protocol strings are resolved against it here (find, not
+    // intern: a symbol the rerun never recorded matches nothing) and
+    // rerun symbols cross back to pass1 as strings via findVertex.
+    const trace::SymbolPool &rpool = rerun.tracer().store().symbols();
+    std::vector<Record> recs = rerun.tracer().store().mergedRecords();
 
     // 3. For each dynamic loop exit, find the last matching read
     //    before it and the write that produced the value it saw.
     for (const Protocol &proto : protocols) {
+        trace::SymId loop_sym = rpool.find(proto.loopSite);
+        trace::SymId read_sym = rpool.find(proto.readSite);
+        trace::SymId var_sym = rpool.find(proto.var);
+        if (loop_sym == trace::kNoSym || var_sym == trace::kNoSym)
+            continue;
         for (const Record &exit_rec : recs) {
             if (exit_rec.type != RecordType::LoopExit ||
-                exit_rec.site != proto.loopSite)
+                exit_rec.site != loop_sym)
                 continue;
             const Record *last_read = nullptr;
             for (const Record &r : recs) {
                 if (r.seq >= exit_rec.seq)
                     break;
                 if (r.type == RecordType::MemRead &&
-                    r.site == proto.readSite && r.id == proto.var)
+                    r.site == read_sym && r.id == var_sym)
                     last_read = &r;
             }
             if (!last_read || last_read->aux <= 0)
                 continue;
             const Record *writer = nullptr;
             for (const Record &w : recs) {
-                if (w.type == RecordType::MemWrite && w.id == proto.var &&
+                if (w.type == RecordType::MemWrite && w.id == var_sym &&
                     w.aux == last_read->aux) {
                     writer = &w;
                     break;
@@ -91,13 +102,16 @@ PullAnalyzer::analyze(const HbGraph &pass1,
             if (!writer || writer->thread == last_read->thread)
                 continue;
 
+            std::string_view writer_site = rpool.view(writer->site);
+
             // w* in one thread fed the loop exit in another:
             // w* happens-before the loop exit (Rule-Mpull), and the
             // (read, w*) pair is custom synchronization.
-            int wv = pass1.findVertex(RecordType::MemWrite, writer->site,
+            int wv = pass1.findVertex(RecordType::MemWrite, writer_site,
                                       proto.var, writer->aux);
             int lv = pass1.findVertex(RecordType::LoopExit,
-                                      proto.loopSite, exit_rec.id);
+                                      proto.loopSite,
+                                      rpool.view(exit_rec.id));
             if (wv >= 0 && lv >= 0 && wv < lv)
                 result.edges.emplace_back(wv, lv);
 
@@ -106,13 +120,13 @@ PullAnalyzer::analyze(const HbGraph &pass1,
                     continue;
                 bool matches =
                     (cand.a.site == proto.readSite &&
-                     cand.b.site == writer->site) ||
+                     cand.b.site == writer_site) ||
                     (cand.b.site == proto.readSite &&
-                     cand.a.site == writer->site);
+                     cand.a.site == writer_site);
                 if (matches)
                     result.suppressedKeys.insert(cand.callstackKey());
             }
-            DCATCH_DEBUG() << "pull sync: write " << writer->site
+            DCATCH_DEBUG() << "pull sync: write " << writer_site
                            << " feeds loop exit " << proto.loopSite;
         }
     }

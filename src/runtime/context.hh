@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "runtime/types.hh"
+#include "trace/symbol_pool.hh"
 
 namespace dcatch::sim {
 
@@ -46,6 +47,14 @@ class ThreadContext
 
     /** Joined callstack string ("a>b>c") for trace records. */
     std::string callstack() const;
+
+    /**
+     * The callstack interned in the tracer's symbol pool.  Cached per
+     * frame state: the string is built and interned once per distinct
+     * push/pop transition instead of once per traced operation (the
+     * hot-path win of the interned trace substrate).
+     */
+    trace::SymId callstackSym();
 
     /** True while inside an RPC/event/message handler or a callee. */
     bool inTracedScope() const { return tracedDepth_ > 0; }
@@ -119,6 +128,9 @@ class ThreadContext
     int tracedDepth_ = 0;
     std::string segment_;
     int loopSerial_ = 0; ///< per-thread counter for loop instance ids
+    /// callstackSym() cache; invalidated on frame push/pop and when
+    /// the simulation swaps tracers (and thereby symbol pools)
+    trace::SymId callstackSym_ = trace::kNoSym;
 };
 
 /**

@@ -39,13 +39,15 @@ class SimLock
     acquire(ThreadContext &ctx, const char *site)
     {
         // Control point before blocking (see file comment).
+        trace::SymbolPool &pool =
+            ctx.sim().tracer().store().symbols();
         trace::Record pre;
         pre.type = trace::RecordType::LockAcquire;
         pre.node = ctx.node().index();
         pre.thread = ctx.tid();
-        pre.site = site;
-        pre.callstack = ctx.callstack();
-        pre.id = lockId_;
+        pre.site = pool.intern(site);
+        pre.callstack = ctx.callstackSym();
+        pre.id = pool.intern(lockId_);
         ctx.sim().controlPoint(ctx, pre);
 
         ctx.blockUntil([this] { return !held_; });

@@ -70,6 +70,15 @@ ThreadContext::callstack() const
     return name_ + ":" + join(frames_, ">");
 }
 
+trace::SymId
+ThreadContext::callstackSym()
+{
+    if (callstackSym_ == trace::kNoSym)
+        callstackSym_ =
+            sim_.tracer().store().symbols().intern(callstack());
+    return callstackSym_;
+}
+
 void
 ThreadContext::yield()
 {
@@ -193,6 +202,7 @@ Frame::Frame(ThreadContext &ctx, std::string name, ScopeKind kind,
     : ctx_(ctx), kind_(kind), savedSegment_(ctx.segment_)
 {
     ctx_.frames_.push_back(std::move(name));
+    ctx_.callstackSym_ = trace::kNoSym;
     if (kind_ != ScopeKind::Regular) {
         ++ctx_.tracedDepth_;
         ctx_.segment_ = std::move(segment);
@@ -202,6 +212,7 @@ Frame::Frame(ThreadContext &ctx, std::string name, ScopeKind kind,
 Frame::~Frame()
 {
     ctx_.frames_.pop_back();
+    ctx_.callstackSym_ = trace::kNoSym;
     if (kind_ != ScopeKind::Regular) {
         --ctx_.tracedDepth_;
         ctx_.segment_ = savedSegment_;
@@ -258,6 +269,10 @@ Simulation::setTracerConfig(trace::TracerConfig config)
 {
     assert(!started_ && "tracer config must be set before run()");
     tracer_ = std::make_unique<trace::Tracer>(std::move(config));
+    // The new tracer owns a fresh symbol pool; cached callstack ids
+    // minted against the old pool must not leak into it.
+    for (auto &ctx : contexts_)
+        ctx->callstackSym_ = trace::kNoSym;
 }
 
 Node &
@@ -362,14 +377,15 @@ Simulation::traceAccess(ThreadContext &ctx, bool is_write,
                         std::int64_t version)
 {
     checkCrashed(ctx);
+    trace::SymbolPool &pool = tracer_->store().symbols();
     trace::Record rec;
     rec.type = is_write ? trace::RecordType::MemWrite
                         : trace::RecordType::MemRead;
     rec.node = ctx.node().index();
     rec.thread = ctx.tid();
-    rec.site = site;
-    rec.callstack = ctx.callstack();
-    rec.id = var_id;
+    rec.site = pool.intern(site);
+    rec.callstack = ctx.callstackSym();
+    rec.id = pool.intern(var_id);
     rec.aux = version;
     if (hook_)
         hook_->beforeOperation(ctx, rec);
@@ -398,13 +414,14 @@ Simulation::opRecord(ThreadContext &ctx, trace::RecordType type,
                      std::int64_t aux)
 {
     checkCrashed(ctx);
+    trace::SymbolPool &pool = tracer_->store().symbols();
     trace::Record rec;
     rec.type = type;
     rec.node = ctx.node().index();
     rec.thread = ctx.tid();
-    rec.site = site;
-    rec.callstack = ctx.callstack();
-    rec.id = id;
+    rec.site = pool.intern(site);
+    rec.callstack = ctx.callstackSym();
+    rec.id = pool.intern(id);
     rec.aux = aux;
     if (hook_)
         hook_->beforeOperation(ctx, rec);
@@ -424,13 +441,14 @@ void
 Simulation::lockTrace(ThreadContext &ctx, trace::RecordType type,
                       const std::string &id, const char *site)
 {
+    trace::SymbolPool &pool = tracer_->store().symbols();
     trace::Record rec;
     rec.type = type;
     rec.node = ctx.node().index();
     rec.thread = ctx.tid();
-    rec.site = site;
-    rec.callstack = ctx.callstack();
-    rec.id = id;
+    rec.site = pool.intern(site);
+    rec.callstack = ctx.callstackSym();
+    rec.id = pool.intern(id);
     tracer_->recordLockOp(rec);
 }
 

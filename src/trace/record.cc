@@ -1,7 +1,8 @@
 #include "trace/record.hh"
 
-#include "common/util.hh"
-
+#include <cstdio>
+#include <limits>
+#include <string_view>
 #include <vector>
 
 namespace dcatch::trace {
@@ -111,52 +112,189 @@ parseRecordType(const std::string &name, RecordType &type)
     return false;
 }
 
+namespace {
+
+/** Strict full-match decimal parse (no sign, no partial accept). */
 bool
-Record::fromLine(const std::string &line, Record &rec)
+parseU64(std::string_view text, std::uint64_t &out)
 {
-    std::vector<std::string> tokens = split(line, ' ');
-    if (tokens.size() != 8)
+    if (text.empty())
         return false;
-    Record out;
-    try {
-        out.seq = std::stoull(tokens[0]);
-        if (!parseRecordType(tokens[1], out.type))
+    std::uint64_t value = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
             return false;
-        if (tokens[2].size() < 2 || tokens[2][0] != 'n' ||
-            tokens[3].size() < 2 || tokens[3][0] != 't')
-            return false;
-        out.node = std::stoi(tokens[2].substr(1));
-        out.thread = std::stoi(tokens[3].substr(1));
-        auto field = [](const std::string &token, const char *prefix,
-                        std::string &value) {
-            std::string pre(prefix);
-            if (token.rfind(pre, 0) != 0)
-                return false;
-            value = token.substr(pre.size());
-            return true;
-        };
-        std::string aux;
-        if (!field(tokens[4], "site=", out.site) ||
-            !field(tokens[5], "id=", out.id) ||
-            !field(tokens[6], "aux=", aux) ||
-            !field(tokens[7], "cs=", out.callstack))
-            return false;
-        out.aux = std::stoll(aux);
-    } catch (...) {
-        return false;
+        unsigned digit = static_cast<unsigned>(c - '0');
+        if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10)
+            return false; // overflow
+        value = value * 10 + digit;
     }
+    out = value;
+    return true;
+}
+
+/** Strict full-match decimal parse with optional leading '-'. */
+bool
+parseI64(std::string_view text, std::int64_t &out)
+{
+    bool negative = !text.empty() && text.front() == '-';
+    std::uint64_t magnitude = 0;
+    if (!parseU64(negative ? text.substr(1) : text, magnitude))
+        return false;
+    std::uint64_t limit =
+        static_cast<std::uint64_t>(
+            std::numeric_limits<std::int64_t>::max()) +
+        (negative ? 1u : 0u);
+    if (magnitude > limit)
+        return false;
+    out = negative ? -static_cast<std::int64_t>(magnitude - 1) - 1
+                   : static_cast<std::int64_t>(magnitude);
+    return true;
+}
+
+bool
+parseInt(std::string_view text, int &out)
+{
+    std::int64_t value = 0;
+    if (!parseI64(text, value) ||
+        value < std::numeric_limits<int>::min() ||
+        value > std::numeric_limits<int>::max())
+        return false;
+    out = static_cast<int>(value);
+    return true;
+}
+
+/** Count of characters %lld / %llu would emit for @p value. */
+template <typename T>
+std::size_t
+decimalWidth(T value)
+{
+    std::size_t width = value < 0 ? 1 : 0;
+    std::uint64_t magnitude =
+        value < 0 ? ~static_cast<std::uint64_t>(value) + 1
+                  : static_cast<std::uint64_t>(value);
+    do {
+        ++width;
+        magnitude /= 10;
+    } while (magnitude != 0);
+    return width;
+}
+
+} // namespace
+
+bool
+Record::fromLine(const std::string &line, SymbolPool &pool, Record &rec,
+                 std::string *error)
+{
+    auto fail = [error](const char *why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+
+    std::vector<std::string_view> tokens;
+    std::string_view text = line;
+    for (std::size_t begin = 0;;) {
+        std::size_t end = text.find(' ', begin);
+        if (end == std::string_view::npos) {
+            tokens.push_back(text.substr(begin));
+            break;
+        }
+        tokens.push_back(text.substr(begin, end - begin));
+        begin = end + 1;
+    }
+    if (tokens.size() < 8)
+        return fail("truncated line: expected 8 space-separated fields");
+
+    Record out;
+    if (!parseU64(tokens[0], out.seq))
+        return fail("seq is not a decimal integer");
+    if (!parseRecordType(std::string(tokens[1]), out.type))
+        return fail("unknown record type");
+    if (tokens[2].size() < 2 || tokens[2][0] != 'n' ||
+        !parseInt(tokens[2].substr(1), out.node))
+        return fail("node field is not n<int>");
+    if (tokens[3].size() < 2 || tokens[3][0] != 't' ||
+        !parseInt(tokens[3].substr(1), out.thread))
+        return fail("thread field is not t<int>");
+    if (out.thread < 0)
+        return fail("thread index is negative");
+
+    auto strip = [](std::string_view token, std::string_view prefix,
+                    std::string_view &value) {
+        if (token.substr(0, prefix.size()) != prefix)
+            return false;
+        value = token.substr(prefix.size());
+        return true;
+    };
+    std::string_view site, id, aux, callstack;
+    if (!strip(tokens[4], "site=", site))
+        return fail("field 5 does not start with site= "
+                    "(embedded separator in an earlier field?)");
+    if (!strip(tokens[5], "id=", id))
+        return fail("field 6 does not start with id= "
+                    "(embedded separator in an earlier field?)");
+    if (!strip(tokens[6], "aux=", aux))
+        return fail("field 7 does not start with aux=");
+    if (!parseI64(aux, out.aux))
+        return fail("aux is not a decimal integer");
+    if (!strip(tokens[7], "cs=", callstack))
+        return fail("field 8 does not start with cs=");
+
+    // The callstack is the last field; spaces in its text re-join
+    // (toLine writes them verbatim, so this keeps the round-trip).
+    std::string joined;
+    if (tokens.size() > 8) {
+        joined = std::string(callstack);
+        for (std::size_t i = 8; i < tokens.size(); ++i) {
+            joined += ' ';
+            joined += tokens[i];
+        }
+        callstack = joined;
+    }
+
+    out.site = pool.intern(site);
+    out.id = pool.intern(id);
+    out.callstack = pool.intern(callstack);
     rec = out;
     return true;
 }
 
 std::string
-Record::toLine() const
+Record::toLine(const SymbolPool &pool) const
 {
-    return strprintf("%llu %s n%d t%d site=%s id=%s aux=%lld cs=%s",
-                     static_cast<unsigned long long>(seq),
-                     recordTypeName(type), node, thread, site.c_str(),
-                     id.c_str(), static_cast<long long>(aux),
-                     callstack.c_str());
+    std::string out;
+    out.reserve(lineLength(pool));
+    appendLine(pool, out);
+    return out;
+}
+
+void
+Record::appendLine(const SymbolPool &pool, std::string &out) const
+{
+    char buf[96];
+    int n = std::snprintf(buf, sizeof(buf), "%llu %s n%d t%d site=",
+                          static_cast<unsigned long long>(seq),
+                          recordTypeName(type), node, thread);
+    out.append(buf, static_cast<std::size_t>(n));
+    out.append(pool.view(site));
+    out.append(" id=");
+    out.append(pool.view(id));
+    n = std::snprintf(buf, sizeof(buf), " aux=%lld cs=",
+                      static_cast<long long>(aux));
+    out.append(buf, static_cast<std::size_t>(n));
+    out.append(pool.view(callstack));
+}
+
+std::size_t
+Record::lineLength(const SymbolPool &pool) const
+{
+    // "<seq> <type> n<node> t<thread> site=<site> id=<id> aux=<aux>
+    //  cs=<callstack>": 7 separators + the literal field prefixes.
+    return decimalWidth(seq) + 1 + std::string_view(recordTypeName(type)).size() +
+           2 + decimalWidth(node) + 2 + decimalWidth(thread) +
+           6 + pool.view(site).size() + 4 + pool.view(id).size() +
+           5 + decimalWidth(aux) + 4 + pool.view(callstack).size();
 }
 
 } // namespace dcatch::trace

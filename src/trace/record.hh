@@ -14,6 +14,12 @@
  *    (memory-location id, thread id, event instance id, RPC tag,
  *    message tag, coordination-znode path, lock id, loop instance id),
  *  - node / thread / global-sequence coordinates.
+ *
+ * The string-valued fields (site, callstack, id) are SymIds into the
+ * owning TraceStore's SymbolPool: a Record is a trivially copyable
+ * 48-byte row, and serialization resolves symbols lazily so the
+ * on-disk line format is unchanged from the string-per-record
+ * representation.
  */
 
 #ifndef DCATCH_TRACE_RECORD_HH
@@ -21,6 +27,9 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
+
+#include "trace/symbol_pool.hh"
 
 namespace dcatch::trace {
 
@@ -63,16 +72,16 @@ RecordCategory recordCategory(RecordType type);
 /** Name of a record category. */
 const char *recordCategoryName(RecordCategory cat);
 
-/** One traced operation. */
+/** One traced operation: a POD row against a SymbolPool. */
 struct Record
 {
     RecordType type = RecordType::MemRead;
     int node = -1;          ///< node index the operation executed on
     int thread = -1;        ///< global thread index
     std::uint64_t seq = 0;  ///< global sequence number (total order)
-    std::string site;       ///< static site id (may be empty for HB ops)
-    std::string callstack;  ///< joined frame stack at the operation
-    std::string id;         ///< grouping id (see file comment)
+    SymId site = 0;         ///< static site id (0 = empty symbol)
+    SymId callstack = 0;    ///< joined frame stack at the operation
+    SymId id = 0;           ///< grouping id (see file comment)
     std::int64_t aux = 0;   ///< value version (mem ops), iteration count
                             ///< (loop ops), or unused
 
@@ -83,15 +92,33 @@ struct Record
         return type == RecordType::MemRead || type == RecordType::MemWrite;
     }
 
-    /** Serialize to one trace-file line. */
-    std::string toLine() const;
+    /** Serialize to one trace-file line, resolving symbols. */
+    std::string toLine(const SymbolPool &pool) const;
+
+    /** Append the toLine() text to @p out (no trailing newline). */
+    void appendLine(const SymbolPool &pool, std::string &out) const;
+
+    /** Exact toLine().size(), computed without formatting. */
+    std::size_t lineLength(const SymbolPool &pool) const;
 
     /**
-     * Parse a line produced by toLine().
+     * Parse a line produced by toLine(), interning symbol text into
+     * @p pool.  The grammar is strict: exactly the eight fields of
+     * toLine() separated by single spaces, fully numeric seq / node /
+     * thread / aux, and a known type name.  The trailing cs= field
+     * absorbs any remaining spaces (callstacks never contain spaces
+     * when written, but a truncated or shifted line must not be
+     * silently reinterpreted).
+     * @param error when non-null, receives a description of the first
+     *        defect on failure
      * @return false when the line is malformed (rec left unchanged)
      */
-    static bool fromLine(const std::string &line, Record &rec);
+    static bool fromLine(const std::string &line, SymbolPool &pool,
+                         Record &rec, std::string *error = nullptr);
 };
+
+static_assert(std::is_trivially_copyable_v<Record>,
+              "Record must stay a POD row (no owning strings)");
 
 /** Parse a type name back to the enum. @return false when unknown. */
 bool parseRecordType(const std::string &name, RecordType &type);

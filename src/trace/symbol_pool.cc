@@ -1,0 +1,98 @@
+#include "trace/symbol_pool.hh"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/util.hh"
+
+namespace dcatch::trace {
+
+SymbolPool::SymbolPool()
+{
+    rehash(256);
+    intern({});
+}
+
+const char *
+SymbolPool::store(std::string_view text)
+{
+    if (text.empty())
+        return "";
+    if (chunkUsed_ + text.size() > chunkCap_) {
+        // Oversized strings get a dedicated chunk so regular chunks
+        // stay densely packed.
+        std::size_t cap = text.size() > kChunkBytes ? text.size()
+                                                    : kChunkBytes;
+        chunks_.push_back(std::make_unique<char[]>(cap));
+        chunkUsed_ = 0;
+        chunkCap_ = cap;
+        arenaBytes_ += cap;
+    }
+    char *dst = chunks_.back().get() + chunkUsed_;
+    std::memcpy(dst, text.data(), text.size());
+    chunkUsed_ += text.size();
+    return dst;
+}
+
+void
+SymbolPool::rehash(std::size_t buckets)
+{
+    assert((buckets & (buckets - 1)) == 0 && "bucket count power of two");
+    table_.assign(buckets, kNoSym);
+    std::size_t mask = buckets - 1;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        std::size_t slot = entries_[i].hash & mask;
+        while (table_[slot] != kNoSym)
+            slot = (slot + 1) & mask;
+        table_[slot] = static_cast<SymId>(i);
+    }
+}
+
+SymId
+SymbolPool::intern(std::string_view text)
+{
+    std::uint64_t hash = fnv1a(text);
+    std::size_t mask = table_.size() - 1;
+    std::size_t slot = hash & mask;
+    while (table_[slot] != kNoSym) {
+        const Entry &e = entries_[table_[slot]];
+        if (e.hash == hash && std::string_view{e.data, e.size} == text)
+            return table_[slot];
+        slot = (slot + 1) & mask;
+    }
+
+    SymId id = static_cast<SymId>(entries_.size());
+    entries_.push_back(Entry{store(text),
+                             static_cast<std::uint32_t>(text.size()),
+                             hash});
+    table_[slot] = id;
+    // Keep the load factor under 0.7 so probe chains stay short.
+    if (entries_.size() * 10 > table_.size() * 7)
+        rehash(table_.size() * 2);
+    return id;
+}
+
+SymId
+SymbolPool::find(std::string_view text) const
+{
+    std::uint64_t hash = fnv1a(text);
+    std::size_t mask = table_.size() - 1;
+    std::size_t slot = hash & mask;
+    while (table_[slot] != kNoSym) {
+        const Entry &e = entries_[table_[slot]];
+        if (e.hash == hash && std::string_view{e.data, e.size} == text)
+            return table_[slot];
+        slot = (slot + 1) & mask;
+    }
+    return kNoSym;
+}
+
+std::size_t
+SymbolPool::bytes() const
+{
+    return arenaBytes_ + table_.capacity() * sizeof(SymId) +
+           entries_.capacity() * sizeof(Entry) +
+           chunks_.capacity() * sizeof(chunks_[0]);
+}
+
+} // namespace dcatch::trace

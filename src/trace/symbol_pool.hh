@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Append-only string interner backing the columnar trace substrate.
+ *
+ * Every distinct site / callstack / grouping-id string is stored once
+ * and referenced by a 32-bit SymId everywhere else: records move
+ * 4-byte handles instead of heap-allocated strings, and equality of
+ * two symbols from the same pool is one integer compare.
+ *
+ * Properties the rest of the system relies on:
+ *
+ *  - ids are dense and assigned in first-intern order, so a pool fed
+ *    the same strings in the same order assigns the same ids
+ *    (determinism across runs and replay);
+ *  - the empty string is always id 0, which makes a zero-initialized
+ *    Record field a valid "no symbol text" value;
+ *  - view(id) returns a std::string_view that stays valid for the
+ *    pool's lifetime: character data lives in chunked arenas that are
+ *    never reallocated, only extended;
+ *  - hashing is FNV-1a over the bytes (common/util.hh fnv1a), so the
+ *    layout is reproducible and independent of libstdc++'s
+ *    std::hash.
+ *
+ * The pool is single-writer: interning is not thread-safe.  Readers
+ * (view / find / size) are safe concurrently with each other, and —
+ * after a happens-before edge such as a TaskPool fork — safe against
+ * ids published before the fork.
+ */
+
+#ifndef DCATCH_TRACE_SYMBOL_POOL_HH
+#define DCATCH_TRACE_SYMBOL_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace dcatch::trace {
+
+/** Handle to an interned string (dense, first-intern order). */
+using SymId = std::uint32_t;
+
+/** Sentinel returned by SymbolPool::find for absent strings. */
+inline constexpr SymId kNoSym = 0xffffffffu;
+
+/** Append-only string interner with stable views. */
+class SymbolPool
+{
+  public:
+    /** Constructs the pool with "" pre-interned as id 0. */
+    SymbolPool();
+
+    SymbolPool(const SymbolPool &) = delete;
+    SymbolPool &operator=(const SymbolPool &) = delete;
+
+    /** Intern @p text, returning its id (existing or fresh). */
+    SymId intern(std::string_view text);
+
+    /** Id of @p text if already interned, kNoSym otherwise. */
+    SymId find(std::string_view text) const;
+
+    /** Text of an interned symbol; valid for the pool's lifetime. */
+    std::string_view
+    view(SymId id) const
+    {
+        const Entry &e = entries_[id];
+        return {e.data, e.size};
+    }
+
+    /** Number of interned symbols (>= 1: the empty string). */
+    std::size_t size() const { return entries_.size(); }
+
+    /** Bytes held: arenas + hash table + entry metadata. */
+    std::size_t bytes() const;
+
+  private:
+    struct Entry
+    {
+        const char *data;
+        std::uint32_t size;
+        std::uint64_t hash;
+    };
+
+    /** Copy @p text into the arena; the result pointer is stable. */
+    const char *store(std::string_view text);
+
+    /** Grow and rehash the open-addressing table. */
+    void rehash(std::size_t buckets);
+
+    static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+    std::vector<Entry> entries_;
+    /** Open addressing, power-of-two size; kNoSym marks empty. */
+    std::vector<SymId> table_;
+    std::vector<std::unique_ptr<char[]>> chunks_;
+    std::size_t chunkUsed_ = kChunkBytes; ///< force initial allocation
+    std::size_t chunkCap_ = kChunkBytes;  ///< capacity of last chunk
+    std::size_t arenaBytes_ = 0;
+};
+
+} // namespace dcatch::trace
+
+#endif // DCATCH_TRACE_SYMBOL_POOL_HH

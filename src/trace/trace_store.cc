@@ -1,6 +1,7 @@
 #include "trace/trace_store.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <filesystem>
 #include <fstream>
 
@@ -9,16 +10,134 @@
 
 namespace dcatch::trace {
 
+// ---------------------------------------------------------------------
+// Columns
+// ---------------------------------------------------------------------
+
+void
+TraceStore::Columns::push(const Record &rec)
+{
+    type.push_back(rec.type);
+    node.push_back(rec.node);
+    seq.push_back(rec.seq);
+    site.push_back(rec.site);
+    callstack.push_back(rec.callstack);
+    id.push_back(rec.id);
+    aux.push_back(rec.aux);
+}
+
+std::size_t
+TraceStore::Columns::bytes() const
+{
+    return type.capacity() * sizeof(RecordType) +
+           node.capacity() * sizeof(std::int32_t) +
+           seq.capacity() * sizeof(std::uint64_t) +
+           (site.capacity() + callstack.capacity() + id.capacity()) *
+               sizeof(SymId) +
+           aux.capacity() * sizeof(std::int64_t);
+}
+
+// ---------------------------------------------------------------------
+// Views
+// ---------------------------------------------------------------------
+
+const TraceStore::Columns &
+TraceStore::RecordView::cols() const
+{
+    return store_->logs_[static_cast<std::size_t>(thread_)];
+}
+
+Record
+TraceStore::RecordView::record() const
+{
+    const Columns &c = cols();
+    Record rec;
+    rec.type = c.type[row_];
+    rec.node = c.node[row_];
+    rec.thread = thread_;
+    rec.seq = c.seq[row_];
+    rec.site = c.site[row_];
+    rec.callstack = c.callstack[row_];
+    rec.id = c.id[row_];
+    rec.aux = c.aux[row_];
+    return rec;
+}
+
+std::size_t
+TraceStore::ThreadLogView::size() const
+{
+    if (thread_ < 0 ||
+        static_cast<std::size_t>(thread_) >= store_->logs_.size())
+        return 0;
+    return store_->logs_[static_cast<std::size_t>(thread_)].size();
+}
+
+TraceStore::MergedView::iterator::iterator(const TraceStore *store)
+    : store_(store), cursor_(store->logs_.size(), 0),
+      remaining_(store->total_)
+{
+    findMin();
+}
+
+void
+TraceStore::MergedView::iterator::findMin()
+{
+    current_ = -1;
+    std::uint64_t best = 0;
+    for (std::size_t t = 0; t < cursor_.size(); ++t) {
+        const Columns &log = store_->logs_[t];
+        if (cursor_[t] >= log.size())
+            continue;
+        std::uint64_t seq = log.seq[cursor_[t]];
+        if (current_ < 0 || seq < best) {
+            best = seq;
+            current_ = static_cast<int>(t);
+        }
+    }
+}
+
+TraceStore::MergedView::iterator &
+TraceStore::MergedView::iterator::operator++()
+{
+    ++cursor_[static_cast<std::size_t>(current_)];
+    --remaining_;
+    if (remaining_ > 0)
+        findMin();
+    return *this;
+}
+
+std::vector<Record>
+TraceStore::mergedRecords() const
+{
+    std::vector<Record> all;
+    all.reserve(total_);
+    for (auto it = merged().begin(); it != merged().end(); ++it)
+        all.push_back((*it).record());
+    return all;
+}
+
+// ---------------------------------------------------------------------
+// TraceStore
+// ---------------------------------------------------------------------
+
 void
 TraceStore::append(const Record &rec)
 {
     if (rec.thread < 0) {
-        DCATCH_WARN() << "dropping record with no thread: " << rec.toLine();
+        DCATCH_WARN() << "dropping record with no thread: "
+                      << rec.toLine(*pool_);
         return;
     }
     if (static_cast<std::size_t>(rec.thread) >= logs_.size())
         logs_.resize(static_cast<std::size_t>(rec.thread) + 1);
-    logs_[static_cast<std::size_t>(rec.thread)].push_back(rec);
+    Columns &log = logs_[static_cast<std::size_t>(rec.thread)];
+    // The merged view relies on per-thread seq monotonicity (global
+    // counter, stamped in append order).
+    assert((log.size() == 0 || log.seq.back() < rec.seq) &&
+           "per-thread sequence numbers must be ascending");
+    log.push(rec);
+    ++total_;
+    serializedBytes_ += rec.lineLength(*pool_) + 1; // + '\n'
 }
 
 void
@@ -33,53 +152,42 @@ TraceStore::noteThread(const ThreadMeta &meta)
     threads_[meta.thread] = meta;
 }
 
-const std::vector<Record> &
-TraceStore::threadLog(int thread) const
-{
-    static const std::vector<Record> empty;
-    if (thread < 0 || static_cast<std::size_t>(thread) >= logs_.size())
-        return empty;
-    return logs_[static_cast<std::size_t>(thread)];
-}
-
-std::vector<Record>
-TraceStore::allRecords() const
-{
-    std::vector<Record> all;
-    all.reserve(totalRecords());
-    for (const auto &log : logs_)
-        all.insert(all.end(), log.begin(), log.end());
-    std::sort(all.begin(), all.end(),
-              [](const Record &a, const Record &b) { return a.seq < b.seq; });
-    return all;
-}
-
-std::size_t
-TraceStore::totalRecords() const
-{
-    std::size_t n = 0;
-    for (const auto &log : logs_)
-        n += log.size();
-    return n;
-}
-
 std::map<RecordCategory, std::size_t>
 TraceStore::countsByCategory() const
 {
     std::map<RecordCategory, std::size_t> counts;
-    for (const auto &log : logs_)
-        for (const Record &rec : log)
-            ++counts[recordCategory(rec.type)];
+    for (const Columns &log : logs_)
+        for (RecordType type : log.type)
+            ++counts[recordCategory(type)];
     return counts;
 }
 
 std::size_t
 TraceStore::serializedBytes() const
 {
-    std::size_t bytes = 0;
-    for (const auto &log : logs_)
-        for (const Record &rec : log)
-            bytes += rec.toLine().size() + 1;
+#ifndef NDEBUG
+    // The cache is maintained arithmetically in append(); cross-check
+    // it against actual serialization in debug builds.
+    std::size_t slow = 0;
+    for (std::size_t t = 0; t < logs_.size(); ++t)
+        for (std::size_t i = 0; i < logs_[t].size(); ++i)
+            slow += RecordView(this, static_cast<int>(t), i)
+                        .record()
+                        .toLine(*pool_)
+                        .size() +
+                    1;
+    assert(slow == serializedBytes_ &&
+           "incremental serializedBytes cache out of sync");
+#endif
+    return serializedBytes_;
+}
+
+std::size_t
+TraceStore::memoryBytes() const
+{
+    std::size_t bytes = pool_->bytes();
+    for (const Columns &log : logs_)
+        bytes += log.bytes();
     return bytes;
 }
 
@@ -93,8 +201,10 @@ TraceStore::contentDigest() const
             hash *= 1099511628211ull;
         }
     };
-    for (const Record &rec : allRecords()) {
-        std::string line = rec.toLine();
+    std::string line;
+    for (auto it = merged().begin(); it != merged().end(); ++it) {
+        line.clear();
+        (*it).record().appendLine(*pool_, line);
         mix(line.data(), line.size());
         mix("\n", 1);
     }
@@ -105,13 +215,20 @@ void
 TraceStore::writeToDirectory(const std::string &directory) const
 {
     std::filesystem::create_directories(directory);
+    std::string line;
     for (std::size_t t = 0; t < logs_.size(); ++t) {
-        if (logs_[t].empty())
+        const Columns &log = logs_[t];
+        if (log.size() == 0)
             continue;
         std::string name = strprintf("thread-%03zu.trace", t);
         std::ofstream out(std::filesystem::path(directory) / name);
-        for (const Record &rec : logs_[t])
-            out << rec.toLine() << '\n';
+        for (std::size_t i = 0; i < log.size(); ++i) {
+            line.clear();
+            RecordView(this, static_cast<int>(t), i)
+                .record()
+                .appendLine(*pool_, line);
+            out << line << '\n';
+        }
     }
 }
 
@@ -128,13 +245,27 @@ TraceStore::loadFromDirectory(const std::string &directory)
     for (const auto &path : files) {
         std::ifstream in(path);
         std::string line;
+        std::size_t line_no = 0;
+        std::uint64_t prev_seq = 0;
+        bool have_prev = false;
         while (std::getline(in, line)) {
+            ++line_no;
             Record rec;
-            if (!Record::fromLine(line, rec)) {
-                DCATCH_WARN() << "skipping malformed trace line in "
-                              << path.string();
-                continue;
-            }
+            std::string why;
+            if (!Record::fromLine(line, *pool_, rec, &why))
+                throw TraceParseError(strprintf(
+                    "%s:%zu: malformed trace line (%s): %s",
+                    path.string().c_str(), line_no, why.c_str(),
+                    line.c_str()));
+            if (have_prev && rec.seq <= prev_seq)
+                throw TraceParseError(strprintf(
+                    "%s:%zu: out-of-order sequence number %llu (after "
+                    "%llu)",
+                    path.string().c_str(), line_no,
+                    static_cast<unsigned long long>(rec.seq),
+                    static_cast<unsigned long long>(prev_seq)));
+            prev_seq = rec.seq;
+            have_prev = true;
             if (rec.seq >= seq_)
                 seq_ = rec.seq + 1;
             append(rec);
@@ -144,13 +275,17 @@ TraceStore::loadFromDirectory(const std::string &directory)
     return loaded;
 }
 
+// ---------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------
+
 bool
-Tracer::focusAdmits(const std::string &var_id) const
+Tracer::focusAdmits(SymId var_id) const
 {
-    if (config_.focusVars.empty())
+    if (focusSyms_.empty())
         return true;
-    return std::find(config_.focusVars.begin(), config_.focusVars.end(),
-                     var_id) != config_.focusVars.end();
+    return std::find(focusSyms_.begin(), focusSyms_.end(), var_id) !=
+           focusSyms_.end();
 }
 
 bool

@@ -3,10 +3,28 @@
  * In-memory trace storage.
  *
  * DCatch produces one trace file per thread of the target system
- * (paper section 3.1).  The store keeps one record vector per global
- * thread index, hands out globally unique sequence numbers, and knows
- * how to serialize itself to per-thread files, compute the record
- * breakdown of Table 7, and report its serialized size for Table 6/8.
+ * (paper section 3.1).  The store keeps one *columnar* log per global
+ * thread index — structure-of-arrays: type / node / seq / aux packed
+ * PODs plus SymId columns resolved against a shared SymbolPool — so a
+ * record costs ~48 bytes plus one copy of each distinct string,
+ * instead of three heap-allocated strings per record.
+ *
+ * Access is through lightweight views:
+ *
+ *  - RecordView: one row (thread, index) + the pool; resolves symbol
+ *    text lazily.  Valid as long as the store it came from is neither
+ *    destroyed nor moved; appends do NOT invalidate views.
+ *  - ThreadLogView: one thread's rows in program order.
+ *  - MergedView: all rows merged by global sequence number — the
+ *    zero-copy replacement for the old allRecords() copy-and-sort
+ *    (per-thread logs are seq-ascending because the global counter is
+ *    monotonic, so a k-way min-merge suffices).
+ *
+ * The store also hands out globally unique sequence numbers, knows
+ * how to serialize itself to per-thread files (byte-identical to the
+ * pre-interning string representation), computes the record breakdown
+ * of Table 7, and reports its serialized size for Table 6/8 (cached
+ * incrementally at append time).
  */
 
 #ifndef DCATCH_TRACE_TRACE_STORE_HH
@@ -14,10 +32,14 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/record.hh"
+#include "trace/symbol_pool.hh"
 
 namespace dcatch::trace {
 
@@ -38,14 +60,45 @@ struct ThreadMeta
     bool handlerThread = false; ///< event/RPC/message worker thread?
 };
 
-/** Per-run trace: per-thread record logs plus static metadata. */
-class TraceStore
+/** Corrupt trace file detected by TraceStore::loadFromDirectory. */
+class TraceParseError : public std::runtime_error
 {
   public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Per-run trace: per-thread columnar logs plus static metadata. */
+class TraceStore
+{
+    struct Columns; // structure-of-arrays per-thread log, defined below
+
+  public:
+    /** Fresh store with its own symbol pool. */
+    TraceStore() : pool_(std::make_shared<SymbolPool>()) {}
+
+    /** Store sharing an existing pool (trace slices, store copies
+     *  that must keep resolving the same SymIds). */
+    explicit TraceStore(std::shared_ptr<SymbolPool> pool)
+        : pool_(std::move(pool))
+    {
+    }
+
+    /** The symbol pool all SymId fields resolve against. */
+    SymbolPool &symbols() { return *pool_; }
+    const SymbolPool &symbols() const { return *pool_; }
+
+    /** Shared handle to the pool, for stores that must alias it. */
+    const std::shared_ptr<SymbolPool> &sharedSymbols() const
+    {
+        return pool_;
+    }
+
     /** Reserve the next global sequence number. */
     std::uint64_t nextSeq() { return seq_++; }
 
-    /** Append a record to its thread's log. */
+    /** Append a record to its thread's log.  Per-thread sequence
+     *  numbers must be ascending (they are, for records stamped by
+     *  nextSeq() in append order). */
     void append(const Record &rec);
 
     /** Register queue metadata (idempotent per queueId). */
@@ -54,23 +107,221 @@ class TraceStore
     /** Register thread metadata. */
     void noteThread(const ThreadMeta &meta);
 
-    /** All records of one thread, in program order. */
-    const std::vector<Record> &threadLog(int thread) const;
+    /**
+     * One row of the store.  Cheap to copy; symbol text resolves
+     * against the store's pool on demand.  Valid until the store is
+     * destroyed or moved (appends do not invalidate).
+     */
+    class RecordView
+    {
+      public:
+        RecordView() = default;
+
+        RecordType type() const { return cols().type[row_]; }
+        int node() const { return cols().node[row_]; }
+        int thread() const { return thread_; }
+        std::uint64_t seq() const { return cols().seq[row_]; }
+        std::int64_t aux() const { return cols().aux[row_]; }
+
+        SymId siteSym() const { return cols().site[row_]; }
+        SymId callstackSym() const { return cols().callstack[row_]; }
+        SymId idSym() const { return cols().id[row_]; }
+
+        std::string_view site() const { return pool().view(siteSym()); }
+        std::string_view callstack() const
+        {
+            return pool().view(callstackSym());
+        }
+        std::string_view id() const { return pool().view(idSym()); }
+
+        bool
+        isMemoryAccess() const
+        {
+            RecordType t = type();
+            return t == RecordType::MemRead || t == RecordType::MemWrite;
+        }
+
+        /** Materialize the POD row. */
+        Record record() const;
+
+        /** Serialized trace-file line (resolves symbols). */
+        std::string toLine() const { return record().toLine(pool()); }
+
+      private:
+        friend class TraceStore;
+        RecordView(const TraceStore *store, int thread, std::size_t row)
+            : store_(store), thread_(thread), row_(row)
+        {
+        }
+
+        const Columns &cols() const;
+        const SymbolPool &pool() const { return *store_->pool_; }
+
+        const TraceStore *store_ = nullptr;
+        int thread_ = -1;
+        std::size_t row_ = 0;
+    };
+
+    /** One thread's rows in program (= seq) order. */
+    class ThreadLogView
+    {
+      public:
+        std::size_t size() const;
+        bool empty() const { return size() == 0; }
+
+        RecordView
+        operator[](std::size_t i) const
+        {
+            return RecordView(store_, thread_, i);
+        }
+
+        class iterator
+        {
+          public:
+            using iterator_category = std::input_iterator_tag;
+            using value_type = RecordView;
+            using difference_type = std::ptrdiff_t;
+            using pointer = const RecordView *;
+            using reference = RecordView;
+
+            RecordView
+            operator*() const
+            {
+                return RecordView(store_, thread_, i_);
+            }
+            iterator &
+            operator++()
+            {
+                ++i_;
+                return *this;
+            }
+            bool
+            operator!=(const iterator &o) const
+            {
+                return i_ != o.i_;
+            }
+            bool
+            operator==(const iterator &o) const
+            {
+                return i_ == o.i_;
+            }
+
+          private:
+            friend class ThreadLogView;
+            iterator(const TraceStore *store, int thread, std::size_t i)
+                : store_(store), thread_(thread), i_(i)
+            {
+            }
+            const TraceStore *store_;
+            int thread_;
+            std::size_t i_;
+        };
+
+        iterator begin() const { return {store_, thread_, 0}; }
+        iterator end() const { return {store_, thread_, size()}; }
+
+      private:
+        friend class TraceStore;
+        ThreadLogView(const TraceStore *store, int thread)
+            : store_(store), thread_(thread)
+        {
+        }
+
+        const TraceStore *store_;
+        int thread_;
+    };
+
+    /** All rows of one thread (empty view for unknown threads). */
+    ThreadLogView threadLog(int thread) const
+    {
+        return ThreadLogView(this, thread);
+    }
 
     /** Number of thread logs. */
     int threadCount() const { return static_cast<int>(logs_.size()); }
 
-    /** Flatten all logs into one vector sorted by sequence number. */
-    std::vector<Record> allRecords() const;
+    /**
+     * All rows merged by global sequence number, lazily: the iterator
+     * keeps one cursor per thread and yields the minimum-seq row.
+     * Replaces the copying allRecords() API.
+     */
+    class MergedView
+    {
+      public:
+        class iterator
+        {
+          public:
+            using iterator_category = std::input_iterator_tag;
+            using value_type = RecordView;
+            using difference_type = std::ptrdiff_t;
+            using pointer = const RecordView *;
+            using reference = RecordView;
+
+            RecordView
+            operator*() const
+            {
+                return RecordView(store_, current_,
+                                  cursor_[static_cast<std::size_t>(
+                                      current_)]);
+            }
+            iterator &operator++();
+            bool
+            operator!=(const iterator &o) const
+            {
+                return remaining_ != o.remaining_;
+            }
+            bool
+            operator==(const iterator &o) const
+            {
+                return remaining_ == o.remaining_;
+            }
+
+          private:
+            friend class MergedView;
+            iterator() = default;
+            explicit iterator(const TraceStore *store);
+            void findMin();
+
+            const TraceStore *store_ = nullptr;
+            std::vector<std::size_t> cursor_;
+            int current_ = -1;
+            std::size_t remaining_ = 0;
+        };
+
+        iterator begin() const { return iterator(store_); }
+        iterator end() const { return iterator(); }
+        std::size_t size() const { return store_->totalRecords(); }
+
+      private:
+        friend class TraceStore;
+        explicit MergedView(const TraceStore *store) : store_(store) {}
+        const TraceStore *store_;
+    };
+
+    /** The merged-by-seq view over all threads. */
+    MergedView merged() const { return MergedView(this); }
+
+    /**
+     * Materialize the merged view into a vector of POD rows (no
+     * symbol text is copied).  Only for consumers that need random
+     * access over the global order, e.g. windowed chunking; iterate
+     * merged() everywhere else.
+     */
+    std::vector<Record> mergedRecords() const;
 
     /** Total number of records. */
-    std::size_t totalRecords() const;
+    std::size_t totalRecords() const { return total_; }
 
     /** Record counts keyed by category (Table 7). */
     std::map<RecordCategory, std::size_t> countsByCategory() const;
 
-    /** Serialized size in bytes (what the trace files would occupy). */
+    /** Serialized size in bytes (what the trace files would occupy).
+     *  Cached incrementally at append time. */
     std::size_t serializedBytes() const;
+
+    /** Resident bytes of the in-memory representation: columns plus
+     *  the symbol pool (excludes queue/thread metadata). */
+    std::size_t memoryBytes() const;
 
     /**
      * FNV-1a digest over every record's serialized form in global
@@ -88,12 +339,15 @@ class TraceStore
      * Load the per-thread trace files written by writeToDirectory()
      * back into this store (records only; queue/thread metadata is
      * not serialized and must be re-registered by the caller).
+     * @throws TraceParseError naming the file, line number, and
+     *         defect when a line is malformed — corrupt traces are
+     *         reported, never silently skipped
      * @return number of records loaded
      */
     std::size_t loadFromDirectory(const std::string &directory);
 
-    /** Queue metadata, keyed by queueId. */
-    const std::map<std::string, QueueMeta> &queues() const
+    /** Queue metadata, keyed by queueId (string_view-searchable). */
+    const std::map<std::string, QueueMeta, std::less<>> &queues() const
     {
         return queues_;
     }
@@ -102,9 +356,28 @@ class TraceStore
     const std::map<int, ThreadMeta> &threads() const { return threads_; }
 
   private:
+    /** Structure-of-arrays columns of one thread's log. */
+    struct Columns
+    {
+        std::vector<RecordType> type;
+        std::vector<std::int32_t> node;
+        std::vector<std::uint64_t> seq;
+        std::vector<SymId> site;
+        std::vector<SymId> callstack;
+        std::vector<SymId> id;
+        std::vector<std::int64_t> aux;
+
+        std::size_t size() const { return seq.size(); }
+        void push(const Record &rec);
+        std::size_t bytes() const;
+    };
+
+    std::shared_ptr<SymbolPool> pool_;
     std::uint64_t seq_ = 0;
-    std::vector<std::vector<Record>> logs_;
-    std::map<std::string, QueueMeta> queues_;
+    std::vector<Columns> logs_;
+    std::size_t total_ = 0;
+    std::size_t serializedBytes_ = 0;
+    std::map<std::string, QueueMeta, std::less<>> queues_;
     std::map<int, ThreadMeta> threads_;
 };
 
@@ -147,7 +420,11 @@ struct TracerConfig
 class Tracer
 {
   public:
-    explicit Tracer(TracerConfig config = {}) : config_(std::move(config)) {}
+    explicit Tracer(TracerConfig config = {}) : config_(std::move(config))
+    {
+        for (const std::string &var : config_.focusVars)
+            focusSyms_.push_back(store_.symbols().intern(var));
+    }
 
     const TracerConfig &config() const { return config_; }
     TraceStore &store() { return store_; }
@@ -169,10 +446,11 @@ class Tracer
     void recordLockOp(Record rec);
 
   private:
-    bool focusAdmits(const std::string &var_id) const;
+    bool focusAdmits(SymId var_id) const;
 
     TracerConfig config_;
     TraceStore store_;
+    std::vector<SymId> focusSyms_; ///< focusVars resolved in store_'s pool
 };
 
 } // namespace dcatch::trace

@@ -12,23 +12,29 @@ namespace {
  * dependent, and holding a request perturbs the schedule, so request
  * points match on frames only.
  */
-std::string
-framesOnly(const std::string &callstack)
+std::string_view
+framesOnly(std::string_view callstack)
 {
     std::size_t pos = callstack.find(':');
-    return pos == std::string::npos ? callstack : callstack.substr(pos + 1);
+    return pos == std::string_view::npos ? callstack
+                                         : callstack.substr(pos + 1);
 }
 
 } // namespace
 
 bool
 OrderController::matches(const RequestPoint &point,
+                         const trace::SymbolPool &pool,
                          const trace::Record &rec, int &counter) const
 {
-    if (rec.site != point.site)
+    // Record sites are interned before the hook fires, so a point
+    // whose site is absent from the pool can never match.
+    trace::SymId site_sym = pool.find(point.site);
+    if (site_sym == trace::kNoSym || rec.site != site_sym)
         return false;
     if (!point.callstack.empty() &&
-        framesOnly(rec.callstack) != framesOnly(point.callstack))
+        framesOnly(pool.view(rec.callstack)) !=
+            framesOnly(point.callstack))
         return false;
     return counter++ == point.instance;
 }
@@ -37,27 +43,31 @@ void
 OrderController::beforeOperation(sim::ThreadContext &ctx,
                                  const trace::Record &rec)
 {
-    if (!firstSeen_ && matches(first_, rec, firstCounter_)) {
+    const trace::SymbolPool &pool =
+        ctx.sim().tracer().store().symbols();
+    if (!firstSeen_ && matches(first_, pool, rec, firstCounter_)) {
         // Under the serialized scheduler the operation's effect is
         // applied before the thread yields, i.e. before any other
         // thread (in particular the held second party) can run — so
         // passing this point is also the "confirm".
         firstSeen_ = true;
-        DCATCH_DEBUG() << "trigger: first point passed at " << rec.site;
+        DCATCH_DEBUG() << "trigger: first point passed at "
+                       << pool.view(rec.site);
         return;
     }
 
-    if (!secondSeen_ && matches(second_, rec, secondCounter_)) {
+    if (!secondSeen_ && matches(second_, pool, rec, secondCounter_)) {
         secondArrived_ = true;
         if (!firstSeen_ && !released_) {
             DCATCH_DEBUG() << "trigger: holding second point at "
-                           << rec.site;
+                           << pool.view(rec.site);
             holdingSecond_ = true;
             ctx.blockUntil([this] { return firstSeen_ || released_; });
             holdingSecond_ = false;
         }
         secondSeen_ = true;
-        DCATCH_DEBUG() << "trigger: second point passed at " << rec.site;
+        DCATCH_DEBUG() << "trigger: second point passed at "
+                       << pool.view(rec.site);
     }
 }
 

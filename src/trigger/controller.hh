@@ -69,8 +69,10 @@ class OrderController : public sim::ControlHook
     /// @}
 
   private:
-    /** Does @p rec match @p point (advancing its instance counter)? */
-    bool matches(const RequestPoint &point, const trace::Record &rec,
+    /** Does @p rec match @p point (advancing its instance counter)?
+     *  @p pool resolves the record's interned symbol fields. */
+    bool matches(const RequestPoint &point,
+                 const trace::SymbolPool &pool, const trace::Record &rec,
                  int &counter) const;
 
     RequestPoint first_, second_;

@@ -19,21 +19,28 @@ PlacementAnalyzer::AccessContext
 PlacementAnalyzer::locate(const detect::CandidateAccess &access) const
 {
     AccessContext ctx;
+    // Resolve the access identity to symbol ids once; a symbol absent
+    // from the pool cannot occur in the trace at all.
+    const trace::SymbolPool &pool = store_.symbols();
+    trace::SymId site_sym = pool.find(access.site);
+    trace::SymId stack_sym = pool.find(access.callstack);
+    if (site_sym == trace::kNoSym || stack_sym == trace::kNoSym)
+        return ctx;
     // Locate the exact dynamic occurrence (site, callstack, thread,
     // access kind, value version) in the per-thread logs.
     for (int t = 0; t < store_.threadCount(); ++t) {
-        const std::vector<Record> &log = store_.threadLog(t);
+        trace::TraceStore::ThreadLogView log = store_.threadLog(t);
         int instance = 0;
         for (std::size_t i = 0; i < log.size(); ++i) {
-            const Record &rec = log[i];
+            trace::TraceStore::RecordView rec = log[i];
             bool same_static = rec.isMemoryAccess() &&
-                               rec.site == access.site &&
-                               rec.callstack == access.callstack;
+                               rec.siteSym() == site_sym &&
+                               rec.callstackSym() == stack_sym;
             if (!same_static)
                 continue;
-            bool is_target = rec.thread == access.thread &&
-                             rec.aux == access.version &&
-                             (rec.type == RecordType::MemWrite) ==
+            bool is_target = rec.thread() == access.thread &&
+                             rec.aux() == access.version &&
+                             (rec.type() == RecordType::MemWrite) ==
                                  access.isWrite;
             if (!is_target) {
                 ++instance;
@@ -52,26 +59,26 @@ PlacementAnalyzer::locate(const detect::CandidateAccess &access) const
         return ctx;
 
     // Walk the thread log up to the access: handler segment + locks.
-    const std::vector<Record> &log = store_.threadLog(ctx.thread);
+    trace::TraceStore::ThreadLogView log = store_.threadLog(ctx.thread);
     std::string handler_kind, handler_id;
     for (std::size_t i = 0; i <= ctx.pos; ++i) {
-        const Record &rec = log[i];
-        switch (rec.type) {
+        trace::TraceStore::RecordView rec = log[i];
+        switch (rec.type()) {
           case RecordType::EventBegin:
             handler_kind = "event";
-            handler_id = rec.id;
+            handler_id = rec.id();
             break;
           case RecordType::RpcBegin:
             handler_kind = "rpc";
-            handler_id = rec.id;
+            handler_id = rec.id();
             break;
           case RecordType::MsgRecv:
             handler_kind = "msg";
-            handler_id = rec.id;
+            handler_id = rec.id();
             break;
           case RecordType::CoordPushed:
             handler_kind = "watch";
-            handler_id = rec.id;
+            handler_id = rec.id();
             break;
           case RecordType::EventEnd:
           case RecordType::RpcEnd:
@@ -81,19 +88,19 @@ PlacementAnalyzer::locate(const detect::CandidateAccess &access) const
           case RecordType::LockAcquire: {
             int lock_instance = 0;
             for (std::size_t j = 0; j < i; ++j)
-                if (log[j].type == RecordType::LockAcquire &&
-                    log[j].site == rec.site &&
-                    log[j].callstack == rec.callstack)
+                if (log[j].type() == RecordType::LockAcquire &&
+                    log[j].siteSym() == rec.siteSym() &&
+                    log[j].callstackSym() == rec.callstackSym())
                     ++lock_instance;
-            ctx.locksHeld.push_back(rec.id);
-            ctx.lockSites.push_back(rec.site);
-            ctx.lockStacks.push_back(rec.callstack);
+            ctx.locksHeld.emplace_back(rec.id());
+            ctx.lockSites.emplace_back(rec.site());
+            ctx.lockStacks.emplace_back(rec.callstack());
             ctx.lockInstances.push_back(lock_instance);
             break;
           }
           case RecordType::LockRelease: {
             auto it = std::find(ctx.locksHeld.rbegin(),
-                                ctx.locksHeld.rend(), rec.id);
+                                ctx.locksHeld.rend(), rec.id());
             if (it != ctx.locksHeld.rend()) {
                 std::size_t idx = ctx.locksHeld.size() - 1 -
                     static_cast<std::size_t>(
@@ -141,19 +148,23 @@ PlacementAnalyzer::relocateToCause(const AccessContext &ctx,
     else
         return false;
 
+    trace::SymId id_sym = store_.symbols().find(ctx.handlerId);
+    if (id_sym == trace::kNoSym)
+        return false;
     for (int t = 0; t < store_.threadCount(); ++t) {
-        const std::vector<Record> &log = store_.threadLog(t);
+        trace::TraceStore::ThreadLogView log = store_.threadLog(t);
         for (std::size_t i = 0; i < log.size(); ++i) {
-            const Record &rec = log[i];
-            if (rec.type != want || rec.id != ctx.handlerId)
+            trace::TraceStore::RecordView rec = log[i];
+            if (rec.type() != want || rec.idSym() != id_sym)
                 continue;
             int instance = 0;
             for (std::size_t j = 0; j < i; ++j)
-                if (log[j].type == want && log[j].site == rec.site &&
-                    log[j].callstack == rec.callstack)
+                if (log[j].type() == want &&
+                    log[j].siteSym() == rec.siteSym() &&
+                    log[j].callstackSym() == rec.callstackSym())
                     ++instance;
-            point.site = rec.site;
-            point.callstack = rec.callstack;
+            point.site = rec.site();
+            point.callstack = rec.callstack();
             point.instance = instance;
             point.note = why;
             return true;
@@ -182,32 +193,35 @@ PlacementAnalyzer::causeFlowsThroughThread(const AccessContext &access,
             want = RecordType::MsgSend;
         else
             return false; // watcher chains end at the coord service
+        trace::SymId id_sym = store_.symbols().find(id);
+        if (id_sym == trace::kNoSym)
+            return false;
         bool found = false;
         for (int t = 0; t < store_.threadCount() && !found; ++t) {
-            const std::vector<Record> &log = store_.threadLog(t);
+            trace::TraceStore::ThreadLogView log = store_.threadLog(t);
             for (std::size_t i = 0; i < log.size(); ++i) {
-                const Record &rec = log[i];
-                if (rec.type != want || rec.id != id)
+                trace::TraceStore::RecordView rec = log[i];
+                if (rec.type() != want || rec.idSym() != id_sym)
                     continue;
-                if (rec.thread == thread)
+                if (rec.thread() == thread)
                     return true;
                 // Continue the walk from the enclosing handler of the
                 // cause record.
                 kind.clear();
                 id.clear();
                 for (std::size_t j = 0; j < i; ++j) {
-                    switch (log[j].type) {
+                    switch (log[j].type()) {
                       case RecordType::EventBegin:
                         kind = "event";
-                        id = log[j].id;
+                        id = log[j].id();
                         break;
                       case RecordType::RpcBegin:
                         kind = "rpc";
-                        id = log[j].id;
+                        id = log[j].id();
                         break;
                       case RecordType::MsgRecv:
                         kind = "msg";
-                        id = log[j].id;
+                        id = log[j].id();
                         break;
                       case RecordType::EventEnd:
                       case RecordType::RpcEnd:
@@ -320,11 +334,16 @@ PlacementAnalyzer::plan(const detect::Candidate &candidate) const
     // Many dynamic instances: prefer the causally preceding request
     // point in a different thread/node when one exists.
     auto count_instances = [&](const detect::CandidateAccess &acc) {
+        const trace::SymbolPool &pool = store_.symbols();
+        trace::SymId site_sym = pool.find(acc.site);
+        trace::SymId stack_sym = pool.find(acc.callstack);
+        if (site_sym == trace::kNoSym || stack_sym == trace::kNoSym)
+            return 0;
         int n = 0;
         for (int t = 0; t < store_.threadCount(); ++t)
-            for (const Record &rec : store_.threadLog(t))
-                if (rec.isMemoryAccess() && rec.site == acc.site &&
-                    rec.callstack == acc.callstack)
+            for (trace::TraceStore::RecordView rec : store_.threadLog(t))
+                if (rec.isMemoryAccess() && rec.siteSym() == site_sym &&
+                    rec.callstackSym() == stack_sym)
                     ++n;
         return n;
     };

@@ -34,8 +34,9 @@ countRecords(const trace::TraceStore &store, trace::RecordType type,
              const std::string &site)
 {
     int n = 0;
-    for (const auto &rec : store.allRecords())
-        if (rec.type == type && rec.site == site)
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it)
+        if ((*it).type() == type && (*it).site() == site)
             ++n;
     return n;
 }
@@ -79,11 +80,12 @@ TEST(MiniMrTest, KillWorkloadCommitsBeforeKill)
     EXPECT_EQ(kill_writes, 1);
 
     std::uint64_t commit_seq = 0, kill_seq = 0;
-    for (const auto &rec : store.allRecords()) {
-        if (rec.site == kCommitRead)
-            commit_seq = rec.seq;
-        if (rec.site == kKillWrite)
-            kill_seq = rec.seq;
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it) {
+        if ((*it).site() == kCommitRead)
+            commit_seq = (*it).seq();
+        if ((*it).site() == kKillWrite)
+            kill_seq = (*it).seq();
     }
     EXPECT_LT(commit_seq, kill_seq)
         << "in the correct run the commit precedes the kill";
@@ -118,8 +120,9 @@ TEST(MiniMrTest, NmRegistrationReachesAm)
 TEST(MiniMrTest, SelectiveTraceOmitsBackgroundLoad)
 {
     trace::TraceStore store = runWorkload(Workload::Hang3274);
-    for (const auto &rec : store.allRecords())
-        EXPECT_EQ(rec.site.rfind("bg.", 0), std::string::npos)
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it)
+        EXPECT_EQ((*it).site().rfind("bg.", 0), std::string_view::npos)
             << "background accesses are outside the traced scope";
 }
 

@@ -32,8 +32,9 @@ int
 countSite(const trace::TraceStore &store, const std::string &site)
 {
     int n = 0;
-    for (const auto &rec : store.allRecords())
-        if (rec.site == site)
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it)
+        if ((*it).site() == site)
             ++n;
     return n;
 }
@@ -42,9 +43,10 @@ std::uint64_t
 lastSeqOf(const trace::TraceStore &store, const std::string &site)
 {
     std::uint64_t seq = 0;
-    for (const auto &rec : store.allRecords())
-        if (rec.site == site)
-            seq = rec.seq;
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it)
+        if ((*it).site() == site)
+            seq = (*it).seq();
     return seq;
 }
 
@@ -85,9 +87,10 @@ TEST(MiniHBaseTest, EnableExpireCleansUpOnce)
     // best-effort delete then failed silently (aux = -1 attempt).
     EXPECT_EQ(countSite(store, hb::kEnableRemove), 1);
     EXPECT_EQ(countSite(store, hb::kShutRemove), 1);
-    for (const auto &rec : store.allRecords())
-        if (rec.site == hb::kShutRemove)
-            EXPECT_EQ(rec.aux, -1) << "second delete finds no znode";
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it)
+        if ((*it).site() == hb::kShutRemove)
+            EXPECT_EQ((*it).aux(), -1) << "second delete finds no znode";
 }
 
 // ------------------------------------------------------------ Cassandra
@@ -112,9 +115,10 @@ TEST(MiniCassandraTest, RingWatcherExitsAfterToken)
     trace::TraceStore store =
         runApp([](Simulation &sim) { ca::install(sim); });
     int loop_exits = 0;
-    for (const auto &rec : store.allRecords())
-        if (rec.type == trace::RecordType::LoopExit &&
-            rec.site == ca::kRingWatchLoopExit)
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it)
+        if ((*it).type() == trace::RecordType::LoopExit &&
+            (*it).site() == ca::kRingWatchLoopExit)
             ++loop_exits;
     EXPECT_EQ(loop_exits, 1);
 }
@@ -134,15 +138,17 @@ TEST(MiniZooKeeperTest, ElectionConvergesOnHighestZxid)
     // second vote is not greater) and the election loop exited.
     EXPECT_EQ(countSite(store, zk::kVoteWriteHighest), 1);
     int loop_exits = 0;
-    for (const auto &rec : store.allRecords())
-        if (rec.type == trace::RecordType::LoopExit &&
-            rec.site == zk::kElectLoopExit)
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it)
+        if ((*it).type() == trace::RecordType::LoopExit &&
+            (*it).site() == zk::kElectLoopExit)
             ++loop_exits;
     EXPECT_EQ(loop_exits, 1);
     // The elect read observed the adopted (peer) zxid.
-    for (const auto &rec : store.allRecords())
-        if (rec.site == zk::kElectReadHighest)
-            EXPECT_EQ(rec.aux, 2) << "version 2 = the handler's write";
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it)
+        if ((*it).site() == zk::kElectReadHighest)
+            EXPECT_EQ((*it).aux(), 2) << "version 2 = the handler's write";
 }
 
 TEST(MiniZooKeeperTest, EpochSyncReachesQuorum)

@@ -40,12 +40,12 @@ expectEngineAgreement(const trace::TraceStore &store)
             bool want = dense.happensBefore(u, v);
             ASSERT_EQ(chain.happensBefore(u, v), want)
                 << "chain vs dense disagree on " << u << " => " << v
-                << " (" << dense.record(u).toLine() << " vs "
-                << dense.record(v).toLine() << ")";
+                << " (" << dense.recordLine(u) << " vs "
+                << dense.recordLine(v) << ")";
             ASSERT_EQ(clocks.happensBefore(u, v), want)
                 << "clocks vs dense disagree on " << u << " => " << v
-                << " (" << dense.record(u).toLine() << " vs "
-                << dense.record(v).toLine() << ")";
+                << " (" << dense.recordLine(u) << " vs "
+                << dense.recordLine(v) << ")";
         }
     }
 }
@@ -116,11 +116,11 @@ TEST_P(EnginesOnBenchmarks, AgreeOnRealTrace)
         for (int v : chain.memAccesses()) {
             bool want = dense.happensBefore(u, v);
             ASSERT_EQ(chain.happensBefore(u, v), want)
-                << "chain vs dense: " << chain.record(u).toLine()
-                << " vs " << chain.record(v).toLine();
+                << "chain vs dense: " << chain.recordLine(u)
+                << " vs " << chain.recordLine(v);
             ASSERT_EQ(clocks.happensBefore(u, v), want)
-                << "clocks vs dense: " << chain.record(u).toLine()
-                << " vs " << chain.record(v).toLine();
+                << "clocks vs dense: " << chain.recordLine(u)
+                << " vs " << chain.recordLine(v);
         }
     }
     EXPECT_GT(clocks.dimensionCount(), 1);

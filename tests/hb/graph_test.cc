@@ -22,7 +22,7 @@ vtx(const HbGraph &g, RecordType type, const std::string &site)
 {
     for (std::size_t v = 0; v < g.size(); ++v)
         if (g.record(static_cast<int>(v)).type == type &&
-            g.record(static_cast<int>(v)).site == site)
+            g.site(static_cast<int>(v)) == site)
             return static_cast<int>(v);
     return -1;
 }

@@ -52,8 +52,10 @@ TEST_P(SeedSweepTest, RunsAreSeedDeterministic)
         bench().build(sim);
         sim.run();
         std::string all;
-        for (const auto &rec : sim.tracer().store().allRecords())
-            all += rec.toLine() + "\n";
+        const auto &store = sim.tracer().store();
+        for (auto it = store.merged().begin(); it != store.merged().end();
+             ++it)
+            all += (*it).toLine() + "\n";
         return all;
     };
     EXPECT_EQ(run_once(), run_once());

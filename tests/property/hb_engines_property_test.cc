@@ -114,8 +114,8 @@ expectAllPairsAgree(const HbGraph &chain, const HbGraph &dense)
             bool want = dense.happensBefore(u, v);
             ASSERT_EQ(chain.happensBefore(u, v), want)
                 << "chain vs dense on " << u << " => " << v << ": "
-                << dense.record(u).toLine() << " vs "
-                << dense.record(v).toLine();
+                << dense.recordLine(u) << " vs "
+                << dense.recordLine(v);
             ASSERT_EQ(clocks.happensBefore(u, v), want)
                 << "clocks vs dense on " << u << " => " << v;
         }

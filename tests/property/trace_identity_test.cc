@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Byte-identity contract of the interned columnar trace substrate
+ * (docs/trace_format.md): for every benchmark and scheduling policy,
+ * and for analysis jobs ∈ {1, 8},
+ *
+ *  - the serialized per-thread trace files are byte-identical across
+ *    worker counts (the SoA + symbol-pool representation is an
+ *    in-memory optimisation only — it must never leak into the
+ *    on-disk format);
+ *  - contentDigest() and serializedBytes() agree with the files
+ *    actually written;
+ *  - loading the files back yields a store with the same digest,
+ *    size, and line sequence (full decode/encode round trip through
+ *    the interner).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+
+#include "dcatch/pipeline.hh"
+
+namespace dcatch {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** relpath -> bytes for every trace file under @p dir. */
+std::map<std::string, std::string>
+snapshotDir(const std::string &dir)
+{
+    std::map<std::string, std::string> files;
+    for (const auto &entry : fs::recursive_directory_iterator(dir))
+        if (entry.is_regular_file())
+            files[fs::relative(entry.path(), dir).string()] =
+                readFile(entry.path());
+    return files;
+}
+
+struct TraceSnapshot
+{
+    std::uint64_t digest = 0;
+    std::size_t serializedBytes = 0;
+    std::size_t records = 0;
+    std::map<std::string, std::string> files;
+};
+
+TraceSnapshot
+runWith(const char *bench_id, sim::PolicyKind policy, int jobs,
+        const std::string &dir)
+{
+    apps::Benchmark bench = apps::benchmark(bench_id);
+    bench.config.policy = policy;
+    bench.config.seed = 424242;
+
+    PipelineOptions options;
+    options.measureBase = false;
+    options.runTrigger = false;
+    options.jobs = jobs;
+    PipelineResult result = runPipeline(bench, options);
+
+    fs::remove_all(dir);
+    result.monitoredTrace.writeToDirectory(dir);
+
+    TraceSnapshot snap;
+    snap.digest = result.monitoredTrace.contentDigest();
+    snap.serializedBytes = result.monitoredTrace.serializedBytes();
+    snap.records = result.monitoredTrace.totalRecords();
+    snap.files = snapshotDir(dir);
+    return snap;
+}
+
+using Param = std::tuple<const char *, sim::PolicyKind>;
+
+class TraceIdentityTest : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(TraceIdentityTest, FilesAndDigestAreByteIdenticalAcrossJobs)
+{
+    const char *bench_id = std::get<0>(GetParam());
+    sim::PolicyKind policy = std::get<1>(GetParam());
+    const char *policy_name =
+        policy == sim::PolicyKind::Fifo ? "fifo" : "random";
+    std::string dir = fs::temp_directory_path().string() +
+                      "/dcatch-trace-ident-" + bench_id + "-" +
+                      policy_name;
+
+    TraceSnapshot serial = runWith(bench_id, policy, 1, dir + "-j1");
+    TraceSnapshot parallel = runWith(bench_id, policy, 8, dir + "-j8");
+
+    // Worker count is unobservable in the serialized trace.
+    EXPECT_EQ(serial.digest, parallel.digest);
+    EXPECT_EQ(serial.serializedBytes, parallel.serializedBytes);
+    EXPECT_EQ(serial.records, parallel.records);
+    ASSERT_EQ(serial.files.size(), parallel.files.size());
+    for (const auto &[path, bytes] : serial.files) {
+        auto it = parallel.files.find(path);
+        ASSERT_NE(it, parallel.files.end())
+            << "trace file missing at jobs=8: " << path;
+        EXPECT_EQ(bytes, it->second)
+            << "trace file differs at jobs=8: " << path;
+    }
+
+    // The cached serialized size is exactly what landed on disk
+    // (one trailing newline per line, nothing else).
+    std::size_t on_disk = 0;
+    for (const auto &[path, bytes] : serial.files)
+        on_disk += bytes.size();
+    EXPECT_EQ(serial.serializedBytes, on_disk);
+
+    // Decode/encode round trip through a fresh pool.
+    trace::TraceStore loaded;
+    EXPECT_EQ(loaded.loadFromDirectory(dir + "-j1"), serial.records);
+    EXPECT_EQ(loaded.contentDigest(), serial.digest);
+    EXPECT_EQ(loaded.serializedBytes(), serial.serializedBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, TraceIdentityTest,
+    ::testing::Combine(::testing::Values("CA-1011", "HB-4539", "HB-4729",
+                                         "MR-3274", "MR-4637", "ZK-1144",
+                                         "ZK-1270"),
+                       ::testing::Values(sim::PolicyKind::Fifo,
+                                         sim::PolicyKind::Random)),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        std::string name = std::get<0>(info.param);
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name + (std::get<1>(info.param) == sim::PolicyKind::Fifo
+                           ? "_fifo"
+                           : "_random");
+    });
+
+} // namespace
+} // namespace dcatch

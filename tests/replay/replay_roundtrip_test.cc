@@ -27,8 +27,9 @@ std::string
 traceText(const trace::TraceStore &store)
 {
     std::string all;
-    for (const auto &rec : store.allRecords())
-        all += rec.toLine() + "\n";
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it)
+        all += (*it).toLine() + "\n";
     return all;
 }
 

@@ -121,14 +121,17 @@ TEST(CoordTest, ZnodeAccessesAreTracedAsMemoryOps)
     });
     sim.run();
     int reads = 0, writes = 0, updates = 0;
-    for (const auto &rec : sim.tracer().store().allRecords()) {
-        if (rec.id == "znode:/p") {
-            if (rec.type == trace::RecordType::MemRead)
+    const auto &store = sim.tracer().store();
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it) {
+        auto rec = *it;
+        if (rec.id() == "znode:/p") {
+            if (rec.type() == trace::RecordType::MemRead)
                 ++reads;
-            if (rec.type == trace::RecordType::MemWrite)
+            if (rec.type() == trace::RecordType::MemWrite)
                 ++writes;
         }
-        if (rec.type == trace::RecordType::CoordUpdate)
+        if (rec.type() == trace::RecordType::CoordUpdate)
             ++updates;
     }
     EXPECT_EQ(reads, 1);

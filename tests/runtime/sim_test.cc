@@ -48,7 +48,7 @@ TEST(SimTest, ForkJoinTracesAndCompletes)
     EXPECT_EQ(order[1], 2);
 
     // Trace must contain the full fork/join vocabulary.
-    auto records = sim.tracer().store().allRecords();
+    auto records = sim.tracer().store().mergedRecords();
     int creates = 0, begins = 0, ends = 0, joins = 0;
     for (const auto &rec : records) {
         switch (rec.type) {
@@ -183,7 +183,7 @@ TEST(SimTest, SharedVarVersionsAdvance)
         EXPECT_EQ(var->read(ctx, "site.r2"), 20);
     });
     EXPECT_FALSE(sim.run().failed());
-    auto records = sim.tracer().store().allRecords();
+    auto records = sim.tracer().store().mergedRecords();
     std::vector<std::int64_t> versions;
     for (const auto &rec : records)
         if (rec.isMemoryAccess())
@@ -207,7 +207,7 @@ TEST(SimTest, SelectiveTracingSkipsUnscopedAccesses)
     });
     EXPECT_FALSE(sim.run().failed());
     int mem_records = 0;
-    for (const auto &rec : sim.tracer().store().allRecords())
+    for (const auto &rec : sim.tracer().store().mergedRecords())
         if (rec.isMemoryAccess())
             ++mem_records;
     EXPECT_EQ(mem_records, 1);
@@ -228,7 +228,7 @@ TEST(SimTest, FullTracingKeepsAllAccesses)
     });
     EXPECT_FALSE(sim.run().failed());
     int mem_records = 0;
-    for (const auto &rec : sim.tracer().store().allRecords())
+    for (const auto &rec : sim.tracer().store().mergedRecords())
         if (rec.isMemoryAccess())
             ++mem_records;
     EXPECT_EQ(mem_records, 2);
@@ -386,8 +386,10 @@ TEST(SimTest, DeterministicTraceAcrossRuns)
         });
         sim.run();
         std::vector<std::string> lines;
-        for (const auto &rec : sim.tracer().store().allRecords())
-            lines.push_back(rec.toLine());
+        const auto &store = sim.tracer().store();
+        for (auto it = store.merged().begin(); it != store.merged().end();
+             ++it)
+            lines.push_back((*it).toLine());
         return lines;
     };
     EXPECT_EQ(run_once(), run_once());

@@ -24,15 +24,17 @@ class TraceBuilder
         const std::string &site, const std::string &id,
         std::int64_t aux = 0, const std::string &callstack = "")
     {
+        trace::SymbolPool &pool = store_.symbols();
         trace::Record rec;
         rec.type = type;
         rec.node = node;
         rec.thread = thread;
-        rec.site = site;
-        rec.id = id;
+        rec.site = pool.intern(site);
+        rec.id = pool.intern(id);
         rec.aux = aux;
-        rec.callstack = callstack.empty() ? ("t" + std::to_string(thread))
-                                          : callstack;
+        rec.callstack = pool.intern(
+            callstack.empty() ? ("t" + std::to_string(thread))
+                              : callstack);
         rec.seq = store_.nextSeq();
         store_.append(rec);
         return rec.seq;

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit and property tests for the append-only string interner behind
+ * the columnar trace substrate: dense first-intern-order ids, the
+ * empty-string-is-id-0 invariant, view stability across arena growth,
+ * id stability across millions of interns, and the deterministic
+ * collect-then-merge pattern under the TaskPool (interning is
+ * single-writer; parallel stages collect strings into index-addressed
+ * slots and merge them in index order, so the resulting pool is
+ * byte-identical regardless of worker count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/task_pool.hh"
+#include "trace/symbol_pool.hh"
+
+namespace dcatch::trace {
+namespace {
+
+TEST(SymbolPoolTest, EmptyStringIsAlwaysIdZero)
+{
+    SymbolPool pool;
+    EXPECT_EQ(pool.size(), 1u);
+    EXPECT_EQ(pool.intern(""), 0u);
+    EXPECT_EQ(pool.find(""), 0u);
+    EXPECT_EQ(pool.view(0), "");
+    EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(SymbolPoolTest, IdsAreDenseInFirstInternOrder)
+{
+    SymbolPool pool;
+    EXPECT_EQ(pool.intern("alpha"), 1u);
+    EXPECT_EQ(pool.intern("beta"), 2u);
+    EXPECT_EQ(pool.intern("alpha"), 1u) << "re-intern is idempotent";
+    EXPECT_EQ(pool.intern("gamma"), 3u);
+    EXPECT_EQ(pool.size(), 4u);
+    EXPECT_EQ(pool.view(1), "alpha");
+    EXPECT_EQ(pool.view(2), "beta");
+    EXPECT_EQ(pool.view(3), "gamma");
+}
+
+TEST(SymbolPoolTest, FindDoesNotIntern)
+{
+    SymbolPool pool;
+    EXPECT_EQ(pool.find("absent"), kNoSym);
+    EXPECT_EQ(pool.size(), 1u);
+    SymId id = pool.intern("present");
+    EXPECT_EQ(pool.find("present"), id);
+}
+
+TEST(SymbolPoolTest, LongStringsSpanArenaChunks)
+{
+    SymbolPool pool;
+    // Longer than one 64 KiB arena chunk: must still round-trip.
+    std::string big(200 * 1024, 'x');
+    big += "tail";
+    SymId id = pool.intern(big);
+    EXPECT_EQ(pool.view(id), big);
+    // And the arena keeps serving small strings afterwards.
+    SymId small = pool.intern("small");
+    EXPECT_EQ(pool.view(small), "small");
+    EXPECT_GT(pool.bytes(), big.size());
+}
+
+TEST(SymbolPoolTest, IdsAndViewsStableAcrossAMillionInterns)
+{
+    SymbolPool pool;
+    // Capture early views/ids, then force thousands of arena chunks
+    // and many rehashes; the early handles must survive untouched.
+    SymId early_id = pool.intern("early-symbol");
+    std::string_view early_view = pool.view(early_id);
+    const char *early_data = early_view.data();
+
+    constexpr int kCount = 1'000'000;
+    std::vector<SymId> first(kCount);
+    for (int i = 0; i < kCount; ++i)
+        first[static_cast<std::size_t>(i)] =
+            pool.intern("sym-" + std::to_string(i));
+    EXPECT_EQ(pool.size(), static_cast<std::size_t>(kCount) + 2);
+
+    // Same strings again: identical ids, no growth.
+    for (int i = 0; i < kCount; ++i)
+        ASSERT_EQ(pool.intern("sym-" + std::to_string(i)),
+                  first[static_cast<std::size_t>(i)])
+            << "id changed for sym-" << i;
+    EXPECT_EQ(pool.size(), static_cast<std::size_t>(kCount) + 2);
+
+    // The early view still points at the same stable bytes.
+    EXPECT_EQ(pool.view(early_id), "early-symbol");
+    EXPECT_EQ(pool.view(early_id).data(), early_data);
+    // Sampled round-trips across the whole range.
+    for (int i = 0; i < kCount; i += 9973)
+        ASSERT_EQ(pool.view(first[static_cast<std::size_t>(i)]),
+                  "sym-" + std::to_string(i));
+}
+
+TEST(SymbolPoolTest, ConcurrentReadsSeePublishedSymbols)
+{
+    SymbolPool pool;
+    constexpr std::size_t kCount = 20'000;
+    std::vector<SymId> ids(kCount);
+    for (std::size_t i = 0; i < kCount; ++i)
+        ids[i] = pool.intern("r-" + std::to_string(i));
+
+    // view/find are safe concurrently once the ids are published
+    // before the pool fork (the header's single-writer contract).
+    TaskPool tasks(8);
+    std::vector<char> ok(kCount, 0);
+    tasks.parallelFor(kCount, [&](std::size_t i) {
+        std::string want = "r-" + std::to_string(i);
+        ok[i] = pool.view(ids[i]) == want && pool.find(want) == ids[i];
+    });
+    for (std::size_t i = 0; i < kCount; ++i)
+        ASSERT_TRUE(ok[i]) << "reader " << i << " saw a torn symbol";
+}
+
+TEST(SymbolPoolTest, CollectThenMergeIsDeterministicAcrossJobs)
+{
+    // The pattern every parallel analysis stage uses: bodies write
+    // the strings they need into index-addressed slots, and a single
+    // writer interns them in index order afterwards.  The resulting
+    // pool must be identical for any worker count.
+    constexpr std::size_t kCount = 50'000;
+    auto build = [](int jobs) {
+        TaskPool tasks(jobs);
+        std::vector<std::string> slots(kCount);
+        tasks.parallelFor(kCount, [&](std::size_t i) {
+            slots[i] = "site-" + std::to_string(i % 977) + "/" +
+                       std::to_string(i);
+        });
+        auto pool = std::make_unique<SymbolPool>();
+        std::vector<SymId> ids(kCount);
+        for (std::size_t i = 0; i < kCount; ++i)
+            ids[i] = pool->intern(slots[i]);
+        return std::pair(std::move(pool), std::move(ids));
+    };
+
+    auto [serial_pool, serial_ids] = build(1);
+    for (int jobs : {2, 8}) {
+        auto [pool, ids] = build(jobs);
+        ASSERT_EQ(pool->size(), serial_pool->size()) << "jobs=" << jobs;
+        ASSERT_EQ(ids, serial_ids) << "jobs=" << jobs;
+        for (SymId id = 0; id < pool->size(); ++id)
+            ASSERT_EQ(pool->view(id), serial_pool->view(id))
+                << "jobs=" << jobs << " id=" << id;
+    }
+}
+
+} // namespace
+} // namespace dcatch::trace

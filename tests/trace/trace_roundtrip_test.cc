@@ -43,11 +43,11 @@ TEST_P(TraceRoundTripTest, WriteLoadPreservesRecordsAndDetection)
     EXPECT_EQ(loaded.contentDigest(), original.contentDigest());
     EXPECT_EQ(loaded.countsByCategory(), original.countsByCategory());
 
-    std::vector<trace::Record> a = original.allRecords();
-    std::vector<trace::Record> b = loaded.allRecords();
-    ASSERT_EQ(a.size(), b.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        ASSERT_EQ(a[i].toLine(), b[i].toLine()) << "record " << i;
+    auto a = original.merged().begin();
+    auto b = loaded.merged().begin();
+    for (std::size_t i = 0; a != original.merged().end();
+         ++a, ++b, ++i)
+        ASSERT_EQ((*a).toLine(), (*b).toLine()) << "record " << i;
 
     // The trace files carry records only; queue/thread metadata must
     // be re-registered before analysis (documented contract).

@@ -1,13 +1,16 @@
 /**
  * @file
  * Unit tests for the trace layer: record naming and categories,
- * tracer policies (selective / full / focused / disabled), store
- * statistics, and file round-trip.
+ * line parsing (including a table of malformed inputs), tracer
+ * policies (selective / full / focused / disabled), store statistics,
+ * file round-trip, and corrupt-trace reporting.
  */
 
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
+#include <limits>
 
 #include "trace/trace_store.hh"
 
@@ -15,17 +18,19 @@ namespace dcatch::trace {
 namespace {
 
 Record
-mkRecord(RecordType type, int thread, const std::string &site,
-         const std::string &id, std::int64_t aux = 0)
+mkRecord(SymbolPool &pool, RecordType type, int thread,
+         const std::string &site, const std::string &id,
+         std::int64_t aux = 0)
 {
     Record rec;
     rec.type = type;
     rec.node = 0;
     rec.thread = thread;
-    rec.site = site;
-    rec.id = id;
+    rec.site = pool.intern(site);
+    rec.id = pool.intern(id);
     rec.aux = aux;
-    rec.callstack = "t" + std::to_string(thread) + ":frame";
+    rec.callstack =
+        pool.intern("t" + std::to_string(thread) + ":frame");
     return rec;
 }
 
@@ -43,12 +48,13 @@ TEST(RecordTest, TypeNamesRoundTrip)
 
 TEST(RecordTest, LineRoundTrip)
 {
-    Record rec = mkRecord(RecordType::MemWrite, 3, "a.site/x",
+    SymbolPool pool;
+    Record rec = mkRecord(pool, RecordType::MemWrite, 3, "a.site/x",
                           "map:n/j#k", 42);
     rec.seq = 17;
     rec.node = 2;
     Record parsed;
-    ASSERT_TRUE(Record::fromLine(rec.toLine(), parsed));
+    ASSERT_TRUE(Record::fromLine(rec.toLine(pool), pool, parsed));
     EXPECT_EQ(parsed.seq, rec.seq);
     EXPECT_EQ(parsed.type, rec.type);
     EXPECT_EQ(parsed.node, rec.node);
@@ -59,44 +65,114 @@ TEST(RecordTest, LineRoundTrip)
     EXPECT_EQ(parsed.callstack, rec.callstack);
 }
 
-TEST(RecordTest, MalformedLinesRejected)
+TEST(RecordTest, LineRoundTripExtremes)
 {
-    Record rec;
-    EXPECT_FALSE(Record::fromLine("", rec));
-    EXPECT_FALSE(Record::fromLine("17 Bogus n0 t0 site=a id=b aux=0 cs=c",
-                                  rec));
-    EXPECT_FALSE(Record::fromLine("notanumber MemRead n0 t0 site=a id=b "
-                                  "aux=0 cs=c",
-                                  rec));
-    EXPECT_FALSE(Record::fromLine("1 MemRead n0 t0 site=a id=b", rec));
+    SymbolPool pool;
+    Record rec = mkRecord(pool, RecordType::LoopExit, 0, "s", "x");
+    rec.seq = std::numeric_limits<std::uint64_t>::max();
+    rec.aux = std::numeric_limits<std::int64_t>::min();
+    rec.node = -1;
+    Record parsed;
+    ASSERT_TRUE(Record::fromLine(rec.toLine(pool), pool, parsed));
+    EXPECT_EQ(parsed.seq, rec.seq);
+    EXPECT_EQ(parsed.aux, rec.aux);
+    EXPECT_EQ(parsed.node, rec.node);
 }
 
-TEST(RecordTest, CategoriesCoverAllTypes)
+TEST(RecordTest, CallstackWithSpacesRoundTrips)
 {
-    EXPECT_EQ(recordCategory(RecordType::MemRead), RecordCategory::Mem);
-    EXPECT_EQ(recordCategory(RecordType::RpcBegin),
-              RecordCategory::RpcSocket);
-    EXPECT_EQ(recordCategory(RecordType::MsgSend),
-              RecordCategory::RpcSocket);
-    EXPECT_EQ(recordCategory(RecordType::EventCreate),
-              RecordCategory::Event);
-    EXPECT_EQ(recordCategory(RecordType::ThreadJoin),
-              RecordCategory::Thread);
-    EXPECT_EQ(recordCategory(RecordType::CoordPushed),
-              RecordCategory::Coord);
-    EXPECT_EQ(recordCategory(RecordType::LockRelease),
-              RecordCategory::Lock);
-    EXPECT_EQ(recordCategory(RecordType::LoopIter),
-              RecordCategory::Loop);
+    // The callstack is the trailing field: embedded spaces re-join.
+    SymbolPool pool;
+    Record rec = mkRecord(pool, RecordType::MemRead, 1, "s", "v");
+    rec.callstack = pool.intern("t1:op new Thread:run");
+    Record parsed;
+    ASSERT_TRUE(Record::fromLine(rec.toLine(pool), pool, parsed));
+    EXPECT_EQ(pool.view(parsed.callstack), "t1:op new Thread:run");
+}
+
+TEST(RecordTest, LineLengthMatchesToLine)
+{
+    SymbolPool pool;
+    Record rec = mkRecord(pool, RecordType::MemWrite, 7, "site/a:b",
+                          "var:x", -123456789);
+    rec.seq = 90210;
+    rec.node = 12;
+    EXPECT_EQ(rec.lineLength(pool), rec.toLine(pool).size());
+
+    Record zero;
+    EXPECT_EQ(zero.lineLength(pool), zero.toLine(pool).size());
+}
+
+TEST(RecordTest, MalformedLinesRejected)
+{
+    struct Case
+    {
+        const char *name;
+        const char *line;
+        const char *reason; ///< substring expected in the error
+    };
+    static const Case kCases[] = {
+        {"empty", "", "truncated"},
+        {"truncated-missing-aux-cs", "1 MemRead n0 t0 site=a id=b",
+         "truncated"},
+        {"truncated-missing-cs",
+         "1 MemRead n0 t0 site=a id=b aux=0", "truncated"},
+        {"unknown-type", "17 Bogus n0 t0 site=a id=b aux=0 cs=c",
+         "unknown record type"},
+        {"seq-not-numeric",
+         "notanumber MemRead n0 t0 site=a id=b aux=0 cs=c", "seq"},
+        {"seq-negative", "-4 MemRead n0 t0 site=a id=b aux=0 cs=c",
+         "seq"},
+        {"seq-overflow",
+         "99999999999999999999999 MemRead n0 t0 site=a id=b aux=0 cs=c",
+         "seq"},
+        {"node-missing-prefix", "1 MemRead 0 t0 site=a id=b aux=0 cs=c",
+         "n<int>"},
+        {"node-not-numeric", "1 MemRead nX t0 site=a id=b aux=0 cs=c",
+         "n<int>"},
+        {"node-bare-n", "1 MemRead n t0 site=a id=b aux=0 cs=c",
+         "n<int>"},
+        {"thread-missing-prefix",
+         "1 MemRead n0 0 site=a id=b aux=0 cs=c", "t<int>"},
+        {"thread-not-numeric",
+         "1 MemRead n0 tX site=a id=b aux=0 cs=c", "t<int>"},
+        {"thread-negative", "1 MemRead n0 t-1 site=a id=b aux=0 cs=c",
+         "negative"},
+        {"site-prefix-missing",
+         "1 MemRead n0 t0 sote=a id=b aux=0 cs=c", "site="},
+        {"site-shifted-by-embedded-space",
+         "1 MemRead n0 t0 site=a b id=c aux=0 cs=d", "id="},
+        {"id-prefix-missing", "1 MemRead n0 t0 site=a b=c aux=0 cs=d",
+         "id="},
+        {"aux-prefix-missing", "1 MemRead n0 t0 site=a id=b 0 cs=c",
+         "aux="},
+        {"aux-not-numeric",
+         "1 MemRead n0 t0 site=a id=b aux=zero cs=c", "aux"},
+        {"aux-trailing-junk",
+         "1 MemRead n0 t0 site=a id=b aux=1x cs=c", "aux"},
+        {"cs-prefix-missing", "1 MemRead n0 t0 site=a id=b aux=0 c",
+         "cs="},
+    };
+    for (const Case &c : kCases) {
+        SymbolPool pool;
+        Record rec;
+        std::string why;
+        EXPECT_FALSE(Record::fromLine(c.line, pool, rec, &why))
+            << c.name << ": accepted " << c.line;
+        EXPECT_NE(why.find(c.reason), std::string::npos)
+            << c.name << ": error was '" << why << "', expected '"
+            << c.reason << "'";
+    }
 }
 
 TEST(TracerTest, SelectivePolicyFiltersUnscopedAccesses)
 {
     Tracer tracer;
+    SymbolPool &pool = tracer.store().symbols();
     EXPECT_TRUE(tracer.recordMemAccess(
-        mkRecord(RecordType::MemRead, 0, "s", "var:x"), true));
+        mkRecord(pool, RecordType::MemRead, 0, "s", "var:x"), true));
     EXPECT_FALSE(tracer.recordMemAccess(
-        mkRecord(RecordType::MemRead, 0, "s", "var:x"), false));
+        mkRecord(pool, RecordType::MemRead, 0, "s", "var:x"), false));
     EXPECT_EQ(tracer.store().totalRecords(), 1u);
 }
 
@@ -106,7 +182,9 @@ TEST(TracerTest, FullPolicyKeepsEverything)
     config.selectiveMemory = false;
     Tracer tracer(config);
     EXPECT_TRUE(tracer.recordMemAccess(
-        mkRecord(RecordType::MemRead, 0, "s", "var:x"), false));
+        mkRecord(tracer.store().symbols(), RecordType::MemRead, 0, "s",
+                 "var:x"),
+        false));
 }
 
 TEST(TracerTest, FocusOverridesScopeAndRestrictsVars)
@@ -114,12 +192,13 @@ TEST(TracerTest, FocusOverridesScopeAndRestrictsVars)
     TracerConfig config;
     config.focusVars = {"var:x"};
     Tracer tracer(config);
+    SymbolPool &pool = tracer.store().symbols();
     // Focused variable: recorded even outside the traced scope.
     EXPECT_TRUE(tracer.recordMemAccess(
-        mkRecord(RecordType::MemWrite, 0, "s", "var:x"), false));
+        mkRecord(pool, RecordType::MemWrite, 0, "s", "var:x"), false));
     // Other variables: dropped even inside the scope.
     EXPECT_FALSE(tracer.recordMemAccess(
-        mkRecord(RecordType::MemWrite, 0, "s", "var:y"), true));
+        mkRecord(pool, RecordType::MemWrite, 0, "s", "var:y"), true));
 }
 
 TEST(TracerTest, DisabledMemoryAndOps)
@@ -129,10 +208,12 @@ TEST(TracerTest, DisabledMemoryAndOps)
     config.traceOps = false;
     config.traceLocks = false;
     Tracer tracer(config);
+    SymbolPool &pool = tracer.store().symbols();
     EXPECT_FALSE(tracer.recordMemAccess(
-        mkRecord(RecordType::MemRead, 0, "s", "var:x"), true));
-    tracer.recordOp(mkRecord(RecordType::MsgSend, 0, "s", "m-1"));
-    tracer.recordLockOp(mkRecord(RecordType::LockAcquire, 0, "s", "L"));
+        mkRecord(pool, RecordType::MemRead, 0, "s", "var:x"), true));
+    tracer.recordOp(mkRecord(pool, RecordType::MsgSend, 0, "s", "m-1"));
+    tracer.recordLockOp(
+        mkRecord(pool, RecordType::LockAcquire, 0, "s", "L"));
     EXPECT_EQ(tracer.store().totalRecords(), 0u);
 }
 
@@ -140,17 +221,50 @@ TEST(TraceStoreTest, PerThreadLogsAndGlobalOrder)
 {
     TraceStore store;
     for (int i = 0; i < 6; ++i) {
-        Record rec = mkRecord(RecordType::MemWrite, i % 2, "s",
-                              "var:" + std::to_string(i));
+        Record rec = mkRecord(store.symbols(), RecordType::MemWrite,
+                              i % 2, "s", "var:" + std::to_string(i));
         rec.seq = store.nextSeq();
         store.append(rec);
     }
     EXPECT_EQ(store.threadCount(), 2);
     EXPECT_EQ(store.threadLog(0).size(), 3u);
     EXPECT_EQ(store.threadLog(1).size(), 3u);
-    auto all = store.allRecords();
+    EXPECT_TRUE(store.threadLog(99).empty());
+
+    // The merged view yields strictly increasing sequence numbers.
+    std::uint64_t prev = 0;
+    std::size_t count = 0;
+    for (auto it = store.merged().begin(); it != store.merged().end();
+         ++it) {
+        if (count > 0)
+            EXPECT_LT(prev, (*it).seq());
+        prev = (*it).seq();
+        ++count;
+    }
+    EXPECT_EQ(count, store.totalRecords());
+
+    // And mergedRecords materializes the same order.
+    auto all = store.mergedRecords();
+    ASSERT_EQ(all.size(), 6u);
     for (std::size_t i = 1; i < all.size(); ++i)
         EXPECT_LT(all[i - 1].seq, all[i].seq);
+}
+
+TEST(TraceStoreTest, RecordViewResolvesSymbols)
+{
+    TraceStore store;
+    Record rec = mkRecord(store.symbols(), RecordType::MemWrite, 2,
+                          "site/a", "var:x", 7);
+    rec.seq = store.nextSeq();
+    store.append(rec);
+    auto view = store.threadLog(2)[0];
+    EXPECT_EQ(view.type(), RecordType::MemWrite);
+    EXPECT_EQ(view.thread(), 2);
+    EXPECT_EQ(view.aux(), 7);
+    EXPECT_EQ(view.site(), "site/a");
+    EXPECT_EQ(view.id(), "var:x");
+    EXPECT_EQ(view.siteSym(), rec.site);
+    EXPECT_EQ(view.toLine(), rec.toLine(store.symbols()));
 }
 
 TEST(TraceStoreTest, DirectoryRoundTrip)
@@ -158,6 +272,7 @@ TEST(TraceStoreTest, DirectoryRoundTrip)
     TraceStore store;
     for (int i = 0; i < 10; ++i) {
         Record rec = mkRecord(
+            store.symbols(),
             i % 2 ? RecordType::MemRead : RecordType::MemWrite, i % 3,
             "site" + std::to_string(i), "var:x", i);
         rec.seq = store.nextSeq();
@@ -171,21 +286,83 @@ TEST(TraceStoreTest, DirectoryRoundTrip)
 
     TraceStore loaded;
     EXPECT_EQ(loaded.loadFromDirectory(dir), 10u);
-    auto a = store.allRecords();
-    auto b = loaded.allRecords();
-    ASSERT_EQ(a.size(), b.size());
-    for (std::size_t i = 0; i < a.size(); ++i)
-        EXPECT_EQ(a[i].toLine(), b[i].toLine());
+    ASSERT_EQ(loaded.totalRecords(), store.totalRecords());
+    auto a = store.merged().begin();
+    auto b = loaded.merged().begin();
+    for (; a != store.merged().end(); ++a, ++b)
+        EXPECT_EQ((*a).toLine(), (*b).toLine());
+    EXPECT_EQ(loaded.contentDigest(), store.contentDigest());
+    EXPECT_EQ(loaded.serializedBytes(), store.serializedBytes());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceStoreTest, LoadReportsCorruptLines)
+{
+    std::string dir = (std::filesystem::temp_directory_path() /
+                       "dcatch-trace-corrupt-test")
+                          .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream out(std::filesystem::path(dir) /
+                          "thread-000.trace");
+        out << "0 MemRead n0 t0 site=a id=b aux=0 cs=c\n";
+        out << "1 MemRead n0 t0 site=a id=b\n"; // truncated
+    }
+    TraceStore store;
+    try {
+        store.loadFromDirectory(dir);
+        FAIL() << "corrupt line was silently accepted";
+    } catch (const TraceParseError &err) {
+        std::string what = err.what();
+        EXPECT_NE(what.find("thread-000.trace:2"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("truncated"), std::string::npos) << what;
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceStoreTest, LoadReportsOutOfOrderSequence)
+{
+    std::string dir = (std::filesystem::temp_directory_path() /
+                       "dcatch-trace-ooo-test")
+                          .string();
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    {
+        std::ofstream out(std::filesystem::path(dir) /
+                          "thread-000.trace");
+        out << "5 MemRead n0 t0 site=a id=b aux=0 cs=c\n";
+        out << "3 MemRead n0 t0 site=a id=b aux=0 cs=c\n";
+    }
+    TraceStore store;
+    EXPECT_THROW(store.loadFromDirectory(dir), TraceParseError);
     std::filesystem::remove_all(dir);
 }
 
 TEST(TraceStoreTest, SerializedBytesMatchesLineLengths)
 {
     TraceStore store;
-    Record rec = mkRecord(RecordType::MemWrite, 0, "s", "var:x");
+    Record rec =
+        mkRecord(store.symbols(), RecordType::MemWrite, 0, "s", "var:x");
     rec.seq = store.nextSeq();
     store.append(rec);
-    EXPECT_EQ(store.serializedBytes(), rec.toLine().size() + 1);
+    EXPECT_EQ(store.serializedBytes(),
+              rec.toLine(store.symbols()).size() + 1);
+}
+
+TEST(TraceStoreTest, SharedPoolAcrossStores)
+{
+    TraceStore parent;
+    Record rec = mkRecord(parent.symbols(), RecordType::MemWrite, 0,
+                          "site/shared", "var:x");
+    rec.seq = parent.nextSeq();
+    parent.append(rec);
+
+    TraceStore slice(parent.sharedSymbols());
+    slice.append(rec);
+    EXPECT_EQ(slice.threadLog(0)[0].site(), "site/shared");
+    EXPECT_EQ(&slice.symbols(), &parent.symbols());
 }
 
 } // namespace

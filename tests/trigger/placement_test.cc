@@ -19,19 +19,19 @@ using testsupport::TraceBuilder;
 using trace::RecordType;
 
 detect::Candidate
-makeCandidate(const std::string &var, const trace::Record &a,
-              const trace::Record &b)
+makeCandidate(const std::string &var, trace::TraceStore::RecordView a,
+              trace::TraceStore::RecordView b)
 {
     detect::Candidate cand;
     cand.var = var;
-    auto fill = [](const trace::Record &rec) {
+    auto fill = [](trace::TraceStore::RecordView rec) {
         detect::CandidateAccess acc;
-        acc.site = rec.site;
-        acc.callstack = rec.callstack;
-        acc.isWrite = rec.type == RecordType::MemWrite;
-        acc.thread = rec.thread;
-        acc.node = rec.node;
-        acc.version = rec.aux;
+        acc.site = std::string(rec.site());
+        acc.callstack = std::string(rec.callstack());
+        acc.isWrite = rec.type() == RecordType::MemWrite;
+        acc.thread = rec.thread();
+        acc.node = rec.node();
+        acc.version = rec.aux();
         return acc;
     };
     cand.a = fill(a);
@@ -39,11 +39,11 @@ makeCandidate(const std::string &var, const trace::Record &a,
     return cand;
 }
 
-trace::Record
+trace::TraceStore::RecordView
 last(const trace::TraceStore &store, int thread)
 {
-    const auto &log = store.threadLog(thread);
-    return log.back();
+    auto log = store.threadLog(thread);
+    return log[log.size() - 1];
 }
 
 TEST(PlacementTest, NaivePlanWhenNothingApplies)
