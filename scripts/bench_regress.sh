@@ -32,6 +32,16 @@
 #      legacy copy-sort + re-intern overhead the columnar substrate
 #      removed, and ingest clears the records/sec floor.
 #
+# Then runs the explore_coverage bench and verifies BENCH_explore.json
+# against scripts/explore_floor.json:
+#
+#   8. every failing interleaving the adversarial campaign uncovers
+#      replays byte-for-byte from its bundle (original and minimized)
+#      and cross-validates against DCatch's candidate report;
+#   9. at the fixed seed set, the campaign still reaches at least the
+#      floor's distinct-failure-signature count on MR-3274 and
+#      ZK-1270 — a drop means schedule-space coverage regressed.
+#
 # Exits nonzero on any violation, so CI can run it as a gate.
 
 set -euo pipefail
@@ -43,7 +53,7 @@ jobs="${JOBS:-$(nproc)}"
 echo "== configure + build (Release) in $build"
 cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" -j "$jobs" --target scaling parallel_speedup \
-    trace_memory >/dev/null
+    trace_memory explore_coverage >/dev/null
 
 echo "== run scaling bench"
 cd "$build"
@@ -203,4 +213,67 @@ if failures:
 print("ok: columnar trace %.2fx smaller, analysis %.2fx faster, "
       "ingest %.0f records/sec at the largest trace (%s records)"
       % (ratio, speedup, ingest, largest.get("records")))
+EOF
+
+echo "== run explore coverage bench"
+./bench/explore_coverage
+
+ejson="$build/BENCH_explore.json"
+[ -f "$ejson" ] || { echo "FAIL: $ejson was not written" >&2; exit 1; }
+
+echo "== verify $ejson against scripts/explore_floor.json"
+python3 - "$ejson" "$repo/scripts/explore_floor.json" <<'EOF'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+with open(sys.argv[2]) as f:
+    floor = json.load(f)
+
+failures = []
+
+if not data.get("allBundlesVerified"):
+    failures.append(
+        "replay regression: a failing run's bundle (original or "
+        "minimized) no longer replays to the same failure signature")
+if not data.get("allFailuresCrossValidated"):
+    unmatched = [
+        "%s %s seed %s" % (b["benchmark"], r["policy"], r["seed"])
+        for b in data.get("benchmarks", [])
+        for r in b.get("runs", [])
+        if r.get("failed") and not r.get("crossValidated")]
+    failures.append(
+        "detector false negative: explorer-found failure absent from "
+        "DCatch's candidate report (%s)" % (", ".join(unmatched)
+                                            or "see BENCH_explore.json"))
+
+by_id = {b["benchmark"]: b for b in data.get("benchmarks", [])}
+for bench_id, required in floor["minDistinctSignatures"].items():
+    override = os.environ.get("DCATCH_EXPLORE_FLOOR_OVERRIDE")
+    if override:
+        required = int(override)
+    bench = by_id.get(bench_id)
+    if bench is None:
+        failures.append("explore bench skipped %s entirely" % bench_id)
+        continue
+    distinct = set()
+    for policy in bench.get("policies", []):
+        distinct.update(policy.get("signatures", []))
+    if len(distinct) < required:
+        failures.append(
+            "schedule-space coverage regression: %s uncovered %d "
+            "distinct failure signature(s) < floor %d at the fixed "
+            "seed set" % (bench_id, len(distinct), required))
+
+if failures:
+    print("BENCH REGRESSION:")
+    for f in failures:
+        print("  - " + f)
+    sys.exit(1)
+
+total = sum(b.get("failures", 0) for b in data.get("benchmarks", []))
+print("ok: %d failing interleavings across %d benchmarks, all "
+      "replay-verified (original + minimized) and cross-validated; "
+      "signature floors hold"
+      % (total, len(data.get("benchmarks", []))))
 EOF

@@ -23,14 +23,28 @@ class Rng
         : state_(seed)
     {}
 
+    /**
+     * The SplitMix64 output function: a stateless 64-bit mixer.
+     * next() is mix(seed + k * gamma) for the k-th call, so pure
+     * (stateless) consumers — the scheduler policies foremost — can
+     * reproduce a draw sequence from (seed, k) alone.
+     */
+    static std::uint64_t
+    mix(std::uint64_t z)
+    {
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** The additive constant next() advances the state by. */
+    static constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ull;
+
     /** Next raw 64-bit value. */
     std::uint64_t
     next()
     {
-        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-        return z ^ (z >> 31);
+        return mix(state_ += kGamma);
     }
 
     /** Uniform value in [0, bound); bound must be nonzero. */

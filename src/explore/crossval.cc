@@ -1,0 +1,107 @@
+#include "explore/crossval.hh"
+
+namespace dcatch::explore {
+
+std::map<std::string, std::size_t>
+siteFirstOccurrence(const trace::TraceStore &trace)
+{
+    std::map<std::string, std::size_t> first;
+    std::size_t index = 0;
+    for (const auto record : trace.merged()) {
+        first.emplace(std::string(record.site()), index);
+        ++index;
+    }
+    return first;
+}
+
+namespace {
+
+/**
+ * Relative first-occurrence order of the candidate's two sites
+ * flipped between the monitored and the failing trace.  A site absent
+ * from the failing trace counts as infinitely late: when the
+ * monitored-earlier site never executed before the failure tore the
+ * run down, the monitored-later site observably ran first — the
+ * purest manifestation of the order violation (e.g. ZK-1144's
+ * election read running before any vote write ever happens).
+ */
+bool
+orderFlipped(const detect::Candidate &candidate,
+             const std::map<std::string, std::size_t> &monitored,
+             const std::map<std::string, std::size_t> &failing)
+{
+    constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+    auto ma = monitored.find(candidate.a.site);
+    auto mb = monitored.find(candidate.b.site);
+    if (ma == monitored.end() || mb == monitored.end() ||
+        ma->second == mb->second)
+        return false;
+    auto it = failing.find(candidate.a.site);
+    std::size_t fa = it == failing.end() ? kNever : it->second;
+    it = failing.find(candidate.b.site);
+    std::size_t fb = it == failing.end() ? kNever : it->second;
+    if (fa == fb) // both absent (kNever) or same record
+        return false;
+    return (ma->second < mb->second) != (fa < fb);
+}
+
+/** Both of the candidate's sites executed in the failing run. */
+bool
+bothPresent(const detect::Candidate &candidate,
+            const std::map<std::string, std::size_t> &failing)
+{
+    return failing.count(candidate.a.site) > 0 &&
+           failing.count(candidate.b.site) > 0;
+}
+
+} // namespace
+
+CrossValMatch
+crossValidate(const std::vector<detect::Candidate> &finalReports,
+              const std::vector<detect::Candidate> &afterTa,
+              const std::map<std::string, std::size_t> &monitored,
+              const std::map<std::string, std::size_t> &failing)
+{
+    CrossValMatch match;
+    // Strongest evidence first: a flipped pair proves the adversarial
+    // schedule reordered exactly the accesses DCatch predicted race.
+    for (const detect::Candidate &candidate : finalReports) {
+        if (orderFlipped(candidate, monitored, failing)) {
+            match.matched = true;
+            match.pairKey = candidate.sitePairKey();
+            match.tier = "final-flip";
+            return match;
+        }
+    }
+    for (const detect::Candidate &candidate : afterTa) {
+        if (orderFlipped(candidate, monitored, failing)) {
+            match.matched = true;
+            match.pairKey = candidate.sitePairKey();
+            match.tier = "ta-flip";
+            return match;
+        }
+    }
+    // Fallback: the failure often kills the run at the racing access
+    // itself, so the "second" site never re-executes and the order
+    // can't flip — presence of both sites still ties the failure to
+    // the predicted pair.
+    for (const detect::Candidate &candidate : finalReports) {
+        if (bothPresent(candidate, failing)) {
+            match.matched = true;
+            match.pairKey = candidate.sitePairKey();
+            match.tier = "final";
+            return match;
+        }
+    }
+    for (const detect::Candidate &candidate : afterTa) {
+        if (bothPresent(candidate, failing)) {
+            match.matched = true;
+            match.pairKey = candidate.sitePairKey();
+            match.tier = "ta";
+            return match;
+        }
+    }
+    return match;
+}
+
+} // namespace dcatch::explore

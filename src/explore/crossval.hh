@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ground-truth cross-validation between the schedule explorer and the
+ * DCatch detector: every failure the explorer finds by *running* an
+ * adversarial schedule should be explainable by a candidate DCatch
+ * *predicted* from the monitored (correct) run.  The mapping compares
+ * the first-occurrence order of each candidate's two sites in the
+ * monitored trace against the failing trace — a candidate whose sites
+ * executed in the opposite order in the failing run is the racing
+ * pair the schedule flipped.
+ */
+
+#ifndef DCATCH_EXPLORE_CROSSVAL_HH
+#define DCATCH_EXPLORE_CROSSVAL_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "detect/report.hh"
+#include "trace/trace_store.hh"
+
+namespace dcatch::explore {
+
+/** First-occurrence index of every site in a trace's merged order. */
+std::map<std::string, std::size_t>
+siteFirstOccurrence(const trace::TraceStore &trace);
+
+/** Outcome of mapping one explorer failure onto the candidate list. */
+struct CrossValMatch
+{
+    bool matched = false;
+    /** detect::sitePair key of the matched candidate. */
+    std::string pairKey;
+    /**
+     * Match strictness, strongest first:
+     *   "final-flip" — final report (TA+SP+LP) whose site order flipped
+     *   "ta-flip"    — pre-pruning candidate whose site order flipped
+     *   "final"      — final report, both sites present in the failing
+     *                  trace (order unchanged: the failure cut the run
+     *                  short before the reordered site re-executed)
+     *   "ta"         — same, pre-pruning candidate
+     */
+    std::string tier;
+};
+
+/**
+ * Map one failing run onto the monitored run's candidates.
+ * @param finalReports the pipeline's final reports (afterLp)
+ * @param afterTa the pre-pruning candidate list (fallback tier)
+ * @param monitored site order of the monitored (correct) trace
+ * @param failing site order of the failing explorer run's trace
+ */
+CrossValMatch
+crossValidate(const std::vector<detect::Candidate> &finalReports,
+              const std::vector<detect::Candidate> &afterTa,
+              const std::map<std::string, std::size_t> &monitored,
+              const std::map<std::string, std::size_t> &failing);
+
+} // namespace dcatch::explore
+
+#endif // DCATCH_EXPLORE_CROSSVAL_HH

@@ -1,0 +1,514 @@
+#include "explore/explorer.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "common/task_pool.hh"
+#include "common/util.hh"
+#include "dcatch/pipeline.hh"
+#include "explore/crossval.hh"
+#include "explore/shrink.hh"
+#include "replay/bundle.hh"
+#include "replay/driver.hh"
+#include "replay/policies.hh"
+#include "runtime/faults.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::explore {
+
+std::string
+PolicySpec::text() const
+{
+    switch (kind) {
+      case Kind::Random:
+        return "random";
+      case Kind::Pct:
+        return strprintf("pct:%d", param);
+      case Kind::DelayBounded:
+        return strprintf("delay:%d", param);
+    }
+    return "random";
+}
+
+namespace {
+
+/** Strict non-negative decimal parse. @throws std::invalid_argument */
+int
+parseParam(const std::string &what, const std::string &text)
+{
+    if (text.empty())
+        throw std::invalid_argument(
+            strprintf("%s requires a parameter (got '%s')",
+                      what.c_str(), text.c_str()));
+    std::size_t used = 0;
+    long long value = 0;
+    try {
+        value = std::stoll(text, &used);
+    } catch (const std::exception &) {
+        throw std::invalid_argument(strprintf(
+            "%s: '%s' is not a number", what.c_str(), text.c_str()));
+    }
+    if (used != text.size())
+        throw std::invalid_argument(strprintf(
+            "%s: '%s' is not a number", what.c_str(), text.c_str()));
+    if (value < 0 || value > 1'000'000)
+        throw std::invalid_argument(strprintf(
+            "%s: %lld is out of range [0, 1000000]", what.c_str(),
+            value));
+    return static_cast<int>(value);
+}
+
+} // namespace
+
+PolicySpec
+parsePolicySpec(const std::string &text)
+{
+    PolicySpec spec;
+    std::string name = text;
+    std::string param;
+    std::size_t colon = text.find(':');
+    if (colon != std::string::npos) {
+        name = text.substr(0, colon);
+        param = text.substr(colon + 1);
+    }
+    if (name == "random") {
+        if (colon != std::string::npos)
+            throw std::invalid_argument(
+                "policy 'random' takes no parameter");
+        spec.kind = PolicySpec::Kind::Random;
+        return spec;
+    }
+    if (name == "pct") {
+        spec.kind = PolicySpec::Kind::Pct;
+        spec.param = parseParam("pct", param);
+        return spec;
+    }
+    if (name == "delay") {
+        spec.kind = PolicySpec::Kind::DelayBounded;
+        spec.param = parseParam("delay", param);
+        return spec;
+    }
+    throw std::invalid_argument(strprintf(
+        "unknown policy '%s' (expected random, pct:<d>, delay:<k>)",
+        text.c_str()));
+}
+
+std::vector<PolicySpec>
+parsePolicyList(const std::string &text)
+{
+    std::vector<PolicySpec> specs;
+    std::set<std::string> seen;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        std::string item = comma == std::string::npos
+                               ? text.substr(start)
+                               : text.substr(start, comma - start);
+        PolicySpec spec = parsePolicySpec(item);
+        if (!seen.insert(spec.text()).second)
+            throw std::invalid_argument(strprintf(
+                "duplicate policy '%s'", spec.text().c_str()));
+        specs.push_back(spec);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    if (specs.empty())
+        throw std::invalid_argument("empty policy list");
+    return specs;
+}
+
+std::unique_ptr<sim::SchedulerPolicy>
+makePolicy(const PolicySpec &spec, std::uint64_t seed,
+           std::uint64_t horizon)
+{
+    switch (spec.kind) {
+      case PolicySpec::Kind::Random:
+        return std::make_unique<sim::RandomPolicy>(seed);
+      case PolicySpec::Kind::Pct:
+        return std::make_unique<sim::PctPolicy>(seed, spec.param,
+                                                horizon);
+      case PolicySpec::Kind::DelayBounded:
+        return std::make_unique<sim::DelayBoundedPolicy>(
+            seed, spec.param, horizon);
+    }
+    return std::make_unique<sim::RandomPolicy>(seed);
+}
+
+namespace {
+
+/** Injected-fault site family excluded from failure signatures. */
+bool
+isInjectedSite(const std::string &site)
+{
+    return site.rfind("fault.inject/", 0) == 0;
+}
+
+} // namespace
+
+std::string
+failureSignature(const sim::RunResult &run)
+{
+    std::set<std::string> parts;
+    for (const sim::FailureEvent &failure : run.failures)
+        if (!isInjectedSite(failure.site))
+            parts.insert(strprintf("%s@%s",
+                                   sim::failureKindName(failure.kind),
+                                   failure.site.c_str()));
+    if (run.status == sim::RunStatus::Completed && parts.empty())
+        return "";
+    std::string signature = sim::runStatusName(run.status);
+    for (const std::string &part : parts) {
+        signature += ';';
+        signature += part;
+    }
+    return signature;
+}
+
+bool
+isExploreFailure(const sim::RunResult &run)
+{
+    return !failureSignature(run).empty();
+}
+
+namespace {
+
+/** "pct:3" -> "pct3" (bundle directory names). */
+std::string
+sanitize(const std::string &text)
+{
+    std::string out;
+    for (char c : text)
+        if (c != ':')
+            out.push_back(c);
+    return out;
+}
+
+void
+fillFailureHeader(replay::ScheduleLog &log, const apps::Benchmark &bench,
+                  const sim::SimConfig &config,
+                  const std::string &label, const sim::Simulation &sim,
+                  const sim::RunResult &run)
+{
+    log.header = replay::headerFromConfig(config);
+    log.header.benchmarkId = bench.id;
+    log.header.label = label;
+    for (const sim::FailureEvent &failure : run.failures)
+        log.header.expectedFailureKinds.push_back(
+            sim::failureKindName(failure.kind));
+    log.header.traceChecksum = sim.tracer().store().contentDigest();
+    log.header.traceRecords = sim.tracer().store().totalRecords();
+}
+
+Json
+failureReportJson(const apps::Benchmark &bench, const RunRecord &rec,
+                  const sim::RunResult &run)
+{
+    Json failures = Json::array();
+    for (const sim::FailureEvent &failure : run.failures)
+        failures.push(Json::object()
+            .set("kind", Json::str(sim::failureKindName(failure.kind)))
+            .set("site", Json::str(failure.site))
+            .set("step", Json::num(static_cast<std::int64_t>(
+                failure.step))));
+    return Json::object()
+        .set("kind", Json::str("explore"))
+        .set("benchmark", Json::str(bench.id))
+        .set("policy", Json::str(rec.policy))
+        .set("seed",
+             Json::num(static_cast<std::int64_t>(rec.seed)))
+        .set("status", Json::str(rec.status))
+        .set("signature", Json::str(rec.signature))
+        .set("failures", std::move(failures));
+}
+
+} // namespace
+
+int
+CampaignResult::failures() const
+{
+    int count = 0;
+    for (const RunRecord &rec : runs)
+        count += rec.failed;
+    return count;
+}
+
+std::vector<std::string>
+CampaignResult::distinctSignatures() const
+{
+    std::set<std::string> out;
+    for (const RunRecord &rec : runs)
+        if (rec.failed)
+            out.insert(rec.signature);
+    return std::vector<std::string>(out.begin(), out.end());
+}
+
+bool
+CampaignResult::allFailuresCrossValidated() const
+{
+    for (const RunRecord &rec : runs)
+        if (rec.failed && !rec.crossValidated)
+            return false;
+    return true;
+}
+
+bool
+CampaignResult::allBundlesVerified() const
+{
+    for (const RunRecord &rec : runs)
+        if (rec.failed && !rec.replayVerified)
+            return false;
+    return true;
+}
+
+bool
+CampaignResult::allMinimizedVerified() const
+{
+    for (const RunRecord &rec : runs)
+        if (rec.failed && !rec.minimizedVerified)
+            return false;
+    return true;
+}
+
+Json
+CampaignResult::toJson() const
+{
+    Json policies = Json::array();
+    for (const PolicyCoverage &cov : coverage) {
+        Json signatures = Json::array();
+        for (const std::string &sig : cov.signatures)
+            signatures.push(Json::str(sig));
+        policies.push(Json::object()
+            .set("policy", Json::str(cov.policy))
+            .set("runs", Json::num(static_cast<std::int64_t>(cov.runs)))
+            .set("failures",
+                 Json::num(static_cast<std::int64_t>(cov.failures)))
+            .set("distinctSignatures", Json::num(
+                static_cast<std::int64_t>(cov.signatures.size())))
+            .set("signatures", std::move(signatures))
+            .set("branchPoints", Json::num(
+                static_cast<std::int64_t>(cov.branchPoints)))
+            .set("divergentChoices", Json::num(
+                static_cast<std::int64_t>(cov.divergentChoices))));
+    }
+    Json runsJson = Json::array();
+    for (const RunRecord &rec : runs) {
+        Json entry = Json::object()
+            .set("policy", Json::str(rec.policy))
+            .set("seed",
+                 Json::num(static_cast<std::int64_t>(rec.seed)))
+            .set("status", Json::str(rec.status))
+            .set("failed", Json::boolean(rec.failed))
+            .set("steps",
+                 Json::num(static_cast<std::int64_t>(rec.steps)));
+        if (rec.failed) {
+            entry.set("signature", Json::str(rec.signature))
+                .set("replayVerified", Json::boolean(rec.replayVerified))
+                .set("crossValidated",
+                     Json::boolean(rec.crossValidated))
+                .set("matchedPair", Json::str(rec.matchedPair))
+                .set("matchTier", Json::str(rec.matchTier))
+                .set("shrunkPrefix", Json::num(
+                    static_cast<std::int64_t>(rec.shrunkPrefix)))
+                .set("shrinkReplays", Json::num(
+                    static_cast<std::int64_t>(rec.shrinkReplays)))
+                .set("minimizedVerified",
+                     Json::boolean(rec.minimizedVerified));
+            if (!rec.bundleDir.empty())
+                entry.set("bundle", Json::str(rec.bundleDir))
+                    .set("minimizedBundle",
+                         Json::str(rec.minimizedBundleDir));
+        }
+        runsJson.push(std::move(entry));
+    }
+    return Json::object()
+        .set("benchmark", Json::str(benchmarkId))
+        .set("monitoredSteps",
+             Json::num(static_cast<std::int64_t>(monitoredSteps)))
+        .set("finalReports",
+             Json::num(static_cast<std::int64_t>(finalReportCount)))
+        .set("failures",
+             Json::num(static_cast<std::int64_t>(failures())))
+        .set("allFailuresCrossValidated",
+             Json::boolean(allFailuresCrossValidated()))
+        .set("allBundlesVerified", Json::boolean(allBundlesVerified()))
+        .set("allMinimizedVerified",
+             Json::boolean(allMinimizedVerified()))
+        .set("policies", std::move(policies))
+        .set("runs", std::move(runsJson));
+}
+
+CampaignResult
+explore(const apps::Benchmark &bench,
+        const std::vector<PolicySpec> &policies,
+        const ExploreOptions &options)
+{
+    if (policies.empty())
+        throw std::invalid_argument("explore: empty policy list");
+    if (options.runsPerPolicy < 1)
+        throw std::invalid_argument("explore: runsPerPolicy must be >= 1");
+
+    CampaignResult result;
+    result.benchmarkId = bench.id;
+
+    // Monitored stage: one correct FIFO run.  With cross-validation
+    // it is the full detection pipeline (we need the candidate lists
+    // and the monitored trace's site order); otherwise a bare run,
+    // just to size the exploration horizon.
+    std::map<std::string, std::size_t> monitoredOrder;
+    std::vector<detect::Candidate> finalReports, afterTa;
+    if (options.crossValidate) {
+        PipelineOptions po;
+        po.measureBase = false;
+        po.jobs = options.jobs;
+        PipelineResult monitored = runPipeline(bench, po);
+        if (monitored.monitoredRun.failed())
+            throw std::runtime_error(strprintf(
+                "explore: monitored run of %s failed: %s",
+                bench.id.c_str(),
+                monitored.monitoredRun.summary().c_str()));
+        monitoredOrder = siteFirstOccurrence(monitored.monitoredTrace);
+        finalReports = std::move(monitored.afterLp);
+        afterTa = std::move(monitored.afterTa);
+        result.monitoredSteps = monitored.monitoredRun.steps;
+        result.finalReportCount = finalReports.size();
+    } else {
+        sim::Simulation sim(bench.config);
+        bench.build(sim);
+        result.monitoredSteps = sim.run().steps;
+    }
+    const std::uint64_t horizon = result.monitoredSteps;
+
+    const std::size_t total =
+        policies.size() * static_cast<std::size_t>(options.runsPerPolicy);
+    std::vector<RunRecord> records(total);
+    TaskPool pool(TaskPool::resolveJobs(options.jobs));
+    pool.parallelFor(total, [&](std::size_t idx) {
+        const PolicySpec &spec = policies
+            [idx / static_cast<std::size_t>(options.runsPerPolicy)];
+        RunRecord &rec = records[idx];
+        rec.policy = spec.text();
+        rec.seed = options.seedBase + idx;
+
+        sim::SimConfig config = bench.config;
+        // The header's policy field is FIFO: replay installs a
+        // ReplayPolicy anyway, and the adversarial policy's identity
+        // lives in the label and the campaign JSON.
+        config.policy = sim::PolicyKind::Fifo;
+        config.seed = rec.seed;
+        config.maxSteps = std::min<std::uint64_t>(
+            config.maxSteps,
+            horizon * options.hangFactor + options.hangSlack);
+
+        sim::Simulation sim(config);
+        replay::ScheduleLog log;
+        sim.setSchedulerPolicy(std::make_unique<replay::RecordingPolicy>(
+            makePolicy(spec, rec.seed, horizon), log,
+            [&sim](int tid) { return sim.threadName(tid); }));
+        bench.build(sim);
+        sim::RunResult run = sim.run();
+
+        rec.status = sim::runStatusName(run.status);
+        rec.steps = run.steps;
+        rec.decisions = log.size();
+        rec.signature = failureSignature(run);
+        rec.failed = isExploreFailure(run);
+        for (std::size_t i = 0; i < log.size(); ++i) {
+            const replay::Decision &decision = log.at(i);
+            if (decision.runnable.size() < 2)
+                continue;
+            ++rec.branchPoints;
+            if (decision.chosen !=
+                decision.runnable[i % decision.runnable.size()])
+                ++rec.divergentChoices;
+        }
+        if (!rec.failed)
+            return;
+
+        fillFailureHeader(log, bench, config,
+                          strprintf("explore %s seed %llu",
+                                    rec.policy.c_str(),
+                                    (unsigned long long)rec.seed),
+                          sim, run);
+
+        if (options.crossValidate) {
+            CrossValMatch match = crossValidate(
+                finalReports, afterTa, monitoredOrder,
+                siteFirstOccurrence(sim.tracer().store()));
+            rec.crossValidated = match.matched;
+            rec.matchedPair = match.pairKey;
+            rec.matchTier = match.tier;
+        }
+
+        // Capture before shrink: the bundle holds the *original*
+        // failing schedule; the minimized one goes alongside it.
+        if (!options.bundleDir.empty()) {
+            rec.bundleDir = replay::writeBundle(
+                strprintf("%s/%s-%s-seed%llu",
+                          options.bundleDir.c_str(), bench.id.c_str(),
+                          sanitize(rec.policy).c_str(),
+                          (unsigned long long)rec.seed),
+                log, failureReportJson(bench, rec, run).dump());
+            rec.replayVerified =
+                replay::replayLog(replay::loadBundleLog(rec.bundleDir))
+                    .identical();
+        } else {
+            rec.replayVerified = replay::replayLog(log).identical();
+        }
+
+        if (options.shrink) {
+            ShrinkOptions so;
+            so.maxReplays = options.shrinkBudget;
+            ShrinkResult shrunk =
+                shrinkSchedule(bench, log, rec.signature, so);
+            rec.shrunkPrefix = shrunk.divergencePrefix;
+            rec.shrinkReplays = shrunk.replaysUsed;
+            rec.minimizedSignature = shrunk.signature;
+            if (!options.bundleDir.empty()) {
+                rec.minimizedBundleDir = replay::writeBundle(
+                    rec.bundleDir + "-min", shrunk.minimized,
+                    failureReportJson(bench, rec, run)
+                        .set("shrunkPrefix", Json::num(
+                            static_cast<std::int64_t>(
+                                shrunk.divergencePrefix)))
+                        .dump());
+                rec.minimizedVerified =
+                    replay::replayLog(
+                        replay::loadBundleLog(rec.minimizedBundleDir))
+                        .identical();
+            } else {
+                rec.minimizedVerified =
+                    replay::replayLog(shrunk.minimized).identical();
+            }
+        } else {
+            rec.minimizedVerified = rec.replayVerified;
+        }
+    });
+    result.runs = std::move(records);
+
+    // Policy-ordered aggregation (deterministic for any job count:
+    // records are merged in campaign-index order).
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+        PolicyCoverage cov;
+        cov.policy = policies[p].text();
+        std::set<std::string> signatures;
+        for (int i = 0; i < options.runsPerPolicy; ++i) {
+            const RunRecord &rec = result.runs
+                [p * static_cast<std::size_t>(options.runsPerPolicy) +
+                 static_cast<std::size_t>(i)];
+            ++cov.runs;
+            cov.failures += rec.failed;
+            cov.branchPoints += rec.branchPoints;
+            cov.divergentChoices += rec.divergentChoices;
+            if (rec.failed)
+                signatures.insert(rec.signature);
+        }
+        cov.signatures.assign(signatures.begin(), signatures.end());
+        result.coverage.push_back(std::move(cov));
+    }
+    return result;
+}
+
+} // namespace dcatch::explore

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Schedule-space exploration harness (docs/exploration.md).
+ *
+ * DCatch *predicts* distributed concurrency bugs from one monitored
+ * correct run; the explorer attacks the same benchmarks from the
+ * opposite direction, running the workload under adversarial
+ * scheduling policies — PCT-style random priorities, delay-bounded
+ * round-robin, pure random — across many seeds and capturing every
+ * run that fails (assertion aborts, node crashes outside injected
+ * faults, deadlocks, step-budget hangs) as a replay-verified repro
+ * bundle.  Each failing schedule is then delta-debugged down to its
+ * minimal divergence prefix (explore/shrink.hh) and cross-validated
+ * against the detector's candidate list (explore/crossval.hh): a
+ * failure the explorer can produce but DCatch did not predict is a
+ * false negative.
+ */
+
+#ifndef DCATCH_EXPLORE_EXPLORER_HH
+#define DCATCH_EXPLORE_EXPLORER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/benchmark.hh"
+#include "common/json.hh"
+#include "runtime/scheduler.hh"
+#include "runtime/types.hh"
+
+namespace dcatch::explore {
+
+/** One adversarial scheduling policy the campaign fans over. */
+struct PolicySpec
+{
+    enum class Kind {
+        Random,       ///< seeded uniform-random (sim::RandomPolicy)
+        Pct,          ///< PCT random priorities (sim::PctPolicy)
+        DelayBounded, ///< delay-bounded round-robin
+    };
+
+    Kind kind = Kind::Random;
+    /** PCT depth d / delay budget; unused for Random. */
+    int param = 0;
+
+    /** Canonical text: "random", "pct:<d>", "delay:<k>". */
+    std::string text() const;
+};
+
+/**
+ * Parse one policy spec: "random", "pct:<d>" or "delay:<k>" with a
+ * non-negative decimal parameter.
+ * @throws std::invalid_argument on anything else
+ */
+PolicySpec parsePolicySpec(const std::string &text);
+
+/**
+ * Parse a comma-separated policy list; must be non-empty and free of
+ * duplicates.  @throws std::invalid_argument
+ */
+std::vector<PolicySpec> parsePolicyList(const std::string &text);
+
+/** Instantiate the scheduler policy a spec names. @p horizon is the
+ *  step range PCT change points / delay points are spread over
+ *  (typically the monitored run's step count). */
+std::unique_ptr<sim::SchedulerPolicy>
+makePolicy(const PolicySpec &spec, std::uint64_t seed,
+           std::uint64_t horizon);
+
+/**
+ * Canonical failure signature of a run: the run status followed by
+ * every "kind@site" failure, sorted and deduplicated, *excluding*
+ * failures at injected-fault sites (sim::kInjectedCrashSite) — those
+ * are the workload's doing, not the schedule's.  Empty for a fully
+ * correct run.
+ */
+std::string failureSignature(const sim::RunResult &run);
+
+/** True when a run counts as an exploration failure: non-Completed
+ *  status or any failure outside injected-fault sites. */
+bool isExploreFailure(const sim::RunResult &run);
+
+/** Campaign configuration. */
+struct ExploreOptions
+{
+    int runsPerPolicy = 10;
+    /** Worker threads (TaskPool::resolveJobs semantics: 0 = hardware
+     *  concurrency).  Results are byte-identical for every value. */
+    int jobs = 1;
+    /** Seed of run i under policy p is seedBase + p * runsPerPolicy
+     *  + i (the flat campaign index). */
+    std::uint64_t seedBase = 1;
+    /** Write failing-run bundles under this directory; empty = keep
+     *  logs in memory only (replay verification still runs). */
+    std::string bundleDir;
+    bool shrink = true;
+    std::uint64_t shrinkBudget = 64;
+    /** Step-budget watchdog: adversarial runs are cut off at
+     *  monitoredSteps * hangFactor + hangSlack and reported as
+     *  "step-limit" failures (hangs). */
+    std::uint64_t hangFactor = 8;
+    std::uint64_t hangSlack = 5000;
+    /** Run the full detection pipeline on the monitored run and map
+     *  every failure back to its candidate list. */
+    bool crossValidate = true;
+};
+
+/** Everything one campaign run produced. */
+struct RunRecord
+{
+    std::string policy; ///< canonical spec text
+    std::uint64_t seed = 0;
+    std::string status; ///< sim::runStatusName
+    bool failed = false;
+    std::string signature; ///< failureSignature ("" when passed)
+    std::uint64_t steps = 0;
+    std::uint64_t decisions = 0;
+    /** Decisions with more than one runnable thread. */
+    std::uint64_t branchPoints = 0;
+    /** Branch points where the pick differs from FIFO's. */
+    std::uint64_t divergentChoices = 0;
+
+    /// @{ @name Failing runs only
+    std::string bundleDir;      ///< written bundle ("" when not kept)
+    bool replayVerified = false; ///< bundle replays identically
+    bool crossValidated = false; ///< mapped to a DCatch candidate
+    std::string matchedPair;     ///< candidate site-pair key
+    std::string matchTier;       ///< crossval.hh tier string
+    std::uint64_t shrunkPrefix = 0;  ///< minimal divergence prefix
+    std::uint64_t shrinkReplays = 0; ///< shrink candidate evaluations
+    std::string minimizedBundleDir;
+    bool minimizedVerified = false; ///< minimized bundle replays
+                                    ///< identically (byte-for-byte)
+    std::string minimizedSignature; ///< must equal signature
+    /// @}
+};
+
+/** Per-policy aggregate for the coverage report. */
+struct PolicyCoverage
+{
+    std::string policy;
+    int runs = 0;
+    int failures = 0;
+    std::vector<std::string> signatures; ///< distinct, sorted
+    std::uint64_t branchPoints = 0;
+    std::uint64_t divergentChoices = 0;
+};
+
+/** Full campaign result over one benchmark. */
+struct CampaignResult
+{
+    std::string benchmarkId;
+    std::uint64_t monitoredSteps = 0; ///< FIFO run length (horizon)
+    std::size_t finalReportCount = 0; ///< |afterLp| (crossValidate)
+    std::vector<RunRecord> runs;      ///< campaign order
+    std::vector<PolicyCoverage> coverage; ///< policy input order
+
+    int failures() const;
+    /** Distinct failure signatures across all policies. */
+    std::vector<std::string> distinctSignatures() const;
+    bool allFailuresCrossValidated() const;
+    bool allBundlesVerified() const;
+    bool allMinimizedVerified() const;
+
+    Json toJson() const;
+};
+
+/** Run one exploration campaign. */
+CampaignResult explore(const apps::Benchmark &bench,
+                       const std::vector<PolicySpec> &policies,
+                       const ExploreOptions &options);
+
+} // namespace dcatch::explore
+
+#endif // DCATCH_EXPLORE_EXPLORER_HH

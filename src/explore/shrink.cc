@@ -1,0 +1,102 @@
+#include "explore/shrink.hh"
+
+#include <utility>
+
+#include "common/util.hh"
+#include "explore/explorer.hh"
+#include "replay/policies.hh"
+#include "runtime/sim.hh"
+
+namespace dcatch::explore {
+
+namespace {
+
+/** One candidate evaluation: recorded prefix + FIFO continuation. */
+struct Attempt
+{
+    bool reproduced = false;
+    replay::ScheduleLog recorded;
+    std::string signature;
+};
+
+Attempt
+runPrefix(const apps::Benchmark &bench, const replay::ScheduleLog &log,
+          std::size_t prefix, const std::string &target_signature)
+{
+    Attempt attempt;
+    sim::Simulation sim(replay::configFromHeader(log.header));
+    sim.setSchedulerPolicy(std::make_unique<replay::RecordingPolicy>(
+        std::make_unique<replay::PrefixReplayPolicy>(
+            log, prefix, std::make_unique<sim::FifoPolicy>(),
+            [&sim](int tid) { return sim.threadLabel(tid); }),
+        attempt.recorded,
+        [&sim](int tid) { return sim.threadName(tid); }));
+    bench.build(sim);
+    sim::RunResult run;
+    try {
+        run = sim.run();
+    } catch (const replay::ReplayDivergenceError &) {
+        // The prefix itself comes from a deterministic recording, so
+        // this only fires if the substrate lost determinism — treat
+        // the candidate as infeasible rather than crash the shrink.
+        return attempt;
+    }
+    attempt.signature = failureSignature(run);
+    if (attempt.signature != target_signature)
+        return attempt;
+    attempt.reproduced = true;
+
+    replay::ScheduleHeader header = log.header;
+    header.expectedFailureKinds.clear();
+    for (const sim::FailureEvent &failure : run.failures)
+        header.expectedFailureKinds.push_back(
+            sim::failureKindName(failure.kind));
+    header.traceChecksum = sim.tracer().store().contentDigest();
+    header.traceRecords = sim.tracer().store().totalRecords();
+    header.label = strprintf(
+        "%s (shrunk to %zu-decision prefix)",
+        log.header.label.c_str(), prefix);
+    attempt.recorded.header = std::move(header);
+    return attempt;
+}
+
+} // namespace
+
+ShrinkResult
+shrinkSchedule(const apps::Benchmark &bench,
+               const replay::ScheduleLog &log,
+               const std::string &target_signature,
+               const ShrinkOptions &options)
+{
+    ShrinkResult result;
+    result.originalDecisions = log.size();
+    result.signature = target_signature;
+    result.minimized = log;
+    result.divergencePrefix = log.size();
+
+    // Greedy tail-chunk removal, halving: repeatedly cut `chunk`
+    // decisions off the known-good prefix while the failure still
+    // reproduces; on the first miss, halve the chunk.  chunk == 1 is
+    // the single-decision pass that certifies local minimality.
+    std::size_t best = log.size();
+    std::size_t chunk = best == 0 ? 0 : (best + 1) / 2;
+    while (chunk >= 1 && result.replaysUsed < options.maxReplays) {
+        while (best > 0 && result.replaysUsed < options.maxReplays) {
+            std::size_t candidate = best > chunk ? best - chunk : 0;
+            ++result.replaysUsed;
+            Attempt attempt =
+                runPrefix(bench, log, candidate, target_signature);
+            if (!attempt.reproduced)
+                break;
+            best = candidate;
+            result.minimized = std::move(attempt.recorded);
+            result.divergencePrefix = best;
+        }
+        if (chunk == 1)
+            break;
+        chunk /= 2;
+    }
+    return result;
+}
+
+} // namespace dcatch::explore

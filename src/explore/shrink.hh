@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Delta-debugging shrinker for recorded failing schedules.
+ *
+ * A failing explorer run is captured as a ScheduleLog — potentially
+ * thousands of decisions, most of them irrelevant to the failure.
+ * The shrinker searches for the *minimal divergence prefix*: the
+ * shortest prefix of the recorded decisions that still reproduces the
+ * same failure signature when the rest of the run is completed under
+ * plain deterministic FIFO.  Each candidate is evaluated by actually
+ * re-running the benchmark under a PrefixReplayPolicy (recorded
+ * prefix, FIFO fallback); the successful candidate's own recording
+ * becomes the minimized log, so the minimized bundle replays
+ * byte-for-byte like any other bundle.
+ *
+ * Search: greedy tail-chunk removal with halving chunk sizes (try
+ * dropping the last half, then quarters, ... down to single
+ * decisions), i.e. ddmin specialized to prefixes — the only shapes a
+ * deterministic scheduler can re-drive, since removing a *middle*
+ * decision invalidates every later runnable set.
+ */
+
+#ifndef DCATCH_EXPLORE_SHRINK_HH
+#define DCATCH_EXPLORE_SHRINK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "apps/benchmark.hh"
+#include "replay/schedule_log.hh"
+
+namespace dcatch::explore {
+
+/** Shrink search knobs. */
+struct ShrinkOptions
+{
+    /** Replay budget: candidate evaluations before giving up with the
+     *  best prefix found so far. */
+    std::uint64_t maxReplays = 64;
+};
+
+/** Result of shrinking one failing schedule. */
+struct ShrinkResult
+{
+    /** Full recording of the minimized run (prefix + FIFO
+     *  continuation); replays identically via replay::replayLog. */
+    replay::ScheduleLog minimized;
+    /** Minimal recorded-prefix length that still fails. */
+    std::uint64_t divergencePrefix = 0;
+    /** Candidate evaluations spent. */
+    std::uint64_t replaysUsed = 0;
+    /** Failure signature of the minimized run (== the target). */
+    std::string signature;
+    /** Decision count of the original (unshrunk) log. */
+    std::uint64_t originalDecisions = 0;
+    /** True when the prefix is shorter than the original log. */
+    bool
+    changed() const
+    {
+        return divergencePrefix < originalDecisions;
+    }
+};
+
+/**
+ * Shrink @p log (a recorded failing run of @p bench) toward the
+ * minimal divergence prefix reproducing @p target_signature
+ * (explore::failureSignature of the original run).
+ */
+ShrinkResult shrinkSchedule(const apps::Benchmark &bench,
+                            const replay::ScheduleLog &log,
+                            const std::string &target_signature,
+                            const ShrinkOptions &options = {});
+
+} // namespace dcatch::explore
+
+#endif // DCATCH_EXPLORE_SHRINK_HH

@@ -157,6 +157,24 @@ ReplayPolicy::pick(const std::vector<int> &runnable, std::uint64_t)
     return expected.chosen;
 }
 
+PrefixReplayPolicy::PrefixReplayPolicy(
+    const ScheduleLog &log, std::size_t limit,
+    std::unique_ptr<sim::SchedulerPolicy> fallback,
+    std::function<std::string(int)> thread_label)
+    : replay_(log, std::move(thread_label)),
+      limit_(std::min(limit, log.size())), fallback_(std::move(fallback))
+{
+}
+
+int
+PrefixReplayPolicy::pick(const std::vector<int> &runnable,
+                         std::uint64_t step)
+{
+    if (replay_.consumed() < limit_)
+        return replay_.pick(runnable, step);
+    return fallback_->pick(runnable, step);
+}
+
 void
 attachRecorder(sim::Simulation &sim, ScheduleLog &log)
 {

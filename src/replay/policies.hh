@@ -120,6 +120,45 @@ class ReplayPolicy : public sim::SchedulerPolicy
 };
 
 /**
+ * Replays the first @p limit decisions of a log, then hands control
+ * to a fallback policy instead of raising "schedule log exhausted" —
+ * the primitive behind schedule shrinking (docs/exploration.md): a
+ * failing run is re-driven from a *prefix* of its recorded decisions
+ * and completed under plain FIFO to test whether the suffix was
+ * necessary for the failure.  Within the prefix it is exactly as
+ * strict as ReplayPolicy: any mismatch raises a structured
+ * ReplayDivergenceError (which shrinking treats as "candidate
+ * infeasible", e.g. after flipping an earlier decision).
+ */
+class PrefixReplayPolicy : public sim::SchedulerPolicy
+{
+  public:
+    /**
+     * @param log recorded decisions; must outlive this policy
+     * @param limit replay the first min(limit, log.size()) decisions
+     * @param fallback policy driving every later step (must not be
+     *        null; the step numbers it sees continue past the prefix)
+     * @param thread_label live diagnostic labels for divergence
+     *        reports (may be empty)
+     */
+    PrefixReplayPolicy(const ScheduleLog &log, std::size_t limit,
+                       std::unique_ptr<sim::SchedulerPolicy> fallback,
+                       std::function<std::string(int)> thread_label = {});
+
+    /** @throws ReplayDivergenceError on a mismatch inside the prefix */
+    int pick(const std::vector<int> &runnable,
+             std::uint64_t step) override;
+
+    /** Prefix decisions consumed so far. */
+    std::uint64_t consumed() const { return replay_.consumed(); }
+
+  private:
+    ReplayPolicy replay_;
+    std::size_t limit_;
+    std::unique_ptr<sim::SchedulerPolicy> fallback_;
+};
+
+/**
  * Wrap @p sim's configured policy in a RecordingPolicy targeting
  * @p log.  Must be called before sim.run(); the log must outlive the
  * simulation's run.  The caller still owns the log and is responsible

@@ -18,23 +18,36 @@
 
 namespace dcatch::sim {
 
+/** Site id stamped on injected crashes; failure-signature logic (the
+ *  schedule explorer foremost) uses the prefix to tell injected
+ *  faults apart from organic failures. */
+inline constexpr const char *kInjectedCrashSite = "fault.inject/crash";
+
 /**
- * Crash @p node_name after the injector thread has yielded
- * @p after_pauses times (a deterministic point under the FIFO
- * policy).  The crash is recorded as an Abort failure at
- * @p site ("fault.inject/crash" by default), every thread of the
- * node unwinds at its next operation, in-flight RPCs to the node
- * fail with "__error" = "node_crashed", and queued messages to it
- * are dropped.
+ * Crash @p node_name at the first scheduling point at or after
+ * scheduler step @p at_step.  The injection is keyed off the global
+ * step count, so the crash point is the same under *any* scheduling
+ * policy — FIFO, seeded-random, or the explorer's adversarial
+ * PCT/delay-bounded policies — and replays exactly from a recorded
+ * schedule.  (The historical variant counted the injector thread's
+ * own pauses, which drifted with how often each policy admitted the
+ * injector.)
+ *
+ * The crash is recorded as an Abort failure at @p site
+ * (kInjectedCrashSite by default), every thread of the node unwinds
+ * at its next operation, in-flight RPCs to the node fail with
+ * "__error" = "node_crashed", and queued messages to it are dropped.
  */
 inline void
 injectCrash(Simulation &sim, const std::string &node_name,
-            int after_pauses, const char *site = "fault.inject/crash")
+            std::uint64_t at_step, const char *site = kInjectedCrashSite)
 {
     Node &node = sim.node(node_name);
     sim.spawn(nullptr, node, node_name + ".faultInjector",
-              [after_pauses, site](ThreadContext &ctx) {
-                  ctx.pause(after_pauses);
+              [&sim, at_step, site](ThreadContext &ctx) {
+                  ctx.blockUntil([&sim, at_step] {
+                      return sim.scheduler().steps() >= at_step;
+                  });
                   ctx.abortNode(site, "injected crash");
               },
               /*daemon=*/true);

@@ -1,5 +1,6 @@
 #include "runtime/scheduler.hh"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.hh"
@@ -14,17 +15,92 @@ struct ThreadKilled {};
 } // namespace
 
 int
-FifoPolicy::pick(const std::vector<int> &runnable, std::uint64_t)
+FifoPolicy::pick(const std::vector<int> &runnable, std::uint64_t step)
 {
-    int choice = runnable[cursor_ % runnable.size()];
-    ++cursor_;
-    return choice;
+    // step is 1-based, so (step - 1) is the number of prior picks —
+    // identical to the historical cursor-based round-robin.
+    return runnable[(step - 1) % runnable.size()];
 }
 
 int
-RandomPolicy::pick(const std::vector<int> &runnable, std::uint64_t)
+RandomPolicy::pick(const std::vector<int> &runnable, std::uint64_t step)
 {
-    return runnable[rng_.nextBelow(runnable.size())];
+    // The step-th draw of Rng(seed_), computed statelessly: draw
+    // sequences (and thus recorded schedules) are byte-identical to
+    // the old advancing-Rng implementation.
+    return runnable[Rng::mix(seed_ + step * Rng::kGamma) %
+                    runnable.size()];
+}
+
+namespace {
+
+/** Ascending list of @p count hash-chosen steps in [1, horizon]. */
+std::vector<std::uint64_t>
+hashSteps(std::uint64_t seed, int count, std::uint64_t horizon)
+{
+    if (horizon == 0)
+        horizon = 1;
+    Rng rng(seed);
+    std::vector<std::uint64_t> steps;
+    steps.reserve(static_cast<std::size_t>(count < 0 ? 0 : count));
+    for (int i = 0; i < count; ++i)
+        steps.push_back(1 + rng.nextBelow(horizon));
+    std::sort(steps.begin(), steps.end());
+    return steps;
+}
+
+} // namespace
+
+PctPolicy::PctPolicy(std::uint64_t seed, int depth, std::uint64_t horizon)
+    : seed_(seed),
+      changeSteps_(hashSteps(seed ^ 0xc2b2ae3d27d4eb4full, depth, horizon))
+{
+}
+
+std::uint64_t
+PctPolicy::epoch(std::uint64_t step) const
+{
+    return static_cast<std::uint64_t>(
+        std::upper_bound(changeSteps_.begin(), changeSteps_.end(), step) -
+        changeSteps_.begin());
+}
+
+int
+PctPolicy::pick(const std::vector<int> &runnable, std::uint64_t step)
+{
+    // Highest (seed, epoch, tid)-hashed priority runs; ties (never in
+    // practice with 64-bit draws) break toward the lower tid.
+    std::uint64_t e = epoch(step);
+    int best = runnable.front();
+    std::uint64_t best_prio = 0;
+    for (int tid : runnable) {
+        std::uint64_t prio = Rng::mix(
+            seed_ + e * 0x9e3779b97f4a7c15ull +
+            static_cast<std::uint64_t>(tid) * 0xbf58476d1ce4e5b9ull);
+        if (tid == runnable.front() || prio > best_prio) {
+            best = tid;
+            best_prio = prio;
+        }
+    }
+    return best;
+}
+
+DelayBoundedPolicy::DelayBoundedPolicy(std::uint64_t seed, int budget,
+                                       std::uint64_t horizon)
+    : delaySteps_(hashSteps(seed ^ 0x94d049bb133111ebull, budget, horizon))
+{
+}
+
+int
+DelayBoundedPolicy::pick(const std::vector<int> &runnable,
+                         std::uint64_t step)
+{
+    // Round-robin shifted once per spent delay: each delay point
+    // skips the thread FIFO would have admitted at that step.
+    std::uint64_t spent = static_cast<std::uint64_t>(
+        std::upper_bound(delaySteps_.begin(), delaySteps_.end(), step) -
+        delaySteps_.begin());
+    return runnable[(step - 1 + spent) % runnable.size()];
 }
 
 std::unique_ptr<SchedulerPolicy>

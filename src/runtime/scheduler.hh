@@ -35,7 +35,20 @@ enum class ThreadState {
     Finished, ///< body returned (or thread was killed)
 };
 
-/** Pluggable choice of which runnable thread to admit next. */
+/**
+ * Pluggable choice of which runnable thread to admit next.
+ *
+ * Purity contract: every concrete base policy (FIFO, random, PCT,
+ * delay-bounded) is a *pure function* of (constructor parameters,
+ * runnable, step) — no mutable state, no dependence on call history.
+ * The scheduler calls pick() exactly once per step with consecutive
+ * 1-based step numbers, but a pure policy answers the same for any
+ * query order, which is what lets the schedule-space shrinker replay
+ * a decision prefix and re-derive the continuation from the policy
+ * alone (docs/exploration.md).  Decorators that are inherently
+ * stateful (RecordingPolicy, ReplayPolicy, PrefixReplayPolicy) are
+ * exempt: they wrap base policies rather than make choices.
+ */
 class SchedulerPolicy
 {
   public:
@@ -43,34 +56,83 @@ class SchedulerPolicy
 
     /**
      * Pick the next thread to run.
-     * @param runnable non-empty list of runnable thread ids
-     * @param step current scheduler step
+     * @param runnable non-empty list of runnable thread ids,
+     *        strictly ascending
+     * @param step current scheduler step (1-based; the scheduler
+     *        increments before picking)
      * @return an element of @p runnable
      */
     virtual int pick(const std::vector<int> &runnable,
                      std::uint64_t step) = 0;
 };
 
-/** Deterministic round-robin policy. */
+/** Deterministic round-robin policy: runnable[(step - 1) % size]. */
 class FifoPolicy : public SchedulerPolicy
 {
   public:
     int pick(const std::vector<int> &runnable, std::uint64_t step) override;
-
-  private:
-    std::size_t cursor_ = 0;
 };
 
 /** Seeded uniform-random policy. */
 class RandomPolicy : public SchedulerPolicy
 {
   public:
-    explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+    explicit RandomPolicy(std::uint64_t seed) : seed_(seed) {}
 
     int pick(const std::vector<int> &runnable, std::uint64_t step) override;
 
   private:
-    Rng rng_;
+    std::uint64_t seed_;
+};
+
+/**
+ * PCT-style random-priority policy (probabilistic concurrency
+ * testing): every thread gets a random base priority drawn from
+ * (seed, tid), the highest-priority runnable thread runs, and at
+ * @p depth hash-chosen priority-change steps within @p horizon all
+ * priorities are re-drawn — a reshuffle variant of PCT's demotion
+ * points, chosen because it keeps pick() a pure function of
+ * (seed, runnable, step), which prefix-replay shrinking relies on.
+ */
+class PctPolicy : public SchedulerPolicy
+{
+  public:
+    /**
+     * @param seed randomness source for priorities and change points
+     * @param depth number of priority-change points (PCT's d); 0
+     *        degenerates to a fixed random priority order
+     * @param horizon step range [1, horizon] the change points are
+     *        spread over (use the expected run length)
+     */
+    PctPolicy(std::uint64_t seed, int depth, std::uint64_t horizon);
+
+    int pick(const std::vector<int> &runnable, std::uint64_t step) override;
+
+  private:
+    /** Number of change points at or before @p step. */
+    std::uint64_t epoch(std::uint64_t step) const;
+
+    std::uint64_t seed_;
+    std::vector<std::uint64_t> changeSteps_; ///< ascending, size depth
+};
+
+/**
+ * Delay-bounded round-robin: FIFO order perturbed by at most
+ * @p budget scheduling delays, each at a hash-chosen step within
+ * @p horizon; a delay skips the thread FIFO would have run (shifts
+ * the round-robin cursor by one from that step on).  Pure function
+ * of (seed, runnable, step).
+ */
+class DelayBoundedPolicy : public SchedulerPolicy
+{
+  public:
+    DelayBoundedPolicy(std::uint64_t seed, int budget,
+                       std::uint64_t horizon);
+
+    int pick(const std::vector<int> &runnable, std::uint64_t step) override;
+
+  private:
+    std::vector<std::uint64_t> delaySteps_; ///< ascending, size budget
 };
 
 /** Create a policy instance from a SimConfig. */

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Property tests of the scheduler-policy purity contract
+ * (runtime/scheduler.hh): every base policy — FIFO, random, PCT,
+ * delay-bounded — (1) always returns an element of the runnable set,
+ * (2) never starves a lone runnable thread, and (3) is a pure
+ * function of (constructor parameters, runnable, step): two fresh
+ * instances with the same parameters agree on every query, in any
+ * query order, with repetition.  The schedule-space shrinker's
+ * prefix-replay depends on (3): it re-derives a policy's continuation
+ * without replaying its call history.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "runtime/scheduler.hh"
+
+namespace dcatch::sim {
+namespace {
+
+struct PolicyCase
+{
+    std::string name;
+    std::function<std::unique_ptr<SchedulerPolicy>()> make;
+};
+
+/** Every base policy, across several seeds and parameter shapes. */
+std::vector<PolicyCase>
+policyCases()
+{
+    std::vector<PolicyCase> cases;
+    cases.push_back({"fifo", [] {
+        return std::make_unique<FifoPolicy>();
+    }});
+    for (std::uint64_t seed : {1ull, 42ull, 0xdecafull}) {
+        cases.push_back({"random/" + std::to_string(seed), [seed] {
+            return std::make_unique<RandomPolicy>(seed);
+        }});
+        for (int depth : {0, 3, 16})
+            cases.push_back(
+                {"pct:" + std::to_string(depth) + "/" +
+                     std::to_string(seed),
+                 [seed, depth] {
+                     return std::make_unique<PctPolicy>(seed, depth,
+                                                        500);
+                 }});
+        for (int budget : {1, 2, 8})
+            cases.push_back(
+                {"delay:" + std::to_string(budget) + "/" +
+                     std::to_string(seed),
+                 [seed, budget] {
+                     return std::make_unique<DelayBoundedPolicy>(
+                         seed, budget, 500);
+                 }});
+    }
+    return cases;
+}
+
+/** Deterministic pseudo-random strictly-ascending runnable set for
+ *  query @p index: 1..6 tids drawn from [0, 16). */
+std::vector<int>
+runnableSet(std::uint64_t index)
+{
+    std::uint64_t h = Rng::mix(0x9e3779b97f4a7c15ull + index);
+    std::size_t size = 1 + h % 6;
+    std::vector<int> tids;
+    for (int tid = 0; tid < 16 && tids.size() < size; ++tid) {
+        h = Rng::mix(h + tid);
+        if (h % 3 == 0)
+            tids.push_back(tid);
+    }
+    if (tids.empty())
+        tids.push_back(static_cast<int>(h % 16));
+    return tids;
+}
+
+TEST(PolicyInvariantsTest, PickIsAlwaysAMemberOfRunnable)
+{
+    for (const PolicyCase &pc : policyCases()) {
+        auto policy = pc.make();
+        for (std::uint64_t step = 1; step <= 400; ++step) {
+            std::vector<int> runnable = runnableSet(step);
+            int chosen = policy->pick(runnable, step);
+            EXPECT_TRUE(std::count(runnable.begin(), runnable.end(),
+                                   chosen))
+                << pc.name << " step " << step << " chose t" << chosen;
+        }
+    }
+}
+
+TEST(PolicyInvariantsTest, LoneRunnableThreadIsNeverStarved)
+{
+    for (const PolicyCase &pc : policyCases()) {
+        auto policy = pc.make();
+        for (std::uint64_t step = 1; step <= 400; ++step) {
+            int tid = static_cast<int>(Rng::mix(step) % 16);
+            EXPECT_EQ(policy->pick({tid}, step), tid)
+                << pc.name << " step " << step;
+        }
+    }
+}
+
+TEST(PolicyInvariantsTest, PickIsAPureFunctionOfSeedRunnableStep)
+{
+    for (const PolicyCase &pc : policyCases()) {
+        // Record a forward pass on one fresh instance...
+        auto forward = pc.make();
+        std::vector<int> picks;
+        for (std::uint64_t step = 1; step <= 200; ++step)
+            picks.push_back(forward->pick(runnableSet(step), step));
+
+        // ...then replay the queries on a second fresh instance in
+        // *reverse* order, with each query asked twice.  A policy
+        // with hidden mutable state (an RNG stream, a cursor) would
+        // disagree; a pure function cannot.
+        auto backward = pc.make();
+        for (std::uint64_t step = 200; step >= 1; --step) {
+            std::vector<int> runnable = runnableSet(step);
+            int first = backward->pick(runnable, step);
+            int again = backward->pick(runnable, step);
+            EXPECT_EQ(first, picks[step - 1])
+                << pc.name << " step " << step
+                << " depends on call history";
+            EXPECT_EQ(again, first)
+                << pc.name << " step " << step << " is not idempotent";
+        }
+    }
+}
+
+TEST(PolicyInvariantsTest, FifoIsRoundRobin)
+{
+    FifoPolicy fifo;
+    std::vector<int> runnable = {2, 5, 9};
+    for (std::uint64_t step = 1; step <= 9; ++step)
+        EXPECT_EQ(fifo.pick(runnable, step),
+                  runnable[(step - 1) % runnable.size()])
+            << "step " << step;
+}
+
+TEST(PolicyInvariantsTest, DistinctSeedsDiversifySchedules)
+{
+    // Not an invariant of any single policy, but the reason the
+    // explorer fans over seeds: across 64 seeds the random policy
+    // must exercise more than one choice at a 4-way branch point.
+    std::vector<int> runnable = {0, 1, 2, 3};
+    std::vector<int> seen;
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        RandomPolicy policy(seed);
+        int chosen = policy.pick(runnable, 7);
+        if (!std::count(seen.begin(), seen.end(), chosen))
+            seen.push_back(chosen);
+    }
+    EXPECT_GT(seen.size(), 1u);
+}
+
+} // namespace
+} // namespace dcatch::sim

@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <functional>
+
 #include "replay/schedule_log.hh"
 
 namespace dcatch::replay {
@@ -163,6 +166,122 @@ TEST(ScheduleLogTest, DecodeRejectsTrailingGarbage)
 {
     std::string bytes = sampleLog().encode() + "junk";
     EXPECT_THROW(ScheduleLog::decode(bytes), ScheduleLogError);
+}
+
+// --- Table-driven corruption paths ---------------------------------
+//
+// Mirrors the malformed-trace-line tests: every way the on-disk bytes
+// can rot must surface as a ScheduleLogError whose message names the
+// failure, never as garbage data or UB.  Mutations that keep the
+// checksum valid (re-checksummed below) prove the *structural* checks
+// fire on their own, not just the checksum.
+
+/** FNV-1a as schedule_log.cc computes it over the body bytes. */
+std::uint64_t
+fnv64(const std::string &bytes, std::size_t count)
+{
+    std::uint64_t hash = 14695981039346656037ull;
+    for (std::size_t i = 0; i < count; ++i) {
+        hash ^= static_cast<unsigned char>(bytes[i]);
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+/** Recompute the trailing checksum after mutating the body. */
+std::string
+rechecksum(std::string bytes)
+{
+    std::size_t body = bytes.size() - 8;
+    std::uint64_t checksum = fnv64(bytes, body);
+    for (int i = 0; i < 8; ++i)
+        bytes[body + static_cast<std::size_t>(i)] =
+            static_cast<char>((checksum >> (8 * i)) & 0xff);
+    return bytes;
+}
+
+struct CorruptionCase
+{
+    const char *name;
+    std::function<std::string(std::string)> corrupt;
+    /** Substring the structured error message must contain. */
+    const char *expect;
+};
+
+TEST(ScheduleLogTest, CorruptionTable)
+{
+    // Encoded layout of sampleLog(): magic (4 bytes), version varint
+    // (1 byte, 0x01), header, thread table, decisions — the last body
+    // byte is the final decision's chosen-index varint (index 2 into
+    // its 3-thread runnable table) — then an 8-byte checksum.
+    const std::vector<CorruptionCase> cases = {
+        {"bad magic",
+         [](std::string b) { b[0] = 'X'; return b; },
+         "missing DCSL magic"},
+        {"empty input",
+         [](std::string) { return std::string(); },
+         "missing DCSL magic"},
+        {"checksum mismatch",
+         [](std::string b) { b[b.size() / 2] ^= 0x40; return b; },
+         "checksum mismatch"},
+        {"truncated to half",
+         [](std::string b) { return b.substr(0, b.size() / 2); },
+         "checksum mismatch"},
+        {"truncated inside the checksum",
+         [](std::string b) { return b.substr(0, b.size() - 3); },
+         "checksum mismatch"},
+        {"unsupported version (re-checksummed)",
+         [](std::string b) { b[4] = 0x02; return rechecksum(b); },
+         "unsupported version"},
+        {"chosen thread-table index out of range (re-checksummed)",
+         [](std::string b) {
+             // 99 >= the 3-entry runnable table of the last decision.
+             b[b.size() - 9] = 0x63;
+             return rechecksum(b);
+         },
+         "chose index 99 of 3"},
+        {"trailing bytes (re-checksummed)",
+         [](std::string b) {
+             b.insert(b.size() - 8, "\x01\x01", 2);
+             return rechecksum(b);
+         },
+         "trailing bytes"},
+    };
+
+    const std::string bytes = sampleLog().encode();
+    for (const CorruptionCase &c : cases) {
+        SCOPED_TRACE(c.name);
+        try {
+            ScheduleLog::decode(c.corrupt(bytes));
+            ADD_FAILURE() << "decode accepted corrupt input";
+        } catch (const ScheduleLogError &error) {
+            EXPECT_NE(std::string(error.what()).find(c.expect),
+                      std::string::npos)
+                << "error message was: " << error.what();
+        }
+    }
+}
+
+TEST(ScheduleLogTest, TruncatedFileRaisesStructuredError)
+{
+    // File-level truncation (a crashed writer, a partial copy): every
+    // prefix of the on-disk bytes must be rejected on load.
+    std::string bytes = sampleLog().encode();
+    std::string path =
+        ::testing::TempDir() + "schedule_log_truncated.bin";
+    for (std::size_t keep :
+         {std::size_t(0), std::size_t(3), bytes.size() / 2,
+          bytes.size() - 1}) {
+        std::ofstream out(path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(keep));
+        out.close();
+        EXPECT_THROW(ScheduleLog::loadFromFile(path),
+                     ScheduleLogError)
+            << "kept " << keep << " of " << bytes.size() << " bytes";
+    }
+    EXPECT_THROW(ScheduleLog::loadFromFile(path + ".does-not-exist"),
+                 ScheduleLogError);
 }
 
 } // namespace

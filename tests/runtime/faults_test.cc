@@ -35,12 +35,14 @@ TEST(FaultsTest, InFlightRpcFailsWhenServerDies)
     Simulation sim;
     Node &server = sim.addNode("server");
     sim.addNode("client");
-    // The RPC body stalls long enough for the crash to land mid-call.
+    // The RPC body stalls long enough for the crash to land mid-call:
+    // pause(40) spans hundreds of scheduler steps, so a crash keyed
+    // to step 30 arrives with the call dispatched and unanswered.
     server.registerRpc("slow", [](ThreadContext &ctx, const Payload &) {
         ctx.pause(40);
         return Payload{}.set("done", "1");
     });
-    injectCrash(sim, "server", 10);
+    injectCrash(sim, "server", 30);
     std::string error;
     sim.spawn(nullptr, sim.node("client"), "caller",
               [&](ThreadContext &ctx) {
@@ -124,10 +126,10 @@ TEST(FaultsTest, LockHeldByCrashedThreadIsNotReleased)
     Simulation sim;
     Node &node = sim.addNode("n");
     auto lock = std::make_shared<SimLock>(node, "L");
-    injectCrash(sim, "n", 5);
+    injectCrash(sim, "n", 40);
     sim.spawn(nullptr, node, "holder", [&](ThreadContext &ctx) {
         lock->acquire(ctx, "t.acq");
-        ctx.pause(100); // crash lands while held
+        ctx.pause(100); // spans step 40: crash lands while held
         lock->release(ctx, "t.rel");
     });
     RunResult result = sim.run();
@@ -148,16 +150,52 @@ TEST(FaultsTest, Hb4729StyleWorkloadSurvivesExpiry)
         Frame f(ctx, "startup", ScopeKind::Message, "m:rs");
         ctx.sim().coord().create(ctx, "t.create", "/unassigned/r", "x");
     });
-    injectCrash(sim, "rs", 30);
+    injectCrash(sim, "rs", 100);
     sim.spawn(nullptr, master, "master.cleanup", [&](ThreadContext &ctx) {
         Frame f(ctx, "cleanup", ScopeKind::Message, "m:clean");
-        ctx.pause(50); // after the expiry
+        ctx.pause(50); // spans well past step 100: after the expiry
         ctx.sim().coord().remove(ctx, "t.remove", "/unassigned/r");
         cleaned = true;
     });
     RunResult result = sim.run();
     EXPECT_EQ(result.status, RunStatus::Completed);
     EXPECT_TRUE(cleaned);
+}
+
+TEST(FaultsTest, InjectionPointIsPolicyIndependent)
+{
+    // The crash is keyed off the global scheduler step count, so the
+    // injection point does not drift with how often a policy admits
+    // the injector thread (the historical pause-counting variant
+    // did): under *any* policy the node dies at the injector's first
+    // admission at or after the requested step, and per seed the
+    // failure step is exactly reproducible.
+    auto runOnce = [](PolicyKind policy, std::uint64_t seed) {
+        SimConfig config;
+        config.policy = policy;
+        config.seed = seed;
+        Simulation sim(config);
+        sim.addNode("victim");
+        sim.addNode("peer");
+        injectCrash(sim, "victim", 25);
+        sim.spawn(nullptr, sim.node("victim"), "victim-loop",
+                  [](ThreadContext &ctx) { ctx.pause(30); });
+        sim.spawn(nullptr, sim.node("peer"), "peer-loop",
+                  [](ThreadContext &ctx) { ctx.pause(30); });
+        RunResult result = sim.run();
+        EXPECT_EQ(result.status, RunStatus::Completed);
+        EXPECT_EQ(result.failures.size(), 1u);
+        EXPECT_EQ(result.failures.front().site, kInjectedCrashSite);
+        return result.failures.front().step;
+    };
+    std::uint64_t fifo = runOnce(PolicyKind::Fifo, 1);
+    std::uint64_t random_a = runOnce(PolicyKind::Random, 7);
+    std::uint64_t random_b = runOnce(PolicyKind::Random, 7);
+    std::uint64_t random_c = runOnce(PolicyKind::Random, 99);
+    EXPECT_EQ(random_a, random_b) << "same seed, same failure step";
+    EXPECT_GE(fifo, 25u);
+    EXPECT_GE(random_a, 25u);
+    EXPECT_GE(random_c, 25u);
 }
 
 } // namespace

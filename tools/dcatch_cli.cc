@@ -9,12 +9,17 @@
  *              [--full-trace] [--seed N] [--random] [--json]
  *              [--trace-dir DIR] [--record-schedule DIR] [--quiet]
  *   dcatch replay <bundle> [--json] [--quiet]
+ *   dcatch explore <benchmark-id> [--policies LIST] [--runs N]
+ *              [--jobs N] [--seed-base N] [--out DIR] [--no-shrink]
+ *              [--no-crossval] [--json] [--quiet]
  *   dcatch --version
  *
  * Unknown subcommands and flags are usage errors (nonzero exit), not
  * silently ignored.  Exit status: 0 on success (for `replay`: the
- * replay was identical), 1 on usage or load errors, 2 when the
- * analysis ran out of memory or a replay diverged / mismatched.
+ * replay was identical; for `explore`: every failing run was
+ * replay-verified and cross-validated), 1 on usage or load errors, 2
+ * when the analysis ran out of memory, a replay diverged /
+ * mismatched, or an explorer failure escaped verification.
  */
 
 #include <algorithm>
@@ -26,6 +31,7 @@
 #include "common/util.hh"
 #include "dcatch/pipeline.hh"
 #include "dcatch/report_printer.hh"
+#include "explore/explorer.hh"
 #include "replay/bundle.hh"
 #include "replay/driver.hh"
 
@@ -46,6 +52,7 @@ usage()
         "  dcatch list\n"
         "  dcatch run <benchmark-id> [options]\n"
         "  dcatch replay <bundle> [--json] [--quiet]\n"
+        "  dcatch explore <benchmark-id> [options]\n"
         "  dcatch --version\n"
         "\nrun options:\n"
         "  --no-prune    skip static pruning (section 4)\n"
@@ -62,7 +69,19 @@ usage()
         "  --record-schedule D\n"
         "                record scheduler decisions; write repro\n"
         "                bundles under D (replay with dcatch replay)\n"
-        "  --quiet       suppress the metrics footer\n");
+        "  --quiet       suppress the metrics footer\n"
+        "\nexplore options:\n"
+        "  --policies L  comma-separated adversarial policies:\n"
+        "                random, pct:<d>, delay:<k>\n"
+        "                (default: random,pct:3,delay:2)\n"
+        "  --runs N      runs per policy (default 10)\n"
+        "  --jobs N      campaign worker threads (N >= 1)\n"
+        "  --seed-base N first seed of the campaign (default 1)\n"
+        "  --out DIR     write failing-run repro bundles under DIR\n"
+        "  --no-shrink   skip schedule minimization\n"
+        "  --no-crossval skip the detector cross-validation stage\n"
+        "  --json        emit the campaign summary as JSON\n"
+        "  --quiet       suppress the per-run table\n");
     return 1;
 }
 
@@ -276,6 +295,159 @@ cmdReplay(int argc, char **argv)
     return outcome.identical() ? 0 : 2;
 }
 
+int
+cmdExplore(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    std::string id = argv[0];
+
+    std::string policy_list = "random,pct:3,delay:2";
+    explore::ExploreOptions options;
+    options.jobs = 0; // hardware concurrency
+    bool json = false, quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--policies") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--policies requires a value\n");
+                return usage();
+            }
+            policy_list = argv[++i];
+        } else if (arg == "--runs" || arg == "--jobs" ||
+                   arg == "--seed-base") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n",
+                             arg.c_str());
+                return usage();
+            }
+            // Strict: a decimal integer, nothing else; --runs and
+            // --jobs additionally demand >= 1.
+            long long parsed = 0;
+            try {
+                std::size_t used = 0;
+                std::string value = argv[++i];
+                parsed = std::stoll(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                std::fprintf(stderr, "%s: '%s' is not a number\n",
+                             arg.c_str(), argv[i]);
+                return usage();
+            }
+            if (arg == "--seed-base") {
+                if (parsed < 0) {
+                    std::fprintf(stderr,
+                                 "--seed-base: %lld is negative\n",
+                                 parsed);
+                    return usage();
+                }
+                options.seedBase =
+                    static_cast<std::uint64_t>(parsed);
+            } else if (parsed < 1) {
+                std::fprintf(stderr,
+                             "%s: %lld is not a positive count\n",
+                             arg.c_str(), parsed);
+                return usage();
+            } else if (arg == "--runs") {
+                options.runsPerPolicy = static_cast<int>(
+                    std::min<long long>(parsed, 1 << 20));
+            } else {
+                options.jobs = static_cast<int>(
+                    std::min<long long>(parsed, 1 << 16));
+            }
+        } else if (arg == "--out") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--out requires a value\n");
+                return usage();
+            }
+            options.bundleDir = argv[++i];
+        } else if (arg == "--no-shrink") {
+            options.shrink = false;
+        } else if (arg == "--no-crossval") {
+            options.crossValidate = false;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage();
+        }
+    }
+
+    std::vector<explore::PolicySpec> policies;
+    try {
+        policies = explore::parsePolicyList(policy_list);
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "--policies: %s\n", error.what());
+        return usage();
+    }
+
+    apps::Benchmark bench;
+    try {
+        bench = apps::benchmark(id);
+    } catch (const std::exception &) {
+        std::fprintf(stderr, "unknown benchmark '%s' (try: dcatch list)\n",
+                     id.c_str());
+        return 1;
+    }
+
+    explore::CampaignResult result =
+        explore::explore(bench, policies, options);
+
+    if (json) {
+        std::printf("%s\n", result.toJson().dump().c_str());
+    } else {
+        std::printf("explored %s: %zu policies x %d runs, monitored "
+                    "horizon %llu steps\n",
+                    bench.id.c_str(), policies.size(),
+                    options.runsPerPolicy,
+                    (unsigned long long)result.monitoredSteps);
+        if (!quiet) {
+            for (const explore::RunRecord &rec : result.runs) {
+                if (!rec.failed)
+                    continue;
+                std::printf(
+                    "  FAIL %-9s seed %-6llu %s  prefix %llu/%llu  "
+                    "%s%s\n",
+                    rec.policy.c_str(), (unsigned long long)rec.seed,
+                    rec.signature.c_str(),
+                    (unsigned long long)rec.shrunkPrefix,
+                    (unsigned long long)rec.decisions,
+                    rec.crossValidated ? "matched " : "UNMATCHED ",
+                    rec.crossValidated ? rec.matchedPair.c_str() : "");
+            }
+        }
+        for (const explore::PolicyCoverage &cov : result.coverage)
+            std::printf("  %-9s %d/%d failing, %zu distinct "
+                        "signature%s, %llu branch points (%llu "
+                        "diverging)\n",
+                        cov.policy.c_str(), cov.failures, cov.runs,
+                        cov.signatures.size(),
+                        cov.signatures.size() == 1 ? "" : "s",
+                        (unsigned long long)cov.branchPoints,
+                        (unsigned long long)cov.divergentChoices);
+        std::printf("%d failing run%s: bundles %s, minimized %s, "
+                    "cross-validation %s\n",
+                    result.failures(),
+                    result.failures() == 1 ? "" : "s",
+                    result.allBundlesVerified() ? "verified"
+                                                : "UNVERIFIED",
+                    result.allMinimizedVerified() ? "verified"
+                                                  : "UNVERIFIED",
+                    !options.crossValidate ? "skipped"
+                    : result.allFailuresCrossValidated()
+                        ? "complete"
+                        : "INCOMPLETE");
+    }
+    bool ok = result.allBundlesVerified() &&
+              result.allMinimizedVerified() &&
+              (!options.crossValidate ||
+               result.allFailuresCrossValidated());
+    return ok ? 0 : 2;
+}
+
 } // namespace
 
 int
@@ -294,6 +466,8 @@ main(int argc, char **argv)
         return cmdRun(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "replay") == 0)
         return cmdReplay(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "explore") == 0)
+        return cmdExplore(argc - 2, argv + 2);
     std::fprintf(stderr, "unknown command: %s\n", argv[1]);
     return usage();
 }
