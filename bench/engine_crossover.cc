@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Dense-vs-chain crossover calibration for the adaptive HB engine
+ * (hb::HbGraph::Engine::Auto).
+ *
+ * For a ladder of trace sizes (MapReduce scaled by submitted jobs,
+ * HBase by regions) the bench measures HB-graph build + closure +
+ * detection time under the dense bit-array engine and the
+ * chain-frontier engine, then runs the Auto selector on the same
+ * trace and records which engine it resolved to and the decision
+ * inputs it saw.  The output (BENCH_crossover.json) serves two
+ * purposes:
+ *
+ *  - calibration: `recommendedCutoff` is the largest vertex count at
+ *    which the dense engine was still faster — the value
+ *    hb::HbGraph::kAutoDenseVertexCutoff should sit near;
+ *  - regression gating: scripts/bench_regress.sh checks every rung
+ *    against scripts/crossover_floor.json (auto must stay within a
+ *    small percentage plus a timer allowance of the better fixed
+ *    engine).
+ *
+ * Workload executions are untimed and run concurrently; the timed
+ * measurements run serially afterwards (same discipline as
+ * bench/scaling.cc).
+ */
+
+#include "apps/hbase/mini_hbase.hh"
+#include "apps/mapreduce/mini_mr.hh"
+#include "bench_common.hh"
+#include "common/json.hh"
+#include "common/task_pool.hh"
+#include "common/util.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+#include "runtime/sim.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace dcatch;
+
+/** Best-of-N to shave scheduler noise off small intervals. */
+template <class Fn>
+double
+bestOf(int reps, Fn &&fn)
+{
+    double best = fn();
+    for (int i = 1; i < reps; ++i) {
+        double t = fn();
+        if (t < best)
+            best = t;
+    }
+    return best;
+}
+
+/** Build + detect under one engine; returns milliseconds. */
+double
+analyzeMs(const trace::TraceStore &store, hb::HbGraph::Engine engine)
+{
+    Stopwatch watch;
+    hb::HbGraph::Options graph_options;
+    graph_options.engine = engine;
+    hb::HbGraph graph(store, graph_options);
+    detect::RaceDetector detector;
+    detector.detect(graph);
+    return watch.milliseconds();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Engine crossover",
+                  "dense vs chain analysis time; auto selection check");
+
+    struct Case
+    {
+        const char *name;
+        int scale;
+        std::function<void(sim::Simulation &)> build;
+    };
+    std::vector<Case> cases;
+    for (int jobs : {1, 2, 4, 8, 16, 32, 64, 128})
+        cases.push_back({"MR jobs", jobs, [jobs](sim::Simulation &sim) {
+                             apps::mr::install(
+                                 sim, apps::mr::Workload::Hang3274, jobs);
+                         }});
+    for (int regions : {1, 4, 16, 32})
+        cases.push_back(
+            {"HB regions", regions, [regions](sim::Simulation &sim) {
+                 apps::hb::install(
+                     sim, apps::hb::Workload::SplitAlter4539, regions);
+             }});
+
+    // Untimed workload executions, in parallel.
+    std::vector<std::unique_ptr<sim::Simulation>> sims(cases.size());
+    {
+        TaskPool pool(bench::jobsFromEnv());
+        pool.parallelFor(cases.size(), [&](std::size_t i) {
+            sim::SimConfig cfg;
+            cfg.maxSteps = 100'000'000;
+            sims[i] = std::make_unique<sim::Simulation>(cfg);
+            cases[i].build(*sims[i]);
+            sims[i]->run();
+        });
+    }
+
+    bench::Table table({"Workload", "Scale", "Vertices", "Dense",
+                        "Chain", "Faster", "Auto picked", "Auto"});
+    Json json_cases = Json::array();
+    std::size_t recommended = 0;
+
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const trace::TraceStore &store = sims[i]->tracer().store();
+        double dense_ms = bestOf(3, [&] {
+            return analyzeMs(store, hb::HbGraph::Engine::Dense);
+        });
+        double chain_ms = bestOf(3, [&] {
+            return analyzeMs(store, hb::HbGraph::Engine::ChainFrontier);
+        });
+
+        // The auto run, with its decision.
+        hb::HbGraph::Options graph_options;
+        graph_options.engine = hb::HbGraph::Engine::Auto;
+        Stopwatch watch;
+        hb::HbGraph graph(store, graph_options);
+        detect::RaceDetector detector;
+        detector.detect(graph);
+        double auto_first = watch.milliseconds();
+        double auto_ms = bestOf(2, [&] {
+            return analyzeMs(store, hb::HbGraph::Engine::Auto);
+        });
+        auto_ms = std::min(auto_ms, auto_first);
+        const hb::HbGraph::EngineDecision &d = graph.decision();
+
+        bool dense_faster = dense_ms < chain_ms;
+        if (dense_faster && d.vertices > recommended)
+            recommended = d.vertices;
+
+        table.row({cases[i].name, strprintf("%d", cases[i].scale),
+                   strprintf("%zu", d.vertices),
+                   strprintf("%.2fms", dense_ms),
+                   strprintf("%.2fms", chain_ms),
+                   dense_faster ? "dense" : "chain", graph.engineName(),
+                   strprintf("%.2fms", auto_ms)});
+
+        Json entry = Json::object();
+        entry.set("workload", Json::str(cases[i].name))
+            .set("scale",
+                 Json::num(static_cast<std::int64_t>(cases[i].scale)))
+            .set("vertices",
+                 Json::num(static_cast<std::int64_t>(d.vertices)))
+            .set("denseMs", Json::num(dense_ms))
+            .set("chainMs", Json::num(chain_ms))
+            .set("autoMs", Json::num(auto_ms))
+            .set("autoResolved", Json::str(graph.engineName()))
+            .set("threads",
+                 Json::num(static_cast<std::int64_t>(d.threads)))
+            .set("crossEdges",
+                 Json::num(static_cast<std::int64_t>(d.crossEdges)))
+            .set("denseBytes",
+                 Json::num(static_cast<std::int64_t>(d.denseBytes)))
+            .set("effectiveCutoff",
+                 Json::num(static_cast<std::int64_t>(
+                     d.effectiveCutoff)));
+        json_cases.push(std::move(entry));
+    }
+    table.print();
+
+    std::printf(
+        "Crossover: dense was still the faster engine up to %zu "
+        "vertices (configured cutoff %zu).\n",
+        recommended, hb::HbGraph::kAutoDenseVertexCutoff);
+
+    Json root = Json::object();
+    root.set("bench", Json::str("engine_crossover"))
+        .set("configuredCutoff",
+             Json::num(static_cast<std::int64_t>(
+                 hb::HbGraph::kAutoDenseVertexCutoff)))
+        .set("recommendedCutoff",
+             Json::num(static_cast<std::int64_t>(recommended)))
+        .set("cases", std::move(json_cases));
+    std::ofstream out("BENCH_crossover.json");
+    out << root.dump() << "\n";
+    std::printf("wrote BENCH_crossover.json\n");
+    return 0;
+}

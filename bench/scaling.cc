@@ -4,12 +4,15 @@
  * roughly linearly, with the trace size").  The MapReduce workload is
  * scaled by the number of submitted jobs, the HBase workload by the
  * number of regions; for each size the bench analyses the same trace
- * with both reachability engines — the chain-frontier decomposition
- * DCatch adopts (section 3.2.2, Raychev et al.) and the dense
- * bit-array baseline — and reports build+closure time, detection
- * time, throughput, and the reachability memory footprint.  Detection
- * of the known root-cause bug must hold at every scale on both
- * engines, or the bench exits nonzero.
+ * with both fixed reachability engines — the chain-frontier
+ * decomposition DCatch adopts (section 3.2.2, Raychev et al.) and the
+ * dense bit-array baseline — plus the adaptive selector
+ * (Engine::Auto), recording which engine it picked and the decision
+ * inputs it saw.  Detection of the known root-cause bug must hold at
+ * every scale on every engine, or the bench exits nonzero.
+ * scripts/bench_regress.sh additionally gates that auto's
+ * build+detect time stays within 5% (plus a sub-millisecond timer
+ * allowance) of the better fixed engine at every scale.
  *
  * Results are also written to BENCH_scaling.json for regression
  * tracking (scripts/bench_regress.sh).
@@ -120,7 +123,7 @@ main()
         std::size_t bytes_by_engine[2] = {0, 0};
         for (hb::HbGraph::Engine engine :
              {hb::HbGraph::Engine::ChainFrontier,
-              hb::HbGraph::Engine::Dense}) {
+              hb::HbGraph::Engine::Dense, hb::HbGraph::Engine::Auto}) {
             hb::HbGraph::Options graph_options;
             graph_options.engine = engine;
             Stopwatch watch;
@@ -143,12 +146,17 @@ main()
                 total_sec > 0
                     ? static_cast<double>(records) / total_sec
                     : 0;
-            bool dense = engine == hb::HbGraph::Engine::Dense;
-            build_by_engine[dense ? 1 : 0] = build_ms;
-            bytes_by_engine[dense ? 1 : 0] = graph.reachBytes();
+            bool is_auto = engine == hb::HbGraph::Engine::Auto;
+            if (!is_auto) {
+                bool dense = engine == hb::HbGraph::Engine::Dense;
+                build_by_engine[dense ? 1 : 0] = build_ms;
+                bytes_by_engine[dense ? 1 : 0] = graph.reachBytes();
+            }
 
             table.row({c.name, strprintf("%d", c.scale),
-                       strprintf("%zu", records), graph.engineName(),
+                       strprintf("%zu", records),
+                       is_auto ? strprintf("auto>%s", graph.engineName())
+                               : std::string(graph.engineName()),
                        strprintf("%.2fms", build_ms),
                        strprintf("%.2fms", detect_ms),
                        strprintf("%.2f",
@@ -178,7 +186,32 @@ main()
                      Json::num(static_cast<std::int64_t>(
                          candidates.size())))
                 .set("bugFound", Json::boolean(found));
-            engines.set(graph.engineName(), std::move(stats));
+            if (is_auto) {
+                // The crossover decision and the inputs it keyed on
+                // (bench_regress gates auto against the better fixed
+                // engine using these rows).
+                const hb::HbGraph::EngineDecision &d = graph.decision();
+                Json decision = Json::object();
+                decision
+                    .set("resolved", Json::str(graph.engineName()))
+                    .set("vertices",
+                         Json::num(static_cast<std::int64_t>(
+                             d.vertices)))
+                    .set("threads",
+                         Json::num(static_cast<std::int64_t>(
+                             d.threads)))
+                    .set("crossEdges",
+                         Json::num(static_cast<std::int64_t>(
+                             d.crossEdges)))
+                    .set("denseBytes",
+                         Json::num(static_cast<std::int64_t>(
+                             d.denseBytes)))
+                    .set("effectiveCutoff",
+                         Json::num(static_cast<std::int64_t>(
+                             d.effectiveCutoff)));
+                stats.set("decision", std::move(decision));
+            }
+            engines.set(hb::HbGraph::name(engine), std::move(stats));
         }
         entry.set("engines", std::move(engines));
         json_cases.push(std::move(entry));

@@ -3,24 +3,36 @@
 # parallel analysis backend.
 #
 # Builds the Release tree, runs the scaling bench (which analyses the
-# MR and HBase workloads at growing sizes under both the chain-frontier
-# and dense engines), and then verifies BENCH_scaling.json:
+# MR and HBase workloads at growing sizes under the chain-frontier
+# engine, the dense baseline, and the adaptive selector), and then
+# verifies BENCH_scaling.json:
 #
 #   1. the known root-cause bug (MR-3274 / HB-4539 site pairs) is
-#      detected at every scale on BOTH engines;
+#      detected at every scale on EVERY engine;
 #   2. at the largest trace the chain engine uses >= 5x less
 #      reachability memory than the dense baseline;
 #   3. the chain engine's graph build+closure is not slower than the
-#      dense baseline there.
+#      dense baseline there;
+#   4. at every scale, the auto engine's build+detect time stays
+#      within scripts/crossover_floor.json's penalty of the better
+#      fixed engine.
+#
+# Then runs the engine_crossover calibration bench and verifies
+# BENCH_crossover.json against scripts/crossover_floor.json:
+#
+#   5. at every crossover rung, auto stays within the allowed penalty
+#      of min(dense, chain) — the crossover model picks correctly.
 #
 # Then runs the parallel_speedup bench and verifies
 # BENCH_parallel.json against scripts/parallel_floor.json:
 #
-#   4. parallel output is byte-identical to serial (allDeterministic);
-#   5. the geomean speedup at 4 workers clears the floor for this
-#      runner's core count (2x on >= 4 cores; on fewer cores only a
-#      bounded-overhead sanity floor applies, since real speedup is
-#      physically impossible there).
+#   6. parallel output is byte-identical to serial (allDeterministic);
+#   7. the geomean speedup at 4 workers clears the floor for this
+#      runner's core count (2.4x on >= 4 cores; on fewer cores the
+#      capped pool spawns no threads, so the parallel path must be
+#      overhead-free instead — >= 0.99x);
+#   8. the stage-overlap geomean (end-to-end pipeline wall clock with
+#      the base/monitored/model wave overlapped) clears its own floor.
 #
 # Then runs the trace_memory bench and verifies BENCH_trace_mem.json
 # against scripts/trace_mem_floor.json:
@@ -52,8 +64,8 @@ jobs="${JOBS:-$(nproc)}"
 
 echo "== configure + build (Release) in $build"
 cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$build" -j "$jobs" --target scaling parallel_speedup \
-    trace_memory explore_coverage >/dev/null
+cmake --build "$build" -j "$jobs" --target scaling engine_crossover \
+    parallel_speedup trace_memory explore_coverage >/dev/null
 
 echo "== run scaling bench"
 cd "$build"
@@ -63,11 +75,13 @@ json="$build/BENCH_scaling.json"
 [ -f "$json" ] || { echo "FAIL: $json was not written" >&2; exit 1; }
 
 echo "== verify $json"
-python3 - "$json" <<'EOF'
-import json, sys
+python3 - "$json" "$repo/scripts/crossover_floor.json" <<'EOF'
+import json, os, sys
 
 with open(sys.argv[1]) as f:
     data = json.load(f)
+with open(sys.argv[2]) as f:
+    cfloor = json.load(f)
 
 failures = []
 
@@ -93,17 +107,89 @@ if not largest.get("chainBuildFaster"):
         "largest trace" % (largest.get("chainBuildMs", -1),
                            largest.get("denseBuildMs", -1)))
 
+# Auto must track the better fixed engine at every scale.
+penalty = cfloor["maxAutoPenaltyPct"] / 100.0
+override = os.environ.get("DCATCH_CROSSOVER_PENALTY_OVERRIDE")
+if override:
+    penalty = float(override) / 100.0
+slack = cfloor.get("timerSlackMs", 0.0)
+for case in data.get("cases", []):
+    engines = case.get("engines", {})
+    auto = engines.get("auto")
+    if auto is None:
+        failures.append(
+            "auto engine missing from %s scale %s"
+            % (case["workload"], case["scale"]))
+        continue
+    fixed = [engines[n]["buildMs"] + engines[n]["detectMs"]
+             for n in ("chain", "dense") if n in engines]
+    best = min(fixed)
+    auto_ms = auto["buildMs"] + auto["detectMs"]
+    if auto_ms > best * (1.0 + penalty) + slack:
+        failures.append(
+            "adaptive engine regression: auto %.2fms > best fixed "
+            "%.2fms + %.0f%% + %.2fms slack at %s scale %s (picked %s)"
+            % (auto_ms, best, penalty * 100, slack,
+               case["workload"], case["scale"],
+               auto.get("decision", {}).get("resolved", "?")))
+
 if failures:
     print("BENCH REGRESSION:")
     for f in failures:
         print("  - " + f)
     sys.exit(1)
 
-print("ok: bug found at every scale on both engines; "
+print("ok: bug found at every scale on every engine; "
       "chain engine %.1fx smaller and faster to build "
-      "(%.2fms vs %.2fms) at the largest trace (%s records)"
+      "(%.2fms vs %.2fms) at the largest trace (%s records); "
+      "auto within %.0f%% of the better fixed engine everywhere"
       % (ratio, largest["chainBuildMs"], largest["denseBuildMs"],
-         largest["records"]))
+         largest["records"], penalty * 100))
+EOF
+
+echo "== run engine crossover bench"
+./bench/engine_crossover
+
+xjson="$build/BENCH_crossover.json"
+[ -f "$xjson" ] || { echo "FAIL: $xjson was not written" >&2; exit 1; }
+
+echo "== verify $xjson against scripts/crossover_floor.json"
+python3 - "$xjson" "$repo/scripts/crossover_floor.json" <<'EOF'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+with open(sys.argv[2]) as f:
+    floor = json.load(f)
+
+failures = []
+penalty = floor["maxAutoPenaltyPct"] / 100.0
+override = os.environ.get("DCATCH_CROSSOVER_PENALTY_OVERRIDE")
+if override:
+    penalty = float(override) / 100.0
+slack = floor.get("timerSlackMs", 0.0)
+
+for case in data.get("cases", []):
+    best = min(case["denseMs"], case["chainMs"])
+    if case["autoMs"] > best * (1.0 + penalty) + slack:
+        failures.append(
+            "crossover regression: auto %.2fms > best fixed %.2fms "
+            "+ %.0f%% + %.2fms slack at %s scale %s (%s vertices, "
+            "resolved %s)"
+            % (case["autoMs"], best, penalty * 100, slack,
+               case["workload"], case["scale"], case["vertices"],
+               case["autoResolved"]))
+
+if failures:
+    print("BENCH REGRESSION:")
+    for f in failures:
+        print("  - " + f)
+    sys.exit(1)
+
+print("ok: auto within %.0f%% of the better fixed engine on all %d "
+      "crossover rungs (configured cutoff %s, bench recommends %s)"
+      % (penalty * 100, len(data.get("cases", [])),
+         data.get("configuredCutoff"), data.get("recommendedCutoff")))
 EOF
 
 echo "== run parallel speedup bench"
@@ -146,6 +232,22 @@ if geomean < required:
         % (geomean, required, cores, "multi" if multi else "single",
            ", overridden" if override else ""))
 
+overlap = data.get("stageOverlap", {})
+overlap_required = (floor["minOverlapSpeedupMultiCore"] if multi
+                    else floor["minOverlapSpeedupSingleCore"])
+if override:
+    overlap_required = min(overlap_required, float(override))
+overlap_geomean = overlap.get("geomeanSpeedup", 0.0)
+if overlap_geomean < overlap_required:
+    failures.append(
+        "stage-overlap regression: end-to-end pipeline geomean %.2fx "
+        "< floor %.2fx (%d cores)" % (overlap_geomean,
+                                      overlap_required, cores))
+if not overlap.get("allDeterministic"):
+    failures.append(
+        "stage-overlap output diverged from serial (full pipeline "
+        "signature mismatch)")
+
 if failures:
     print("BENCH REGRESSION:")
     for f in failures:
@@ -153,7 +255,8 @@ if failures:
     sys.exit(1)
 
 print("ok: parallel backend deterministic; geomean speedup %.2fx "
-      ">= %.2fx floor on %d core(s)" % (geomean, required, cores))
+      ">= %.2fx floor, stage overlap %.2fx >= %.2fx on %d core(s)"
+      % (geomean, required, overlap_geomean, overlap_required, cores))
 EOF
 
 echo "== run trace memory bench"

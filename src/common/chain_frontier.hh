@@ -34,6 +34,15 @@
  *     and pull-edge batches from O(iterations * V^2) into near-linear
  *     work.
  *
+ * Rows store entries *packed* — one 64-bit word per entry, chain in
+ * the high half, limit in the low half (common/frontier_merge.hh) —
+ * so the inner merge loop of the worklist re-closure operates on
+ * whole words: rows over the same chain set (the overwhelmingly
+ * common case, a vertex merging its chain predecessor's row) collapse
+ * to an elementwise unsigned max, vectorised under AVX2 when the CPU
+ * has it.  Rows over different chain sets take the scalar sorted
+ * merge, still comparing packed words.
+ *
  * After derived edges (Eserial) have been added, repack() re-runs the
  * chain decomposition greedily against the now-complete order: handler
  * instances serialized by Eserial collapse into shared chains, which
@@ -54,20 +63,20 @@
 #include <queue>
 #include <vector>
 
+#include "common/frontier_merge.hh"
+
 namespace dcatch {
 
 /** Chain-decomposed sparse-frontier reachability index. */
 class ChainFrontierIndex
 {
   public:
-    /** One frontier entry: highest reached position (+1) in a chain. */
-    struct Entry
-    {
-        std::uint32_t chain; ///< chain id
-        std::uint32_t limit; ///< max ancestor position in chain, + 1
-    };
-
-    using Row = std::vector<Entry>;
+    /**
+     * A frontier row: packed (chain, limit) words sorted by chain.
+     * Decode entries with frontier::chainOf / frontier::limitOf; the
+     * limit is the max ancestor position in that chain, plus one.
+     */
+    using Row = std::vector<frontier::Word>;
 
     ChainFrontierIndex() = default;
 
@@ -293,9 +302,9 @@ class ChainFrontierIndex
     }
 
     /**
-     * The frontier row @p v resolves to (possibly shared).  Entries
-     * are sorted by chain; the entry for v's own chain, if present,
-     * is stale by design and must be ignored by callers.
+     * The frontier row @p v resolves to (possibly shared).  Packed
+     * entries are sorted by chain; the entry for v's own chain, if
+     * present, is stale by design and must be ignored by callers.
      */
     const Row &
     frontierRow(int v) const
@@ -327,7 +336,7 @@ class ChainFrontierIndex
     std::size_t
     bytes() const
     {
-        std::size_t total = entryCount() * sizeof(Entry);
+        std::size_t total = entryCount() * sizeof(frontier::Word);
         total += rows_.size() * (sizeof(Row) + sizeof(int));
         total += n_ * (sizeof(std::uint32_t) * 2 + sizeof(std::int32_t));
         for (const std::vector<int> &s : succs_)
@@ -341,14 +350,20 @@ class ChainFrontierIndex
     static std::uint32_t
     limitIn(const Row &row, std::uint32_t chain)
     {
-        auto it = std::lower_bound(
-            row.begin(), row.end(), chain,
-            [](const Entry &e, std::uint32_t c) { return e.chain < c; });
-        return (it != row.end() && it->chain == chain) ? it->limit : 0;
+        // Packed rows are sorted by word, and the chain owns the high
+        // bits, so the first word >= pack(chain, 0) is chain's entry
+        // when one exists.
+        auto it = std::lower_bound(row.begin(), row.end(),
+                                   frontier::pack(chain, 0));
+        return (it != row.end() && frontier::chainOf(*it) == chain)
+                   ? frontier::limitOf(*it)
+                   : 0;
     }
 
     /**
      * Element-wise max of @p src into @p dst (both sorted by chain).
+     * Same-chain-set rows take the word-level kernel; mixed rows fall
+     * back to a change-detection prescan plus sorted merge.
      * @return true when any entry of dst changed
      */
     static bool
@@ -360,6 +375,13 @@ class ChainFrontierIndex
             dst = src;
             return true;
         }
+        // Fast path: identical chain sequences (a vertex merging its
+        // chain predecessor's row) need no reshaping — elementwise
+        // packed max, in place, vectorised when the CPU has AVX2.
+        if (dst.size() == src.size() &&
+            frontier::sameChains(dst.data(), src.data(), dst.size()))
+            return frontier::maxInPlace(dst.data(), src.data(),
+                                        dst.size());
         // Change-detection prescan: during worklist propagation most
         // merges are no-ops (the destination already dominates), so
         // avoid materialising the merged row unless something changes.
@@ -367,14 +389,17 @@ class ChainFrontierIndex
             std::size_t i = 0, j = 0;
             bool changed = false;
             while (j < src.size()) {
-                if (i == dst.size() || src[j].chain < dst[i].chain) {
+                if (i == dst.size() ||
+                    frontier::chainOf(src[j]) <
+                        frontier::chainOf(dst[i])) {
                     changed = true;
                     break;
                 }
-                if (dst[i].chain < src[j].chain) {
+                if (frontier::chainOf(dst[i]) <
+                    frontier::chainOf(src[j])) {
                     ++i;
                 } else {
-                    if (src[j].limit > dst[i].limit) {
+                    if (src[j] > dst[i]) {
                         changed = true;
                         break;
                     }
@@ -390,16 +415,17 @@ class ChainFrontierIndex
         std::size_t i = 0, j = 0;
         while (i < dst.size() || j < src.size()) {
             if (j == src.size() ||
-                (i < dst.size() && dst[i].chain < src[j].chain)) {
+                (i < dst.size() && frontier::chainOf(dst[i]) <
+                                       frontier::chainOf(src[j]))) {
                 out.push_back(dst[i++]);
-            } else if (i == dst.size() || src[j].chain < dst[i].chain) {
+            } else if (i == dst.size() ||
+                       frontier::chainOf(src[j]) <
+                           frontier::chainOf(dst[i])) {
                 out.push_back(src[j++]);
             } else {
-                Entry e = dst[i++];
-                if (src[j].limit > e.limit)
-                    e.limit = src[j].limit;
-                out.push_back(e);
-                ++j;
+                // Equal chains: the bigger packed word carries the
+                // bigger limit.
+                out.push_back(std::max(dst[i++], src[j++]));
             }
         }
         dst = std::move(out);
@@ -410,16 +436,16 @@ class ChainFrontierIndex
     static bool
     raise(Row &row, std::uint32_t chain, std::uint32_t limit)
     {
-        auto it = std::lower_bound(
-            row.begin(), row.end(), chain,
-            [](const Entry &e, std::uint32_t c) { return e.chain < c; });
-        if (it != row.end() && it->chain == chain) {
-            if (it->limit >= limit)
+        frontier::Word word = frontier::pack(chain, limit);
+        auto it = std::lower_bound(row.begin(), row.end(),
+                                   frontier::pack(chain, 0));
+        if (it != row.end() && frontier::chainOf(*it) == chain) {
+            if (*it >= word)
                 return false;
-            it->limit = limit;
+            *it = word;
             return true;
         }
-        row.insert(it, Entry{chain, limit});
+        row.insert(it, word);
         return true;
     }
 

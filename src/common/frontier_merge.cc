@@ -1,0 +1,166 @@
+#include "common/frontier_merge.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(DCATCH_ENABLE_SIMD) && (defined(__x86_64__) || defined(__i386__))
+#define DCATCH_HAVE_AVX2_KERNELS 1
+#include <immintrin.h>
+#else
+#define DCATCH_HAVE_AVX2_KERNELS 0
+#endif
+
+namespace dcatch::frontier {
+
+namespace {
+
+bool
+sameChainsScalar(const Word *a, const Word *b, std::size_t n)
+{
+    // Chains sit in the high 32 bits; the limits may differ freely.
+    Word diff = 0;
+    for (std::size_t i = 0; i < n; ++i)
+        diff |= (a[i] ^ b[i]) >> 32;
+    return diff == 0;
+}
+
+bool
+maxInPlaceScalar(Word *dst, const Word *src, std::size_t n)
+{
+    // Equal chains make the equal-chain entry max a plain word max
+    // (the limit owns the low bits).  Tracking "changed" as an OR of
+    // compares keeps the loop branch-free for the autovectoriser even
+    // without the explicit AVX2 kernel.
+    Word changed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        Word s = src[i], d = dst[i];
+        if (s > d) {
+            dst[i] = s;
+            changed = 1;
+        }
+    }
+    return changed != 0;
+}
+
+#if DCATCH_HAVE_AVX2_KERNELS
+
+__attribute__((target("avx2"))) bool
+sameChainsAvx2(const Word *a, const Word *b, std::size_t n)
+{
+    const __m256i high = _mm256_set1_epi64x(
+        static_cast<long long>(0xffffffff00000000ull));
+    std::size_t i = 0;
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4) {
+        __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+        acc = _mm256_or_si256(acc, _mm256_xor_si256(va, vb));
+    }
+    if (!_mm256_testz_si256(acc, high))
+        return false;
+    return sameChainsScalar(a + i, b + i, n - i);
+}
+
+__attribute__((target("avx2"))) bool
+maxInPlaceAvx2(Word *dst, const Word *src, std::size_t n)
+{
+    // Packed words stay below 2^63 (chain and limit are both < 2^31),
+    // so the signed 64-bit compare AVX2 provides is an unsigned max.
+    std::size_t i = 0;
+    __m256i any = _mm256_setzero_si256();
+    for (; i + 4 <= n; i += 4) {
+        __m256i d = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + i));
+        __m256i s = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(src + i));
+        __m256i gt = _mm256_cmpgt_epi64(s, d);
+        any = _mm256_or_si256(any, gt);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + i),
+            _mm256_blendv_epi8(d, s, gt));
+    }
+    bool changed = !_mm256_testz_si256(any, any);
+    changed |= maxInPlaceScalar(dst + i, src + i, n - i);
+    return changed;
+}
+
+bool
+cpuHasAvx2()
+{
+    return __builtin_cpu_supports("avx2") != 0;
+}
+
+#endif // DCATCH_HAVE_AVX2_KERNELS
+
+/** -1 = runtime selection, otherwise a forced Kernel value. */
+std::atomic<int> forced{-1};
+
+Kernel
+runtimeKernel()
+{
+#if DCATCH_HAVE_AVX2_KERNELS
+    static const bool avx2 =
+        cpuHasAvx2() && std::getenv("DCATCH_NO_SIMD") == nullptr;
+    return avx2 ? Kernel::Avx2 : Kernel::Scalar;
+#else
+    return Kernel::Scalar;
+#endif
+}
+
+Kernel
+effectiveKernel()
+{
+    int f = forced.load(std::memory_order_relaxed);
+    if (f < 0)
+        return runtimeKernel();
+#if DCATCH_HAVE_AVX2_KERNELS
+    if (static_cast<Kernel>(f) == Kernel::Avx2 && cpuHasAvx2())
+        return Kernel::Avx2;
+#endif
+    return Kernel::Scalar;
+}
+
+} // namespace
+
+Kernel
+activeKernel()
+{
+    return effectiveKernel();
+}
+
+const char *
+kernelName(Kernel kernel)
+{
+    return kernel == Kernel::Avx2 ? "avx2" : "scalar";
+}
+
+void
+forceKernelForTest(const Kernel *kernel)
+{
+    forced.store(kernel ? static_cast<int>(*kernel) : -1,
+                 std::memory_order_relaxed);
+}
+
+bool
+sameChains(const Word *a, const Word *b, std::size_t n)
+{
+#if DCATCH_HAVE_AVX2_KERNELS
+    if (effectiveKernel() == Kernel::Avx2)
+        return sameChainsAvx2(a, b, n);
+#endif
+    return sameChainsScalar(a, b, n);
+}
+
+bool
+maxInPlace(Word *dst, const Word *src, std::size_t n)
+{
+#if DCATCH_HAVE_AVX2_KERNELS
+    if (effectiveKernel() == Kernel::Avx2)
+        return maxInPlaceAvx2(dst, src, n);
+#endif
+    return maxInPlaceScalar(dst, src, n);
+}
+
+} // namespace dcatch::frontier

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Word-level frontier-merge kernels for the chain-frontier
+ * reachability index (docs/hb_auto_engine.md, "SIMD kernel
+ * contract").
+ *
+ * A frontier entry is packed into one 64-bit word:
+ *
+ *     word = (chain << 32) | limit
+ *
+ * with both fields < 2^31.  Packing this way makes two operations the
+ * merge hot loop needs collapse into plain word arithmetic:
+ *
+ *  - rows sorted by chain are sorted by word (the chain field owns the
+ *    high bits and chains are unique within a row), so binary searches
+ *    and sorted merges compare words directly;
+ *  - for entries with the *same* chain, the word with the larger limit
+ *    is the larger word, so the per-chain max-position update is an
+ *    unsigned 64-bit max — eight entries per iteration under AVX2.
+ *
+ * Most unionMax calls during worklist re-closure hit rows over the
+ * same chain set (a vertex merging its chain predecessor's row), which
+ * is the equal-shape fast path below: one vectorised shape check, one
+ * vectorised elementwise max.  Rows over different chain sets fall
+ * back to the scalar sorted merge in ChainFrontierIndex.
+ *
+ * Kernel selection is a runtime decision: the AVX2 path is compiled
+ * behind a function-level target attribute (no -march flags), chosen
+ * only when CPUID reports AVX2 and the DCATCH_NO_SIMD environment
+ * variable is unset.  Building with -DDCATCH_ENABLE_SIMD=OFF removes
+ * the vector path entirely (the scalar-fallback CI job).  Scalar and
+ * SIMD kernels are bit-for-bit interchangeable; the property test
+ * tests/property/frontier_merge_property_test.cc pins that.
+ */
+
+#ifndef DCATCH_COMMON_FRONTIER_MERGE_HH
+#define DCATCH_COMMON_FRONTIER_MERGE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dcatch::frontier {
+
+/** Packed frontier entry: chain in the high 32 bits, limit low. */
+using Word = std::uint64_t;
+
+constexpr Word
+pack(std::uint32_t chain, std::uint32_t limit)
+{
+    return (static_cast<Word>(chain) << 32) | limit;
+}
+
+constexpr std::uint32_t
+chainOf(Word w)
+{
+    return static_cast<std::uint32_t>(w >> 32);
+}
+
+constexpr std::uint32_t
+limitOf(Word w)
+{
+    return static_cast<std::uint32_t>(w);
+}
+
+/** Which merge kernel is answering. */
+enum class Kernel
+{
+    Scalar, ///< portable loop (also the DCATCH_NO_SIMD path)
+    Avx2,   ///< 4 packed entries per step, runtime-CPUID gated
+};
+
+/** The kernel merges currently dispatch to. */
+Kernel activeKernel();
+
+/** Short kernel name for reports and benches. */
+const char *kernelName(Kernel kernel);
+
+/**
+ * Test hook: force a specific kernel (ignores CPUID/env), or pass
+ * nullptr to restore the default runtime selection.  Forcing Avx2 on
+ * hardware without it (or in a -DDCATCH_ENABLE_SIMD=OFF build) falls
+ * back to Scalar; check activeKernel() for the effective choice.
+ */
+void forceKernelForTest(const Kernel *kernel);
+
+/**
+ * Do rows @p a and @p b (both length @p n) cover the identical chain
+ * sequence?  This is the gate for the elementwise fast path.
+ */
+bool sameChains(const Word *a, const Word *b, std::size_t n);
+
+/**
+ * Elementwise max of @p src into @p dst over @p n packed entries with
+ * identical chain sequences (caller guarantees sameChains).
+ * @return true when any dst word changed
+ */
+bool maxInPlace(Word *dst, const Word *src, std::size_t n);
+
+} // namespace dcatch::frontier
+
+#endif // DCATCH_COMMON_FRONTIER_MERGE_HH

@@ -1,6 +1,7 @@
 #include "common/task_pool.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 namespace dcatch {
 
@@ -19,11 +20,19 @@ TaskPool::resolveJobs(int requested)
     return std::max(1, requested);
 }
 
-TaskPool::TaskPool(int jobs) : jobs_(std::max(1, jobs))
+TaskPool::TaskPool(int jobs, bool oversubscribe)
+    : jobs_(std::max(1, jobs))
 {
-    shards_ = std::vector<Shard>(static_cast<std::size_t>(jobs_));
-    threads_.reserve(static_cast<std::size_t>(jobs_ - 1));
-    for (int w = 1; w < jobs_; ++w)
+    // Provision threads for what the hardware can actually run; the
+    // logical width stays as requested (and reported).  On a host
+    // with fewer cores than jobs this spawns fewer threads — down to
+    // none on one core, which sends parallelFor to the inline path.
+    if (std::getenv("DCATCH_OVERSUBSCRIBE") != nullptr)
+        oversubscribe = true;
+    int width = oversubscribe ? jobs_ : std::min(jobs_, hardwareJobs());
+    shards_ = std::vector<Shard>(static_cast<std::size_t>(width));
+    threads_.reserve(static_cast<std::size_t>(width - 1));
+    for (int w = 1; w < width; ++w)
         threads_.emplace_back(
             [this, w] { workerLoop(static_cast<std::size_t>(w)); });
 }
@@ -148,8 +157,10 @@ TaskPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
-    if (jobs_ == 1 || n == 1) {
+    if (jobs_ == 1 || n == 1 || threads_.empty()) {
         // Exact serial path: no threads, exceptions propagate as-is.
+        // threads_.empty() covers a logical width capped down to one
+        // worker on a single-core host.
         for (std::size_t i = 0; i < n; ++i)
             body(i);
         return;
@@ -157,7 +168,7 @@ TaskPool::parallelFor(std::size_t n,
 
     // Pre-split [0, n) into one contiguous slice per worker.  Empty
     // slices are fine; those workers go straight to stealing.
-    std::size_t workers = static_cast<std::size_t>(jobs_);
+    std::size_t workers = shards_.size();
     std::size_t chunk = n / workers;
     std::size_t extra = n % workers;
     std::size_t at = 0;

@@ -19,8 +19,20 @@
  * range.  Stealing halves (rather than single indices) keeps lock
  * traffic proportional to the imbalance, not to n.
  *
- * A pool constructed with jobs == 1 spawns no threads and runs every
- * body inline on the caller — the exact serial code path.
+ * Thread provisioning is decoupled from the logical width: a pool
+ * remembers (and reports) the jobs it was asked for, but spawns at
+ * most hardwareJobs() - 1 workers — oversubscribing a small machine
+ * only adds context-switch overhead, and on a single-core host the
+ * pool then spawns nothing at all, so parallelFor degenerates to the
+ * exact serial loop (no shard mutexes, no wake/done handshakes; this
+ * is what keeps the jobs>1 configuration overhead-free on one core).
+ * Tests that need real concurrency regardless of the host pass
+ * oversubscribe = true (or set DCATCH_OVERSUBSCRIBE) to spawn the
+ * full logical width.
+ *
+ * A pool running inline (jobs == 1 or nothing spawned) propagates a
+ * body's exception immediately, aborting later indices — callers must
+ * not rely on every index running when any body throws.
  */
 
 #ifndef DCATCH_COMMON_TASK_POOL_HH
@@ -42,18 +54,29 @@ class TaskPool
 {
   public:
     /**
-     * @param jobs worker count, >= 1; 1 means "no threads, run
-     *        inline" (use resolveJobs() to map a user-facing 0 to
+     * @param jobs logical worker count, >= 1; 1 means "no threads,
+     *        run inline" (use resolveJobs() to map a user-facing 0 to
      *        the hardware concurrency)
+     * @param oversubscribe spawn the full logical width even beyond
+     *        the hardware concurrency (tests needing real threads on
+     *        small hosts; also forced by the DCATCH_OVERSUBSCRIBE
+     *        environment variable)
      */
-    explicit TaskPool(int jobs);
+    explicit TaskPool(int jobs, bool oversubscribe = false);
     ~TaskPool();
 
     TaskPool(const TaskPool &) = delete;
     TaskPool &operator=(const TaskPool &) = delete;
 
-    /** Worker count this pool was built with (>= 1). */
+    /** Logical worker count this pool was built with (>= 1).  This is
+     *  what reports show; the spawned thread count may be lower. */
     int jobs() const { return jobs_; }
+
+    /** Worker threads actually spawned (0 when running inline). */
+    int spawnedThreads() const
+    {
+        return static_cast<int>(threads_.size());
+    }
 
     /** max(1, std::thread::hardware_concurrency()). */
     static int hardwareJobs();

@@ -1,6 +1,7 @@
 #include "dcatch/pipeline.hh"
 
 #include <memory>
+#include <optional>
 #include <set>
 
 #include "common/json.hh"
@@ -85,8 +86,17 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
     TaskPool pool(TaskPool::resolveJobs(options.jobs));
     result.metrics.jobs = pool.jobs();
 
-    // Phase 0: untraced base execution (Table 6 "Base").
-    if (options.measureBase) {
+    // Wave 1: the untraced base run (Table 6 "Base"), the monitored
+    // run (+ its repro bundle), and the static program model are
+    // mutually independent, so they overlap on the pool when the host
+    // has idle cores.  Each stage keeps its own stopwatch; task
+    // bodies write disjoint state, and all three results are
+    // identical to the serial order (which is exactly what runs when
+    // the pool spawned no threads).
+    std::optional<model::ProgramModel> model;
+    auto run_base = [&]() {
+        if (!options.measureBase)
+            return;
         sim::Simulation base(bench.config);
         trace::TracerConfig off;
         off.traceMemory = false;
@@ -94,74 +104,104 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
         off.traceLocks = false;
         base.setTracerConfig(off);
         bench.build(base);
-        watch.reset();
+        Stopwatch base_watch;
         base.run();
-        result.metrics.baseSec = watch.seconds();
+        result.metrics.baseSec = base_watch.seconds();
+    };
+    auto run_monitored = [&]() {
+        sim::Simulation traced(bench.config);
+        trace::TracerConfig tc;
+        tc.selectiveMemory = !options.fullMemoryTrace;
+        traced.setTracerConfig(tc);
+        if (!options.reproDir.empty()) {
+            result.scheduleRecorded = true;
+            result.monitoredSchedule =
+                std::make_shared<replay::ScheduleLog>();
+            replay::attachRecorder(traced, *result.monitoredSchedule);
+        }
+        bench.build(traced);
+        Stopwatch trace_watch;
+        result.monitoredRun = traced.run();
+        result.metrics.tracingSec = trace_watch.seconds();
+        result.monitoredTrace = traced.tracer().store();
+        result.metrics.traceBytes =
+            result.monitoredTrace.serializedBytes();
+        result.metrics.traceRecords =
+            result.monitoredTrace.totalRecords();
+        result.metrics.recordBreakdown =
+            result.monitoredTrace.countsByCategory();
+        if (result.monitoredRun.failed())
+            DCATCH_WARN() << "monitored run of " << bench.id
+                          << " was not failure-free: "
+                          << result.monitoredRun.summary();
+        if (result.monitoredSchedule) {
+            replay::ScheduleHeader &header =
+                result.monitoredSchedule->header;
+            header = replay::headerFromConfig(bench.config);
+            header.benchmarkId = bench.id;
+            header.label = "monitored";
+            header.fullMemoryTrace = options.fullMemoryTrace;
+            for (const sim::FailureEvent &failure :
+                 result.monitoredRun.failures)
+                header.expectedFailureKinds.push_back(
+                    sim::failureKindName(failure.kind));
+            header.traceChecksum =
+                result.monitoredTrace.contentDigest();
+            header.traceRecords = result.monitoredTrace.totalRecords();
+            result.metrics.scheduleDecisions =
+                result.monitoredSchedule->size();
+            result.monitoredBundleDir = replay::writeBundle(
+                options.reproDir + "/monitored",
+                *result.monitoredSchedule,
+                monitoredBundleJson(bench, *result.monitoredSchedule));
+        }
+    };
+    auto build_model = [&]() { model = bench.buildModel(); };
+    if (pool.spawnedThreads() > 0) {
+        pool.parallelFor(3, [&](std::size_t task) {
+            if (task == 0)
+                run_monitored();
+            else if (task == 1)
+                run_base();
+            else
+                build_model();
+        });
+    } else {
+        run_base();
+        run_monitored();
+        build_model();
     }
 
-    // Phase 1: the monitored (traced) run.
-    sim::Simulation traced(bench.config);
-    trace::TracerConfig tc;
-    tc.selectiveMemory = !options.fullMemoryTrace;
-    traced.setTracerConfig(tc);
-    if (!options.reproDir.empty()) {
-        result.scheduleRecorded = true;
-        result.monitoredSchedule = std::make_shared<replay::ScheduleLog>();
-        replay::attachRecorder(traced, *result.monitoredSchedule);
-    }
-    bench.build(traced);
-    watch.reset();
-    result.monitoredRun = traced.run();
-    result.metrics.tracingSec = watch.seconds();
-    result.monitoredTrace = traced.tracer().store();
-    result.metrics.traceBytes = result.monitoredTrace.serializedBytes();
-    result.metrics.traceRecords = result.monitoredTrace.totalRecords();
-    result.metrics.recordBreakdown =
-        result.monitoredTrace.countsByCategory();
-    if (result.monitoredRun.failed())
-        DCATCH_WARN() << "monitored run of " << bench.id
-                      << " was not failure-free: "
-                      << result.monitoredRun.summary();
-    if (result.monitoredSchedule) {
-        replay::ScheduleHeader &header = result.monitoredSchedule->header;
-        header = replay::headerFromConfig(bench.config);
-        header.benchmarkId = bench.id;
-        header.label = "monitored";
-        header.fullMemoryTrace = options.fullMemoryTrace;
-        for (const sim::FailureEvent &failure :
-             result.monitoredRun.failures)
-            header.expectedFailureKinds.push_back(
-                sim::failureKindName(failure.kind));
-        header.traceChecksum = result.monitoredTrace.contentDigest();
-        header.traceRecords = result.monitoredTrace.totalRecords();
-        result.metrics.scheduleDecisions =
-            result.monitoredSchedule->size();
-        result.monitoredBundleDir = replay::writeBundle(
-            options.reproDir + "/monitored", *result.monitoredSchedule,
-            monitoredBundleJson(bench, *result.monitoredSchedule));
-    }
-
-    // Phase 2: trace analysis (HB graph + race detection).
+    // Phase 2: trace analysis (HB graph + race detection).  The
+    // graph's construction-time index build borrows the same pool
+    // (the wave above has fully drained by now).
     watch.reset();
     hb::HbGraph::Options graph_options;
     graph_options.rules = options.rules;
     graph_options.memoryBudgetBytes = options.memoryBudgetBytes;
     graph_options.engine = options.hbEngine;
+    graph_options.pool = &pool;
     hb::HbGraph graph(result.monitoredTrace, graph_options);
     auto snapshot_hb = [&result, &graph]() {
         result.metrics.hbEngine = graph.engineName();
+        result.metrics.hbEngineRequested =
+            hb::HbGraph::name(graph.requestedEngine());
         result.metrics.hbVertices = graph.size();
         result.metrics.hbChains = graph.chainCount();
         result.metrics.hbFrontierRows = graph.frontierRows();
         result.metrics.hbReachBytes = graph.reachBytes();
         result.metrics.hbIncrementalUpdates = graph.incrementalUpdates();
         result.metrics.hbClosureRuns = graph.closureRuns();
+        const hb::HbGraph::EngineDecision &decision = graph.decision();
+        result.metrics.hbDecisionThreads = decision.threads;
+        result.metrics.hbDecisionCrossEdges = decision.crossEdges;
+        result.metrics.hbDecisionDenseBytes = decision.denseBytes;
+        result.metrics.hbDecisionCutoff = decision.effectiveCutoff;
     };
     if (graph.oom()) {
         result.analysisOom = true;
         result.metrics.analysisSec = watch.seconds();
-        result.metrics.hbEngine = graph.engineName();
-        result.metrics.hbVertices = graph.size();
+        snapshot_hb();
         return result;
     }
     snapshot_hb();
@@ -171,11 +211,11 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
     result.metrics.detectSec = detect_watch.seconds();
     result.metrics.analysisSec = watch.seconds();
 
-    // Phase 3: static pruning (Table 5 "TA+SP").
-    model::ProgramModel model = bench.buildModel();
+    // Phase 3: static pruning (Table 5 "TA+SP").  The model was
+    // built during wave 1.
     watch.reset();
     if (options.staticPruning) {
-        prune::StaticPruner pruner(model, options.failureSpec);
+        prune::StaticPruner pruner(*model, options.failureSpec);
         result.afterSp = pruner.prune(result.afterTa);
     } else {
         result.afterSp = result.afterTa;
@@ -185,7 +225,7 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
     // Phase 4: loop/pull-based synchronization analysis ("TA+SP+LP").
     watch.reset();
     if (options.loopAnalysis) {
-        hb::PullAnalyzer analyzer(model, bench.build, bench.config);
+        hb::PullAnalyzer analyzer(*model, bench.build, bench.config);
         hb::PullResult pull = analyzer.analyze(graph, result.afterSp);
         if (!pull.edges.empty()) {
             graph.addEdges(pull.edges);
@@ -196,7 +236,7 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
         std::vector<detect::Candidate> redetected =
             detector.detect(graph, &pool);
         if (options.staticPruning) {
-            prune::StaticPruner pruner(model, options.failureSpec);
+            prune::StaticPruner pruner(*model, options.failureSpec);
             redetected = pruner.prune(redetected);
         }
         result.afterLp = hb::applyPullResult(graph, redetected, pull);

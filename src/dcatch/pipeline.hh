@@ -43,8 +43,11 @@ struct PipelineOptions
     hb::RuleSet rules = hb::RuleSet::all(); ///< Table 9 ablation knob
     prune::FailureSpec failureSpec; ///< section 4.1 failure classes
     std::size_t memoryBudgetBytes = 512ull << 20;
-    /// HB reachability engine (chain-frontier default; dense baseline)
-    hb::HbGraph::Engine hbEngine = hb::HbGraph::Engine::ChainFrontier;
+    /// HB reachability engine.  Auto (default) picks Dense vs
+    /// ChainFrontier per trace from its shape (hb::HbGraph::decide);
+    /// fixed engines remain selectable for cross-validation and the
+    /// Table 8 configuration.
+    hb::HbGraph::Engine hbEngine = hb::HbGraph::Engine::Auto;
     /** When non-empty, record every scheduler decision and write repro
      *  bundles under this directory: `monitored/` for the traced run
      *  and `harmful-NN/` per harmful trigger classification. */
@@ -72,13 +75,22 @@ struct PhaseMetrics
     std::map<trace::RecordCategory, std::size_t> recordBreakdown;
 
     /// @{ @name HB reachability engine statistics (section 3.2.2)
-    std::string hbEngine;              ///< "chain" or "dense"
+    std::string hbEngine;              ///< resolved: "chain"/"dense"/"vc"
+    std::string hbEngineRequested;     ///< as configured (may be "auto")
     std::size_t hbVertices = 0;        ///< HB graph vertices
     std::size_t hbChains = 0;          ///< chains in the decomposition
     std::size_t hbFrontierRows = 0;    ///< materialised frontier rows
     std::size_t hbReachBytes = 0;      ///< reachability representation
     std::size_t hbIncrementalUpdates = 0; ///< incrementally folded edges
-    std::size_t hbClosureRuns = 0;     ///< full re-closures (dense)
+    std::size_t hbClosureRuns = 0;     ///< full re-closures (dense/vc)
+    /// @}
+
+    /// @{ @name Auto engine-selection inputs (hb::HbGraph::decide).
+    /// Recorded whatever the requested engine, all deterministic.
+    std::size_t hbDecisionThreads = 0;     ///< distinct trace threads
+    std::size_t hbDecisionCrossEdges = 0;  ///< non-program HB edges
+    std::size_t hbDecisionDenseBytes = 0;  ///< dense bit-array footprint
+    std::size_t hbDecisionCutoff = 0;      ///< effective vertex cutoff
     /// @}
 
     /** Scheduler decisions recorded for the monitored run (0 unless

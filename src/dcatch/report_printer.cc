@@ -113,7 +113,7 @@ renderReport(const apps::Benchmark &bench, const PipelineResult &result,
             "order-runs explored)\n",
             m.jobs, m.jobs == 1 ? "" : "s", m.detectSec * 1e3,
             m.triggerTasks);
-        if (!m.hbEngine.empty())
+        if (!m.hbEngine.empty()) {
             out += strprintf(
                 "hb engine: %s (%zu vertices, %zu chains, %zu rows, "
                 "%zu reach bytes, %zu incremental edges, %zu "
@@ -121,6 +121,15 @@ renderReport(const apps::Benchmark &bench, const PipelineResult &result,
                 m.hbEngine.c_str(), m.hbVertices, m.hbChains,
                 m.hbFrontierRows, m.hbReachBytes,
                 m.hbIncrementalUpdates, m.hbClosureRuns);
+            if (m.hbEngineRequested == "auto")
+                out += strprintf(
+                    "hb auto: picked %s (%zu vertices vs cutoff %zu, "
+                    "%zu cross edges, %zu threads, dense needs %zu "
+                    "bytes)\n",
+                    m.hbEngine.c_str(), m.hbVertices,
+                    m.hbDecisionCutoff, m.hbDecisionCrossEdges,
+                    m.hbDecisionThreads, m.hbDecisionDenseBytes);
+        }
         if (result.scheduleRecorded)
             out += strprintf(
                 "schedule: %zu decisions recorded, trace checksum "
@@ -238,6 +247,25 @@ reportToJson(const apps::Benchmark &bench, const PipelineResult &result)
             .set("closureRuns",
                  Json::num(static_cast<std::int64_t>(
                      result.metrics.hbClosureRuns)));
+        if (!result.metrics.hbEngineRequested.empty()) {
+            Json decision = Json::object();
+            decision
+                .set("requested",
+                     Json::str(result.metrics.hbEngineRequested))
+                .set("threads",
+                     Json::num(static_cast<std::int64_t>(
+                         result.metrics.hbDecisionThreads)))
+                .set("crossEdges",
+                     Json::num(static_cast<std::int64_t>(
+                         result.metrics.hbDecisionCrossEdges)))
+                .set("denseBytes",
+                     Json::num(static_cast<std::int64_t>(
+                         result.metrics.hbDecisionDenseBytes)))
+                .set("effectiveCutoff",
+                     Json::num(static_cast<std::int64_t>(
+                         result.metrics.hbDecisionCutoff)));
+            hb.set("decision", std::move(decision));
+        }
         metrics.set("hb", std::move(hb));
     }
     root.set("metrics", std::move(metrics));

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <stdexcept>
 
 #include "common/logging.hh"
+#include "common/task_pool.hh"
+#include "hb/vector_clock.hh"
 
 namespace dcatch::hb {
 
@@ -123,14 +126,38 @@ HbGraph::HbGraph(const trace::TraceStore &store, Options options)
         if (recs_[v].isMemoryAccess())
             memVertices_.push_back(static_cast<int>(v));
 
-    buildIndexes();
-    buildProgramEdges(store);
+    // The two hash indexes and the program edges touch disjoint state
+    // (byTypeId_, vertexIndex_, preds_/progPred_/stats_.program), so a
+    // pool overlaps them; the serial order is index order either way,
+    // making the result identical.
+    if (options_.pool != nullptr && options_.pool->jobs() > 1) {
+        HbGraph *self = this;
+        const trace::TraceStore *st = &store;
+        options_.pool->parallelFor(2, [self, st](std::size_t task) {
+            if (task == 0)
+                self->buildIndexes();
+            else
+                self->buildProgramEdges(*st);
+        });
+    } else {
+        buildIndexes();
+        buildProgramEdges(store);
+    }
     buildPairingEdges();
 
-    if (options_.engine == Engine::Dense) {
+    std::set<int> threads;
+    for (const Record &rec : recs_)
+        threads.insert(rec.thread);
+    decision_ =
+        decide(options_.engine, recs_.size(), threads.size(),
+               stats_.total() - stats_.program,
+               options_.memoryBudgetBytes, options_.autoDenseVertexCutoff);
+    engine_ = decision_.resolved;
+
+    if (engine_ == Engine::Dense) {
         // Budget check before allocating the O(V^2) bit arrays
         // (Table 8 OOM emulation).
-        std::size_t need = recs_.size() * ((recs_.size() + 63) / 64) * 8;
+        std::size_t need = decision_.denseBytes;
         if (need > options_.memoryBudgetBytes) {
             DCATCH_WARN()
                 << "HB graph dense reachable sets need " << need
@@ -140,6 +167,21 @@ HbGraph::HbGraph(const trace::TraceStore &store, Options options)
             return;
         }
         close();
+        if (options_.rules.event)
+            applyEventSerial(store);
+        return;
+    }
+
+    if (engine_ == Engine::VectorClock) {
+        closeFull(); // initial clock construction
+        if (vc_->clockBytes() > options_.memoryBudgetBytes) {
+            DCATCH_WARN() << "HB graph vector clocks need "
+                          << vc_->clockBytes() << " bytes, budget is "
+                          << options_.memoryBudgetBytes
+                          << " — marking OOM";
+            oom_ = true;
+            return;
+        }
         if (options_.rules.event)
             applyEventSerial(store);
         return;
@@ -168,10 +210,59 @@ HbGraph::HbGraph(const trace::TraceStore &store, Options options)
     }
 }
 
+HbGraph::~HbGraph() = default;
+
+HbGraph::EngineDecision
+HbGraph::decide(Engine requested, std::size_t vertices,
+                std::size_t threads, std::size_t crossEdges,
+                std::size_t budgetBytes, std::size_t vertexCutoff)
+{
+    EngineDecision d;
+    d.requested = requested;
+    d.vertices = vertices;
+    d.threads = threads;
+    d.crossEdges = crossEdges;
+    d.denseBytes = vertices * ((vertices + 63) / 64) * 8;
+    d.budgetBytes = budgetBytes;
+    d.vertexCutoff = vertexCutoff;
+    // Cross-edge density in sixteenths of an edge per vertex, capped
+    // at 1 edge/vertex: edge-heavy traces fatten frontier rows, so
+    // the dense engine stays competitive up to 2x more vertices.
+    std::size_t density16 =
+        vertices == 0 ? 0
+                      : std::min<std::size_t>(crossEdges * 16 / vertices, 16);
+    d.effectiveCutoff = vertexCutoff + vertexCutoff * density16 / 16;
+    if (requested != Engine::Auto) {
+        d.resolved = requested;
+        return d;
+    }
+    bool fits = d.denseBytes * 2 <= budgetBytes;
+    d.resolved = (vertices <= d.effectiveCutoff && fits)
+                     ? Engine::Dense
+                     : Engine::ChainFrontier;
+    return d;
+}
+
+const char *
+HbGraph::name(Engine engine)
+{
+    switch (engine) {
+      case Engine::ChainFrontier:
+        return "chain";
+      case Engine::Dense:
+        return "dense";
+      case Engine::VectorClock:
+        return "vc";
+      case Engine::Auto:
+        return "auto";
+    }
+    return "?";
+}
+
 const char *
 HbGraph::engineName() const
 {
-    return options_.engine == Engine::Dense ? "dense" : "chain";
+    return name(engine_);
 }
 
 bool
@@ -318,9 +409,9 @@ HbGraph::buildPairingEdges()
 void
 HbGraph::integrateEdge(int u, int v)
 {
-    if (options_.engine == Engine::ChainFrontier)
+    if (engine_ == Engine::ChainFrontier)
         frontier_.addEdge(u, v, preds_);
-    // Dense: the caller re-closes once per batch.
+    // Dense / vector clock: the caller re-closes once per batch.
 }
 
 void
@@ -382,7 +473,7 @@ HbGraph::applyEventSerial(const trace::TraceStore &store)
                   [](const EventVerts *a, const EventVerts *b) {
                       return a->begin < b->begin;
                   });
-        if (options_.engine == Engine::ChainFrontier) {
+        if (engine_ == Engine::ChainFrontier) {
             std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, int>>>
                 by_chain;
             for (std::size_t idx = 0; idx < q.list.size(); ++idx) {
@@ -400,7 +491,7 @@ HbGraph::applyEventSerial(const trace::TraceStore &store)
 
     // Fixpoint: adding End(e1) => Begin(e2) edges may order more
     // Create pairs, enabling further edges (section 3.2.1).
-    if (options_.engine == Engine::ChainFrontier) {
+    if (engine_ == Engine::ChainFrontier) {
         // Versioned per-chain scratch: filling one decodes a frontier
         // row into O(1)-lookup form, so the quadratic pair scan pays
         // one array probe per check instead of a binary search over
@@ -415,9 +506,10 @@ HbGraph::applyEventSerial(const trace::TraceStore &store)
                         std::vector<std::uint32_t> &ver,
                         std::uint32_t &stamp) {
             ++stamp;
-            for (const auto &e : frontier_.frontierRow(v)) {
-                limit[e.chain] = e.limit;
-                ver[e.chain] = stamp;
+            for (frontier::Word w : frontier_.frontierRow(v)) {
+                std::uint32_t chain = frontier::chainOf(w);
+                limit[chain] = frontier::limitOf(w);
+                ver[chain] = stamp;
             }
         };
         // u => v given v's row is decoded into (limit, ver, stamp).
@@ -511,14 +603,15 @@ HbGraph::applyEventSerial(const trace::TraceStore &store)
                 const auto &row = frontier_.frontierRow(cj);
                 std::size_t a = 0, b = 0;
                 while (a < row.size() && b < creators.size()) {
-                    if (row[a].chain < creators[b].first) {
+                    std::uint32_t chain = frontier::chainOf(row[a]);
+                    if (chain < creators[b].first) {
                         ++a;
-                    } else if (creators[b].first < row[a].chain) {
+                    } else if (creators[b].first < chain) {
                         ++b;
                     } else {
-                        if (row[a].chain != cj_chain &&
+                        if (chain != cj_chain &&
                             !tip_ordered(creators[b].second,
-                                         row[a].limit))
+                                         frontier::limitOf(row[a])))
                             return false;
                         ++a;
                         ++b;
@@ -542,8 +635,8 @@ HbGraph::applyEventSerial(const trace::TraceStore &store)
         return;
     }
 
-    // Dense engine: same pair scan against the closure-so-far,
-    // re-closing once per changed pass.
+    // Dense / vector-clock engines: same pair scan against the
+    // closure-so-far, re-closing once per changed pass.
     bool changed = true;
     while (changed) {
         changed = false;
@@ -562,7 +655,21 @@ HbGraph::applyEventSerial(const trace::TraceStore &store)
             }
         }
         if (changed)
-            close();
+            closeFull();
+    }
+}
+
+void
+HbGraph::closeFull()
+{
+    if (engine_ == Engine::Dense) {
+        close();
+    } else if (engine_ == Engine::VectorClock) {
+        // Clocks are derived from the whole edge set; rebuilding is
+        // the vector-clock analogue of a dense re-closure (and is
+        // exactly the cost the paper's section 3.2.2 complains about).
+        vc_ = std::make_unique<VectorClockGraph>(*this);
+        ++closureRuns_;
     }
 }
 
@@ -591,8 +698,10 @@ HbGraph::happensBefore(int u, int v) const
         return false;
     if (u > v)
         return false; // edges only point forward in seq order
-    if (options_.engine == Engine::ChainFrontier)
+    if (engine_ == Engine::ChainFrontier)
         return frontier_.reaches(u, v);
+    if (engine_ == Engine::VectorClock)
+        return vc_->happensBefore(u, v);
     return ancestors_[static_cast<std::size_t>(v)].test(
         static_cast<std::size_t>(u));
 }
@@ -631,15 +740,17 @@ HbGraph::addEdges(const std::vector<std::pair<int, int>> &edges)
             integrateEdge(u, v);
             added = true;
         }
-    if (added && options_.engine == Engine::Dense)
-        close();
+    if (added && engine_ != Engine::ChainFrontier)
+        closeFull();
 }
 
 std::size_t
 HbGraph::reachBytes() const
 {
-    if (options_.engine == Engine::ChainFrontier)
+    if (engine_ == Engine::ChainFrontier)
         return frontier_.bytes();
+    if (engine_ == Engine::VectorClock)
+        return vc_ ? vc_->clockBytes() : 0;
     std::size_t bytes = 0;
     for (const BitSet &set : ancestors_)
         bytes += set.byteSize();
@@ -649,22 +760,23 @@ HbGraph::reachBytes() const
 std::size_t
 HbGraph::chainCount() const
 {
-    return options_.engine == Engine::ChainFrontier
-               ? frontier_.chainCount()
-               : 0;
+    if (engine_ == Engine::ChainFrontier)
+        return frontier_.chainCount();
+    if (engine_ == Engine::VectorClock && vc_)
+        return static_cast<std::size_t>(vc_->dimensionCount());
+    return 0;
 }
 
 std::size_t
 HbGraph::frontierRows() const
 {
-    return options_.engine == Engine::ChainFrontier ? frontier_.rowCount()
-                                                    : 0;
+    return engine_ == Engine::ChainFrontier ? frontier_.rowCount() : 0;
 }
 
 std::size_t
 HbGraph::incrementalUpdates() const
 {
-    return options_.engine == Engine::ChainFrontier
+    return engine_ == Engine::ChainFrontier
                ? frontier_.incrementalEdges()
                : 0;
 }

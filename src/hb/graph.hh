@@ -16,19 +16,30 @@
  *   Rule-Preg   program order within a regular thread
  *   Rule-Pnreg  program order only within one handler instance
  *
- * Concurrency queries run against one of two reachability engines
- * (section 3.2.2, Raychev et al.):
+ * Concurrency queries run against one of three reachability engines
+ * (section 3.2.2, Raychev et al.), or an adaptive selector:
  *
- *  - `Engine::ChainFrontier` (default): chain decomposition + sparse
- *    shared frontier rows (common/chain_frontier.hh).  O(V * C)
- *    worst-case memory with C chains, near-linear in practice, and
+ *  - `Engine::ChainFrontier`: chain decomposition + sparse shared
+ *    frontier rows (common/chain_frontier.hh).  O(V * C) worst-case
+ *    memory with C chains, near-linear in practice, and
  *    *incremental*: Rule-Eserial and pull edges propagate along the
  *    affected cone instead of re-closing the whole graph.
  *  - `Engine::Dense`: one ancestor bit array per vertex, O(V^2 / 8)
  *    bytes, full re-closure after every derived-edge batch.  Kept as
  *    the cross-validation baseline and for the Table 8 out-of-memory
  *    emulation (the paper's JVM-heap exhaustion corresponds to this
- *    dense representation).
+ *    dense representation).  On small traces its word-parallel bit
+ *    rows beat the sparse index outright.
+ *  - `Engine::VectorClock`: the per-segment vector-timestamp baseline
+ *    the paper rejects (hb/vector_clock.hh), selectable here so the
+ *    cross-validation harness and the CLI can drive all engines
+ *    through one interface.
+ *  - `Engine::Auto` (the pipeline default): picks Dense or
+ *    ChainFrontier per trace from its shape — vertex count,
+ *    cross-thread edge density, and the dense footprint against the
+ *    memory budget (see decide()).  The crossover vertex cutoff is
+ *    calibrated by bench/engine_crossover; docs/hb_auto_engine.md
+ *    documents the model.
  *
  * Rule families can be disabled to reproduce the Table 9 ablation:
  * disabling a family removes the corresponding records entirely (as
@@ -52,7 +63,13 @@
 #include "common/chain_frontier.hh"
 #include "trace/trace_store.hh"
 
+namespace dcatch {
+class TaskPool;
+}
+
 namespace dcatch::hb {
+
+class VectorClockGraph;
 
 /** Which HB rule families are applied. */
 struct RuleSet
@@ -101,7 +118,51 @@ class HbGraph
     {
         ChainFrontier, ///< chain decomposition, incremental closure
         Dense,         ///< per-vertex ancestor bit arrays (baseline)
+        VectorClock,   ///< per-segment vector timestamps (baseline)
+        Auto,          ///< pick Dense vs ChainFrontier from trace shape
     };
+
+    /**
+     * Default Auto crossover: traces at or below this many vertices
+     * run Dense (budget permitting), larger ones ChainFrontier.  The
+     * value is calibrated against bench/engine_crossover output
+     * (BENCH_crossover.json); the density term in decide() can raise
+     * the effective cutoff up to 2x for edge-heavy traces.
+     */
+    static constexpr std::size_t kAutoDenseVertexCutoff = 3000;
+
+    /**
+     * How Engine::Auto resolved (recorded for every graph, whatever
+     * the requested engine, so reports can show the inputs the
+     * selector saw).
+     */
+    struct EngineDecision
+    {
+        Engine requested = Engine::Auto;
+        Engine resolved = Engine::ChainFrontier;
+        std::size_t vertices = 0;   ///< HB vertices (kept records)
+        std::size_t threads = 0;    ///< distinct trace threads
+        std::size_t crossEdges = 0; ///< non-program (cross-thread) edges
+        std::size_t denseBytes = 0; ///< dense bit-array footprint
+        std::size_t budgetBytes = 0;
+        std::size_t vertexCutoff = 0;    ///< configured crossover knob
+        std::size_t effectiveCutoff = 0; ///< after the density scaling
+    };
+
+    /**
+     * The pure Auto selection model: Dense iff the trace is small
+     * enough that one word-parallel closure beats building the sparse
+     * index, and the dense rows fit the budget with 2x headroom.
+     * Cross-edge density scales the vertex cutoff up to 2x — dense
+     * traces fatten frontier rows, moving the crossover out.
+     * Deterministic, integer-only, unit-tested both sides in
+     * tests/hb/auto_engine_test.cc.
+     */
+    static EngineDecision decide(Engine requested, std::size_t vertices,
+                                 std::size_t threads,
+                                 std::size_t crossEdges,
+                                 std::size_t budgetBytes,
+                                 std::size_t vertexCutoff);
 
     /** Construction options. */
     struct Options
@@ -118,9 +179,26 @@ class HbGraph
          * pipeline reports the analysis as OOM.
          */
         std::size_t memoryBudgetBytes = 512ull << 20;
+
+        /**
+         * Engine::Auto crossover knob (vertices at or below run
+         * Dense).  Exposed so the crossover bench and the forced-
+         * selection unit tests can drive both sides of the model.
+         */
+        std::size_t autoDenseVertexCutoff = kAutoDenseVertexCutoff;
+
+        /**
+         * Optional worker pool for the construction-time index build
+         * (hash indexes and program edges are independent and build
+         * concurrently).  Results are identical with or without a
+         * pool; pass nullptr (default) for the serial build.  The
+         * pool must not currently be running a parallelFor.
+         */
+        TaskPool *pool = nullptr;
     };
 
     HbGraph(const trace::TraceStore &store, Options options);
+    ~HbGraph();
 
     /** Construct with default options (all rules, default budget). */
     explicit HbGraph(const trace::TraceStore &store)
@@ -131,11 +209,20 @@ class HbGraph
     /** True when the reachability budget was exceeded. */
     bool oom() const { return oom_; }
 
-    /** The engine answering reachability queries. */
-    Engine engine() const { return options_.engine; }
+    /** The engine answering reachability queries (never Auto). */
+    Engine engine() const { return engine_; }
 
-    /** Short engine name for reports and benches. */
+    /** The engine the caller asked for (possibly Auto). */
+    Engine requestedEngine() const { return options_.engine; }
+
+    /** How the engine was (or would have been) selected. */
+    const EngineDecision &decision() const { return decision_; }
+
+    /** Short engine name for reports and benches (resolved engine). */
     const char *engineName() const;
+
+    /** Short name of any engine value ("auto" included). */
+    static const char *name(Engine engine);
 
     /** Number of vertices (records). */
     std::size_t size() const { return recs_.size(); }
@@ -254,10 +341,16 @@ class HbGraph
     /** Recompute all dense reachable sets in topological order. */
     void close();
 
+    /** Re-close after a derived-edge batch (Dense bit arrays or a
+     *  vector-clock rebuild; no-op for the incremental engine). */
+    void closeFull();
+
     static constexpr std::size_t kRecordTypes =
         static_cast<std::size_t>(trace::RecordType::LoopExit) + 1;
 
     Options options_;
+    Engine engine_ = Engine::ChainFrontier; ///< resolved (never Auto)
+    EngineDecision decision_;
     std::shared_ptr<const trace::SymbolPool> pool_;
     std::vector<trace::Record> recs_;
     std::vector<std::vector<int>> preds_;
@@ -279,6 +372,7 @@ class HbGraph
 
     std::vector<BitSet> ancestors_;  ///< dense engine state
     ChainFrontierIndex frontier_;    ///< chain-frontier engine state
+    std::unique_ptr<VectorClockGraph> vc_; ///< vector-clock engine state
 };
 
 } // namespace dcatch::hb

@@ -72,7 +72,9 @@ TEST(TaskPoolTest, StealingSpreadsSkewedWork)
         GTEST_SKIP();
     // All the work sits in the first quarter of the index space; with
     // stealing, more than one thread must end up executing tasks.
-    TaskPool pool(4);
+    // Oversubscribe so the pool spawns real workers even on a host
+    // with fewer cores than jobs.
+    TaskPool pool(4, /*oversubscribe=*/true);
     std::mutex mutex;
     std::set<std::thread::id> executors;
     constexpr std::size_t n = 64;
@@ -118,7 +120,10 @@ TEST(TaskPoolTest, LowestIndexExceptionWins)
 
 TEST(TaskPoolTest, AllTasksStillRunWhenOneThrows)
 {
-    TaskPool pool(4);
+    // The run-everything-despite-errors guarantee belongs to the
+    // threaded path; oversubscribe keeps it threaded on small hosts
+    // (the inline path documents immediate propagation instead).
+    TaskPool pool(4, /*oversubscribe=*/true);
     std::vector<std::atomic<int>> hits(200);
     EXPECT_THROW(pool.parallelFor(hits.size(),
                                   [&](std::size_t i) {
@@ -150,6 +155,28 @@ TEST(TaskPoolTest, MoreWorkersThanTasks)
     pool.parallelFor(3, [&](std::size_t i) { ++hits[i]; });
     for (std::size_t i = 0; i < 3; ++i)
         EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(TaskPoolTest, ThreadCapKeepsLogicalWidth)
+{
+    // Requesting more jobs than the hardware has caps the spawned
+    // threads but not the reported width (reports and shard math key
+    // off the logical jobs the user asked for).
+    int jobs = TaskPool::hardwareJobs() + 8;
+    TaskPool pool(jobs);
+    EXPECT_EQ(pool.jobs(), jobs);
+    EXPECT_LE(pool.spawnedThreads(), TaskPool::hardwareJobs() - 1);
+    // Still runs everything exactly once, threaded or inline.
+    std::vector<std::atomic<int>> hits(100);
+    pool.parallelFor(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(TaskPoolTest, OversubscribeSpawnsFullWidth)
+{
+    TaskPool pool(TaskPool::hardwareJobs() + 3, /*oversubscribe=*/true);
+    EXPECT_EQ(pool.spawnedThreads(), TaskPool::hardwareJobs() + 2);
 }
 
 } // namespace

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the adaptive engine selector (HbGraph::Engine::Auto):
+ * the pure crossover model HbGraph::decide() on both sides of the
+ * vertex cutoff, the density and memory-budget terms, and end-to-end
+ * forced selection on real graphs by moving Options::
+ * autoDenseVertexCutoff across the trace's vertex count.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hb/graph.hh"
+#include "support/trace_builder.hh"
+
+namespace dcatch::hb {
+namespace {
+
+using testsupport::TraceBuilder;
+using trace::RecordType;
+
+constexpr std::size_t kBudget = 512u << 20;
+constexpr std::size_t kCutoff = HbGraph::kAutoDenseVertexCutoff;
+
+TEST(AutoEngineDecideTest, SmallSparseTraceResolvesDense)
+{
+    HbGraph::EngineDecision d = HbGraph::decide(
+        HbGraph::Engine::Auto, /*vertices=*/100, /*threads=*/4,
+        /*crossEdges=*/0, kBudget, kCutoff);
+    EXPECT_EQ(d.resolved, HbGraph::Engine::Dense);
+    EXPECT_EQ(d.requested, HbGraph::Engine::Auto);
+    EXPECT_EQ(d.vertices, 100u);
+    EXPECT_EQ(d.effectiveCutoff, kCutoff);
+}
+
+TEST(AutoEngineDecideTest, LargeTraceResolvesChain)
+{
+    HbGraph::EngineDecision d = HbGraph::decide(
+        HbGraph::Engine::Auto, /*vertices=*/2 * kCutoff + 1,
+        /*threads=*/8, /*crossEdges=*/0, kBudget, kCutoff);
+    EXPECT_EQ(d.resolved, HbGraph::Engine::ChainFrontier);
+}
+
+TEST(AutoEngineDecideTest, ExactlyAtCutoffIsStillDense)
+{
+    HbGraph::EngineDecision d = HbGraph::decide(
+        HbGraph::Engine::Auto, kCutoff, 4, 0, kBudget, kCutoff);
+    EXPECT_EQ(d.resolved, HbGraph::Engine::Dense);
+    d = HbGraph::decide(HbGraph::Engine::Auto, kCutoff + 1, 4, 0,
+                        kBudget, kCutoff);
+    EXPECT_EQ(d.resolved, HbGraph::Engine::ChainFrontier);
+}
+
+TEST(AutoEngineDecideTest, CrossEdgeDensityRaisesTheCutoff)
+{
+    // Dense closure cost scales with edges; edge-heavy traces keep
+    // dense attractive past the base cutoff, up to 2x.
+    std::size_t vertices = kCutoff + kCutoff / 2; // over base cutoff
+    HbGraph::EngineDecision sparse = HbGraph::decide(
+        HbGraph::Engine::Auto, vertices, 4, /*crossEdges=*/0, kBudget,
+        kCutoff);
+    EXPECT_EQ(sparse.resolved, HbGraph::Engine::ChainFrontier);
+
+    // >= 1 cross edge per vertex saturates the density term.
+    HbGraph::EngineDecision heavy = HbGraph::decide(
+        HbGraph::Engine::Auto, vertices, 4,
+        /*crossEdges=*/vertices * 2, kBudget, kCutoff);
+    EXPECT_EQ(heavy.effectiveCutoff, 2 * kCutoff);
+    EXPECT_EQ(heavy.resolved, HbGraph::Engine::Dense);
+
+    // But never past 2x: one vertex over the doubled cutoff is chain.
+    HbGraph::EngineDecision over = HbGraph::decide(
+        HbGraph::Engine::Auto, 2 * kCutoff + 1, 4,
+        /*crossEdges=*/(2 * kCutoff + 1) * 16, kBudget, kCutoff);
+    EXPECT_EQ(over.resolved, HbGraph::Engine::ChainFrontier);
+}
+
+TEST(AutoEngineDecideTest, MemoryBudgetForcesChain)
+{
+    // 2000 vertices fit the cutoff, but dense needs n*ceil(n/64)*8
+    // bytes and the decision requires 2x headroom within the budget.
+    std::size_t vertices = 2000;
+    std::size_t dense_bytes = vertices * ((vertices + 63) / 64) * 8;
+    HbGraph::EngineDecision d = HbGraph::decide(
+        HbGraph::Engine::Auto, vertices, 4, 0,
+        /*budgetBytes=*/dense_bytes, kCutoff);
+    EXPECT_EQ(d.denseBytes, dense_bytes);
+    EXPECT_EQ(d.resolved, HbGraph::Engine::ChainFrontier)
+        << "dense must keep 2x headroom within the budget";
+
+    d = HbGraph::decide(HbGraph::Engine::Auto, vertices, 4, 0,
+                        /*budgetBytes=*/2 * dense_bytes, kCutoff);
+    EXPECT_EQ(d.resolved, HbGraph::Engine::Dense);
+}
+
+TEST(AutoEngineDecideTest, FixedRequestPassesThrough)
+{
+    for (HbGraph::Engine engine :
+         {HbGraph::Engine::ChainFrontier, HbGraph::Engine::Dense,
+          HbGraph::Engine::VectorClock}) {
+        HbGraph::EngineDecision d = HbGraph::decide(
+            engine, 100, 4, 10, kBudget, kCutoff);
+        EXPECT_EQ(d.requested, engine);
+        EXPECT_EQ(d.resolved, engine);
+    }
+}
+
+TEST(AutoEngineDecideTest, EngineNames)
+{
+    EXPECT_STREQ(HbGraph::name(HbGraph::Engine::ChainFrontier),
+                 "chain");
+    EXPECT_STREQ(HbGraph::name(HbGraph::Engine::Dense), "dense");
+    EXPECT_STREQ(HbGraph::name(HbGraph::Engine::VectorClock), "vc");
+    EXPECT_STREQ(HbGraph::name(HbGraph::Engine::Auto), "auto");
+}
+
+/** A small real trace for the end-to-end forced-selection tests. */
+trace::TraceStore
+smallStore()
+{
+    TraceBuilder tb;
+    tb.add(RecordType::ThreadCreate, 0, 0, "spawn", "thr:1");
+    tb.add(RecordType::ThreadBegin, 0, 1, "begin", "thr:1");
+    tb.mem(true, 0, 1, "w", "var:x");
+    tb.add(RecordType::ThreadEnd, 0, 1, "end", "thr:1");
+    tb.add(RecordType::ThreadJoin, 0, 0, "join", "thr:1");
+    tb.mem(false, 0, 0, "r", "var:x");
+    return tb.store();
+}
+
+TEST(AutoEngineGraphTest, CutoffAboveTraceSelectsDense)
+{
+    trace::TraceStore store = smallStore();
+    HbGraph::Options options;
+    options.engine = HbGraph::Engine::Auto;
+    options.autoDenseVertexCutoff = 1u << 20;
+    HbGraph graph(store, options);
+    EXPECT_EQ(graph.engine(), HbGraph::Engine::Dense);
+    EXPECT_EQ(graph.requestedEngine(), HbGraph::Engine::Auto);
+    EXPECT_STREQ(graph.engineName(), "dense");
+    EXPECT_EQ(graph.decision().resolved, HbGraph::Engine::Dense);
+    EXPECT_EQ(graph.decision().vertices, graph.size());
+}
+
+TEST(AutoEngineGraphTest, CutoffBelowTraceSelectsChain)
+{
+    trace::TraceStore store = smallStore();
+    HbGraph::Options options;
+    options.engine = HbGraph::Engine::Auto;
+    options.autoDenseVertexCutoff = 0;
+    HbGraph graph(store, options);
+    EXPECT_EQ(graph.engine(), HbGraph::Engine::ChainFrontier);
+    EXPECT_EQ(graph.requestedEngine(), HbGraph::Engine::Auto);
+    EXPECT_STREQ(graph.engineName(), "chain");
+    EXPECT_GT(graph.chainCount(), 0u);
+}
+
+TEST(AutoEngineGraphTest, BothForcedSidesAgreeOnQueries)
+{
+    trace::TraceStore store = smallStore();
+    HbGraph::Options dense_side;
+    dense_side.engine = HbGraph::Engine::Auto;
+    dense_side.autoDenseVertexCutoff = 1u << 20;
+    HbGraph as_dense(store, dense_side);
+    HbGraph::Options chain_side;
+    chain_side.engine = HbGraph::Engine::Auto;
+    chain_side.autoDenseVertexCutoff = 0;
+    HbGraph as_chain(store, chain_side);
+
+    ASSERT_NE(as_dense.engine(), as_chain.engine());
+    int n = static_cast<int>(as_dense.size());
+    for (int u = 0; u < n; ++u)
+        for (int v = 0; v < n; ++v)
+            EXPECT_EQ(as_dense.happensBefore(u, v),
+                      as_chain.happensBefore(u, v))
+                << u << " => " << v;
+}
+
+TEST(AutoEngineGraphTest, DecisionRecordedForFixedEngines)
+{
+    trace::TraceStore store = smallStore();
+    HbGraph::Options options;
+    options.engine = HbGraph::Engine::VectorClock;
+    HbGraph graph(store, options);
+    EXPECT_EQ(graph.engine(), HbGraph::Engine::VectorClock);
+    EXPECT_EQ(graph.decision().requested,
+              HbGraph::Engine::VectorClock);
+    EXPECT_EQ(graph.decision().resolved,
+              HbGraph::Engine::VectorClock);
+    EXPECT_GT(graph.decision().threads, 0u);
+}
+
+} // namespace
+} // namespace dcatch::hb

@@ -1,10 +1,12 @@
 /**
  * @file
- * Cross-validation of the three happens-before engines: the
+ * Cross-validation of the four happens-before engines: the
  * chain-frontier decomposition DCatch adopts (section 3.2.2), the
- * dense reachable-set (bit-array) baseline, and the vector-clock
- * baseline the paper rejects must all agree on every pair of vertices
- * — on synthetic traces and on every benchmark's real trace.
+ * dense reachable-set (bit-array) baseline, the vector-clock baseline
+ * the paper rejects, and the adaptive selector (Engine::Auto, which
+ * must resolve to one of the fixed engines and inherit its answers)
+ * must all agree on every pair of vertices — on synthetic traces and
+ * on every benchmark's real trace.
  */
 
 #include <gtest/gtest.h>
@@ -20,20 +22,30 @@ namespace {
 using testsupport::TraceBuilder;
 using trace::RecordType;
 
-/** Exhaustively compare all three engines over one trace. */
+HbGraph::Options
+optionsFor(HbGraph::Engine engine)
+{
+    HbGraph::Options options;
+    options.engine = engine;
+    return options;
+}
+
+/** Exhaustively compare all four engines over one trace. */
 void
 expectEngineAgreement(const trace::TraceStore &store)
 {
-    HbGraph::Options chain_options;
-    chain_options.engine = HbGraph::Engine::ChainFrontier;
-    HbGraph chain(store, chain_options);
-    HbGraph::Options dense_options;
-    dense_options.engine = HbGraph::Engine::Dense;
-    HbGraph dense(store, dense_options);
+    HbGraph chain(store, optionsFor(HbGraph::Engine::ChainFrontier));
+    HbGraph dense(store, optionsFor(HbGraph::Engine::Dense));
+    HbGraph vc(store, optionsFor(HbGraph::Engine::VectorClock));
+    HbGraph adaptive(store, optionsFor(HbGraph::Engine::Auto));
     VectorClockGraph clocks(dense);
 
     ASSERT_EQ(chain.size(), dense.size());
+    ASSERT_EQ(vc.size(), dense.size());
+    ASSERT_EQ(adaptive.size(), dense.size());
     ASSERT_EQ(clocks.size(), dense.size());
+    ASSERT_NE(adaptive.engine(), HbGraph::Engine::Auto)
+        << "auto must resolve to a fixed engine";
     int n = static_cast<int>(dense.size());
     for (int u = 0; u < n; ++u) {
         for (int v = 0; v < n; ++v) {
@@ -42,6 +54,13 @@ expectEngineAgreement(const trace::TraceStore &store)
                 << "chain vs dense disagree on " << u << " => " << v
                 << " (" << dense.recordLine(u) << " vs "
                 << dense.recordLine(v) << ")";
+            ASSERT_EQ(vc.happensBefore(u, v), want)
+                << "vc vs dense disagree on " << u << " => " << v
+                << " (" << dense.recordLine(u) << " vs "
+                << dense.recordLine(v) << ")";
+            ASSERT_EQ(adaptive.happensBefore(u, v), want)
+                << "auto(" << adaptive.engineName()
+                << ") vs dense disagree on " << u << " => " << v;
             ASSERT_EQ(clocks.happensBefore(u, v), want)
                 << "clocks vs dense disagree on " << u << " => " << v
                 << " (" << dense.recordLine(u) << " vs "
@@ -102,13 +121,16 @@ TEST_P(EnginesOnBenchmarks, AgreeOnRealTrace)
     bench.build(sim);
     sim.run();
 
-    HbGraph::Options chain_options;
-    chain_options.engine = HbGraph::Engine::ChainFrontier;
-    HbGraph chain(sim.tracer().store(), chain_options);
-    HbGraph::Options dense_options;
-    dense_options.engine = HbGraph::Engine::Dense;
-    HbGraph dense(sim.tracer().store(), dense_options);
+    HbGraph chain(sim.tracer().store(),
+                  optionsFor(HbGraph::Engine::ChainFrontier));
+    HbGraph dense(sim.tracer().store(),
+                  optionsFor(HbGraph::Engine::Dense));
+    HbGraph vc(sim.tracer().store(),
+               optionsFor(HbGraph::Engine::VectorClock));
+    HbGraph adaptive(sim.tracer().store(),
+                     optionsFor(HbGraph::Engine::Auto));
     VectorClockGraph clocks(dense);
+    ASSERT_NE(adaptive.engine(), HbGraph::Engine::Auto);
 
     // Exhaustive over all pairs of memory accesses (the pairs that
     // matter for detection).
@@ -118,6 +140,12 @@ TEST_P(EnginesOnBenchmarks, AgreeOnRealTrace)
             ASSERT_EQ(chain.happensBefore(u, v), want)
                 << "chain vs dense: " << chain.recordLine(u)
                 << " vs " << chain.recordLine(v);
+            ASSERT_EQ(vc.happensBefore(u, v), want)
+                << "vc vs dense: " << chain.recordLine(u)
+                << " vs " << chain.recordLine(v);
+            ASSERT_EQ(adaptive.happensBefore(u, v), want)
+                << "auto(" << adaptive.engineName() << ") vs dense: "
+                << chain.recordLine(u) << " vs " << chain.recordLine(v);
             ASSERT_EQ(clocks.happensBefore(u, v), want)
                 << "clocks vs dense: " << chain.recordLine(u)
                 << " vs " << chain.recordLine(v);

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Property tests pinning the SIMD kernel contract
+ * (docs/hb_auto_engine.md): the scalar and AVX2 frontier-merge
+ * kernels are bit-for-bit interchangeable — on random packed rows at
+ * the kernel level (including the sub-width tails the vector loop
+ * hands back to the scalar epilogue), and end-to-end (identical
+ * happens-before answers and race-candidate lists when the whole
+ * chain-frontier engine runs under a forced kernel).
+ *
+ * On hardware without AVX2 (or in a -DDCATCH_ENABLE_SIMD=OFF build)
+ * forcing Avx2 falls back to Scalar and these tests degenerate to
+ * scalar-vs-truth checks, which still pin the reference semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/frontier_merge.hh"
+#include "common/rng.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+#include "support/trace_builder.hh"
+
+namespace dcatch::frontier {
+namespace {
+
+using testsupport::TraceBuilder;
+using trace::RecordType;
+
+/** Scoped kernel override; restores runtime selection on exit. */
+class KernelGuard
+{
+  public:
+    explicit KernelGuard(Kernel kernel) { forceKernelForTest(&kernel); }
+    ~KernelGuard() { forceKernelForTest(nullptr); }
+};
+
+/** A sorted row of packed words over strictly increasing chains. */
+std::vector<Word>
+randomRow(Rng &rng, std::size_t n)
+{
+    std::vector<Word> row;
+    std::uint32_t chain = static_cast<std::uint32_t>(
+        rng.nextRange(0, 3));
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t limit = static_cast<std::uint32_t>(
+            rng.nextRange(0, 0x7fffffff));
+        row.push_back(pack(chain, limit));
+        chain += static_cast<std::uint32_t>(rng.nextRange(1, 4));
+    }
+    return row;
+}
+
+/** Same chain sequence as @p base, fresh random limits. */
+std::vector<Word>
+withRandomLimits(Rng &rng, const std::vector<Word> &base)
+{
+    std::vector<Word> row;
+    for (Word w : base)
+        row.push_back(pack(chainOf(w), static_cast<std::uint32_t>(
+                                           rng.nextRange(0, 0x7fffffff))));
+    return row;
+}
+
+TEST(FrontierMergeKernelTest, ForcedScalarIsHonored)
+{
+    KernelGuard guard(Kernel::Scalar);
+    EXPECT_EQ(activeKernel(), Kernel::Scalar);
+    EXPECT_STREQ(kernelName(activeKernel()), "scalar");
+}
+
+TEST(FrontierMergeKernelTest, ForcingAvx2ResolvesToARealKernel)
+{
+    KernelGuard guard(Kernel::Avx2);
+    // Either the CPU has AVX2 (forced honored) or the force falls
+    // back to scalar — never an invalid dispatch.
+    Kernel k = activeKernel();
+    EXPECT_TRUE(k == Kernel::Avx2 || k == Kernel::Scalar);
+    std::printf("forced-avx2 resolves to: %s\n", kernelName(k));
+}
+
+TEST(FrontierMergePropertyTest, SameChainsKernelsAgree)
+{
+    Rng rng(0xfee1deadu);
+    // Sizes straddle the 4-word vector width to cover full vector
+    // iterations, the scalar tail, and the empty row.
+    for (std::size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 13u, 32u, 100u}) {
+        for (int rep = 0; rep < 20; ++rep) {
+            std::vector<Word> a = randomRow(rng, n);
+            std::vector<Word> same = withRandomLimits(rng, a);
+            std::vector<Word> diff = same;
+            if (n > 0) {
+                std::size_t at = rng.nextRange(0, n - 1);
+                diff[at] = pack(chainOf(diff[at]) + 1, limitOf(diff[at]));
+            }
+            bool scalar_same, scalar_diff, simd_same, simd_diff;
+            {
+                KernelGuard guard(Kernel::Scalar);
+                scalar_same = sameChains(a.data(), same.data(), n);
+                scalar_diff = sameChains(a.data(), diff.data(), n);
+            }
+            {
+                KernelGuard guard(Kernel::Avx2);
+                simd_same = sameChains(a.data(), same.data(), n);
+                simd_diff = sameChains(a.data(), diff.data(), n);
+            }
+            EXPECT_TRUE(scalar_same) << "n=" << n;
+            EXPECT_EQ(simd_same, scalar_same) << "n=" << n;
+            EXPECT_EQ(simd_diff, scalar_diff) << "n=" << n;
+            if (n > 0) {
+                EXPECT_FALSE(scalar_diff) << "n=" << n;
+            }
+        }
+    }
+}
+
+TEST(FrontierMergePropertyTest, MaxInPlaceKernelsAgree)
+{
+    Rng rng(0xabad1deau);
+    for (std::size_t n : {0u, 1u, 3u, 4u, 5u, 7u, 8u, 13u, 32u, 100u}) {
+        for (int rep = 0; rep < 20; ++rep) {
+            std::vector<Word> dst = randomRow(rng, n);
+            std::vector<Word> src = withRandomLimits(rng, dst);
+            // Sometimes make src identical so "changed" can be false.
+            if (rng.nextChance(1, 4))
+                src = dst;
+
+            std::vector<Word> scalar_dst = dst, simd_dst = dst;
+            bool scalar_changed, simd_changed;
+            {
+                KernelGuard guard(Kernel::Scalar);
+                scalar_changed =
+                    maxInPlace(scalar_dst.data(), src.data(), n);
+            }
+            {
+                KernelGuard guard(Kernel::Avx2);
+                simd_changed =
+                    maxInPlace(simd_dst.data(), src.data(), n);
+            }
+            EXPECT_EQ(simd_dst, scalar_dst) << "n=" << n;
+            EXPECT_EQ(simd_changed, scalar_changed) << "n=" << n;
+
+            // Ground truth: elementwise max, changed iff dst grew.
+            bool want_changed = false;
+            for (std::size_t i = 0; i < n; ++i) {
+                Word want = dst[i] > src[i] ? dst[i] : src[i];
+                EXPECT_EQ(scalar_dst[i], want) << "i=" << i;
+                want_changed |= want != dst[i];
+            }
+            EXPECT_EQ(scalar_changed, want_changed) << "n=" << n;
+        }
+    }
+}
+
+/**
+ * Random well-formed trace mixing thread forks, memory accesses, and
+ * a single-consumer event queue (the shapes whose frontiers the
+ * kernels merge in production).
+ */
+void
+buildRandomTrace(TraceBuilder &tb, Rng &rng)
+{
+    const int threads = static_cast<int>(rng.nextRange(2, 4));
+    const int handler = threads;
+    tb.queue("n0/q", 0, true);
+    int next_event = 0;
+    std::vector<std::string> pending;
+    const int steps = static_cast<int>(rng.nextRange(30, 60));
+    for (int s = 0; s < steps; ++s) {
+        int t = static_cast<int>(rng.nextRange(0, threads - 1));
+        if (rng.nextChance(1, 3)) {
+            std::string id = "n0/q#" + std::to_string(next_event++);
+            tb.add(RecordType::EventCreate, 0, t, "enq", id);
+            pending.push_back(id);
+        } else {
+            tb.mem(rng.nextChance(1, 2), 0, t,
+                   "t" + std::to_string(t) + ".s" + std::to_string(s),
+                   "var:x" + std::to_string(rng.nextRange(0, 2)));
+        }
+        while (!pending.empty() && rng.nextChance(1, 2)) {
+            std::string id = pending.front();
+            pending.erase(pending.begin());
+            tb.add(RecordType::EventBegin, 0, handler, "evt", id);
+            tb.mem(rng.nextChance(1, 2), 0, handler, "h." + id,
+                   "var:x" + std::to_string(rng.nextRange(0, 2)));
+            tb.add(RecordType::EventEnd, 0, handler, "evt", id);
+        }
+    }
+    for (const std::string &id : pending) {
+        tb.add(RecordType::EventBegin, 0, handler, "evt", id);
+        tb.add(RecordType::EventEnd, 0, handler, "evt", id);
+    }
+}
+
+/** Full HB matrix + candidate list digest under one forced kernel. */
+std::string
+analysisSignature(const trace::TraceStore &store, Kernel kernel)
+{
+    KernelGuard guard(kernel);
+    hb::HbGraph::Options options;
+    options.engine = hb::HbGraph::Engine::ChainFrontier;
+    hb::HbGraph graph(store, options);
+    std::string sig;
+    int n = static_cast<int>(graph.size());
+    for (int u = 0; u < n; ++u) {
+        for (int v = 0; v < n; ++v)
+            sig += graph.happensBefore(u, v) ? '1' : '0';
+        sig += '\n';
+    }
+    detect::RaceDetector detector;
+    for (const detect::Candidate &cand : detector.detect(graph))
+        sig += cand.callstackKey() + " " +
+               std::to_string(cand.dynamicPairs) + "\n";
+    return sig;
+}
+
+class RandomTraces : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomTraces, WholeEngineIdenticalUnderEitherKernel)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 7);
+    TraceBuilder tb;
+    buildRandomTrace(tb, rng);
+    std::string scalar_sig =
+        analysisSignature(tb.store(), Kernel::Scalar);
+    std::string simd_sig = analysisSignature(tb.store(), Kernel::Avx2);
+    EXPECT_EQ(scalar_sig, simd_sig);
+    EXPECT_FALSE(scalar_sig.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTraces, ::testing::Range(0, 10));
+
+} // namespace
+} // namespace dcatch::frontier

@@ -1,16 +1,16 @@
 /**
  * @file
- * Property tests cross-validating the three happens-before engines
- * (chain-frontier, dense reachable sets, vector clocks) on randomly
- * generated traces and on every benchmark's real trace:
+ * Property tests cross-validating the four happens-before engines
+ * (chain-frontier, dense reachable sets, vector clocks, and the
+ * adaptive selector) on randomly generated traces and on every
+ * benchmark's real trace:
  *
  *  - all engines answer every happensBefore query identically, both
  *    after construction and after incremental (pull-style) edge
  *    additions;
  *  - the race detector produces the *identical* candidate list under
- *    the chain-frontier and dense engines — same order, same keys,
- *    same dynamic-pair counts — so every Table 4/5 number is
- *    engine-independent.
+ *    every engine — same order, same keys, same dynamic-pair counts —
+ *    so every Table 4/5 number is engine-independent.
  */
 
 #include <gtest/gtest.h>
@@ -102,20 +102,52 @@ buildRandomTrace(TraceBuilder &tb, Rng &rng)
     }
 }
 
-/** All-pairs agreement between the two HbGraph engines and clocks. */
-void
-expectAllPairsAgree(const HbGraph &chain, const HbGraph &dense)
+/** The four engine configurations built over one trace. */
+struct AllEngines
 {
+    HbGraph chain, dense, vc, adaptive;
+
+    static HbGraph::Options options(HbGraph::Engine engine)
+    {
+        HbGraph::Options o;
+        o.engine = engine;
+        return o;
+    }
+
+    explicit AllEngines(const trace::TraceStore &store)
+        : chain(store, options(HbGraph::Engine::ChainFrontier)),
+          dense(store, options(HbGraph::Engine::Dense)),
+          vc(store, options(HbGraph::Engine::VectorClock)),
+          adaptive(store, options(HbGraph::Engine::Auto))
+    {
+    }
+};
+
+/** All-pairs agreement between the four HbGraph engines and clocks. */
+void
+expectAllPairsAgree(const AllEngines &e)
+{
+    const HbGraph &dense = e.dense;
     VectorClockGraph clocks(dense);
-    ASSERT_EQ(chain.size(), dense.size());
+    ASSERT_EQ(e.chain.size(), dense.size());
+    ASSERT_EQ(e.vc.size(), dense.size());
+    ASSERT_EQ(e.adaptive.size(), dense.size());
+    ASSERT_NE(e.adaptive.engine(), HbGraph::Engine::Auto);
     int n = static_cast<int>(dense.size());
     for (int u = 0; u < n; ++u) {
         for (int v = 0; v < n; ++v) {
             bool want = dense.happensBefore(u, v);
-            ASSERT_EQ(chain.happensBefore(u, v), want)
+            ASSERT_EQ(e.chain.happensBefore(u, v), want)
                 << "chain vs dense on " << u << " => " << v << ": "
                 << dense.recordLine(u) << " vs "
                 << dense.recordLine(v);
+            ASSERT_EQ(e.vc.happensBefore(u, v), want)
+                << "vc vs dense on " << u << " => " << v << ": "
+                << dense.recordLine(u) << " vs "
+                << dense.recordLine(v);
+            ASSERT_EQ(e.adaptive.happensBefore(u, v), want)
+                << "auto(" << e.adaptive.engineName()
+                << ") vs dense on " << u << " => " << v;
             ASSERT_EQ(clocks.happensBefore(u, v), want)
                 << "clocks vs dense on " << u << " => " << v;
         }
@@ -124,10 +156,10 @@ expectAllPairsAgree(const HbGraph &chain, const HbGraph &dense)
 
 /** The detector must yield the identical report list on both. */
 void
-expectSameCandidates(const HbGraph &chain, const HbGraph &dense)
+expectSameCandidates(const HbGraph &got_graph, const HbGraph &dense)
 {
     detect::RaceDetector detector;
-    auto got = detector.detect(chain);
+    auto got = detector.detect(got_graph);
     auto want = detector.detect(dense);
     ASSERT_EQ(got.size(), want.size());
     for (std::size_t i = 0; i < got.size(); ++i) {
@@ -141,6 +173,15 @@ expectSameCandidates(const HbGraph &chain, const HbGraph &dense)
     }
 }
 
+/** Candidate lists from every engine against the dense reference. */
+void
+expectSameCandidatesAllEngines(const AllEngines &e)
+{
+    expectSameCandidates(e.chain, e.dense);
+    expectSameCandidates(e.vc, e.dense);
+    expectSameCandidates(e.adaptive, e.dense);
+}
+
 class RandomTraces : public ::testing::TestWithParam<int>
 {
 };
@@ -151,20 +192,14 @@ TEST_P(RandomTraces, EnginesAgreeIncludingIncrementalEdges)
     TraceBuilder tb;
     buildRandomTrace(tb, rng);
 
-    HbGraph::Options chain_options;
-    chain_options.engine = HbGraph::Engine::ChainFrontier;
-    HbGraph chain(tb.store(), chain_options);
-    HbGraph::Options dense_options;
-    dense_options.engine = HbGraph::Engine::Dense;
-    HbGraph dense(tb.store(), dense_options);
+    AllEngines engines(tb.store());
+    expectAllPairsAgree(engines);
+    expectSameCandidatesAllEngines(engines);
 
-    expectAllPairsAgree(chain, dense);
-    expectSameCandidates(chain, dense);
-
-    // Random forward (pull-style) edges must fold into both closures
-    // identically — the chain engine incrementally, dense by
+    // Random forward (pull-style) edges must fold into every closure
+    // identically — the chain engine incrementally, dense and vc by
     // re-closure.
-    int n = static_cast<int>(dense.size());
+    int n = static_cast<int>(engines.dense.size());
     if (n >= 2) {
         std::vector<std::pair<int, int>> extra;
         for (int k = 0; k < 5; ++k) {
@@ -173,11 +208,13 @@ TEST_P(RandomTraces, EnginesAgreeIncludingIncrementalEdges)
                 rng.nextRange(u + 1, n - 1));
             extra.emplace_back(u, v);
         }
-        chain.addEdges(extra);
-        dense.addEdges(extra);
-        EXPECT_GE(chain.incrementalUpdates(), 1u);
-        expectAllPairsAgree(chain, dense);
-        expectSameCandidates(chain, dense);
+        engines.chain.addEdges(extra);
+        engines.dense.addEdges(extra);
+        engines.vc.addEdges(extra);
+        engines.adaptive.addEdges(extra);
+        EXPECT_GE(engines.chain.incrementalUpdates(), 1u);
+        expectAllPairsAgree(engines);
+        expectSameCandidatesAllEngines(engines);
     }
 }
 
@@ -195,15 +232,9 @@ TEST_P(BenchmarkTraces, CandidateSetsAreEngineIndependent)
     bench.build(sim);
     sim.run();
 
-    HbGraph::Options chain_options;
-    chain_options.engine = HbGraph::Engine::ChainFrontier;
-    HbGraph chain(sim.tracer().store(), chain_options);
-    HbGraph::Options dense_options;
-    dense_options.engine = HbGraph::Engine::Dense;
-    HbGraph dense(sim.tracer().store(), dense_options);
-
-    expectAllPairsAgree(chain, dense);
-    expectSameCandidates(chain, dense);
+    AllEngines engines(sim.tracer().store());
+    expectAllPairsAgree(engines);
+    expectSameCandidatesAllEngines(engines);
 }
 
 INSTANTIATE_TEST_SUITE_P(

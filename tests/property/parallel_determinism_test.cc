@@ -9,6 +9,10 @@
  * trace.digest for the monitored run and every harmful
  * classification).  jobs == 1 is the exact serial path, so this
  * pins the parallel backend to the serial semantics.
+ *
+ * A second suite pins the same full-output identity across the
+ * frontier-merge kernels (scalar vs. forced AVX2): the SIMD path must
+ * be unobservable in every report byte, exactly like the job count.
  */
 
 #include <gtest/gtest.h>
@@ -21,6 +25,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/frontier_merge.hh"
 #include "dcatch/pipeline.hh"
 #include "dcatch/report_printer.hh"
 
@@ -133,6 +138,56 @@ TEST_P(ParallelDeterminismTest, JobsCountIsUnobservableInOutput)
         }
     }
 }
+
+/** SIMD kernel choice must be as unobservable as the job count. */
+class KernelDeterminismTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(KernelDeterminismTest, KernelChoiceIsUnobservableInOutput)
+{
+    const char *bench_id = GetParam();
+    std::string repro = fs::temp_directory_path().string() +
+                        "/dcatch-kern-prop-" + bench_id;
+
+    frontier::Kernel scalar = frontier::Kernel::Scalar;
+    frontier::forceKernelForTest(&scalar);
+    Snapshot scalar_snap =
+        runWith(bench_id, sim::PolicyKind::Fifo, 2, repro);
+
+    frontier::Kernel simd = frontier::Kernel::Avx2;
+    frontier::forceKernelForTest(&simd);
+    Snapshot simd_snap =
+        runWith(bench_id, sim::PolicyKind::Fifo, 2, repro);
+    frontier::forceKernelForTest(nullptr);
+
+    EXPECT_EQ(scalar_snap.textReport, simd_snap.textReport);
+    EXPECT_EQ(scalar_snap.jsonReport, simd_snap.jsonReport);
+    EXPECT_EQ(scalar_snap.traceDigest, simd_snap.traceDigest);
+    EXPECT_EQ(scalar_snap.finalKeys, simd_snap.finalKeys);
+    EXPECT_EQ(scalar_snap.classifications, simd_snap.classifications);
+    ASSERT_EQ(scalar_snap.bundleFiles.size(),
+              simd_snap.bundleFiles.size());
+    for (const auto &[path, bytes] : scalar_snap.bundleFiles) {
+        auto it = simd_snap.bundleFiles.find(path);
+        ASSERT_NE(it, simd_snap.bundleFiles.end())
+            << "bundle file missing under SIMD kernel: " << path;
+        EXPECT_EQ(bytes, it->second)
+            << "bundle file differs under SIMD kernel: " << path;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, KernelDeterminismTest,
+    ::testing::Values("CA-1011", "MR-3274", "ZK-1144"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
 
 INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, ParallelDeterminismTest,

@@ -64,6 +64,9 @@ usage()
         "  --jobs N      analysis/trigger worker threads (N >= 1;\n"
         "                default: hardware concurrency; output is\n"
         "                byte-identical for every N)\n"
+        "  --engine E    HB reachability engine: auto, chain, dense,\n"
+        "                or vc (default: auto — picks chain or dense\n"
+        "                per trace; see docs/hb_auto_engine.md)\n"
         "  --json        emit the report as JSON\n"
         "  --trace-dir D also write per-thread trace files into D\n"
         "  --record-schedule D\n"
@@ -165,6 +168,29 @@ cmdRun(int argc, char **argv)
             } catch (const std::exception &) {
                 std::fprintf(stderr, "--jobs: '%s' is not a number\n",
                              argv[i]);
+                return usage();
+            }
+        } else if (arg == "--engine") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--engine requires a value\n");
+                return usage();
+            }
+            // Strict: exactly one of the known engine names.  A typo
+            // must not silently fall back to the default selector.
+            std::string value = argv[++i];
+            if (value == "auto") {
+                options.hbEngine = hb::HbGraph::Engine::Auto;
+            } else if (value == "chain") {
+                options.hbEngine = hb::HbGraph::Engine::ChainFrontier;
+            } else if (value == "dense") {
+                options.hbEngine = hb::HbGraph::Engine::Dense;
+            } else if (value == "vc") {
+                options.hbEngine = hb::HbGraph::Engine::VectorClock;
+            } else {
+                std::fprintf(stderr,
+                             "--engine: '%s' is not an engine "
+                             "(expected auto, chain, dense, or vc)\n",
+                             value.c_str());
                 return usage();
             }
         } else if (arg == "--json") {
