@@ -1,0 +1,277 @@
+/**
+ * @file
+ * dcatchd ingestion throughput and memory-bound bench.
+ *
+ * Drives ServeCore directly (no sockets, so the numbers measure the
+ * analysis path: framing, watermark merge, store append, incremental
+ * HB, epoch detection) with prebuilt frame bytes for a large MR
+ * Hang3274 trace.  For {1, 4, 16} concurrent producers — each
+ * streaming the trace into its own run/session, the daemon's scaling
+ * axis — it reports aggregate records/second and verifies every
+ * session's final Report is byte-identical to the batch pipeline's
+ * answer.
+ *
+ * A second experiment pins the epoch-eviction memory bound: the same
+ * trace at the same window with retention 2 vs. effectively-unbounded
+ * retention; the ratio of online-index high-water marks is the bound
+ * eviction buys.
+ *
+ * Results go to BENCH_serve.json; scripts/bench_regress.sh gates the
+ * 4-producer aggregate throughput and the eviction ratio against
+ * scripts/serve_floor.json.
+ */
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/benchmark.hh"
+#include "apps/mapreduce/mini_mr.hh"
+#include "bench_common.hh"
+#include "common/json.hh"
+#include "common/util.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+#include "runtime/sim.hh"
+#include "serve/service.hh"
+#include "serve/session.hh"
+#include "serve/wire.hh"
+#include "trace/trace_store.hh"
+
+namespace {
+
+using namespace dcatch;
+using namespace dcatch::serve;
+
+/** Frame bytes shared by every run: metadata + records + End.  The
+ *  Hello (which names the run) is prepended per session. */
+std::string
+sharedStreamBytes(const trace::TraceStore &store, std::size_t batch)
+{
+    std::string bytes;
+    for (const auto &[id, queue] : store.queues())
+        bytes += encodeFrame(FrameType::QueueMeta,
+                             std::to_string(queue.node) + " " +
+                                 (queue.singleConsumer ? "1" : "0") +
+                                 " " + id);
+    for (const auto &[tid, thread] : store.threads())
+        bytes += encodeFrame(FrameType::ThreadMeta,
+                             std::to_string(thread.thread) + " " +
+                                 std::to_string(thread.node) + " " +
+                                 (thread.handlerThread ? "1" : "0") +
+                                 " " + thread.name);
+    std::string lines;
+    std::size_t in_batch = 0;
+    for (const trace::Record &rec : store.mergedRecords()) {
+        rec.appendLine(store.symbols(), lines);
+        lines += '\n';
+        if (++in_batch >= batch) {
+            bytes += encodeFrame(FrameType::Records, lines);
+            lines.clear();
+            in_batch = 0;
+        }
+    }
+    if (!lines.empty())
+        bytes += encodeFrame(FrameType::Records, lines);
+    bytes += encodeFrame(FrameType::End, "");
+    return bytes;
+}
+
+struct RunResultRow
+{
+    int producers = 0;
+    int jobs = 0;
+    double wallSec = 0;
+    double recordsPerSec = 0;
+    bool reportsOk = true;
+    ServeStats stats;
+};
+
+/** Stream @p producers concurrent sessions of @p shared and time it. */
+RunResultRow
+runProducers(const trace::TraceStore &store, const std::string &shared,
+             int producers, std::size_t records,
+             const std::vector<detect::Candidate> &candidates)
+{
+    RunResultRow row;
+    row.producers = producers;
+    row.jobs = std::min(producers, bench::jobsFromEnv());
+
+    ServeOptions options;
+    options.jobs = row.jobs;
+    ServeCore core(options);
+
+    std::vector<ConnId> conns;
+    std::vector<std::string> hellos;
+    for (int p = 0; p < producers; ++p) {
+        conns.push_back(core.connect());
+        hellos.push_back(encodeFrame(
+            FrameType::Hello,
+            encodeHello({"run-" + std::to_string(p), 1})));
+    }
+
+    Stopwatch watch;
+    std::vector<std::thread> threads;
+    for (int p = 0; p < producers; ++p)
+        threads.emplace_back([&, p] {
+            ConnId conn = conns[static_cast<std::size_t>(p)];
+            const std::string &hello =
+                hellos[static_cast<std::size_t>(p)];
+            core.deliver(conn, hello.data(), hello.size());
+            constexpr std::size_t kChunk = 256 * 1024;
+            for (std::size_t i = 0; i < shared.size(); i += kChunk)
+                core.deliver(conn, shared.data() + i,
+                             std::min(kChunk, shared.size() - i));
+        });
+    for (std::thread &thread : threads)
+        thread.join();
+    core.drain();
+    row.wallSec = watch.milliseconds() / 1e3;
+    row.recordsPerSec =
+        row.wallSec > 0
+            ? double(records) * producers / row.wallSec
+            : 0;
+
+    for (int p = 0; p < producers; ++p) {
+        std::string expected = canonicalReport(
+            "run-" + std::to_string(p), records, candidates);
+        bool got = false;
+        for (const Frame &frame :
+             core.poll(conns[static_cast<std::size_t>(p)]))
+            if (frame.type == FrameType::Report)
+                got = frame.payload == expected;
+        if (!got)
+            row.reportsOk = false;
+        core.disconnect(conns[static_cast<std::size_t>(p)]);
+    }
+    core.drain();
+    row.stats = core.stats();
+    (void)store;
+    return row;
+}
+
+/** Max online-index bytes for one session at the given retention. */
+ServeStats
+runRetention(const std::string &shared, std::size_t window, int retain)
+{
+    ServeOptions options;
+    options.jobs = 1;
+    options.window = window;
+    options.retainEpochs = retain;
+    ServeCore core(options);
+    ConnId conn = core.connect();
+    std::string hello =
+        encodeFrame(FrameType::Hello, encodeHello({"retain-run", 1}));
+    core.deliver(conn, hello.data(), hello.size());
+    constexpr std::size_t kChunk = 256 * 1024;
+    for (std::size_t i = 0; i < shared.size(); i += kChunk)
+        core.deliver(conn, shared.data() + i,
+                     std::min(kChunk, shared.size() - i));
+    core.drain();
+    core.disconnect(conn);
+    core.drain();
+    return core.stats();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Serve throughput",
+                  "dcatchd online ingestion vs. producer count");
+
+    // The workload: MR Hang3274 scaled up until the trace is large
+    // enough that per-record costs dominate session setup.
+    sim::SimConfig cfg;
+    cfg.maxSteps = 100'000'000;
+    sim::Simulation sim(cfg);
+    apps::mr::install(sim, apps::mr::Workload::Hang3274, 192);
+    sim.run();
+    const trace::TraceStore &store = sim.tracer().store();
+    std::size_t records = store.totalRecords();
+
+    // The authoritative answer, computed once.
+    hb::HbGraph graph(store, hb::HbGraph::Options());
+    detect::RaceDetector detector;
+    std::vector<detect::Candidate> candidates = detector.detect(graph);
+
+    std::string shared = sharedStreamBytes(store, 512);
+    std::printf("trace: %zu records, %zu candidate(s), %.1f KiB on "
+                "the wire\n\n",
+                records, candidates.size(), shared.size() / 1024.0);
+
+    bench::Table table({"Producers", "Jobs", "Records/s", "Wall ms",
+                        "Reports", "PendingKiB", "IndexKiB",
+                        "Evicted"});
+    Json runs = Json::array();
+    bool all_ok = true;
+    for (int producers : {1, 4, 16}) {
+        RunResultRow row = runProducers(store, shared, producers,
+                                        records, candidates);
+        all_ok = all_ok && row.reportsOk;
+        table.row({strprintf("%d", row.producers),
+                   strprintf("%d", row.jobs),
+                   strprintf("%.0f", row.recordsPerSec),
+                   strprintf("%.1f", row.wallSec * 1e3),
+                   row.reportsOk ? "exact" : "MISMATCH",
+                   strprintf("%.1f", row.stats.maxPendingBytes / 1024.0),
+                   strprintf("%.1f",
+                             row.stats.maxOnlineIndexBytes / 1024.0),
+                   strprintf("%zu", row.stats.evictedAccesses)});
+        Json entry = Json::object();
+        entry.set("producers", Json::num(std::int64_t(row.producers)))
+            .set("jobs", Json::num(std::int64_t(row.jobs)))
+            .set("recordsPerSec", Json::num(row.recordsPerSec))
+            .set("wallSec", Json::num(row.wallSec))
+            .set("reportsOk", Json::boolean(row.reportsOk))
+            .set("maxPendingBytes",
+                 Json::num(std::int64_t(row.stats.maxPendingBytes)))
+            .set("maxOnlineIndexBytes",
+                 Json::num(
+                     std::int64_t(row.stats.maxOnlineIndexBytes)))
+            .set("evictedAccesses",
+                 Json::num(std::int64_t(row.stats.evictedAccesses)));
+        runs.push(std::move(entry));
+    }
+    table.print();
+
+    // Eviction memory bound: same window, retention 2 vs. unbounded.
+    constexpr std::size_t kWindow = 1024;
+    ServeStats bounded = runRetention(shared, kWindow, 2);
+    ServeStats unbounded = runRetention(shared, kWindow, 1 << 20);
+    double bound_ratio =
+        bounded.maxOnlineIndexBytes > 0
+            ? double(unbounded.maxOnlineIndexBytes) /
+                  double(bounded.maxOnlineIndexBytes)
+            : 0;
+    std::printf("\neviction bound (window %zu): retained-2 index "
+                "%.1f KiB vs unbounded %.1f KiB (%.2fx), %zu "
+                "accesses evicted\n",
+                kWindow, bounded.maxOnlineIndexBytes / 1024.0,
+                unbounded.maxOnlineIndexBytes / 1024.0, bound_ratio,
+                bounded.evictedAccesses);
+
+    Json root = Json::object();
+    root.set("bench", Json::str("serve_throughput"))
+        .set("records", Json::num(std::int64_t(records)))
+        .set("reportsOk", Json::boolean(all_ok))
+        .set("runs", std::move(runs));
+    Json eviction = Json::object();
+    eviction.set("window", Json::num(std::int64_t(kWindow)))
+        .set("boundedIndexBytes",
+             Json::num(std::int64_t(bounded.maxOnlineIndexBytes)))
+        .set("unboundedIndexBytes",
+             Json::num(std::int64_t(unbounded.maxOnlineIndexBytes)))
+        .set("boundRatio", Json::num(bound_ratio))
+        .set("evictedAccesses",
+             Json::num(std::int64_t(bounded.evictedAccesses)));
+    root.set("eviction", std::move(eviction));
+    std::ofstream out("BENCH_serve.json");
+    out << root.dump() << "\n";
+    std::printf("wrote BENCH_serve.json\n");
+    return all_ok ? 0 : 1;
+}

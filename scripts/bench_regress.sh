@@ -54,6 +54,18 @@
 #      floor's distinct-failure-signature count on MR-3274 and
 #      ZK-1270 — a drop means schedule-space coverage regressed.
 #
+# Then runs the serve_throughput bench and verifies BENCH_serve.json
+# against scripts/serve_floor.json:
+#
+#  10. every streamed session's final Report is byte-identical to the
+#      batch pipeline's answer (reportsOk);
+#  11. aggregate online ingestion with 4 concurrent producers clears
+#      the records/sec floor;
+#  12. epoch eviction bounds the online index: the retained-2 index
+#      high-water mark is at least the floor's ratio smaller than
+#      unbounded retention at the same window, and eviction actually
+#      ran (evictedAccesses > 0).
+#
 # Exits nonzero on any violation, so CI can run it as a gate.
 
 set -euo pipefail
@@ -65,7 +77,8 @@ jobs="${JOBS:-$(nproc)}"
 echo "== configure + build (Release) in $build"
 cmake -S "$repo" -B "$build" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" -j "$jobs" --target scaling engine_crossover \
-    parallel_speedup trace_memory explore_coverage >/dev/null
+    parallel_speedup trace_memory explore_coverage \
+    serve_throughput >/dev/null
 
 echo "== run scaling bench"
 cd "$build"
@@ -379,4 +392,72 @@ print("ok: %d failing interleavings across %d benchmarks, all "
       "replay-verified (original + minimized) and cross-validated; "
       "signature floors hold"
       % (total, len(data.get("benchmarks", []))))
+EOF
+
+echo "== run serve throughput bench"
+./bench/serve_throughput
+
+sjson="$build/BENCH_serve.json"
+[ -f "$sjson" ] || { echo "FAIL: $sjson was not written" >&2; exit 1; }
+
+echo "== verify $sjson against scripts/serve_floor.json"
+python3 - "$sjson" "$repo/scripts/serve_floor.json" <<'EOF'
+import json, os, sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+with open(sys.argv[2]) as f:
+    floor = json.load(f)
+
+failures = []
+
+if not data.get("reportsOk"):
+    bad = [str(r["producers"]) for r in data.get("runs", [])
+           if not r.get("reportsOk")]
+    failures.append(
+        "online/batch divergence: streamed Report != batch pipeline "
+        "report at producer count(s) %s" % (", ".join(bad) or "?"))
+
+rate_floor = floor["minRecordsPerSec4Producers"]
+override = os.environ.get("DCATCH_SERVE_RATE_OVERRIDE")
+if override:
+    rate_floor = float(override)
+four = next((r for r in data.get("runs", [])
+             if r.get("producers") == 4), None)
+if four is None:
+    failures.append("serve bench skipped the 4-producer run")
+elif four.get("recordsPerSec", 0.0) < rate_floor:
+    failures.append(
+        "serve throughput regression: %.0f records/sec aggregate "
+        "with 4 producers < %.0f floor%s"
+        % (four.get("recordsPerSec", 0.0), rate_floor,
+           " (overridden)" if override else ""))
+
+ratio_floor = floor["minEvictionBoundRatio"]
+override = os.environ.get("DCATCH_SERVE_RATIO_OVERRIDE")
+if override:
+    ratio_floor = float(override)
+eviction = data.get("eviction", {})
+ratio = eviction.get("boundRatio", 0.0)
+if ratio < ratio_floor:
+    failures.append(
+        "eviction bound regression: retained index only %.2fx smaller "
+        "than unbounded retention (< %.2fx floor) at window %s"
+        % (ratio, ratio_floor, eviction.get("window")))
+if eviction.get("evictedAccesses", 0) <= 0:
+    failures.append(
+        "eviction never ran: evictedAccesses == 0 at window %s"
+        % eviction.get("window"))
+
+if failures:
+    print("BENCH REGRESSION:")
+    for f in failures:
+        print("  - " + f)
+    sys.exit(1)
+
+print("ok: streamed reports byte-identical to batch; %.0f records/sec "
+      "aggregate with 4 producers >= %.0f floor; eviction bounds the "
+      "online index %.2fx (>= %.2fx floor, %d accesses evicted)"
+      % (four["recordsPerSec"], rate_floor, ratio, ratio_floor,
+         eviction.get("evictedAccesses", 0)))
 EOF

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the dcatchd online service: start the
+# daemon on a unix socket, stream the MR-3274 trace into it from 4
+# concurrent producers with dcatch_feed, require the daemon's Report
+# to be byte-identical to the local batch pipeline (--check), then
+# SIGTERM the daemon and require a clean exit with a stats summary.
+#
+# Usage: scripts/serve_smoke.sh [build-dir]   (default: ./build)
+
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+sock="$(mktemp -u /tmp/dcatchd-smoke-XXXXXX.sock)"
+logfile="$(mktemp /tmp/dcatchd-smoke-XXXXXX.log)"
+
+cleanup() {
+    [ -n "${daemon_pid:-}" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -f "$sock"
+}
+trap cleanup EXIT
+
+echo "== start dcatchd on unix:$sock"
+"$build/tools/dcatch" serve --listen "unix:$sock" --jobs 2 \
+    --window 512 >"$logfile" 2>&1 &
+daemon_pid=$!
+
+for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || {
+        echo "FAIL: daemon died during startup" >&2
+        cat "$logfile" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+[ -S "$sock" ] || { echo "FAIL: socket never appeared" >&2; exit 1; }
+
+echo "== feed MR-3274 with 4 producers, verify against batch pipeline"
+"$build/tools/dcatch_feed" --connect "unix:$sock" \
+    --benchmark MR-3274 --producers 4 --check
+
+echo "== SIGTERM the daemon, expect a clean exit"
+kill -TERM "$daemon_pid"
+status=0
+wait "$daemon_pid" || status=$?
+daemon_pid=""
+if [ "$status" -ne 0 ]; then
+    echo "FAIL: daemon exited with status $status" >&2
+    cat "$logfile" >&2
+    exit 1
+fi
+
+echo "== daemon log"
+cat "$logfile"
+echo "ok: report byte-identical to batch; daemon shut down cleanly"

@@ -115,7 +115,74 @@ class ChainFrontierIndex
             }
         }
         chainCount_ = chains;
+        chainLen_.assign(chains, 0);
+        for (std::size_t v = 0; v < n_; ++v)
+            ++chainLen_[chainOf_[v]];
         rebuildRows(preds);
+    }
+
+    /**
+     * Extend the index with vertices [size(), preds.size()) — the
+     * streaming path: the daemon's incremental HB construction
+     * appends each arriving batch instead of rebuilding.  New
+     * vertices may only have predecessors below them (the usual
+     * forward-edge invariant), so their rows derive from already-
+     * exact rows and no existing row changes: the extension is exact
+     * in O(new vertices * row width).
+     *
+     * The chain hint is honoured only when the hinted predecessor is
+     * still the tail of its chain (always true for program-order
+     * hints between repacks); otherwise the vertex opens a fresh
+     * chain, keeping the (chain, pos) coordinates injective.
+     */
+    void
+    appendVertices(const std::vector<std::vector<int>> &preds,
+                   const std::vector<int> &chainHint)
+    {
+        std::size_t newN = preds.size();
+        succs_.resize(newN);
+        chainOf_.resize(newN);
+        posOf_.resize(newN);
+        chainPred_.resize(newN, -1);
+        rowOf_.resize(newN, -1);
+        chainLen_.resize(chainCount_, 0);
+        for (std::size_t v = n_; v < newN; ++v) {
+            for (int u : preds[v])
+                succs_[static_cast<std::size_t>(u)].push_back(
+                    static_cast<int>(v));
+            int p = chainHint[v];
+            auto sp = static_cast<std::size_t>(p);
+            if (p >= 0 &&
+                posOf_[sp] + 1 == chainLen_[chainOf_[sp]]) {
+                chainPred_[v] = p;
+                chainOf_[v] = chainOf_[sp];
+                posOf_[v] = posOf_[sp] + 1;
+                ++chainLen_[chainOf_[sp]];
+            } else {
+                chainPred_[v] = -1;
+                chainOf_[v] = chainCount_++;
+                posOf_[v] = 0;
+                chainLen_.push_back(1);
+            }
+            const std::vector<int> &pv = preds[v];
+            if (pv.size() == 1 && pv[0] == chainPred_[v]) {
+                rowOf_[v] =
+                    rowOf_[static_cast<std::size_t>(pv[0])];
+            } else {
+                Row row;
+                for (int u : pv) {
+                    auto su = static_cast<std::size_t>(u);
+                    unionMax(
+                        row,
+                        rows_[static_cast<std::size_t>(rowOf_[su])]);
+                    raise(row, chainOf_[su], posOf_[su] + 1);
+                }
+                rowOf_[v] = static_cast<std::int32_t>(rows_.size());
+                rowOwner_.push_back(static_cast<int>(v));
+                rows_.push_back(std::move(row));
+            }
+        }
+        n_ = newN;
     }
 
     /** Does vertex @p u strictly happen before vertex @p v? */
@@ -279,6 +346,9 @@ class ChainFrontierIndex
         posOf_ = std::move(pos);
         chainPred_ = std::move(pred);
         chainCount_ = static_cast<std::uint32_t>(tails.size());
+        chainLen_.assign(chainCount_, 0);
+        for (std::size_t v = 0; v < n_; ++v)
+            ++chainLen_[chainOf_[v]];
         rebuildRows(preds);
         ++repacks_;
     }
@@ -555,6 +625,7 @@ class ChainFrontierIndex
     std::uint32_t chainCount_ = 0;
     std::vector<std::uint32_t> chainOf_; ///< chain id per vertex
     std::vector<std::uint32_t> posOf_;   ///< position within chain
+    std::vector<std::uint32_t> chainLen_; ///< vertices per chain
     std::vector<int> chainPred_;         ///< chain predecessor, -1 at head
     std::vector<std::int32_t> rowOf_;    ///< row index per vertex
     std::vector<Row> rows_;              ///< materialised frontier rows

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Unbounded lock-free multi-producer / single-consumer queue
+ * (Vyukov's non-intrusive MPSC design).
+ *
+ * The daemon's ingestion path: every connection-reader thread is a
+ * producer pushing decoded frame batches; each session worker is the
+ * single consumer draining its own queue.  Push is wait-free — one
+ * exchange on the head plus one release store linking the previous
+ * node — so producers never contend on a lock no matter how many
+ * connections stream at once.  Pop is consumer-only and lock-free
+ * except for the momentary window between a producer's exchange and
+ * its link store, where the consumer simply observes "empty" and
+ * retries later (the daemon polls between frames, so this costs
+ * nothing).
+ *
+ * Contract:
+ *  - any number of threads may call push() concurrently;
+ *  - exactly one thread calls pop() / drain() at a time;
+ *  - approxSize() is a relaxed counter for backpressure decisions and
+ *    metrics, momentarily off by in-flight pushes by design;
+ *  - the destructor drains remaining nodes (no concurrent use).
+ *
+ * Elements should be cheap to move (the serve path pushes small batch
+ * handles, not individual records, so the per-push allocation
+ * amortizes over hundreds of records).
+ */
+
+#ifndef DCATCH_COMMON_MPSC_QUEUE_HH
+#define DCATCH_COMMON_MPSC_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace dcatch {
+
+template <typename T>
+class MpscQueue
+{
+  public:
+    MpscQueue()
+    {
+        Node *stub = new Node();
+        head_.store(stub, std::memory_order_relaxed);
+        tail_ = stub;
+    }
+
+    MpscQueue(const MpscQueue &) = delete;
+    MpscQueue &operator=(const MpscQueue &) = delete;
+
+    ~MpscQueue()
+    {
+        Node *n = tail_;
+        while (n) {
+            Node *next = n->next.load(std::memory_order_relaxed);
+            delete n;
+            n = next;
+        }
+    }
+
+    /** Enqueue (any thread; wait-free). */
+    void
+    push(T value)
+    {
+        Node *node = new Node(std::move(value));
+        // Claim the head slot, then link the previous head to us.  A
+        // consumer arriving between the two sees a momentarily
+        // unlinked suffix and reports empty — never a lost element.
+        Node *prev = head_.exchange(node, std::memory_order_acq_rel);
+        prev->next.store(node, std::memory_order_release);
+        size_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Dequeue into @p out (consumer thread only).
+     *  @return false when empty (or a push is mid-link). */
+    bool
+    pop(T &out)
+    {
+        Node *tail = tail_;
+        Node *next = tail->next.load(std::memory_order_acquire);
+        if (!next)
+            return false;
+        out = std::move(next->value);
+        tail_ = next;
+        delete tail;
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /**
+     * Drain everything currently linked into @p sink (consumer thread
+     * only).  @return number of elements consumed.
+     */
+    template <typename Sink>
+    std::size_t
+    drain(Sink &&sink)
+    {
+        std::size_t n = 0;
+        T value;
+        while (pop(value)) {
+            sink(std::move(value));
+            ++n;
+        }
+        return n;
+    }
+
+    /** Approximate element count (relaxed; for backpressure/metrics). */
+    std::size_t
+    approxSize() const
+    {
+        return size_.load(std::memory_order_relaxed);
+    }
+
+    /** True when nothing is linked (consumer thread only). */
+    bool
+    empty() const
+    {
+        return tail_->next.load(std::memory_order_acquire) == nullptr;
+    }
+
+  private:
+    struct Node
+    {
+        Node() = default;
+        explicit Node(T &&v) : value(std::move(v)) {}
+        std::atomic<Node *> next{nullptr};
+        T value{};
+    };
+
+    /** Most recently pushed node (producers exchange onto this). */
+    std::atomic<Node *> head_;
+    /** Consumer-owned stub; tail_->next is the next element out. */
+    Node *tail_;
+    std::atomic<std::size_t> size_{0};
+};
+
+} // namespace dcatch
+
+#endif // DCATCH_COMMON_MPSC_QUEUE_HH

@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Append-only vector with stable element addresses and a
+ * single-writer / concurrent-reader publication contract.
+ *
+ * The daemon (`src/serve/`) appends trace records to a session's
+ * TraceStore while the incremental HB engine and the online detector
+ * read earlier rows from the same store — continuously, not just
+ * after a fork barrier.  std::vector cannot support that: push_back
+ * reallocates, invalidating every element a reader might be touching.
+ *
+ * StableVector stores elements in geometrically growing chunks
+ * (64, 128, 256, ... elements) that are allocated once and never
+ * moved, indexed by closed-form bit math.  The writer publishes a new
+ * element by storing it into its pre-allocated slot and then bumping
+ * the size with release ordering; a reader that observes size() >= n
+ * with acquire ordering may freely read elements [0, n) — the chunk
+ * pointer stores and the element write are sequenced before the size
+ * store, so the release/acquire pair on size_ makes them visible.
+ * Chunk pointers are themselves atomics (relaxed) purely so the
+ * pointer loads are not data races under the memory model.
+ *
+ * Contract:
+ *  - exactly one thread calls push_back / emplace_back / clear /
+ *    assignment at a time (no internal locking);
+ *  - any number of threads may concurrently call size(), operator[],
+ *    at(), back(), begin()/end() for indexes below an observed size;
+ *  - copy/move construction and assignment require the source (and
+ *    destination) to be quiescent — they are for setup/teardown and
+ *    store copies, not for concurrent use.
+ *
+ * Iterators snapshot the size at begin(): a range-for sees the
+ * elements published at that instant, never a torn suffix.
+ */
+
+#ifndef DCATCH_COMMON_STABLE_VECTOR_HH
+#define DCATCH_COMMON_STABLE_VECTOR_HH
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace dcatch {
+
+template <typename T>
+class StableVector
+{
+  public:
+    StableVector() = default;
+
+    StableVector(const StableVector &other) { appendFrom(other); }
+
+    StableVector &
+    operator=(const StableVector &other)
+    {
+        if (this != &other) {
+            clear();
+            appendFrom(other);
+        }
+        return *this;
+    }
+
+    StableVector(StableVector &&other) noexcept { stealFrom(other); }
+
+    StableVector &
+    operator=(StableVector &&other) noexcept
+    {
+        if (this != &other) {
+            destroyChunks();
+            stealFrom(other);
+        }
+        return *this;
+    }
+
+    ~StableVector() { destroyChunks(); }
+
+    /** Published element count (acquire: elements below it are
+     *  readable). */
+    std::size_t
+    size() const
+    {
+        return size_.load(std::memory_order_acquire);
+    }
+
+    bool empty() const { return size() == 0; }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return *slot(i);
+    }
+
+    T &
+    operator[](std::size_t i)
+    {
+        return *slot(i);
+    }
+
+    const T &back() const { return (*this)[size() - 1]; }
+
+    /** Append (writer only).  Returns the element's index. */
+    std::size_t
+    push_back(const T &value)
+    {
+        std::size_t i = size_.load(std::memory_order_relaxed);
+        *writableSlot(i) = value;
+        size_.store(i + 1, std::memory_order_release);
+        return i;
+    }
+
+    /** Append by move (writer only). */
+    std::size_t
+    push_back(T &&value)
+    {
+        std::size_t i = size_.load(std::memory_order_relaxed);
+        *writableSlot(i) = std::move(value);
+        size_.store(i + 1, std::memory_order_release);
+        return i;
+    }
+
+    /** Grow with default-constructed elements until size() >= n
+     *  (writer only). */
+    void
+    ensureSize(std::size_t n)
+    {
+        std::size_t i = size_.load(std::memory_order_relaxed);
+        while (i < n) {
+            writableSlot(i); // allocate; slot is default-constructed
+            ++i;
+        }
+        if (n > size_.load(std::memory_order_relaxed))
+            size_.store(n, std::memory_order_release);
+    }
+
+    /**
+     * Drop all elements (writer only; no concurrent readers).  Keeps
+     * the allocated chunks — elements are reset to default on reuse
+     * by assignment in push_back.
+     */
+    void
+    clear()
+    {
+        // Re-default live slots so reused elements do not leak state
+        // (matters for T with ownership, e.g. nested StableVectors).
+        std::size_t n = size_.load(std::memory_order_relaxed);
+        for (std::size_t i = 0; i < n; ++i)
+            *slot(i) = T();
+        size_.store(0, std::memory_order_release);
+    }
+
+    /** Bytes of allocated chunk storage (capacity, not size). */
+    std::size_t
+    capacityBytes() const
+    {
+        std::size_t bytes = 0;
+        for (std::size_t c = 0; c < kMaxChunks; ++c)
+            if (chunks_[c].load(std::memory_order_relaxed))
+                bytes += chunkCapacity(c) * sizeof(T);
+        return bytes;
+    }
+
+    /** Input iterator over a size snapshot taken at begin(). */
+    class const_iterator
+    {
+      public:
+        using iterator_category = std::forward_iterator_tag;
+        using value_type = T;
+        using difference_type = std::ptrdiff_t;
+        using pointer = const T *;
+        using reference = const T &;
+
+        const T &operator*() const { return (*v_)[i_]; }
+        const T *operator->() const { return &(*v_)[i_]; }
+        const_iterator &
+        operator++()
+        {
+            ++i_;
+            return *this;
+        }
+        bool
+        operator!=(const const_iterator &o) const
+        {
+            return i_ != o.i_;
+        }
+        bool
+        operator==(const const_iterator &o) const
+        {
+            return i_ == o.i_;
+        }
+
+      private:
+        friend class StableVector;
+        const_iterator(const StableVector *v, std::size_t i)
+            : v_(v), i_(i)
+        {
+        }
+        const StableVector *v_;
+        std::size_t i_;
+    };
+
+    const_iterator begin() const { return {this, 0}; }
+    const_iterator end() const { return {this, size()}; }
+
+  private:
+    /** First chunk holds 64 elements; chunk c holds 64 << c. */
+    static constexpr std::size_t kBaseShift = 6;
+    /** 64 * (2^26 - 1) ≈ 4.3e9 elements of headroom. */
+    static constexpr std::size_t kMaxChunks = 26;
+
+    static constexpr std::size_t
+    chunkCapacity(std::size_t chunk)
+    {
+        return std::size_t{1} << (kBaseShift + chunk);
+    }
+
+    /** chunk index and in-chunk offset for element i. */
+    static constexpr std::pair<std::size_t, std::size_t>
+    locate(std::size_t i)
+    {
+        std::size_t chunk =
+            static_cast<std::size_t>(
+                std::bit_width((i >> kBaseShift) + 1)) -
+            1;
+        std::size_t base = ((std::size_t{1} << chunk) - 1)
+                           << kBaseShift;
+        return {chunk, i - base};
+    }
+
+    const T *
+    slot(std::size_t i) const
+    {
+        auto [chunk, off] = locate(i);
+        T *base = chunks_[chunk].load(std::memory_order_relaxed);
+        assert(base && "index beyond allocated storage");
+        return base + off;
+    }
+
+    T *
+    slot(std::size_t i)
+    {
+        auto [chunk, off] = locate(i);
+        T *base = chunks_[chunk].load(std::memory_order_relaxed);
+        assert(base && "index beyond allocated storage");
+        return base + off;
+    }
+
+    /** Writer-side slot access; allocates the chunk on first touch. */
+    T *
+    writableSlot(std::size_t i)
+    {
+        auto [chunk, off] = locate(i);
+        assert(chunk < kMaxChunks && "StableVector exhausted");
+        T *base = chunks_[chunk].load(std::memory_order_relaxed);
+        if (!base) {
+            base = new T[chunkCapacity(chunk)]();
+            chunks_[chunk].store(base, std::memory_order_relaxed);
+        }
+        return base + off;
+    }
+
+    void
+    destroyChunks()
+    {
+        for (std::size_t c = 0; c < kMaxChunks; ++c) {
+            T *base = chunks_[c].load(std::memory_order_relaxed);
+            delete[] base;
+            chunks_[c].store(nullptr, std::memory_order_relaxed);
+        }
+        size_.store(0, std::memory_order_relaxed);
+    }
+
+    void
+    appendFrom(const StableVector &other)
+    {
+        std::size_t n = other.size();
+        for (std::size_t i = 0; i < n; ++i)
+            push_back(other[i]);
+    }
+
+    void
+    stealFrom(StableVector &other) noexcept
+    {
+        for (std::size_t c = 0; c < kMaxChunks; ++c) {
+            chunks_[c].store(
+                other.chunks_[c].load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+            other.chunks_[c].store(nullptr,
+                                   std::memory_order_relaxed);
+        }
+        size_.store(other.size_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+        other.size_.store(0, std::memory_order_relaxed);
+    }
+
+    std::atomic<T *> chunks_[kMaxChunks] = {};
+    std::atomic<std::size_t> size_{0};
+};
+
+} // namespace dcatch
+
+#endif // DCATCH_COMMON_STABLE_VECTOR_HH

@@ -1,6 +1,7 @@
 #include "hb/graph.hh"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 #include <set>
 #include <stdexcept>
@@ -209,8 +210,6 @@ HbGraph::HbGraph(const trace::TraceStore &store, Options options)
         oom_ = true;
     }
 }
-
-HbGraph::~HbGraph() = default;
 
 HbGraph::EngineDecision
 HbGraph::decide(Engine requested, std::size_t vertices,
@@ -779,6 +778,447 @@ HbGraph::incrementalUpdates() const
     return engine_ == Engine::ChainFrontier
                ? frontier_.incrementalEdges()
                : 0;
+}
+
+// ---------------------------------------------------------------------
+// Streaming (incremental) construction — the dcatchd ingestion path
+// ---------------------------------------------------------------------
+
+struct HbGraph::StreamState
+{
+    const trace::TraceStore *store = nullptr;
+    std::uint64_t lastSeq = 0;
+    bool haveSeq = false;
+    bool finished = false;
+    bool exactLost = false;
+
+    /**
+     * Per-thread program-order machine.  The batch build classifies a
+     * thread handler iff its complete filtered log contains a
+     * segment-opening record — hindsight a stream does not have.  The
+     * stream predicts handler for every thread unless ThreadMeta
+     * (registered by the client before the thread's records) promises
+     * handlerThread == false, and repairs the one benign
+     * misprediction:
+     *
+     *  - predicted handler, no opener ever arrives: the batch build
+     *    would have chained the whole log (Rule-Preg).  Edges can
+     *    always be *added*, so finishStream() chains retroactively —
+     *    exactness preserved.  This is why handler is the safe
+     *    default: its eager Rule-Pnreg edges are always a subset of
+     *    the batch closure (any opener makes the thread handler-style
+     *    in hindsight), so exactness never depends on the guess.
+     *  - promised regular, an opener arrives after >= 2 records: the
+     *    eager Rule-Preg edges over-order and cannot be retracted —
+     *    exactLost, and the session rebuilds a batch graph at End for
+     *    the authoritative report.  Only an explicit (wrong) client
+     *    promise can reach this path.
+     */
+    struct ThreadState
+    {
+        bool handlerMode = false; ///< current prediction
+        bool sawOpener = false;
+        bool inSegment = false;
+        int prev = -1;          ///< pending program-order predecessor
+        std::vector<int> verts; ///< this thread's vertices, in order
+    };
+    std::vector<ThreadState> threads;
+
+    /** Rule-Eserial bookkeeping: one entry per event id, completed
+     *  triples listed per queue in handler-begin order. */
+    struct EventVerts
+    {
+        int create = -1, begin = -1, end = -1;
+    };
+    struct QueueState
+    {
+        std::map<trace::SymId, EventVerts> events;
+        std::vector<const EventVerts *> complete; ///< sorted by begin
+        /** Prefix of `complete` already converged by a previous
+         *  flush; new edges between old vertices reset it. */
+        std::size_t stable = 0;
+    };
+    std::map<std::string, QueueState, std::less<>> queues;
+};
+
+// Defined here so unique_ptr<StreamState> destroys a complete type.
+HbGraph::~HbGraph() = default;
+
+HbGraph::HbGraph(StreamTag, const trace::TraceStore &store,
+                 Options options)
+    : options_(options), pool_(store.sharedSymbols()),
+      stream_(std::make_unique<StreamState>())
+{
+    engine_ = Engine::ChainFrontier;
+    decision_.requested = options_.engine;
+    decision_.resolved = engine_;
+    decision_.budgetBytes = options_.memoryBudgetBytes;
+    decision_.vertexCutoff = options_.autoDenseVertexCutoff;
+    stream_->store = &store;
+}
+
+std::unique_ptr<HbGraph>
+HbGraph::streaming(const trace::TraceStore &store, Options options)
+{
+    // Only the chain-frontier engine supports incremental closure.
+    options.engine = Engine::ChainFrontier;
+    return std::unique_ptr<HbGraph>(
+        new HbGraph(StreamTag{}, store, options));
+}
+
+bool
+HbGraph::streamExact() const
+{
+    return stream_ != nullptr && !stream_->exactLost;
+}
+
+void
+HbGraph::streamProgramEdge(int v, const Record &rec)
+{
+    StreamState &st = *stream_;
+    if (rec.thread < 0)
+        return;
+    auto tid = static_cast<std::size_t>(rec.thread);
+    if (tid >= st.threads.size())
+        st.threads.resize(tid + 1);
+    StreamState::ThreadState &ts = st.threads[tid];
+    if (ts.verts.empty()) {
+        auto it = st.store->threads().find(rec.thread);
+        ts.handlerMode = it == st.store->threads().end() ||
+                         it->second.handlerThread;
+    }
+    ts.verts.push_back(v);
+
+    if (opensSegment(rec.type)) {
+        if (!ts.handlerMode && ts.verts.size() > 2) {
+            // Predicted regular: Rule-Preg edges over the >= 2
+            // pre-opener records are already in the closure, but the
+            // batch build (which sees the opener in hindsight) would
+            // have isolated them.  Over-ordering cannot be retracted.
+            DCATCH_WARN() << "stream thread " << rec.thread
+                          << " opened a handler segment after "
+                          << (ts.verts.size() - 1)
+                          << " eagerly-chained records; batch "
+                             "equivalence lost";
+            st.exactLost = true;
+        }
+        ts.handlerMode = true;
+        ts.sawOpener = true;
+        ts.inSegment = true;
+        ts.prev = v;
+        return;
+    }
+    if (!ts.handlerMode) {
+        if (ts.prev >= 0 && addEdge(ts.prev, v, &EdgeStats::program))
+            progPred_[static_cast<std::size_t>(v)] = ts.prev;
+        ts.prev = v;
+        return;
+    }
+    // Rule-Pnreg: chain only within one handler instance.
+    if (!ts.inSegment) {
+        ts.prev = -1;
+        return;
+    }
+    if (ts.prev >= 0 && addEdge(ts.prev, v, &EdgeStats::program))
+        progPred_[static_cast<std::size_t>(v)] = ts.prev;
+    ts.prev = v;
+    if (closesSegment(rec.type)) {
+        ts.inSegment = false;
+        ts.prev = -1;
+    }
+}
+
+void
+HbGraph::streamPairingEdges(int v, const Record &rec)
+{
+    // Mirrors buildPairingEdges: the i-th source pairs with the i-th
+    // sink per id.  An edge is attempted when the *later* endpoint
+    // arrives, so each pair is attempted exactly once; a sink that
+    // precedes its source yields the same dropped-backward-edge
+    // outcome the batch build produces.
+    auto mate = [&](RecordType other, bool v_is_sink,
+                    std::size_t EdgeStats::*counter) {
+        const auto &mine =
+            byTypeId_[static_cast<std::size_t>(rec.type)][rec.id];
+        std::size_t idx = mine.size() - 1; // v's position, just pushed
+        const auto &theirs =
+            byTypeId_[static_cast<std::size_t>(other)][rec.id];
+        if (idx >= theirs.size())
+            return;
+        if (v_is_sink)
+            addEdge(theirs[idx], v, counter);
+        else
+            addEdge(v, theirs[idx], counter);
+    };
+
+    const RuleSet &rules = options_.rules;
+    switch (rec.type) {
+      case RecordType::ThreadCreate:
+        if (rules.thread)
+            mate(RecordType::ThreadBegin, false, &EdgeStats::fork);
+        break;
+      case RecordType::ThreadBegin:
+        if (rules.thread)
+            mate(RecordType::ThreadCreate, true, &EdgeStats::fork);
+        break;
+      case RecordType::ThreadEnd:
+        if (rules.thread)
+            mate(RecordType::ThreadJoin, false, &EdgeStats::join);
+        break;
+      case RecordType::ThreadJoin:
+        if (rules.thread)
+            mate(RecordType::ThreadEnd, true, &EdgeStats::join);
+        break;
+      case RecordType::EventCreate:
+        if (rules.event)
+            mate(RecordType::EventBegin, false, &EdgeStats::eenq);
+        break;
+      case RecordType::EventBegin:
+        if (rules.event)
+            mate(RecordType::EventCreate, true, &EdgeStats::eenq);
+        break;
+      case RecordType::RpcCreate:
+        if (rules.rpc)
+            mate(RecordType::RpcBegin, false, &EdgeStats::rpc);
+        break;
+      case RecordType::RpcBegin:
+        if (rules.rpc)
+            mate(RecordType::RpcCreate, true, &EdgeStats::rpc);
+        break;
+      case RecordType::RpcEnd:
+        if (rules.rpc)
+            mate(RecordType::RpcJoin, false, &EdgeStats::rpc);
+        break;
+      case RecordType::RpcJoin:
+        if (rules.rpc)
+            mate(RecordType::RpcEnd, true, &EdgeStats::rpc);
+        break;
+      case RecordType::MsgSend:
+        if (rules.socket)
+            mate(RecordType::MsgRecv, false, &EdgeStats::socket);
+        break;
+      case RecordType::MsgRecv:
+        if (rules.socket)
+            mate(RecordType::MsgSend, true, &EdgeStats::socket);
+        break;
+      case RecordType::CoordUpdate:
+        if (rules.push)
+            for (int dst : byTypeId_[static_cast<std::size_t>(
+                     RecordType::CoordPushed)][rec.id])
+                if (dst != v)
+                    addEdge(v, dst, &EdgeStats::push);
+        break;
+      case RecordType::CoordPushed:
+        if (rules.push)
+            for (int src : byTypeId_[static_cast<std::size_t>(
+                     RecordType::CoordUpdate)][rec.id])
+                if (src != v)
+                    addEdge(src, v, &EdgeStats::push);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+HbGraph::append(const Record &rec)
+{
+    assert(stream_ && "append() requires a streaming graph");
+    StreamState &st = *stream_;
+    assert(!st.finished && "append() after finishStream()");
+    assert((!st.haveSeq || rec.seq > st.lastSeq) &&
+           "streamed records must arrive in ascending seq order");
+    st.lastSeq = rec.seq;
+    st.haveSeq = true;
+
+    if (!keepRecord(rec, options_.rules))
+        return;
+    int v = static_cast<int>(recs_.size());
+    recs_.push_back(rec);
+    preds_.emplace_back();
+    progPred_.push_back(-1);
+    if (rec.isMemoryAccess())
+        memVertices_.push_back(v);
+    byTypeId_[static_cast<std::size_t>(rec.type)][rec.id].push_back(v);
+    vertexIndex_[static_cast<std::size_t>(rec.type)]
+                [symPair(rec.site, rec.id)]
+                    .push_back(v);
+    decision_.vertices = recs_.size();
+
+    streamProgramEdge(v, rec);
+    streamPairingEdges(v, rec);
+
+    if (options_.rules.event &&
+        (rec.type == RecordType::EventCreate ||
+         rec.type == RecordType::EventBegin ||
+         rec.type == RecordType::EventEnd)) {
+        std::string_view event_id = pool_->view(rec.id);
+        std::string_view queue_id =
+            event_id.substr(0, event_id.find('#'));
+        auto it = st.queues.find(queue_id);
+        if (it == st.queues.end())
+            it = st.queues.emplace(std::string(queue_id),
+                                   StreamState::QueueState{})
+                     .first;
+        StreamState::QueueState &q = it->second;
+        StreamState::EventVerts &ev = q.events[rec.id];
+        if (rec.type == RecordType::EventCreate)
+            ev.create = v;
+        else if (rec.type == RecordType::EventBegin)
+            ev.begin = v;
+        else
+            ev.end = v;
+        if (ev.create >= 0 && ev.begin >= 0 && ev.end >= 0) {
+            // Completed triple: insert in handler-begin order (single
+            // consumer means completion order == begin order, so this
+            // is almost always an append).
+            auto pos = std::lower_bound(
+                q.complete.begin(), q.complete.end(), &ev,
+                [](const StreamState::EventVerts *a,
+                   const StreamState::EventVerts *b) {
+                    return a->begin < b->begin;
+                });
+            auto at = static_cast<std::size_t>(pos -
+                                               q.complete.begin());
+            q.complete.insert(pos, &ev);
+            if (at < q.stable)
+                q.stable = at;
+        }
+    }
+}
+
+void
+HbGraph::streamEventSerial()
+{
+    StreamState &st = *stream_;
+    auto single_consumer = [&](std::string_view key) {
+        auto meta = st.store->queues().find(key);
+        return meta != st.store->queues().end() &&
+               meta->second.singleConsumer;
+    };
+    // Nearest-first pair scan with immediate deferred integration —
+    // once end(j-1) => begin(j) lands, its (chain-run updated) row
+    // already implies end(i) => begin(j) for earlier handlers, so the
+    // recorded edge set stays near the transitive reduction, as in
+    // the batch fixpoint.
+    auto scan = [&](StreamState::QueueState &q,
+                    std::size_t from) -> bool {
+        bool added = false;
+        auto &list = q.complete;
+        for (std::size_t j = std::max<std::size_t>(from, 1);
+             j < list.size(); ++j) {
+            for (std::size_t i = j; i-- > 0;) {
+                if (!happensBefore(list[i]->create, list[j]->create))
+                    continue;
+                if (happensBefore(list[i]->end, list[j]->begin))
+                    continue; // already ordered
+                if (addEdge(list[i]->end, list[j]->begin,
+                            &EdgeStats::eserial)) {
+                    frontier_.addEdgeDeferred(list[i]->end,
+                                              list[j]->begin);
+                    added = true;
+                }
+            }
+        }
+        return added;
+    };
+
+    // First pass only visits handlers completed since the queue last
+    // converged: reachability between old vertices cannot change from
+    // vertex appends alone (edges point forward), only from Eserial
+    // edges — which trigger the full re-scan loop below.
+    bool added = false;
+    for (auto &[key, q] : st.queues)
+        if (single_consumer(key))
+            added |= scan(q, q.stable);
+    while (added) {
+        frontier_.refresh(preds_);
+        added = false;
+        for (auto &[key, q] : st.queues)
+            if (single_consumer(key))
+                added |= scan(q, 1);
+    }
+    for (auto &[key, q] : st.queues)
+        if (single_consumer(key))
+            q.stable = q.complete.size();
+}
+
+void
+HbGraph::flush()
+{
+    assert(stream_ && "flush() requires a streaming graph");
+    if (oom_)
+        return;
+    if (frontier_.size() < recs_.size())
+        frontier_.appendVertices(preds_, progPred_);
+    if (options_.rules.event)
+        streamEventSerial();
+    if (frontier_.bytes() > options_.memoryBudgetBytes) {
+        DCATCH_WARN() << "streaming HB graph chain frontiers need "
+                      << frontier_.bytes() << " bytes, budget is "
+                      << options_.memoryBudgetBytes << " — marking OOM";
+        oom_ = true;
+    }
+}
+
+void
+HbGraph::finishStream()
+{
+    assert(stream_ && "finishStream() requires a streaming graph");
+    StreamState &st = *stream_;
+    assert(!st.finished && "finishStream() called twice");
+    st.finished = true;
+    if (oom_)
+        return;
+    if (frontier_.size() < recs_.size())
+        frontier_.appendVertices(preds_, progPred_);
+
+    // Threads predicted handler that never opened a segment: the
+    // batch build classifies them regular in hindsight — chain their
+    // whole logs retroactively (additions are always safe).
+    bool retro = false;
+    for (StreamState::ThreadState &ts : st.threads) {
+        if (!ts.handlerMode || ts.sawOpener)
+            continue;
+        for (std::size_t i = 1; i < ts.verts.size(); ++i)
+            if (addEdge(ts.verts[i - 1], ts.verts[i],
+                        &EdgeStats::program)) {
+                progPred_[static_cast<std::size_t>(ts.verts[i])] =
+                    ts.verts[i - 1];
+                frontier_.addEdgeDeferred(ts.verts[i - 1],
+                                          ts.verts[i]);
+                retro = true;
+            }
+    }
+    if (retro) {
+        frontier_.refresh(preds_);
+        // Old-vertex reachability changed: previously converged
+        // Eserial prefixes may order new pairs.
+        for (auto &[key, q] : st.queues)
+            q.stable = 0;
+    }
+    if (options_.rules.event)
+        streamEventSerial();
+    // Collapse Eserial-serialized handler instances into shared
+    // chains, exactly as the batch constructor does after its
+    // fixpoint.
+    frontier_.repack(preds_);
+
+    std::set<int> threads;
+    for (const Record &rec : recs_)
+        threads.insert(rec.thread);
+    decision_.threads = threads.size();
+    decision_.crossEdges = stats_.total() - stats_.program;
+    decision_.denseBytes =
+        recs_.size() * ((recs_.size() + 63) / 64) * 8;
+
+    if (frontier_.bytes() > options_.memoryBudgetBytes) {
+        DCATCH_WARN() << "streaming HB graph chain frontiers need "
+                      << frontier_.bytes()
+                      << " bytes after repack, budget is "
+                      << options_.memoryBudgetBytes << " — marking OOM";
+        oom_ = true;
+    }
 }
 
 } // namespace dcatch::hb

@@ -206,6 +206,69 @@ class HbGraph
     {
     }
 
+    /**
+     * Streaming construction (the dcatchd path): the graph starts
+     * empty and grows by append() as records arrive, instead of
+     * rebuilding from a complete trace.  @p store is the session's
+     * live store — consulted for queue/thread metadata, which must be
+     * registered before the records that depend on it.  Records must
+     * be appended in ascending global seq order (the daemon's
+     * watermark guarantees this); program and pairing edges integrate
+     * immediately, vertices batch into the chain-frontier index at
+     * the next flush(), and the Rule-Eserial fixpoint re-runs
+     * incrementally per flush.  Only Engine::ChainFrontier supports
+     * incremental closure, so the engine is forced.
+     *
+     * Reachability after finishStream() equals the batch graph's over
+     * the same trace whenever streamExact() — mid-stream it may only
+     * under-approximate (missing not-yet-derivable edges), so online
+     * candidate sets are supersets of the final one.
+     */
+    static std::unique_ptr<HbGraph>
+    streaming(const trace::TraceStore &store, Options options);
+
+    /** True for graphs made by streaming(). */
+    bool isStreaming() const { return stream_ != nullptr; }
+
+    /** Append one record (streaming graphs only; ascending seq). */
+    void append(const trace::Record &rec);
+
+    /** Append a batch of records in seq order (streaming only). */
+    void
+    append(const std::vector<trace::Record> &batch)
+    {
+        for (const trace::Record &rec : batch)
+            append(rec);
+    }
+
+    /**
+     * Close an epoch: integrate appended vertices into the
+     * reachability index, re-run the Rule-Eserial fixpoint over the
+     * events complete so far, and re-check the memory budget.
+     * happensBefore()/concurrent() are exact for the appended prefix
+     * afterwards (modulo edges only derivable from future records).
+     */
+    void flush();
+
+    /**
+     * Final flush at end-of-stream: applies the deferred
+     * program-order decision for threads that never revealed a
+     * handler segment (the batch build classifies them regular in
+     * hindsight), converges the Eserial fixpoint, and repacks the
+     * chain decomposition.  No append() after this.
+     */
+    void finishStream();
+
+    /**
+     * Did incremental construction preserve exact batch semantics?
+     * False only when a thread a ThreadMeta promised regular (and was
+     * therefore chained eagerly) later opened a handler segment —
+     * edges cannot be retracted, so the caller must rebuild a batch
+     * graph from the accumulated store for the authoritative report.
+     * Threads without metadata always stream exactly.
+     */
+    bool streamExact() const;
+
     /** True when the reachability budget was exceeded. */
     bool oom() const { return oom_; }
 
@@ -320,6 +383,21 @@ class HbGraph
     }
 
   private:
+    struct StreamState; ///< incremental-construction state (graph.cc)
+    struct StreamTag
+    {
+    };
+    HbGraph(StreamTag, const trace::TraceStore &store, Options options);
+
+    /** Incremental program-order edges for one appended record. */
+    void streamProgramEdge(int v, const trace::Record &rec);
+
+    /** Incremental pairing edges for one appended record. */
+    void streamPairingEdges(int v, const trace::Record &rec);
+
+    /** Per-flush incremental Rule-Eserial fixpoint. */
+    void streamEventSerial();
+
     /** Append an edge u -> v (u must precede v). */
     bool addEdge(int u, int v, std::size_t EdgeStats::*counter);
 
@@ -373,6 +451,7 @@ class HbGraph
     std::vector<BitSet> ancestors_;  ///< dense engine state
     ChainFrontierIndex frontier_;    ///< chain-frontier engine state
     std::unique_ptr<VectorClockGraph> vc_; ///< vector-clock engine state
+    std::unique_ptr<StreamState> stream_;  ///< non-null when streaming
 };
 
 } // namespace dcatch::hb

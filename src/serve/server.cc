@@ -1,0 +1,261 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "common/util.hh"
+
+namespace dcatch::serve {
+
+bool
+parseAddress(const std::string &text, Address &out, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    if (text.rfind("unix:", 0) == 0) {
+        out.isUnix = true;
+        out.path = text.substr(5);
+        if (out.path.empty())
+            return fail("unix address is missing a socket path");
+        if (out.path.size() >= sizeof(sockaddr_un{}.sun_path))
+            return fail(strprintf("unix socket path longer than %zu "
+                                  "bytes",
+                                  sizeof(sockaddr_un{}.sun_path) - 1));
+        return true;
+    }
+    if (text.rfind("tcp:", 0) == 0) {
+        std::string rest = text.substr(4);
+        std::size_t colon = rest.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= rest.size())
+            return fail("tcp address must be tcp:HOST:PORT");
+        out.isUnix = false;
+        out.host = rest.substr(0, colon);
+        std::string port = rest.substr(colon + 1);
+        try {
+            std::size_t used = 0;
+            long parsed = std::stol(port, &used);
+            if (used != port.size())
+                throw std::invalid_argument(port);
+            if (parsed < 0 || parsed > 65535)
+                return fail(strprintf("tcp port %ld out of range",
+                                      parsed));
+            out.port = static_cast<int>(parsed);
+        } catch (const std::exception &) {
+            return fail(strprintf("tcp port '%s' is not a number",
+                                  port.c_str()));
+        }
+        return true;
+    }
+    return fail("address must start with unix: or tcp:");
+}
+
+namespace {
+
+bool
+resolveInet(const Address &address, sockaddr_in &sin,
+            std::string *error)
+{
+    std::memset(&sin, 0, sizeof(sin));
+    sin.sin_family = AF_INET;
+    sin.sin_port =
+        htons(static_cast<std::uint16_t>(address.port));
+    std::string host =
+        address.host == "localhost" ? "127.0.0.1" : address.host;
+    if (inet_pton(AF_INET, host.c_str(), &sin.sin_addr) != 1) {
+        if (error)
+            *error = strprintf("cannot parse IPv4 host '%s'",
+                               address.host.c_str());
+        return false;
+    }
+    return true;
+}
+
+bool
+fillUnix(const Address &address, sockaddr_un &sun, std::string *error)
+{
+    std::memset(&sun, 0, sizeof(sun));
+    sun.sun_family = AF_UNIX;
+    if (address.path.size() >= sizeof(sun.sun_path)) {
+        if (error)
+            *error = "unix socket path too long";
+        return false;
+    }
+    std::memcpy(sun.sun_path, address.path.c_str(),
+                address.path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int
+connectTo(const Address &address, std::string *error)
+{
+    int fd = -1;
+    if (address.isUnix) {
+        sockaddr_un sun;
+        if (!fillUnix(address, sun, error))
+            return -1;
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd >= 0 &&
+            ::connect(fd, reinterpret_cast<sockaddr *>(&sun),
+                      sizeof(sun)) != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    } else {
+        sockaddr_in sin;
+        if (!resolveInet(address, sin, error))
+            return -1;
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd >= 0 &&
+            ::connect(fd, reinterpret_cast<sockaddr *>(&sin),
+                      sizeof(sin)) != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+    if (fd < 0 && error && error->empty())
+        *error = strprintf("connect failed: %s", std::strerror(errno));
+    return fd;
+}
+
+Server::Server(ServeCore &core, const Address &address)
+    : core_(core), address_(address)
+{
+    std::string error;
+    if (address_.isUnix) {
+        ::unlink(address_.path.c_str()); // stale socket from a crash
+        sockaddr_un sun;
+        if (!fillUnix(address_, sun, &error))
+            throw std::runtime_error(error);
+        listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (listenFd_ < 0 ||
+            ::bind(listenFd_, reinterpret_cast<sockaddr *>(&sun),
+                   sizeof(sun)) != 0)
+            throw std::runtime_error(strprintf(
+                "cannot bind %s: %s", address_.path.c_str(),
+                std::strerror(errno)));
+    } else {
+        sockaddr_in sin;
+        if (!resolveInet(address_, sin, &error))
+            throw std::runtime_error(error);
+        listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        int one = 1;
+        if (listenFd_ >= 0)
+            ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                         sizeof(one));
+        if (listenFd_ < 0 ||
+            ::bind(listenFd_, reinterpret_cast<sockaddr *>(&sin),
+                   sizeof(sin)) != 0)
+            throw std::runtime_error(strprintf(
+                "cannot bind tcp:%s:%d: %s", address_.host.c_str(),
+                address_.port, std::strerror(errno)));
+        socklen_t len = sizeof(sin);
+        if (::getsockname(listenFd_,
+                          reinterpret_cast<sockaddr *>(&sin),
+                          &len) == 0)
+            address_.port = ntohs(sin.sin_port);
+    }
+    if (::listen(listenFd_, 64) != 0)
+        throw std::runtime_error(strprintf("listen failed: %s",
+                                           std::strerror(errno)));
+}
+
+Server::~Server()
+{
+    requestStop();
+    for (std::thread &reader : readers_)
+        if (reader.joinable())
+            reader.join();
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+    if (address_.isUnix)
+        ::unlink(address_.path.c_str());
+}
+
+std::string
+Server::boundAddress() const
+{
+    if (address_.isUnix)
+        return "unix:" + address_.path;
+    return strprintf("tcp:%s:%d", address_.host.c_str(),
+                     address_.port);
+}
+
+void
+Server::run()
+{
+    while (!stop_.load(std::memory_order_acquire)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, 200);
+        if (ready <= 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        readers_.emplace_back([this, fd] { serveConnection(fd); });
+    }
+    for (std::thread &reader : readers_)
+        if (reader.joinable())
+            reader.join();
+    readers_.clear();
+}
+
+void
+Server::serveConnection(int fd)
+{
+    ConnId conn = core_.connect();
+    char buffer[64 * 1024];
+    bool open = true;
+    auto send_frames = [&](const std::vector<Frame> &frames) {
+        for (const Frame &frame : frames) {
+            std::string bytes = encodeFrame(frame.type, frame.payload);
+            std::size_t sent = 0;
+            while (sent < bytes.size()) {
+                ssize_t n = ::send(fd, bytes.data() + sent,
+                                   bytes.size() - sent, MSG_NOSIGNAL);
+                if (n <= 0)
+                    return false;
+                sent += static_cast<std::size_t>(n);
+            }
+        }
+        return true;
+    };
+
+    while (open && !stop_.load(std::memory_order_acquire)) {
+        pollfd pfd{fd, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, 50);
+        if (ready < 0)
+            break;
+        if (ready > 0) {
+            ssize_t n = ::read(fd, buffer, sizeof(buffer));
+            if (n <= 0)
+                break; // peer closed (or error)
+            if (!core_.deliver(conn, buffer, static_cast<std::size_t>(n)))
+                open = false; // poisoned; flush the Error then close
+        }
+        if (!send_frames(core_.poll(conn)))
+            break;
+    }
+    // Late frames (a Report racing the peer's shutdown) — best
+    // effort; the peer may already be gone.
+    send_frames(core_.pollWait(conn, std::chrono::milliseconds(50)));
+    core_.disconnect(conn);
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+}
+
+} // namespace dcatch::serve

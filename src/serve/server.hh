@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Socket front end for dcatchd: listens on a unix-domain or TCP
+ * address, reads length-prefixed frames per connection, and forwards
+ * the byte stream into ServeCore.  One reader thread per connection
+ * (producers number in the tens, not thousands); the analysis itself
+ * runs on ServeCore's shard workers.
+ *
+ * Addresses:
+ *   unix:/path/to.sock      unix-domain stream socket
+ *   tcp:HOST:PORT           IPv4 TCP (PORT 0 picks a free port;
+ *                           boundAddress() reports the real one)
+ *
+ * Shutdown: requestStop() is async-signal-safe (an atomic store), so
+ * the CLI's SIGTERM/SIGINT handler calls it directly; run() then
+ * drains connections, flushes pending output, and returns.
+ */
+
+#ifndef DCATCH_SERVE_SERVER_HH
+#define DCATCH_SERVE_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hh"
+
+namespace dcatch::serve {
+
+/** Parsed listen/connect address. */
+struct Address
+{
+    bool isUnix = false;
+    std::string path; ///< unix socket path
+    std::string host; ///< TCP host (numeric IPv4 or "localhost")
+    int port = 0;
+};
+
+/** Parse "unix:..." / "tcp:HOST:PORT".
+ *  @return false with @p error set when malformed. */
+bool parseAddress(const std::string &text, Address &out,
+                  std::string *error);
+
+/** Client side: connect a stream socket to @p address.
+ *  @return the fd, or -1 with @p error set. */
+int connectTo(const Address &address, std::string *error);
+
+/** The dcatchd socket server. */
+class Server
+{
+  public:
+    /** Bind + listen; throws std::runtime_error on failure. */
+    Server(ServeCore &core, const Address &address);
+    ~Server();
+
+    /** The bound address ("tcp:host:port" with the resolved port). */
+    std::string boundAddress() const;
+
+    /** Accept/serve until requestStop(); returns once drained. */
+    void run();
+
+    /** Async-signal-safe stop request. */
+    void requestStop() { stop_.store(true, std::memory_order_release); }
+
+  private:
+    void serveConnection(int fd);
+
+    ServeCore &core_;
+    Address address_;
+    int listenFd_ = -1;
+    std::atomic<bool> stop_{false};
+    std::vector<std::thread> readers_;
+};
+
+} // namespace dcatch::serve
+
+#endif // DCATCH_SERVE_SERVER_HH

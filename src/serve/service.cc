@@ -1,0 +1,314 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.hh"
+#include "common/util.hh"
+
+namespace dcatch::serve {
+
+ServeCore::ServeCore(ServeOptions options) : options_(options)
+{
+    if (options_.jobs < 1)
+        options_.jobs = 1;
+    shards_.reserve(static_cast<std::size_t>(options_.jobs));
+    for (int i = 0; i < options_.jobs; ++i) {
+        shards_.push_back(std::make_unique<Shard>());
+        Shard &shard = *shards_.back();
+        shard.worker = std::thread([this, &shard] { workerLoop(shard); });
+    }
+}
+
+ServeCore::~ServeCore() { shutdown(); }
+
+ConnId
+ServeCore::connect()
+{
+    std::lock_guard<std::mutex> lock(connsMutex_);
+    ConnId id = nextConn_++;
+    conns_.emplace(id, std::make_shared<Conn>());
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+std::shared_ptr<ServeCore::Conn>
+ServeCore::findConn(ConnId conn)
+{
+    std::lock_guard<std::mutex> lock(connsMutex_);
+    auto it = conns_.find(conn);
+    return it == conns_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Session>
+ServeCore::bindSession(const std::string &runId)
+{
+    std::lock_guard<std::mutex> lock(sessionsMutex_);
+    auto it = sessions_.find(runId);
+    if (it != sessions_.end())
+        return it->second;
+    SessionOptions session_options;
+    session_options.window = options_.window;
+    session_options.retainEpochs = options_.retainEpochs;
+    auto session = std::make_shared<Session>(runId, session_options);
+    sessions_.emplace(runId, session);
+    shardOf_[session.get()] =
+        std::hash<std::string>{}(runId) % shards_.size();
+    sessionsOpened_.fetch_add(1, std::memory_order_relaxed);
+    return session;
+}
+
+void
+ServeCore::emitTo(const std::shared_ptr<Conn> &conn, FrameType type,
+                  const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    conn->outbox.push_back(Frame{type, payload});
+    conn->ready.notify_all();
+}
+
+bool
+ServeCore::deliver(ConnId connId, const char *data, std::size_t size)
+{
+    std::shared_ptr<Conn> conn = findConn(connId);
+    if (conn == nullptr)
+        return false;
+    bytesDelivered_.fetch_add(size, std::memory_order_relaxed);
+
+    std::vector<Frame> frames;
+    std::string why;
+    if (!conn->reader.feed(data, size, frames, &why)) {
+        emitTo(conn, FrameType::Error,
+               strprintf("connection %llu: %s",
+                         static_cast<unsigned long long>(connId),
+                         why.c_str()));
+        return false;
+    }
+    framesDelivered_.fetch_add(frames.size(),
+                               std::memory_order_relaxed);
+
+    for (Frame &frame : frames) {
+        if (conn->session == nullptr) {
+            // The first frame must bind a session; parse the Hello
+            // here (cheap) so the frame can be routed to its shard.
+            if (frame.type != FrameType::Hello) {
+                emitTo(conn, FrameType::Error,
+                       strprintf("connection %llu: expected Hello, "
+                                 "got %s",
+                                 static_cast<unsigned long long>(
+                                     connId),
+                                 frameTypeName(frame.type)));
+                return false;
+            }
+            Hello hello;
+            if (!parseHello(frame.payload, hello, &why)) {
+                emitTo(conn, FrameType::Error,
+                       strprintf("connection %llu: %s",
+                                 static_cast<unsigned long long>(
+                                     connId),
+                                 why.c_str()));
+                return false;
+            }
+            conn->session = bindSession(hello.runId);
+        }
+        Task task;
+        task.session = conn->session;
+        task.connId = connId;
+        task.frame = std::move(frame);
+        std::size_t shard;
+        {
+            std::lock_guard<std::mutex> lock(sessionsMutex_);
+            auto it = shardOf_.find(task.session.get());
+            // A reaped session keeps its hash shard so stray frames
+            // still drain through the same (now trivial) path.
+            shard = it != shardOf_.end()
+                        ? it->second
+                        : std::hash<std::string>{}(
+                              task.session->runId()) %
+                              shards_.size();
+        }
+        enqueue(shard, std::move(task));
+    }
+    return true;
+}
+
+void
+ServeCore::disconnect(ConnId connId)
+{
+    std::shared_ptr<Conn> conn;
+    {
+        std::lock_guard<std::mutex> lock(connsMutex_);
+        auto it = conns_.find(connId);
+        if (it == conns_.end())
+            return;
+        conn = it->second;
+        conns_.erase(it);
+    }
+    if (conn->session == nullptr)
+        return;
+    Task task;
+    task.session = conn->session;
+    task.connId = connId;
+    task.disconnect = true;
+    std::size_t shard;
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        auto it = shardOf_.find(task.session.get());
+        if (it == shardOf_.end())
+            return; // already reaped
+        shard = it->second;
+    }
+    enqueue(shard, std::move(task));
+}
+
+std::vector<Frame>
+ServeCore::poll(ConnId connId)
+{
+    std::shared_ptr<Conn> conn = findConn(connId);
+    std::vector<Frame> out;
+    if (conn == nullptr)
+        return out;
+    std::lock_guard<std::mutex> lock(conn->mutex);
+    out.swap(conn->outbox);
+    return out;
+}
+
+std::vector<Frame>
+ServeCore::pollWait(ConnId connId, std::chrono::milliseconds timeout)
+{
+    std::shared_ptr<Conn> conn = findConn(connId);
+    std::vector<Frame> out;
+    if (conn == nullptr)
+        return out;
+    std::unique_lock<std::mutex> lock(conn->mutex);
+    conn->ready.wait_for(lock, timeout,
+                         [&] { return !conn->outbox.empty(); });
+    out.swap(conn->outbox);
+    return out;
+}
+
+void
+ServeCore::enqueue(std::size_t shard, Task task)
+{
+    inFlight_.fetch_add(1, std::memory_order_relaxed);
+    Shard &s = *shards_[shard];
+    s.queue.push(std::move(task));
+    // Notify under the mutex so a worker between its empty-check and
+    // its wait cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.wake.notify_one();
+}
+
+void
+ServeCore::workerLoop(Shard &shard)
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(shard.mutex);
+            shard.wake.wait(lock, [&] {
+                return stopping_.load(std::memory_order_acquire) ||
+                       !shard.queue.empty();
+            });
+        }
+        Task task;
+        while (shard.queue.pop(task)) {
+            process(task);
+            inFlight_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        if (stopping_.load(std::memory_order_acquire) &&
+            shard.queue.empty())
+            return;
+    }
+}
+
+void
+ServeCore::process(const Task &task)
+{
+    Session::Emit emit = [this](ConnId to, FrameType type,
+                                const std::string &payload) {
+        std::shared_ptr<Conn> conn = findConn(to);
+        if (conn != nullptr)
+            emitTo(conn, type, payload);
+        // else: the connection is gone; the frame is dropped.
+    };
+    if (task.disconnect)
+        task.session->disconnect(task.connId, emit);
+    else
+        task.session->handle(task.connId, task.frame, emit);
+    if (task.session->finished())
+        reap(task.session);
+}
+
+void
+ServeCore::reap(const std::shared_ptr<Session> &session)
+{
+    {
+        std::lock_guard<std::mutex> lock(sessionsMutex_);
+        // Idempotent: a straggler task touching a finished session
+        // triggers reap again; only the first fold counts.
+        if (shardOf_.erase(session.get()) == 0)
+            return;
+        auto it = sessions_.find(session->runId());
+        if (it != sessions_.end() && it->second == session)
+            sessions_.erase(it);
+    }
+    const SessionStats &stats = session->stats();
+    std::lock_guard<std::mutex> lock(reapedMutex_);
+    reaped_.recordsIngested += stats.records;
+    reaped_.sessionsFinished += 1;
+    reaped_.sessionsQuarantined += stats.quarantined ? 1 : 0;
+    reaped_.onlineCandidates += stats.onlineCandidates;
+    reaped_.epochsClosed += stats.epochsClosed;
+    reaped_.evictedAccesses += stats.evictedAccesses;
+    reaped_.maxPendingBytes =
+        std::max(reaped_.maxPendingBytes, stats.maxPendingBytes);
+    reaped_.maxOnlineIndexBytes = std::max(
+        reaped_.maxOnlineIndexBytes, stats.maxOnlineIndexBytes);
+}
+
+void
+ServeCore::drain()
+{
+    while (inFlight_.load(std::memory_order_acquire) != 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+void
+ServeCore::shutdown()
+{
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel))
+        return;
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->wake.notify_all();
+    }
+    for (auto &shard : shards_)
+        if (shard->worker.joinable())
+            shard->worker.join();
+}
+
+ServeStats
+ServeCore::stats() const
+{
+    // Per-session counters fold in when a session finishes (reap);
+    // live sessions are owned by their shard worker and are not read
+    // concurrently.  Quiesce with drain() before reading when exact
+    // totals matter.
+    ServeStats stats;
+    {
+        std::lock_guard<std::mutex> lock(reapedMutex_);
+        stats = reaped_;
+    }
+    stats.connections = connections_.load(std::memory_order_relaxed);
+    stats.bytesDelivered =
+        bytesDelivered_.load(std::memory_order_relaxed);
+    stats.framesDelivered =
+        framesDelivered_.load(std::memory_order_relaxed);
+    stats.sessionsOpened =
+        sessionsOpened_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+} // namespace dcatch::serve

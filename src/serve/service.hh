@@ -1,0 +1,176 @@
+/**
+ * @file
+ * ServeCore: the transport-independent heart of dcatchd.
+ *
+ * Byte streams from any number of connections are framed
+ * (serve/wire.hh), routed through per-shard lock-free MPSC queues
+ * (common/mpsc_queue.hh), and drained by `jobs` shard workers.  Every
+ * frame of one run lands on the same shard (hash of the run id), so a
+ * Session never needs a lock; different runs analyze concurrently on
+ * different shards.  Producers — socket reader threads or in-process
+ * callers — block on nothing: push is wait-free and outputs are
+ * buffered per connection until polled.
+ *
+ * The socket layer (serve/server.hh) is a thin wrapper; tests and the
+ * throughput bench drive ServeCore directly with deliver()/poll(), so
+ * protocol behavior is pinned independent of socket plumbing.
+ *
+ * Contract per connection: connect(), then deliver() calls from one
+ * thread at a time, then disconnect().  poll()/pollWait() may be
+ * called from any thread.
+ */
+
+#ifndef DCATCH_SERVE_SERVICE_HH
+#define DCATCH_SERVE_SERVICE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_queue.hh"
+#include "serve/session.hh"
+#include "serve/wire.hh"
+
+namespace dcatch::serve {
+
+/** Daemon configuration (from `dcatch serve` flags). */
+struct ServeOptions
+{
+    int jobs = 1;              ///< shard worker threads (>= 1)
+    std::size_t window = 4096; ///< records per detection epoch
+    int retainEpochs = 2;      ///< epochs kept in the online index
+};
+
+/** Aggregated daemon counters (live sessions + reaped ones). */
+struct ServeStats
+{
+    std::size_t connections = 0;      ///< ever accepted
+    std::size_t bytesDelivered = 0;
+    std::size_t framesDelivered = 0;
+    std::size_t recordsIngested = 0;
+    std::size_t sessionsOpened = 0;
+    std::size_t sessionsFinished = 0;
+    std::size_t sessionsQuarantined = 0;
+    std::size_t onlineCandidates = 0;
+    std::size_t epochsClosed = 0;
+    std::size_t evictedAccesses = 0;
+    std::size_t maxPendingBytes = 0;     ///< reorder-buffer high water
+    std::size_t maxOnlineIndexBytes = 0; ///< online-index high water
+};
+
+/** The in-process dcatchd service. */
+class ServeCore
+{
+  public:
+    explicit ServeCore(ServeOptions options);
+    ~ServeCore();
+
+    ServeCore(const ServeCore &) = delete;
+    ServeCore &operator=(const ServeCore &) = delete;
+
+    /** Register a connection; the id routes deliver()/poll(). */
+    ConnId connect();
+
+    /**
+     * Feed @p size raw bytes from @p conn's stream.
+     * @return false when the connection must be closed (framing
+     *         violation or protocol error before a session bound);
+     *         an Error frame with the reason is already in the
+     *         connection's outbox.
+     */
+    bool deliver(ConnId conn, const char *data, std::size_t size);
+
+    /** The connection closed; its producer implicitly Ends. */
+    void disconnect(ConnId conn);
+
+    /** Drain @p conn's buffered server->client frames (non-blocking). */
+    std::vector<Frame> poll(ConnId conn);
+
+    /** Like poll(), but waits up to @p timeout for the first frame. */
+    std::vector<Frame> pollWait(ConnId conn,
+                                std::chrono::milliseconds timeout);
+
+    /**
+     * Block until every queued frame has been processed (the shard
+     * queues are momentarily empty).  Test/bench aid; producers keep
+     * pushing concurrently at their own risk of re-arming it.
+     */
+    void drain();
+
+    /** Stop the workers after draining queued work.  Idempotent;
+     *  called by the destructor. */
+    void shutdown();
+
+    ServeStats stats() const;
+    const ServeOptions &options() const { return options_; }
+
+  private:
+    struct Conn
+    {
+        FrameReader reader;
+        std::shared_ptr<Session> session; ///< bound by Hello
+        std::mutex mutex;                 ///< guards outbox
+        std::condition_variable ready;
+        std::vector<Frame> outbox;
+    };
+
+    struct Task
+    {
+        std::shared_ptr<Session> session;
+        std::shared_ptr<Conn> conn;
+        ConnId connId = 0;
+        Frame frame;
+        bool disconnect = false;
+    };
+
+    struct Shard
+    {
+        MpscQueue<Task> queue;
+        std::mutex mutex; ///< pairs with wake for sleep/notify
+        std::condition_variable wake;
+        std::thread worker;
+    };
+
+    std::shared_ptr<Conn> findConn(ConnId conn);
+    std::shared_ptr<Session> bindSession(const std::string &runId);
+    void enqueue(std::size_t shard, Task task);
+    void workerLoop(Shard &shard);
+    void process(const Task &task);
+    void emitTo(const std::shared_ptr<Conn> &conn, FrameType type,
+                const std::string &payload);
+    void reap(const std::shared_ptr<Session> &session);
+
+    ServeOptions options_;
+
+    mutable std::mutex connsMutex_;
+    std::map<ConnId, std::shared_ptr<Conn>> conns_;
+    std::uint64_t nextConn_ = 1;
+
+    mutable std::mutex sessionsMutex_;
+    std::map<std::string, std::shared_ptr<Session>> sessions_;
+    std::map<const Session *, std::size_t> shardOf_;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::size_t> inFlight_{0}; ///< queued, not yet processed
+
+    /// @{ @name Counters (relaxed; exact once quiescent)
+    std::atomic<std::size_t> connections_{0};
+    std::atomic<std::size_t> bytesDelivered_{0};
+    std::atomic<std::size_t> framesDelivered_{0};
+    std::atomic<std::size_t> sessionsOpened_{0};
+    /// @}
+
+    mutable std::mutex reapedMutex_;
+    ServeStats reaped_; ///< accumulated stats of finished sessions
+};
+
+} // namespace dcatch::serve
+
+#endif // DCATCH_SERVE_SERVICE_HH

@@ -1,0 +1,548 @@
+#include "serve/session.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/logging.hh"
+#include "common/util.hh"
+#include "detect/race_detect.hh"
+
+namespace dcatch::serve {
+
+std::string
+canonicalReport(const std::string &runId, std::size_t records,
+                const std::vector<detect::Candidate> &candidates)
+{
+    std::string out = strprintf(
+        "dcatch-report run=%s records=%zu candidates=%zu\n",
+        runId.c_str(), records, candidates.size());
+    for (const detect::Candidate &c : candidates)
+        out += strprintf("%s|%d|%s|%s|%d|%d|%s|%s\n", c.var.c_str(),
+                         c.dynamicPairs, c.a.site.c_str(),
+                         c.b.site.c_str(), c.a.vertex, c.b.vertex,
+                         c.a.callstack.c_str(), c.b.callstack.c_str());
+    return out;
+}
+
+Session::Session(std::string runId, SessionOptions options)
+    : runId_(std::move(runId)), options_(options)
+{
+    if (options_.window == 0)
+        options_.window = 1;
+    if (options_.retainEpochs < 1)
+        options_.retainEpochs = 1;
+    graph_ = hb::HbGraph::streaming(store_, hb::HbGraph::Options());
+}
+
+Session::~Session() = default;
+
+Session::Producer *
+Session::producerFor(ConnId conn)
+{
+    for (Producer &producer : producers_)
+        if (producer.conn == conn)
+            return &producer;
+    return nullptr;
+}
+
+void
+Session::broadcast(FrameType type, const std::string &payload,
+                   const Emit &emit)
+{
+    for (const Producer &producer : producers_)
+        emit(producer.conn, type, payload);
+}
+
+void
+Session::quarantine(const std::string &message, const Emit &emit)
+{
+    if (stats_.quarantined || stats_.finished)
+        return;
+    stats_.quarantined = true;
+    errorMessage_ = message;
+    DCATCH_WARN() << "session " << runId_ << " quarantined: "
+                  << message;
+    // Analysis stops: drop the reorder buffers and the online index,
+    // keep producer bookkeeping so the run still drains to finished.
+    for (Producer &producer : producers_)
+        producer.pending.clear();
+    onlineIndex_.clear();
+    epochAccesses_.clear();
+    graph_.reset();
+    broadcast(FrameType::Error, errorMessage_, emit);
+}
+
+void
+Session::handle(ConnId conn, const Frame &frame, const Emit &emit)
+{
+    ++stats_.frames;
+    if (stats_.finished) {
+        ++stats_.droppedFrames;
+        return;
+    }
+    if (!isClientFrame(frame.type)) {
+        quarantine(strprintf("%s: producer %llu sent server-side "
+                             "frame type 0x%02x",
+                             runId_.c_str(),
+                             static_cast<unsigned long long>(conn),
+                             static_cast<unsigned>(frame.type)),
+                   emit);
+        return;
+    }
+
+    if (frame.type == FrameType::Hello) {
+        // Quarantine broadcasts only to joined producers; a conn whose
+        // own Hello is the defect must be told directly.
+        auto reject = [&](const std::string &message) {
+            quarantine(message, emit);
+            if (producerFor(conn) == nullptr)
+                emit(conn, FrameType::Error, errorMessage_);
+        };
+        Hello hello;
+        std::string why;
+        if (!parseHello(frame.payload, hello, &why)) {
+            reject(strprintf("%s: producer %llu: %s", runId_.c_str(),
+                             static_cast<unsigned long long>(conn),
+                             why.c_str()));
+            return;
+        }
+        if (producerFor(conn) != nullptr) {
+            quarantine(strprintf("%s: producer %llu sent a second "
+                                 "Hello", runId_.c_str(),
+                                 static_cast<unsigned long long>(conn)),
+                       emit);
+            return;
+        }
+        if (expectedProducers_ == 0) {
+            expectedProducers_ = hello.producers;
+        } else if (expectedProducers_ != hello.producers) {
+            reject(
+                strprintf("%s: producer %llu announced %d producers "
+                          "but the session opened with %d",
+                          runId_.c_str(),
+                          static_cast<unsigned long long>(conn),
+                          hello.producers, expectedProducers_));
+            return;
+        }
+        if (static_cast<int>(producers_.size()) >= expectedProducers_) {
+            reject(
+                strprintf("%s: producer %llu is one more than the %d "
+                          "announced", runId_.c_str(),
+                          static_cast<unsigned long long>(conn),
+                          expectedProducers_));
+            return;
+        }
+        Producer producer;
+        producer.conn = conn;
+        producers_.push_back(producer);
+        // A producer joining a poisoned run learns immediately.
+        if (stats_.quarantined)
+            emit(conn, FrameType::Error, errorMessage_);
+        return;
+    }
+
+    Producer *producer = producerFor(conn);
+    if (producer == nullptr) {
+        quarantine(strprintf("%s: producer %llu sent %s before Hello",
+                             runId_.c_str(),
+                             static_cast<unsigned long long>(conn),
+                             frameTypeName(frame.type)),
+                   emit);
+        return;
+    }
+
+    if (frame.type == FrameType::End) {
+        if (producer->ended) {
+            quarantine(strprintf("%s: producer %llu sent a second End",
+                                 runId_.c_str(),
+                                 static_cast<unsigned long long>(conn)),
+                       emit);
+            return;
+        }
+        producer->ended = true;
+        ++endedProducers_;
+        if (!stats_.quarantined)
+            releaseMerged(emit);
+        maybeFinalize(emit);
+        return;
+    }
+
+    if (stats_.quarantined) {
+        ++stats_.droppedFrames;
+        return;
+    }
+
+    switch (frame.type) {
+      case FrameType::QueueMeta: {
+        int node = 0, single = 0, consumed = 0;
+        char queue_id[1] = {};
+        (void)queue_id;
+        // "<node> <0|1> <queueId>", queueId is the rest of the line.
+        if (std::sscanf(frame.payload.c_str(), "%d %d %n", &node,
+                        &single, &consumed) != 2 ||
+            consumed <= 0 ||
+            static_cast<std::size_t>(consumed) >=
+                frame.payload.size() ||
+            (single != 0 && single != 1)) {
+            quarantine(strprintf("%s: producer %llu sent malformed "
+                                 "QueueMeta: %s", runId_.c_str(),
+                                 static_cast<unsigned long long>(conn),
+                                 frame.payload.c_str()),
+                       emit);
+            return;
+        }
+        trace::QueueMeta meta;
+        meta.queueId = frame.payload.substr(
+            static_cast<std::size_t>(consumed));
+        meta.node = node;
+        meta.singleConsumer = single == 1;
+        store_.noteQueue(meta);
+        return;
+      }
+      case FrameType::ThreadMeta: {
+        int thread = 0, node = 0, handler = 0, consumed = 0;
+        // "<thread> <node> <0|1> <name>", name may be empty.
+        if (std::sscanf(frame.payload.c_str(), "%d %d %d%n", &thread,
+                        &node, &handler, &consumed) != 3 ||
+            (handler != 0 && handler != 1)) {
+            quarantine(strprintf("%s: producer %llu sent malformed "
+                                 "ThreadMeta: %s", runId_.c_str(),
+                                 static_cast<unsigned long long>(conn),
+                                 frame.payload.c_str()),
+                       emit);
+            return;
+        }
+        trace::ThreadMeta meta;
+        meta.thread = thread;
+        meta.node = node;
+        meta.handlerThread = handler == 1;
+        if (static_cast<std::size_t>(consumed) <
+            frame.payload.size())
+            meta.name = frame.payload.substr(
+                static_cast<std::size_t>(consumed) + 1);
+        store_.noteThread(meta);
+        return;
+      }
+      case FrameType::Records:
+        ++producer->frames;
+        parseRecords(*producer, frame.payload, emit);
+        if (!stats_.quarantined)
+            releaseMerged(emit);
+        return;
+      default:
+        return; // unreachable: client frames are covered above
+    }
+}
+
+void
+Session::disconnect(ConnId conn, const Emit &emit)
+{
+    Producer *producer = producerFor(conn);
+    if (producer == nullptr || producer->ended || stats_.finished)
+        return;
+    // An implicit End keeps the run draining; the final report is
+    // still correct for everything the producer delivered.
+    DCATCH_WARN() << "session " << runId_ << ": producer " << conn
+                  << " disconnected without End";
+    producer->ended = true;
+    ++endedProducers_;
+    if (!stats_.quarantined)
+        releaseMerged(emit);
+    maybeFinalize(emit);
+}
+
+void
+Session::parseRecords(Producer &producer, const std::string &payload,
+                      const Emit &emit)
+{
+    std::size_t line_no = 0;
+    std::size_t begin = 0;
+    while (begin < payload.size()) {
+        std::size_t end = payload.find('\n', begin);
+        if (end == std::string::npos)
+            end = payload.size();
+        std::string line = payload.substr(begin, end - begin);
+        begin = end + 1;
+        if (line.empty())
+            continue;
+        ++line_no;
+        trace::Record rec;
+        std::string why;
+        if (!trace::Record::fromLine(line, store_.symbols(), rec,
+                                     &why)) {
+            // Same shape as TraceParseError out of loadFromDirectory,
+            // with producer/frame/line wire coordinates standing in
+            // for the file path.
+            quarantine(strprintf(
+                           "%s: producer %llu frame %zu line %zu: "
+                           "malformed trace line (%s): %s",
+                           runId_.c_str(),
+                           static_cast<unsigned long long>(
+                               producer.conn),
+                           producer.frames, line_no, why.c_str(),
+                           line.c_str()),
+                       emit);
+            return;
+        }
+        if (producer.haveSeq && rec.seq <= producer.lastSeq) {
+            quarantine(strprintf(
+                           "%s: producer %llu frame %zu line %zu: "
+                           "out-of-order sequence number %llu (after "
+                           "%llu)",
+                           runId_.c_str(),
+                           static_cast<unsigned long long>(
+                               producer.conn),
+                           producer.frames, line_no,
+                           static_cast<unsigned long long>(rec.seq),
+                           static_cast<unsigned long long>(
+                               producer.lastSeq)),
+                       emit);
+            return;
+        }
+        producer.lastSeq = rec.seq;
+        producer.haveSeq = true;
+        producer.pending.push_back(rec);
+    }
+    stats_.maxPendingBytes =
+        std::max(stats_.maxPendingBytes, pendingBytes());
+}
+
+std::size_t
+Session::pendingBytes() const
+{
+    std::size_t bytes = 0;
+    for (const Producer &producer : producers_)
+        bytes += producer.pending.size() * sizeof(trace::Record);
+    return bytes;
+}
+
+std::size_t
+Session::onlineIndexBytes() const
+{
+    std::size_t bytes = epochAccesses_.size() *
+                        sizeof(std::tuple<trace::SymId, int, bool>);
+    for (const auto &[var, list] : onlineIndex_)
+        bytes += sizeof(var) + list.size() * sizeof(OnlineAccess);
+    return bytes;
+}
+
+void
+Session::releaseMerged(const Emit &emit)
+{
+    // Nothing can merge until every announced producer has joined:
+    // an unconnected producer's future records may carry any
+    // sequence number.
+    if (expectedProducers_ == 0 ||
+        static_cast<int>(producers_.size()) < expectedProducers_)
+        return;
+
+    bool all_ended = endedProducers_ == expectedProducers_;
+    for (;;) {
+        // Watermark: every active producer's records from here on
+        // have seq > its lastSeq, so anything buffered at or below
+        // the minimum is safe to merge in global order.
+        std::uint64_t watermark = 0;
+        bool have_watermark = all_ended;
+        if (!all_ended) {
+            bool first = true;
+            for (const Producer &producer : producers_) {
+                if (producer.ended)
+                    continue;
+                if (!producer.haveSeq)
+                    return; // silent producer pins the watermark
+                if (first || producer.lastSeq < watermark)
+                    watermark = producer.lastSeq;
+                first = false;
+            }
+            have_watermark = !first;
+        }
+        if (!have_watermark)
+            return;
+
+        Producer *next = nullptr;
+        for (Producer &producer : producers_) {
+            if (producer.pending.empty())
+                continue;
+            if (next == nullptr ||
+                producer.pending.front().seq <
+                    next->pending.front().seq)
+                next = &producer;
+        }
+        if (next == nullptr)
+            return;
+        if (!all_ended && next->pending.front().seq > watermark)
+            return;
+        trace::Record rec = next->pending.front();
+        next->pending.pop_front();
+        ingest(rec, emit);
+        if (stats_.quarantined)
+            return;
+    }
+}
+
+void
+Session::ingest(const trace::Record &rec, const Emit &emit)
+{
+    store_.append(rec);
+    ++stats_.records;
+    int before = static_cast<int>(graph_->size());
+    graph_->append(rec);
+    bool kept = static_cast<int>(graph_->size()) > before;
+    if (kept && rec.isMemoryAccess()) {
+        bool is_write = rec.type == trace::RecordType::MemWrite;
+        epochAccesses_.emplace_back(rec.id, before, is_write);
+        onlineIndex_[rec.id].push_back(
+            {before, currentEpoch_, is_write});
+    }
+    if (++releasedInEpoch_ >= options_.window)
+        closeEpoch(emit);
+}
+
+void
+Session::closeEpoch(const Emit &emit)
+{
+    graph_->flush();
+    if (graph_->oom()) {
+        quarantine(strprintf("%s: analysis memory budget exceeded at "
+                             "record %zu", runId_.c_str(),
+                             stats_.records),
+                   emit);
+        return;
+    }
+
+    // Test the closed epoch's accesses against everything retained.
+    // Each access stops at itself in the per-variable list, so every
+    // (earlier, later) pair — including same-epoch pairs — is tested
+    // exactly once.
+    for (const auto &[var, vertex, is_write] : epochAccesses_) {
+        const auto it = onlineIndex_.find(var);
+        if (it == onlineIndex_.end())
+            continue;
+        for (const OnlineAccess &other : it->second) {
+            if (other.vertex == vertex)
+                break;
+            if (!is_write && !other.isWrite)
+                continue;
+            if (!graph_->concurrent(other.vertex, vertex))
+                continue;
+            int a = other.vertex, b = vertex;
+            std::string cs_a(graph_->callstack(a));
+            std::string cs_b(graph_->callstack(b));
+            if (cs_b < cs_a)
+                std::swap(cs_a, cs_b);
+            std::string key = std::string(graph_->id(b)) + '\x1f' +
+                              cs_a + '\x1f' + cs_b;
+            if (!emitted_.insert(std::move(key)).second)
+                continue;
+            ++stats_.onlineCandidates;
+            broadcast(FrameType::Candidate,
+                      strprintf("epoch=%u var=%s %s <-> %s",
+                                currentEpoch_,
+                                std::string(graph_->id(b)).c_str(),
+                                std::string(graph_->site(a)).c_str(),
+                                std::string(graph_->site(b)).c_str()),
+                      emit);
+        }
+    }
+
+    evict(currentEpoch_);
+    stats_.maxOnlineIndexBytes =
+        std::max(stats_.maxOnlineIndexBytes, onlineIndexBytes());
+    ++stats_.epochsClosed;
+    ++currentEpoch_;
+    releasedInEpoch_ = 0;
+    epochAccesses_.clear();
+}
+
+void
+Session::evict(std::uint32_t closedEpoch)
+{
+    // Keep accesses from epochs > closedEpoch - retainEpochs; older
+    // ones have been tested against every window they overlap.
+    if (closedEpoch + 1 <
+        static_cast<std::uint32_t>(options_.retainEpochs))
+        return;
+    std::uint32_t min_keep =
+        closedEpoch + 1 -
+        static_cast<std::uint32_t>(options_.retainEpochs);
+    for (auto it = onlineIndex_.begin(); it != onlineIndex_.end();) {
+        std::deque<OnlineAccess> &list = it->second;
+        while (!list.empty() && list.front().epoch < min_keep) {
+            list.pop_front();
+            ++stats_.evictedAccesses;
+        }
+        if (list.empty())
+            it = onlineIndex_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+Session::maybeFinalize(const Emit &emit)
+{
+    if (stats_.finished)
+        return;
+    if (stats_.quarantined) {
+        // Every producer already holds the Error frame.  Don't wait
+        // for announced-but-never-joined producers (they may never
+        // come); the run drains to reapable once everyone who did
+        // join has ended.
+        if (!producers_.empty() &&
+            endedProducers_ == static_cast<int>(producers_.size()))
+            stats_.finished = true;
+        return;
+    }
+    if (expectedProducers_ == 0 ||
+        static_cast<int>(producers_.size()) < expectedProducers_ ||
+        endedProducers_ < expectedProducers_)
+        return;
+    finalize(emit);
+}
+
+void
+Session::finalize(const Emit &emit)
+{
+    graph_->finishStream();
+    stats_.streamExact = graph_->streamExact();
+    if (graph_->oom()) {
+        quarantine(strprintf("%s: analysis memory budget exceeded "
+                             "finalizing %zu records", runId_.c_str(),
+                             stats_.records),
+                   emit);
+        stats_.finished = true;
+        return;
+    }
+
+    detect::RaceDetector detector;
+    std::vector<detect::Candidate> candidates;
+    if (stats_.streamExact) {
+        candidates = detector.detect(*graph_);
+    } else {
+        // A wrong ThreadMeta promise over-ordered a thread; fall back
+        // to the batch build over the accumulated store, which is the
+        // authoritative semantics by construction.
+        hb::HbGraph batch(store_, hb::HbGraph::Options());
+        if (batch.oom()) {
+            quarantine(strprintf("%s: analysis memory budget exceeded "
+                                 "rebuilding %zu records",
+                                 runId_.c_str(), stats_.records),
+                       emit);
+            stats_.finished = true;
+            return;
+        }
+        candidates = detector.detect(batch);
+    }
+
+    broadcast(FrameType::Report,
+              canonicalReport(runId_, stats_.records, candidates),
+              emit);
+    stats_.finished = true;
+    // Free the heavy state; only the stats survive until reap.
+    graph_.reset();
+    onlineIndex_.clear();
+    emitted_.clear();
+    epochAccesses_.clear();
+}
+
+} // namespace dcatch::serve

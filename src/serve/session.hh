@@ -1,0 +1,180 @@
+/**
+ * @file
+ * One dcatchd session: the online analysis of a single run streamed
+ * by one or more producers (docs/serve.md).
+ *
+ * A session owns the run's trace::TraceStore, a streaming
+ * hb::HbGraph, and the epoch-windowed online race detector.  Records
+ * arrive per producer in ascending-sequence order; the session merges
+ * the producer streams behind a watermark (the smallest last-seen
+ * sequence number over producers that have not yet sent End) so the
+ * HB graph always ingests the global interleaving in sequence order —
+ * the same order the batch pipeline's merged view iterates — which is
+ * what makes the final report byte-identical to the batch
+ * trace-analysis stage for every producer count and interleaving.
+ *
+ * Epochs: every `window` ingested records close an epoch.  Closing an
+ * epoch flushes the incremental HB closure and tests the epoch's
+ * memory accesses against the accesses retained from the last
+ * `retainEpochs` epochs, emitting new candidates online (Candidate
+ * frames, deduplicated by callstack pair).  Accesses older than the
+ * retention window are evicted, bounding the online index regardless
+ * of run length; a cross-window race is still caught by the final
+ * report, which covers the whole graph.
+ *
+ * Malformed input (unparseable record line, out-of-order sequence,
+ * metadata defects, Hello mismatches) quarantines the session: an
+ * Error frame carrying the defect — in loadFromDirectory's
+ * TraceParseError format, with producer/frame/line coordinates in
+ * place of file/line — goes to every attached producer, analysis
+ * stops, and later frames for the run are counted and dropped.  The
+ * daemon itself never crashes or wedges on bad input.
+ *
+ * Threading: all methods are called by the single shard worker that
+ * owns the session (ServeCore routes every frame of one run to one
+ * shard), so the session itself needs no locks; emitted frames go
+ * through the Emit sink, which is thread-safe on the ServeCore side.
+ */
+
+#ifndef DCATCH_SERVE_SESSION_HH
+#define DCATCH_SERVE_SESSION_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "detect/report.hh"
+#include "hb/graph.hh"
+#include "serve/wire.hh"
+#include "trace/trace_store.hh"
+
+namespace dcatch::serve {
+
+/** Connection identity assigned by ServeCore. */
+using ConnId = std::uint64_t;
+
+/** Per-session tuning (from `dcatch serve` flags). */
+struct SessionOptions
+{
+    std::size_t window = 4096; ///< records per epoch (>= 1)
+    int retainEpochs = 2;      ///< closed epochs kept in the online index
+};
+
+/** Counters a session exposes (aggregated by ServeCore::stats). */
+struct SessionStats
+{
+    std::size_t records = 0;        ///< records ingested into the store
+    std::size_t frames = 0;         ///< client frames handled
+    std::size_t epochsClosed = 0;
+    std::size_t onlineCandidates = 0; ///< distinct online emissions
+    std::size_t evictedAccesses = 0;  ///< online-index entries evicted
+    std::size_t droppedFrames = 0;    ///< frames ignored post-quarantine
+    std::size_t maxPendingBytes = 0;  ///< reorder-buffer high-water mark
+    std::size_t maxOnlineIndexBytes = 0; ///< online-index high-water mark
+    bool quarantined = false;
+    bool finished = false;
+    bool streamExact = false; ///< final graph needed no batch rebuild
+};
+
+/**
+ * Render the canonical candidate report — the byte-equivalence
+ * artifact.  The same function produces the daemon's Report payload
+ * and the client-side batch expectation (`dcatch_feed --check`), so
+ * "identical candidate sets" is literal byte equality.
+ */
+std::string canonicalReport(const std::string &runId,
+                            std::size_t records,
+                            const std::vector<detect::Candidate> &);
+
+/** One streamed run under analysis. */
+class Session
+{
+  public:
+    /** Sink for server->client frames (thread-safe on the callee). */
+    using Emit =
+        std::function<void(ConnId, FrameType, const std::string &)>;
+
+    Session(std::string runId, SessionOptions options);
+    ~Session();
+
+    /** Handle one client frame from @p conn. */
+    void handle(ConnId conn, const Frame &frame, const Emit &emit);
+
+    /** The producer on @p conn vanished without End (connection
+     *  dropped); treated as an implicit End so the run still
+     *  finalizes. */
+    void disconnect(ConnId conn, const Emit &emit);
+
+    /** True once the final Report/Error went out; the session can be
+     *  reaped. */
+    bool finished() const { return stats_.finished; }
+
+    const std::string &runId() const { return runId_; }
+    const SessionStats &stats() const { return stats_; }
+
+  private:
+    struct Producer
+    {
+        ConnId conn = 0;
+        std::deque<trace::Record> pending; ///< parsed, not yet merged
+        std::uint64_t lastSeq = 0;
+        bool haveSeq = false;
+        bool ended = false;
+        std::size_t frames = 0; ///< Records frames received (diagnostics)
+    };
+
+    /** One retained access in the online per-variable index. */
+    struct OnlineAccess
+    {
+        int vertex = -1;
+        std::uint32_t epoch = 0;
+        bool isWrite = false;
+    };
+
+    Producer *producerFor(ConnId conn);
+    void quarantine(const std::string &message, const Emit &emit);
+    void parseRecords(Producer &producer, const std::string &payload,
+                      const Emit &emit);
+    void releaseMerged(const Emit &emit);
+    void ingest(const trace::Record &rec, const Emit &emit);
+    void closeEpoch(const Emit &emit);
+    void evict(std::uint32_t closedEpoch);
+    void maybeFinalize(const Emit &emit);
+    void finalize(const Emit &emit);
+    std::size_t pendingBytes() const;
+    std::size_t onlineIndexBytes() const;
+    void broadcast(FrameType type, const std::string &payload,
+                   const Emit &emit);
+
+    std::string runId_;
+    SessionOptions options_;
+    SessionStats stats_;
+    std::string errorMessage_; ///< set when quarantined
+
+    trace::TraceStore store_;
+    std::unique_ptr<hb::HbGraph> graph_;
+
+    std::vector<Producer> producers_;
+    int expectedProducers_ = 0; ///< from the first Hello
+    int endedProducers_ = 0;
+
+    /// @{ @name Epoch-windowed online detection state
+    std::uint32_t currentEpoch_ = 0;
+    std::size_t releasedInEpoch_ = 0;
+    /** (var, vertex, isWrite) of the current epoch's accesses. */
+    std::vector<std::tuple<trace::SymId, int, bool>> epochAccesses_;
+    /** Retained accesses per variable, epoch-ordered. */
+    std::map<trace::SymId, std::deque<OnlineAccess>> onlineIndex_;
+    /** Callstack-pair keys already emitted online. */
+    std::set<std::string> emitted_;
+    /// @}
+};
+
+} // namespace dcatch::serve
+
+#endif // DCATCH_SERVE_SESSION_HH

@@ -1,0 +1,134 @@
+#include "serve/wire.hh"
+
+#include <cstring>
+
+#include "common/util.hh"
+
+namespace dcatch::serve {
+
+const char *
+frameTypeName(FrameType type)
+{
+    switch (type) {
+      case FrameType::Hello: return "Hello";
+      case FrameType::QueueMeta: return "QueueMeta";
+      case FrameType::ThreadMeta: return "ThreadMeta";
+      case FrameType::Records: return "Records";
+      case FrameType::End: return "End";
+      case FrameType::Candidate: return "Candidate";
+      case FrameType::Report: return "Report";
+      case FrameType::Error: return "Error";
+    }
+    return "?";
+}
+
+bool
+isClientFrame(FrameType type)
+{
+    switch (type) {
+      case FrameType::Hello:
+      case FrameType::QueueMeta:
+      case FrameType::ThreadMeta:
+      case FrameType::Records:
+      case FrameType::End:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+encodeFrame(FrameType type, std::string_view payload)
+{
+    std::uint32_t length =
+        static_cast<std::uint32_t>(payload.size() + 1);
+    std::string frame;
+    frame.reserve(4 + length);
+    frame.push_back(static_cast<char>(length & 0xff));
+    frame.push_back(static_cast<char>((length >> 8) & 0xff));
+    frame.push_back(static_cast<char>((length >> 16) & 0xff));
+    frame.push_back(static_cast<char>((length >> 24) & 0xff));
+    frame.push_back(static_cast<char>(type));
+    frame.append(payload);
+    return frame;
+}
+
+std::string
+encodeHello(const Hello &hello)
+{
+    return strprintf("v1 %d %s", hello.producers, hello.runId.c_str());
+}
+
+bool
+parseHello(std::string_view payload, Hello &out, std::string *error)
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    if (payload.substr(0, 3) != "v1 ")
+        return fail("unsupported Hello version (expected \"v1 ...\")");
+    payload.remove_prefix(3);
+    std::size_t space = payload.find(' ');
+    if (space == std::string_view::npos)
+        return fail("Hello missing producer count or run id");
+    std::string count(payload.substr(0, space));
+    std::string_view run = payload.substr(space + 1);
+    try {
+        std::size_t used = 0;
+        long parsed = std::stol(count, &used);
+        if (used != count.size())
+            throw std::invalid_argument(count);
+        if (parsed < 1 || parsed > (1 << 16))
+            return fail(strprintf("Hello producer count %ld out of "
+                                  "range [1, 65536]", parsed));
+        out.producers = static_cast<int>(parsed);
+    } catch (const std::exception &) {
+        return fail(strprintf("Hello producer count '%s' is not a "
+                              "number", count.c_str()));
+    }
+    if (run.empty())
+        return fail("Hello run id is empty");
+    out.runId = std::string(run);
+    return true;
+}
+
+bool
+FrameReader::feed(const char *data, std::size_t size,
+                  std::vector<Frame> &out, std::string *error)
+{
+    if (poisoned_) {
+        if (error)
+            *error = "connection poisoned by an earlier framing error";
+        return false;
+    }
+    buffer_.append(data, size);
+    while (buffer_.size() >= 4) {
+        const auto *p =
+            reinterpret_cast<const unsigned char *>(buffer_.data());
+        std::uint32_t length = static_cast<std::uint32_t>(p[0]) |
+                               (static_cast<std::uint32_t>(p[1]) << 8) |
+                               (static_cast<std::uint32_t>(p[2]) << 16) |
+                               (static_cast<std::uint32_t>(p[3]) << 24);
+        if (length == 0 || length > kMaxFrameLength) {
+            poisoned_ = true;
+            if (error)
+                *error = strprintf(
+                    "invalid frame length %u (must be in [1, %u])",
+                    length, kMaxFrameLength);
+            return false;
+        }
+        if (buffer_.size() < 4u + length)
+            break;
+        Frame frame;
+        frame.type = static_cast<FrameType>(
+            static_cast<unsigned char>(buffer_[4]));
+        frame.payload.assign(buffer_, 5, length - 1);
+        buffer_.erase(0, 4u + length);
+        out.push_back(std::move(frame));
+    }
+    return true;
+}
+
+} // namespace dcatch::serve

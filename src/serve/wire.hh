@@ -1,0 +1,124 @@
+/**
+ * @file
+ * dcatchd wire protocol: length-prefixed frames carrying the existing
+ * trace line format (docs/serve.md).
+ *
+ * A frame on the wire is
+ *
+ *     [u32 LE length][u8 type][payload: length-1 bytes]
+ *
+ * where `length` counts the type byte plus the payload.  Client->server
+ * frames drive a session; server->client frames deliver online
+ * candidates, the final report, and structured errors.  Payloads are
+ * plain text: trace records travel in exactly the `Record::toLine()`
+ * grammar, one line per record, so a recorded trace directory can be
+ * streamed byte-for-byte.
+ *
+ * Client -> server:
+ *   Hello      "v1 <producers> <runId>" — join (or open) the session
+ *              `runId`, which finalizes after `producers` End frames.
+ *              Every producer of one run must announce the same count.
+ *   QueueMeta  "<node> <0|1 singleConsumer> <queueId>"
+ *   ThreadMeta "<thread> <node> <0|1 handler> <name>"
+ *   Records    newline-separated Record::toLine() lines; sequence
+ *              numbers must ascend within one producer's stream.
+ *   End        empty payload — this producer is done.
+ *
+ * Server -> client:
+ *   Candidate  one provisional online candidate (epoch-windowed
+ *              detection; a preview, not the authoritative report)
+ *   Report     the final canonical candidate report, byte-identical
+ *              to the batch pipeline's trace-analysis stage
+ *   Error      structured per-session error; the session is
+ *              quarantined (drained but no longer analyzed)
+ */
+
+#ifndef DCATCH_SERVE_WIRE_HH
+#define DCATCH_SERVE_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dcatch::serve {
+
+/** Frame type tag (the byte after the length prefix). */
+enum class FrameType : unsigned char {
+    // client -> server
+    Hello = 'H',
+    QueueMeta = 'Q',
+    ThreadMeta = 'T',
+    Records = 'R',
+    End = 'E',
+    // server -> client
+    Candidate = 'c',
+    Report = 'r',
+    Error = 'e',
+};
+
+/** Name of a frame type (diagnostics). */
+const char *frameTypeName(FrameType type);
+
+/** True for the tags a client is allowed to send. */
+bool isClientFrame(FrameType type);
+
+/** One decoded frame. */
+struct Frame
+{
+    FrameType type = FrameType::Error;
+    std::string payload;
+};
+
+/** Upper bound on `length`; larger prefixes poison the connection
+ *  (a desynchronized or hostile stream, not a big batch — clients
+ *  chunk records far below this). */
+inline constexpr std::uint32_t kMaxFrameLength = 64u << 20;
+
+/** Encode one frame (length prefix + type + payload). */
+std::string encodeFrame(FrameType type, std::string_view payload);
+
+/** Parsed Hello payload. */
+struct Hello
+{
+    std::string runId;
+    int producers = 0;
+};
+
+/** Hello payload text for @p hello. */
+std::string encodeHello(const Hello &hello);
+
+/** Strict Hello parse. @return false with @p error set on defect. */
+bool parseHello(std::string_view payload, Hello &out, std::string *error);
+
+/**
+ * Incremental frame decoder for one connection's byte stream.
+ *
+ * Single-threaded per connection: feed() whatever chunk arrived and
+ * collect complete frames.  A framing violation (length 0 or over
+ * kMaxFrameLength) is unrecoverable — the stream has lost alignment —
+ * so feed() returns false and the connection must be closed.
+ */
+class FrameReader
+{
+  public:
+    /**
+     * Consume @p size bytes, appending complete frames to @p out.
+     * @return false on a framing violation (@p error describes it);
+     *         the reader is then poisoned and keeps returning false.
+     */
+    bool feed(const char *data, std::size_t size,
+              std::vector<Frame> &out, std::string *error = nullptr);
+
+    /** Bytes buffered awaiting a complete frame. */
+    std::size_t pendingBytes() const { return buffer_.size(); }
+
+  private:
+    std::string buffer_;
+    bool poisoned_ = false;
+};
+
+} // namespace dcatch::serve
+
+#endif // DCATCH_SERVE_WIRE_HH

@@ -91,7 +91,7 @@ std::size_t
 SymbolPool::bytes() const
 {
     return arenaBytes_ + table_.capacity() * sizeof(SymId) +
-           entries_.capacity() * sizeof(Entry) +
+           entries_.capacityBytes() +
            chunks_.capacity() * sizeof(chunks_[0]);
 }
 

@@ -21,10 +21,14 @@
  *    layout is reproducible and independent of libstdc++'s
  *    std::hash.
  *
- * The pool is single-writer: interning is not thread-safe.  Readers
- * (view / find / size) are safe concurrently with each other, and —
- * after a happens-before edge such as a TaskPool fork — safe against
- * ids published before the fork.
+ * The pool is single-writer: interning is not thread-safe.  view()
+ * and size() are safe concurrently with a live interner: entries live
+ * in a StableVector whose release-published size makes every id below
+ * an observed size() fully readable (the daemon's sessions intern
+ * while the HB engine resolves).  find() probes the open-addressing
+ * table, which the writer rehashes in place — it is safe only on the
+ * writer thread or after a happens-before edge such as a TaskPool
+ * fork.
  */
 
 #ifndef DCATCH_TRACE_SYMBOL_POOL_HH
@@ -34,6 +38,8 @@
 #include <memory>
 #include <string_view>
 #include <vector>
+
+#include "common/stable_vector.hh"
 
 namespace dcatch::trace {
 
@@ -56,10 +62,12 @@ class SymbolPool
     /** Intern @p text, returning its id (existing or fresh). */
     SymId intern(std::string_view text);
 
-    /** Id of @p text if already interned, kNoSym otherwise. */
+    /** Id of @p text if already interned, kNoSym otherwise.
+     *  Writer-thread / post-fork only (probes the live hash table). */
     SymId find(std::string_view text) const;
 
-    /** Text of an interned symbol; valid for the pool's lifetime. */
+    /** Text of an interned symbol; valid for the pool's lifetime.
+     *  Live-reader safe for ids below an observed size(). */
     std::string_view
     view(SymId id) const
     {
@@ -67,7 +75,8 @@ class SymbolPool
         return {e.data, e.size};
     }
 
-    /** Number of interned symbols (>= 1: the empty string). */
+    /** Number of interned symbols (>= 1: the empty string).
+     *  Live-reader safe (acquire). */
     std::size_t size() const { return entries_.size(); }
 
     /** Bytes held: arenas + hash table + entry metadata. */
@@ -89,7 +98,9 @@ class SymbolPool
 
     static constexpr std::size_t kChunkBytes = 64 * 1024;
 
-    std::vector<Entry> entries_;
+    /** Stable addresses + release-published size: view()/size() stay
+     *  valid while the writer interns (single-writer contract). */
+    StableVector<Entry> entries_;
     /** Open addressing, power-of-two size; kNoSym marks empty. */
     std::vector<SymId> table_;
     std::vector<std::unique_ptr<char[]>> chunks_;

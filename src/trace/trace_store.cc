@@ -17,24 +17,25 @@ namespace dcatch::trace {
 void
 TraceStore::Columns::push(const Record &rec)
 {
-    type.push_back(rec.type);
+    // Write every column, then release-publish the row count: a
+    // reader that acquires size() >= n sees rows [0, n) complete.
+    std::size_t row = type.push_back(rec.type);
     node.push_back(rec.node);
     seq.push_back(rec.seq);
     site.push_back(rec.site);
     callstack.push_back(rec.callstack);
     id.push_back(rec.id);
     aux.push_back(rec.aux);
+    rows_.store(row + 1, std::memory_order_release);
 }
 
 std::size_t
 TraceStore::Columns::bytes() const
 {
-    return type.capacity() * sizeof(RecordType) +
-           node.capacity() * sizeof(std::int32_t) +
-           seq.capacity() * sizeof(std::uint64_t) +
-           (site.capacity() + callstack.capacity() + id.capacity()) *
-               sizeof(SymId) +
-           aux.capacity() * sizeof(std::int64_t);
+    return type.capacityBytes() + node.capacityBytes() +
+           seq.capacityBytes() + site.capacityBytes() +
+           callstack.capacityBytes() + id.capacityBytes() +
+           aux.capacityBytes();
 }
 
 // ---------------------------------------------------------------------
@@ -73,9 +74,20 @@ TraceStore::ThreadLogView::size() const
 }
 
 TraceStore::MergedView::iterator::iterator(const TraceStore *store)
-    : store_(store), cursor_(store->logs_.size(), 0),
-      remaining_(store->total_)
+    : store_(store)
 {
+    // Snapshot every thread's published row count: a writer appending
+    // concurrently extends the logs, but this iterator merges exactly
+    // the prefix visible now (remaining_ must equal the sum of the
+    // limits or the end() comparison would run past the snapshot).
+    std::size_t threads = store->logs_.size();
+    cursor_.assign(threads, 0);
+    limit_.resize(threads);
+    remaining_ = 0;
+    for (std::size_t t = 0; t < threads; ++t) {
+        limit_[t] = store->logs_[t].size();
+        remaining_ += limit_[t];
+    }
     findMin();
 }
 
@@ -85,10 +97,9 @@ TraceStore::MergedView::iterator::findMin()
     current_ = -1;
     std::uint64_t best = 0;
     for (std::size_t t = 0; t < cursor_.size(); ++t) {
-        const Columns &log = store_->logs_[t];
-        if (cursor_[t] >= log.size())
+        if (cursor_[t] >= limit_[t])
             continue;
-        std::uint64_t seq = log.seq[cursor_[t]];
+        std::uint64_t seq = store_->logs_[t].seq[cursor_[t]];
         if (current_ < 0 || seq < best) {
             best = seq;
             current_ = static_cast<int>(t);
@@ -110,7 +121,7 @@ std::vector<Record>
 TraceStore::mergedRecords() const
 {
     std::vector<Record> all;
-    all.reserve(total_);
+    all.reserve(totalRecords());
     for (auto it = merged().begin(); it != merged().end(); ++it)
         all.push_back((*it).record());
     return all;
@@ -129,15 +140,16 @@ TraceStore::append(const Record &rec)
         return;
     }
     if (static_cast<std::size_t>(rec.thread) >= logs_.size())
-        logs_.resize(static_cast<std::size_t>(rec.thread) + 1);
+        logs_.ensureSize(static_cast<std::size_t>(rec.thread) + 1);
     Columns &log = logs_[static_cast<std::size_t>(rec.thread)];
     // The merged view relies on per-thread seq monotonicity (global
     // counter, stamped in append order).
     assert((log.size() == 0 || log.seq.back() < rec.seq) &&
            "per-thread sequence numbers must be ascending");
     log.push(rec);
-    ++total_;
-    serializedBytes_ += rec.lineLength(*pool_) + 1; // + '\n'
+    serializedBytes_.fetch_add(rec.lineLength(*pool_) + 1, // + '\n'
+                               std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_release);
 }
 
 void
@@ -156,9 +168,11 @@ std::map<RecordCategory, std::size_t>
 TraceStore::countsByCategory() const
 {
     std::map<RecordCategory, std::size_t> counts;
-    for (const Columns &log : logs_)
-        for (RecordType type : log.type)
-            ++counts[recordCategory(type)];
+    for (const Columns &log : logs_) {
+        std::size_t rows = log.size();
+        for (std::size_t i = 0; i < rows; ++i)
+            ++counts[recordCategory(log.type[i])];
+    }
     return counts;
 }
 
@@ -176,10 +190,10 @@ TraceStore::serializedBytes() const
                         .toLine(*pool_)
                         .size() +
                     1;
-    assert(slow == serializedBytes_ &&
+    assert(slow == serializedBytes_.load(std::memory_order_relaxed) &&
            "incremental serializedBytes cache out of sync");
 #endif
-    return serializedBytes_;
+    return serializedBytes_.load(std::memory_order_relaxed);
 }
 
 std::size_t

@@ -25,19 +25,34 @@
  * pre-interning string representation), computes the record breakdown
  * of Table 7, and reports its serialized size for Table 6/8 (cached
  * incrementally at append time).
+ *
+ * Concurrency contract (single-writer / concurrent-reader): exactly
+ * one thread appends; any number of threads may concurrently iterate
+ * ThreadLogView / MergedView and resolve symbols.  Columns live in
+ * StableVectors (stable addresses, release-published row counts), so
+ * a reader that observes N rows may freely read rows [0, N); merged
+ * iterators snapshot every thread's published row count at begin()
+ * and iterate exactly that prefix.  Queue/thread *metadata* maps are
+ * NOT part of the live contract — noteQueue/noteThread and queues()/
+ * threads() must stay on the writer thread or behind a fork edge.
+ * The daemon's per-run sessions lean on this continuously; see
+ * tests/trace/trace_live_append_test.cc.
  */
 
 #ifndef DCATCH_TRACE_TRACE_STORE_HH
 #define DCATCH_TRACE_TRACE_STORE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "common/stable_vector.hh"
 #include "trace/record.hh"
 #include "trace/symbol_pool.hh"
 
@@ -81,6 +96,46 @@ class TraceStore
     explicit TraceStore(std::shared_ptr<SymbolPool> pool)
         : pool_(std::move(pool))
     {
+    }
+
+    // Copies/moves share the pool and require both stores quiescent
+    // (they exist for pipeline results and trace slices, not for
+    // concurrent use); spelled out because the counters are atomics.
+    TraceStore(const TraceStore &other) { *this = other; }
+    TraceStore &
+    operator=(const TraceStore &other)
+    {
+        if (this == &other)
+            return *this;
+        pool_ = other.pool_;
+        seq_ = other.seq_;
+        logs_ = other.logs_;
+        total_.store(other.total_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        serializedBytes_.store(
+            other.serializedBytes_.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        queues_ = other.queues_;
+        threads_ = other.threads_;
+        return *this;
+    }
+    TraceStore(TraceStore &&other) noexcept { *this = std::move(other); }
+    TraceStore &
+    operator=(TraceStore &&other) noexcept
+    {
+        if (this == &other)
+            return *this;
+        pool_ = std::move(other.pool_);
+        seq_ = other.seq_;
+        logs_ = std::move(other.logs_);
+        total_.store(other.total_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        serializedBytes_.store(
+            other.serializedBytes_.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        queues_ = std::move(other.queues_);
+        threads_ = std::move(other.threads_);
+        return *this;
     }
 
     /** The symbol pool all SymId fields resolve against. */
@@ -284,12 +339,18 @@ class TraceStore
 
             const TraceStore *store_ = nullptr;
             std::vector<std::size_t> cursor_;
+            /** Per-thread row counts snapshotted at construction, so
+             *  a live writer appending mid-iteration cannot tear the
+             *  merge: exactly this prefix is yielded. */
+            std::vector<std::size_t> limit_;
             int current_ = -1;
             std::size_t remaining_ = 0;
         };
 
         iterator begin() const { return iterator(store_); }
         iterator end() const { return iterator(); }
+        /** Published total; under a live writer this may exceed what
+         *  an already-constructed iterator will yield. */
         std::size_t size() const { return store_->totalRecords(); }
 
       private:
@@ -309,8 +370,12 @@ class TraceStore
      */
     std::vector<Record> mergedRecords() const;
 
-    /** Total number of records. */
-    std::size_t totalRecords() const { return total_; }
+    /** Total number of records (live-reader safe). */
+    std::size_t
+    totalRecords() const
+    {
+        return total_.load(std::memory_order_acquire);
+    }
 
     /** Record counts keyed by category (Table 7). */
     std::map<RecordCategory, std::size_t> countsByCategory() const;
@@ -356,27 +421,72 @@ class TraceStore
     const std::map<int, ThreadMeta> &threads() const { return threads_; }
 
   private:
-    /** Structure-of-arrays columns of one thread's log. */
+    /** Structure-of-arrays columns of one thread's log.  A row is
+     *  published by writing every column and then release-storing
+     *  rows_; size() acquires it, so readers never see a torn row. */
     struct Columns
     {
-        std::vector<RecordType> type;
-        std::vector<std::int32_t> node;
-        std::vector<std::uint64_t> seq;
-        std::vector<SymId> site;
-        std::vector<SymId> callstack;
-        std::vector<SymId> id;
-        std::vector<std::int64_t> aux;
+        StableVector<RecordType> type;
+        StableVector<std::int32_t> node;
+        StableVector<std::uint64_t> seq;
+        StableVector<SymId> site;
+        StableVector<SymId> callstack;
+        StableVector<SymId> id;
+        StableVector<std::int64_t> aux;
 
-        std::size_t size() const { return seq.size(); }
+        Columns() = default;
+        Columns(const Columns &o) { *this = o; }
+        Columns &
+        operator=(const Columns &o)
+        {
+            if (this == &o)
+                return *this;
+            type = o.type;
+            node = o.node;
+            seq = o.seq;
+            site = o.site;
+            callstack = o.callstack;
+            id = o.id;
+            aux = o.aux;
+            rows_.store(o.size(), std::memory_order_relaxed);
+            return *this;
+        }
+        Columns(Columns &&o) noexcept { *this = std::move(o); }
+        Columns &
+        operator=(Columns &&o) noexcept
+        {
+            if (this == &o)
+                return *this;
+            type = std::move(o.type);
+            node = std::move(o.node);
+            seq = std::move(o.seq);
+            site = std::move(o.site);
+            callstack = std::move(o.callstack);
+            id = std::move(o.id);
+            aux = std::move(o.aux);
+            rows_.store(o.rows_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+            o.rows_.store(0, std::memory_order_relaxed);
+            return *this;
+        }
+
+        std::size_t
+        size() const
+        {
+            return rows_.load(std::memory_order_acquire);
+        }
         void push(const Record &rec);
         std::size_t bytes() const;
+
+      private:
+        std::atomic<std::size_t> rows_{0};
     };
 
     std::shared_ptr<SymbolPool> pool_;
     std::uint64_t seq_ = 0;
-    std::vector<Columns> logs_;
-    std::size_t total_ = 0;
-    std::size_t serializedBytes_ = 0;
+    StableVector<Columns> logs_;
+    std::atomic<std::size_t> total_{0};
+    std::atomic<std::size_t> serializedBytes_{0};
     std::map<std::string, QueueMeta, std::less<>> queues_;
     std::map<int, ThreadMeta> threads_;
 };

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Property tests for the incremental (streaming) HB graph mode that
+ * backs dcatchd: feeding a trace record-by-record through
+ * HbGraph::streaming() + append()/flush()/finishStream() must
+ * converge to exactly the batch graph built over the same store —
+ * identical all-pairs reachability and an identical race-detector
+ * candidate list — for every flush cadence.  Mid-stream, the
+ * incremental graph must be sound: any HB edge it reports already
+ * holds in the final batch closure (it may only under-approximate,
+ * never invent orderings).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmark.hh"
+#include "common/rng.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+#include "runtime/sim.hh"
+#include "support/trace_builder.hh"
+
+namespace dcatch::hb {
+namespace {
+
+using testsupport::TraceBuilder;
+using trace::RecordType;
+
+/** Same shape as the engines property test: regular threads doing
+ *  memory and message traffic plus one single-consumer event queue,
+ *  so the streaming Eserial fixpoint gets exercised. */
+void
+buildRandomTrace(TraceBuilder &tb, Rng &rng)
+{
+    const int threads = static_cast<int>(rng.nextRange(2, 4));
+    const int handlerThread = threads;
+    const int vars = static_cast<int>(rng.nextRange(1, 3));
+    tb.queue("n0/q", 0, true);
+
+    struct PendingMsg
+    {
+        int to;
+        std::string id;
+    };
+    std::vector<PendingMsg> inFlight;
+    std::vector<std::string> createdEvents;
+    int nextMsg = 0, nextEvent = 0;
+    const int steps = static_cast<int>(rng.nextRange(30, 60));
+
+    for (int s = 0; s < steps; ++s) {
+        int t = static_cast<int>(rng.nextRange(0, threads - 1));
+        std::string ts = std::to_string(t);
+        switch (rng.nextRange(0, 3)) {
+          case 0:
+          case 1: {
+            std::string var =
+                "var:x" + std::to_string(rng.nextRange(0, vars - 1));
+            tb.mem(rng.nextChance(1, 2), 0, t,
+                   "t" + ts + ".s" + std::to_string(s), var);
+            break;
+          }
+          case 2: {
+            if (rng.nextChance(1, 2) && !inFlight.empty()) {
+                PendingMsg msg = inFlight.back();
+                inFlight.pop_back();
+                tb.add(RecordType::MsgRecv, 0, msg.to, "recv", msg.id);
+            } else {
+                int to = static_cast<int>(rng.nextRange(0, threads - 1));
+                std::string id = "m-" + std::to_string(nextMsg++);
+                tb.add(RecordType::MsgSend, 0, t, "send", id);
+                inFlight.push_back({to, id});
+            }
+            break;
+          }
+          default: {
+            std::string id = "n0/q#" + std::to_string(nextEvent++);
+            tb.add(RecordType::EventCreate, 0, t, "enq", id);
+            createdEvents.push_back(id);
+            break;
+          }
+        }
+        while (!createdEvents.empty() && rng.nextChance(1, 2)) {
+            std::string id = createdEvents.front();
+            createdEvents.erase(createdEvents.begin());
+            tb.add(RecordType::EventBegin, 0, handlerThread, "evt", id);
+            tb.mem(rng.nextChance(1, 2), 0, handlerThread,
+                   "h." + id,
+                   "var:x" + std::to_string(rng.nextRange(0, vars - 1)));
+            tb.add(RecordType::EventEnd, 0, handlerThread, "evt", id);
+        }
+    }
+    for (const std::string &id : createdEvents) {
+        tb.add(RecordType::EventBegin, 0, handlerThread, "evt", id);
+        tb.add(RecordType::EventEnd, 0, handlerThread, "evt", id);
+    }
+}
+
+/**
+ * Stream every record of @p store through a streaming graph, calling
+ * flush() every @p flushEvery appends, with a mid-stream soundness
+ * probe against @p final_batch at each flush when @p probe is set.
+ */
+std::unique_ptr<HbGraph>
+streamAll(const trace::TraceStore &store, std::size_t flushEvery,
+          const HbGraph *final_batch)
+{
+    HbGraph::Options options;
+    auto stream = HbGraph::streaming(store, options);
+    std::size_t appended = 0;
+    for (const trace::Record &rec : store.mergedRecords()) {
+        stream->append(rec);
+        if (++appended % flushEvery == 0) {
+            stream->flush();
+            if (final_batch) {
+                // Soundness probe: the prefix graph may miss edges
+                // (retroactive chaining, unflushed Eserial) but must
+                // never report an ordering absent from the final
+                // batch closure.
+                int n = static_cast<int>(stream->size());
+                for (int u = 0; u < n; ++u)
+                    for (int v = 0; v < n; ++v)
+                        if (stream->happensBefore(u, v))
+                            EXPECT_TRUE(
+                                final_batch->happensBefore(u, v))
+                                << "spurious stream edge " << u
+                                << " => " << v << " at prefix " << n;
+            }
+        }
+    }
+    stream->finishStream();
+    return stream;
+}
+
+/** All-pairs equality between the finished stream and the batch. */
+void
+expectSameClosure(const HbGraph &stream, const HbGraph &batch)
+{
+    ASSERT_EQ(stream.size(), batch.size());
+    int n = static_cast<int>(batch.size());
+    for (int u = 0; u < n; ++u)
+        for (int v = 0; v < n; ++v)
+            ASSERT_EQ(stream.happensBefore(u, v),
+                      batch.happensBefore(u, v))
+                << "stream vs batch on " << u << " => " << v << ": "
+                << batch.recordLine(u) << " vs " << batch.recordLine(v);
+}
+
+/** Identical detector output — the dcatchd byte-equivalence pin. */
+void
+expectSameCandidates(const HbGraph &stream, const HbGraph &batch)
+{
+    detect::RaceDetector detector;
+    auto got = detector.detect(stream);
+    auto want = detector.detect(batch);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].callstackKey(), want[i].callstackKey());
+        EXPECT_EQ(got[i].staticKey(), want[i].staticKey());
+        EXPECT_EQ(got[i].dynamicPairs, want[i].dynamicPairs);
+        EXPECT_EQ(got[i].a.site, want[i].a.site);
+        EXPECT_EQ(got[i].b.site, want[i].b.site);
+        EXPECT_EQ(got[i].a.vertex, want[i].a.vertex);
+        EXPECT_EQ(got[i].b.vertex, want[i].b.vertex);
+    }
+}
+
+class RandomStreams : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomStreams, StreamingConvergesToBatchAtEveryCadence)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 9973 + 5);
+    TraceBuilder tb;
+    buildRandomTrace(tb, rng);
+    const trace::TraceStore &store = tb.store();
+
+    HbGraph::Options chainOpts;
+    chainOpts.engine = HbGraph::Engine::ChainFrontier;
+    HbGraph batch(store, chainOpts);
+
+    // flushEvery = 1 exercises the first-flush/appendVertices path on
+    // every record; a prime cadence lands flushes at odd prefixes;
+    // the huge cadence means finishStream() does all the work.
+    for (std::size_t flushEvery :
+         {std::size_t{1}, std::size_t{13}, std::size_t{1} << 30}) {
+        SCOPED_TRACE("flushEvery=" + std::to_string(flushEvery));
+        auto stream =
+            streamAll(store, flushEvery, flushEvery == 13 ? &batch
+                                                          : nullptr);
+        EXPECT_TRUE(stream->streamExact());
+        expectSameClosure(*stream, batch);
+        expectSameCandidates(*stream, batch);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomStreams,
+                         ::testing::Range(0, 12));
+
+class BenchmarkStreams : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(BenchmarkStreams, StreamingMatchesBatchOnRealTraces)
+{
+    const apps::Benchmark &bench = apps::benchmark(GetParam());
+    sim::Simulation sim(bench.config);
+    bench.build(sim);
+    sim.run();
+    const trace::TraceStore &store = sim.tracer().store();
+
+    HbGraph::Options chainOpts;
+    chainOpts.engine = HbGraph::Engine::ChainFrontier;
+    HbGraph batch(store, chainOpts);
+
+    for (std::size_t flushEvery : {std::size_t{64}, std::size_t{1} << 30}) {
+        SCOPED_TRACE("flushEvery=" + std::to_string(flushEvery));
+        auto stream = streamAll(store, flushEvery, nullptr);
+        EXPECT_TRUE(stream->streamExact()) << "prediction fell back";
+        expectSameClosure(*stream, batch);
+        expectSameCandidates(*stream, batch);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkStreams,
+    ::testing::Values("CA-1011", "HB-4539", "HB-4729", "MR-3274",
+                      "MR-4637", "ZK-1144", "ZK-1270"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace dcatch::hb

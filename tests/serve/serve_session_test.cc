@@ -1,0 +1,492 @@
+/**
+ * @file
+ * ServeCore tests, driven in-process (no sockets): the daemon's
+ * candidate report must be byte-identical to the batch pipeline's
+ * trace-analysis stage for every benchmark, producer count, shard
+ * count, and delivery interleaving; malformed input must quarantine
+ * the one session with a structured Error and leave the daemon
+ * serving; online epoch detection must emit candidates and evict aged
+ * accesses.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmark.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+#include "runtime/sim.hh"
+#include "serve/service.hh"
+#include "serve/session.hh"
+#include "serve/wire.hh"
+#include "trace/trace_store.hh"
+
+namespace dcatch::serve {
+namespace {
+
+const char *const kBenchmarks[] = {"CA-1011", "HB-4539", "HB-4729",
+                                   "MR-3274", "MR-4637", "ZK-1144",
+                                   "ZK-1270"};
+
+/** A benchmark's monitored trace (the Simulation owns the store). */
+struct BenchTrace
+{
+    std::unique_ptr<sim::Simulation> sim;
+    const trace::TraceStore *store = nullptr;
+};
+
+BenchTrace
+buildBench(const std::string &id)
+{
+    const apps::Benchmark &bench = apps::benchmark(id);
+    BenchTrace out;
+    out.sim = std::make_unique<sim::Simulation>(bench.config);
+    bench.build(*out.sim);
+    out.sim->run();
+    out.store = &out.sim->tracer().store();
+    return out;
+}
+
+/** What the daemon must emit: the batch trace-analysis answer. */
+std::string
+expectedReport(const trace::TraceStore &store, const std::string &runId)
+{
+    hb::HbGraph graph(store, hb::HbGraph::Options());
+    EXPECT_FALSE(graph.oom());
+    detect::RaceDetector detector;
+    return canonicalReport(runId, store.totalRecords(),
+                           detector.detect(graph));
+}
+
+/**
+ * Encode @p store as per-producer byte streams: every producer sends
+ * Hello, producer 0 carries the metadata, records are partitioned
+ * round-robin (each producer's subsequence stays seq-ascending), and
+ * each stream ends with End.
+ */
+std::vector<std::string>
+producerStreams(const trace::TraceStore &store, const std::string &runId,
+                int producers, std::size_t batch)
+{
+    std::vector<std::string> streams(
+        static_cast<std::size_t>(producers));
+    for (std::string &stream : streams)
+        stream = encodeFrame(FrameType::Hello,
+                             encodeHello({runId, producers}));
+    for (const auto &[id, queue] : store.queues())
+        streams[0] += encodeFrame(
+            FrameType::QueueMeta,
+            std::to_string(queue.node) + " " +
+                (queue.singleConsumer ? "1" : "0") + " " + id);
+    for (const auto &[tid, thread] : store.threads())
+        streams[0] += encodeFrame(
+            FrameType::ThreadMeta,
+            std::to_string(thread.thread) + " " +
+                std::to_string(thread.node) + " " +
+                (thread.handlerThread ? "1" : "0") + " " + thread.name);
+
+    std::vector<trace::Record> merged = store.mergedRecords();
+    std::vector<std::string> current(
+        static_cast<std::size_t>(producers));
+    std::vector<std::size_t> lines(static_cast<std::size_t>(producers),
+                                   0);
+    for (std::size_t i = 0; i < merged.size(); ++i) {
+        std::size_t p = i % static_cast<std::size_t>(producers);
+        merged[i].appendLine(store.symbols(), current[p]);
+        current[p] += '\n';
+        if (++lines[p] >= batch) {
+            streams[p] +=
+                encodeFrame(FrameType::Records, current[p]);
+            current[p].clear();
+            lines[p] = 0;
+        }
+    }
+    for (std::size_t p = 0; p < streams.size(); ++p) {
+        if (!current[p].empty())
+            streams[p] += encodeFrame(FrameType::Records, current[p]);
+        streams[p] += encodeFrame(FrameType::End, "");
+    }
+    return streams;
+}
+
+/** Frames each connection accumulated by the end of a drive. */
+struct DriveResult
+{
+    std::vector<std::string> reports; ///< one per connection ("" = none)
+    std::vector<std::string> errors;
+    std::size_t candidateFrames = 0;
+};
+
+/**
+ * Deliver the streams round-robin in @p chunk-byte slices — the
+ * adversarial interleaving knob — then drain and collect the frames.
+ */
+DriveResult
+drive(ServeCore &core, const std::vector<std::string> &streams,
+      std::size_t chunk)
+{
+    std::vector<ConnId> conns;
+    for (std::size_t p = 0; p < streams.size(); ++p)
+        conns.push_back(core.connect());
+    std::vector<std::size_t> offset(streams.size(), 0);
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t p = 0; p < streams.size(); ++p) {
+            if (offset[p] >= streams[p].size())
+                continue;
+            std::size_t n =
+                std::min(chunk, streams[p].size() - offset[p]);
+            EXPECT_TRUE(core.deliver(conns[p],
+                                     streams[p].data() + offset[p], n));
+            offset[p] += n;
+            progress = true;
+        }
+    }
+    core.drain();
+
+    DriveResult result;
+    result.reports.resize(streams.size());
+    result.errors.resize(streams.size());
+    for (std::size_t p = 0; p < streams.size(); ++p) {
+        for (const Frame &frame : core.poll(conns[p])) {
+            if (frame.type == FrameType::Report)
+                result.reports[p] = frame.payload;
+            else if (frame.type == FrameType::Error)
+                result.errors[p] = frame.payload;
+            else if (frame.type == FrameType::Candidate)
+                ++result.candidateFrames;
+        }
+        core.disconnect(conns[p]);
+    }
+    core.drain();
+    return result;
+}
+
+// The tentpole acceptance: streaming every benchmark through the
+// daemon yields a byte-identical candidate report for every
+// producer count, shard count, and chunking.
+TEST(ServeEquivalence, AllBenchmarksProducersJobsInterleavings)
+{
+    struct Config
+    {
+        int producers;
+        int jobs;
+        std::size_t batch;
+        std::size_t chunk;
+    };
+    const Config configs[] = {
+        {1, 1, 16, 1 << 20}, // single stream, single shard
+        {1, 2, 7, 64},       // tiny frames, fragmented delivery
+        {3, 1, 16, 33},      // watermark merge across 3 producers
+        {3, 2, 5, 9},        // merge + shards + heavy fragmentation
+    };
+    for (const char *id : kBenchmarks) {
+        BenchTrace bench = buildBench(id);
+        std::string expected = expectedReport(*bench.store, id);
+        for (const Config &config : configs) {
+            ServeOptions options;
+            options.jobs = config.jobs;
+            options.window = 32; // several epochs per benchmark
+            ServeCore core(options);
+            DriveResult result =
+                drive(core,
+                      producerStreams(*bench.store, id,
+                                      config.producers, config.batch),
+                      config.chunk);
+            for (int p = 0; p < config.producers; ++p) {
+                EXPECT_EQ(result.reports[static_cast<std::size_t>(p)],
+                          expected)
+                    << id << " producers=" << config.producers
+                    << " jobs=" << config.jobs
+                    << " chunk=" << config.chunk << " producer=" << p;
+            }
+            core.shutdown();
+        }
+    }
+}
+
+// Byte-by-byte delivery: the most hostile fragmentation still
+// reassembles to the identical report.
+TEST(ServeEquivalence, ByteByByteDelivery)
+{
+    BenchTrace bench = buildBench("CA-1011");
+    std::string expected = expectedReport(*bench.store, "CA-1011");
+    ServeCore core(ServeOptions{});
+    DriveResult result =
+        drive(core, producerStreams(*bench.store, "CA-1011", 2, 8), 1);
+    EXPECT_EQ(result.reports[0], expected);
+    EXPECT_EQ(result.reports[1], expected);
+}
+
+// Epoch window of 1: every record closes an epoch; the final report
+// is still exact and eviction has definitely run.
+TEST(ServeEquivalence, WindowOfOne)
+{
+    BenchTrace bench = buildBench("ZK-1270");
+    std::string expected = expectedReport(*bench.store, "ZK-1270");
+    ServeOptions options;
+    options.window = 1;
+    options.retainEpochs = 1;
+    ServeCore core(options);
+    DriveResult result =
+        drive(core, producerStreams(*bench.store, "ZK-1270", 1, 64),
+              1 << 20);
+    EXPECT_EQ(result.reports[0], expected);
+    ServeStats stats = core.stats();
+    EXPECT_GT(stats.epochsClosed, 0u);
+    EXPECT_GT(stats.evictedAccesses, 0u);
+}
+
+// Concurrent sessions on one daemon: different runs, different
+// shards, no cross-talk.
+TEST(ServeEquivalence, ConcurrentSessions)
+{
+    BenchTrace mr = buildBench("MR-3274");
+    BenchTrace zk = buildBench("ZK-1144");
+    std::string expected_mr = expectedReport(*mr.store, "MR-3274");
+    std::string expected_zk = expectedReport(*zk.store, "ZK-1144");
+
+    ServeOptions options;
+    options.jobs = 2;
+    options.window = 16;
+    ServeCore core(options);
+    std::vector<std::string> streams_mr =
+        producerStreams(*mr.store, "MR-3274", 2, 8);
+    std::vector<std::string> streams_zk =
+        producerStreams(*zk.store, "ZK-1144", 2, 8);
+
+    // Interleave the two runs' connections by hand.
+    std::vector<std::string> all = {streams_mr[0], streams_zk[0],
+                                    streams_mr[1], streams_zk[1]};
+    DriveResult result = drive(core, all, 41);
+    EXPECT_EQ(result.reports[0], expected_mr);
+    EXPECT_EQ(result.reports[2], expected_mr);
+    EXPECT_EQ(result.reports[1], expected_zk);
+    EXPECT_EQ(result.reports[3], expected_zk);
+
+    ServeStats stats = core.stats();
+    EXPECT_EQ(stats.sessionsOpened, 2u);
+    EXPECT_EQ(stats.sessionsFinished, 2u);
+    EXPECT_EQ(stats.sessionsQuarantined, 0u);
+}
+
+// Online candidates flow while the run streams, and every online
+// emission references a variable the final (authoritative) report
+// also knows about -- the preview never invents state.
+TEST(ServeOnline, CandidatesEmittedOnline)
+{
+    BenchTrace bench = buildBench("MR-3274");
+    ServeOptions options;
+    options.window = 8;
+    ServeCore core(options);
+    DriveResult result =
+        drive(core, producerStreams(*bench.store, "MR-3274", 1, 8),
+              1 << 20);
+    EXPECT_GT(result.candidateFrames, 0u);
+    EXPECT_FALSE(result.reports[0].empty());
+    ServeStats stats = core.stats();
+    EXPECT_EQ(stats.onlineCandidates, result.candidateFrames);
+    EXPECT_GT(stats.maxOnlineIndexBytes, 0u);
+}
+
+/** A handcrafted record line (valid under Record::fromLine). */
+std::string
+memLine(trace::SymbolPool &pool, std::uint64_t seq, int thread = 0)
+{
+    trace::Record rec;
+    rec.type = trace::RecordType::MemRead;
+    rec.node = 0;
+    rec.thread = thread;
+    rec.seq = seq;
+    rec.site = pool.intern("site");
+    rec.callstack = pool.intern("cs");
+    rec.id = pool.intern("var:x");
+    return rec.toLine(pool) + "\n";
+}
+
+/** Open a session with one producer and feed it @p frames. */
+DriveResult
+driveFrames(ServeCore &core, const std::string &runId,
+            const std::vector<Frame> &frames)
+{
+    std::string stream =
+        encodeFrame(FrameType::Hello, encodeHello({runId, 1}));
+    for (const Frame &frame : frames)
+        stream += encodeFrame(frame.type, frame.payload);
+    stream += encodeFrame(FrameType::End, "");
+    return drive(core, {stream}, 1 << 20);
+}
+
+// Satellite 1: every malformed input quarantines with a structured
+// Error naming the defect; the daemon survives and a fresh session
+// still produces the exact report.
+TEST(ServeQuarantine, MalformedInputTable)
+{
+    trace::SymbolPool pool;
+    struct Case
+    {
+        const char *name;
+        std::vector<Frame> frames;
+        const char *errorSubstr;
+    };
+    const std::vector<Case> cases = {
+        {"malformed record line",
+         {{FrameType::Records, "this is not a trace line\n"}},
+         "malformed trace line"},
+        {"out-of-order sequence",
+         {{FrameType::Records,
+           memLine(pool, 5) + memLine(pool, 3)}},
+         "out-of-order sequence number 3 (after 5)"},
+        {"duplicate sequence",
+         {{FrameType::Records, memLine(pool, 4) + memLine(pool, 4)}},
+         "out-of-order sequence number 4 (after 4)"},
+        {"second Hello",
+         {{FrameType::Hello, "v1 1 dup"}},
+         "second Hello"},
+        {"malformed QueueMeta",
+         {{FrameType::QueueMeta, "not numbers"}},
+         "malformed QueueMeta"},
+        {"QueueMeta bad flag",
+         {{FrameType::QueueMeta, "0 7 q"}},
+         "malformed QueueMeta"},
+        {"malformed ThreadMeta",
+         {{FrameType::ThreadMeta, "1 2"}},
+         "malformed ThreadMeta"},
+        {"server-side frame from client",
+         {{FrameType::Report, "forged"}},
+         "server-side frame"},
+    };
+
+    for (const Case &c : cases) {
+        ServeCore core(ServeOptions{});
+        std::string run = std::string("bad-") + c.name;
+        DriveResult result = driveFrames(core, run, c.frames);
+        EXPECT_TRUE(result.reports[0].empty()) << c.name;
+        ASSERT_FALSE(result.errors[0].empty()) << c.name;
+        EXPECT_NE(result.errors[0].find(c.errorSubstr),
+                  std::string::npos)
+            << c.name << ": got '" << result.errors[0] << "'";
+        ServeStats stats = core.stats();
+        EXPECT_EQ(stats.sessionsQuarantined, 1u) << c.name;
+        EXPECT_EQ(stats.sessionsFinished, 1u) << c.name;
+
+        // The daemon is still healthy: a clean run on the same core
+        // produces the exact batch answer.
+        BenchTrace bench = buildBench("CA-1011");
+        DriveResult clean = drive(
+            core, producerStreams(*bench.store, "CA-1011", 1, 16),
+            1 << 20);
+        EXPECT_EQ(clean.reports[0],
+                  expectedReport(*bench.store, "CA-1011"))
+            << c.name;
+        core.shutdown();
+    }
+}
+
+// Two producers joining one run must announce the same producer
+// count; a mismatch quarantines the session with an Error naming it.
+TEST(ServeQuarantine, ProducerCountMismatch)
+{
+    ServeCore core(ServeOptions{});
+    ConnId a = core.connect();
+    ConnId b = core.connect();
+    std::string hello_a =
+        encodeFrame(FrameType::Hello, encodeHello({"run", 2}));
+    std::string hello_b =
+        encodeFrame(FrameType::Hello, encodeHello({"run", 3}));
+    EXPECT_TRUE(core.deliver(a, hello_a.data(), hello_a.size()));
+    core.drain();
+    EXPECT_TRUE(core.deliver(b, hello_b.data(), hello_b.size()));
+    core.drain();
+    bool saw_error = false;
+    for (const Frame &frame : core.poll(b))
+        if (frame.type == FrameType::Error) {
+            saw_error = true;
+            EXPECT_NE(frame.payload.find("announced"),
+                      std::string::npos);
+        }
+    EXPECT_TRUE(saw_error);
+    // The quarantined run drains to reapable once its joined
+    // producers are gone; only then does it fold into the stats.
+    core.disconnect(a);
+    core.disconnect(b);
+    core.drain();
+    EXPECT_EQ(core.stats().sessionsQuarantined, 1u);
+}
+
+// Protocol errors before a session binds are connection-fatal:
+// deliver() returns false and the Error frame explains why.
+TEST(ServeQuarantine, ConnectionLevelErrors)
+{
+    {
+        // First frame is not Hello.
+        ServeCore core(ServeOptions{});
+        ConnId conn = core.connect();
+        std::string bytes = encodeFrame(FrameType::Records, "x\n");
+        EXPECT_FALSE(core.deliver(conn, bytes.data(), bytes.size()));
+        std::vector<Frame> frames = core.poll(conn);
+        ASSERT_FALSE(frames.empty());
+        EXPECT_EQ(frames[0].type, FrameType::Error);
+        core.disconnect(conn);
+    }
+    {
+        // Unparseable Hello payload.
+        ServeCore core(ServeOptions{});
+        ConnId conn = core.connect();
+        std::string bytes = encodeFrame(FrameType::Hello, "v9 1 run");
+        EXPECT_FALSE(core.deliver(conn, bytes.data(), bytes.size()));
+        core.disconnect(conn);
+    }
+    {
+        // Framing violation: a zero length prefix.
+        ServeCore core(ServeOptions{});
+        ConnId conn = core.connect();
+        const char zeros[4] = {0, 0, 0, 0};
+        EXPECT_FALSE(core.deliver(conn, zeros, sizeof(zeros)));
+        core.disconnect(conn);
+    }
+}
+
+// A producer that vanishes without End still lets the run finalize:
+// the disconnect is an implicit End, and the surviving producer gets
+// the full report (it delivered every record).
+TEST(ServeQuarantine, DisconnectWithoutEndFinalizes)
+{
+    BenchTrace bench = buildBench("HB-4539");
+    std::string expected = expectedReport(*bench.store, "HB-4539");
+
+    ServeCore core(ServeOptions{});
+    ConnId a = core.connect();
+    ConnId b = core.connect();
+    // Producer a carries everything; producer b only says Hello.
+    std::vector<std::string> streams =
+        producerStreams(*bench.store, "HB-4539", 1, 32);
+    // Rewrite a's Hello to announce 2 producers.
+    std::string stream_a =
+        encodeFrame(FrameType::Hello, encodeHello({"HB-4539", 2})) +
+        streams[0].substr(
+            encodeFrame(FrameType::Hello, encodeHello({"HB-4539", 1}))
+                .size());
+    std::string stream_b =
+        encodeFrame(FrameType::Hello, encodeHello({"HB-4539", 2}));
+    EXPECT_TRUE(core.deliver(b, stream_b.data(), stream_b.size()));
+    EXPECT_TRUE(core.deliver(a, stream_a.data(), stream_a.size()));
+    core.drain();
+    // Producer b drops its connection; the session treats it as End.
+    core.disconnect(b);
+    core.drain();
+    std::string report;
+    for (const Frame &frame : core.poll(a))
+        if (frame.type == FrameType::Report)
+            report = frame.payload;
+    EXPECT_EQ(report, expected);
+    core.disconnect(a);
+}
+
+} // namespace
+} // namespace dcatch::serve

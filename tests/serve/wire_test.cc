@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Wire-protocol framing tests: encode/decode roundtrips under
+ * arbitrary chunking, rejection of malformed length prefixes, and the
+ * strict Hello grammar (docs/serve.md).
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/wire.hh"
+
+namespace dcatch::serve {
+namespace {
+
+std::vector<Frame>
+feedAll(FrameReader &reader, const std::string &bytes,
+        std::size_t chunk)
+{
+    std::vector<Frame> out;
+    for (std::size_t i = 0; i < bytes.size(); i += chunk) {
+        std::size_t n = std::min(chunk, bytes.size() - i);
+        EXPECT_TRUE(reader.feed(bytes.data() + i, n, out));
+    }
+    return out;
+}
+
+TEST(Wire, EncodeDecodeRoundtrip)
+{
+    const std::vector<Frame> frames = {
+        {FrameType::Hello, "v1 2 run-7"},
+        {FrameType::QueueMeta, "0 1 n0/q"},
+        {FrameType::ThreadMeta, "3 0 1 worker"},
+        {FrameType::Records, "line one\nline two\n"},
+        {FrameType::End, ""},
+        {FrameType::Report, std::string(100000, 'x')},
+    };
+    std::string bytes;
+    for (const Frame &frame : frames)
+        bytes += encodeFrame(frame.type, frame.payload);
+
+    // Whole buffer at once, then byte-by-byte, then odd chunks: the
+    // decoder must produce the identical frame list regardless of how
+    // the stream fragments.
+    for (std::size_t chunk : {bytes.size(), std::size_t{1},
+                              std::size_t{7}, std::size_t{4096}}) {
+        FrameReader reader;
+        std::vector<Frame> got = feedAll(reader, bytes, chunk);
+        ASSERT_EQ(got.size(), frames.size()) << "chunk=" << chunk;
+        for (std::size_t i = 0; i < frames.size(); ++i) {
+            EXPECT_EQ(got[i].type, frames[i].type);
+            EXPECT_EQ(got[i].payload, frames[i].payload);
+        }
+        EXPECT_EQ(reader.pendingBytes(), 0u);
+    }
+}
+
+TEST(Wire, PartialFrameStaysPending)
+{
+    std::string bytes = encodeFrame(FrameType::Records, "abcdef");
+    FrameReader reader;
+    std::vector<Frame> out;
+    ASSERT_TRUE(reader.feed(bytes.data(), bytes.size() - 1, out));
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(reader.pendingBytes(), bytes.size() - 1);
+    ASSERT_TRUE(reader.feed(bytes.data() + bytes.size() - 1, 1, out));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].payload, "abcdef");
+    EXPECT_EQ(reader.pendingBytes(), 0u);
+}
+
+TEST(Wire, ZeroLengthPrefixPoisons)
+{
+    const char bytes[4] = {0, 0, 0, 0}; // length 0: no type byte
+    FrameReader reader;
+    std::vector<Frame> out;
+    std::string error;
+    EXPECT_FALSE(reader.feed(bytes, sizeof(bytes), out, &error));
+    EXPECT_FALSE(error.empty());
+    // Poisoned: even a well-formed frame is rejected afterwards.
+    std::string good = encodeFrame(FrameType::End, "");
+    EXPECT_FALSE(reader.feed(good.data(), good.size(), out));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Wire, OversizedLengthPrefixPoisons)
+{
+    std::uint32_t length = kMaxFrameLength + 1;
+    char bytes[4];
+    for (int i = 0; i < 4; ++i)
+        bytes[i] = static_cast<char>((length >> (8 * i)) & 0xff);
+    FrameReader reader;
+    std::vector<Frame> out;
+    std::string error;
+    EXPECT_FALSE(reader.feed(bytes, sizeof(bytes), out, &error));
+    EXPECT_NE(error.find("frame"), std::string::npos);
+}
+
+TEST(Wire, HelloRoundtrip)
+{
+    Hello hello{"MR-3274", 16};
+    Hello parsed;
+    std::string error;
+    ASSERT_TRUE(parseHello(encodeHello(hello), parsed, &error)) << error;
+    EXPECT_EQ(parsed.runId, "MR-3274");
+    EXPECT_EQ(parsed.producers, 16);
+}
+
+TEST(Wire, HelloParseTable)
+{
+    struct Case
+    {
+        const char *payload;
+        bool ok;
+        const char *runId;
+        int producers;
+    };
+    const Case cases[] = {
+        {"v1 1 run", true, "run", 1},
+        {"v1 65536 run with spaces", true, "run with spaces", 65536},
+        {"", false, "", 0},
+        {"v2 1 run", false, "", 0},       // unknown version
+        {"v1 0 run", false, "", 0},       // producer count < 1
+        {"v1 65537 run", false, "", 0},   // producer count too large
+        {"v1 -3 run", false, "", 0},
+        {"v1 two run", false, "", 0},
+        {"v1 2x run", false, "", 0},      // trailing garbage in count
+        {"v1 2", false, "", 0},           // missing run id
+        {"v1 2 ", false, "", 0},          // empty run id
+    };
+    for (const Case &c : cases) {
+        Hello parsed;
+        std::string error;
+        bool ok = parseHello(c.payload, parsed, &error);
+        EXPECT_EQ(ok, c.ok) << "payload '" << c.payload << "': "
+                            << error;
+        if (ok && c.ok) {
+            EXPECT_EQ(parsed.runId, c.runId);
+            EXPECT_EQ(parsed.producers, c.producers);
+        }
+        if (!c.ok)
+            EXPECT_FALSE(error.empty()) << c.payload;
+    }
+}
+
+TEST(Wire, ClientFrameClassification)
+{
+    EXPECT_TRUE(isClientFrame(FrameType::Hello));
+    EXPECT_TRUE(isClientFrame(FrameType::QueueMeta));
+    EXPECT_TRUE(isClientFrame(FrameType::ThreadMeta));
+    EXPECT_TRUE(isClientFrame(FrameType::Records));
+    EXPECT_TRUE(isClientFrame(FrameType::End));
+    EXPECT_FALSE(isClientFrame(FrameType::Candidate));
+    EXPECT_FALSE(isClientFrame(FrameType::Report));
+    EXPECT_FALSE(isClientFrame(FrameType::Error));
+}
+
+} // namespace
+} // namespace dcatch::serve

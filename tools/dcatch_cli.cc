@@ -12,17 +12,23 @@
  *   dcatch explore <benchmark-id> [--policies LIST] [--runs N]
  *              [--jobs N] [--seed-base N] [--out DIR] [--no-shrink]
  *              [--no-crossval] [--json] [--quiet]
+ *   dcatch serve --listen ADDR [--jobs N] [--window E] [--retain K]
+ *              [--quiet]
  *   dcatch --version
+ *   dcatch --help            (and `dcatch <command> --help`)
  *
  * Unknown subcommands and flags are usage errors (nonzero exit), not
- * silently ignored.  Exit status: 0 on success (for `replay`: the
- * replay was identical; for `explore`: every failing run was
- * replay-verified and cross-validated), 1 on usage or load errors, 2
- * when the analysis ran out of memory, a replay diverged /
- * mismatched, or an explorer failure escaped verification.
+ * silently ignored; --help prints the same text to stdout and exits
+ * 0.  Exit status: 0 on success (for `replay`: the replay was
+ * identical; for `explore`: every failing run was replay-verified and
+ * cross-validated; for `serve`: clean shutdown on SIGTERM/SIGINT), 1
+ * on usage or load errors, 2 when the analysis ran out of memory, a
+ * replay diverged / mismatched, or an explorer failure escaped
+ * verification.
  */
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -34,6 +40,7 @@
 #include "explore/explorer.hh"
 #include "replay/bundle.hh"
 #include "replay/driver.hh"
+#include "serve/server.hh"
 
 #ifndef DCATCH_VERSION
 #define DCATCH_VERSION "unknown"
@@ -43,49 +50,107 @@ namespace {
 
 using namespace dcatch;
 
+const char *const kUsageHead =
+    "usage:\n"
+    "  dcatch list                      registered benchmarks\n"
+    "  dcatch run <benchmark-id>        batch detection pipeline\n"
+    "  dcatch replay <bundle>           re-execute a repro bundle\n"
+    "  dcatch explore <benchmark-id>    adversarial schedule search\n"
+    "  dcatch serve --listen ADDR       online detection daemon\n"
+    "  dcatch --version                 print the version\n"
+    "  dcatch --help                    this text; every command\n"
+    "                                   also takes --help\n";
+
+const char *const kRunHelp =
+    "run options:\n"
+    "  --no-prune    skip static pruning (section 4)\n"
+    "  --no-loop     skip loop/pull synchronization analysis\n"
+    "  --trigger     trigger and classify every report (section 5)\n"
+    "  --full-trace  unselective memory tracing (Table 8 mode)\n"
+    "  --random      use the seeded-random scheduling policy\n"
+    "  --seed N      scheduling seed (with --random)\n"
+    "  --jobs N      analysis/trigger worker threads (N >= 1;\n"
+    "                default: hardware concurrency; output is\n"
+    "                byte-identical for every N)\n"
+    "  --engine E    HB reachability engine: auto, chain, dense,\n"
+    "                or vc (default: auto — picks chain or dense\n"
+    "                per trace; see docs/hb_auto_engine.md)\n"
+    "  --json        emit the report as JSON\n"
+    "  --trace-dir D also write per-thread trace files into D\n"
+    "  --record-schedule D\n"
+    "                record scheduler decisions; write repro\n"
+    "                bundles under D (replay with dcatch replay)\n"
+    "  --quiet       suppress the metrics footer\n";
+
+const char *const kReplayHelp =
+    "replay options:\n"
+    "  --json        emit the outcome as JSON\n"
+    "  --quiet       suppress the progress lines\n";
+
+const char *const kExploreHelp =
+    "explore options:\n"
+    "  --policies L  comma-separated adversarial policies:\n"
+    "                random, pct:<d>, delay:<k>\n"
+    "                (default: random,pct:3,delay:2)\n"
+    "  --runs N      runs per policy (default 10)\n"
+    "  --jobs N      campaign worker threads (N >= 1)\n"
+    "  --seed-base N first seed of the campaign (default 1)\n"
+    "  --out DIR     write failing-run repro bundles under DIR\n"
+    "  --no-shrink   skip schedule minimization\n"
+    "  --no-crossval skip the detector cross-validation stage\n"
+    "  --json        emit the campaign summary as JSON\n"
+    "  --quiet       suppress the per-run table\n";
+
+const char *const kServeHelp =
+    "serve options:\n"
+    "  --listen A    required; unix:/path/to.sock or tcp:HOST:PORT\n"
+    "                (port 0 picks a free port, printed on startup)\n"
+    "  --jobs N      session shard worker threads (N >= 1;\n"
+    "                default 1; reports are byte-identical to the\n"
+    "                batch pipeline for every N)\n"
+    "  --window E    records per online-detection epoch (E >= 1;\n"
+    "                default 4096); closing an epoch emits new\n"
+    "                candidates and evicts aged accesses\n"
+    "  --retain K    closed epochs kept in the online index (K >= 1;\n"
+    "                default 2); bounds resident memory per session\n"
+    "  --quiet       suppress the startup line and the exit summary\n";
+
+/** Print the full help text to @p to (stderr on usage errors, stdout
+ *  for --help). */
+void
+printFullHelp(std::FILE *to)
+{
+    std::fprintf(to, "%s\n%s\n%s\n%s\n%s", kUsageHead, kRunHelp,
+                 kReplayHelp, kExploreHelp, kServeHelp);
+}
+
 int
 usage()
 {
-    std::fprintf(
-        stderr,
-        "usage:\n"
-        "  dcatch list\n"
-        "  dcatch run <benchmark-id> [options]\n"
-        "  dcatch replay <bundle> [--json] [--quiet]\n"
-        "  dcatch explore <benchmark-id> [options]\n"
-        "  dcatch --version\n"
-        "\nrun options:\n"
-        "  --no-prune    skip static pruning (section 4)\n"
-        "  --no-loop     skip loop/pull synchronization analysis\n"
-        "  --trigger     trigger and classify every report (section 5)\n"
-        "  --full-trace  unselective memory tracing (Table 8 mode)\n"
-        "  --random      use the seeded-random scheduling policy\n"
-        "  --seed N      scheduling seed (with --random)\n"
-        "  --jobs N      analysis/trigger worker threads (N >= 1;\n"
-        "                default: hardware concurrency; output is\n"
-        "                byte-identical for every N)\n"
-        "  --engine E    HB reachability engine: auto, chain, dense,\n"
-        "                or vc (default: auto — picks chain or dense\n"
-        "                per trace; see docs/hb_auto_engine.md)\n"
-        "  --json        emit the report as JSON\n"
-        "  --trace-dir D also write per-thread trace files into D\n"
-        "  --record-schedule D\n"
-        "                record scheduler decisions; write repro\n"
-        "                bundles under D (replay with dcatch replay)\n"
-        "  --quiet       suppress the metrics footer\n"
-        "\nexplore options:\n"
-        "  --policies L  comma-separated adversarial policies:\n"
-        "                random, pct:<d>, delay:<k>\n"
-        "                (default: random,pct:3,delay:2)\n"
-        "  --runs N      runs per policy (default 10)\n"
-        "  --jobs N      campaign worker threads (N >= 1)\n"
-        "  --seed-base N first seed of the campaign (default 1)\n"
-        "  --out DIR     write failing-run repro bundles under DIR\n"
-        "  --no-shrink   skip schedule minimization\n"
-        "  --no-crossval skip the detector cross-validation stage\n"
-        "  --json        emit the campaign summary as JSON\n"
-        "  --quiet       suppress the per-run table\n");
+    printFullHelp(stderr);
     return 1;
+}
+
+/** True when any argument asks for help.  Each cmd* scans its whole
+ *  argv so `dcatch run CA-1011 --help` works, not just `dcatch run
+ *  --help`. */
+bool
+wantsHelp(int argc, char **argv)
+{
+    for (int i = 0; i < argc; ++i)
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0)
+            return true;
+    return false;
+}
+
+/** `dcatch <command> --help`: the shared head plus that command's
+ *  option table, on stdout, exit 0. */
+int
+commandHelp(const char *command, const char *options)
+{
+    std::printf("usage: dcatch %s\n\n%s", command, options);
+    return 0;
 }
 
 int
@@ -106,6 +171,8 @@ cmdList(int argc, char **argv)
 int
 cmdRun(int argc, char **argv)
 {
+    if (wantsHelp(argc, argv))
+        return commandHelp("run <benchmark-id> [options]", kRunHelp);
     if (argc < 1)
         return usage();
     std::string id = argv[0];
@@ -270,6 +337,8 @@ replayOutcomeJson(const replay::ReplayOutcome &outcome)
 int
 cmdReplay(int argc, char **argv)
 {
+    if (wantsHelp(argc, argv))
+        return commandHelp("replay <bundle> [options]", kReplayHelp);
     if (argc < 1)
         return usage();
     std::string bundle = argv[0];
@@ -324,6 +393,9 @@ cmdReplay(int argc, char **argv)
 int
 cmdExplore(int argc, char **argv)
 {
+    if (wantsHelp(argc, argv))
+        return commandHelp("explore <benchmark-id> [options]",
+                           kExploreHelp);
     if (argc < 1)
         return usage();
     std::string id = argv[0];
@@ -474,6 +546,123 @@ cmdExplore(int argc, char **argv)
     return ok ? 0 : 2;
 }
 
+// SIGTERM/SIGINT land here; only an atomic store is allowed.
+serve::Server *g_server = nullptr;
+
+extern "C" void
+serveSignalHandler(int)
+{
+    if (g_server)
+        g_server->requestStop();
+}
+
+int
+cmdServe(int argc, char **argv)
+{
+    if (wantsHelp(argc, argv))
+        return commandHelp("serve --listen ADDR [options]", kServeHelp);
+
+    std::string listen;
+    serve::ServeOptions options;
+    bool quiet = false;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--listen") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--listen requires a value\n");
+                return usage();
+            }
+            listen = argv[++i];
+        } else if (arg == "--jobs" || arg == "--window" ||
+                   arg == "--retain") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n",
+                             arg.c_str());
+                return usage();
+            }
+            // Strict: a decimal integer >= 1, nothing else (same
+            // contract as the other subcommands' --jobs).
+            long long parsed = 0;
+            try {
+                std::size_t used = 0;
+                std::string value = argv[++i];
+                parsed = std::stoll(value, &used);
+                if (used != value.size())
+                    throw std::invalid_argument(value);
+            } catch (const std::exception &) {
+                std::fprintf(stderr, "%s: '%s' is not a number\n",
+                             arg.c_str(), argv[i]);
+                return usage();
+            }
+            if (parsed < 1) {
+                std::fprintf(stderr,
+                             "%s: %lld is not a positive count\n",
+                             arg.c_str(), parsed);
+                return usage();
+            }
+            if (arg == "--jobs")
+                options.jobs = static_cast<int>(
+                    std::min<long long>(parsed, 1 << 16));
+            else if (arg == "--window")
+                options.window = static_cast<std::size_t>(
+                    std::min<long long>(parsed, 1ll << 30));
+            else
+                options.retainEpochs = static_cast<int>(
+                    std::min<long long>(parsed, 1 << 20));
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage();
+        }
+    }
+    if (listen.empty()) {
+        std::fprintf(stderr, "dcatch serve: --listen is required\n");
+        return usage();
+    }
+    serve::Address address;
+    std::string error;
+    if (!serve::parseAddress(listen, address, &error)) {
+        std::fprintf(stderr, "--listen: %s\n", error.c_str());
+        return usage();
+    }
+
+    serve::ServeCore core(options);
+    try {
+        serve::Server server(core, address);
+        g_server = &server;
+        std::signal(SIGTERM, serveSignalHandler);
+        std::signal(SIGINT, serveSignalHandler);
+        if (!quiet) {
+            std::printf("dcatchd listening on %s (jobs=%d window=%zu "
+                        "retain=%d)\n",
+                        server.boundAddress().c_str(), options.jobs,
+                        options.window, options.retainEpochs);
+            std::fflush(stdout);
+        }
+        server.run();
+        g_server = nullptr;
+    } catch (const std::exception &err) {
+        g_server = nullptr;
+        std::fprintf(stderr, "dcatch serve: %s\n", err.what());
+        return 1;
+    }
+
+    core.drain();
+    core.shutdown();
+    if (!quiet) {
+        serve::ServeStats stats = core.stats();
+        std::printf("dcatchd: %zu connections, %zu records across %zu "
+                    "sessions (%zu finished, %zu quarantined), %zu "
+                    "epochs closed, %zu online candidates\n",
+                    stats.connections, stats.recordsIngested,
+                    stats.sessionsOpened, stats.sessionsFinished,
+                    stats.sessionsQuarantined, stats.epochsClosed,
+                    stats.onlineCandidates);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -486,6 +675,12 @@ main(int argc, char **argv)
         std::printf("dcatch %s\n", DCATCH_VERSION);
         return 0;
     }
+    if (std::strcmp(argv[1], "--help") == 0 ||
+        std::strcmp(argv[1], "-h") == 0 ||
+        std::strcmp(argv[1], "help") == 0) {
+        printFullHelp(stdout);
+        return 0;
+    }
     if (std::strcmp(argv[1], "list") == 0)
         return cmdList(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "run") == 0)
@@ -494,6 +689,8 @@ main(int argc, char **argv)
         return cmdReplay(argc - 2, argv + 2);
     if (std::strcmp(argv[1], "explore") == 0)
         return cmdExplore(argc - 2, argv + 2);
+    if (std::strcmp(argv[1], "serve") == 0)
+        return cmdServe(argc - 2, argv + 2);
     std::fprintf(stderr, "unknown command: %s\n", argv[1]);
     return usage();
 }

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * dcatch_feed: stream a trace into a running dcatchd and verify the
+ * answer — the producer half of the serve smoke test and of the CI
+ * equivalence check (docs/serve.md).
+ *
+ *   dcatch_feed --connect ADDR (--benchmark ID | --trace-dir DIR)
+ *               [--producers N] [--batch N] [--run-id ID]
+ *               [--check] [--quiet]
+ *
+ * The trace comes from a registered benchmark's monitored run
+ * (simulated in-process) or from a directory written by
+ * `dcatch run --trace-dir`.  Its merged record stream is partitioned
+ * round-robin across N producer connections — each producer's
+ * subsequence stays ascending in sequence number, but the daemon has
+ * to merge the streams behind its watermark to recover the global
+ * order — and sent in Records frames of --batch lines, rotating
+ * between producers to maximize interleaving.
+ *
+ * --check recomputes the batch trace-analysis answer locally
+ * (hb::HbGraph + detect::RaceDetector over the same store) and
+ * demands the daemon's Report be byte-identical to
+ * serve::canonicalReport of that answer.  Exit status: 0 when every
+ * producer got the Report (and it matched, under --check), 1 on
+ * usage/connect errors, 2 when the daemon reported an Error or the
+ * report mismatched.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "apps/benchmark.hh"
+#include "common/util.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+#include "runtime/sim.hh"
+#include "serve/server.hh"
+#include "serve/session.hh"
+#include "serve/wire.hh"
+#include "trace/trace_store.hh"
+
+namespace {
+
+using namespace dcatch;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: dcatch_feed --connect ADDR (--benchmark ID | "
+        "--trace-dir DIR)\n"
+        "                   [--producers N] [--batch N] [--rate N]\n"
+        "                   [--run-id ID] [--check] [--quiet]\n"
+        "  --connect A    dcatchd address (unix:PATH or tcp:HOST:PORT)\n"
+        "  --benchmark I  stream benchmark I's monitored run\n"
+        "  --trace-dir D  stream the trace files under D\n"
+        "  --producers N  concurrent producer connections (default 1)\n"
+        "  --batch N      records per Records frame (default 256)\n"
+        "  --rate N       pace the stream to N records/sec aggregate\n"
+        "                 (default: as fast as the daemon accepts)\n"
+        "  --run-id S     session run id (default: benchmark id / dir)\n"
+        "  --check        verify the Report against the local batch\n"
+        "                 pipeline (byte-identical) — exit 2 on "
+        "mismatch\n"
+        "  --quiet        suppress the progress summary\n");
+    return 1;
+}
+
+/** One producer connection plus its background frame reader. */
+struct Peer
+{
+    int fd = -1;
+    std::thread reader;
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false; ///< Report, Error, or EOF seen
+    bool sawReport = false;
+    bool sawError = false;
+    std::string report;
+    std::string error;
+    std::size_t candidates = 0;
+};
+
+bool
+sendAll(int fd, const std::string &bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Drain server frames until the session resolves (Report/Error). */
+void
+readerLoop(Peer &peer)
+{
+    serve::FrameReader reader;
+    char buffer[64 * 1024];
+    std::vector<serve::Frame> frames;
+    for (;;) {
+        ssize_t n = ::read(peer.fd, buffer, sizeof(buffer));
+        if (n <= 0)
+            break;
+        frames.clear();
+        if (!reader.feed(buffer, static_cast<std::size_t>(n), frames))
+            break;
+        std::lock_guard<std::mutex> lock(peer.mutex);
+        for (serve::Frame &frame : frames) {
+            if (frame.type == serve::FrameType::Candidate) {
+                ++peer.candidates;
+            } else if (frame.type == serve::FrameType::Report) {
+                peer.sawReport = true;
+                peer.report = std::move(frame.payload);
+            } else if (frame.type == serve::FrameType::Error) {
+                peer.sawError = true;
+                peer.error = std::move(frame.payload);
+            }
+        }
+        if (peer.sawReport || peer.sawError)
+            break;
+    }
+    std::lock_guard<std::mutex> lock(peer.mutex);
+    peer.done = true;
+    peer.cv.notify_all();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string connect, benchmark_id, trace_dir, run_id;
+    int producers = 1;
+    std::size_t batch = 256;
+    long long rate = 0; // records/sec aggregate; 0 = unthrottled
+    bool check = false, quiet = false;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s requires a value\n", flag);
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--connect") {
+            const char *v = value("--connect");
+            if (!v)
+                return usage();
+            connect = v;
+        } else if (arg == "--benchmark") {
+            const char *v = value("--benchmark");
+            if (!v)
+                return usage();
+            benchmark_id = v;
+        } else if (arg == "--trace-dir") {
+            const char *v = value("--trace-dir");
+            if (!v)
+                return usage();
+            trace_dir = v;
+        } else if (arg == "--run-id") {
+            const char *v = value("--run-id");
+            if (!v)
+                return usage();
+            run_id = v;
+        } else if (arg == "--producers" || arg == "--batch" ||
+                   arg == "--rate") {
+            const char *v = value(arg.c_str());
+            if (!v)
+                return usage();
+            long long parsed = 0;
+            try {
+                std::size_t used = 0;
+                parsed = std::stoll(v, &used);
+                if (used != std::strlen(v))
+                    throw std::invalid_argument(v);
+            } catch (const std::exception &) {
+                std::fprintf(stderr, "%s: '%s' is not a number\n",
+                             arg.c_str(), v);
+                return usage();
+            }
+            long long cap = arg == "--rate" ? 1'000'000'000 : (1 << 16);
+            if (parsed < 1 || parsed > cap) {
+                std::fprintf(stderr, "%s: %lld out of range\n",
+                             arg.c_str(), parsed);
+                return usage();
+            }
+            if (arg == "--producers")
+                producers = static_cast<int>(parsed);
+            else if (arg == "--batch")
+                batch = static_cast<std::size_t>(parsed);
+            else
+                rate = parsed;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+            return usage();
+        }
+    }
+    if (connect.empty()) {
+        std::fprintf(stderr, "--connect is required\n");
+        return usage();
+    }
+    if (benchmark_id.empty() == trace_dir.empty()) {
+        std::fprintf(stderr, "exactly one of --benchmark and "
+                             "--trace-dir is required\n");
+        return usage();
+    }
+
+    serve::Address address;
+    std::string error;
+    if (!serve::parseAddress(connect, address, &error)) {
+        std::fprintf(stderr, "--connect: %s\n", error.c_str());
+        return usage();
+    }
+
+    // The trace to stream.  A benchmark run regenerates the monitored
+    // trace in-process (the simulation is deterministic); a trace dir
+    // replays bytes recorded by `dcatch run --trace-dir`.
+    std::unique_ptr<sim::Simulation> sim;
+    trace::TraceStore loaded;
+    const trace::TraceStore *store = nullptr;
+    try {
+        if (!benchmark_id.empty()) {
+            const apps::Benchmark &bench = apps::benchmark(benchmark_id);
+            sim = std::make_unique<sim::Simulation>(bench.config);
+            bench.build(*sim);
+            sim->run();
+            store = &sim->tracer().store();
+            if (run_id.empty())
+                run_id = bench.id;
+        } else {
+            loaded.loadFromDirectory(trace_dir);
+            store = &loaded;
+            if (run_id.empty())
+                run_id = trace_dir;
+        }
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "dcatch_feed: %s\n", err.what());
+        return 1;
+    }
+
+    std::vector<trace::Record> merged = store->mergedRecords();
+
+    std::vector<std::unique_ptr<Peer>> peers;
+    for (int p = 0; p < producers; ++p) {
+        auto peer = std::make_unique<Peer>();
+        peer->fd = serve::connectTo(address, &error);
+        if (peer->fd < 0) {
+            std::fprintf(stderr, "dcatch_feed: %s: %s\n",
+                         connect.c_str(), error.c_str());
+            return 1;
+        }
+        peers.push_back(std::move(peer));
+    }
+    for (auto &peer : peers)
+        peer->reader = std::thread(readerLoop, std::ref(*peer));
+
+    bool send_ok = true;
+    // Every producer announces itself; producer 0 carries the
+    // metadata (once is enough — the session is shared).
+    for (int p = 0; p < producers && send_ok; ++p)
+        send_ok = sendAll(peers[static_cast<std::size_t>(p)]->fd,
+                          serve::encodeFrame(
+                              serve::FrameType::Hello,
+                              serve::encodeHello({run_id, producers})));
+    if (send_ok) {
+        std::string meta;
+        for (const auto &[id, queue] : store->queues())
+            meta += serve::encodeFrame(
+                serve::FrameType::QueueMeta,
+                strprintf("%d %d %s", queue.node,
+                          queue.singleConsumer ? 1 : 0, id.c_str()));
+        for (const auto &[tid, thread] : store->threads())
+            meta += serve::encodeFrame(
+                serve::FrameType::ThreadMeta,
+                strprintf("%d %d %d %s", thread.thread, thread.node,
+                          thread.handlerThread ? 1 : 0,
+                          thread.name.c_str()));
+        send_ok = sendAll(peers[0]->fd, meta);
+    }
+
+    // Partition round-robin, then frame each producer's share into
+    // --batch record chunks.
+    std::vector<std::vector<std::string>> chunks(
+        static_cast<std::size_t>(producers));
+    {
+        std::vector<std::string> current(
+            static_cast<std::size_t>(producers));
+        std::vector<std::size_t> lines(
+            static_cast<std::size_t>(producers), 0);
+        for (std::size_t i = 0; i < merged.size(); ++i) {
+            std::size_t p = i % static_cast<std::size_t>(producers);
+            merged[i].appendLine(store->symbols(), current[p]);
+            current[p] += '\n';
+            if (++lines[p] >= batch) {
+                chunks[p].push_back(std::move(current[p]));
+                current[p].clear();
+                lines[p] = 0;
+            }
+        }
+        for (std::size_t p = 0; p < current.size(); ++p)
+            if (!current[p].empty())
+                chunks[p].push_back(std::move(current[p]));
+    }
+
+    // Rotate between producers so their frames interleave on the
+    // daemon side — the watermark merge is what's being exercised.
+    // With --rate, pace by sleeping until the aggregate record count
+    // falls back under rate * elapsed.
+    std::size_t max_chunks = 0;
+    for (const auto &list : chunks)
+        max_chunks = std::max(max_chunks, list.size());
+    std::size_t records_sent = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (std::size_t round = 0; round < max_chunks && send_ok; ++round)
+        for (std::size_t p = 0; p < chunks.size() && send_ok; ++p) {
+            if (round >= chunks[p].size())
+                continue;
+            if (rate > 0) {
+                auto due = start + std::chrono::duration_cast<
+                                       std::chrono::steady_clock::
+                                           duration>(
+                                       std::chrono::duration<double>(
+                                           double(records_sent) /
+                                           double(rate)));
+                std::this_thread::sleep_until(due);
+            }
+            const std::string &chunk = chunks[p][round];
+            send_ok = sendAll(
+                peers[p]->fd,
+                serve::encodeFrame(serve::FrameType::Records, chunk));
+            records_sent += static_cast<std::size_t>(
+                std::count(chunk.begin(), chunk.end(), '\n'));
+        }
+    for (auto &peer : peers)
+        if (send_ok)
+            send_ok = sendAll(
+                peer->fd,
+                serve::encodeFrame(serve::FrameType::End, ""));
+    if (!send_ok)
+        std::fprintf(stderr, "dcatch_feed: connection lost while "
+                             "sending\n");
+
+    for (auto &peer : peers) {
+        std::unique_lock<std::mutex> lock(peer->mutex);
+        peer->cv.wait(lock, [&] { return peer->done; });
+        lock.unlock();
+        peer->reader.join();
+        ::shutdown(peer->fd, SHUT_RDWR);
+        ::close(peer->fd);
+    }
+
+    int status = 0;
+    std::size_t candidates = 0;
+    for (std::size_t p = 0; p < peers.size(); ++p) {
+        Peer &peer = *peers[p];
+        candidates += peer.candidates;
+        if (peer.sawError) {
+            std::fprintf(stderr,
+                         "dcatch_feed: producer %zu got Error: %s\n", p,
+                         peer.error.c_str());
+            status = 2;
+        } else if (!peer.sawReport) {
+            std::fprintf(stderr, "dcatch_feed: producer %zu closed "
+                                 "without a Report\n", p);
+            status = 2;
+        } else if (peer.report != peers[0]->report) {
+            std::fprintf(stderr, "dcatch_feed: producer %zu got a "
+                                 "different Report than producer 0\n",
+                         p);
+            status = 2;
+        }
+    }
+
+    if (status == 0 && check) {
+        hb::HbGraph graph(*store, hb::HbGraph::Options());
+        if (graph.oom()) {
+            std::fprintf(stderr, "dcatch_feed: local batch analysis "
+                                 "ran out of memory\n");
+            return 1;
+        }
+        detect::RaceDetector detector;
+        std::string expected = serve::canonicalReport(
+            run_id, merged.size(), detector.detect(graph));
+        if (peers[0]->report != expected) {
+            std::fprintf(stderr,
+                         "dcatch_feed: report MISMATCH\n"
+                         "--- daemon ---\n%s--- batch ---\n%s",
+                         peers[0]->report.c_str(), expected.c_str());
+            status = 2;
+        } else if (!quiet) {
+            std::printf("report matches the batch pipeline "
+                        "byte-for-byte\n");
+        }
+    }
+
+    if (!quiet) {
+        std::printf("streamed %zu records over %d producer%s: %zu "
+                    "online candidate frames, report %s\n",
+                    merged.size(), producers,
+                    producers == 1 ? "" : "s", candidates,
+                    status == 0 ? "received" : "FAILED");
+        if (status == 0)
+            std::fputs(peers[0]->report.c_str(), stdout);
+    }
+    return status;
+}
