@@ -11,6 +11,8 @@
 #ifndef DCATCH_BENCH_BENCH_COMMON_HH
 #define DCATCH_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -19,6 +21,34 @@
 #include "common/task_pool.hh"
 
 namespace dcatch::bench {
+
+/**
+ * Workload-scale cap for CI smoke runs: DCATCH_BENCH_SMOKE_SCALE if
+ * set (>= 1), else INT_MAX.  The bench-smoke CI job exports a tiny
+ * value so every driver finishes in seconds while still executing its
+ * full code path — determinism and shape assertions included.  Unset
+ * (the default, and every perf-gated bench_regress.sh run) leaves
+ * workloads at full scale, so the numbers the floors gate never see
+ * the cap.
+ */
+inline int
+smokeScaleCap()
+{
+    if (const char *env = std::getenv("DCATCH_BENCH_SMOKE_SCALE")) {
+        char *end = nullptr;
+        long parsed = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && parsed >= 1)
+            return static_cast<int>(parsed);
+    }
+    return INT_MAX;
+}
+
+/** @p full capped at the smoke scale (identity unless the knob is set). */
+inline int
+smokeScale(int full)
+{
+    return std::min(full, smokeScaleCap());
+}
 
 /**
  * Worker count for parallel bench drivers: DCATCH_BENCH_JOBS if set

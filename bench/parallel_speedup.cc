@@ -13,6 +13,16 @@
  * serial vs. parallel.  This exercises the pipeline-parallel wave
  * rather than the sharded kernels, and gets its own floor keys.
  *
+ * A third section measures the *detection-overlap* speedup on large
+ * scaling traces (MR Hang3274 at 256 submitted jobs, HBase
+ * SplitAlter4539 at 32 regions): chain-engine graph build + detect
+ * with the closure-overlap pre-pass off vs. on, at the same worker
+ * count.  The pre-pass streams the detector's work units against the
+ * pre-closure frontier snapshot while Rule-Eserial closure runs
+ * (docs/hb_auto_engine.md, "Overlapped detection"); the candidate
+ * output must be identical either way, and the floor keys
+ * minDetectOverlapSpeedup* gate the win.
+ *
  * Every parallel run is also checked byte-for-byte against its serial
  * twin (final report keys and trigger classifications), so this bench
  * doubles as an end-to-end determinism smoke test.  Results go to
@@ -24,18 +34,26 @@
  */
 
 #include <cmath>
+#include <cstdint>
 #include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "apps/benchmark.hh"
+#include "apps/hbase/mini_hbase.hh"
 #include "apps/mapreduce/mini_mr.hh"
 #include "bench_common.hh"
 #include "common/json.hh"
 #include "common/task_pool.hh"
 #include "common/util.hh"
+#include "common/chain_frontier.hh"
 #include "dcatch/pipeline.hh"
 #include "detect/race_detect.hh"
+#include "detect/streaming.hh"
 #include "hb/graph.hh"
 #include "runtime/sim.hh"
 #include "trigger/harness.hh"
@@ -107,6 +125,70 @@ bestOf(int reps, Fn &&fn)
     return best;
 }
 
+/** Candidate identity digest for the detection-overlap cross-check. */
+std::string
+candidateSignature(const std::vector<detect::Candidate> &candidates)
+{
+    std::string sig;
+    for (const detect::Candidate &cand : candidates)
+        sig += cand.callstackKey() + " " +
+               std::to_string(cand.dynamicPairs) + "\n";
+    return sig;
+}
+
+/**
+ * Chain-engine graph build + detect over @p store, with the
+ * closure-overlap pre-pass on or off — the same orchestration the
+ * pipeline runs (src/dcatch/pipeline.cc), minus the workload phases.
+ * Returns the analysis wall clock and the candidate signature.
+ */
+double
+timedOverlapAnalysis(const trace::TraceStore &store, TaskPool &pool,
+                     bool overlap, std::string *signature)
+{
+    constexpr std::size_t kWindow = 4096;
+    Stopwatch watch;
+    hb::HbGraph::Options graph_options;
+    graph_options.engine = hb::HbGraph::Engine::ChainFrontier;
+    graph_options.pool = &pool;
+
+    detect::AccessPlan plan;
+    bool plan_built = false;
+    std::once_flag plan_once;
+    std::size_t tasks = 0;
+    std::vector<std::vector<std::uint64_t>> ordered_shards;
+    std::vector<std::unordered_set<std::uint32_t>> epoch_shards;
+    if (overlap && pool.jobs() > 1) {
+        tasks = static_cast<std::size_t>(pool.jobs() - 1);
+        ordered_shards.resize(tasks);
+        epoch_shards.resize(tasks);
+        graph_options.overlap.tasks = tasks;
+        graph_options.overlap.work =
+            [&](const hb::HbGraph &g, const ChainFrontierIndex &snap,
+                std::size_t task) {
+                std::call_once(plan_once, [&] {
+                    plan = detect::AccessPlan::build(g);
+                    plan_built = true;
+                });
+                detect::StreamingDetector::prepassShard(
+                    plan, snap, task, tasks, kWindow,
+                    ordered_shards[task], epoch_shards[task]);
+            };
+    }
+    hb::HbGraph graph(store, graph_options);
+    detect::OrderedMemo memo;
+    if (plan_built)
+        for (std::size_t s = 0; s < tasks; ++s)
+            memo.addPacked(ordered_shards[s]);
+    detect::RaceDetector detector;
+    std::vector<detect::Candidate> candidates = detector.detect(
+        graph, &pool, plan_built ? &plan : nullptr,
+        plan_built ? &memo : nullptr);
+    double sec = watch.seconds();
+    *signature = candidateSignature(candidates);
+    return sec;
+}
+
 } // namespace
 
 int
@@ -156,7 +238,8 @@ main()
     sim::SimConfig cfg;
     cfg.maxSteps = 100'000'000;
     sim::Simulation sim(cfg);
-    apps::mr::install(sim, apps::mr::Workload::Hang3274, 16);
+    apps::mr::install(sim, apps::mr::Workload::Hang3274,
+                      bench::smokeScale(16));
     sim.run();
     hb::HbGraph graph(sim.tracer().store());
     detect::RaceDetector detector;
@@ -234,16 +317,106 @@ main()
     overlap_geomean = std::pow(
         overlap_geomean, 1.0 / double(overlap_speedups.size()));
 
+    // Detection-overlap section: chain-engine build + detect on large
+    // scaling traces, closure-overlap pre-pass off vs. on at the same
+    // worker count.  On a 1-core pool the pre-pass never engages and
+    // both configurations run the identical code path.
+    struct OverlapCase
+    {
+        const char *name;
+        std::function<void(sim::Simulation &)> build;
+    };
+    const int mr_scale = bench::smokeScale(256);
+    const int hb_scale = bench::smokeScale(32);
+    std::vector<OverlapCase> detect_overlap_cases = {
+        {"MR jobs 256",
+         [mr_scale](sim::Simulation &sim) {
+             apps::mr::install(sim, apps::mr::Workload::Hang3274,
+                               mr_scale);
+         }},
+        {"HB regions 32",
+         [hb_scale](sim::Simulation &sim) {
+             apps::hb::install(sim, apps::hb::Workload::SplitAlter4539,
+                               hb_scale);
+         }},
+    };
+    std::vector<std::unique_ptr<sim::Simulation>> overlap_sims(
+        detect_overlap_cases.size());
+    {
+        // Workload execution is untimed; overlap it on the pool.
+        TaskPool warmup(jobs);
+        warmup.parallelFor(detect_overlap_cases.size(),
+                           [&](std::size_t i) {
+            sim::SimConfig cfg2;
+            cfg2.maxSteps = 100'000'000;
+            overlap_sims[i] = std::make_unique<sim::Simulation>(cfg2);
+            detect_overlap_cases[i].build(*overlap_sims[i]);
+            overlap_sims[i]->run();
+        });
+    }
+    bench::Table detect_overlap_table({"Workload", "Records",
+                                       "Final-only", "Overlapped",
+                                       "Speedup", "Deterministic"});
+    Json detect_overlap_rows = Json::array();
+    bool detect_overlap_deterministic = true;
+    std::vector<double> detect_overlap_speedups;
+    TaskPool overlap_pool(jobs);
+    for (std::size_t i = 0; i < detect_overlap_cases.size(); ++i) {
+        const trace::TraceStore &store =
+            overlap_sims[i]->tracer().store();
+        std::string off_sig, on_sig;
+        double off_sec = bestOf(3, [&] {
+            return timedOverlapAnalysis(store, overlap_pool,
+                                        /*overlap=*/false, &off_sig);
+        });
+        double on_sec = bestOf(3, [&] {
+            return timedOverlapAnalysis(store, overlap_pool,
+                                        /*overlap=*/true, &on_sig);
+        });
+        bool deterministic = off_sig == on_sig;
+        detect_overlap_deterministic &= deterministic;
+        all_deterministic &= deterministic;
+        double speedup = on_sec > 0 ? off_sec / on_sec : 1.0;
+        detect_overlap_speedups.push_back(speedup);
+        std::size_t records = store.totalRecords();
+        detect_overlap_table.row(
+            {detect_overlap_cases[i].name,
+             strprintf("%zu", records),
+             strprintf("%.2fms", off_sec * 1e3),
+             strprintf("%.2fms", on_sec * 1e3),
+             strprintf("%.2fx", speedup),
+             deterministic ? "yes" : "NO"});
+        detect_overlap_rows.push(Json::object()
+            .set("benchmark", Json::str(detect_overlap_cases[i].name))
+            .set("records",
+                 Json::num(static_cast<std::int64_t>(records)))
+            .set("finalOnlySec", Json::num(off_sec))
+            .set("overlappedSec", Json::num(on_sec))
+            .set("speedup", Json::num(speedup))
+            .set("deterministic", Json::boolean(deterministic)));
+    }
+    std::printf("\nDetection overlap (chain engine, closure-overlap "
+                "pre-pass off vs. on at %d workers):\n", jobs);
+    detect_overlap_table.print();
+    double detect_overlap_geomean = 1.0;
+    for (double s : detect_overlap_speedups)
+        detect_overlap_geomean *= s;
+    detect_overlap_geomean = std::pow(
+        detect_overlap_geomean,
+        1.0 / double(detect_overlap_speedups.size()));
+
     double geomean = 1.0;
     for (double s : speedups)
         geomean *= s;
     geomean = std::pow(geomean, 1.0 / double(speedups.size()));
     std::printf("Shape check: parallel output is byte-identical to "
                 "serial everywhere — %s; geomean speedup %.2fx "
-                "(sharded kernels), %.2fx (stage overlap) at %d "
-                "workers on %d-core hardware.\n",
+                "(sharded kernels), %.2fx (stage overlap), %.2fx "
+                "(detection overlap) at %d workers on %d-core "
+                "hardware.\n",
                 all_deterministic ? "holds" : "VIOLATED", geomean,
-                overlap_geomean, jobs, hardware);
+                overlap_geomean, detect_overlap_geomean, jobs,
+                hardware);
 
     Json root = Json::object();
     root.set("bench", Json::str("parallel_speedup"))
@@ -259,6 +432,13 @@ main()
         .set("allDeterministic", Json::boolean(overlap_deterministic))
         .set("benchmarks", std::move(overlap_rows));
     root.set("stageOverlap", std::move(overlap));
+    Json detect_overlap = Json::object();
+    detect_overlap
+        .set("geomeanSpeedup", Json::num(detect_overlap_geomean))
+        .set("allDeterministic",
+             Json::boolean(detect_overlap_deterministic))
+        .set("benchmarks", std::move(detect_overlap_rows));
+    root.set("detectOverlap", std::move(detect_overlap));
     Json workload = Json::object();
     workload.set("name", Json::str("MR-3274 scale 16 detect"))
         .set("records", Json::num(std::int64_t(

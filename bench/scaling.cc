@@ -62,16 +62,21 @@ main()
         std::string bugPair;
     };
     std::vector<Case> cases;
-    for (int jobs : {1, 2, 4, 8, 16, 32, 64, 128, 256})
+    for (int jobs : {1, 2, 4, 8, 16, 32, 64, 128, 256}) {
+        if (jobs > bench::smokeScaleCap())
+            continue;
         cases.push_back({"MR jobs", jobs,
                          [jobs](sim::Simulation &sim) {
                              apps::mr::install(
                                  sim, apps::mr::Workload::Hang3274, jobs);
                          },
                          bug});
+    }
     std::string hb_bug = detect::sitePair(apps::hb::kAlterEmpty,
                                           apps::hb::kSplitPut);
-    for (int regions : {1, 2, 4, 8, 16, 32})
+    for (int regions : {1, 2, 4, 8, 16, 32}) {
+        if (regions > bench::smokeScaleCap())
+            continue;
         cases.push_back(
             {"HB regions", regions,
              [regions](sim::Simulation &sim) {
@@ -79,6 +84,7 @@ main()
                      sim, apps::hb::Workload::SplitAlter4539, regions);
              },
              hb_bug});
+    }
 
     Json json_cases = Json::array();
     // Memory ratio and build speedup at the largest trace (acceptance

@@ -189,7 +189,8 @@ main()
     sim::SimConfig cfg;
     cfg.maxSteps = 100'000'000;
     sim::Simulation sim(cfg);
-    apps::mr::install(sim, apps::mr::Workload::Hang3274, 192);
+    apps::mr::install(sim, apps::mr::Workload::Hang3274,
+                      bench::smokeScale(192));
     sim.run();
     const trace::TraceStore &store = sim.tracer().store();
     std::size_t records = store.totalRecords();

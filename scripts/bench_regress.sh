@@ -261,6 +261,25 @@ if not overlap.get("allDeterministic"):
         "stage-overlap output diverged from serial (full pipeline "
         "signature mismatch)")
 
+detect_overlap = data.get("detectOverlap", {})
+detect_overlap_required = (
+    floor["minDetectOverlapSpeedupMultiCore"] if multi
+    else floor["minDetectOverlapSpeedupSingleCore"])
+if override:
+    detect_overlap_required = min(detect_overlap_required,
+                                  float(override))
+detect_overlap_geomean = detect_overlap.get("geomeanSpeedup", 0.0)
+if detect_overlap_geomean < detect_overlap_required:
+    failures.append(
+        "detection-overlap regression: chain build+detect geomean "
+        "%.2fx < floor %.2fx with the closure-overlap pre-pass on "
+        "(%d cores)" % (detect_overlap_geomean,
+                        detect_overlap_required, cores))
+if not detect_overlap.get("allDeterministic"):
+    failures.append(
+        "detection-overlap output diverged: candidate signature "
+        "changed with the closure-overlap pre-pass on")
+
 if failures:
     print("BENCH REGRESSION:")
     for f in failures:
@@ -268,8 +287,10 @@ if failures:
     sys.exit(1)
 
 print("ok: parallel backend deterministic; geomean speedup %.2fx "
-      ">= %.2fx floor, stage overlap %.2fx >= %.2fx on %d core(s)"
-      % (geomean, required, overlap_geomean, overlap_required, cores))
+      ">= %.2fx floor, stage overlap %.2fx >= %.2fx, detection "
+      "overlap %.2fx >= %.2fx on %d core(s)"
+      % (geomean, required, overlap_geomean, overlap_required,
+         detect_overlap_geomean, detect_overlap_required, cores))
 EOF
 
 echo "== run trace memory bench"

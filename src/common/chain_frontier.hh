@@ -40,8 +40,9 @@
  * whole words: rows over the same chain set (the overwhelmingly
  * common case, a vertex merging its chain predecessor's row) collapse
  * to an elementwise unsigned max, vectorised under AVX2 when the CPU
- * has it.  Rows over different chain sets take the scalar sorted
- * merge, still comparing packed words.
+ * has it.  Rows over different chain sets take the sorted-merge
+ * kernels, which stream equal-chain runs in 4-word blocks under AVX2
+ * and realign with scalar steps at shape mismatches.
  *
  * After derived edges (Eserial) have been added, repack() re-runs the
  * chain decomposition greedily against the now-complete order: handler
@@ -455,49 +456,15 @@ class ChainFrontierIndex
         // Change-detection prescan: during worklist propagation most
         // merges are no-ops (the destination already dominates), so
         // avoid materialising the merged row unless something changes.
-        {
-            std::size_t i = 0, j = 0;
-            bool changed = false;
-            while (j < src.size()) {
-                if (i == dst.size() ||
-                    frontier::chainOf(src[j]) <
-                        frontier::chainOf(dst[i])) {
-                    changed = true;
-                    break;
-                }
-                if (frontier::chainOf(dst[i]) <
-                    frontier::chainOf(src[j])) {
-                    ++i;
-                } else {
-                    if (src[j] > dst[i]) {
-                        changed = true;
-                        break;
-                    }
-                    ++i;
-                    ++j;
-                }
-            }
-            if (!changed)
-                return false;
-        }
-        Row out;
-        out.reserve(dst.size() + src.size());
-        std::size_t i = 0, j = 0;
-        while (i < dst.size() || j < src.size()) {
-            if (j == src.size() ||
-                (i < dst.size() && frontier::chainOf(dst[i]) <
-                                       frontier::chainOf(src[j]))) {
-                out.push_back(dst[i++]);
-            } else if (i == dst.size() ||
-                       frontier::chainOf(src[j]) <
-                           frontier::chainOf(dst[i])) {
-                out.push_back(src[j++]);
-            } else {
-                // Equal chains: the bigger packed word carries the
-                // bigger limit.
-                out.push_back(std::max(dst[i++], src[j++]));
-            }
-        }
+        // Both the prescan and the merge stream 4-word blocks under
+        // AVX2 while the chain sequences agree (frontier_merge.hh).
+        if (!frontier::mergeWouldChange(dst.data(), dst.size(),
+                                        src.data(), src.size()))
+            return false;
+        Row out(dst.size() + src.size());
+        out.resize(frontier::mergeMax(out.data(), dst.data(),
+                                      dst.size(), src.data(),
+                                      src.size()));
         dst = std::move(out);
         return true;
     }

@@ -42,6 +42,47 @@ maxInPlaceScalar(Word *dst, const Word *src, std::size_t n)
     return changed != 0;
 }
 
+bool
+mergeWouldChangeScalar(const Word *dst, std::size_t ndst,
+                       const Word *src, std::size_t nsrc)
+{
+    std::size_t i = 0, j = 0;
+    while (j < nsrc) {
+        if (i == ndst || chainOf(src[j]) < chainOf(dst[i]))
+            return true; // src carries a chain dst lacks
+        if (chainOf(dst[i]) < chainOf(src[j])) {
+            ++i;
+        } else {
+            if (src[j] > dst[i])
+                return true; // equal chain, higher limit
+            ++i;
+            ++j;
+        }
+    }
+    return false;
+}
+
+std::size_t
+mergeMaxScalar(Word *out, const Word *dst, std::size_t ndst,
+               const Word *src, std::size_t nsrc)
+{
+    std::size_t i = 0, j = 0, o = 0;
+    while (i < ndst || j < nsrc) {
+        if (j == nsrc ||
+            (i < ndst && chainOf(dst[i]) < chainOf(src[j]))) {
+            out[o++] = dst[i++];
+        } else if (i == ndst || chainOf(src[j]) < chainOf(dst[i])) {
+            out[o++] = src[j++];
+        } else {
+            // Equal chains: the bigger packed word carries the bigger
+            // limit.
+            Word d = dst[i++], s = src[j++];
+            out[o++] = d > s ? d : s;
+        }
+    }
+    return o;
+}
+
 #if DCATCH_HAVE_AVX2_KERNELS
 
 __attribute__((target("avx2"))) bool
@@ -84,6 +125,85 @@ maxInPlaceAvx2(Word *dst, const Word *src, std::size_t n)
     bool changed = !_mm256_testz_si256(any, any);
     changed |= maxInPlaceScalar(dst + i, src + i, n - i);
     return changed;
+}
+
+__attribute__((target("avx2"))) bool
+mergeWouldChangeAvx2(const Word *dst, std::size_t ndst,
+                     const Word *src, std::size_t nsrc)
+{
+    // Mixed rows are mostly equal-chain runs with a few insertions:
+    // stream 4-word blocks while the chain sequences agree (one xor /
+    // testz shape check, one packed compare), and take a single scalar
+    // two-pointer step at each shape mismatch to realign.
+    const __m256i high = _mm256_set1_epi64x(
+        static_cast<long long>(0xffffffff00000000ull));
+    std::size_t i = 0, j = 0;
+    while (j < nsrc) {
+        while (i + 4 <= ndst && j + 4 <= nsrc) {
+            __m256i d = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(dst + i));
+            __m256i s = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(src + j));
+            if (!_mm256_testz_si256(_mm256_xor_si256(d, s), high))
+                break; // chains diverge inside the block
+            __m256i gt = _mm256_cmpgt_epi64(s, d);
+            if (!_mm256_testz_si256(gt, gt))
+                return true; // src raises a limit
+            i += 4;
+            j += 4;
+        }
+        if (j == nsrc)
+            break;
+        if (i == ndst || chainOf(src[j]) < chainOf(dst[i]))
+            return true;
+        if (chainOf(dst[i]) < chainOf(src[j])) {
+            ++i;
+        } else {
+            if (src[j] > dst[i])
+                return true;
+            ++i;
+            ++j;
+        }
+    }
+    return false;
+}
+
+__attribute__((target("avx2"))) std::size_t
+mergeMaxAvx2(Word *out, const Word *dst, std::size_t ndst,
+             const Word *src, std::size_t nsrc)
+{
+    const __m256i high = _mm256_set1_epi64x(
+        static_cast<long long>(0xffffffff00000000ull));
+    std::size_t i = 0, j = 0, o = 0;
+    while (i < ndst || j < nsrc) {
+        while (i + 4 <= ndst && j + 4 <= nsrc) {
+            __m256i d = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(dst + i));
+            __m256i s = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(src + j));
+            if (!_mm256_testz_si256(_mm256_xor_si256(d, s), high))
+                break;
+            __m256i gt = _mm256_cmpgt_epi64(s, d);
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(out + o),
+                _mm256_blendv_epi8(d, s, gt));
+            i += 4;
+            j += 4;
+            o += 4;
+        }
+        if (i == ndst && j == nsrc)
+            break;
+        if (j == nsrc ||
+            (i < ndst && chainOf(dst[i]) < chainOf(src[j]))) {
+            out[o++] = dst[i++];
+        } else if (i == ndst || chainOf(src[j]) < chainOf(dst[i])) {
+            out[o++] = src[j++];
+        } else {
+            Word d = dst[i++], s = src[j++];
+            out[o++] = d > s ? d : s;
+        }
+    }
+    return o;
 }
 
 bool
@@ -161,6 +281,28 @@ maxInPlace(Word *dst, const Word *src, std::size_t n)
         return maxInPlaceAvx2(dst, src, n);
 #endif
     return maxInPlaceScalar(dst, src, n);
+}
+
+bool
+mergeWouldChange(const Word *dst, std::size_t ndst, const Word *src,
+                 std::size_t nsrc)
+{
+#if DCATCH_HAVE_AVX2_KERNELS
+    if (effectiveKernel() == Kernel::Avx2)
+        return mergeWouldChangeAvx2(dst, ndst, src, nsrc);
+#endif
+    return mergeWouldChangeScalar(dst, ndst, src, nsrc);
+}
+
+std::size_t
+mergeMax(Word *out, const Word *dst, std::size_t ndst, const Word *src,
+         std::size_t nsrc)
+{
+#if DCATCH_HAVE_AVX2_KERNELS
+    if (effectiveKernel() == Kernel::Avx2)
+        return mergeMaxAvx2(out, dst, ndst, src, nsrc);
+#endif
+    return mergeMaxScalar(out, dst, ndst, src, nsrc);
 }
 
 } // namespace dcatch::frontier

@@ -21,8 +21,14 @@
  * Most unionMax calls during worklist re-closure hit rows over the
  * same chain set (a vertex merging its chain predecessor's row), which
  * is the equal-shape fast path below: one vectorised shape check, one
- * vectorised elementwise max.  Rows over different chain sets fall
- * back to the scalar sorted merge in ChainFrontierIndex.
+ * vectorised elementwise max.  Rows over *different* chain sets take
+ * the sorted-merge kernels (mergeWouldChange / mergeMax): a
+ * change-detection prescan that usually proves the merge a no-op, and
+ * the materialising merge when it is not.  Both walk the rows with two
+ * pointers, but real mixed rows are mostly long equal-chain runs with
+ * a few insertions, so the AVX2 variants stream 4-word blocks while
+ * the chain sequences agree and drop to a single scalar step only at
+ * shape mismatches.
  *
  * Kernel selection is a runtime decision: the AVX2 path is compiled
  * behind a function-level target attribute (no -march flags), chosen
@@ -95,6 +101,25 @@ bool sameChains(const Word *a, const Word *b, std::size_t n);
  * @return true when any dst word changed
  */
 bool maxInPlace(Word *dst, const Word *src, std::size_t n);
+
+/**
+ * Would merging @p src (length @p nsrc) into @p dst (length @p ndst)
+ * change dst?  Both rows are sorted by chain.  True when src carries a
+ * chain dst lacks, or raises a limit dst already has.  This is the
+ * different-shape prescan: most merges during worklist propagation are
+ * no-ops, so the caller skips materialising the merged row entirely.
+ */
+bool mergeWouldChange(const Word *dst, std::size_t ndst,
+                      const Word *src, std::size_t nsrc);
+
+/**
+ * Sorted merge of @p dst and @p src into @p out, taking the larger
+ * packed word on equal chains.  @p out must have room for
+ * ndst + nsrc words and must not alias either input.
+ * @return the number of words written to out
+ */
+std::size_t mergeMax(Word *out, const Word *dst, std::size_t ndst,
+                     const Word *src, std::size_t nsrc);
 
 } // namespace dcatch::frontier
 

@@ -1,14 +1,19 @@
 #include "dcatch/pipeline.hh"
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
+#include <unordered_set>
 
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "common/task_pool.hh"
 #include "common/util.hh"
 #include "detect/race_detect.hh"
+#include "detect/streaming.hh"
 #include "hb/pull.hh"
 #include "prune/impact.hh"
 #include "replay/bundle.hh"
@@ -181,6 +186,46 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
     graph_options.memoryBudgetBytes = options.memoryBudgetBytes;
     graph_options.engine = options.hbEngine;
     graph_options.pool = &pool;
+
+    // Overlapped detection: while task 0 of the closure wave runs the
+    // Eserial fixpoint + repack, the remaining workers stream the
+    // detector's work units against the pre-closure frontier snapshot
+    // and memoize every pair it already proves ordered.  The plan is
+    // built once (first shard to arrive) from construction-final
+    // state and reused by both detect passes below; the memo only
+    // removes redundant reachability queries, never answers, so the
+    // candidate output is byte-identical at any jobs/engine/kernel.
+    // The hook is ignored by the dense/vc engines — detectPath then
+    // reports "final" because the plan was never built.
+    constexpr std::size_t kOverlapEpochWindow = 4096;
+    detect::AccessPlan plan;
+    bool plan_built = false;
+    std::once_flag plan_once;
+    std::size_t overlap_tasks = 0;
+    std::vector<std::vector<std::uint64_t>> ordered_shards;
+    std::vector<std::unordered_set<std::uint32_t>> epoch_shards;
+    std::vector<double> shard_secs;
+    if (options.overlapDetection && pool.jobs() > 1) {
+        overlap_tasks = static_cast<std::size_t>(pool.jobs() - 1);
+        ordered_shards.resize(overlap_tasks);
+        epoch_shards.resize(overlap_tasks);
+        shard_secs.assign(overlap_tasks, 0.0);
+        graph_options.overlap.tasks = overlap_tasks;
+        graph_options.overlap.work =
+            [&](const hb::HbGraph &g, const ChainFrontierIndex &snap,
+                std::size_t task) {
+                Stopwatch shard_watch;
+                std::call_once(plan_once, [&] {
+                    plan = detect::AccessPlan::build(g);
+                    plan_built = true;
+                });
+                detect::StreamingDetector::prepassShard(
+                    plan, snap, task, overlap_tasks,
+                    kOverlapEpochWindow, ordered_shards[task],
+                    epoch_shards[task]);
+                shard_secs[task] = shard_watch.seconds();
+            };
+    }
     hb::HbGraph graph(result.monitoredTrace, graph_options);
     auto snapshot_hb = [&result, &graph]() {
         result.metrics.hbEngine = graph.engineName();
@@ -205,9 +250,27 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
         return result;
     }
     snapshot_hb();
+
+    detect::OrderedMemo memo;
+    if (plan_built) {
+        std::unordered_set<std::uint32_t> epochs;
+        for (std::size_t s = 0; s < overlap_tasks; ++s) {
+            memo.addPacked(ordered_shards[s]);
+            epochs.insert(epoch_shards[s].begin(),
+                          epoch_shards[s].end());
+        }
+        result.metrics.overlappedEpochs = epochs.size();
+        for (double sec : shard_secs)
+            result.metrics.detectOverlapSec =
+                std::max(result.metrics.detectOverlapSec, sec);
+    }
+    result.metrics.detectPath = plan_built ? "overlap" : "final";
+
     detect::RaceDetector detector;
+    const detect::AccessPlan *plan_ptr = plan_built ? &plan : nullptr;
+    const detect::OrderedMemo *memo_ptr = plan_built ? &memo : nullptr;
     Stopwatch detect_watch;
-    result.afterTa = detector.detect(graph, &pool);
+    result.afterTa = detector.detect(graph, &pool, plan_ptr, memo_ptr);
     result.metrics.detectSec = detect_watch.seconds();
     result.metrics.analysisSec = watch.seconds();
 
@@ -232,9 +295,11 @@ runPipeline(const apps::Benchmark &bench, PipelineOptions options)
             snapshot_hb(); // pull edges fold in incrementally
         }
         // Re-detect with the extra edges, re-prune, then drop pairs
-        // recognised as synchronization.
+        // recognised as synchronization.  The plan depends only on
+        // the records and pull edges only add ordering, so both the
+        // plan and the memo stay valid for the re-detect.
         std::vector<detect::Candidate> redetected =
-            detector.detect(graph, &pool);
+            detector.detect(graph, &pool, plan_ptr, memo_ptr);
         if (options.staticPruning) {
             prune::StaticPruner pruner(*model, options.failureSpec);
             redetected = pruner.prune(redetected);

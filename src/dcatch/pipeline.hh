@@ -59,6 +59,16 @@ struct PipelineOptions
      * byte-identical for every value (docs/parallelism.md).
      */
     int jobs = 0;
+    /**
+     * Overlap detection with HB closure (docs/hb_auto_engine.md,
+     * "Overlapped detection"): while Rule-Eserial closure runs on the
+     * chain engine, pre-pass shards stream the detector's work units
+     * against a pre-closure snapshot and memoize pairs already proven
+     * ordered.  Engages only with > 1 job on the chain engine; the
+     * candidate output is byte-identical either way.  `dcatch run
+     * --no-overlap` clears it for A/B measurement.
+     */
+    bool overlapDetection = true;
 };
 
 /** Wall-clock and volume metrics per pipeline phase (Tables 6-8). */
@@ -101,6 +111,15 @@ struct PhaseMetrics
     int jobs = 1;                 ///< effective worker count
     std::size_t triggerTasks = 0; ///< enforced-order runs explored
     double detectSec = 0;         ///< race-detection share of analysis
+    /// @}
+
+    /// @{ @name Detection/closure overlap (docs/hb_auto_engine.md)
+    /// "overlap" when the pre-pass streamed epochs during closure,
+    /// "final" when detection ran only after closure (jobs=1,
+    /// --no-overlap, or a non-chain engine); empty on OOM.
+    std::string detectPath;
+    std::size_t overlappedEpochs = 0; ///< epoch windows pre-passed
+    double detectOverlapSec = 0;      ///< longest pre-pass shard
     /// @}
 };
 

@@ -113,6 +113,12 @@ renderReport(const apps::Benchmark &bench, const PipelineResult &result,
             "order-runs explored)\n",
             m.jobs, m.jobs == 1 ? "" : "s", m.detectSec * 1e3,
             m.triggerTasks);
+        if (!m.detectPath.empty())
+            out += strprintf(
+                "detect: %s path (%zu overlapped epochs, pre-pass "
+                "%.2fms)\n",
+                m.detectPath.c_str(), m.overlappedEpochs,
+                m.detectOverlapSec * 1e3);
         if (!m.hbEngine.empty()) {
             out += strprintf(
                 "hb engine: %s (%zu vertices, %zu chains, %zu rows, "
@@ -226,6 +232,18 @@ reportToJson(const apps::Benchmark &bench, const PipelineResult &result)
         .set("triggerTasks",
              Json::num(static_cast<std::int64_t>(
                  result.metrics.triggerTasks)));
+    if (!result.metrics.detectPath.empty()) {
+        // Mirrors hb.decision: one nested object recording which
+        // detector path ran and what the overlap pre-pass covered.
+        Json det = Json::object();
+        det.set("path", Json::str(result.metrics.detectPath))
+            .set("overlappedEpochs",
+                 Json::num(static_cast<std::int64_t>(
+                     result.metrics.overlappedEpochs)))
+            .set("detectOverlapSec",
+                 Json::num(result.metrics.detectOverlapSec));
+        metrics.set("detect", std::move(det));
+    }
     if (!result.metrics.hbEngine.empty()) {
         Json hb = Json::object();
         hb.set("engine", Json::str(result.metrics.hbEngine))

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/task_pool.hh"
+#include "detect/streaming.hh"
 
 namespace dcatch::detect {
 
@@ -125,44 +126,56 @@ compositeLess(std::string_view sx, std::string_view cx,
 
 } // namespace
 
-std::vector<Candidate>
-RaceDetector::detect(const hb::HbGraph &graph, TaskPool *pool) const
+AccessPlan
+AccessPlan::build(const hb::HbGraph &graph, int maxInstancesPerGroup)
 {
     // Group memory accesses by (var, site, callstack, isWrite) so the
     // dynamic-instance bound applies per static identity.  The trace's
     // interned SymIds make group lookup one hash probe instead of a
-    // linear scan over string compares.
-    struct Group
-    {
-        trace::SymId site, stack;
-        bool isWrite = false;
-        std::vector<int> instances; ///< vertex ids, seq order
-    };
-
-    const trace::SymbolPool &strings = graph.symbols();
-    std::vector<Group> groups;
+    // linear scan over string compares.  Group indices per var, groups
+    // and vars both in first-seen order (the final sort fixes the
+    // output order, and dedup keys never collide across vars, so any
+    // var order yields the same result).
+    AccessPlan plan;
+    plan.bound = maxInstancesPerGroup;
     std::unordered_map<GroupKey, std::size_t, GroupKeyHash> groupIndex;
-    // Group indices per var, groups and vars both in first-seen order
-    // (the final sort fixes the output order, and dedup keys never
-    // collide across vars, so any var order yields the same result).
-    std::vector<trace::SymId> varOrder;
-    std::unordered_map<trace::SymId, std::vector<std::size_t>> byVar;
 
     for (int v : graph.memAccesses()) {
         const trace::Record &rec = graph.record(v);
         GroupKey key{rec.id, rec.site, rec.callstack,
                      rec.type == trace::RecordType::MemWrite};
-        auto [it, inserted] = groupIndex.emplace(key, groups.size());
+        auto [it, inserted] = groupIndex.emplace(key, plan.groups.size());
         if (inserted) {
-            groups.push_back(Group{key.site, key.stack, key.isWrite, {}});
+            plan.groups.push_back(
+                Group{key.site, key.stack, key.isWrite, {}});
             auto [vit, newVar] =
-                byVar.emplace(key.var, std::vector<std::size_t>());
+                plan.byVar.emplace(key.var, std::vector<std::size_t>());
             if (newVar)
-                varOrder.push_back(key.var);
+                plan.varOrder.push_back(key.var);
             vit->second.push_back(it->second);
         }
-        groups[it->second].instances.push_back(v);
+        plan.groups[it->second].instances.push_back(v);
     }
+
+    for (trace::SymId var : plan.varOrder)
+        for (std::size_t gi = 0; gi < plan.byVar[var].size(); ++gi)
+            plan.units.push_back(Unit{var, gi});
+    return plan;
+}
+
+std::vector<Candidate>
+RaceDetector::detect(const hb::HbGraph &graph, TaskPool *pool,
+                     const AccessPlan *plan, const OrderedMemo *memo) const
+{
+    AccessPlan local;
+    if (plan == nullptr) {
+        local = AccessPlan::build(graph, options_.maxInstancesPerGroup);
+        plan = &local;
+    }
+    const std::vector<AccessPlan::Group> &groups = plan->groups;
+    const auto &byVar = plan->byVar;
+
+    const trace::SymbolPool &strings = graph.symbols();
 
     auto make_access = [&](int v) {
         const trace::Record &rec = graph.record(v);
@@ -185,27 +198,19 @@ RaceDetector::detect(const hb::HbGraph &graph, TaskPool *pool) const
     // index-addressed shard, and the merge below walks shards in unit
     // order, which replays the serial double loop's iteration order
     // exactly; worker count and stealing pattern are unobservable.
-    struct WorkUnit
-    {
-        trace::SymId var;
-        std::size_t gi;
-    };
     struct ShardItem
     {
         PairKey key;
         Candidate cand; ///< dynamicPairs = concurrent pairs in shard
     };
 
-    std::vector<WorkUnit> units;
-    for (trace::SymId var : varOrder)
-        for (std::size_t gi = 0; gi < byVar[var].size(); ++gi)
-            units.push_back(WorkUnit{var, gi});
-
-    int bound = options_.maxInstancesPerGroup;
+    const std::vector<AccessPlan::Unit> &units = plan->units;
+    int bound = plan->bound;
     std::vector<std::vector<ShardItem>> shards(units.size());
     auto run_unit = [&](std::size_t u) {
-        const WorkUnit &unit = units[u];
-        const std::vector<std::size_t> &varGroups = byVar[unit.var];
+        const AccessPlan::Unit &unit = units[u];
+        const std::vector<std::size_t> &varGroups =
+            byVar.at(unit.var);
         std::vector<ShardItem> &shard = shards[u];
         // Dedup is local to the shard: the same PairKey can recur
         // across shards (groups differing only in isWrite), which the
@@ -213,8 +218,8 @@ RaceDetector::detect(const hb::HbGraph &graph, TaskPool *pool) const
         std::unordered_map<PairKey, std::size_t, PairKeyHash> dedup;
         std::size_t gi = unit.gi;
         for (std::size_t gj = gi; gj < varGroups.size(); ++gj) {
-            const Group &g1 = groups[varGroups[gi]];
-            const Group &g2 = groups[varGroups[gj]];
+            const AccessPlan::Group &g1 = groups[varGroups[gi]];
+            const AccessPlan::Group &g2 = groups[varGroups[gj]];
             if (!g1.isWrite && !g2.isWrite)
                 continue; // conflicting requires >= 1 write
 
@@ -244,7 +249,13 @@ RaceDetector::detect(const hb::HbGraph &graph, TaskPool *pool) const
                 for (int j = lo; j < n2; ++j) {
                     int u1 = g1.instances[static_cast<std::size_t>(i)];
                     int v1 = g2.instances[static_cast<std::size_t>(j)];
-                    if (u1 == v1 || !graph.concurrent(u1, v1))
+                    // A memo hit is a pair the overlap pre-pass proved
+                    // ordered against the pre-closure snapshot; edges
+                    // only accumulate, so it stays ordered in the
+                    // final graph and the full query can be skipped.
+                    if (u1 == v1 ||
+                        (memo != nullptr && memo->ordered(u1, v1)) ||
+                        !graph.concurrent(u1, v1))
                         continue;
                     auto [it, inserted] =
                         dedup.emplace(key, shard.size());

@@ -12,6 +12,8 @@
 #ifndef DCATCH_DETECT_RACE_DETECT_HH
 #define DCATCH_DETECT_RACE_DETECT_HH
 
+#include <cstddef>
+#include <unordered_map>
 #include <vector>
 
 #include "detect/report.hh"
@@ -22,6 +24,47 @@ class TaskPool;
 }
 
 namespace dcatch::detect {
+
+class OrderedMemo;
+
+/**
+ * Precomputed grouping of a graph's memory accesses: the (var, site,
+ * callstack, isWrite) groups, their per-variable partitions, and the
+ * (var, group) work units the sharded pair test iterates.  The plan
+ * depends only on the records (never on closure results), so it can
+ * be built once — even while HB closure is still running — and shared
+ * by the overlap pre-pass, the final detect, and any re-detect after
+ * loop-aware pull edges.
+ */
+struct AccessPlan
+{
+    struct Group
+    {
+        trace::SymId site, stack;
+        bool isWrite = false;
+        std::vector<int> instances; ///< vertex ids, seq order
+    };
+    struct Unit
+    {
+        trace::SymId var;
+        std::size_t gi;
+    };
+
+    std::vector<Group> groups;
+    /** Vars in first-seen order; groups per var in first-seen order. */
+    std::vector<trace::SymId> varOrder;
+    std::unordered_map<trace::SymId, std::vector<std::size_t>> byVar;
+    std::vector<Unit> units;
+    int bound = 4; ///< maxInstancesPerGroup the plan was built with
+
+    /**
+     * Build from @p graph's records and memory-access index.  Safe to
+     * call mid-construction from a ClosureOverlap callback: it reads
+     * only state that is final before closure starts.
+     */
+    static AccessPlan build(const hb::HbGraph &graph,
+                            int maxInstancesPerGroup = 4);
+};
 
 /** Race detector over a closed HB graph. */
 class RaceDetector
@@ -48,9 +91,20 @@ class RaceDetector
      * testing is sharded over (var, group) partitions and merged in
      * partition-index order — the result is byte-identical to the
      * serial path for any worker count (docs/parallelism.md).
+     *
+     * @p plan, when non-null, supplies the prebuilt access grouping
+     * (it must have been built over the same graph with the same
+     * instance bound); otherwise the grouping is built here.  @p memo,
+     * when non-null, short-circuits pairs already proven ordered by
+     * the closure-overlap pre-pass — ordering only ever grows during
+     * closure, so a memo hit is final and the candidate set is
+     * byte-identical with or without it (docs/hb_auto_engine.md,
+     * "Overlapped detection").
      */
     std::vector<Candidate> detect(const hb::HbGraph &graph,
-                                  TaskPool *pool = nullptr) const;
+                                  TaskPool *pool = nullptr,
+                                  const AccessPlan *plan = nullptr,
+                                  const OrderedMemo *memo = nullptr) const;
 
   private:
     Options options_;

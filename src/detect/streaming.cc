@@ -1,0 +1,149 @@
+#include "detect/streaming.hh"
+
+#include <algorithm>
+
+namespace dcatch::detect {
+
+StreamingDetector::StreamingDetector(Options options)
+    : options_(options)
+{
+    if (options_.window == 0)
+        options_.window = 1;
+    if (options_.retainEpochs < 1)
+        options_.retainEpochs = 1;
+}
+
+bool
+StreamingDetector::noteRecord()
+{
+    return ++recordsInEpoch_ >= options_.window;
+}
+
+void
+StreamingDetector::noteAccess(trace::SymId var, int vertex, bool isWrite)
+{
+    epochAccesses_.emplace_back(var, vertex, isWrite);
+    onlineIndex_[var].push_back({vertex, currentEpoch_, isWrite});
+}
+
+void
+StreamingDetector::closeEpoch(const hb::HbGraph &graph,
+                              const EmitPair &emit,
+                              const PairFilter &skip)
+{
+    for (const auto &[var, vertex, is_write] : epochAccesses_) {
+        const auto it = onlineIndex_.find(var);
+        if (it == onlineIndex_.end())
+            continue;
+        for (const OnlineAccess &other : it->second) {
+            if (other.vertex == vertex)
+                break;
+            if (!is_write && !other.isWrite)
+                continue;
+            if (skip && skip(other.vertex, vertex))
+                continue;
+            if (!graph.concurrent(other.vertex, vertex))
+                continue;
+            emit(currentEpoch_, other.vertex, vertex);
+        }
+    }
+
+    evict(currentEpoch_);
+    stats_.maxIndexBytes =
+        std::max(stats_.maxIndexBytes, indexBytes());
+    ++stats_.epochsClosed;
+    ++currentEpoch_;
+    recordsInEpoch_ = 0;
+    epochAccesses_.clear();
+}
+
+void
+StreamingDetector::evict(std::uint32_t closedEpoch)
+{
+    // Keep accesses from epochs > closedEpoch - retainEpochs; older
+    // ones have been tested against every window they overlap.
+    if (closedEpoch + 1 <
+        static_cast<std::uint32_t>(options_.retainEpochs))
+        return;
+    std::uint32_t min_keep =
+        closedEpoch + 1 -
+        static_cast<std::uint32_t>(options_.retainEpochs);
+    for (auto it = onlineIndex_.begin(); it != onlineIndex_.end();) {
+        std::deque<OnlineAccess> &list = it->second;
+        while (!list.empty() && list.front().epoch < min_keep) {
+            list.pop_front();
+            ++stats_.evictedAccesses;
+        }
+        if (list.empty())
+            it = onlineIndex_.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::size_t
+StreamingDetector::indexBytes() const
+{
+    std::size_t bytes = epochAccesses_.size() *
+                        sizeof(std::tuple<trace::SymId, int, bool>);
+    for (const auto &[var, list] : onlineIndex_)
+        bytes += sizeof(var) + list.size() * sizeof(OnlineAccess);
+    return bytes;
+}
+
+void
+StreamingDetector::reset()
+{
+    epochAccesses_.clear();
+    onlineIndex_.clear();
+    recordsInEpoch_ = 0;
+}
+
+void
+StreamingDetector::prepassShard(
+    const AccessPlan &plan, const ChainFrontierIndex &snapshot,
+    std::size_t shard, std::size_t shards, std::size_t window,
+    std::vector<std::uint64_t> &orderedPairs,
+    std::unordered_set<std::uint32_t> &epochsTouched)
+{
+    if (window == 0)
+        window = 1;
+    int bound = plan.bound;
+    for (std::size_t u = shard; u < plan.units.size(); u += shards) {
+        const AccessPlan::Unit &unit = plan.units[u];
+        const std::vector<std::size_t> &varGroups =
+            plan.byVar.at(unit.var);
+        std::size_t gi = unit.gi;
+        for (std::size_t gj = gi; gj < varGroups.size(); ++gj) {
+            const AccessPlan::Group &g1 = plan.groups[varGroups[gi]];
+            const AccessPlan::Group &g2 = plan.groups[varGroups[gj]];
+            if (!g1.isWrite && !g2.isWrite)
+                continue; // conflicting requires >= 1 write
+            int n1 = std::min<int>(
+                bound, static_cast<int>(g1.instances.size()));
+            int n2 = std::min<int>(
+                bound, static_cast<int>(g2.instances.size()));
+            for (int i = 0; i < n1; ++i) {
+                int lo = (gi == gj) ? i + 1 : 0;
+                for (int j = lo; j < n2; ++j) {
+                    int u1 = g1.instances[static_cast<std::size_t>(i)];
+                    int v1 = g2.instances[static_cast<std::size_t>(j)];
+                    if (u1 == v1)
+                        continue;
+                    int a = u1 < v1 ? u1 : v1;
+                    int b = u1 < v1 ? v1 : u1;
+                    epochsTouched.insert(static_cast<std::uint32_t>(
+                        static_cast<std::size_t>(b) / window));
+                    // Vertex ids are a topological order, so only the
+                    // forward direction can be reachable; one snapshot
+                    // query decides the pair.
+                    if (snapshot.reaches(a, b))
+                        orderedPairs.push_back(
+                            OrderedMemo::packPair(a, b));
+                }
+            }
+        }
+    }
+}
+
+} // namespace dcatch::detect

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Shared epoch-windowed streaming detection machinery.
+ *
+ * Two call sites stream detection work while the happens-before graph
+ * is still growing, and both run over this state:
+ *
+ *  - The serve daemon's Session (docs/serve.md): every `window`
+ *    ingested records close an epoch; the epoch's memory accesses are
+ *    tested against the accesses retained from the last `retainEpochs`
+ *    epochs and new candidates are emitted online.  Accesses older
+ *    than the retention window are evicted, bounding the index
+ *    regardless of run length.
+ *
+ *  - The batch pipeline's closure overlap (docs/hb_auto_engine.md,
+ *    "Overlapped detection"): while Rule-Eserial closure runs, pre-pass
+ *    shards walk the detector's (var, group) work units against a
+ *    read-only pre-closure snapshot of the chain-frontier index and
+ *    collect every access pair the snapshot already proves ordered.
+ *    HB edges only accumulate during construction, so those verdicts
+ *    are final: the merged OrderedMemo lets the post-closure detect
+ *    skip the full reachability query for memoized pairs without
+ *    changing a byte of its output.
+ */
+
+#ifndef DCATCH_DETECT_STREAMING_HH
+#define DCATCH_DETECT_STREAMING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <unordered_set>
+#include <vector>
+
+#include "common/chain_frontier.hh"
+#include "detect/race_detect.hh"
+#include "hb/graph.hh"
+
+namespace dcatch::detect {
+
+/**
+ * Vertex pairs proven ordered against a (possibly pre-closure)
+ * snapshot of the HB graph.  Sound as a negative-concurrency oracle
+ * for the *final* graph because ordering is monotone: construction
+ * only ever adds edges, so `ordered(u, v)` here implies
+ * `!graph.concurrent(u, v)` after closure, for any memo coverage.
+ */
+class OrderedMemo
+{
+  public:
+    /** Canonical packed key for an unordered vertex pair. */
+    static std::uint64_t
+    packPair(int u, int v)
+    {
+        std::uint32_t lo = static_cast<std::uint32_t>(u < v ? u : v);
+        std::uint32_t hi = static_cast<std::uint32_t>(u < v ? v : u);
+        return (static_cast<std::uint64_t>(lo) << 32) | hi;
+    }
+
+    void
+    addPacked(const std::vector<std::uint64_t> &pairs)
+    {
+        set_.insert(pairs.begin(), pairs.end());
+    }
+
+    bool
+    ordered(int u, int v) const
+    {
+        return set_.find(packPair(u, v)) != set_.end();
+    }
+
+    std::size_t size() const { return set_.size(); }
+    bool empty() const { return set_.empty(); }
+
+  private:
+    std::unordered_set<std::uint64_t> set_;
+};
+
+/**
+ * Epoch-windowed streaming detection state (hoisted from the serve
+ * Session so the batch pipeline shares it).  The owner drives it:
+ * noteRecord()/noteAccess() per ingested record, closeEpoch() when
+ * noteRecord() reports the window full (and once more at
+ * end-of-stream if the last window is partial).  Candidate
+ * deduplication and wire formatting stay with the owner — the emit
+ * callback receives raw vertex pairs.
+ */
+class StreamingDetector
+{
+  public:
+    struct Options
+    {
+        std::size_t window = 4096; ///< records per epoch (>= 1)
+        int retainEpochs = 2; ///< closed epochs kept in the index
+    };
+
+    struct Stats
+    {
+        std::size_t epochsClosed = 0;
+        std::size_t evictedAccesses = 0; ///< index entries evicted
+        std::size_t maxIndexBytes = 0;   ///< index high-water mark
+    };
+
+    /** Concurrent pair found when closing an epoch: @p a is the
+     *  earlier (retained) access, @p b the current epoch's. */
+    using EmitPair =
+        std::function<void(std::uint32_t epoch, int a, int b)>;
+
+    /**
+     * Optional pre-filter consulted before the (expensive)
+     * reachability test: return true to skip the pair entirely.  Only
+     * sound for pairs whose emission the owner would discard anyway
+     * (e.g. a dedup key it has already emitted) — a skipped pair is
+     * never tested and never emitted, so filtering anything else
+     * changes the output.
+     */
+    using PairFilter = std::function<bool(int a, int b)>;
+
+    explicit StreamingDetector(Options options);
+
+    /** Count one ingested record toward the current epoch.
+     *  @return true when the window filled and the owner should flush
+     *  its graph and call closeEpoch() */
+    bool noteRecord();
+
+    /** Register a kept memory-access vertex of the current epoch. */
+    void noteAccess(trace::SymId var, int vertex, bool isWrite);
+
+    /**
+     * Close the current epoch: test its accesses against everything
+     * retained (each access stops at itself in the per-variable list,
+     * so every (earlier, later) pair — including same-epoch pairs —
+     * is tested exactly once), emit the concurrent ones, then evict
+     * entries older than the retention window.  The owner must have
+     * flushed @p graph's incremental closure first.  @p skip, when
+     * set, short-circuits pairs the owner will drop (see PairFilter)
+     * before their happens-before query — the serve hot path's main
+     * saving once a (var, callstack-pair) key has already produced a
+     * candidate.
+     */
+    void closeEpoch(const hb::HbGraph &graph, const EmitPair &emit,
+                    const PairFilter &skip = {});
+
+    std::uint32_t currentEpoch() const { return currentEpoch_; }
+    const Stats &stats() const { return stats_; }
+
+    /** Heap footprint of the online index (high-water tracked). */
+    std::size_t indexBytes() const;
+
+    /** Drop all retained state (quarantine / finalize). */
+    void reset();
+
+    /**
+     * Batch-overlap pre-pass over shard @p shard of @p shards: walk
+     * the plan's work units strided, enumerate exactly the instance
+     * pairs detect() will test (same write filter, instance bound,
+     * and triangular iteration), and record every pair the read-only
+     * @p snapshot proves ordered, packed for OrderedMemo::addPacked.
+     * @p epochsTouched collects the vertex-window buckets
+     * (later-vertex / window) the shard streamed, for the
+     * overlappedEpochs metric.
+     */
+    static void prepassShard(const AccessPlan &plan,
+                             const ChainFrontierIndex &snapshot,
+                             std::size_t shard, std::size_t shards,
+                             std::size_t window,
+                             std::vector<std::uint64_t> &orderedPairs,
+                             std::unordered_set<std::uint32_t>
+                                 &epochsTouched);
+
+  private:
+    /** One retained access in the online per-variable index. */
+    struct OnlineAccess
+    {
+        int vertex = -1;
+        std::uint32_t epoch = 0;
+        bool isWrite = false;
+    };
+
+    void evict(std::uint32_t closedEpoch);
+
+    Options options_;
+    Stats stats_;
+    std::uint32_t currentEpoch_ = 0;
+    std::size_t recordsInEpoch_ = 0;
+    /** (var, vertex, isWrite) of the current epoch's accesses. */
+    std::vector<std::tuple<trace::SymId, int, bool>> epochAccesses_;
+    /** Retained accesses per variable, epoch-ordered. */
+    std::map<trace::SymId, std::deque<OnlineAccess>> onlineIndex_;
+};
+
+} // namespace dcatch::detect
+
+#endif // DCATCH_DETECT_STREAMING_HH

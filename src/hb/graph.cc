@@ -196,12 +196,33 @@ HbGraph::HbGraph(const trace::TraceStore &store, Options options)
         oom_ = true;
         return;
     }
-    if (options_.rules.event)
-        applyEventSerial(store);
-    // Derived Eserial edges serialize handler instances; re-packing
-    // the chain decomposition against the completed order collapses
-    // them into shared chains and shrinks every frontier row.
-    frontier_.repack(preds_);
+    if (options_.overlap.tasks > 0 && options_.overlap.work &&
+        options_.pool != nullptr && options_.pool->jobs() > 1) {
+        // Overlapped detection: the pre-pass shards query a read-only
+        // copy of the just-built frontier (program + pairing closure)
+        // while task 0 performs the exact serial closure steps of the
+        // else-branch below — same calls, same order, so every stat
+        // and closure result is byte-identical to the serial path.
+        ChainFrontierIndex snapshot = frontier_;
+        options_.pool->parallelFor(
+            options_.overlap.tasks + 1, [&](std::size_t task) {
+                if (task == 0) {
+                    if (options_.rules.event)
+                        applyEventSerial(store);
+                    frontier_.repack(preds_);
+                } else {
+                    options_.overlap.work(*this, snapshot, task - 1);
+                }
+            });
+    } else {
+        if (options_.rules.event)
+            applyEventSerial(store);
+        // Derived Eserial edges serialize handler instances;
+        // re-packing the chain decomposition against the completed
+        // order collapses them into shared chains and shrinks every
+        // frontier row.
+        frontier_.repack(preds_);
+    }
     if (frontier_.bytes() > options_.memoryBudgetBytes) {
         DCATCH_WARN() << "HB graph chain frontiers need "
                       << frontier_.bytes()

@@ -53,6 +53,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -195,6 +196,31 @@ class HbGraph
          * pool must not currently be running a parallelFor.
          */
         TaskPool *pool = nullptr;
+
+        /**
+         * Closure-overlap hook (chain engine only).  When tasks > 0
+         * with a pool of > 1 jobs, the constructor runs derived-edge
+         * closure + repack as task 0 of one parallelFor wave and
+         * invokes work(graph, snapshot, task) for tasks 0..tasks-1
+         * concurrently, where snapshot is a copy of the chain-
+         * frontier index taken right after the initial build (program
+         * and pairing edges fully closed; derived Eserial edges not
+         * yet applied).  The callback runs mid-construction: it may
+         * read only state that is final before closure — records,
+         * memAccesses, symbols, size — and must answer reachability
+         * against the snapshot, never the graph.  Snapshot verdicts
+         * are monotone-safe: edges only accumulate, so "ordered in
+         * the snapshot" is final.  Closure results and every graph
+         * stat are identical with or without the hook.
+         */
+        struct ClosureOverlap
+        {
+            std::size_t tasks = 0;
+            std::function<void(const HbGraph &,
+                               const ChainFrontierIndex &, std::size_t)>
+                work;
+        };
+        ClosureOverlap overlap;
     };
 
     HbGraph(const trace::TraceStore &store, Options options);

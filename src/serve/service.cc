@@ -50,6 +50,7 @@ ServeCore::bindSession(const std::string &runId)
     SessionOptions session_options;
     session_options.window = options_.window;
     session_options.retainEpochs = options_.retainEpochs;
+    session_options.batch = options_.batch;
     auto session = std::make_shared<Session>(runId, session_options);
     sessions_.emplace(runId, session);
     shardOf_[session.get()] =

@@ -45,6 +45,7 @@ struct ServeOptions
     int jobs = 1;              ///< shard worker threads (>= 1)
     std::size_t window = 4096; ///< records per detection epoch
     int retainEpochs = 2;      ///< epochs kept in the online index
+    std::size_t batch = 256;   ///< records per watermark-merge slice
 };
 
 /** Aggregated daemon counters (live sessions + reaped ones). */

@@ -1,6 +1,8 @@
 #include "serve/session.hh"
 
 #include <algorithm>
+#include <limits>
+#include <string_view>
 #include <tuple>
 
 #include "common/logging.hh"
@@ -25,12 +27,15 @@ canonicalReport(const std::string &runId, std::size_t records,
 }
 
 Session::Session(std::string runId, SessionOptions options)
-    : runId_(std::move(runId)), options_(options)
+    : runId_(std::move(runId)), options_(options),
+      streaming_({options.window, options.retainEpochs})
 {
     if (options_.window == 0)
         options_.window = 1;
     if (options_.retainEpochs < 1)
         options_.retainEpochs = 1;
+    if (options_.batch == 0)
+        options_.batch = 1;
     graph_ = hb::HbGraph::streaming(store_, hb::HbGraph::Options());
 }
 
@@ -66,8 +71,8 @@ Session::quarantine(const std::string &message, const Emit &emit)
     // keep producer bookkeeping so the run still drains to finished.
     for (Producer &producer : producers_)
         producer.pending.clear();
-    onlineIndex_.clear();
-    epochAccesses_.clear();
+    pendingRecords_ = 0;
+    streaming_.reset();
     graph_.reset();
     broadcast(FrameType::Error, errorMessage_, emit);
 }
@@ -255,20 +260,45 @@ void
 Session::parseRecords(Producer &producer, const std::string &payload,
                       const Emit &emit)
 {
+    // Zero-copy scan: each line and its symbol fields are views into
+    // the frame payload; no per-line std::string is materialised on
+    // the success path.  Consecutive records overwhelmingly repeat
+    // the same site / variable / callstack text, so a one-entry cache
+    // per field turns three interner probes per line into one probe
+    // per run of equal texts (the views stay valid frame-wide).
+    struct Cached
+    {
+        std::string_view text;
+        trace::SymId id = 0;
+        bool valid = false;
+    };
+    Cached site_cache, id_cache, cs_cache;
+    trace::SymbolPool &pool = store_.symbols();
+    auto intern = [&pool](Cached &cache, std::string_view text) {
+        if (!cache.valid || cache.text != text) {
+            cache.id = pool.intern(text);
+            cache.text = text;
+            cache.valid = true;
+        }
+        return cache.id;
+    };
+
+    std::string_view text = payload;
     std::size_t line_no = 0;
     std::size_t begin = 0;
-    while (begin < payload.size()) {
-        std::size_t end = payload.find('\n', begin);
-        if (end == std::string::npos)
-            end = payload.size();
-        std::string line = payload.substr(begin, end - begin);
+    while (begin < text.size()) {
+        std::size_t end = text.find('\n', begin);
+        if (end == std::string_view::npos)
+            end = text.size();
+        std::string_view line = text.substr(begin, end - begin);
         begin = end + 1;
         if (line.empty())
             continue;
         ++line_no;
         trace::Record rec;
+        std::string_view site, id, callstack;
         std::string why;
-        if (!trace::Record::fromLine(line, store_.symbols(), rec,
+        if (!trace::Record::scanLine(line, rec, site, id, callstack,
                                      &why)) {
             // Same shape as TraceParseError out of loadFromDirectory,
             // with producer/frame/line wire coordinates standing in
@@ -280,7 +310,7 @@ Session::parseRecords(Producer &producer, const std::string &payload,
                            static_cast<unsigned long long>(
                                producer.conn),
                            producer.frames, line_no, why.c_str(),
-                           line.c_str()),
+                           std::string(line).c_str()),
                        emit);
             return;
         }
@@ -299,9 +329,13 @@ Session::parseRecords(Producer &producer, const std::string &payload,
                        emit);
             return;
         }
+        rec.site = intern(site_cache, site);
+        rec.id = intern(id_cache, id);
+        rec.callstack = intern(cs_cache, callstack);
         producer.lastSeq = rec.seq;
         producer.haveSeq = true;
         producer.pending.push_back(rec);
+        ++pendingRecords_;
     }
     stats_.maxPendingBytes =
         std::max(stats_.maxPendingBytes, pendingBytes());
@@ -310,20 +344,7 @@ Session::parseRecords(Producer &producer, const std::string &payload,
 std::size_t
 Session::pendingBytes() const
 {
-    std::size_t bytes = 0;
-    for (const Producer &producer : producers_)
-        bytes += producer.pending.size() * sizeof(trace::Record);
-    return bytes;
-}
-
-std::size_t
-Session::onlineIndexBytes() const
-{
-    std::size_t bytes = epochAccesses_.size() *
-                        sizeof(std::tuple<trace::SymId, int, bool>);
-    for (const auto &[var, list] : onlineIndex_)
-        bytes += sizeof(var) + list.size() * sizeof(OnlineAccess);
-    return bytes;
+    return pendingRecords_ * sizeof(trace::Record);
 }
 
 void
@@ -337,46 +358,68 @@ Session::releaseMerged(const Emit &emit)
         return;
 
     bool all_ended = endedProducers_ == expectedProducers_;
-    for (;;) {
-        // Watermark: every active producer's records from here on
-        // have seq > its lastSeq, so anything buffered at or below
-        // the minimum is safe to merge in global order.
-        std::uint64_t watermark = 0;
-        bool have_watermark = all_ended;
-        if (!all_ended) {
-            bool first = true;
-            for (const Producer &producer : producers_) {
-                if (producer.ended)
-                    continue;
-                if (!producer.haveSeq)
-                    return; // silent producer pins the watermark
-                if (first || producer.lastSeq < watermark)
-                    watermark = producer.lastSeq;
-                first = false;
-            }
-            have_watermark = !first;
-        }
-        if (!have_watermark)
-            return;
 
+    // Watermark: every active producer's records from here on have
+    // seq > its lastSeq, so anything buffered at or below the minimum
+    // is safe to merge in global order.  lastSeq only advances while
+    // parsing, never while releasing, so one computation covers the
+    // whole call instead of one per released record.
+    std::uint64_t watermark =
+        std::numeric_limits<std::uint64_t>::max();
+    if (!all_ended) {
+        bool first = true;
+        for (const Producer &producer : producers_) {
+            if (producer.ended)
+                continue;
+            if (!producer.haveSeq)
+                return; // silent producer pins the watermark
+            if (first || producer.lastSeq < watermark)
+                watermark = producer.lastSeq;
+            first = false;
+        }
+        if (first)
+            return;
+    }
+
+    for (;;) {
+        // One k-way merge step picks the producer with the smallest
+        // buffered head (ties to the earliest producer)...
         Producer *next = nullptr;
+        std::uint64_t other_heads =
+            std::numeric_limits<std::uint64_t>::max();
         for (Producer &producer : producers_) {
             if (producer.pending.empty())
                 continue;
-            if (next == nullptr ||
-                producer.pending.front().seq <
-                    next->pending.front().seq)
+            std::uint64_t head = producer.pending.front().seq;
+            if (next == nullptr || head < next->pending.front().seq) {
+                if (next != nullptr)
+                    other_heads = std::min(
+                        other_heads, next->pending.front().seq);
                 next = &producer;
+            } else {
+                other_heads = std::min(other_heads, head);
+            }
         }
-        if (next == nullptr)
+        if (next == nullptr || next->pending.front().seq > watermark)
             return;
-        if (!all_ended && next->pending.front().seq > watermark)
-            return;
-        trace::Record rec = next->pending.front();
-        next->pending.pop_front();
-        ingest(rec, emit);
-        if (stats_.quarantined)
-            return;
+        // ... then releases a whole run from it: after the head,
+        // every buffered record strictly below the other producers'
+        // heads (and at or below the watermark) merges next anyway,
+        // so it can be drained without rescanning the producers.
+        // `batch` caps the slice purely as amortization granularity;
+        // the release order is identical for any value.
+        std::size_t run = 0;
+        do {
+            trace::Record rec = next->pending.front();
+            next->pending.pop_front();
+            --pendingRecords_;
+            ingest(rec, emit);
+            if (stats_.quarantined)
+                return;
+            ++run;
+        } while (run < options_.batch && !next->pending.empty() &&
+                 next->pending.front().seq <= watermark &&
+                 next->pending.front().seq < other_heads);
     }
 }
 
@@ -388,13 +431,10 @@ Session::ingest(const trace::Record &rec, const Emit &emit)
     int before = static_cast<int>(graph_->size());
     graph_->append(rec);
     bool kept = static_cast<int>(graph_->size()) > before;
-    if (kept && rec.isMemoryAccess()) {
-        bool is_write = rec.type == trace::RecordType::MemWrite;
-        epochAccesses_.emplace_back(rec.id, before, is_write);
-        onlineIndex_[rec.id].push_back(
-            {before, currentEpoch_, is_write});
-    }
-    if (++releasedInEpoch_ >= options_.window)
+    if (kept && rec.isMemoryAccess())
+        streaming_.noteAccess(rec.id, before,
+                              rec.type == trace::RecordType::MemWrite);
+    if (streaming_.noteRecord())
         closeEpoch(emit);
 }
 
@@ -410,72 +450,48 @@ Session::closeEpoch(const Emit &emit)
         return;
     }
 
-    // Test the closed epoch's accesses against everything retained.
-    // Each access stops at itself in the per-variable list, so every
-    // (earlier, later) pair — including same-epoch pairs — is tested
-    // exactly once.
-    for (const auto &[var, vertex, is_write] : epochAccesses_) {
-        const auto it = onlineIndex_.find(var);
-        if (it == onlineIndex_.end())
-            continue;
-        for (const OnlineAccess &other : it->second) {
-            if (other.vertex == vertex)
-                break;
-            if (!is_write && !other.isWrite)
-                continue;
-            if (!graph_->concurrent(other.vertex, vertex))
-                continue;
-            int a = other.vertex, b = vertex;
-            std::string cs_a(graph_->callstack(a));
-            std::string cs_b(graph_->callstack(b));
-            if (cs_b < cs_a)
-                std::swap(cs_a, cs_b);
-            std::string key = std::string(graph_->id(b)) + '\x1f' +
-                              cs_a + '\x1f' + cs_b;
-            if (!emitted_.insert(std::move(key)).second)
-                continue;
+    // The detector walks epoch-vs-retained pairs; the session turns
+    // the raw concurrent pairs into deduplicated Candidate frames.
+    // Dedup keys are interned ids, and double as the detector's
+    // pre-filter: a pair whose key already produced a candidate would
+    // be dropped after the happens-before query, so it is sound to
+    // skip the query itself.
+    auto pair_key = [this](int a, int b, trace::SymId *var) {
+        const trace::Record &ra = graph_->record(a);
+        const trace::Record &rb = graph_->record(b);
+        *var = rb.id;
+        std::uint64_t lo = std::min(ra.callstack, rb.callstack);
+        std::uint64_t hi = std::max(ra.callstack, rb.callstack);
+        return (hi << 32) | lo;
+    };
+    streaming_.closeEpoch(
+        *graph_,
+        [&](std::uint32_t epoch, int a, int b) {
+            trace::SymId var = 0;
+            std::uint64_t key = pair_key(a, b, &var);
+            if (!emitted_[var].insert(key).second)
+                return;
             ++stats_.onlineCandidates;
             broadcast(FrameType::Candidate,
-                      strprintf("epoch=%u var=%s %s <-> %s",
-                                currentEpoch_,
+                      strprintf("epoch=%u var=%s %s <-> %s", epoch,
                                 std::string(graph_->id(b)).c_str(),
                                 std::string(graph_->site(a)).c_str(),
                                 std::string(graph_->site(b)).c_str()),
                       emit);
-        }
-    }
+        },
+        [&](int a, int b) {
+            trace::SymId var = 0;
+            std::uint64_t key = pair_key(a, b, &var);
+            auto it = emitted_.find(var);
+            return it != emitted_.end() &&
+                   it->second.count(key) != 0;
+        });
 
-    evict(currentEpoch_);
+    const detect::StreamingDetector::Stats &s = streaming_.stats();
+    stats_.epochsClosed = s.epochsClosed;
+    stats_.evictedAccesses = s.evictedAccesses;
     stats_.maxOnlineIndexBytes =
-        std::max(stats_.maxOnlineIndexBytes, onlineIndexBytes());
-    ++stats_.epochsClosed;
-    ++currentEpoch_;
-    releasedInEpoch_ = 0;
-    epochAccesses_.clear();
-}
-
-void
-Session::evict(std::uint32_t closedEpoch)
-{
-    // Keep accesses from epochs > closedEpoch - retainEpochs; older
-    // ones have been tested against every window they overlap.
-    if (closedEpoch + 1 <
-        static_cast<std::uint32_t>(options_.retainEpochs))
-        return;
-    std::uint32_t min_keep =
-        closedEpoch + 1 -
-        static_cast<std::uint32_t>(options_.retainEpochs);
-    for (auto it = onlineIndex_.begin(); it != onlineIndex_.end();) {
-        std::deque<OnlineAccess> &list = it->second;
-        while (!list.empty() && list.front().epoch < min_keep) {
-            list.pop_front();
-            ++stats_.evictedAccesses;
-        }
-        if (list.empty())
-            it = onlineIndex_.erase(it);
-        else
-            ++it;
-    }
+        std::max(stats_.maxOnlineIndexBytes, s.maxIndexBytes);
 }
 
 void
@@ -540,9 +556,8 @@ Session::finalize(const Emit &emit)
     stats_.finished = true;
     // Free the heavy state; only the stats survive until reap.
     graph_.reset();
-    onlineIndex_.clear();
+    streaming_.reset();
     emitted_.clear();
-    epochAccesses_.clear();
 }
 
 } // namespace dcatch::serve

@@ -42,13 +42,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <set>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "detect/report.hh"
+#include "detect/streaming.hh"
 #include "hb/graph.hh"
 #include "serve/wire.hh"
 #include "trace/trace_store.hh"
@@ -63,6 +64,10 @@ struct SessionOptions
 {
     std::size_t window = 4096; ///< records per epoch (>= 1)
     int retainEpochs = 2;      ///< closed epochs kept in the online index
+    /** Records released per watermark-merge slice (>= 1).  Purely an
+     *  amortization granularity — the merge order, epochs, and every
+     *  emitted frame are identical for any value. */
+    std::size_t batch = 256;
 };
 
 /** Counters a session exposes (aggregated by ServeCore::stats). */
@@ -128,14 +133,6 @@ class Session
         std::size_t frames = 0; ///< Records frames received (diagnostics)
     };
 
-    /** One retained access in the online per-variable index. */
-    struct OnlineAccess
-    {
-        int vertex = -1;
-        std::uint32_t epoch = 0;
-        bool isWrite = false;
-    };
-
     Producer *producerFor(ConnId conn);
     void quarantine(const std::string &message, const Emit &emit);
     void parseRecords(Producer &producer, const std::string &payload,
@@ -143,11 +140,9 @@ class Session
     void releaseMerged(const Emit &emit);
     void ingest(const trace::Record &rec, const Emit &emit);
     void closeEpoch(const Emit &emit);
-    void evict(std::uint32_t closedEpoch);
     void maybeFinalize(const Emit &emit);
     void finalize(const Emit &emit);
     std::size_t pendingBytes() const;
-    std::size_t onlineIndexBytes() const;
     void broadcast(FrameType type, const std::string &payload,
                    const Emit &emit);
 
@@ -164,15 +159,25 @@ class Session
     int endedProducers_ = 0;
 
     /// @{ @name Epoch-windowed online detection state
-    std::uint32_t currentEpoch_ = 0;
-    std::size_t releasedInEpoch_ = 0;
-    /** (var, vertex, isWrite) of the current epoch's accesses. */
-    std::vector<std::tuple<trace::SymId, int, bool>> epochAccesses_;
-    /** Retained accesses per variable, epoch-ordered. */
-    std::map<trace::SymId, std::deque<OnlineAccess>> onlineIndex_;
-    /** Callstack-pair keys already emitted online. */
-    std::set<std::string> emitted_;
+    /** The shared epoch/index machinery (detect::StreamingDetector);
+     *  the session keeps only the wire-level concerns: candidate
+     *  deduplication and frame formatting. */
+    detect::StreamingDetector streaming_;
+    /** (variable, unordered callstack pair) keys already emitted
+     *  online, all interned SymIds (the pool interner is bijective,
+     *  so id equality is text equality and the dedup decisions match
+     *  the old string keys exactly) — the hot path never builds a
+     *  string for a pair it has already reported, and the key doubles
+     *  as the StreamingDetector pre-filter that skips the
+     *  happens-before query for such pairs altogether. */
+    std::unordered_map<trace::SymId, std::unordered_set<std::uint64_t>>
+        emitted_;
     /// @}
+
+    /** Records buffered across all producers' reorder queues,
+     *  maintained incrementally so the high-water bookkeeping costs
+     *  O(1) per frame instead of a scan over producers. */
+    std::size_t pendingRecords_ = 0;
 };
 
 } // namespace dcatch::serve

@@ -88,7 +88,7 @@ recordCategoryName(RecordCategory cat)
 }
 
 bool
-parseRecordType(const std::string &name, RecordType &type)
+parseRecordType(std::string_view name, RecordType &type)
 {
     static const RecordType all[] = {
         RecordType::MemRead,      RecordType::MemWrite,
@@ -183,8 +183,9 @@ decimalWidth(T value)
 } // namespace
 
 bool
-Record::fromLine(const std::string &line, SymbolPool &pool, Record &rec,
-                 std::string *error)
+Record::scanLine(std::string_view line, Record &rec,
+                 std::string_view &site, std::string_view &id,
+                 std::string_view &callstack, std::string *error)
 {
     auto fail = [error](const char *why) {
         if (error)
@@ -192,24 +193,26 @@ Record::fromLine(const std::string &line, SymbolPool &pool, Record &rec,
         return false;
     };
 
-    std::vector<std::string_view> tokens;
-    std::string_view text = line;
-    for (std::size_t begin = 0;;) {
-        std::size_t end = text.find(' ', begin);
-        if (end == std::string_view::npos) {
-            tokens.push_back(text.substr(begin));
-            break;
-        }
-        tokens.push_back(text.substr(begin, end - begin));
+    // Split the first seven fields in place; the eighth (cs=) is the
+    // remainder of the line verbatim — spaces in the callstack text
+    // need no re-join, the raw tail IS the round-tripped value.  No
+    // per-line allocation anywhere on the success path.
+    std::string_view tokens[8];
+    std::size_t begin = 0;
+    for (int i = 0; i < 7; ++i) {
+        std::size_t end = line.find(' ', begin);
+        if (end == std::string_view::npos)
+            return fail(
+                "truncated line: expected 8 space-separated fields");
+        tokens[i] = line.substr(begin, end - begin);
         begin = end + 1;
     }
-    if (tokens.size() < 8)
-        return fail("truncated line: expected 8 space-separated fields");
+    tokens[7] = line.substr(begin);
 
     Record out;
     if (!parseU64(tokens[0], out.seq))
         return fail("seq is not a decimal integer");
-    if (!parseRecordType(std::string(tokens[1]), out.type))
+    if (!parseRecordType(tokens[1], out.type))
         return fail("unknown record type");
     if (tokens[2].size() < 2 || tokens[2][0] != 'n' ||
         !parseInt(tokens[2].substr(1), out.node))
@@ -227,7 +230,7 @@ Record::fromLine(const std::string &line, SymbolPool &pool, Record &rec,
         value = token.substr(prefix.size());
         return true;
     };
-    std::string_view site, id, aux, callstack;
+    std::string_view aux;
     if (!strip(tokens[4], "site=", site))
         return fail("field 5 does not start with site= "
                     "(embedded separator in an earlier field?)");
@@ -241,18 +244,18 @@ Record::fromLine(const std::string &line, SymbolPool &pool, Record &rec,
     if (!strip(tokens[7], "cs=", callstack))
         return fail("field 8 does not start with cs=");
 
-    // The callstack is the last field; spaces in its text re-join
-    // (toLine writes them verbatim, so this keeps the round-trip).
-    std::string joined;
-    if (tokens.size() > 8) {
-        joined = std::string(callstack);
-        for (std::size_t i = 8; i < tokens.size(); ++i) {
-            joined += ' ';
-            joined += tokens[i];
-        }
-        callstack = joined;
-    }
+    rec = out;
+    return true;
+}
 
+bool
+Record::fromLine(const std::string &line, SymbolPool &pool, Record &rec,
+                 std::string *error)
+{
+    Record out;
+    std::string_view site, id, callstack;
+    if (!scanLine(line, out, site, id, callstack, error))
+        return false;
     out.site = pool.intern(site);
     out.id = pool.intern(id);
     out.callstack = pool.intern(callstack);

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <type_traits>
 
 #include "trace/symbol_pool.hh"
@@ -115,13 +116,27 @@ struct Record
      */
     static bool fromLine(const std::string &line, SymbolPool &pool,
                          Record &rec, std::string *error = nullptr);
+
+    /**
+     * Zero-copy variant of fromLine: parse the numeric fields into
+     * @p rec and return the three symbol texts as views into @p line
+     * without interning them (rec.site / id / callstack are left 0
+     * for the caller to fill).  The views alias @p line and are valid
+     * only while it is.  The serve ingest fast path interns them
+     * through a per-frame cache; fromLine delegates here and interns
+     * directly.  Grammar and error messages are identical.
+     */
+    static bool scanLine(std::string_view line, Record &rec,
+                         std::string_view &site, std::string_view &id,
+                         std::string_view &callstack,
+                         std::string *error = nullptr);
 };
 
 static_assert(std::is_trivially_copyable_v<Record>,
               "Record must stay a POD row (no owning strings)");
 
 /** Parse a type name back to the enum. @return false when unknown. */
-bool parseRecordType(const std::string &name, RecordType &type);
+bool parseRecordType(std::string_view name, RecordType &type);
 
 } // namespace dcatch::trace
 

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the shared streaming-detection machinery: the
+ * OrderedMemo soundness contract, the epoch window/retention state
+ * the serve Session drives, and the batch pipeline's overlap
+ * pre-pass (detect/streaming.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/chain_frontier.hh"
+#include "detect/race_detect.hh"
+#include "detect/streaming.hh"
+#include "support/trace_builder.hh"
+
+namespace dcatch::detect {
+namespace {
+
+using testsupport::TraceBuilder;
+using trace::RecordType;
+
+TEST(OrderedMemoTest, PackPairIsCanonicalAndLookupMatches)
+{
+    EXPECT_EQ(OrderedMemo::packPair(3, 7), OrderedMemo::packPair(7, 3));
+    EXPECT_NE(OrderedMemo::packPair(3, 7), OrderedMemo::packPair(3, 8));
+
+    OrderedMemo memo;
+    EXPECT_TRUE(memo.empty());
+    memo.addPacked({OrderedMemo::packPair(5, 2)});
+    EXPECT_EQ(memo.size(), 1u);
+    EXPECT_TRUE(memo.ordered(2, 5));
+    EXPECT_TRUE(memo.ordered(5, 2));
+    EXPECT_FALSE(memo.ordered(2, 6));
+}
+
+TEST(StreamingDetectorTest, WindowFillsAndEpochAdvances)
+{
+    StreamingDetector sd({/*window=*/3, /*retainEpochs=*/2});
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "w", "var:x");
+    hb::HbGraph graph(tb.store());
+
+    EXPECT_EQ(sd.currentEpoch(), 0u);
+    EXPECT_FALSE(sd.noteRecord());
+    EXPECT_FALSE(sd.noteRecord());
+    EXPECT_TRUE(sd.noteRecord());
+    sd.closeEpoch(graph, [](std::uint32_t, int, int) {});
+    EXPECT_EQ(sd.currentEpoch(), 1u);
+    EXPECT_EQ(sd.stats().epochsClosed, 1u);
+    // The window counter reset with the epoch.
+    EXPECT_FALSE(sd.noteRecord());
+}
+
+/** All pairs (earlier, later) the detector semantics should emit for
+ *  @p graph, brute-forced: conflicting (>= 1 write), same variable,
+ *  concurrent. */
+std::set<std::pair<int, int>>
+referencePairs(const hb::HbGraph &graph)
+{
+    std::set<std::pair<int, int>> want;
+    const std::vector<int> &accesses = graph.memAccesses();
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        for (std::size_t j = i + 1; j < accesses.size(); ++j) {
+            int u = accesses[i], v = accesses[j];
+            const trace::Record &ru = graph.record(u);
+            const trace::Record &rv = graph.record(v);
+            if (ru.id != rv.id)
+                continue;
+            bool wu = ru.type == RecordType::MemWrite;
+            bool wv = rv.type == RecordType::MemWrite;
+            if (!wu && !wv)
+                continue;
+            if (!graph.concurrent(u, v))
+                continue;
+            want.insert({std::min(u, v), std::max(u, v)});
+        }
+    }
+    return want;
+}
+
+TEST(StreamingDetectorTest, SingleEpochEmitsExactlyTheConcurrentPairs)
+{
+    TraceBuilder tb;
+    tb.mem(true, 0, 0, "w1", "var:x");
+    tb.mem(false, 0, 1, "r1", "var:x");
+    tb.mem(false, 0, 2, "r2", "var:x"); // read-read with r1: skipped
+    tb.mem(true, 1, 3, "w2", "var:y");
+    tb.mem(true, 1, 4, "w3", "var:y");
+    hb::HbGraph graph(tb.store());
+
+    StreamingDetector sd({/*window=*/64, /*retainEpochs=*/2});
+    for (int v : graph.memAccesses()) {
+        const trace::Record &rec = graph.record(v);
+        sd.noteAccess(rec.id, v,
+                      rec.type == RecordType::MemWrite);
+        sd.noteRecord();
+    }
+    std::set<std::pair<int, int>> got;
+    sd.closeEpoch(graph, [&](std::uint32_t epoch, int a, int b) {
+        EXPECT_EQ(epoch, 0u);
+        EXPECT_LT(a, b); // earlier retained access first
+        got.insert({a, b});
+    });
+    EXPECT_EQ(got, referencePairs(graph));
+}
+
+TEST(StreamingDetectorTest, RetentionEvictsAgedAccesses)
+{
+    TraceBuilder tb;
+    // One conflicting pair per epoch-sized slice, all on distinct
+    // variables so no cross-epoch pair exists to emit.
+    for (int e = 0; e < 4; ++e) {
+        std::string var = "var:" + std::to_string(e);
+        tb.mem(true, 0, 2 * e, "w", var);
+        tb.mem(true, 0, 2 * e + 1, "w2", var);
+    }
+    hb::HbGraph graph(tb.store());
+
+    StreamingDetector sd({/*window=*/2, /*retainEpochs=*/1});
+    std::size_t emitted = 0;
+    for (int v : graph.memAccesses()) {
+        const trace::Record &rec = graph.record(v);
+        sd.noteAccess(rec.id, v,
+                      rec.type == RecordType::MemWrite);
+        if (sd.noteRecord())
+            sd.closeEpoch(graph,
+                          [&](std::uint32_t, int, int) { ++emitted; });
+    }
+    EXPECT_EQ(sd.stats().epochsClosed, 4u);
+    EXPECT_EQ(emitted, 4u); // each same-epoch pair, nothing stale
+    // retain=1 keeps only the epoch that just closed: each of the
+    // first three epochs' 2 accesses were evicted by its successor.
+    EXPECT_EQ(sd.stats().evictedAccesses, 6u);
+    EXPECT_GT(sd.indexBytes(), 0u);
+    EXPECT_GT(sd.stats().maxIndexBytes, 0u);
+
+    sd.reset();
+    EXPECT_EQ(sd.indexBytes(), 0u);
+}
+
+/** A trace with enough shape to exercise grouping: several variables,
+ *  repeated static sites, an HB edge ordering one pair. */
+trace::TraceStore &
+mixedTrace(TraceBuilder &tb)
+{
+    tb.mem(true, 0, 0, "w", "var:x", 1);
+    tb.add(RecordType::ThreadCreate, 0, 0, "spawn", "thr:1");
+    tb.add(RecordType::ThreadBegin, 0, 1, "begin", "thr:1");
+    tb.mem(false, 0, 1, "r", "var:x", 1); // ordered after w by fork
+    tb.mem(false, 0, 2, "r", "var:x", 2); // concurrent with w
+    for (int i = 0; i < 3; ++i) {
+        tb.mem(true, 1, 3, "w2", "var:y", i);
+        tb.mem(false, 1, 4, "r2", "var:y", i);
+    }
+    tb.mem(true, 1, 5, "w3", "var:z");
+    return tb.store();
+}
+
+TEST(StreamingDetectorTest, BruteForcedMemoLeavesDetectOutputIdentical)
+{
+    TraceBuilder tb;
+    hb::HbGraph graph(mixedTrace(tb));
+
+    RaceDetector detector;
+    std::vector<Candidate> base = detector.detect(graph);
+
+    // A memo holding every genuinely ordered access pair — the
+    // maximal coverage any pre-pass could reach.  detect() must not
+    // change a byte of output for any memo between empty and this.
+    AccessPlan plan = AccessPlan::build(graph);
+    OrderedMemo memo;
+    std::vector<std::uint64_t> packed;
+    const std::vector<int> &accesses = graph.memAccesses();
+    for (std::size_t i = 0; i < accesses.size(); ++i)
+        for (std::size_t j = i + 1; j < accesses.size(); ++j)
+            if (!graph.concurrent(accesses[i], accesses[j]))
+                packed.push_back(OrderedMemo::packPair(accesses[i],
+                                                       accesses[j]));
+    memo.addPacked(packed);
+
+    std::vector<Candidate> memoized =
+        detector.detect(graph, nullptr, &plan, &memo);
+    ASSERT_EQ(memoized.size(), base.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+        EXPECT_EQ(memoized[i].var, base[i].var);
+        EXPECT_EQ(memoized[i].dynamicPairs, base[i].dynamicPairs);
+        EXPECT_EQ(memoized[i].a.vertex, base[i].a.vertex);
+        EXPECT_EQ(memoized[i].b.vertex, base[i].b.vertex);
+        EXPECT_EQ(memoized[i].callstackKey(), base[i].callstackKey());
+    }
+}
+
+TEST(StreamingDetectorTest, PrepassShardUnionIsShardCountInvariant)
+{
+    TraceBuilder tb;
+    hb::HbGraph graph(mixedTrace(tb));
+    AccessPlan plan = AccessPlan::build(graph);
+
+    // Snapshot where one chain covers every vertex: all forward pairs
+    // are "ordered", so the pre-pass must surface exactly the pairs
+    // detect() enumerates — any strided split of the work units
+    // included.
+    std::vector<std::vector<int>> preds(graph.size());
+    std::vector<int> chainHint(graph.size());
+    for (std::size_t v = 0; v < graph.size(); ++v) {
+        chainHint[v] = static_cast<int>(v) - 1;
+        if (v > 0)
+            preds[v].push_back(static_cast<int>(v) - 1);
+    }
+    ChainFrontierIndex snapshot;
+    snapshot.build(preds, chainHint);
+
+    auto run = [&](std::size_t shards) {
+        std::set<std::uint64_t> ordered;
+        std::set<std::uint32_t> epochs;
+        for (std::size_t s = 0; s < shards; ++s) {
+            std::vector<std::uint64_t> pairs;
+            std::unordered_set<std::uint32_t> touched;
+            StreamingDetector::prepassShard(plan, snapshot, s, shards,
+                                            /*window=*/4, pairs,
+                                            touched);
+            ordered.insert(pairs.begin(), pairs.end());
+            epochs.insert(touched.begin(), touched.end());
+        }
+        return std::make_pair(ordered, epochs);
+    };
+
+    auto [one_pairs, one_epochs] = run(1);
+    auto [three_pairs, three_epochs] = run(3);
+    EXPECT_FALSE(one_pairs.empty());
+    EXPECT_EQ(one_pairs, three_pairs);
+    EXPECT_EQ(one_epochs, three_epochs);
+}
+
+TEST(StreamingDetectorTest, PrepassAgainstEdgelessSnapshotOrdersNothing)
+{
+    TraceBuilder tb;
+    hb::HbGraph graph(mixedTrace(tb));
+    AccessPlan plan = AccessPlan::build(graph);
+
+    std::vector<std::vector<int>> preds(graph.size());
+    std::vector<int> chainHint(graph.size(), -1);
+    ChainFrontierIndex snapshot;
+    snapshot.build(preds, chainHint);
+
+    std::vector<std::uint64_t> pairs;
+    std::unordered_set<std::uint32_t> touched;
+    StreamingDetector::prepassShard(plan, snapshot, 0, 1, /*window=*/4,
+                                    pairs, touched);
+    EXPECT_TRUE(pairs.empty());
+    EXPECT_FALSE(touched.empty());
+}
+
+} // namespace
+} // namespace dcatch::detect

@@ -15,8 +15,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/frontier_merge.hh"
@@ -153,6 +156,128 @@ TEST(FrontierMergePropertyTest, MaxInPlaceKernelsAgree)
             }
             EXPECT_EQ(scalar_changed, want_changed) << "n=" << n;
         }
+    }
+}
+
+/** Reference different-shape merge: map union with per-chain max. */
+std::vector<Word>
+referenceMerge(const std::vector<Word> &dst, const std::vector<Word> &src)
+{
+    std::map<std::uint32_t, std::uint32_t> best;
+    for (Word w : dst)
+        best[chainOf(w)] = std::max(best[chainOf(w)], limitOf(w));
+    for (Word w : src)
+        best[chainOf(w)] = std::max(best[chainOf(w)], limitOf(w));
+    std::vector<Word> out;
+    for (const auto &[chain, limit] : best)
+        out.push_back(pack(chain, limit));
+    return out;
+}
+
+/** Run mergeWouldChange + mergeMax under @p kernel. */
+std::pair<bool, std::vector<Word>>
+mergeUnder(Kernel kernel, const std::vector<Word> &dst,
+           const std::vector<Word> &src)
+{
+    KernelGuard guard(kernel);
+    bool would = mergeWouldChange(dst.data(), dst.size(), src.data(),
+                                  src.size());
+    std::vector<Word> out(dst.size() + src.size());
+    out.resize(
+        mergeMax(out.data(), dst.data(), dst.size(), src.data(),
+                 src.size()));
+    return {would, out};
+}
+
+void
+checkMergePair(const std::vector<Word> &dst, const std::vector<Word> &src,
+               const char *what)
+{
+    auto [scalar_would, scalar_out] = mergeUnder(Kernel::Scalar, dst, src);
+    auto [simd_would, simd_out] = mergeUnder(Kernel::Avx2, dst, src);
+    std::vector<Word> want = referenceMerge(dst, src);
+    EXPECT_EQ(scalar_out, want) << what;
+    EXPECT_EQ(simd_out, scalar_out) << what;
+    EXPECT_EQ(simd_would, scalar_would) << what;
+    // mergeWouldChange is exactly "the merged row differs from dst".
+    EXPECT_EQ(scalar_would, want != dst) << what;
+}
+
+TEST(FrontierMergeDifferentShapeTest, EmptyAndSingleEntryRows)
+{
+    std::vector<Word> empty;
+    std::vector<Word> one{pack(5, 100)};
+    std::vector<Word> other{pack(7, 3)};
+    checkMergePair(empty, empty, "empty/empty");
+    checkMergePair(empty, one, "empty/one");
+    checkMergePair(one, empty, "one/empty");
+    checkMergePair(one, one, "one/one identical");
+    checkMergePair(one, other, "one/other disjoint");
+    checkMergePair(one, {pack(5, 99)}, "one/lower limit");
+    checkMergePair(one, {pack(5, 101)}, "one/higher limit");
+}
+
+TEST(FrontierMergeDifferentShapeTest, AllEqualChainRows)
+{
+    // Rows over the identical chain sequence must merge to the
+    // elementwise max through the sorted-merge kernels too (the
+    // AVX2 variant streams these as pure 4-word blocks).
+    Rng rng(0x5eedf00du);
+    for (std::size_t n : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 16u, 33u}) {
+        for (int rep = 0; rep < 10; ++rep) {
+            std::vector<Word> dst = randomRow(rng, n);
+            std::vector<Word> src = withRandomLimits(rng, dst);
+            checkMergePair(dst, src, "equal chains");
+            checkMergePair(dst, dst, "identical rows");
+        }
+    }
+}
+
+TEST(FrontierMergeDifferentShapeTest, Avx2TailBoundaries)
+{
+    // 3/4/5/8-word rows straddle the 4-word vector width: no full
+    // block, exactly one, one plus a tail, exactly two.
+    Rng rng(0x7a11b0dau);
+    for (std::size_t ndst : {3u, 4u, 5u, 8u}) {
+        for (std::size_t nsrc : {3u, 4u, 5u, 8u}) {
+            for (int rep = 0; rep < 20; ++rep) {
+                std::vector<Word> dst = randomRow(rng, ndst);
+                std::vector<Word> src = randomRow(rng, nsrc);
+                checkMergePair(dst, src, "tail boundary");
+            }
+        }
+    }
+}
+
+TEST(FrontierMergeDifferentShapeTest, RandomMixedShapes)
+{
+    // Random overlap patterns: shared chains with differing limits,
+    // chains private to either side, and long equal-chain runs broken
+    // by insertions (the realignment path of the AVX2 kernels).
+    Rng rng(0xc0ffee11u);
+    for (int rep = 0; rep < 200; ++rep) {
+        std::size_t ndst = rng.nextRange(0, 24);
+        std::vector<Word> dst = randomRow(rng, ndst);
+        std::vector<Word> src;
+        for (Word w : dst) {
+            if (rng.nextChance(2, 3))
+                src.push_back(pack(
+                    chainOf(w), static_cast<std::uint32_t>(
+                                    rng.nextRange(0, 0x7fffffff))));
+            if (rng.nextChance(1, 4))
+                src.push_back(pack(
+                    chainOf(w) + 1000000u,
+                    static_cast<std::uint32_t>(
+                        rng.nextRange(0, 0x7fffffff))));
+        }
+        std::sort(src.begin(), src.end());
+        src.erase(std::unique(src.begin(), src.end(),
+                              [](Word a, Word b) {
+                                  return chainOf(a) == chainOf(b);
+                              }),
+                  src.end());
+        checkMergePair(dst, src, "mixed shapes");
+        checkMergePair(src, dst, "mixed shapes swapped");
     }
 }
 

@@ -11,8 +11,10 @@
  * pins the parallel backend to the serial semantics.
  *
  * A second suite pins the same full-output identity across the
- * frontier-merge kernels (scalar vs. forced AVX2): the SIMD path must
- * be unobservable in every report byte, exactly like the job count.
+ * frontier-merge kernels (scalar vs. forced AVX2), and a third across
+ * the detection/closure overlap (--no-overlap vs. the overlapped
+ * default): SIMD path and overlap pre-pass must both be unobservable
+ * in every report byte, exactly like the job count.
  */
 
 #include <gtest/gtest.h>
@@ -56,7 +58,9 @@ readFile(const fs::path &path)
 
 Snapshot
 runWith(const char *bench_id, sim::PolicyKind policy, int jobs,
-        const std::string &repro_dir)
+        const std::string &repro_dir,
+        hb::HbGraph::Engine engine = hb::HbGraph::Engine::Auto,
+        bool overlap = true)
 {
     apps::Benchmark bench = apps::benchmark(bench_id);
     bench.config.policy = policy;
@@ -66,6 +70,8 @@ runWith(const char *bench_id, sim::PolicyKind policy, int jobs,
     options.measureBase = false;
     options.runTrigger = true;
     options.jobs = jobs;
+    options.hbEngine = engine;
+    options.overlapDetection = overlap;
     options.reproDir = repro_dir;
     fs::remove_all(repro_dir);
     PipelineResult result = runPipeline(bench, options);
@@ -80,6 +86,12 @@ runWith(const char *bench_id, sim::PolicyKind policy, int jobs,
     m.baseSec = m.tracingSec = m.analysisSec = m.pruningSec =
         m.loopSec = m.triggerSec = m.detectSec = 0;
     m.jobs = 0;
+    // The overlap pre-pass stats legitimately track the worker count
+    // (jobs=1 runs no pre-pass at all); null the subtree like the
+    // wall clocks.  Everything under metrics.hb stays compared.
+    m.detectPath.clear();
+    m.overlappedEpochs = 0;
+    m.detectOverlapSec = 0;
     snap.jsonReport = reportToJson(bench, result).dump();
     snap.traceDigest = result.monitoredTrace.contentDigest();
     for (const detect::Candidate &cand : result.finalReports())
@@ -177,6 +189,61 @@ TEST_P(KernelDeterminismTest, KernelChoiceIsUnobservableInOutput)
             << "bundle file differs under SIMD kernel: " << path;
     }
 }
+
+/**
+ * The detection/closure overlap must be as unobservable as the job
+ * count: with the chain engine and many jobs, the pre-pass streams
+ * epochs during Rule-Eserial closure and memoizes ordered pairs, yet
+ * every report byte, candidate, classification, and repro bundle must
+ * equal the --no-overlap run's.
+ */
+class OverlapDeterminismTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(OverlapDeterminismTest, OverlapIsUnobservableInOutput)
+{
+    const char *bench_id = GetParam();
+    std::string repro = fs::temp_directory_path().string() +
+                        "/dcatch-ovl-prop-" + bench_id;
+
+    for (hb::HbGraph::Engine engine :
+         {hb::HbGraph::Engine::ChainFrontier,
+          hb::HbGraph::Engine::Auto}) {
+        SCOPED_TRACE(engine == hb::HbGraph::Engine::Auto ? "auto"
+                                                         : "chain");
+        Snapshot off = runWith(bench_id, sim::PolicyKind::Fifo, 8,
+                               repro, engine, /*overlap=*/false);
+        Snapshot on = runWith(bench_id, sim::PolicyKind::Fifo, 8,
+                              repro, engine, /*overlap=*/true);
+        EXPECT_EQ(off.textReport, on.textReport);
+        EXPECT_EQ(off.jsonReport, on.jsonReport);
+        EXPECT_EQ(off.traceDigest, on.traceDigest);
+        EXPECT_EQ(off.finalKeys, on.finalKeys);
+        EXPECT_EQ(off.classifications, on.classifications);
+        ASSERT_EQ(off.bundleFiles.size(), on.bundleFiles.size());
+        for (const auto &[path, bytes] : off.bundleFiles) {
+            auto it = on.bundleFiles.find(path);
+            ASSERT_NE(it, on.bundleFiles.end())
+                << "bundle file missing with overlap: " << path;
+            EXPECT_EQ(bytes, it->second)
+                << "bundle file differs with overlap: " << path;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, OverlapDeterminismTest,
+    ::testing::Values("CA-1011", "HB-4539", "HB-4729", "MR-3274",
+                      "MR-4637", "ZK-1144", "ZK-1270"),
+    [](const ::testing::TestParamInfo<const char *> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
 
 INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, KernelDeterminismTest,

@@ -242,6 +242,45 @@ TEST(ServeEquivalence, WindowOfOne)
     EXPECT_GT(stats.evictedAccesses, 0u);
 }
 
+// Watermark-merge slice size (--batch): purely an amortization
+// granularity.  The report, every Candidate frame, and the epoch
+// counters must be identical for any value, including the degenerate
+// record-at-a-time slice.
+TEST(ServeEquivalence, BatchSliceIsUnobservable)
+{
+    BenchTrace bench = buildBench("MR-3274");
+    std::string expected = expectedReport(*bench.store, "MR-3274");
+
+    std::string baseline_report;
+    std::size_t baseline_candidates = 0;
+    std::size_t baseline_epochs = 0;
+    bool first = true;
+    for (std::size_t batch : {std::size_t{1}, std::size_t{3},
+                              std::size_t{1} << 20}) {
+        ServeOptions options;
+        options.window = 16;
+        options.batch = batch;
+        ServeCore core(options);
+        DriveResult result =
+            drive(core, producerStreams(*bench.store, "MR-3274", 3, 8),
+                  17);
+        ServeStats stats = core.stats();
+        core.shutdown();
+        SCOPED_TRACE("batch=" + std::to_string(batch));
+        EXPECT_EQ(result.reports[0], expected);
+        if (first) {
+            baseline_report = result.reports[0];
+            baseline_candidates = result.candidateFrames;
+            baseline_epochs = stats.epochsClosed;
+            first = false;
+        } else {
+            EXPECT_EQ(result.reports[0], baseline_report);
+            EXPECT_EQ(result.candidateFrames, baseline_candidates);
+            EXPECT_EQ(stats.epochsClosed, baseline_epochs);
+        }
+    }
+}
+
 // Concurrent sessions on one daemon: different runs, different
 // shards, no cross-talk.
 TEST(ServeEquivalence, ConcurrentSessions)

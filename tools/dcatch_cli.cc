@@ -6,14 +6,15 @@
  *
  *   dcatch list
  *   dcatch run <benchmark-id> [--no-prune] [--no-loop] [--trigger]
- *              [--full-trace] [--seed N] [--random] [--json]
- *              [--trace-dir DIR] [--record-schedule DIR] [--quiet]
+ *              [--full-trace] [--seed N] [--random] [--no-overlap]
+ *              [--json] [--trace-dir DIR] [--record-schedule DIR]
+ *              [--quiet]
  *   dcatch replay <bundle> [--json] [--quiet]
  *   dcatch explore <benchmark-id> [--policies LIST] [--runs N]
  *              [--jobs N] [--seed-base N] [--out DIR] [--no-shrink]
  *              [--no-crossval] [--json] [--quiet]
  *   dcatch serve --listen ADDR [--jobs N] [--window E] [--retain K]
- *              [--quiet]
+ *              [--batch N] [--quiet]
  *   dcatch --version
  *   dcatch --help            (and `dcatch <command> --help`)
  *
@@ -75,6 +76,9 @@ const char *const kRunHelp =
     "  --engine E    HB reachability engine: auto, chain, dense,\n"
     "                or vc (default: auto — picks chain or dense\n"
     "                per trace; see docs/hb_auto_engine.md)\n"
+    "  --no-overlap  run detection strictly after HB closure\n"
+    "                instead of overlapping the two (A/B knob;\n"
+    "                reports are byte-identical either way)\n"
     "  --json        emit the report as JSON\n"
     "  --trace-dir D also write per-thread trace files into D\n"
     "  --record-schedule D\n"
@@ -113,6 +117,9 @@ const char *const kServeHelp =
     "                candidates and evicts aged accesses\n"
     "  --retain K    closed epochs kept in the online index (K >= 1;\n"
     "                default 2); bounds resident memory per session\n"
+    "  --batch N     records appended to the HB graph per ingest\n"
+    "                batch (N >= 1; default 256); larger batches\n"
+    "                amortise watermark release and graph appends\n"
     "  --quiet       suppress the startup line and the exit summary\n";
 
 /** Print the full help text to @p to (stderr on usage errors, stdout
@@ -193,6 +200,8 @@ cmdRun(int argc, char **argv)
             options.fullMemoryTrace = true;
         } else if (arg == "--random") {
             config.policy = sim::PolicyKind::Random;
+        } else if (arg == "--no-overlap") {
+            options.overlapDetection = false;
         } else if (arg == "--seed") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "--seed requires a value\n");
@@ -574,7 +583,7 @@ cmdServe(int argc, char **argv)
             }
             listen = argv[++i];
         } else if (arg == "--jobs" || arg == "--window" ||
-                   arg == "--retain") {
+                   arg == "--retain" || arg == "--batch") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr, "%s requires a value\n",
                              arg.c_str());
@@ -606,9 +615,12 @@ cmdServe(int argc, char **argv)
             else if (arg == "--window")
                 options.window = static_cast<std::size_t>(
                     std::min<long long>(parsed, 1ll << 30));
-            else
+            else if (arg == "--retain")
                 options.retainEpochs = static_cast<int>(
                     std::min<long long>(parsed, 1 << 20));
+            else
+                options.batch = static_cast<std::size_t>(
+                    std::min<long long>(parsed, 1ll << 20));
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
@@ -635,9 +647,10 @@ cmdServe(int argc, char **argv)
         std::signal(SIGINT, serveSignalHandler);
         if (!quiet) {
             std::printf("dcatchd listening on %s (jobs=%d window=%zu "
-                        "retain=%d)\n",
+                        "retain=%d batch=%zu)\n",
                         server.boundAddress().c_str(), options.jobs,
-                        options.window, options.retainEpochs);
+                        options.window, options.retainEpochs,
+                        options.batch);
             std::fflush(stdout);
         }
         server.run();
